@@ -1,0 +1,73 @@
+// Ablation: temporal blocking (ghost zones) for the out-of-core stencil.
+//
+// k sweeps per block residency replace k storage round-trips with one, at
+// the price of redundant halo compute and wider (partially strided) halo
+// reads. The crossover depends on the storage speed: on a slow disk the
+// saved passes dominate; on a fast SSD the extra strided strip reads and
+// redundant compute eat the gain — the same storage-speed sensitivity the
+// paper explores in §V-D.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "northup/algos/hotspot.hpp"
+#include "northup/algos/hotspot_temporal.hpp"
+
+namespace nb = northup::bench;
+namespace na = northup::algos;
+namespace nt = northup::topo;
+namespace nc = northup::core;
+namespace nm = northup::mem;
+namespace nu = northup::util;
+
+int main() {
+  nb::print_header(
+      "Ablation: temporal blocking (k sweeps per block load), HotSpot-2D");
+
+  na::HotspotConfig cfg = nb::fig_hotspot();
+  cfg.iterations = 4;
+  cfg.verify = false;
+
+  nu::TextTable table;
+  table.set_header({"storage", "k", "io (ms)", "gpu (ms)", "bytes (MiB)",
+                    "makespan (ms)", "vs k=1"});
+  for (auto kind : {nm::StorageKind::Ssd, nm::StorageKind::Hdd}) {
+    const char* sname = kind == nm::StorageKind::Ssd ? "ssd" : "disk";
+    {
+      // Reference: the §IV-B scheme (packed width-1 halos, 1 sweep/load).
+      nc::Runtime rt(
+          nt::apu_two_level(kind, nb::hotspot_outofcore_options(kind)));
+      const auto stats = na::hotspot_northup(rt, cfg);
+      table.add_row(
+          {sname, "packed",
+           nu::TextTable::num(stats.breakdown.io * 1e3, 1),
+           nu::TextTable::num(stats.breakdown.gpu * 1e3, 1),
+           nu::TextTable::num(
+               static_cast<double>(stats.bytes_moved) / (1 << 20), 1),
+           nu::TextTable::num(stats.makespan * 1e3, 1), "-"});
+    }
+    double base = 0.0;
+    for (std::uint64_t k : {1ULL, 2ULL, 4ULL}) {
+      nc::Runtime rt(
+          nt::apu_two_level(kind, nb::hotspot_outofcore_options(kind)));
+      const auto stats = na::hotspot_temporal_northup(rt, cfg, k);
+      if (k == 1) base = stats.makespan;
+      table.add_row(
+          {sname, std::to_string(k),
+           nu::TextTable::num(stats.breakdown.io * 1e3, 1),
+           nu::TextTable::num(stats.breakdown.gpu * 1e3, 1),
+           nu::TextTable::num(
+               static_cast<double>(stats.bytes_moved) / (1 << 20), 1),
+           nu::TextTable::num(stats.makespan * 1e3, 1),
+           nu::TextTable::num(base / stats.makespan, 2) + "x"});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected: larger k cuts I/O passes and total bytes; the win is "
+      "biggest on the slow disk, while redundant compute grows with k.\n"
+      "note: the 'packed' row (the paper's width-1 packed-halo scheme) "
+      "beats naive ghost zones at small k because unpacked east/west "
+      "strips are strided file reads — packing borders (\u00a7IV-B) and "
+      "temporal blocking are complementary, not competing.\n");
+  return 0;
+}

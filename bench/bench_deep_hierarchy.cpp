@@ -1,0 +1,90 @@
+// §V-D / §VI experiment: "with emerging memory technologies, the
+// extremely wide gap between DRAM and storage (SSD/disk drive) can be
+// filled for better performance" — the same out-of-core applications run
+// on a ladder of level-0 backing stores, from a SATA disk to an NVM tier
+// used as per-node slower memory, converging toward the in-memory bound.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace nb = northup::bench;
+namespace na = northup::algos;
+namespace nt = northup::topo;
+namespace nc = northup::core;
+namespace nm = northup::mem;
+namespace ns = northup::sim;
+namespace nu = northup::util;
+
+namespace {
+
+struct Tier {
+  const char* name;
+  bool is_nvm_root;             ///< byte-addressable root (no file I/O)
+  nm::StorageKind kind;         ///< file kind when not NVM
+  ns::BandwidthModel model;
+};
+
+template <typename RunNorthup, typename RunInMem, typename MakeOptions>
+void run_ladder(const char* app, RunNorthup run_northup, RunInMem run_inmem,
+                MakeOptions make_options, nu::TextTable& table) {
+  const std::vector<Tier> tiers = {
+      {"sata-disk", false, nm::StorageKind::Hdd, nb::scaled_hdd()},
+      {"ssd 1400/600", false, nm::StorageKind::Ssd, nb::scaled_ssd()},
+      {"ssd 3500/2100", false, nm::StorageKind::Ssd,
+       nb::scaled_ssd(3500, 2100)},
+      {"nvm tier", true, nm::StorageKind::Nvm, ns::ModelPresets::nvm()},
+  };
+
+  double inmem = 0.0;
+  {
+    nc::Runtime rt(nt::apu_two_level(
+        nm::StorageKind::Ssd,
+        nb::inmemory_options(make_options(nm::StorageKind::Ssd))));
+    inmem = run_inmem(rt).makespan;
+  }
+
+  for (const auto& tier : tiers) {
+    auto opts = make_options(tier.kind);
+    opts.storage_model = tier.model;
+    nc::Runtime rt(tier.is_nvm_root
+                       ? nt::nvm_root_two_level(opts)
+                       : nt::apu_two_level(tier.kind, opts));
+    const auto stats = run_northup(rt);
+    table.add_row({app, tier.name,
+                   nu::TextTable::num(stats.makespan * 1e3, 1),
+                   nu::TextTable::num(stats.makespan / inmem, 2)});
+  }
+  table.add_row({app, "in-memory bound", nu::TextTable::num(inmem * 1e3, 1),
+                 "1.00"});
+}
+
+}  // namespace
+
+int main() {
+  nb::print_header(
+      "Deep-hierarchy ladder: filling the DRAM-storage gap (§V-D/§VI)");
+
+  nu::TextTable table;
+  table.set_header({"app", "level-0 store", "makespan (ms)",
+                    "vs in-memory"});
+  run_ladder(
+      nb::kAppNames[1],
+      [](nc::Runtime& rt) {
+        return na::hotspot_northup(rt, nb::fig_hotspot());
+      },
+      [](nc::Runtime& rt) {
+        return na::hotspot_inmemory(rt, nb::fig_hotspot());
+      },
+      nb::hotspot_outofcore_options, table);
+  run_ladder(
+      nb::kAppNames[2],
+      [](nc::Runtime& rt) { return na::spmv_northup(rt, nb::fig_spmv()); },
+      [](nc::Runtime& rt) { return na::spmv_inmemory(rt, nb::fig_spmv()); },
+      nb::spmv_outofcore_options, table);
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected: each faster tier narrows the gap; the NVM tier makes "
+      "out-of-core execution nearly free\n");
+  return 0;
+}

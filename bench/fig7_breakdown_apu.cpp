@@ -1,0 +1,72 @@
+// Figure 7: execution-time breakdown (CPU, GPU, buffer setup, transfers
+// and I/Os) for Northup out-of-core runs on the two-level APU tree (main
+// memory + SSD / disk drive).
+//
+// Paper shapes: dense-mm is GPU-dominated on both storages; on the disk
+// drive HotSpot-2D and CSR-Adaptive spend only 22% / 28% on the GPU;
+// switching to the SSD raises their GPU share to 59% / 41%; CSR-Adaptive
+// shows the largest CPU share (row binning).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace nb = northup::bench;
+namespace na = northup::algos;
+namespace nt = northup::topo;
+namespace nc = northup::core;
+namespace nm = northup::mem;
+namespace nu = northup::util;
+
+namespace {
+
+void add_row(nu::TextTable& table, const char* app, const char* storage,
+             const na::RunStats& stats) {
+  const auto shares = stats.breakdown.shares();
+  auto pct = [&](const char* key) {
+    auto it = shares.find(key);
+    return nu::TextTable::num((it == shares.end() ? 0.0 : it->second) * 100.0,
+                              1);
+  };
+  table.add_row({app, storage, pct("cpu"), pct("gpu"), pct("setup"),
+                 pct("transfer"), pct("io"), pct("runtime"),
+                 nu::TextTable::num(stats.makespan * 1e3, 1)});
+}
+
+}  // namespace
+
+int main() {
+  nb::print_header(
+      "Fig 7: execution breakdown, APU 2-level tree (shares of component "
+      "time, %)");
+
+  nu::TextTable table;
+  table.set_header({"app", "storage", "cpu%", "gpu%", "setup%", "transfer%",
+                    "io%", "runtime%", "makespan(ms)"});
+
+  for (auto kind : {nm::StorageKind::Ssd, nm::StorageKind::Hdd}) {
+    const char* sname = kind == nm::StorageKind::Ssd ? "ssd" : "disk";
+    {
+      nc::Runtime rt(nt::apu_two_level(kind, nb::gemm_outofcore_options(kind)));
+      add_row(table, nb::kAppNames[0], sname,
+              na::gemm_northup(rt, nb::fig_gemm()));
+    }
+    {
+      nc::Runtime rt(
+          nt::apu_two_level(kind, nb::hotspot_outofcore_options(kind)));
+      add_row(table, nb::kAppNames[1], sname,
+              na::hotspot_northup(rt, nb::fig_hotspot()));
+    }
+    {
+      nc::Runtime rt(
+          nt::apu_two_level(kind, nb::spmv_outofcore_options(kind)));
+      add_row(table, nb::kAppNames[2], sname,
+              na::spmv_northup(rt, nb::fig_spmv()));
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\npaper reference points: disk GPU share hotspot=22%%, csr=28%%; "
+      "ssd GPU share hotspot=59%%, csr=41%%; csr has the largest CPU "
+      "share\n");
+  return 0;
+}

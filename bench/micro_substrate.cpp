@@ -1,0 +1,151 @@
+// google-benchmark micro-benchmarks for the substrate layers: EventSim
+// scheduling throughput, Chase-Lev deque operations, unified data moves,
+// and the functional leaf kernels.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "northup/algos/dense.hpp"
+#include "northup/algos/gemm.hpp"
+#include "northup/core/runtime.hpp"
+#include "northup/sched/chase_lev.hpp"
+#include "northup/sim/event_sim.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace ns = northup::sim;
+namespace nsc = northup::sched;
+namespace nc = northup::core;
+namespace nt = northup::topo;
+namespace na = northup::algos;
+
+// --- EventSim: task-insertion/scheduling throughput. ---
+
+static void BM_EventSimAddTask(benchmark::State& state) {
+  ns::EventSim sim;
+  const auto r0 = sim.add_resource("io");
+  const auto r1 = sim.add_resource("gpu");
+  ns::TaskId prev = ns::kInvalidTask;
+  for (auto _ : state) {
+    const auto read = sim.add_task("r", "io", r0, 1e-3);
+    std::vector<ns::TaskId> deps{read};
+    if (prev != ns::kInvalidTask) deps.push_back(prev);
+    prev = sim.add_task("k", "gpu", r1, 1e-3, deps);
+    if (sim.task_count() > 1000000) {
+      sim.reset_tasks();
+      prev = ns::kInvalidTask;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EventSimAddTask);
+
+// --- Chase-Lev deque: owner-side push/pop and steals. ---
+
+static void BM_ChaseLevPushPop(benchmark::State& state) {
+  nsc::ChaseLevDeque<std::uint64_t> dq(1 << 12);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    dq.push_bottom(1);
+    dq.pop_bottom(v);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChaseLevPushPop);
+
+static void BM_ChaseLevSteal(benchmark::State& state) {
+  nsc::ChaseLevDeque<std::uint64_t> dq(1 << 12);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    dq.push_bottom(1);
+    dq.steal_top(v);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChaseLevSteal);
+
+// --- Unified data moves through the two core paths. ---
+
+static void BM_MoveDramToDram(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  nt::PresetOptions opts;
+  opts.staging_capacity = 64ULL << 20;
+  nc::RuntimeOptions ropts;
+  ropts.enable_sim = false;  // functional cost only
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd, opts),
+                 ropts);
+  const auto dram = rt.tree().find("dram");
+  auto a = rt.dm().alloc(bytes, dram);
+  auto b = rt.dm().alloc(bytes, dram);
+  for (auto _ : state) {
+    rt.dm().move_data(b, a, bytes);
+  }
+  rt.dm().release(a);
+  rt.dm().release(b);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MoveDramToDram)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+static void BM_MoveFileToDram(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  nc::RuntimeOptions ropts;
+  ropts.enable_sim = false;
+  nc::Runtime rt(nt::apu_two_level(), ropts);
+  auto src = rt.dm().alloc(bytes, rt.tree().root());
+  auto dst = rt.dm().alloc(bytes, rt.tree().find("dram"));
+  for (auto _ : state) {
+    rt.dm().move_data(dst, src, bytes);
+  }
+  rt.dm().release(src);
+  rt.dm().release(dst);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MoveFileToDram)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+// --- Functional leaf kernels (host execution throughput). ---
+
+static void BM_GemmLeafKernel(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  nt::PresetOptions opts;
+  opts.staging_capacity = 64ULL << 20;
+  nc::RuntimeOptions ropts;
+  ropts.enable_sim = false;
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd, opts),
+                 ropts);
+  const auto dram = rt.tree().find("dram");
+  auto a = rt.dm().alloc(n * n * 4, dram);
+  auto b = rt.dm().alloc(n * n * 4, dram);
+  auto c = rt.dm().alloc(n * n * 4, dram);
+
+  for (auto _ : state) {
+    rt.run_from(dram, [&](nc::ExecContext& ctx) {
+      na::gemm_leaf(ctx, {&a, 0, n * 4}, {&b, 0, n * 4}, {&c, 0, n * 4}, n,
+                    n, n, 16);
+    });
+  }
+  for (auto* buf : {&a, &b, &c}) rt.dm().release(*buf);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmLeafKernel)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_HotspotReferenceStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  na::Matrix temp = na::random_matrix(n, n, 1);
+  na::Matrix power = na::random_matrix(n, n, 2);
+  na::Matrix out(n, n);
+  na::HotSpotParams params;
+  for (auto _ : state) {
+    na::hotspot_step(temp, power, out, params);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_HotspotReferenceStep)->Arg(256)->Arg(512);
+
+BENCHMARK_MAIN();

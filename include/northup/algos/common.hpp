@@ -1,0 +1,50 @@
+// Shared result/reporting types for the case-study algorithms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "northup/core/profiler.hpp"
+#include "northup/core/runtime.hpp"
+#include "northup/data/buffer.hpp"
+#include "northup/data/view.hpp"
+
+namespace northup::algos {
+
+/// Outcome of one algorithm run (baseline or Northup).
+struct RunStats {
+  core::Breakdown breakdown;   ///< per-phase virtual-time totals + makespan
+  double makespan = 0.0;       ///< virtual end-to-end seconds
+  double max_rel_err = 0.0;    ///< vs reference (0 when verification off)
+  bool verified = true;        ///< max_rel_err under tolerance
+  std::uint64_t bytes_moved = 0;
+  double wall_seconds = 0.0;   ///< real wall-clock of the functional run
+  std::uint64_t spawns = 0;    ///< recursive spawns executed
+};
+
+/// Relative-error tolerance for float32 block-accumulated kernels.
+inline constexpr double kVerifyTolerance = 5e-3;
+
+/// The DRAM-kind node where an in-memory baseline's working set lives:
+/// the nearest byte-addressable ancestor (or self) of the first
+/// GPU-attached node. Throws if the tree has no GPU.
+topo::NodeId inmemory_home(core::Runtime& rt);
+
+/// The node carrying the first GPU processor. Throws if absent.
+topo::NodeId gpu_node(core::Runtime& rt);
+
+/// Re-exported from the data layer: the view types the case studies use.
+using data::MatView;
+using data::move_submatrix;
+
+/// Picks the compute processor for a leaf: the GPU attached to `node` if
+/// any, else the CPU attached to it, else the nearest GPU above it.
+device::Processor* leaf_processor(core::Runtime& rt, topo::NodeId node);
+
+/// Starts the measured phase of a run: clears the EventSim trace, every
+/// storage node's stats and I/O trace (so the §V-B preprocessing is
+/// excluded, as in the paper), and the listed buffers' ready tasks.
+void reset_measurement(core::Runtime& rt,
+                       std::initializer_list<data::Buffer*> buffers);
+
+}  // namespace northup::algos

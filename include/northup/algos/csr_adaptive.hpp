@@ -1,0 +1,99 @@
+// CSR-Adaptive SpMV (§IV-C), the irregular memory-bound case study.
+//
+// CSR-Adaptive [Greathouse & Daga, SC'14] bins consecutive rows into row
+// blocks: short rows are grouped until their combined nnz fills a
+// workgroup's local memory (CSR-Stream); a long row gets a workgroup to
+// itself (CSR-Vector). Binning runs on the CPU ("CSR-Adaptive uses the CPU
+// for binning rows into different categories", §V-C); the kernels run on
+// the GPU.
+//
+// The Northup out-of-core version shards the three CSR arrays in the row
+// dimension, nnz-aware: a shard's combined bytes (row_ptr + col_id + data
+// slices + its y output) must fit the child's free capacity after the
+// dense vector x — which stays resident at the compute level, per the
+// paper's observation that "the fastest memory has to be big enough to
+// hold the vector". Shard sizes are therefore variable, which is exactly
+// why CSR-Adaptive shows the worst I/O regularity of the three case
+// studies (§V-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "northup/algos/common.hpp"
+#include "northup/algos/sparse.hpp"
+
+namespace northup::algos {
+
+struct SpmvConfig {
+  enum class Pattern { Banded, Uniform, PowerLaw, DenseRows };
+
+  std::uint32_t rows = 100000;
+  std::uint32_t avg_nnz = 16;
+  Pattern pattern = Pattern::Uniform;
+  std::uint64_t seed = 99;
+  /// CSR-Stream bin capacity: rows are grouped until their combined nnz
+  /// reaches this (sized to GPU local memory, as in the original paper).
+  std::uint32_t nnz_per_workgroup = 1024;
+  double capacity_safety = 0.85;
+  bool verify = true;
+  /// Effective-bandwidth calibration for the gather-heavy SpMV kernel
+  /// (random x accesses defeat coalescing): modeled device traffic is
+  /// raw bytes x this factor. See EXPERIMENTS.md.
+  double device_traffic_factor = 55.0;
+  /// The CPU-side work per shard (binning passes, shard planning, buffer
+  /// packing — "CSR-Adaptive uses the CPU for binning rows ... and spends
+  /// relatively more time", §V-C), as a multiple of one row_ptr sweep.
+  double cpu_binning_factor = 12.0;
+  /// Whether binning cost counts toward the measured run. The in-memory
+  /// baseline bins once at load time (preprocessing, excluded like the
+  /// paper's file reorganization); Northup re-bins every shard as it
+  /// arrives, which is part of its runtime.
+  bool count_binning = true;
+
+  /// Materializes the configured input matrix.
+  Csr make_matrix() const;
+};
+
+/// One CSR-Adaptive row block.
+enum class RowBlockKind { Stream, Vector };
+
+struct RowBlock {
+  std::uint32_t first_row = 0;
+  std::uint32_t row_count = 0;
+  RowBlockKind kind = RowBlockKind::Stream;
+};
+
+/// CPU binning pass: groups consecutive rows into Stream blocks of at
+/// most `nnz_per_workgroup` combined nnz; any single row exceeding that
+/// becomes a Vector block. `row_ptr` spans rows+1 absolute offsets.
+std::vector<RowBlock> bin_rows(const std::uint32_t* row_ptr,
+                               std::uint32_t rows,
+                               std::uint32_t nnz_per_workgroup);
+
+/// A row shard in flight at some tree level: slices of the three CSR
+/// arrays for rows [first_row, first_row + rows), the resident dense
+/// vector x (full length), and the y output slice. row_ptr holds
+/// *absolute* offsets; nnz_base = row_ptr[first_row] rebases col_id/data.
+struct SpmvShard {
+  data::Buffer* row_ptr = nullptr;  ///< (rows + 1) uint32
+  data::Buffer* col_id = nullptr;   ///< shard nnz uint32
+  data::Buffer* data = nullptr;     ///< shard nnz float
+  data::Buffer* x = nullptr;        ///< full vector, resident at this node
+  data::Buffer* y = nullptr;        ///< rows floats
+  std::uint32_t rows = 0;
+  std::uint32_t nnz_base = 0;
+};
+
+/// Recursive shard execution: leaf -> CPU binning + GPU row-block
+/// kernels; inner node -> nnz-aware re-sharding into the child.
+void spmv_recurse(core::ExecContext& ctx, const SpmvShard& shard,
+                  const SpmvConfig& config);
+
+/// In-memory baseline: CSR arrays and vectors resident at the DRAM node.
+RunStats spmv_inmemory(core::Runtime& rt, const SpmvConfig& config);
+
+/// Northup out-of-core execution from root storage.
+RunStats spmv_northup(core::Runtime& rt, const SpmvConfig& config);
+
+}  // namespace northup::algos

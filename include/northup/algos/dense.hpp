@@ -1,0 +1,77 @@
+// Dense-matrix utilities shared by the GEMM and HotSpot case studies:
+// a simple owning row-major matrix, deterministic generators, and the
+// reference (CPU, unblocked) implementations used to verify the
+// out-of-core execution bit-for-bit within floating-point tolerance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "northup/util/assert.hpp"
+#include "northup/util/rng.hpp"
+
+namespace northup::algos {
+
+/// Owning row-major float matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  std::size_t bytes() const { return data_.size() * sizeof(float); }
+
+  float& at(std::size_t r, std::size_t c) {
+    NU_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    NU_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Uniform random matrix in [-1, 1), deterministic in `seed`.
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed);
+
+/// C = A * B, naive triple loop (verification only; O(n^3)).
+Matrix gemm_reference(const Matrix& a, const Matrix& b);
+
+/// Largest absolute element difference between two same-shape matrices.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Largest relative element difference (|a-b| / max(1, |a|)).
+double max_rel_diff(const Matrix& a, const Matrix& b);
+
+/// HotSpot-2D model coefficients (Rodinia's thermal constants folded into
+/// the per-step update weights).
+struct HotSpotParams {
+  float cap_inv = 0.5f;        ///< 1 / thermal capacitance (scaled dt)
+  float rx_inv = 0.1f;         ///< 1 / horizontal resistance
+  float ry_inv = 0.1f;         ///< 1 / vertical resistance
+  float rz_inv = 0.0625f;      ///< 1 / vertical (to ambient) resistance
+  float ambient = 80.0f;       ///< ambient temperature
+};
+
+/// One HotSpot-2D step over the full grid (reference implementation).
+/// Border cells clamp their out-of-grid neighbours to their own value.
+Matrix hotspot_reference(const Matrix& temp, const Matrix& power,
+                         const HotSpotParams& params);
+
+/// In-place variant writing into `out` (must be same shape).
+void hotspot_step(const Matrix& temp, const Matrix& power, Matrix& out,
+                  const HotSpotParams& params);
+
+}  // namespace northup::algos

@@ -1,0 +1,65 @@
+// Dense matrix multiply (§IV-A), the compute-bound case study.
+//
+// The out-of-core pipeline mirrors the paper:
+//   * Preprocessing (§V-B) stores A, B, C on the root storage node in
+//     block-major layout (one contiguous extent per level-1 block), so a
+//     data_down is a single sequential read.
+//   * Each recursion level splits its matrices into square sub-blocks
+//     sized to the child node's free capacity; block dot products
+//     accumulate partial sums into a resident C sub-block (Fig 3).
+//   * The row-shard-reuse optimization keeps a row strip of A resident at
+//     the child level while the column strips of B stream past.
+//   * The leaf runs the tiled GPU kernel: one workgroup per 16x16 C tile,
+//     A/B tiles staged through local memory (the paper's HSA SNACK
+//     matrix-multiply kernel, reimplemented for the simulated GPU).
+#pragma once
+
+#include <cstdint>
+
+#include "northup/algos/common.hpp"
+#include "northup/algos/dense.hpp"
+#include "northup/data/buffer.hpp"
+
+namespace northup::algos {
+
+struct GemmConfig {
+  std::uint64_t n = 512;       ///< square N x N matrices (multiple of leaf_tile)
+  std::uint64_t leaf_tile = 16;  ///< GPU local-memory tile (paper: 16x16)
+  bool shard_reuse = true;     ///< §IV-A row-shard reuse optimization
+  double capacity_safety = 0.85;
+  std::uint64_t seed = 42;
+  /// Number of randomly sampled C elements to verify against an exactly
+  /// computed dot product (0 disables verification).
+  std::uint64_t verify_samples = 256;
+};
+
+/// Leaf kernel: C(m x n) += A(m x k) * B(k x n). All three buffers must
+/// live on `ctx`'s node; the kernel launches ceil(m/T)*ceil(n/T)
+/// workgroups on the GPU attached to (or nearest above) the node.
+void gemm_leaf(core::ExecContext& ctx, const MatView& a, const MatView& b,
+               const MatView& c, std::uint64_t m, std::uint64_t n,
+               std::uint64_t k, std::uint64_t tile);
+
+/// Recursive block multiply: C += A * B with all views on `ctx`'s node.
+/// At a non-leaf, splits into square blocks sized to the child capacity
+/// and recurses; at a leaf, calls gemm_leaf.
+void gemm_recurse(core::ExecContext& ctx, const MatView& a, const MatView& b,
+                  const MatView& c, std::uint64_t m, std::uint64_t n,
+                  std::uint64_t k, const GemmConfig& config);
+
+/// In-memory baseline (§V-B): A and B already resident at the DRAM node;
+/// no file I/O in the measurement, matching the paper's upper bound.
+RunStats gemm_inmemory(core::Runtime& rt, const GemmConfig& config);
+
+/// Northup out-of-core execution: inputs start on the root storage node.
+RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config);
+
+/// Largest square power-of-two block dim `b` dividing `n`, with
+/// `b >= leaf_tile`, such that the working set at the child fits:
+/// with reuse, a full row strip of A stays resident (n/b + 2 blocks);
+/// without, 3 blocks suffice. Throws CapacityError if none fits.
+std::uint64_t choose_gemm_block(std::uint64_t n, std::uint64_t leaf_tile,
+                                std::uint64_t child_available, bool reuse,
+                                double safety);
+
+}  // namespace northup::algos

@@ -1,0 +1,74 @@
+// HotSpot-2D thermal stencil (§IV-B), the regular memory-bound case study.
+//
+// Out-of-core structure per the paper (Fig 4):
+//   * The temperature and power grids are stored block-tiled on the root
+//     (one contiguous extent per block, the §V-B preprocessing), plus a
+//     packed halo extent per block holding its four border vectors
+//     [N, S, W, E] contiguously.
+//   * Each sweep moves every block, its power block, and its packed halo
+//     down the tree, computes one stencil step at the leaf, moves the
+//     output block up, and republishes the block's edge rows/columns into
+//     the neighbours' halo slots for the next sweep. East/west columns are
+//     packed into contiguous vectors in DRAM before being written
+//     ("We allocate vector buffers and pack the border data in a
+//      contiguous manner"), so every file access stays sequential.
+//   * Inner (non-root) levels re-split a block into sub-blocks whose
+//     halos are extracted from the parent block and parent halo.
+//   * The leaf kernel stages (tile+2)^2 halo'ed tiles through GPU local
+//     memory, one workgroup per 16x16 tile, as in the Rodinia OpenCL code.
+#pragma once
+
+#include <cstdint>
+
+#include "northup/algos/common.hpp"
+#include "northup/algos/dense.hpp"
+
+namespace northup::algos {
+
+struct HotspotConfig {
+  std::uint64_t n = 512;        ///< square grid (multiple of leaf_tile)
+  std::uint64_t leaf_tile = 16; ///< GPU tile (paper: 16x16 local memory)
+  std::uint64_t iterations = 1; ///< stencil sweeps
+  double capacity_safety = 0.85;
+  std::uint64_t seed = 7;
+  bool verify = true;           ///< full-grid compare vs reference
+  HotSpotParams params;
+  /// Effective-bandwidth calibration for the leaf kernel's cost model:
+  /// Rodinia HotSpot-2D on the paper's entry-level APU sustains only a
+  /// small fraction of the raw shared-DRAM bandwidth (small launches,
+  /// halo-edge divergence, per-launch overhead), so the modeled device
+  /// traffic is raw bytes x this factor. Chosen so the simulated Fig 7
+  /// GPU-time shares land in the published band; see EXPERIMENTS.md.
+  double device_traffic_factor = 80.0;
+};
+
+/// One block in flight at some tree level: temperature in/out, power, and
+/// the packed halo vectors, all on the same node. Halo layout: 4 runs of
+/// `dim` floats in order N, S, W, E.
+struct StencilBlock {
+  data::Buffer* temp_in = nullptr;
+  data::Buffer* power = nullptr;
+  data::Buffer* halo = nullptr;
+  data::Buffer* temp_out = nullptr;
+  std::uint64_t dim = 0;
+};
+
+/// Computes one stencil step of `block` at `ctx`'s position in the tree:
+/// leaf -> tiled kernel; inner node -> split into sub-blocks sized to the
+/// child capacity and recurse.
+void hotspot_recurse(core::ExecContext& ctx, const StencilBlock& block,
+                     const HotspotConfig& config);
+
+/// In-memory baseline: grids resident at the DRAM node, no file I/O.
+RunStats hotspot_inmemory(core::Runtime& rt, const HotspotConfig& config);
+
+/// Northup out-of-core execution from block-tiled root storage.
+RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config);
+
+/// Largest block dim `b` dividing `n` (b >= leaf_tile) whose in-flight
+/// set (3 b^2 grids + 4b halo floats) fits the child capacity.
+std::uint64_t choose_hotspot_block(std::uint64_t n, std::uint64_t leaf_tile,
+                                   std::uint64_t child_available,
+                                   double safety);
+
+}  // namespace northup::algos

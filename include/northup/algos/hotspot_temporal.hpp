@@ -1,0 +1,37 @@
+// Temporal blocking (ghost zones) for the out-of-core stencil.
+//
+// The width-1-halo scheme of hotspot_northup() pays a full storage
+// round-trip per sweep. The classic out-of-core alternative loads each
+// block with a halo of width k assembled from its neighbours, runs k
+// sweeps on the extended region while it is resident (the valid region
+// shrinks by one ring per sweep, reaching exactly the central block after
+// k), and writes back once — k fewer storage passes at the price of
+// redundant halo compute and wider (partly strided) halo reads. This is
+// the natural extension of §IV-B's blocking once the hierarchy gap is the
+// bottleneck, and the ablation bench quantifies the §V-D-style tradeoff.
+//
+// Implementation notes:
+//   * Root storage layout matches hotspot_northup (block-tiled temp,
+//     double-buffered, block-tiled power).
+//   * The extended (bd+2k)^2 temperature and power regions are assembled
+//     with honest unified-API moves: contiguous reads for the block and
+//     the north/south strips, strided reads (per-row access charges) for
+//     the east/west strips and corners.
+//   * Blocks at the grid boundary skip the missing strips; the leaf
+//     kernel clamps reads at the global edges instead.
+#pragma once
+
+#include "northup/algos/hotspot.hpp"
+
+namespace northup::algos {
+
+/// Runs `config.iterations` sweeps, `sweeps_per_load` at a time per block
+/// residency. `config.iterations` must be a multiple of `sweeps_per_load`;
+/// `sweeps_per_load == 1` is equivalent to hotspot_northup. The grid is
+/// decomposed at level 1 only (the DRAM staging level), which must fit
+/// two (bd + 2k)^2 temperature regions plus one power region.
+RunStats hotspot_temporal_northup(core::Runtime& rt,
+                                  const HotspotConfig& config,
+                                  std::uint64_t sweeps_per_load);
+
+}  // namespace northup::algos

@@ -1,0 +1,25 @@
+// The paper's Listing 2 — the NON-portable "regular pseudocode" contrast.
+//
+// "Note that the code will NOT work if adding a new memory level or
+//  changing to another heterogeneous architecture. In contrast, the
+//  equivalent Northup code (Listing 3) works on arbitrary heterogeneous
+//  systems."
+//
+// This module implements that contrast faithfully: a dense-matrix
+// multiply hard-coded for exactly one system shape (file storage root +
+// one DRAM level + a GPU at the DRAM leaf), with explicit two-level loop
+// nests and no tree queries. It refuses to run anywhere else — which is
+// precisely the point; the test suite demonstrates both the equivalence
+// of its results on the supported system and its failure on every other
+// topology that the Listing-3-style gemm_northup handles unchanged.
+#pragma once
+
+#include "northup/algos/gemm.hpp"
+
+namespace northup::algos {
+
+/// Hard-coded two-level out-of-core GEMM. Throws util::TopologyError on
+/// any topology other than {file-backed root -> DRAM leaf with a GPU}.
+RunStats gemm_listing2(core::Runtime& rt, const GemmConfig& config);
+
+}  // namespace northup::algos

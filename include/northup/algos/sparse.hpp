@@ -1,0 +1,65 @@
+// Sparse-matrix substrate: CSR representation, deterministic generators
+// standing in for the Florida sparse-matrix collection (§V-A), and the
+// reference SpMV.
+//
+// CSR-Adaptive's behaviour is driven by the row-length histogram, so the
+// generators span the regimes the Florida matrices cover: regular banded
+// (stencil-like), uniform random, power-law (web/social graphs), and an
+// adversarial mix with a few very long rows that force the CSR-Vector
+// path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "northup/util/assert.hpp"
+#include "northup/util/rng.hpp"
+
+namespace northup::algos {
+
+/// Compressed Sparse Row matrix (the paper's row_ptr / col_id / data).
+struct Csr {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<std::uint32_t> row_ptr;  ///< rows + 1 entries
+  std::vector<std::uint32_t> col_id;   ///< nnz entries, sorted per row
+  std::vector<float> data;             ///< nnz entries
+
+  std::uint64_t nnz() const { return col_id.size(); }
+  std::uint32_t row_len(std::uint32_t r) const {
+    return row_ptr[r + 1] - row_ptr[r];
+  }
+
+  /// Structural invariants: monotone row_ptr, in-range sorted columns,
+  /// matching array lengths. Throws util::Error on violation.
+  void validate() const;
+};
+
+/// Banded matrix: each row has entries in a +/- `half_band` window.
+Csr banded_matrix(std::uint32_t rows, std::uint32_t half_band,
+                  std::uint64_t seed);
+
+/// Uniform random: every row draws ~`avg_nnz` distinct random columns.
+Csr uniform_matrix(std::uint32_t rows, std::uint32_t cols,
+                   std::uint32_t avg_nnz, std::uint64_t seed);
+
+/// Power-law row lengths (Pareto with shape `alpha`), mean ~`avg_nnz`.
+Csr powerlaw_matrix(std::uint32_t rows, std::uint32_t cols,
+                    std::uint32_t avg_nnz, double alpha, std::uint64_t seed);
+
+/// Uniform base plus `num_dense` rows of `dense_len` entries — the
+/// adversarial shape that forces CSR-Adaptive's CSR-Vector bin.
+Csr dense_rows_matrix(std::uint32_t rows, std::uint32_t cols,
+                      std::uint32_t avg_nnz, std::uint32_t num_dense,
+                      std::uint32_t dense_len, std::uint64_t seed);
+
+/// Deterministic dense vector in [-1, 1).
+std::vector<float> random_vector(std::uint32_t n, std::uint64_t seed);
+
+/// y = A * x, reference implementation.
+std::vector<float> spmv_reference(const Csr& a, const std::vector<float>& x);
+
+/// Largest relative element difference between two vectors.
+double max_rel_diff(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace northup::algos

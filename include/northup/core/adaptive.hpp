@@ -1,0 +1,51 @@
+// Profile-guided task-processor mapping (§III-E).
+//
+// "By profiling the execution of earlier scheduled chunks, the system can
+//  provide useful information to subsequent scheduling and task-processor
+//  mapping."
+//
+// AdaptiveMapper keeps an exponentially weighted throughput estimate per
+// processor (work units per simulated second, fed from LaunchResults) and
+// answers "which processor should run the next chunk" — preferring the
+// empirically fastest, but probing unmeasured processors first so every
+// device gets profiled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "northup/device/processor.hpp"
+
+namespace northup::core {
+
+class AdaptiveMapper {
+ public:
+  /// `alpha` is the EWMA weight of the newest observation in (0, 1].
+  explicit AdaptiveMapper(double alpha = 0.3);
+
+  /// Records that `proc` completed `work_units` in `seconds` of virtual
+  /// time (usually LaunchResult::sim_seconds).
+  void observe(const device::Processor* proc, double work_units,
+               double seconds);
+
+  /// Picks from `candidates`: an unprofiled processor if any remain
+  /// (round-robin probing), else the highest-throughput one.
+  device::Processor* pick(const std::vector<device::Processor*>& candidates);
+
+  /// Current throughput estimate (0 when unprofiled).
+  double throughput(const device::Processor* proc) const;
+
+  std::size_t observations(const device::Processor* proc) const;
+
+ private:
+  struct Entry {
+    double throughput = 0.0;
+    std::size_t count = 0;
+  };
+
+  double alpha_;
+  std::map<const device::Processor*, Entry> entries_;
+};
+
+}  // namespace northup::core

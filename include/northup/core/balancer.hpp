@@ -1,0 +1,70 @@
+// Multi-branch scheduling helpers.
+//
+// §III-C: "Alternatively, level i can spawn multiple tasks each
+// processing one chunk to one of its children at level i+1 (e.g.,
+// multiple tree branches)." and §V-E: "Northup's topological tree
+// structure is able to naturally support dynamic load balancing when tree
+// nodes store information such as on-going tasks at different subtrees...
+// examining the status of a subsystem can be easily accomplished by
+// checking the queue that associated with the root of a subtree."
+//
+// SubtreeBalancer picks, for each chunk, the child branch with the least
+// pending work (per the subtree's work queues), breaking ties by free
+// capacity — so an asymmetric tree (Fig 2) keeps all branches busy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "northup/core/runtime.hpp"
+
+namespace northup::core {
+
+/// Chooses target children for chunk spawns at a multi-child node.
+class SubtreeBalancer {
+ public:
+  explicit SubtreeBalancer(Runtime& rt) : rt_(rt) {}
+
+  /// The child of `node` with the least pending subtree work; ties break
+  /// toward the most free capacity, then the lowest node id. Throws if
+  /// `node` has no children.
+  topo::NodeId pick_child(topo::NodeId node);
+
+  /// Spawns `chunk_count` recursive tasks from `ctx`, each directed at
+  /// the branch pick_child() selects at enqueue time. `body(child_ctx,
+  /// chunk_index)` is the per-chunk recursive function. Each dispatch is
+  /// recorded in the child's work queue, so later picks see earlier load.
+  void balanced_spawn(
+      ExecContext& ctx, std::uint64_t chunk_count,
+      const std::function<void(ExecContext&, std::uint64_t)>& body);
+
+  /// Speed-aware variant (LPT-style greedy): each chunk goes to the
+  /// child minimizing (assigned work + chunk work) / branch speed, so a
+  /// branch ending in a slow CPU leaf receives proportionally fewer
+  /// chunks instead of an even share. `speeds` maps each child of the
+  /// current node to work-units-per-second (see subtree_speed()).
+  void balanced_spawn_weighted(
+      ExecContext& ctx, std::uint64_t chunk_count, double work_per_chunk,
+      const std::map<topo::NodeId, double>& speeds,
+      const std::function<void(ExecContext&, std::uint64_t)>& body);
+
+  /// How many chunks each node received from balanced_spawn calls.
+  const std::map<topo::NodeId, std::uint64_t>& dispatch_counts() const {
+    return dispatch_counts_;
+  }
+
+ private:
+  Runtime& rt_;
+  std::map<topo::NodeId, std::uint64_t> dispatch_counts_;
+  std::map<topo::NodeId, double> assigned_work_;
+};
+
+/// Estimated execution speed of the branch rooted at `node`: the inverse
+/// kernel time of `cost` on the first processor found on the branch's
+/// first-child path (the §III-E profile would refine this online via
+/// AdaptiveMapper; this is the model-derived prior).
+double subtree_speed(Runtime& rt, topo::NodeId node,
+                     const device::KernelCost& cost);
+
+}  // namespace northup::core

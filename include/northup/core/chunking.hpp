@@ -1,0 +1,45 @@
+// Capacity-driven chunk planning (§III-C).
+//
+// "The number of chunks depends on the current available capacity of
+//  level i+1 and size of the data structure." These helpers compute
+// decompositions that respect a child node's free space, with a safety
+// margin for the runtime's own staging needs.
+#pragma once
+
+#include <cstdint>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::core {
+
+/// Smallest number of equal chunks such that one chunk (x `copies`
+/// simultaneous buffers) fits in `child_available * safety` bytes.
+std::uint64_t choose_chunk_count(std::uint64_t total_bytes,
+                                 std::uint64_t child_available,
+                                 std::uint64_t copies = 1,
+                                 double safety = 0.9);
+
+/// A 2-D decomposition: the grid of Listing 2/3's (get_x(), get_y()).
+struct GridDims {
+  std::uint64_t x = 1;  ///< chunks along rows
+  std::uint64_t y = 1;  ///< chunks along columns
+
+  std::uint64_t count() const { return x * y; }
+};
+
+/// Picks a near-square (x, y) grid over a rows x cols matrix of
+/// `elem_bytes` elements such that one chunk times `buffers_per_chunk`
+/// fits in the child's available capacity. Splits the longer chunk
+/// dimension first, so chunks stay close to square (regular blocks give
+/// better I/O, §V-B).
+GridDims choose_grid(std::uint64_t rows, std::uint64_t cols,
+                     std::uint64_t elem_bytes,
+                     std::uint64_t buffers_per_chunk,
+                     std::uint64_t child_available, double safety = 0.9);
+
+/// Ceiling division helper used throughout the decompositions.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace northup::core

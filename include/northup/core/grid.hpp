@@ -1,0 +1,48 @@
+// Generic Listing-3 driver: the paper's recursive algorithm template as a
+// reusable operator.
+//
+// Listing 3's myfunction() — check for leaf, else decompose into
+// get_x() x get_y() chunks sized to the child capacity, setup_buffer /
+// data_down / northup_spawn / data_up per chunk — is the same for every
+// tile-local computation. grid_map() packages it: given a 2-D dataset on
+// the current node and a leaf kernel, it recursively maps the kernel over
+// every chunk through arbitrarily many tree levels. Applications with
+// cross-chunk coupling (stencil halos, GEMM reductions) use the raw
+// ExecContext API instead, as §IV does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "northup/core/chunking.hpp"
+#include "northup/data/view.hpp"
+#include "northup/core/runtime.hpp"
+
+namespace northup::core {
+
+/// Description of a 2-D dataset being mapped.
+struct GridJob {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t elem_size = 0;
+  double capacity_safety = 0.85;
+};
+
+/// Leaf computation: both chunk buffers live on the leaf node and hold a
+/// dense row-major `chunk_rows x chunk_cols` image of the chunk.
+using GridLeafFn =
+    std::function<void(ExecContext& ctx, data::Buffer& in, data::Buffer& out,
+                       std::uint64_t chunk_rows, std::uint64_t chunk_cols)>;
+
+/// Applies `leaf` to every element-aligned chunk of the dataset viewed by
+/// `in`/`out` on `ctx`'s node, recursing level by level until the leaf.
+/// The output view receives the transformed image with the original
+/// layout. Views must describe `job.rows x job.cols` elements.
+void grid_map(ExecContext& ctx, const GridJob& job, const data::MatView& in,
+              const data::MatView& out, const GridLeafFn& leaf);
+
+/// Convenience entry point: whole buffers (dense row-major) at `ctx`.
+void grid_map(ExecContext& ctx, const GridJob& job, data::Buffer& in,
+              data::Buffer& out, const GridLeafFn& leaf);
+
+}  // namespace northup::core

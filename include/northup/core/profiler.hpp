@@ -1,0 +1,40 @@
+// Execution-time breakdown — the stacked bars of Figs 7 and 8.
+//
+// The EventSim tags every task with a phase ("cpu", "gpu", "setup",
+// "transfer", "io", "runtime"); this folds the totals into the fixed
+// component set the paper reports and computes shares.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "northup/sim/event_sim.hpp"
+
+namespace northup::core {
+
+struct Breakdown {
+  double cpu = 0.0;       ///< CPU kernel execution
+  double gpu = 0.0;       ///< GPU kernel execution
+  double setup = 0.0;     ///< buffer setup (alloc/release/driver calls)
+  double transfer = 0.0;  ///< DMA / memcpy between memories (OpenCL transfers)
+  double io = 0.0;        ///< file storage reads/writes
+  double runtime = 0.0;   ///< Northup bookkeeping (queues, tree lookups)
+  double makespan = 0.0;  ///< end-to-end virtual time (with overlap)
+
+  /// Collects the breakdown from a simulated trace.
+  static Breakdown from(const sim::EventSim& sim);
+
+  /// Sum of all components (>= makespan when phases overlapped).
+  double component_total() const;
+
+  /// Fraction of component_total() per component — the paper's
+  /// percentage breakdown presentation.
+  std::map<std::string, double> shares() const;
+
+  /// "runtime" share of the total — the §V-B <1% overhead metric.
+  double runtime_overhead_fraction() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace northup::core

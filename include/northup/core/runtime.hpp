@@ -1,0 +1,170 @@
+// The Northup runtime (§III).
+//
+// Owns the topological tree, one Storage backend per memory node, one
+// simulated Processor per attached processor, the per-node work queues,
+// and the EventSim that accumulates the virtual-time execution trace.
+// "The Northup tree can be maintained by system software or constructed by
+//  the runtime library at program initialization" (§III-B) — construction
+// here happens at Runtime creation from a TopoTree (built in code, from a
+// preset, or parsed from a config file).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "northup/data/data_manager.hpp"
+#include "northup/device/processor.hpp"
+#include "northup/io/posix_file.hpp"
+#include "northup/sched/work_queue.hpp"
+#include "northup/sim/event_sim.hpp"
+#include "northup/topo/tree.hpp"
+#include "northup/util/timer.hpp"
+
+namespace northup::core {
+
+class ExecContext;
+
+struct RuntimeOptions {
+  bool enable_sim = true;        ///< attach an EventSim for virtual timing
+  std::string file_dir;          ///< dir for file-backed nodes ("" = temp)
+  bool direct_io = false;        ///< O_DIRECT|O_SYNC on file storages
+  bool trace_io = false;         ///< record IoRecords on file storages (§V-D)
+  /// Modeled cost of one runtime bookkeeping step (tree lookup + queue
+  /// push/pop around a spawn). Charged with phase "runtime" so the <1%
+  /// overhead claim of §V-B is measurable.
+  double spawn_overhead_s = 2e-6;
+  /// When > 0, leaf kernels execute their workgroups on a work-stealing
+  /// pool with this many threads (functional parallelism on the host;
+  /// virtual timing is unchanged). 0 = serial, deterministic default.
+  std::size_t parallel_leaf_threads = 0;
+};
+
+/// Instantiated system: tree + storages + processors + queues + sim.
+class Runtime {
+ public:
+  explicit Runtime(topo::TopoTree tree, RuntimeOptions options = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  const topo::TopoTree& tree() const { return tree_; }
+  data::DataManager& dm() { return *dm_; }
+  sim::EventSim* event_sim() { return sim_ ? sim_.get() : nullptr; }
+  sched::NodeQueueSet& queues() { return *queues_; }
+  const RuntimeOptions& options() const { return options_; }
+
+  /// Processors attached to `node` (empty for pure memory nodes).
+  std::vector<device::Processor*> processors_at(topo::NodeId node);
+
+  /// First processor of the given type at `node`, or nullptr.
+  device::Processor* processor_at(topo::NodeId node,
+                                  topo::ProcessorType type);
+
+  /// First processor of the given type anywhere in the subtree of `node`
+  /// (the Listing 3 get_device() used at leaves), or nullptr.
+  device::Processor* find_processor(topo::ProcessorType type);
+
+  /// Runs a recursive Northup program from the root context.
+  void run(const std::function<void(ExecContext&)>& fn);
+
+  /// Runs from an arbitrary node's context — used by in-memory baselines,
+  /// which start with the working set already resident at a DRAM node
+  /// instead of at the storage root (§V-B).
+  void run_from(topo::NodeId node, const std::function<void(ExecContext&)>& fn);
+
+  /// Virtual makespan accumulated so far (0 when sim is disabled).
+  double makespan() const;
+
+  /// Total recursive spawns executed (runtime-overhead accounting, §V-B).
+  std::uint64_t spawn_count() const { return spawn_count_; }
+
+  /// Wall-clock seconds this process actually spent inside runtime
+  /// bookkeeping (queue ops, tree lookups around spawns).
+  double bookkeeping_wall_seconds() const {
+    return bookkeeping_.total_seconds();
+  }
+
+ private:
+  friend class ExecContext;
+
+  void bind_all_storages();
+  void create_processors();
+
+  topo::TopoTree tree_;
+  RuntimeOptions options_;
+  std::unique_ptr<sim::EventSim> sim_;
+  std::unique_ptr<data::DataManager> dm_;
+  std::unique_ptr<sched::NodeQueueSet> queues_;
+  std::unique_ptr<io::TempDir> temp_dir_;  ///< only when file_dir empty
+  std::map<topo::NodeId, std::vector<std::unique_ptr<device::Processor>>>
+      processors_;
+  std::unique_ptr<sched::WorkStealingPool> leaf_pool_;
+  std::uint64_t spawn_count_ = 0;
+  util::AccumulatingTimer bookkeeping_;
+};
+
+/// The per-recursion-level execution context — Listing 3's implicit
+/// state. Created by Runtime::run at the root; northup_spawn() descends
+/// into children.
+class ExecContext {
+ public:
+  Runtime& runtime() { return rt_; }
+  data::DataManager& dm() { return rt_.dm(); }
+
+  // --- The paper's query API (§III-B). ---
+  topo::NodeId get_cur_treenode() const { return node_; }
+  int get_level() const { return rt_.tree().get_level(node_); }
+  int get_max_treelevel() const { return rt_.tree().get_max_treelevel(); }
+  bool is_leaf() const { return rt_.tree().is_leaf(node_); }
+  mem::StorageKind fetch_node_type() const {
+    return rt_.tree().fetch_node_type(node_);
+  }
+  topo::NodeId get_parent() const { return rt_.tree().get_parent(node_); }
+  const std::vector<topo::NodeId>& get_children_list() const {
+    return rt_.tree().get_children_list(node_);
+  }
+  topo::NodeId child(std::size_t index = 0) const;
+
+  /// Listing 3's get_device(): processors attached to the current node.
+  std::vector<device::Processor*> get_devices() {
+    return rt_.processors_at(node_);
+  }
+  device::Processor* get_device(topo::ProcessorType type) {
+    return rt_.processor_at(node_, type);
+  }
+
+  /// Free capacity of the current node — drives chunk sizing (§III-C:
+  /// "The number of chunks depends on the current available capacity of
+  ///  level i+1 and size of the data structure").
+  std::uint64_t available_bytes() const {
+    return const_cast<Runtime&>(rt_).dm().storage(node_).available();
+  }
+  std::uint64_t available_bytes(topo::NodeId node) const {
+    return const_cast<Runtime&>(rt_).dm().storage(node).available();
+  }
+
+  /// Allocates on the current node.
+  data::Buffer alloc_here(std::uint64_t size) {
+    return rt_.dm().alloc(size, node_);
+  }
+
+  /// Recursive descent: runs `fn` with the child's context. The task goes
+  /// through the child node's work queue (push + pop), the runtime charges
+  /// its bookkeeping cost, and execution is synchronous and deterministic.
+  void northup_spawn(topo::NodeId child_node,
+                     const std::function<void(ExecContext&)>& fn);
+
+ private:
+  friend class Runtime;
+  ExecContext(Runtime& rt, topo::NodeId node) : rt_(rt), node_(node) {}
+
+  Runtime& rt_;
+  topo::NodeId node_;
+};
+
+}  // namespace northup::core

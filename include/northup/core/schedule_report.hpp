@@ -1,0 +1,45 @@
+// Schedule analysis over the recorded task graph.
+//
+// The paper leaves "unfolding the recursive tree into a dependency graph
+// to exploit more parallelism" as future work (§III-C); the EventSim trace
+// *is* that unfolded graph. This module analyzes it: per-resource
+// utilization, the critical path with per-phase attribution, and the
+// theoretical speedup still on the table — the diagnostics a programmer
+// would use to decide where to add queues, streams, or faster hardware.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "northup/sim/event_sim.hpp"
+
+namespace northup::core {
+
+/// Utilization of one engine over the schedule's makespan.
+struct ResourceUtilization {
+  std::string name;
+  double busy_seconds = 0.0;
+  double utilization = 0.0;  ///< busy / makespan
+};
+
+/// Aggregate analysis of a recorded schedule.
+struct ScheduleReport {
+  double makespan = 0.0;
+  double serialized_total = 0.0;      ///< sum of all task durations
+  double parallelism = 0.0;           ///< serialized_total / makespan
+  std::vector<ResourceUtilization> resources;  ///< sorted, busiest first
+
+  /// Critical-path time attributed to each phase key: which kind of work
+  /// actually gates the end-to-end time.
+  std::map<std::string, double> critical_path_by_phase;
+  std::size_t critical_path_length = 0;
+
+  /// Builds the report from a simulated trace.
+  static ScheduleReport from(const sim::EventSim& sim);
+
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+};
+
+}  // namespace northup::core

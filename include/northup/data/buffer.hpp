@@ -1,0 +1,35 @@
+// The opaque buffer handle — the paper's "UniversalType" (§III-D).
+//
+// The published prototype passes void* and dereferences per storage kind
+// inside the wrapper (Listing 4); the authors explicitly defer type safety
+// to future work. We implement the handle they sketch: a Buffer names the
+// tree node it lives on plus the allocation within that node's storage,
+// and all access goes through DataManager, which dispatches on the storage
+// kinds — same semantics, no unsafe dereferencing.
+#pragma once
+
+#include <cstdint>
+
+#include "northup/memsim/storage.hpp"
+#include "northup/sim/event_sim.hpp"
+#include "northup/topo/tree.hpp"
+
+namespace northup::data {
+
+/// Handle to space allocated on one memory/storage tree node.
+///
+/// `ready` is the id of the EventSim task after which the buffer's
+/// contents are valid in virtual time. DataManager threads it through
+/// every move, so chunk pipelines acquire copy/compute overlap without
+/// explicit dependency bookkeeping by the application (§III-C's
+/// multi-stage transfer).
+struct Buffer {
+  topo::NodeId node = topo::kInvalidNode;
+  mem::Allocation allocation;
+  sim::TaskId ready = sim::kInvalidTask;
+
+  bool valid() const { return allocation.valid; }
+  std::uint64_t size() const { return allocation.size; }
+};
+
+}  // namespace northup::data

@@ -1,0 +1,180 @@
+// Unified data-management interface — Table I of the paper.
+//
+//   alloc(size, tree_node)                  -> Buffer
+//   move_data(dst, src, size, offsets)      (kind-dispatched copy)
+//   move_data_down(dst, src, ..., child_i)  (parent -> i-th child)
+//   move_data_up(dst, src, ...)             (child -> parent)
+//   release(buffer)
+//
+// "By checking the storage_type of source and destination, a data movement
+//  function internally can determine the correct data copy function to use
+//  (e.g., DMA or I/O function)." (§III-B)
+//
+// Every operation both performs the functional copy (real bytes through
+// real files / host memory) and, when an EventSim is attached, charges a
+// model-derived cost onto the resource of the node whose engine the copy
+// occupies. Multi-hop moves (file <-> device memory) are staged through
+// the intermediate level exactly as hardware would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "northup/data/buffer.hpp"
+#include "northup/memsim/storage.hpp"
+#include "northup/sim/event_sim.hpp"
+#include "northup/topo/tree.hpp"
+
+namespace northup::data {
+
+/// Fixed per-operation overheads for buffer setup (the "buffer setup"
+/// component of Figs 7/8): allocation syscall / driver-call costs by kind.
+struct SetupCostModel {
+  double dram_alloc_s = 2e-6;     ///< malloc + touch
+  double file_alloc_s = 50e-6;    ///< open + truncate
+  double device_alloc_s = 30e-6;  ///< clCreateBuffer-style driver call
+  double release_s = 1e-6;
+
+  double alloc_time(mem::StorageKind kind) const {
+    if (mem::is_file_backed(kind)) return file_alloc_s;
+    if (kind == mem::StorageKind::DeviceMem ||
+        kind == mem::StorageKind::Scratchpad) {
+      return device_alloc_s;
+    }
+    return dram_alloc_s;
+  }
+};
+
+/// Phase labels used for the execution-time breakdowns (Figs 7/8).
+namespace phase {
+inline constexpr const char* kSetup = "setup";
+inline constexpr const char* kIo = "io";          ///< file storage accesses
+inline constexpr const char* kTransfer = "transfer";  ///< DMA / memcpy between memories
+inline constexpr const char* kCpu = "cpu";
+inline constexpr const char* kGpu = "gpu";
+}  // namespace phase
+
+/// Binds the descriptive TopoTree to concrete Storage backends and
+/// implements the Table I interface over them.
+class DataManager {
+ public:
+  /// `sim` may be null: all operations then run functionally with no
+  /// virtual-time accounting (useful in unit tests).
+  DataManager(const topo::TopoTree& tree, sim::EventSim* sim);
+
+  /// Installs the backend for a memory node. Every node an application
+  /// touches must be bound; the core Runtime binds all nodes at startup.
+  void bind_storage(topo::NodeId node, std::unique_ptr<mem::Storage> storage);
+
+  bool is_bound(topo::NodeId node) const;
+  mem::Storage& storage(topo::NodeId node);
+  const topo::TopoTree& tree() const { return tree_; }
+  sim::EventSim* event_sim() { return sim_; }
+
+  /// EventSim resource representing a node's copy/I-O engine (created on
+  /// demand). Exposed so the device layer can serialize against it.
+  sim::ResourceId resource_for(topo::NodeId node);
+
+  // --- Table I surface. ---
+
+  /// Allocates `size` bytes on `tree_node`; charges the setup cost.
+  /// Throws util::CapacityError when the node is full.
+  Buffer alloc(std::uint64_t size, topo::NodeId tree_node);
+
+  /// Releases the space and invalidates the handle.
+  void release(Buffer& buffer);
+
+  /// Moves `size` bytes from `src`+src_offset to `dst`+dst_offset,
+  /// dispatching on the two nodes' storage kinds. Updates dst.ready.
+  /// `extra_deps` adds ordering constraints beyond the buffers' own
+  /// ready tasks (used by device::Stream for in-order queues).
+  void move_data(Buffer& dst, const Buffer& src, std::uint64_t size,
+                 std::uint64_t dst_offset = 0, std::uint64_t src_offset = 0,
+                 std::vector<sim::TaskId> extra_deps = {});
+
+  /// Table I's move_data_down: `dst` must live on a child of src's node.
+  void move_data_down(Buffer& dst, const Buffer& src, std::uint64_t size,
+                      std::uint64_t dst_offset = 0,
+                      std::uint64_t src_offset = 0,
+                      std::vector<sim::TaskId> extra_deps = {});
+
+  /// Table I's move_data_up: `dst` must live on the parent of src's node.
+  void move_data_up(Buffer& dst, const Buffer& src, std::uint64_t size,
+                    std::uint64_t dst_offset = 0,
+                    std::uint64_t src_offset = 0,
+                    std::vector<sim::TaskId> extra_deps = {});
+
+  /// Strided 2-D block move: copies `rows` runs of `row_bytes`, advancing
+  /// the source by `src_pitch` and the destination by `dst_pitch` bytes
+  /// per run (the dCopyBlockH2D/D2H of Listing 2, and the shard extraction
+  /// of Fig 3). Charged as one transfer with `rows` accesses, which is
+  /// what makes fragmented I/O slower than regular blocks (§V-B).
+  void move_block_2d(Buffer& dst, const Buffer& src, std::uint64_t rows,
+                     std::uint64_t row_bytes, std::uint64_t dst_offset,
+                     std::uint64_t dst_pitch, std::uint64_t src_offset,
+                     std::uint64_t src_pitch,
+                     std::vector<sim::TaskId> extra_deps = {});
+
+  /// Fills `size` bytes of the buffer with `value` (device-side memset).
+  /// Charged as a write on the buffer's node.
+  void fill(Buffer& dst, std::byte value, std::uint64_t size,
+            std::uint64_t dst_offset = 0);
+
+  // --- Host access (functional data entry/exit points). ---
+
+  /// Copies host bytes into a buffer (e.g. problem initialization at the
+  /// root). Charged as a write on the buffer's node.
+  void write_from_host(Buffer& dst, const void* src, std::uint64_t size,
+                       std::uint64_t dst_offset = 0);
+
+  /// Copies buffer bytes out to host memory (e.g. result verification).
+  void read_to_host(void* dst, const Buffer& src, std::uint64_t size,
+                    std::uint64_t src_offset = 0);
+
+  /// Zero-copy host view of a buffer whose node is backed by HostStorage
+  /// (DRAM/NVM always; device memory is also HostStorage-backed in the
+  /// simulator and the view models the device-side mapping used by
+  /// kernels). Throws for file-backed nodes.
+  std::byte* host_view(const Buffer& buffer);
+
+  const SetupCostModel& setup_costs() const { return setup_costs_; }
+  void set_setup_costs(const SetupCostModel& costs) { setup_costs_ = costs; }
+
+  /// Total bytes moved through move_data*/move_block_2d since construction.
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+
+ private:
+  struct Leg {
+    topo::NodeId resource_node;
+    const char* phase;
+    double seconds;
+  };
+
+  /// Classifies + costs a move and appends EventSim tasks; updates
+  /// dst.ready. The access counts model per-side fragmentation: a strided
+  /// region on a file-backed node costs one I/O call per fragment, while
+  /// the contiguous side of the same move is a single request.
+  void charge_move(Buffer& dst, const Buffer& src, std::uint64_t bytes,
+                   std::uint64_t src_accesses, std::uint64_t dst_accesses,
+                   const std::string& label,
+                   std::vector<sim::TaskId> extra_deps);
+
+  /// Performs the functional byte copy through a staging buffer.
+  void copy_bytes(Buffer& dst, const Buffer& src, std::uint64_t size,
+                  std::uint64_t dst_offset, std::uint64_t src_offset);
+
+  void charge_setup(topo::NodeId node, double seconds,
+                    const std::string& label, Buffer* buffer);
+
+  const topo::TopoTree& tree_;
+  sim::EventSim* sim_;
+  SetupCostModel setup_costs_;
+  std::map<topo::NodeId, std::unique_ptr<mem::Storage>> storages_;
+  std::map<topo::NodeId, sim::ResourceId> resources_;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace northup::data

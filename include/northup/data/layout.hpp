@@ -1,0 +1,58 @@
+// Data-layout transformation during movement (§VI, "Data Layout").
+//
+// "Different architectures may favor different memory layouts and access
+//  patterns (e.g., row versus col-major, AoS versus SoA). ... One can
+//  imagine when data migrates across memory levels, chunks can be
+//  transformed and stored in different formats. ... Northup can be easily
+//  extended to support this with a special version of move_data()."
+//
+// This module is that extension: transforming variants of move_data that
+// transpose a 2-D chunk or convert between array-of-structs and
+// struct-of-arrays while the bytes cross a tree edge. The reorganization
+// work is charged to the staging (CPU-side) pass, so the ablation bench
+// can weigh the one-time transform against the strided accesses it
+// removes downstream.
+#pragma once
+
+#include <cstdint>
+
+#include "northup/data/data_manager.hpp"
+
+namespace northup::data {
+
+/// Transformation applied while a chunk moves between nodes.
+enum class LayoutTransform {
+  None,       ///< plain move (same as move_data)
+  Transpose,  ///< rows x cols row-major -> cols x rows row-major
+  AosToSoa,   ///< [r0f0 r0f1 ...][r1f0 ...] -> [f0 of all records][f1 ...]
+  SoaToAos,   ///< inverse of AosToSoa
+};
+
+/// Cost knobs for the reorganization pass (performed on the CPU while the
+/// chunk is staged in host memory).
+struct TransformCostModel {
+  /// Effective reorganization bandwidth: a strided copy through caches.
+  double bytes_per_s = 4.0e9;
+};
+
+/// Moves `rows` x `cols` elements of `elem_size` bytes from `src` to
+/// `dst`, transposing in flight. `dst` receives the cols x rows row-major
+/// image. Both offsets are byte offsets. Charges the underlying move plus
+/// a CPU "transform" task; updates dst.ready.
+void move_transposed(DataManager& dm, Buffer& dst, const Buffer& src,
+                     std::uint64_t rows, std::uint64_t cols,
+                     std::uint64_t elem_size, std::uint64_t dst_offset = 0,
+                     std::uint64_t src_offset = 0,
+                     const TransformCostModel& cost = {});
+
+/// Moves `records` records of `fields` fields, each field `field_size`
+/// bytes, converting between AoS and SoA per `transform` (AosToSoa or
+/// SoaToAos). Charges like move_transposed.
+void move_reinterleaved(DataManager& dm, Buffer& dst, const Buffer& src,
+                        std::uint64_t records, std::uint64_t fields,
+                        std::uint64_t field_size, LayoutTransform transform,
+                        std::uint64_t dst_offset = 0,
+                        std::uint64_t src_offset = 0,
+                        const TransformCostModel& cost = {});
+
+}  // namespace northup::data

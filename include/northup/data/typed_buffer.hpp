@@ -1,0 +1,103 @@
+// Typed buffer wrapper — the type-safe "UniversalType" the paper defers
+// to future work (§III-D: "Better support of type safety and C++11 like
+// semantics are left for future work. In actual implementation, a
+// specific universal type (e.g., a UniversalType) can be designed").
+//
+// TypedBuffer<T> wraps a Buffer with element-based sizes/offsets and an
+// RAII release tie to its DataManager, eliminating the two error classes
+// the raw handle still allows: byte/element confusion and forgotten
+// releases. Restricted to trivially copyable T — the only kinds of data
+// that may legally cross storage levels byte-wise.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "northup/data/data_manager.hpp"
+
+namespace northup::data {
+
+template <typename T>
+class TypedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "only trivially copyable types can cross memory levels");
+
+ public:
+  TypedBuffer() = default;
+
+  /// Allocates `count` elements on `node`.
+  TypedBuffer(DataManager& dm, std::uint64_t count, topo::NodeId node)
+      : dm_(&dm), count_(count), buffer_(dm.alloc(count * sizeof(T), node)) {}
+
+  TypedBuffer(TypedBuffer&& other) noexcept
+      : dm_(std::exchange(other.dm_, nullptr)),
+        count_(std::exchange(other.count_, 0)),
+        buffer_(std::exchange(other.buffer_, Buffer{})) {}
+
+  TypedBuffer& operator=(TypedBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      dm_ = std::exchange(other.dm_, nullptr);
+      count_ = std::exchange(other.count_, 0);
+      buffer_ = std::exchange(other.buffer_, Buffer{});
+    }
+    return *this;
+  }
+
+  TypedBuffer(const TypedBuffer&) = delete;
+  TypedBuffer& operator=(const TypedBuffer&) = delete;
+
+  ~TypedBuffer() { reset(); }
+
+  /// Releases the storage (idempotent).
+  void reset() {
+    if (dm_ != nullptr && buffer_.valid()) dm_->release(buffer_);
+    dm_ = nullptr;
+    count_ = 0;
+  }
+
+  bool valid() const { return buffer_.valid(); }
+  std::uint64_t count() const { return count_; }
+  std::uint64_t bytes() const { return count_ * sizeof(T); }
+  topo::NodeId node() const { return buffer_.node; }
+
+  /// The underlying handle, for interop with the untyped API.
+  Buffer& raw() { return buffer_; }
+  const Buffer& raw() const { return buffer_; }
+
+  /// Element-indexed host transfer helpers.
+  void write(const T* src, std::uint64_t elem_count,
+             std::uint64_t elem_offset = 0) {
+    NU_CHECK(elem_offset + elem_count <= count_, "typed write out of range");
+    dm_->write_from_host(buffer_, src, elem_count * sizeof(T),
+                         elem_offset * sizeof(T));
+  }
+
+  void read(T* dst, std::uint64_t elem_count,
+            std::uint64_t elem_offset = 0) const {
+    NU_CHECK(elem_offset + elem_count <= count_, "typed read out of range");
+    dm_->read_to_host(dst, buffer_, elem_count * sizeof(T),
+                      elem_offset * sizeof(T));
+  }
+
+  /// Element-indexed copy from another typed buffer of the same T.
+  void copy_from(const TypedBuffer& src, std::uint64_t elem_count,
+                 std::uint64_t dst_elem_offset = 0,
+                 std::uint64_t src_elem_offset = 0) {
+    NU_CHECK(dst_elem_offset + elem_count <= count_ &&
+                 src_elem_offset + elem_count <= src.count_,
+             "typed copy out of range");
+    dm_->move_data(buffer_, src.buffer_, elem_count * sizeof(T),
+                   dst_elem_offset * sizeof(T), src_elem_offset * sizeof(T));
+  }
+
+  /// Host view (byte-addressable nodes only), element-typed.
+  T* host_ptr() { return reinterpret_cast<T*>(dm_->host_view(buffer_)); }
+
+ private:
+  DataManager* dm_ = nullptr;
+  std::uint64_t count_ = 0;
+  Buffer buffer_;
+};
+
+}  // namespace northup::data

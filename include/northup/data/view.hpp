@@ -1,0 +1,29 @@
+// Pitched sub-matrix views over Buffers and strided sub-matrix movement.
+//
+// A MatView names a rows x cols row-major region inside a Buffer by byte
+// offset and row pitch; move_submatrix() relocates such a region between
+// any two views, degrading gracefully to one contiguous move when both
+// sides are dense. Shared by the recursive grid driver and the dense
+// case studies.
+#pragma once
+
+#include <cstdint>
+
+#include "northup/data/data_manager.hpp"
+
+namespace northup::data {
+
+/// A pitched row-major sub-matrix view into a Buffer.
+struct MatView {
+  Buffer* buf = nullptr;
+  std::uint64_t offset = 0;  ///< bytes from the buffer start to (0,0)
+  std::uint64_t pitch = 0;   ///< bytes between consecutive rows
+};
+
+/// Moves a rows x row_bytes sub-matrix between two views. Uses one
+/// contiguous move when both views are dense (pitch == row_bytes),
+/// otherwise a strided 2-D block move.
+void move_submatrix(DataManager& dm, const MatView& dst, const MatView& src,
+                    std::uint64_t rows, std::uint64_t row_bytes);
+
+}  // namespace northup::data

@@ -1,0 +1,117 @@
+// Simulated processors — the leaf compute engines of the Northup tree.
+//
+// The paper runs OpenCL kernels on an APU GPU and a discrete FirePro GPU
+// (§V-A). This machine has neither, so per the substitution plan
+// (DESIGN.md §2) a processor here is a *functional* simulator: a kernel is
+// a C++ callable invoked once per workgroup with a WorkGroupCtx (group id,
+// a real local-memory arena), so results are bit-exact and testable. The
+// execution *cost* charged into the EventSim comes from the processor's
+// RooflineModel plus an occupancy penalty for launches too small to fill
+// the compute units — which reproduces the paper's observation that
+// "overly fine-grained problem decomposition results in many calls and low
+// hardware utilization" (§V-B).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "northup/sched/pool.hpp"
+#include "northup/sim/event_sim.hpp"
+#include "northup/topo/tree.hpp"
+#include "northup/util/aligned.hpp"
+
+namespace northup::device {
+
+/// Per-workgroup execution context. `local_mem` is a real scratchpad
+/// arena (the GPU's local / CUDA shared memory); contents are undefined
+/// at workgroup start, as on hardware.
+struct WorkGroupCtx {
+  std::uint32_t group_id = 0;
+  std::uint32_t group_count = 1;
+  std::byte* local_mem = nullptr;
+  std::uint64_t local_mem_bytes = 0;
+
+  template <typename T>
+  T* local_array(std::uint64_t count, std::uint64_t byte_offset = 0) {
+    NU_CHECK(byte_offset + count * sizeof(T) <= local_mem_bytes,
+             "local memory overflow");
+    return reinterpret_cast<T*>(local_mem + byte_offset);
+  }
+};
+
+/// Kernel body: called once per workgroup.
+using KernelFn = std::function<void(WorkGroupCtx&)>;
+
+/// Roofline inputs for one launch: total work, not per-workgroup.
+struct KernelCost {
+  double flops = 0.0;
+  double bytes = 0.0;  ///< device-memory traffic (reads + writes)
+};
+
+/// Result of a launch: the EventSim task (kInvalidTask when no sim is
+/// attached) and the model-derived duration.
+struct LaunchResult {
+  sim::TaskId task = sim::kInvalidTask;
+  double sim_seconds = 0.0;
+};
+
+/// One leaf processor (CPU, GPU, or FPGA) with its own compute resource
+/// in the EventSim, so kernels on different processors overlap and kernels
+/// on one processor serialize — matching a per-device in-order queue.
+class Processor {
+ public:
+  /// `sim` may be null (functional-only execution).
+  Processor(topo::ProcessorInfo info, sim::EventSim* sim);
+
+  const topo::ProcessorInfo& info() const { return info_; }
+  topo::ProcessorType type() const { return info_.type; }
+  const std::string& name() const { return info_.name; }
+  sim::ResourceId resource() const { return resource_; }
+
+  /// Executes `kernel` for `num_groups` workgroups (serially, functional)
+  /// and charges one roofline-costed task depending on `deps`.
+  LaunchResult launch(const std::string& label, std::uint32_t num_groups,
+                      const KernelFn& kernel, const KernelCost& cost,
+                      std::vector<sim::TaskId> deps = {});
+
+  /// Cost-only variant: charges the task without running a body. Used by
+  /// schedulers replaying profiles (§III-E task-processor mapping).
+  LaunchResult launch_costed(const std::string& label,
+                             std::uint32_t num_groups, const KernelCost& cost,
+                             std::vector<sim::TaskId> deps = {});
+
+  /// Occupancy factor in (0, 1]: launches with fewer workgroups than
+  /// 2 x compute_units cannot fill the machine.
+  double occupancy(std::uint32_t num_groups) const;
+
+  /// Model-derived duration of a launch (without submitting it).
+  double kernel_seconds(std::uint32_t num_groups,
+                        const KernelCost& cost) const;
+
+  /// Number of kernels launched so far (for the <1% overhead accounting).
+  std::uint64_t launch_count() const { return launch_count_; }
+
+  /// Executes workgroups on `pool` instead of serially on the calling
+  /// thread. Workgroups are independent on real hardware, so kernels must
+  /// already tolerate any interleaving; each concurrent group gets its
+  /// own local-memory arena. Pass nullptr to restore serial execution.
+  /// Virtual-time costing is unaffected (it never depended on host
+  /// execution order).
+  void set_parallel_executor(sched::WorkStealingPool* pool) { pool_ = pool; }
+  sched::WorkStealingPool* parallel_executor() const { return pool_; }
+
+ private:
+  topo::ProcessorInfo info_;
+  sim::EventSim* sim_;
+  sim::ResourceId resource_ = 0;
+  util::AlignedBuffer local_mem_;
+  std::uint64_t launch_count_ = 0;
+  sched::WorkStealingPool* pool_ = nullptr;
+};
+
+/// The EventSim phase key for a processor type ("cpu"/"gpu").
+const char* phase_for(topo::ProcessorType type);
+
+}  // namespace northup::device

@@ -1,0 +1,59 @@
+// In-order command stream — the OpenCL/CUDA-stream overlap optimization
+// the paper applies at the leaf node (§III-C): "Data transfer optimization
+// is further made for overlapping computation and communications (i.e.,
+// OpenCL/CUDA streams) at the leaf node."
+//
+// A Stream serializes the operations submitted *to it* while letting
+// operations on different streams overlap (they occupy different EventSim
+// resources: the DMA engine vs. the processor's compute units). Classic
+// double-buffering — copy chunk i+1 while computing chunk i — falls out of
+// using two streams or of the buffers' ready-task chaining.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "northup/data/data_manager.hpp"
+#include "northup/device/processor.hpp"
+
+namespace northup::device {
+
+/// An in-order queue of copies and kernel launches.
+class Stream {
+ public:
+  Stream(Processor& processor, data::DataManager& dm, std::string name);
+
+  /// Enqueues a copy; ordered after everything previously enqueued here.
+  void copy(data::Buffer& dst, const data::Buffer& src, std::uint64_t size,
+            std::uint64_t dst_offset = 0, std::uint64_t src_offset = 0);
+
+  /// Enqueues a kernel launch on this stream's processor. The kernel runs
+  /// functionally at submission (the simulator is synchronous); its sim
+  /// task is ordered after prior stream work plus `input_ready` tasks.
+  LaunchResult launch(const std::string& label, std::uint32_t num_groups,
+                      const KernelFn& kernel, const KernelCost& cost,
+                      std::vector<sim::TaskId> input_ready = {});
+
+  /// Task id of the most recently enqueued operation (kInvalidTask when
+  /// the stream is empty or no EventSim is attached).
+  sim::TaskId last() const { return last_; }
+
+  /// Makes the next operation additionally wait for `task`
+  /// (cross-stream event, cl_event-style).
+  void wait(sim::TaskId task);
+
+  const std::string& name() const { return name_; }
+
+ private:
+  /// Collects `extra` + the stream's last op + any wait()ed events, and
+  /// clears the pending wait list.
+  std::vector<sim::TaskId> chain_deps(std::vector<sim::TaskId> extra);
+
+  Processor& processor_;
+  data::DataManager& dm_;
+  std::string name_;
+  sim::TaskId last_ = sim::kInvalidTask;
+  std::vector<sim::TaskId> pending_waits_;
+};
+
+}  // namespace northup::device

@@ -1,0 +1,67 @@
+// Chunked file store — the out-of-core preprocessing step of §V-B.
+//
+// "There is a one-time overhead of preprocessing the original file and
+//  reorganizing it in one or multiple files for chunking." The store holds
+// one file per chunk so each data_down() at the root maps to one contiguous
+// sequential read, which is what gives the regular-block workloads their
+// good I/O behaviour (§V-B).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "northup/io/posix_file.hpp"
+
+namespace northup::io {
+
+/// Directory of numbered chunk files with exact-size read/write.
+class ChunkedFileStore {
+ public:
+  /// `dir` must already exist; chunk files are created inside it.
+  explicit ChunkedFileStore(std::string dir);
+
+  /// Writes (creating or replacing) chunk `id`.
+  void write_chunk(std::uint64_t id, const void* data, std::size_t bytes);
+
+  /// Reads `bytes` starting at `offset` within chunk `id`.
+  void read_chunk(std::uint64_t id, void* dst, std::size_t bytes,
+                  std::uint64_t offset = 0) const;
+
+  /// Size in bytes of chunk `id`; throws if absent.
+  std::uint64_t chunk_bytes(std::uint64_t id) const;
+
+  bool has_chunk(std::uint64_t id) const;
+  std::size_t chunk_count() const { return files_.size(); }
+
+  /// Removes a chunk's file and forgets it.
+  void erase_chunk(std::uint64_t id);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  PosixFile& open_chunk(std::uint64_t id, bool create) const;
+
+  std::string dir_;
+  mutable std::map<std::uint64_t, PosixFile> files_;
+};
+
+/// Splits a row-major `rows x cols` matrix of `elem_size`-byte elements
+/// into contiguous `tile_rows x tile_cols` tile files. Tile (tr, tc) gets
+/// chunk id `tr * ceil(cols/tile_cols) + tc`. Edge tiles are clipped.
+/// Returns the number of tiles written.
+std::size_t write_tiled_matrix(ChunkedFileStore& store, const void* data,
+                               std::size_t rows, std::size_t cols,
+                               std::size_t elem_size, std::size_t tile_rows,
+                               std::size_t tile_cols);
+
+/// Reads tile (tr, tc) produced by write_tiled_matrix back into `dst`,
+/// which must hold `min(tile_rows, rows - tr*tile_rows) *
+/// min(tile_cols, cols - tc*tile_cols)` elements, row-major, contiguous.
+void read_matrix_tile(const ChunkedFileStore& store, void* dst,
+                      std::size_t rows, std::size_t cols,
+                      std::size_t elem_size, std::size_t tile_rows,
+                      std::size_t tile_cols, std::size_t tr, std::size_t tc);
+
+}  // namespace northup::io

@@ -1,0 +1,95 @@
+// RAII wrapper over POSIX file descriptors.
+//
+// Northup's file-backed storage nodes manage data with open/pread/pwrite
+// (§III-D, Listing 4). The paper opens files with flags that bypass kernel
+// caching (O_DIRECT, O_SYNC); we expose the same knob but default it off so
+// the functional path works on any filesystem (tmpfs rejects O_DIRECT).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::io {
+
+/// Options controlling PosixFile::PosixFile.
+struct OpenOptions {
+  bool create = true;
+  bool truncate = false;
+  bool direct = false;  ///< O_DIRECT | O_SYNC, per the paper's setup
+};
+
+/// Move-only owning file descriptor with positional I/O helpers.
+/// All operations throw util::IoError on failure.
+class PosixFile {
+ public:
+  PosixFile() = default;
+
+  /// Opens (and by default creates) `path` for read/write.
+  explicit PosixFile(const std::string& path, OpenOptions options = {});
+
+  PosixFile(PosixFile&& other) noexcept;
+  PosixFile& operator=(PosixFile&& other) noexcept;
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+  ~PosixFile();
+
+  bool is_open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+
+  /// Reads exactly `size` bytes at `offset` (loops over short reads).
+  void pread_exact(void* dst, std::size_t size, std::uint64_t offset) const;
+
+  /// Writes exactly `size` bytes at `offset` (loops over short writes).
+  void pwrite_exact(const void* src, std::size_t size, std::uint64_t offset);
+
+  /// Extends or shrinks the file to `size` bytes.
+  void truncate(std::uint64_t size);
+
+  /// Current file size in bytes.
+  std::uint64_t size() const;
+
+  /// Flushes file data to stable storage.
+  void fsync_file();
+
+  void close();
+
+  /// Whether O_DIRECT is currently active on the descriptor. Direct mode
+  /// degrades to buffered I/O automatically when the filesystem rejects
+  /// the open or an unaligned access (EINVAL) is attempted.
+  bool is_direct() const { return direct_; }
+
+ private:
+  /// Reopens the file buffered after a direct-mode EINVAL.
+  void reopen_buffered();
+
+  int fd_ = -1;
+  std::string path_;
+  bool direct_ = false;
+};
+
+/// Creates a unique scratch directory (under $TMPDIR or /tmp) and removes
+/// it with all contents on destruction. Used for file-backed storage nodes
+/// and for the chunked preprocessing outputs (§V-B).
+class TempDir {
+ public:
+  /// `tag` becomes part of the directory name for debuggability.
+  explicit TempDir(const std::string& tag = "northup");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Joins a file name onto the directory path.
+  std::string file(const std::string& name) const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace northup::io

@@ -1,0 +1,56 @@
+// Fault-injecting storage wrapper for failure testing.
+//
+// Wraps any Storage backend and raises util::IoError on a chosen access
+// (the Nth read/write, or every access after a trigger). Used by the test
+// suite to verify that I/O failures deep inside a recursive out-of-core
+// execution propagate cleanly to the caller instead of corrupting state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "northup/memsim/storage.hpp"
+
+namespace northup::mem {
+
+/// Which operation class the injected fault applies to.
+enum class FaultKind { Read, Write, Alloc };
+
+/// Storage decorator that fails a specific access.
+class FaultInjectingStorage final : public Storage {
+ public:
+  /// Takes ownership of `inner`; forwards everything to it until the
+  /// fault fires. The wrapper mirrors the inner capacity and model.
+  explicit FaultInjectingStorage(std::unique_ptr<Storage> inner);
+
+  /// Arms a fault: the `countdown`-th subsequent operation of `kind`
+  /// (1 = the very next one) throws util::IoError.
+  void arm(FaultKind kind, std::uint64_t countdown);
+
+  /// Disarms any pending fault.
+  void disarm();
+
+  /// Number of times an armed fault has fired.
+  std::uint64_t faults_fired() const { return fired_; }
+
+ protected:
+  std::uint64_t do_alloc(std::uint64_t size) override;
+  void do_release(std::uint64_t handle) override;
+  void do_read(void* dst, std::uint64_t handle, std::uint64_t offset,
+               std::uint64_t size) override;
+  void do_write(std::uint64_t handle, std::uint64_t offset, const void* src,
+                std::uint64_t size) override;
+
+ private:
+  void maybe_fire(FaultKind kind);
+
+  std::unique_ptr<Storage> inner_;
+  std::map<std::uint64_t, Allocation> allocations_;
+  bool armed_ = false;
+  FaultKind kind_ = FaultKind::Read;
+  std::uint64_t countdown_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace northup::mem

@@ -1,0 +1,45 @@
+// Faster-storage projection — the first-order emulator of §V-D.
+//
+// "we develop an emulator capable of performing a first-order projection by
+//  keeping track of read/writes issued by application I/Os and considering
+//  read/write bandwidths of the storage. We also include the I/O time into
+//  the overall runtime (the other components being constant)."
+//
+// The Storage layer records an IoRecord per access; this module re-costs
+// that trace under a candidate (read, write) bandwidth pair and folds the
+// projected I/O time back into the measured total, holding every non-I/O
+// component constant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "northup/memsim/storage.hpp"
+#include "northup/sim/models.hpp"
+
+namespace northup::mem {
+
+/// Total time to serially execute an I/O trace under `model`.
+double replay_trace_time(const std::vector<IoRecord>& trace,
+                         const sim::BandwidthModel& model);
+
+/// One point of the Fig 9 sweep.
+struct ProjectionPoint {
+  std::string label;            ///< e.g. "2000/1000"
+  double io_time = 0.0;         ///< projected serial I/O time (s)
+  double overall_time = 0.0;    ///< projected end-to-end time (s)
+};
+
+/// Projects the overall runtime for a faster storage device:
+/// overall' = (baseline_total - baseline_io) + replay(trace, new_model).
+ProjectionPoint project_storage(const std::vector<IoRecord>& trace,
+                                const sim::BandwidthModel& new_model,
+                                double baseline_io_time,
+                                double baseline_total_time,
+                                std::string label);
+
+/// The paper's sweep: (1400/600) .. (3500/2100) MB/s read/write points.
+std::vector<sim::BandwidthModel> fig9_storage_sweep();
+std::vector<std::string> fig9_storage_labels();
+
+}  // namespace northup::mem

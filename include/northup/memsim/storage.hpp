@@ -1,0 +1,194 @@
+// Storage backends for Northup memory/storage tree nodes.
+//
+// A Storage is the physical space behind one memory node of the topological
+// tree (§III-B): DRAM, NVM, GPU device memory, or a file-backed SSD/HDD.
+// Each backend provides
+//   * functional allocation + byte-exact read/write (so out-of-core
+//     algorithms really round-trip their data), and
+//   * a first-order cost model (BandwidthModel) that the runtime charges
+//     into the EventSim for every access.
+// Capacity is tracked on every alloc/release; exceeding it throws
+// CapacityError, which is what forces the recursive decomposition to pick
+// chunk sizes that fit the child level (§III-C).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "northup/io/posix_file.hpp"
+#include "northup/sim/models.hpp"
+#include "northup/util/aligned.hpp"
+#include "northup/util/assert.hpp"
+
+namespace northup::mem {
+
+/// Physical kind of a memory/storage node. Determines which copy mechanism
+/// move_data() selects (file I/O vs memcpy vs DMA) and how the node may be
+/// accessed (device memory is disjoint: host code must stage through DRAM).
+enum class StorageKind {
+  Dram,        ///< host main memory
+  Nvm,         ///< byte-addressable non-volatile memory tier
+  Ssd,         ///< file-backed flash storage
+  Hdd,         ///< file-backed rotating storage
+  DeviceMem,   ///< discrete-accelerator device memory (disjoint space)
+  Scratchpad,  ///< on-chip software-managed memory (GPU local memory)
+};
+
+const char* to_string(StorageKind kind);
+
+/// True for kinds whose backing store is the filesystem (I/O path);
+/// false for byte-addressable kinds (memcpy/DMA path).
+bool is_file_backed(StorageKind kind);
+
+/// True for kinds a host pointer can address directly.
+bool is_host_addressable(StorageKind kind);
+
+/// Opaque allocation handle within one Storage.
+struct Allocation {
+  std::uint64_t handle = 0;
+  std::uint64_t size = 0;
+  bool valid = false;
+};
+
+/// One recorded access, for the §V-D storage-projection replay.
+struct IoRecord {
+  bool is_write = false;
+  std::uint64_t bytes = 0;
+};
+
+/// Aggregate access counters per storage node.
+struct StorageStats {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t num_reads = 0;
+  std::uint64_t num_writes = 0;
+  std::uint64_t num_allocs = 0;
+  std::uint64_t num_releases = 0;
+  std::uint64_t peak_used = 0;
+};
+
+/// Abstract storage node backend.
+class Storage {
+ public:
+  Storage(std::string name, StorageKind kind, std::uint64_t capacity,
+          sim::BandwidthModel model);
+  virtual ~Storage() = default;
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  const std::string& name() const { return name_; }
+  StorageKind kind() const { return kind_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t available() const { return capacity_ - used_; }
+  const sim::BandwidthModel& model() const { return model_; }
+  void set_model(const sim::BandwidthModel& model) { model_ = model; }
+
+  /// Allocates `size` bytes; throws util::CapacityError when the node is
+  /// full (callers use this to size their chunking).
+  Allocation alloc(std::uint64_t size);
+
+  /// Releases an allocation. Double-release is a checked error.
+  void release(Allocation& allocation);
+
+  /// Copies bytes out of the allocation into host memory.
+  void read(void* dst, const Allocation& src, std::uint64_t offset,
+            std::uint64_t size);
+
+  /// Copies bytes from host memory into the allocation.
+  void write(Allocation& dst, std::uint64_t offset, const void* src,
+             std::uint64_t size);
+
+  /// Model-derived access costs (seconds), charged by the runtime.
+  double sim_read_time(std::uint64_t bytes) const {
+    return model_.read_time(bytes);
+  }
+  double sim_write_time(std::uint64_t bytes) const {
+    return model_.write_time(bytes);
+  }
+
+  const StorageStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; trace_.clear(); }
+
+  /// When enabled, every read/write is appended to trace() — the input to
+  /// the §V-D faster-storage projection.
+  void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+  const std::vector<IoRecord>& trace() const { return trace_; }
+
+ protected:
+  virtual std::uint64_t do_alloc(std::uint64_t size) = 0;
+  virtual void do_release(std::uint64_t handle) = 0;
+  virtual void do_read(void* dst, std::uint64_t handle, std::uint64_t offset,
+                       std::uint64_t size) = 0;
+  virtual void do_write(std::uint64_t handle, std::uint64_t offset,
+                        const void* src, std::uint64_t size) = 0;
+
+ private:
+  std::string name_;
+  StorageKind kind_;
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  sim::BandwidthModel model_;
+  StorageStats stats_;
+  bool trace_enabled_ = false;
+  std::vector<IoRecord> trace_;
+};
+
+/// Byte-addressable storage backed by host heap allocations. Used for
+/// DRAM, NVM, device-memory, and scratchpad nodes (functionally the data
+/// lives in host RAM; the cost model and access rules supply the
+/// device-memory semantics).
+class HostStorage final : public Storage {
+ public:
+  HostStorage(std::string name, StorageKind kind, std::uint64_t capacity,
+              sim::BandwidthModel model);
+
+  /// Direct pointer to an allocation's bytes — only valid for
+  /// host-addressable kinds; the data layer uses this for zero-copy views.
+  std::byte* raw(const Allocation& allocation);
+
+ protected:
+  std::uint64_t do_alloc(std::uint64_t size) override;
+  void do_release(std::uint64_t handle) override;
+  void do_read(void* dst, std::uint64_t handle, std::uint64_t offset,
+               std::uint64_t size) override;
+  void do_write(std::uint64_t handle, std::uint64_t offset, const void* src,
+                std::uint64_t size) override;
+
+ private:
+  util::AlignedBuffer& buffer_for(std::uint64_t handle);
+
+  std::uint64_t next_handle_ = 1;
+  std::map<std::uint64_t, util::AlignedBuffer> buffers_;
+};
+
+/// File-backed storage: every allocation is one file in a directory, and
+/// read/write are real pread/pwrite syscalls (Listing 4's file_write path).
+class FileStorage final : public Storage {
+ public:
+  /// `dir` must exist. `direct_io` requests O_DIRECT|O_SYNC per §III-D.
+  FileStorage(std::string name, StorageKind kind, std::uint64_t capacity,
+              sim::BandwidthModel model, std::string dir,
+              bool direct_io = false);
+
+ protected:
+  std::uint64_t do_alloc(std::uint64_t size) override;
+  void do_release(std::uint64_t handle) override;
+  void do_read(void* dst, std::uint64_t handle, std::uint64_t offset,
+               std::uint64_t size) override;
+  void do_write(std::uint64_t handle, std::uint64_t offset, const void* src,
+                std::uint64_t size) override;
+
+ private:
+  io::PosixFile& file_for(std::uint64_t handle);
+
+  std::string dir_;
+  bool direct_io_;
+  std::uint64_t next_handle_ = 1;
+  std::map<std::uint64_t, io::PosixFile> files_;
+};
+
+}  // namespace northup::mem

@@ -1,0 +1,110 @@
+// Chase-Lev lock-free work-stealing deque.
+//
+// §V-E: "Atomics with the platform-scope and acquire memory ordering are
+// used to implement the lock-free stealing [24]". This is the standard
+// Chase-Lev structure those GPU work-stealing schemes derive from: the
+// owner pushes/pops at the bottom, thieves steal from the top with a CAS.
+//
+// Single-owner / multi-thief; elements must be trivially copyable (task
+// ids / pointers). Fixed power-of-two capacity: push_bottom reports
+// failure when full instead of growing, which keeps the hot path free of
+// allocation — callers size the deque to the task count up front.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::sched {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ChaseLevDeque elements must be trivially copyable");
+
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit ChaseLevDeque(std::size_t capacity = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    buffer_ = std::make_unique<std::atomic<T>[]>(cap);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Owner only. Returns false when the deque is full.
+  bool push_bottom(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(capacity())) return false;
+    buffer_[static_cast<std::size_t>(b) & mask_].store(
+        value, std::memory_order_relaxed);
+    // Publish the element before making the new bottom visible to thieves.
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only. Pops the most recently pushed element (LIFO).
+  bool pop_bottom(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = buffer_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race against thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Any thread. Steals the oldest element (FIFO end).
+  bool steal_top(T& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    out = buffer_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;  // lost the race; caller may retry
+    }
+    return true;
+  }
+
+  /// Approximate size; exact only when quiescent.
+  std::size_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::size_t mask_ = 0;
+  std::unique_ptr<std::atomic<T>[]> buffer_;
+};
+
+}  // namespace northup::sched

@@ -1,0 +1,74 @@
+// Work-stealing thread pool over Chase-Lev deques.
+//
+// Used for functional parallel execution of recursive tasks spawned with
+// northup_spawn (§III-C: "level i can spawn multiple tasks each processing
+// one chunk to one of its children"). Each worker owns a Chase-Lev deque;
+// external submissions enter through an injector queue; idle workers steal
+// from the top of victims' deques.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "northup/sched/chase_lev.hpp"
+#include "northup/sched/work_queue.hpp"
+
+namespace northup::sched {
+
+class WorkStealingPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit WorkStealingPool(std::size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Submits a task. Worker threads push onto their own deque (cheap,
+  /// LIFO — good locality for recursive decomposition); other threads go
+  /// through the injector queue.
+  void submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task (including tasks submitted by
+  /// running tasks) has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Number of successful steals (scheduling diagnostics).
+  std::uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    ChaseLevDeque<std::function<void()>*> deque{4096};
+    std::thread thread;
+  };
+
+  void worker_loop(std::size_t index);
+  std::function<void()>* try_acquire(std::size_t self);
+  void run_task(std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  WorkQueue injector_{"injector"};
+
+  std::mutex idle_mutex_;
+  std::condition_variable work_cv_;    ///< workers sleep here when starved
+  std::condition_variable idle_cv_;    ///< wait_idle sleeps here
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<bool> stop_{false};
+
+  static thread_local std::size_t tls_worker_index_;
+  static thread_local WorkStealingPool* tls_pool_;
+};
+
+}  // namespace northup::sched

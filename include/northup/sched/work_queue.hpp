@@ -1,0 +1,81 @@
+// Per-tree-node work queues (Listing 1's `list *work_queue[numQueues]`).
+//
+// "The tree node can also store the links to work queues which keep track
+//  of the recursive tasks; and this allows for the implementation of load
+//  balancing across different tree branches" (§III-B). Given n chunks at
+// level i, n tasks are enqueued; whenever space frees up at level i+1,
+// more chunks are scheduled for movement (§III-C multi-stage transfer).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "northup/topo/tree.hpp"
+#include "northup/util/assert.hpp"
+
+namespace northup::sched {
+
+/// A recursive task tracked by a node's queue.
+struct QueueTask {
+  std::uint64_t id = 0;
+  std::function<void()> body;
+};
+
+/// Thread-safe FIFO of recursive tasks for one memory node (or one leaf
+/// compute queue in the §V-E organization).
+class WorkQueue {
+ public:
+  explicit WorkQueue(std::string name = "queue") : name_(std::move(name)) {}
+
+  void push(QueueTask task);
+
+  /// Pops the oldest task; returns false when empty.
+  bool pop(QueueTask& out);
+
+  /// Pops from the *back* — the owner end in the work-stealing
+  /// organization of Fig 10 (owners pop the tail, thieves take the head).
+  bool pop_back(QueueTask& out);
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  const std::string& name() const { return name_; }
+
+  /// Total tasks ever enqueued (progress tracking, §V-E).
+  std::uint64_t enqueued_total() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<QueueTask> tasks_;
+  std::string name_;
+  std::uint64_t enqueued_total_ = 0;
+};
+
+/// The set of work queues hanging off the topological tree: one or more
+/// per node. "Examining the status of a subsystem can be easily
+/// accomplished by checking the queue associated with the root of a
+/// subtree" (§V-E).
+class NodeQueueSet {
+ public:
+  explicit NodeQueueSet(const topo::TopoTree& tree) : tree_(tree) {}
+
+  /// Creates `count` queues on `node` (idempotent growth).
+  void create_queues(topo::NodeId node, std::size_t count);
+
+  std::size_t queue_count(topo::NodeId node) const;
+  WorkQueue& queue(topo::NodeId node, std::size_t index = 0);
+
+  /// Pending tasks across the subtree rooted at `node` — the §V-E
+  /// subsystem-status probe used for load-balancing decisions.
+  std::size_t subtree_pending(topo::NodeId node) const;
+
+ private:
+  const topo::TopoTree& tree_;
+  std::map<topo::NodeId, std::vector<std::unique_ptr<WorkQueue>>> queues_;
+};
+
+}  // namespace northup::sched

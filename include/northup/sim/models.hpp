@@ -1,0 +1,90 @@
+// First-order performance models for the simulated substrate.
+//
+// The paper (§V-D) projects faster storage with a first-order model that
+// charges each I/O `bytes / bandwidth`. We use the same style of model for
+// every component — storage, interconnect, and processors — so that
+// in-memory vs. out-of-core comparisons are internally consistent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::sim {
+
+/// Asymmetric read/write bandwidth with a fixed per-access latency.
+/// Covers storage devices (SSD/HDD/NVM), interconnects (PCIe), and plain
+/// DRAM copies. All rates are bytes/second; latency is seconds/access.
+struct BandwidthModel {
+  double read_bytes_per_s = 0.0;
+  double write_bytes_per_s = 0.0;
+  double access_latency_s = 0.0;
+
+  /// Time to read `bytes` split across `accesses` device accesses. The
+  /// per-access latency term is what penalizes strided / fragmented I/O
+  /// (e.g. SpMV's variable-size shards vs HotSpot's regular blocks, §V-B).
+  double read_time(std::uint64_t bytes, std::uint64_t accesses = 1) const {
+    NU_ASSERT(read_bytes_per_s > 0.0);
+    return access_latency_s * static_cast<double>(accesses) +
+           static_cast<double>(bytes) / read_bytes_per_s;
+  }
+
+  /// Time to write `bytes` split across `accesses` device accesses.
+  double write_time(std::uint64_t bytes, std::uint64_t accesses = 1) const {
+    NU_ASSERT(write_bytes_per_s > 0.0);
+    return access_latency_s * static_cast<double>(accesses) +
+           static_cast<double>(bytes) / write_bytes_per_s;
+  }
+};
+
+/// Roofline processor model: execution time is the max of the compute time
+/// (flops / sustained FLOP/s) and the memory time (bytes / sustained B/s),
+/// divided by an occupancy factor in (0, 1] supplied by the device layer
+/// when the launch is too small to fill the machine.
+struct RooflineModel {
+  double flops_per_s = 0.0;        ///< sustained, not peak
+  double mem_bytes_per_s = 0.0;    ///< sustained device-memory bandwidth
+  double launch_latency_s = 0.0;   ///< fixed per-kernel-launch overhead
+
+  double kernel_time(double flops, double bytes, double occupancy = 1.0) const {
+    NU_ASSERT(flops_per_s > 0.0 && mem_bytes_per_s > 0.0);
+    NU_ASSERT(occupancy > 0.0 && occupancy <= 1.0);
+    const double compute = flops / flops_per_s;
+    const double memory = bytes / mem_bytes_per_s;
+    return launch_latency_s + (compute > memory ? compute : memory) / occupancy;
+  }
+
+  /// Arithmetic-intensity break-even point (flops/byte) of this processor.
+  double ridge_point() const { return flops_per_s / mem_bytes_per_s; }
+};
+
+/// Named model presets calibrated to the paper's testbed (§V-A). These
+/// numbers are sustained rates (peak × an efficiency factor) — see
+/// DESIGN.md §5 for the calibration rationale.
+struct ModelPresets {
+  // --- Storage (read MB/s, write MB/s as the paper quotes them). ---
+  static BandwidthModel ssd(double read_mb_s = 1400.0,
+                            double write_mb_s = 600.0) {
+    return {read_mb_s * 1e6, write_mb_s * 1e6, 60e-6};
+  }
+  static BandwidthModel hdd() { return {150e6, 140e6, 8e-3}; }
+  /// DRAM-resident NVM tier (Optane-class) for deep-hierarchy topologies.
+  static BandwidthModel nvm() { return {6.0e9, 2.2e9, 1e-6}; }
+  static BandwidthModel dram() { return {12.8e9, 12.8e9, 100e-9}; }
+  static BandwidthModel pcie3_x16() { return {12e9, 12e9, 10e-6}; }
+  /// Effective OpenCL host<->device copy path: pageable (unpinned) host
+  /// buffers + per-clEnqueue driver overhead throttle the link to a few
+  /// GB/s on the paper-era ROCm stack.
+  static BandwidthModel pcie_opencl() { return {2.5e9, 2.5e9, 30e-6}; }
+
+  // --- Processors. ---
+  /// FirePro W9100-class discrete GPU: 5.24 TF peak × ~0.5, 320 GB/s × 0.6.
+  static RooflineModel dgpu() { return {2600e9, 192e9, 15e-6}; }
+  /// A10-7850K integrated GPU: 737 GF peak × ~0.55, shared 25.6 GB/s.
+  static RooflineModel apu_gpu() { return {405e9, 18e9, 8e-6}; }
+  /// A10-class 4-core CPU: ~48 GF peak × 0.35 vectorized, 21 GB/s.
+  static RooflineModel cpu() { return {17e9, 15e9, 1e-6}; }
+};
+
+}  // namespace northup::sim

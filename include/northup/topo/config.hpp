@@ -1,0 +1,38 @@
+// Text-format topology configuration.
+//
+// "The Northup tree can be maintained by system software or constructed by
+//  the runtime library at program initialization" (§III-B). This parser is
+// the "maintained by system software" path: a machine description file is
+// parsed into a TopoTree at startup, so applications stay topology-free.
+//
+// Format (one directive per line, '#' starts a comment):
+//
+//   node <name> [parent=<name>] kind=<dram|nvm|ssd|hdd|device|scratchpad>
+//        cap=<size> [read=<bytes/s>] [write=<bytes/s>] [latency=<seconds>]
+//   proc <name> node=<name> type=<cpu|gpu|fpga> [gflops=<num>]
+//        [membw=<bytes/s>] [cus=<int>] [llc=<size>] [localmem=<size>]
+//
+// Sizes accept binary suffixes ("2G", "512M"). The first node directive
+// (no parent=) becomes the root. Omitted bandwidths default to the model
+// preset for the node's kind.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "northup/topo/tree.hpp"
+
+namespace northup::topo {
+
+/// Parses a topology description; throws util::TopologyError (with line
+/// numbers) on malformed input. The returned tree is validate()d.
+TopoTree parse_config(std::string_view text);
+
+/// Reads and parses a topology file.
+TopoTree load_config_file(const std::string& path);
+
+/// Serializes a tree back to the config format (round-trips with
+/// parse_config up to formatting).
+std::string to_config(const TopoTree& tree);
+
+}  // namespace northup::topo

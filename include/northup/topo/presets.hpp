@@ -1,0 +1,61 @@
+// Preset topologies matching the paper's evaluated systems (§V-A) plus a
+// deeper NVM hierarchy (§V-D outlook) and the asymmetric example of Fig 2.
+//
+// Capacities default to the scaled-down proportions documented in
+// DESIGN.md (same root : staging : device ratios as the paper's 16 GB /
+// 2 GB / 1 GB testbed, shrunk with the functional input sizes).
+#pragma once
+
+#include <cstdint>
+
+#include "northup/topo/tree.hpp"
+
+namespace northup::topo {
+
+/// Knobs shared by all presets. Zero-valued fields take preset defaults.
+struct PresetOptions {
+  std::uint64_t root_capacity = 8ULL << 30;     ///< file storage (8 GiB)
+  std::uint64_t staging_capacity = 64ULL << 20; ///< DRAM staging buffer
+  std::uint64_t device_capacity = 16ULL << 20;  ///< GPU device memory
+  sim::BandwidthModel storage_model{};          ///< default: by kind
+  /// Scales processor *FLOP/s* (not memory bandwidth). Benchmarks running
+  /// reduced-size inputs set this to block_dim_ours / block_dim_paper so
+  /// compute-bound kernels keep the paper's compute-to-I/O ratio; see
+  /// DESIGN.md §5. Memory-bound kernels are scale-invariant and unaffected.
+  double proc_flops_scale = 1.0;
+};
+
+/// APU + SSD/HDD, two Northup-managed levels (§V-B):
+/// level 0 = file storage (root), level 1 = DRAM staging with the APU's
+/// CPU and integrated GPU both attached to the leaf (shared memory).
+TopoTree apu_two_level(mem::StorageKind file_kind = mem::StorageKind::Ssd,
+                       const PresetOptions& options = {});
+
+/// Discrete-GPU system, three levels (§V-C, Fig 8):
+/// level 0 = file storage, level 1 = DRAM (CPU attached to this non-leaf
+/// node, per §III-B), level 2 = GPU device memory with the discrete GPU.
+TopoTree dgpu_three_level(mem::StorageKind file_kind = mem::StorageKind::Ssd,
+                          const PresetOptions& options = {});
+
+/// Deep hierarchy for the emerging-memory discussion (§V-D, §VI):
+/// HDD root -> NVM tier -> DRAM -> GPU device memory.
+TopoTree deep_four_level(const PresetOptions& options = {});
+
+/// NVM as per-node slower memory (§VI, "Northup for HPC"): the root is a
+/// byte-addressable NVM tier instead of file storage, with the APU leaf
+/// below — the configuration the paper argues becomes attractive once
+/// NVM bandwidth eclipses storage.
+TopoTree nvm_root_two_level(const PresetOptions& options = {});
+
+/// The asymmetric tree of Fig 2: a root with two subtrees of different
+/// depth and different leaf processors. Used by scheduling/load-balance
+/// tests; capacities are small and uniform.
+TopoTree asymmetric_fig2();
+
+/// Default APU processor pair (CPU + integrated GPU) used by the presets.
+/// `flops_scale` scales sustained FLOP/s (see PresetOptions).
+ProcessorInfo preset_cpu(double flops_scale = 1.0);
+ProcessorInfo preset_apu_gpu(double flops_scale = 1.0);
+ProcessorInfo preset_dgpu(double flops_scale = 1.0);
+
+}  // namespace northup::topo

@@ -1,0 +1,108 @@
+// The Northup topological tree (§III-B, Fig 2, Listing 1).
+//
+// The whole machine is abstracted as an asymmetric, heterogeneous tree:
+// memory/storage nodes are circles, processors are rectangles attached to
+// (usually leaf) memory nodes. Levels are numbered the paper's way — the
+// slowest storage (the root) is level 0 and faster memories get larger
+// numbers. The tree is purely descriptive; the runtime layer instantiates
+// a Storage backend per memory node and a simulated processor per
+// processor entry.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "northup/memsim/storage.hpp"
+#include "northup/sim/models.hpp"
+
+namespace northup::topo {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Listing 1's processor_t. A leaf may carry more than one processor
+/// (the APU leaf carries both the CPU and the integrated GPU, §V-E).
+enum class ProcessorType { Cpu, Gpu, Fpga };
+
+const char* to_string(ProcessorType type);
+
+struct ProcessorInfo {
+  ProcessorType type = ProcessorType::Cpu;
+  std::string name;
+  sim::RooflineModel model;          ///< roofline cost model
+  std::uint64_t llc_bytes = 0;       ///< Listing 1's LLC_size
+  int compute_units = 1;             ///< CUs for a GPU, cores for a CPU
+  std::uint64_t local_mem_bytes = 0; ///< per-CU scratchpad (GPU local memory)
+};
+
+/// Listing 1's memory_t.
+struct MemoryInfo {
+  mem::StorageKind storage_type = mem::StorageKind::Dram;
+  std::uint64_t capacity = 0;
+  sim::BandwidthModel model;
+  int physical_id = 0;
+};
+
+/// One tree node: memory info, parentage, attached processors.
+struct Node {
+  std::string name;
+  MemoryInfo memory;
+  NodeId parent = kInvalidNode;
+  std::vector<NodeId> children;
+  std::vector<ProcessorInfo> processors;
+  int level = 0;
+};
+
+/// The asymmetric topological tree, with the query API of §III-B:
+/// fetch_node_type(), get_parent(), get_children_list(), get_level(),
+/// get_max_treelevel(), plus capacity introspection for chunk sizing.
+class TopoTree {
+ public:
+  /// Creates the root (level 0, the slowest storage).
+  NodeId add_root(std::string name, MemoryInfo memory);
+
+  /// Adds a child memory node one level below `parent`.
+  NodeId add_child(NodeId parent, std::string name, MemoryInfo memory);
+
+  /// Attaches a processor. Usually to a leaf; the CPU of a discrete-GPU
+  /// system legally attaches to the non-leaf DRAM node (§III-B).
+  void attach_processor(NodeId node, ProcessorInfo processor);
+
+  // --- Queries (paper API surface). ---
+  NodeId root() const;
+  NodeId get_parent(NodeId node) const;
+  const std::vector<NodeId>& get_children_list(NodeId node) const;
+  int get_level(NodeId node) const;
+  /// Deepest level index present anywhere in the tree.
+  int get_max_treelevel() const;
+  bool is_leaf(NodeId node) const;
+  mem::StorageKind fetch_node_type(NodeId node) const;
+
+  const Node& node(NodeId id) const;
+  const MemoryInfo& memory(NodeId id) const;
+  const std::vector<ProcessorInfo>& processors(NodeId id) const;
+  NodeId find(const std::string& name) const;  ///< kInvalidNode if absent
+
+  std::size_t node_count() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  std::vector<NodeId> leaves() const;
+  /// All node ids in depth-first preorder from the root.
+  std::vector<NodeId> preorder() const;
+
+  /// Human-readable topology dump ("Northup can output the topology",
+  /// §III-E): one line per node with kind, capacity, and processors.
+  std::string dump() const;
+
+  /// Structural sanity checks: single root, consistent levels,
+  /// acyclic parentage, positive capacities. Throws TopologyError.
+  void validate() const;
+
+ private:
+  const Node& checked(NodeId id) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace northup::topo

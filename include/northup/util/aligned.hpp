@@ -1,0 +1,71 @@
+// Cache-line / page aligned byte buffer, used for staging buffers so
+// O_DIRECT-style I/O paths and SIMD-friendly kernels get aligned memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::util {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Owning, aligned, uninitialized byte buffer with move-only semantics.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t size, std::size_t alignment = kPageSize)
+      : size_(size) {
+    NU_CHECK(alignment != 0 && (alignment & (alignment - 1)) == 0,
+             "alignment must be a power of two");
+    if (size == 0) return;
+    // std::aligned_alloc requires size to be a multiple of alignment.
+    const std::size_t padded = (size + alignment - 1) / alignment * alignment;
+    data_ = static_cast<std::byte*>(std::aligned_alloc(alignment, padded));
+    if (data_ == nullptr) throw std::bad_alloc();
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { std::free(data_); }
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  template <typename T>
+  T* as() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* as() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+ private:
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace northup::util

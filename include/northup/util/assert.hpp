@@ -1,0 +1,60 @@
+// Northup runtime — assertion and error-reporting primitives.
+//
+// Two tiers, following the usual HPC-library convention:
+//   * NU_ASSERT   — internal invariant; compiled out in NDEBUG builds.
+//   * NU_CHECK    — precondition on user-visible API input; always on, throws
+//                   northup::util::Error so callers can recover or report.
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace northup::util {
+
+/// Base exception for all errors raised by the Northup library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// Raised when an allocation would exceed a memory node's capacity.
+class CapacityError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when an I/O operation on a file-backed storage node fails.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when a topology query or construction is malformed.
+class TopologyError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "NU_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace northup::util
+
+#define NU_ASSERT(expr) assert(expr)
+
+#define NU_CHECK(expr, msg)                                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::northup::util::detail::throw_check_failure(#expr, __FILE__,          \
+                                                   __LINE__, (msg));         \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,25 @@
+// Byte-size parsing ("2G", "512M") and human-readable formatting, used by
+// topology config files and benchmark CLI flags.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace northup::util {
+
+/// Parses a byte size with an optional binary suffix: "4096", "64K", "2M",
+/// "2G", "1T" (case-insensitive, optional trailing 'B' / "iB").
+/// Throws util::Error on malformed input.
+std::uint64_t parse_bytes(std::string_view text);
+
+/// Formats a byte count as a short human-readable string, e.g. "2.0 GiB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a duration in seconds with an adaptive unit, e.g. "12.3 ms".
+std::string format_seconds(double seconds);
+
+/// Formats a bandwidth in bytes/second, e.g. "1.4 GB/s".
+std::string format_bandwidth(double bytes_per_second);
+
+}  // namespace northup::util

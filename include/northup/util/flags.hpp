@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for the examples and benchmarks.
+//
+// Supports `--name=value`, `--name value`, bare `--flag` booleans, and
+// positional arguments. No registration step: parse once, query typed
+// values with defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace northup::util {
+
+class Flags {
+ public:
+  /// Parses argv; throws util::Error on malformed input (e.g. `--=x`).
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// Typed accessors with defaults. Throw util::Error when the present
+  /// value does not parse.
+  std::string get(const std::string& name,
+                  const std::string& default_value = "") const;
+  std::int64_t get_int(const std::string& name,
+                       std::int64_t default_value) const;
+  double get_double(const std::string& name, double default_value) const;
+  bool get_bool(const std::string& name, bool default_value = false) const;
+  /// Byte sizes with binary suffixes ("2G", "512K").
+  std::uint64_t get_bytes(const std::string& name,
+                          std::uint64_t default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace northup::util

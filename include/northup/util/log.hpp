@@ -1,0 +1,54 @@
+// Minimal leveled logger. Disabled below the active level at runtime;
+// benchmarks set Level::Warn to keep output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace northup::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Process-global log configuration.
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Emits one line to stderr with a level tag. Thread-safe.
+  static void write(LogLevel level, const std::string& message);
+
+  static const char* level_name(LogLevel level);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace northup::util
+
+#define NU_LOG(level_enum)                                              \
+  if (::northup::util::Log::level() <= (level_enum))                   \
+  ::northup::util::detail::LogLine(level_enum)
+
+#define NU_LOG_TRACE NU_LOG(::northup::util::LogLevel::Trace)
+#define NU_LOG_DEBUG NU_LOG(::northup::util::LogLevel::Debug)
+#define NU_LOG_INFO NU_LOG(::northup::util::LogLevel::Info)
+#define NU_LOG_WARN NU_LOG(::northup::util::LogLevel::Warn)
+#define NU_LOG_ERROR NU_LOG(::northup::util::LogLevel::Error)

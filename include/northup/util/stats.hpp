@@ -1,0 +1,39 @@
+// Small statistics helpers used by benchmark harnesses and the profiler.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace northup::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the p-th percentile (0..100) of `values` using linear
+/// interpolation between order statistics. `values` is copied and sorted.
+double percentile(std::vector<double> values, double p);
+
+/// Geometric mean; all values must be positive.
+double geomean(const std::vector<double>& values);
+
+}  // namespace northup::util

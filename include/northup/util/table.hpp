@@ -1,0 +1,31 @@
+// ASCII table printer used by benchmark harnesses to emit the rows/series
+// of the paper's figures in a stable, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace northup::util {
+
+/// Column-aligned text table. Add a header row, then data rows; render()
+/// pads each column to its widest cell.
+class TextTable {
+ public:
+  /// Sets the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders the table with a separator line under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace northup::util

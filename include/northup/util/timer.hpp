@@ -1,0 +1,61 @@
+// Wall-clock timing helpers for measuring real runtime overhead (§V-B).
+#pragma once
+
+#include <chrono>
+
+namespace northup::util {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall time across multiple start/stop intervals, e.g. to
+/// total up the runtime's own bookkeeping cost separately from compute.
+class AccumulatingTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+
+  void stop() {
+    if (running_) {
+      total_ += t_.seconds();
+      running_ = false;
+    }
+  }
+
+  double total_seconds() const { return total_; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// RAII guard that adds the scope's duration to an AccumulatingTimer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(AccumulatingTimer& acc) : acc_(acc) { acc_.start(); }
+  ~ScopedTimer() { acc_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  AccumulatingTimer& acc_;
+};
+
+}  // namespace northup::util

@@ -1,0 +1,47 @@
+#include "northup/algos/common.hpp"
+
+namespace northup::algos {
+
+topo::NodeId gpu_node(core::Runtime& rt) {
+  const auto& tree = rt.tree();
+  for (topo::NodeId id : tree.preorder()) {
+    if (rt.processor_at(id, topo::ProcessorType::Gpu) != nullptr) return id;
+  }
+  throw util::TopologyError("no GPU processor in the topology");
+}
+
+topo::NodeId inmemory_home(core::Runtime& rt) {
+  const auto& tree = rt.tree();
+  topo::NodeId node = gpu_node(rt);
+  while (node != topo::kInvalidNode) {
+    const auto kind = tree.fetch_node_type(node);
+    if (kind == mem::StorageKind::Dram || kind == mem::StorageKind::Nvm) {
+      return node;
+    }
+    node = tree.get_parent(node);
+  }
+  throw util::TopologyError("no DRAM/NVM node above the GPU leaf");
+}
+
+device::Processor* leaf_processor(core::Runtime& rt, topo::NodeId node) {
+  if (auto* gpu = rt.processor_at(node, topo::ProcessorType::Gpu)) return gpu;
+  if (auto* cpu = rt.processor_at(node, topo::ProcessorType::Cpu)) return cpu;
+  topo::NodeId cur = rt.tree().get_parent(node);
+  while (cur != topo::kInvalidNode) {
+    if (auto* gpu = rt.processor_at(cur, topo::ProcessorType::Gpu)) return gpu;
+    cur = rt.tree().get_parent(cur);
+  }
+  throw util::TopologyError("no processor available for leaf node '" +
+                            rt.tree().node(node).name + "'");
+}
+
+void reset_measurement(core::Runtime& rt,
+                       std::initializer_list<data::Buffer*> buffers) {
+  if (auto* es = rt.event_sim()) es->reset_tasks();
+  for (topo::NodeId id = 0; id < rt.tree().node_count(); ++id) {
+    rt.dm().storage(id).reset_stats();
+  }
+  for (data::Buffer* b : buffers) b->ready = sim::kInvalidTask;
+}
+
+}  // namespace northup::algos

@@ -1,0 +1,376 @@
+#include "northup/algos/csr_adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "northup/util/timer.hpp"
+
+namespace northup::algos {
+
+namespace {
+constexpr std::uint64_t kU = sizeof(std::uint32_t);
+constexpr std::uint64_t kF = sizeof(float);
+}  // namespace
+
+Csr SpmvConfig::make_matrix() const {
+  switch (pattern) {
+    case Pattern::Banded:
+      return banded_matrix(rows, std::max(1u, avg_nnz / 2), seed);
+    case Pattern::Uniform:
+      return uniform_matrix(rows, rows, avg_nnz, seed);
+    case Pattern::PowerLaw:
+      return powerlaw_matrix(rows, rows, avg_nnz, 1.8, seed);
+    case Pattern::DenseRows:
+      return dense_rows_matrix(rows, rows, avg_nnz, std::max(1u, rows / 512),
+                               std::min(rows, avg_nnz * 64), seed);
+  }
+  NU_CHECK(false, "unknown sparse pattern");
+}
+
+std::vector<RowBlock> bin_rows(const std::uint32_t* row_ptr,
+                               std::uint32_t rows,
+                               std::uint32_t nnz_per_workgroup) {
+  NU_CHECK(nnz_per_workgroup > 0, "nnz_per_workgroup must be positive");
+  std::vector<RowBlock> blocks;
+  std::uint32_t r = 0;
+  while (r < rows) {
+    const std::uint32_t len = row_ptr[r + 1] - row_ptr[r];
+    if (len > nnz_per_workgroup) {
+      // A long row gets a workgroup to itself: CSR-Vector.
+      blocks.push_back({r, 1, RowBlockKind::Vector});
+      ++r;
+      continue;
+    }
+    // Greedily extend a CSR-Stream block while the combined nnz fits.
+    std::uint32_t end = r;
+    std::uint32_t acc = 0;
+    while (end < rows) {
+      const std::uint32_t rl = row_ptr[end + 1] - row_ptr[end];
+      if (rl > nnz_per_workgroup) break;  // next long row starts its own block
+      if (acc + rl > nnz_per_workgroup) break;
+      acc += rl;
+      ++end;
+    }
+    blocks.push_back({r, end - r, RowBlockKind::Stream});
+    r = end;
+  }
+  return blocks;
+}
+
+namespace {
+
+/// Leaf execution: CPU binning pass, then one GPU launch with a
+/// workgroup per row block.
+void spmv_leaf(core::ExecContext& ctx, const SpmvShard& shard,
+               const SpmvConfig& config) {
+  auto& rt = ctx.runtime();
+  auto& dm = ctx.dm();
+  const topo::NodeId node = ctx.get_cur_treenode();
+
+  auto* rp = reinterpret_cast<std::uint32_t*>(dm.host_view(*shard.row_ptr));
+  auto* ci = reinterpret_cast<std::uint32_t*>(dm.host_view(*shard.col_id));
+  auto* va = reinterpret_cast<float*>(dm.host_view(*shard.data));
+  auto* x = reinterpret_cast<float*>(dm.host_view(*shard.x));
+  auto* y = reinterpret_cast<float*>(dm.host_view(*shard.y));
+  const std::uint32_t nnz_base = shard.nnz_base;
+
+  // Binning runs on the CPU (§V-C): a couple of passes over row_ptr plus
+  // the block list write.
+  std::vector<RowBlock> blocks;
+  {
+    device::Processor* cpu = leaf_processor(rt, node);
+    // Prefer the true CPU for binning even when the leaf also has a GPU.
+    if (auto* c = rt.processor_at(node, topo::ProcessorType::Cpu)) cpu = c;
+    if (cpu->type() != topo::ProcessorType::Cpu) {
+      if (auto* c = rt.find_processor(topo::ProcessorType::Cpu)) cpu = c;
+    }
+    std::vector<sim::TaskId> deps;
+    if (shard.row_ptr->ready != sim::kInvalidTask) {
+      deps.push_back(shard.row_ptr->ready);
+    }
+    device::KernelCost bin_cost;
+    // Binning is a streaming pass over row_ptr: memory-bound on the CPU.
+    bin_cost.flops = 2.0 * static_cast<double>(shard.rows);
+    bin_cost.bytes =
+        16.0 * static_cast<double>(shard.rows) * config.cpu_binning_factor;
+    if (config.count_binning) {
+      const auto bin_launch =
+          cpu->launch_costed("csr_bin", 1, bin_cost, std::move(deps));
+      // The GPU kernel depends on the binning output.
+      shard.row_ptr->ready = bin_launch.task;
+    }
+    blocks = bin_rows(rp, shard.rows, config.nnz_per_workgroup);
+  }
+  if (blocks.empty()) return;
+
+  device::Processor* proc = leaf_processor(rt, node);
+  const std::uint32_t wg_nnz_cap = config.nnz_per_workgroup;
+  const RowBlock* block_arr = blocks.data();
+
+  device::KernelFn kernel = [=](device::WorkGroupCtx& wg) {
+    const RowBlock& blk = block_arr[wg.group_id];
+    if (blk.kind == RowBlockKind::Stream &&
+        wg.local_mem_bytes >= wg_nnz_cap * kF) {
+      // CSR-Stream: stage the block's nnz through local memory, then
+      // reduce each row out of the staged values. (A CPU leaf without a
+      // scratchpad falls through to the direct path below.)
+      const std::uint32_t lo = rp[blk.first_row] - nnz_base;
+      const std::uint32_t hi = rp[blk.first_row + blk.row_count] - nnz_base;
+      float* lv = wg.local_array<float>(wg_nnz_cap, 0);
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        lv[i - lo] = va[i] * x[ci[i]];
+      }
+      for (std::uint32_t r = 0; r < blk.row_count; ++r) {
+        const std::uint32_t row = blk.first_row + r;
+        float acc = 0.0f;
+        for (std::uint32_t i = rp[row] - nnz_base; i < rp[row + 1] - nnz_base;
+             ++i) {
+          acc += lv[i - lo];
+        }
+        y[row] = acc;
+      }
+    } else if (blk.kind == RowBlockKind::Stream) {
+      for (std::uint32_t r = 0; r < blk.row_count; ++r) {
+        const std::uint32_t row = blk.first_row + r;
+        float acc = 0.0f;
+        for (std::uint32_t i = rp[row] - nnz_base; i < rp[row + 1] - nnz_base;
+             ++i) {
+          acc += va[i] * x[ci[i]];
+        }
+        y[row] = acc;
+      }
+    } else {
+      // CSR-Vector: the whole workgroup reduces one long row.
+      const std::uint32_t row = blk.first_row;
+      float acc = 0.0f;
+      for (std::uint32_t i = rp[row] - nnz_base; i < rp[row + 1] - nnz_base;
+           ++i) {
+        acc += va[i] * x[ci[i]];
+      }
+      y[row] = acc;
+    }
+  };
+
+  const double nnz = static_cast<double>(rp[shard.rows] - rp[0]);
+  device::KernelCost cost;
+  cost.flops = 2.0 * nnz;
+  // col_id + data + gathered x per nnz, row_ptr + y per row, scaled by
+  // the gather-efficiency calibration factor.
+  cost.bytes = (nnz * 12.0 + static_cast<double>(shard.rows) * 8.0) *
+               config.device_traffic_factor;
+
+  std::vector<sim::TaskId> deps;
+  for (data::Buffer* b :
+       {shard.row_ptr, shard.col_id, shard.data, shard.x, shard.y}) {
+    if (b->ready != sim::kInvalidTask) deps.push_back(b->ready);
+  }
+  auto launch =
+      proc->launch("spmv_adaptive", static_cast<std::uint32_t>(blocks.size()),
+                   kernel, cost, std::move(deps));
+  shard.y->ready = launch.task;
+}
+
+/// Reads the absolute row_ptr slice of a shard back to the host for
+/// split planning ("This information can be easily calculated", §IV-C).
+std::vector<std::uint32_t> fetch_row_ptr(data::DataManager& dm,
+                                         const SpmvShard& shard) {
+  std::vector<std::uint32_t> rp(shard.rows + 1);
+  dm.read_to_host(rp.data(), *shard.row_ptr, rp.size() * kU);
+  return rp;
+}
+
+}  // namespace
+
+void spmv_recurse(core::ExecContext& ctx, const SpmvShard& shard,
+                  const SpmvConfig& config) {
+  if (ctx.is_leaf()) {
+    spmv_leaf(ctx, shard, config);
+    return;
+  }
+  auto& dm = ctx.dm();
+  const topo::NodeId child_node = ctx.child(0);
+
+  const std::vector<std::uint32_t> rp = fetch_row_ptr(dm, shard);
+  const double budget = static_cast<double>(ctx.available_bytes(child_node)) *
+                        config.capacity_safety;
+
+  std::uint32_t first = 0;
+  while (first < shard.rows) {
+    // Greedy nnz-aware split: extend the sub-shard while its arrays fit.
+    std::uint32_t last = first;
+    while (last < shard.rows) {
+      const std::uint64_t nnz_s = rp[last + 1] - rp[first];
+      const std::uint64_t rows_s = last + 1 - first;
+      const double bytes =
+          static_cast<double>((rows_s + 1) * kU + nnz_s * (kU + kF) +
+                              rows_s * kF);
+      if (bytes > budget && last > first) break;
+      NU_CHECK(bytes <= budget || last == first,
+               "single row exceeds child capacity");
+      ++last;
+    }
+    const std::uint32_t rows_s = last - first;
+    const std::uint32_t nnz_s = rp[last] - rp[first];
+
+    data::Buffer c_rp = dm.alloc((rows_s + 1) * kU, child_node);
+    dm.move_data_down(c_rp, *shard.row_ptr, (rows_s + 1) * kU, 0,
+                      first * kU);
+    data::Buffer c_ci;
+    data::Buffer c_va;
+    if (nnz_s > 0) {
+      c_ci = dm.alloc(nnz_s * kU, child_node);
+      dm.move_data_down(c_ci, *shard.col_id, nnz_s * kU, 0,
+                        (rp[first] - shard.nnz_base) * kU);
+      c_va = dm.alloc(nnz_s * kF, child_node);
+      dm.move_data_down(c_va, *shard.data, nnz_s * kF, 0,
+                        (rp[first] - shard.nnz_base) * kF);
+    } else {
+      // Degenerate empty shard: allocate 1-element placeholders so the
+      // leaf still has valid buffers.
+      c_ci = dm.alloc(kU, child_node);
+      c_va = dm.alloc(kF, child_node);
+    }
+    data::Buffer c_y = dm.alloc(std::max<std::uint64_t>(rows_s, 1) * kF,
+                                child_node);
+
+    ctx.northup_spawn(child_node, [&](core::ExecContext& cctx) {
+      SpmvShard sub{&c_rp, &c_ci, &c_va, shard.x, &c_y, rows_s, rp[first]};
+      spmv_recurse(cctx, sub, config);
+    });
+
+    dm.move_data_up(*shard.y, c_y, rows_s * kF, first * kF, 0);
+    for (auto* b : {&c_rp, &c_ci, &c_va, &c_y}) dm.release(*b);
+    first = last;
+  }
+}
+
+namespace {
+
+RunStats collect(core::Runtime& rt, double wall) {
+  RunStats s;
+  if (auto* es = rt.event_sim()) s.breakdown = core::Breakdown::from(*es);
+  s.makespan = s.breakdown.makespan;
+  s.bytes_moved = rt.dm().bytes_moved();
+  s.wall_seconds = wall;
+  s.spawns = rt.spawn_count();
+  return s;
+}
+
+/// Stages the dense vector x down the first-child chain to the compute
+/// leaf, one move per level, releasing intermediate copies. Returns the
+/// resident leaf buffer (the paper's requirement that the fastest memory
+/// hold the vector).
+data::Buffer stage_x_to_leaf(core::Runtime& rt, topo::NodeId from,
+                             data::Buffer& x_at_from, std::uint64_t bytes) {
+  auto& dm = rt.dm();
+  const auto& tree = rt.tree();
+  topo::NodeId node = from;
+  data::Buffer cur;  // invalid: x_at_from owned by caller
+  data::Buffer* src = &x_at_from;
+  while (!tree.is_leaf(node)) {
+    const topo::NodeId child = tree.get_children_list(node)[0];
+    data::Buffer next = dm.alloc(bytes, child);
+    dm.move_data_down(next, *src, bytes);
+    if (cur.valid()) dm.release(cur);
+    cur = std::move(next);
+    src = &cur;
+    node = child;
+  }
+  if (!cur.valid()) {
+    // `from` is already the leaf: keep a copy so ownership is uniform.
+    cur = dm.alloc(bytes, node);
+    dm.move_data(cur, x_at_from, bytes);
+  }
+  return cur;
+}
+
+}  // namespace
+
+RunStats spmv_inmemory(core::Runtime& rt, const SpmvConfig& config_in) {
+  // The baseline bins once at load time (§V-B preprocessing analogue).
+  SpmvConfig config = config_in;
+  config.count_binning = false;
+  auto& dm = rt.dm();
+  const topo::NodeId home = inmemory_home(rt);
+  const Csr a = config.make_matrix();
+  const std::vector<float> x = random_vector(a.cols, config.seed + 1);
+
+  data::Buffer b_rp = dm.alloc((a.rows + 1) * kU, home);
+  data::Buffer b_ci = dm.alloc(a.nnz() * kU, home);
+  data::Buffer b_va = dm.alloc(a.nnz() * kF, home);
+  data::Buffer b_x = dm.alloc(a.cols * kF, home);
+  data::Buffer b_y = dm.alloc(a.rows * kF, home);
+  dm.write_from_host(b_rp, a.row_ptr.data(), (a.rows + 1) * kU);
+  dm.write_from_host(b_ci, a.col_id.data(), a.nnz() * kU);
+  dm.write_from_host(b_va, a.data.data(), a.nnz() * kF);
+  dm.write_from_host(b_x, x.data(), a.cols * kF);
+
+  reset_measurement(rt, {&b_rp, &b_ci, &b_va, &b_x, &b_y});
+
+  util::Timer wall;
+  data::Buffer x_leaf;
+  rt.run_from(home, [&](core::ExecContext& ctx) {
+    x_leaf = stage_x_to_leaf(rt, home, b_x, a.cols * kF);
+    SpmvShard shard{&b_rp, &b_ci, &b_va, &x_leaf, &b_y, a.rows, 0};
+    spmv_recurse(ctx, shard, config);
+  });
+  RunStats stats = collect(rt, wall.seconds());
+
+  if (config.verify) {
+    const auto expect = spmv_reference(a, x);
+    std::vector<float> got(a.rows);
+    dm.read_to_host(got.data(), b_y, a.rows * kF);
+    stats.max_rel_err = max_rel_diff(expect, got);
+    stats.verified = stats.max_rel_err < kVerifyTolerance;
+  }
+
+  dm.release(x_leaf);
+  for (auto* b : {&b_rp, &b_ci, &b_va, &b_x, &b_y}) dm.release(*b);
+  return stats;
+}
+
+RunStats spmv_northup(core::Runtime& rt, const SpmvConfig& config) {
+  auto& dm = rt.dm();
+  const topo::NodeId root = rt.tree().root();
+  NU_CHECK(!rt.tree().get_children_list(root).empty(),
+           "out-of-core SpMV needs at least two tree levels");
+  const Csr a = config.make_matrix();
+  const std::vector<float> x = random_vector(a.cols, config.seed + 1);
+
+  data::Buffer b_rp = dm.alloc((a.rows + 1) * kU, root);
+  data::Buffer b_ci = dm.alloc(a.nnz() * kU, root);
+  data::Buffer b_va = dm.alloc(a.nnz() * kF, root);
+  data::Buffer b_x = dm.alloc(a.cols * kF, root);
+  data::Buffer b_y = dm.alloc(a.rows * kF, root);
+  dm.write_from_host(b_rp, a.row_ptr.data(), (a.rows + 1) * kU);
+  dm.write_from_host(b_ci, a.col_id.data(), a.nnz() * kU);
+  dm.write_from_host(b_va, a.data.data(), a.nnz() * kF);
+  dm.write_from_host(b_x, x.data(), a.cols * kF);
+
+  reset_measurement(rt, {&b_rp, &b_ci, &b_va, &b_x, &b_y});
+
+  util::Timer wall;
+  data::Buffer x_leaf;
+  rt.run([&](core::ExecContext& ctx) {
+    x_leaf = stage_x_to_leaf(rt, root, b_x, a.cols * kF);
+    SpmvShard shard{&b_rp, &b_ci, &b_va, &x_leaf, &b_y, a.rows, 0};
+    spmv_recurse(ctx, shard, config);
+  });
+  RunStats stats = collect(rt, wall.seconds());
+
+  if (config.verify) {
+    const auto expect = spmv_reference(a, x);
+    std::vector<float> got(a.rows);
+    dm.read_to_host(got.data(), b_y, a.rows * kF);
+    stats.max_rel_err = max_rel_diff(expect, got);
+    stats.verified = stats.max_rel_err < kVerifyTolerance;
+  }
+
+  dm.release(x_leaf);
+  for (auto* b : {&b_rp, &b_ci, &b_va, &b_x, &b_y}) dm.release(*b);
+  return stats;
+}
+
+}  // namespace northup::algos

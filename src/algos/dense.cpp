@@ -1,0 +1,87 @@
+#include "northup/algos/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace northup::algos {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return m;
+}
+
+Matrix gemm_reference(const Matrix& a, const Matrix& b) {
+  NU_CHECK(a.cols() == b.rows(), "gemm shape mismatch");
+  Matrix c(a.rows(), b.cols(), 0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      const float* brow = b.data() + k * b.cols();
+      float* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  NU_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+           "shape mismatch in max_abs_diff");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(a.data()[i]) -
+                                     static_cast<double>(b.data()[i])));
+  }
+  return worst;
+}
+
+double max_rel_diff(const Matrix& a, const Matrix& b) {
+  NU_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+           "shape mismatch in max_rel_diff");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double denom =
+        std::max(1.0, std::abs(static_cast<double>(a.data()[i])));
+    worst = std::max(worst, std::abs(static_cast<double>(a.data()[i]) -
+                                     static_cast<double>(b.data()[i])) /
+                                denom);
+  }
+  return worst;
+}
+
+void hotspot_step(const Matrix& temp, const Matrix& power, Matrix& out,
+                  const HotSpotParams& p) {
+  NU_CHECK(temp.rows() == power.rows() && temp.cols() == power.cols(),
+           "hotspot input shape mismatch");
+  NU_CHECK(out.rows() == temp.rows() && out.cols() == temp.cols(),
+           "hotspot output shape mismatch");
+  const std::size_t rows = temp.rows();
+  const std::size_t cols = temp.cols();
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float t = temp.at(r, c);
+      const float north = r > 0 ? temp.at(r - 1, c) : t;
+      const float south = r + 1 < rows ? temp.at(r + 1, c) : t;
+      const float west = c > 0 ? temp.at(r, c - 1) : t;
+      const float east = c + 1 < cols ? temp.at(r, c + 1) : t;
+      const float delta =
+          p.cap_inv * (power.at(r, c) + (north + south - 2.0f * t) * p.ry_inv +
+                       (east + west - 2.0f * t) * p.rx_inv +
+                       (p.ambient - t) * p.rz_inv);
+      out.at(r, c) = t + delta;
+    }
+  }
+}
+
+Matrix hotspot_reference(const Matrix& temp, const Matrix& power,
+                         const HotSpotParams& params) {
+  Matrix out(temp.rows(), temp.cols());
+  hotspot_step(temp, power, out, params);
+  return out;
+}
+
+}  // namespace northup::algos

@@ -1,0 +1,473 @@
+#include "northup/algos/hotspot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "northup/core/chunking.hpp"
+#include "northup/util/timer.hpp"
+
+namespace northup::algos {
+
+namespace {
+
+constexpr std::uint64_t kF = sizeof(float);
+
+// Halo slot offsets (floats) within a packed halo extent of dimension d.
+constexpr std::uint64_t halo_n(std::uint64_t) { return 0; }
+constexpr std::uint64_t halo_s(std::uint64_t d) { return d; }
+constexpr std::uint64_t halo_w(std::uint64_t d) { return 2 * d; }
+constexpr std::uint64_t halo_e(std::uint64_t d) { return 3 * d; }
+
+float* buf_ptr(data::DataManager& dm, data::Buffer& b) {
+  return reinterpret_cast<float*>(dm.host_view(b));
+}
+
+}  // namespace
+
+std::uint64_t choose_hotspot_block(std::uint64_t n, std::uint64_t leaf_tile,
+                                   std::uint64_t child_available,
+                                   double safety) {
+  NU_CHECK(n >= leaf_tile && n % leaf_tile == 0,
+           "grid dim must be a multiple of the leaf tile");
+  const double budget = static_cast<double>(child_available) * safety;
+  for (std::uint64_t b = n; b >= leaf_tile; b /= 2) {
+    if (n % b != 0) continue;
+    const double bytes =
+        (3.0 * static_cast<double>(b) * static_cast<double>(b) +
+         4.0 * static_cast<double>(b)) *
+        kF;
+    if (bytes <= budget) return b;
+  }
+  throw util::CapacityError(
+      "no HotSpot block size fits the child capacity (" +
+      std::to_string(child_available) + " B free)");
+}
+
+namespace {
+
+/// Leaf kernel: one workgroup per t x t tile; each stages a (t+2)^2
+/// halo'ed temperature tile through local memory (Rodinia's structure).
+void hotspot_leaf(core::ExecContext& ctx, const StencilBlock& block,
+                  const HotspotConfig& config) {
+  auto& rt = ctx.runtime();
+  auto& dm = ctx.dm();
+  device::Processor* proc = leaf_processor(rt, ctx.get_cur_treenode());
+
+  const std::uint64_t d = block.dim;
+  const std::uint64_t t = config.leaf_tile;
+  const std::uint64_t groups_x = core::ceil_div(d, t);
+  const auto num_groups = static_cast<std::uint32_t>(groups_x * groups_x);
+  const HotSpotParams p = config.params;
+
+  float* tin = buf_ptr(dm, *block.temp_in);
+  float* pow_ = buf_ptr(dm, *block.power);
+  float* hal = buf_ptr(dm, *block.halo);
+  float* tout = buf_ptr(dm, *block.temp_out);
+
+  device::KernelFn kernel = [=](device::WorkGroupCtx& wg) {
+    const std::uint64_t gi = wg.group_id / groups_x;
+    const std::uint64_t gj = wg.group_id % groups_x;
+    const std::uint64_t r0 = gi * t;
+    const std::uint64_t c0 = gj * t;
+    const std::uint64_t th = std::min(t, d - r0);
+    const std::uint64_t tw = std::min(t, d - c0);
+    const std::uint64_t lw = tw + 2;
+
+    // (th+2) x (tw+2) local tile with halo.
+    float* lt = wg.local_array<float>((t + 2) * (t + 2), 0);
+    auto block_at = [&](std::int64_t r, std::int64_t c) -> float {
+      // Resolve a block-relative coordinate, falling into the packed halo
+      // vectors when one step outside the block.
+      if (r < 0) return hal[halo_n(d) + static_cast<std::uint64_t>(c)];
+      if (r >= static_cast<std::int64_t>(d)) {
+        return hal[halo_s(d) + static_cast<std::uint64_t>(c)];
+      }
+      if (c < 0) return hal[halo_w(d) + static_cast<std::uint64_t>(r)];
+      if (c >= static_cast<std::int64_t>(d)) {
+        return hal[halo_e(d) + static_cast<std::uint64_t>(r)];
+      }
+      return tin[static_cast<std::uint64_t>(r) * d +
+                 static_cast<std::uint64_t>(c)];
+    };
+    for (std::uint64_t r = 0; r < th + 2; ++r) {
+      for (std::uint64_t c = 0; c < tw + 2; ++c) {
+        lt[r * lw + c] =
+            block_at(static_cast<std::int64_t>(r0 + r) - 1,
+                     static_cast<std::int64_t>(c0 + c) - 1);
+      }
+    }
+    for (std::uint64_t r = 0; r < th; ++r) {
+      for (std::uint64_t c = 0; c < tw; ++c) {
+        const float v = lt[(r + 1) * lw + (c + 1)];
+        const float north = lt[r * lw + (c + 1)];
+        const float south = lt[(r + 2) * lw + (c + 1)];
+        const float west = lt[(r + 1) * lw + c];
+        const float east = lt[(r + 1) * lw + (c + 2)];
+        const float delta =
+            p.cap_inv *
+            (pow_[(r0 + r) * d + (c0 + c)] +
+             (north + south - 2.0f * v) * p.ry_inv +
+             (east + west - 2.0f * v) * p.rx_inv +
+             (p.ambient - v) * p.rz_inv);
+        tout[(r0 + r) * d + (c0 + c)] = v + delta;
+      }
+    }
+  };
+
+  // ~12 flops per cell; traffic: read temp+power (with halo re-reads at
+  // tile edges), write out once.
+  device::KernelCost cost;
+  const double cells = static_cast<double>(d) * static_cast<double>(d);
+  cost.flops = 12.0 * cells;
+  // in + power + out + halo overlap, scaled by the effective-bandwidth
+  // calibration factor (see HotspotConfig::device_traffic_factor).
+  cost.bytes = kF * cells * 3.2 * config.device_traffic_factor;
+
+  std::vector<sim::TaskId> deps;
+  for (data::Buffer* b :
+       {block.temp_in, block.power, block.halo, block.temp_out}) {
+    if (b->ready != sim::kInvalidTask) deps.push_back(b->ready);
+  }
+  auto launch = proc->launch("hotspot_leaf", num_groups, kernel, cost, deps);
+  block.temp_out->ready = launch.task;
+}
+
+/// Packs one column of a block buffer into a contiguous vector on the
+/// same node (the paper's border packing), then returns that buffer.
+void pack_column(data::DataManager& dm, data::Buffer& dst,
+                 std::uint64_t dst_off_floats, data::Buffer& src,
+                 std::uint64_t dim, std::uint64_t col) {
+  dm.move_block_2d(dst, src, dim, kF, dst_off_floats * kF, kF, col * kF,
+                   dim * kF);
+}
+
+}  // namespace
+
+void hotspot_recurse(core::ExecContext& ctx, const StencilBlock& block,
+                     const HotspotConfig& config) {
+  if (ctx.is_leaf()) {
+    hotspot_leaf(ctx, block, config);
+    return;
+  }
+  auto& dm = ctx.dm();
+  const topo::NodeId child_node = ctx.child(0);
+  const std::uint64_t d = block.dim;
+  const std::uint64_t sd = choose_hotspot_block(
+      d, config.leaf_tile, ctx.available_bytes(child_node),
+      config.capacity_safety);
+  if (sd == d) {
+    // The whole block fits the child: move it down wholesale.
+    data::Buffer tin = dm.alloc(d * d * kF, child_node);
+    data::Buffer pw = dm.alloc(d * d * kF, child_node);
+    data::Buffer hal = dm.alloc(4 * d * kF, child_node);
+    data::Buffer tout = dm.alloc(d * d * kF, child_node);
+    dm.move_data_down(tin, *block.temp_in, d * d * kF);
+    dm.move_data_down(pw, *block.power, d * d * kF);
+    dm.move_data_down(hal, *block.halo, 4 * d * kF);
+    ctx.northup_spawn(child_node, [&](core::ExecContext& cctx) {
+      StencilBlock sub{&tin, &pw, &hal, &tout, d};
+      hotspot_recurse(cctx, sub, config);
+    });
+    dm.move_data_up(*block.temp_out, tout, d * d * kF);
+    for (auto* b : {&tin, &pw, &hal, &tout}) dm.release(*b);
+    return;
+  }
+
+  const std::uint64_t g = d / sd;
+  for (std::uint64_t si = 0; si < g; ++si) {
+    for (std::uint64_t sj = 0; sj < g; ++sj) {
+      const std::uint64_t r0 = si * sd;
+      const std::uint64_t c0 = sj * sd;
+      data::Buffer tin = dm.alloc(sd * sd * kF, child_node);
+      data::Buffer pw = dm.alloc(sd * sd * kF, child_node);
+      data::Buffer hal = dm.alloc(4 * sd * kF, child_node);
+      data::Buffer tout = dm.alloc(sd * sd * kF, child_node);
+
+      // Interior + power: strided 2-D extraction from the parent block.
+      dm.move_block_2d(tin, *block.temp_in, sd, sd * kF, 0, sd * kF,
+                       (r0 * d + c0) * kF, d * kF);
+      dm.move_block_2d(pw, *block.power, sd, sd * kF, 0, sd * kF,
+                       (r0 * d + c0) * kF, d * kF);
+
+      // Halo rows: one row of the parent block, or the parent halo slice.
+      if (si > 0) {
+        dm.move_data(hal, *block.temp_in, sd * kF, halo_n(sd) * kF,
+                     ((r0 - 1) * d + c0) * kF);
+      } else {
+        dm.move_data(hal, *block.halo, sd * kF, halo_n(sd) * kF,
+                     (halo_n(d) + c0) * kF);
+      }
+      if (si + 1 < g) {
+        dm.move_data(hal, *block.temp_in, sd * kF, halo_s(sd) * kF,
+                     ((r0 + sd) * d + c0) * kF);
+      } else {
+        dm.move_data(hal, *block.halo, sd * kF, halo_s(sd) * kF,
+                     (halo_s(d) + c0) * kF);
+      }
+      // Halo columns: packed from the parent block (strided) or sliced
+      // from the parent halo (already packed).
+      if (sj > 0) {
+        dm.move_block_2d(hal, *block.temp_in, sd, kF, halo_w(sd) * kF, kF,
+                         (r0 * d + (c0 - 1)) * kF, d * kF);
+      } else {
+        dm.move_data(hal, *block.halo, sd * kF, halo_w(sd) * kF,
+                     (halo_w(d) + r0) * kF);
+      }
+      if (sj + 1 < g) {
+        dm.move_block_2d(hal, *block.temp_in, sd, kF, halo_e(sd) * kF, kF,
+                         (r0 * d + (c0 + sd)) * kF, d * kF);
+      } else {
+        dm.move_data(hal, *block.halo, sd * kF, halo_e(sd) * kF,
+                     (halo_e(d) + r0) * kF);
+      }
+
+      ctx.northup_spawn(child_node, [&](core::ExecContext& cctx) {
+        StencilBlock sub{&tin, &pw, &hal, &tout, sd};
+        hotspot_recurse(cctx, sub, config);
+      });
+
+      dm.move_block_2d(*block.temp_out, tout, sd, sd * kF,
+                       (r0 * d + c0) * kF, d * kF, 0, sd * kF);
+      for (auto* b : {&tin, &pw, &hal, &tout}) dm.release(*b);
+    }
+  }
+}
+
+namespace {
+
+RunStats collect(core::Runtime& rt, double wall) {
+  RunStats s;
+  if (auto* es = rt.event_sim()) s.breakdown = core::Breakdown::from(*es);
+  s.makespan = s.breakdown.makespan;
+  s.bytes_moved = rt.dm().bytes_moved();
+  s.wall_seconds = wall;
+  s.spawns = rt.spawn_count();
+  return s;
+}
+
+Matrix reference_iterated(const Matrix& temp, const Matrix& power,
+                          const HotspotConfig& config) {
+  Matrix cur = temp;
+  Matrix next(temp.rows(), temp.cols());
+  for (std::uint64_t i = 0; i < config.iterations; ++i) {
+    hotspot_step(cur, power, next, config.params);
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+}  // namespace
+
+RunStats hotspot_inmemory(core::Runtime& rt, const HotspotConfig& config) {
+  const std::uint64_t n = config.n;
+  auto& dm = rt.dm();
+  const topo::NodeId home = inmemory_home(rt);
+
+  Matrix temp = random_matrix(n, n, config.seed);
+  // Shift temperatures into a physical range and make power non-negative.
+  for (std::size_t i = 0; i < temp.size(); ++i) temp.data()[i] += 80.0f;
+  Matrix power = random_matrix(n, n, config.seed + 1);
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    power.data()[i] = std::abs(power.data()[i]);
+  }
+
+  data::Buffer tin = dm.alloc(n * n * kF, home);
+  data::Buffer pw = dm.alloc(n * n * kF, home);
+  data::Buffer hal = dm.alloc(4 * n * kF, home);
+  data::Buffer tout = dm.alloc(n * n * kF, home);
+  dm.write_from_host(tin, temp.data(), n * n * kF);
+  dm.write_from_host(pw, power.data(), n * n * kF);
+
+  reset_measurement(rt, {&tin, &pw, &hal, &tout});
+
+  util::Timer wall;
+  rt.run_from(home, [&](core::ExecContext& ctx) {
+    for (std::uint64_t it = 0; it < config.iterations; ++it) {
+      // Clamp halos: the grid's own edge rows/columns.
+      dm.move_data(hal, tin, n * kF, halo_n(n) * kF, 0);
+      dm.move_data(hal, tin, n * kF, halo_s(n) * kF, (n - 1) * n * kF);
+      pack_column(dm, hal, halo_w(n), tin, n, 0);
+      pack_column(dm, hal, halo_e(n), tin, n, n - 1);
+
+      StencilBlock blk{&tin, &pw, &hal, &tout, n};
+      hotspot_recurse(ctx, blk, config);
+      std::swap(tin, tout);
+    }
+  });
+  RunStats stats = collect(rt, wall.seconds());
+
+  if (config.verify) {
+    const Matrix expect = reference_iterated(temp, power, config);
+    Matrix got(n, n);
+    dm.read_to_host(got.data(), tin, n * n * kF);  // result after swap
+    stats.max_rel_err = max_rel_diff(expect, got);
+    stats.verified = stats.max_rel_err < kVerifyTolerance;
+  }
+
+  for (auto* b : {&tin, &pw, &hal, &tout}) dm.release(*b);
+  return stats;
+}
+
+RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
+  const std::uint64_t n = config.n;
+  auto& dm = rt.dm();
+  const topo::NodeId root = rt.tree().root();
+  NU_CHECK(!rt.tree().get_children_list(root).empty(),
+           "out-of-core HotSpot needs at least two tree levels");
+  const topo::NodeId l1 = rt.tree().get_children_list(root)[0];
+
+  const std::uint64_t bd = choose_hotspot_block(
+      n, config.leaf_tile, dm.storage(l1).available(),
+      config.capacity_safety);
+  const std::uint64_t g = n / bd;
+  const std::uint64_t blk_bytes = bd * bd * kF;
+  const std::uint64_t halo_bytes = 4 * bd * kF;
+
+  Matrix temp = random_matrix(n, n, config.seed);
+  for (std::size_t i = 0; i < temp.size(); ++i) temp.data()[i] += 80.0f;
+  Matrix power = random_matrix(n, n, config.seed + 1);
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    power.data()[i] = std::abs(power.data()[i]);
+  }
+
+  // Root storage: block-tiled temp (double-buffered), block-tiled power,
+  // and per-block packed halo extents (double-buffered).
+  data::Buffer t_cur = dm.alloc(n * n * kF, root);
+  data::Buffer t_next = dm.alloc(n * n * kF, root);
+  data::Buffer pw_blocks = dm.alloc(n * n * kF, root);
+  data::Buffer h_cur = dm.alloc(g * g * halo_bytes, root);
+  data::Buffer h_next = dm.alloc(g * g * halo_bytes, root);
+
+  auto block_off = [&](std::uint64_t bi, std::uint64_t bj) {
+    return (bi * g + bj) * blk_bytes;
+  };
+  auto halo_off = [&](std::uint64_t bi, std::uint64_t bj) {
+    return (bi * g + bj) * halo_bytes;
+  };
+
+  // Preprocessing (§V-B): reorganize into block files + initial halos.
+  {
+    std::vector<float> staging(bd * bd);
+    auto write_blocked = [&](data::Buffer& dst, const Matrix& src) {
+      for (std::uint64_t bi = 0; bi < g; ++bi) {
+        for (std::uint64_t bj = 0; bj < g; ++bj) {
+          for (std::uint64_t r = 0; r < bd; ++r) {
+            std::memcpy(staging.data() + r * bd,
+                        src.data() + (bi * bd + r) * n + bj * bd, bd * kF);
+          }
+          dm.write_from_host(dst, staging.data(), blk_bytes,
+                             block_off(bi, bj));
+        }
+      }
+    };
+    write_blocked(t_cur, temp);
+    write_blocked(pw_blocks, power);
+
+    std::vector<float> halo(4 * bd);
+    auto gv = [&](std::int64_t r, std::int64_t c) {
+      // Grid value with clamping at the global boundary.
+      const auto rr = static_cast<std::uint64_t>(
+          std::clamp<std::int64_t>(r, 0, static_cast<std::int64_t>(n) - 1));
+      const auto cc = static_cast<std::uint64_t>(
+          std::clamp<std::int64_t>(c, 0, static_cast<std::int64_t>(n) - 1));
+      return temp.at(rr, cc);
+    };
+    for (std::uint64_t bi = 0; bi < g; ++bi) {
+      for (std::uint64_t bj = 0; bj < g; ++bj) {
+        const auto r0 = static_cast<std::int64_t>(bi * bd);
+        const auto c0 = static_cast<std::int64_t>(bj * bd);
+        for (std::uint64_t i = 0; i < bd; ++i) {
+          halo[halo_n(bd) + i] = gv(r0 - 1, c0 + static_cast<std::int64_t>(i));
+          halo[halo_s(bd) + i] =
+              gv(r0 + static_cast<std::int64_t>(bd), c0 + static_cast<std::int64_t>(i));
+          halo[halo_w(bd) + i] = gv(r0 + static_cast<std::int64_t>(i), c0 - 1);
+          halo[halo_e(bd) + i] =
+              gv(r0 + static_cast<std::int64_t>(i), c0 + static_cast<std::int64_t>(bd));
+        }
+        dm.write_from_host(h_cur, halo.data(), halo_bytes, halo_off(bi, bj));
+      }
+    }
+  }
+  reset_measurement(rt, {&t_cur, &t_next, &pw_blocks, &h_cur, &h_next});
+
+  util::Timer wall;
+  rt.run([&](core::ExecContext& ctx) {
+    for (std::uint64_t it = 0; it < config.iterations; ++it) {
+      for (std::uint64_t bi = 0; bi < g; ++bi) {
+        for (std::uint64_t bj = 0; bj < g; ++bj) {
+          data::Buffer tin = dm.alloc(blk_bytes, l1);
+          data::Buffer pw = dm.alloc(blk_bytes, l1);
+          data::Buffer hal = dm.alloc(halo_bytes, l1);
+          data::Buffer tout = dm.alloc(blk_bytes, l1);
+          dm.move_data_down(tin, t_cur, blk_bytes, 0, block_off(bi, bj));
+          dm.move_data_down(pw, pw_blocks, blk_bytes, 0, block_off(bi, bj));
+          dm.move_data_down(hal, h_cur, halo_bytes, 0, halo_off(bi, bj));
+
+          ctx.northup_spawn(l1, [&](core::ExecContext& cctx) {
+            StencilBlock blk{&tin, &pw, &hal, &tout, bd};
+            hotspot_recurse(cctx, blk, config);
+          });
+
+          dm.move_data_up(t_next, tout, blk_bytes, block_off(bi, bj), 0);
+
+          // Publish this block's edges into the next-sweep halo slots
+          // (clamped blocks feed their own slot at the grid boundary).
+          // Rows are contiguous; columns are packed in DRAM first.
+          const std::uint64_t top_dst =
+              bi > 0 ? halo_off(bi - 1, bj) + halo_s(bd) * kF
+                     : halo_off(bi, bj) + halo_n(bd) * kF;
+          dm.move_data(h_next, tout, bd * kF, top_dst, 0);
+          const std::uint64_t bot_dst =
+              bi + 1 < g ? halo_off(bi + 1, bj) + halo_n(bd) * kF
+                         : halo_off(bi, bj) + halo_s(bd) * kF;
+          dm.move_data(h_next, tout, bd * kF, bot_dst,
+                       (bd - 1) * bd * kF);
+
+          data::Buffer packed = dm.alloc(bd * kF, l1);
+          pack_column(dm, packed, 0, tout, bd, 0);
+          const std::uint64_t left_dst =
+              bj > 0 ? halo_off(bi, bj - 1) + halo_e(bd) * kF
+                     : halo_off(bi, bj) + halo_w(bd) * kF;
+          dm.move_data(h_next, packed, bd * kF, left_dst, 0);
+          pack_column(dm, packed, 0, tout, bd, bd - 1);
+          const std::uint64_t right_dst =
+              bj + 1 < g ? halo_off(bi, bj + 1) + halo_w(bd) * kF
+                         : halo_off(bi, bj) + halo_e(bd) * kF;
+          dm.move_data(h_next, packed, bd * kF, right_dst, 0);
+          dm.release(packed);
+
+          for (auto* b : {&tin, &pw, &hal, &tout}) dm.release(*b);
+        }
+      }
+      std::swap(t_cur, t_next);
+      std::swap(h_cur, h_next);
+    }
+  });
+  RunStats stats = collect(rt, wall.seconds());
+
+  if (config.verify) {
+    const Matrix expect = reference_iterated(temp, power, config);
+    Matrix got(n, n);
+    std::vector<float> staging(bd * bd);
+    for (std::uint64_t bi = 0; bi < g; ++bi) {
+      for (std::uint64_t bj = 0; bj < g; ++bj) {
+        dm.read_to_host(staging.data(), t_cur, blk_bytes, block_off(bi, bj));
+        for (std::uint64_t r = 0; r < bd; ++r) {
+          std::memcpy(got.data() + (bi * bd + r) * n + bj * bd,
+                      staging.data() + r * bd, bd * kF);
+        }
+      }
+    }
+    stats.max_rel_err = max_rel_diff(expect, got);
+    stats.verified = stats.max_rel_err < kVerifyTolerance;
+  }
+
+  for (auto* b : {&t_cur, &t_next, &pw_blocks, &h_cur, &h_next}) {
+    dm.release(*b);
+  }
+  return stats;
+}
+
+}  // namespace northup::algos

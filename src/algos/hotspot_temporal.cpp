@@ -1,0 +1,316 @@
+#include "northup/algos/hotspot_temporal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "northup/core/chunking.hpp"
+#include "northup/util/timer.hpp"
+
+namespace northup::algos {
+
+namespace {
+
+constexpr std::uint64_t kF = sizeof(float);
+
+/// Which global grid edges a block touches (compute clamps there).
+struct EdgeFlags {
+  bool north = false;
+  bool south = false;
+  bool west = false;
+  bool east = false;
+};
+
+/// Largest block dim b | n (b >= tile) whose temporal working set fits:
+/// two (b+2k)^2 temp regions + one (b+2k)^2 power region.
+std::uint64_t choose_temporal_block(std::uint64_t n, std::uint64_t tile,
+                                    std::uint64_t k,
+                                    std::uint64_t child_available,
+                                    double safety) {
+  NU_CHECK(n >= tile && n % tile == 0,
+           "grid dim must be a multiple of the leaf tile");
+  const double budget = static_cast<double>(child_available) * safety;
+  for (std::uint64_t b = n; b >= tile; b /= 2) {
+    if (n % b != 0) continue;
+    const double ext = static_cast<double>(b + 2 * k);
+    if (3.0 * ext * ext * kF <= budget) return b;
+  }
+  throw util::CapacityError(
+      "no temporal-blocking block size fits the child capacity");
+}
+
+/// One stencil sweep over the extended region: computes rows
+/// [row_lo, row_hi) x cols [col_lo, col_hi), reading `in` with clamping
+/// at global edges, writing `out`. One workgroup per 16-row band.
+void temporal_sweep(core::ExecContext& ctx, data::Buffer& in,
+                    data::Buffer& out, data::Buffer& power,
+                    std::uint64_t dim_e, std::uint64_t k,
+                    std::uint64_t row_lo, std::uint64_t row_hi,
+                    std::uint64_t col_lo, std::uint64_t col_hi,
+                    const EdgeFlags& edges, const HotspotConfig& config) {
+  auto& rt = ctx.runtime();
+  auto& dm = ctx.dm();
+  device::Processor* proc = leaf_processor(rt, ctx.get_cur_treenode());
+  const HotSpotParams p = config.params;
+
+  float* tin = reinterpret_cast<float*>(dm.host_view(in));
+  float* tout = reinterpret_cast<float*>(dm.host_view(out));
+  float* pw = reinterpret_cast<float*>(dm.host_view(power));
+
+  const std::uint64_t rows = row_hi - row_lo;
+  const auto num_groups =
+      static_cast<std::uint32_t>(core::ceil_div(rows, std::uint64_t{16}));
+
+  device::KernelFn kernel = [=](device::WorkGroupCtx& wg) {
+    // Clamp a coordinate at global edges only: the grid's true boundary
+    // sits k cells inside the extended region on edge-touching sides.
+    auto clamp_r = [&](std::int64_t r) -> std::uint64_t {
+      if (edges.north && r < static_cast<std::int64_t>(k)) return k;
+      if (edges.south && r >= static_cast<std::int64_t>(dim_e - k)) {
+        return dim_e - k - 1;
+      }
+      return static_cast<std::uint64_t>(r);
+    };
+    auto clamp_c = [&](std::int64_t c) -> std::uint64_t {
+      if (edges.west && c < static_cast<std::int64_t>(k)) return k;
+      if (edges.east && c >= static_cast<std::int64_t>(dim_e - k)) {
+        return dim_e - k - 1;
+      }
+      return static_cast<std::uint64_t>(c);
+    };
+
+    const std::uint64_t r0 = row_lo + wg.group_id * 16ULL;
+    const std::uint64_t r1 = std::min(r0 + 16, row_hi);
+    for (std::uint64_t r = r0; r < r1; ++r) {
+      for (std::uint64_t c = col_lo; c < col_hi; ++c) {
+        const float v = tin[r * dim_e + c];
+        const float north =
+            tin[clamp_r(static_cast<std::int64_t>(r) - 1) * dim_e + c];
+        const float south =
+            tin[clamp_r(static_cast<std::int64_t>(r) + 1) * dim_e + c];
+        const float west =
+            tin[r * dim_e + clamp_c(static_cast<std::int64_t>(c) - 1)];
+        const float east =
+            tin[r * dim_e + clamp_c(static_cast<std::int64_t>(c) + 1)];
+        const float delta =
+            p.cap_inv * (pw[r * dim_e + c] +
+                         (north + south - 2.0f * v) * p.ry_inv +
+                         (east + west - 2.0f * v) * p.rx_inv +
+                         (p.ambient - v) * p.rz_inv);
+        tout[r * dim_e + c] = v + delta;
+      }
+    }
+  };
+
+  const double cells =
+      static_cast<double>(rows) * static_cast<double>(col_hi - col_lo);
+  device::KernelCost cost;
+  cost.flops = 12.0 * cells;
+  cost.bytes = kF * cells * 3.2 * config.device_traffic_factor;
+
+  std::vector<sim::TaskId> deps;
+  for (data::Buffer* b : {&in, &power, &out}) {
+    if (b->ready != sim::kInvalidTask) deps.push_back(b->ready);
+  }
+  auto launch =
+      proc->launch("hotspot_temporal", num_groups, kernel, cost, deps);
+  out.ready = launch.task;
+}
+
+}  // namespace
+
+RunStats hotspot_temporal_northup(core::Runtime& rt,
+                                  const HotspotConfig& config,
+                                  std::uint64_t sweeps_per_load) {
+  const std::uint64_t n = config.n;
+  const std::uint64_t k = sweeps_per_load;
+  NU_CHECK(k >= 1, "sweeps_per_load must be at least 1");
+  NU_CHECK(config.iterations % k == 0,
+           "iterations must be a multiple of sweeps_per_load");
+  auto& dm = rt.dm();
+  const topo::NodeId root = rt.tree().root();
+  NU_CHECK(!rt.tree().get_children_list(root).empty(),
+           "temporal blocking needs at least two tree levels");
+  const topo::NodeId l1 = rt.tree().get_children_list(root)[0];
+
+  const std::uint64_t bd = choose_temporal_block(
+      n, config.leaf_tile, k, dm.storage(l1).available(),
+      config.capacity_safety);
+  NU_CHECK(k <= bd, "halo width must not exceed the block dim");
+  const std::uint64_t g = n / bd;
+  const std::uint64_t blk_bytes = bd * bd * kF;
+  const std::uint64_t dim_e = bd + 2 * k;
+  const std::uint64_t ext_bytes = dim_e * dim_e * kF;
+
+  Matrix temp = random_matrix(n, n, config.seed);
+  for (std::size_t i = 0; i < temp.size(); ++i) temp.data()[i] += 80.0f;
+  Matrix power = random_matrix(n, n, config.seed + 1);
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    power.data()[i] = std::abs(power.data()[i]);
+  }
+
+  data::Buffer t_cur = dm.alloc(n * n * kF, root);
+  data::Buffer t_next = dm.alloc(n * n * kF, root);
+  data::Buffer pw_blocks = dm.alloc(n * n * kF, root);
+
+  auto block_off = [&](std::uint64_t bi, std::uint64_t bj) {
+    return (bi * g + bj) * blk_bytes;
+  };
+
+  // Preprocessing: block-tiled layout, as in hotspot_northup.
+  {
+    std::vector<float> staging(bd * bd);
+    auto write_blocked = [&](data::Buffer& dst, const Matrix& src) {
+      for (std::uint64_t bi = 0; bi < g; ++bi) {
+        for (std::uint64_t bj = 0; bj < g; ++bj) {
+          for (std::uint64_t r = 0; r < bd; ++r) {
+            std::memcpy(staging.data() + r * bd,
+                        src.data() + (bi * bd + r) * n + bj * bd, bd * kF);
+          }
+          dm.write_from_host(dst, staging.data(), blk_bytes,
+                             block_off(bi, bj));
+        }
+      }
+    };
+    write_blocked(t_cur, temp);
+    write_blocked(pw_blocks, power);
+  }
+  reset_measurement(rt, {&t_cur, &t_next, &pw_blocks});
+
+  // Assembles the extended region of `src_blocks` for block (bi, bj) into
+  // `dst` (a DRAM buffer of dim_e^2 floats). The block and the N/S strips
+  // are contiguous extents in block-tiled storage; E/W strips and corners
+  // are strided (and charged per row).
+  auto assemble = [&](data::Buffer& dst, data::Buffer& src_blocks,
+                      std::uint64_t bi, std::uint64_t bj) {
+    const std::uint64_t pitch_e = dim_e * kF;
+    const std::uint64_t pitch_b = bd * kF;
+    // Center block.
+    dm.move_block_2d(dst, src_blocks, bd, bd * kF, (k * dim_e + k) * kF,
+                     pitch_e, block_off(bi, bj), pitch_b);
+    // North strip: bottom k rows of (bi-1, bj) — contiguous source run.
+    if (bi > 0) {
+      dm.move_block_2d(dst, src_blocks, k, bd * kF, k * kF, pitch_e,
+                       block_off(bi - 1, bj) + (bd - k) * bd * kF, pitch_b);
+    }
+    // South strip: top k rows of (bi+1, bj).
+    if (bi + 1 < g) {
+      dm.move_block_2d(dst, src_blocks, k, bd * kF,
+                       ((k + bd) * dim_e + k) * kF, pitch_e,
+                       block_off(bi + 1, bj), pitch_b);
+    }
+    // West strip: right k cols of (bi, bj-1) — strided source.
+    if (bj > 0) {
+      dm.move_block_2d(dst, src_blocks, bd, k * kF, (k * dim_e) * kF,
+                       pitch_e, block_off(bi, bj - 1) + (bd - k) * kF,
+                       pitch_b);
+    }
+    // East strip: left k cols of (bi, bj+1).
+    if (bj + 1 < g) {
+      dm.move_block_2d(dst, src_blocks, bd, k * kF,
+                       (k * dim_e + k + bd) * kF, pitch_e,
+                       block_off(bi, bj + 1), pitch_b);
+    }
+    // Corners (needed only when both adjacent strips exist).
+    if (bi > 0 && bj > 0) {  // NW: bottom-right k x k of (bi-1, bj-1)
+      dm.move_block_2d(dst, src_blocks, k, k * kF, 0, pitch_e,
+                       block_off(bi - 1, bj - 1) + ((bd - k) * bd + bd - k) *
+                                                       kF,
+                       pitch_b);
+    }
+    if (bi > 0 && bj + 1 < g) {  // NE: bottom-left of (bi-1, bj+1)
+      dm.move_block_2d(dst, src_blocks, k, k * kF, (k + bd) * kF, pitch_e,
+                       block_off(bi - 1, bj + 1) + (bd - k) * bd * kF,
+                       pitch_b);
+    }
+    if (bi + 1 < g && bj > 0) {  // SW: top-right of (bi+1, bj-1)
+      dm.move_block_2d(dst, src_blocks, k, k * kF,
+                       ((k + bd) * dim_e) * kF, pitch_e,
+                       block_off(bi + 1, bj - 1) + (bd - k) * kF, pitch_b);
+    }
+    if (bi + 1 < g && bj + 1 < g) {  // SE: top-left of (bi+1, bj+1)
+      dm.move_block_2d(dst, src_blocks, k, k * kF,
+                       ((k + bd) * dim_e + k + bd) * kF, pitch_e,
+                       block_off(bi + 1, bj + 1), pitch_b);
+    }
+  };
+
+  util::Timer wall;
+  rt.run([&](core::ExecContext& ctx) {
+    const std::uint64_t rounds = config.iterations / k;
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+      for (std::uint64_t bi = 0; bi < g; ++bi) {
+        for (std::uint64_t bj = 0; bj < g; ++bj) {
+          const EdgeFlags edges{bi == 0, bi + 1 == g, bj == 0, bj + 1 == g};
+
+          data::Buffer ea = dm.alloc(ext_bytes, l1);
+          data::Buffer eb = dm.alloc(ext_bytes, l1);
+          data::Buffer ep = dm.alloc(ext_bytes, l1);
+          assemble(ea, t_cur, bi, bj);
+          assemble(ep, pw_blocks, bi, bj);
+
+          ctx.northup_spawn(l1, [&](core::ExecContext& cctx) {
+            data::Buffer* in = &ea;
+            data::Buffer* out = &eb;
+            for (std::uint64_t s = 1; s <= k; ++s) {
+              // The valid region shrinks by one ring per sweep on sides
+              // fed by halo data; global-edge sides stay pinned at the
+              // real boundary (k) with clamped reads.
+              const std::uint64_t row_lo = edges.north ? k : s;
+              const std::uint64_t row_hi = edges.south ? dim_e - k
+                                                       : dim_e - s;
+              const std::uint64_t col_lo = edges.west ? k : s;
+              const std::uint64_t col_hi = edges.east ? dim_e - k
+                                                      : dim_e - s;
+              temporal_sweep(cctx, *in, *out, ep, dim_e, k, row_lo, row_hi,
+                             col_lo, col_hi, edges, config);
+              std::swap(in, out);
+            }
+            if (in != &ea) std::swap(ea, eb);  // result lives in `ea`
+          });
+
+          // Central block back to storage (one write per k sweeps).
+          dm.move_block_2d(t_next, ea, bd, bd * kF, block_off(bi, bj),
+                           bd * kF, (k * dim_e + k) * kF, dim_e * kF);
+          for (auto* b : {&ea, &eb, &ep}) dm.release(*b);
+        }
+      }
+      std::swap(t_cur, t_next);
+    }
+  });
+
+  RunStats stats;
+  if (auto* es = rt.event_sim()) stats.breakdown = core::Breakdown::from(*es);
+  stats.makespan = stats.breakdown.makespan;
+  stats.bytes_moved = rt.dm().bytes_moved();
+  stats.wall_seconds = wall.seconds();
+  stats.spawns = rt.spawn_count();
+
+  if (config.verify) {
+    Matrix cur = temp;
+    Matrix next(n, n);
+    for (std::uint64_t i = 0; i < config.iterations; ++i) {
+      hotspot_step(cur, power, next, config.params);
+      std::swap(cur, next);
+    }
+    Matrix got(n, n);
+    std::vector<float> staging(bd * bd);
+    for (std::uint64_t bi = 0; bi < g; ++bi) {
+      for (std::uint64_t bj = 0; bj < g; ++bj) {
+        dm.read_to_host(staging.data(), t_cur, blk_bytes, block_off(bi, bj));
+        for (std::uint64_t r = 0; r < bd; ++r) {
+          std::memcpy(got.data() + (bi * bd + r) * n + bj * bd,
+                      staging.data() + r * bd, bd * kF);
+        }
+      }
+    }
+    stats.max_rel_err = max_rel_diff(cur, got);
+    stats.verified = stats.max_rel_err < kVerifyTolerance;
+  }
+
+  for (auto* b : {&t_cur, &t_next, &pw_blocks}) dm.release(*b);
+  return stats;
+}
+
+}  // namespace northup::algos

@@ -1,0 +1,169 @@
+#include "northup/algos/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace northup::algos {
+
+void Csr::validate() const {
+  NU_CHECK(row_ptr.size() == static_cast<std::size_t>(rows) + 1,
+           "row_ptr length must be rows + 1");
+  NU_CHECK(row_ptr.front() == 0, "row_ptr must start at 0");
+  NU_CHECK(row_ptr.back() == col_id.size(), "row_ptr must end at nnz");
+  NU_CHECK(col_id.size() == data.size(), "col_id/data length mismatch");
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    NU_CHECK(row_ptr[r] <= row_ptr[r + 1], "row_ptr must be monotone");
+    for (std::uint32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      NU_CHECK(col_id[i] < cols, "column id out of range");
+      if (i > row_ptr[r]) {
+        NU_CHECK(col_id[i - 1] < col_id[i], "columns must be sorted");
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Builds a CSR from per-row column sets with random values.
+Csr assemble(std::uint32_t rows, std::uint32_t cols,
+             const std::vector<std::vector<std::uint32_t>>& row_cols,
+             util::Xoshiro256& rng) {
+  Csr m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.reserve(rows + 1);
+  m.row_ptr.push_back(0);
+  std::uint64_t total = 0;
+  for (const auto& rc : row_cols) total += rc.size();
+  m.col_id.reserve(total);
+  m.data.reserve(total);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c : row_cols[r]) {
+      m.col_id.push_back(c);
+      m.data.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    }
+    m.row_ptr.push_back(static_cast<std::uint32_t>(m.col_id.size()));
+  }
+  return m;
+}
+
+/// Draws `count` distinct sorted columns from [0, cols). Oversample +
+/// sort + dedupe, which is far faster than a std::set for the millions of
+/// rows the benchmark inputs generate.
+std::vector<std::uint32_t> draw_columns(std::uint32_t cols,
+                                        std::uint32_t count,
+                                        util::Xoshiro256& rng) {
+  count = std::min(count, cols);
+  std::vector<std::uint32_t> chosen;
+  chosen.reserve(count + count / 4 + 4);
+  while (true) {
+    while (chosen.size() < count + count / 4 + 4 &&
+           chosen.size() < 2 * static_cast<std::size_t>(count) + 8) {
+      chosen.push_back(static_cast<std::uint32_t>(rng.bounded(cols)));
+    }
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    if (chosen.size() >= count) {
+      chosen.resize(count);
+      return chosen;
+    }
+  }
+}
+
+}  // namespace
+
+Csr banded_matrix(std::uint32_t rows, std::uint32_t half_band,
+                  std::uint64_t seed) {
+  NU_CHECK(rows > 0 && half_band > 0, "empty banded matrix");
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<std::uint32_t>> row_cols(rows);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    const std::uint32_t lo = r >= half_band ? r - half_band : 0;
+    const std::uint32_t hi = std::min(rows - 1, r + half_band);
+    for (std::uint32_t c = lo; c <= hi; ++c) row_cols[r].push_back(c);
+  }
+  return assemble(rows, rows, row_cols, rng);
+}
+
+Csr uniform_matrix(std::uint32_t rows, std::uint32_t cols,
+                   std::uint32_t avg_nnz, std::uint64_t seed) {
+  NU_CHECK(rows > 0 && cols > 0 && avg_nnz > 0, "empty uniform matrix");
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<std::uint32_t>> row_cols(rows);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    // Row length jitters +/- 50% around the mean.
+    const auto len = static_cast<std::uint32_t>(std::max<std::int64_t>(
+        1, rng.range(static_cast<std::int64_t>(avg_nnz) / 2,
+                     static_cast<std::int64_t>(avg_nnz) * 3 / 2)));
+    row_cols[r] = draw_columns(cols, len, rng);
+  }
+  return assemble(rows, cols, row_cols, rng);
+}
+
+Csr powerlaw_matrix(std::uint32_t rows, std::uint32_t cols,
+                    std::uint32_t avg_nnz, double alpha, std::uint64_t seed) {
+  NU_CHECK(alpha > 1.0, "power-law shape must exceed 1");
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<std::uint32_t>> row_cols(rows);
+  // Pareto(xm, alpha) has mean xm * alpha / (alpha - 1); pick xm so the
+  // expected row length is ~avg_nnz.
+  const double xm = static_cast<double>(avg_nnz) * (alpha - 1.0) / alpha;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    const double u = std::max(rng.uniform(), 1e-12);
+    const double len = xm / std::pow(u, 1.0 / alpha);
+    const auto capped = static_cast<std::uint32_t>(
+        std::min<double>(len, cols));
+    row_cols[r] = draw_columns(cols, std::max(1u, capped), rng);
+  }
+  return assemble(rows, cols, row_cols, rng);
+}
+
+Csr dense_rows_matrix(std::uint32_t rows, std::uint32_t cols,
+                      std::uint32_t avg_nnz, std::uint32_t num_dense,
+                      std::uint32_t dense_len, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<std::uint32_t>> row_cols(rows);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    row_cols[r] = draw_columns(cols, std::max(1u, avg_nnz), rng);
+  }
+  for (std::uint32_t i = 0; i < num_dense; ++i) {
+    const auto r = static_cast<std::uint32_t>(rng.bounded(rows));
+    row_cols[r] = draw_columns(cols, dense_len, rng);
+  }
+  return assemble(rows, cols, row_cols, rng);
+}
+
+std::vector<float> random_vector(std::uint32_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+std::vector<float> spmv_reference(const Csr& a, const std::vector<float>& x) {
+  NU_CHECK(x.size() == a.cols, "vector length mismatch");
+  std::vector<float> y(a.rows, 0.0f);
+  for (std::uint32_t r = 0; r < a.rows; ++r) {
+    float acc = 0.0f;
+    for (std::uint32_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      acc += a.data[i] * x[a.col_id[i]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+double max_rel_diff(const std::vector<float>& a, const std::vector<float>& b) {
+  NU_CHECK(a.size() == b.size(), "vector length mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double denom = std::max(1.0, std::abs(static_cast<double>(a[i])));
+    worst = std::max(worst, std::abs(static_cast<double>(a[i]) -
+                                     static_cast<double>(b[i])) /
+                                denom);
+  }
+  return worst;
+}
+
+}  // namespace northup::algos

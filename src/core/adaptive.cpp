@@ -1,0 +1,54 @@
+#include "northup/core/adaptive.hpp"
+
+#include "northup/util/assert.hpp"
+
+namespace northup::core {
+
+AdaptiveMapper::AdaptiveMapper(double alpha) : alpha_(alpha) {
+  NU_CHECK(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+}
+
+void AdaptiveMapper::observe(const device::Processor* proc,
+                             double work_units, double seconds) {
+  NU_CHECK(proc != nullptr, "observe on null processor");
+  NU_CHECK(seconds > 0.0 && work_units > 0.0,
+           "observation must have positive work and time");
+  Entry& e = entries_[proc];
+  const double sample = work_units / seconds;
+  e.throughput = e.count == 0
+                     ? sample
+                     : (1.0 - alpha_) * e.throughput + alpha_ * sample;
+  ++e.count;
+}
+
+device::Processor* AdaptiveMapper::pick(
+    const std::vector<device::Processor*>& candidates) {
+  NU_CHECK(!candidates.empty(), "pick from empty candidate set");
+  // Probe any unprofiled processor first.
+  for (auto* proc : candidates) {
+    if (entries_.find(proc) == entries_.end()) return proc;
+  }
+  device::Processor* best = candidates.front();
+  double best_tp = entries_[best].throughput;
+  for (auto* proc : candidates) {
+    const double tp = entries_[proc].throughput;
+    if (tp > best_tp) {
+      best = proc;
+      best_tp = tp;
+    }
+  }
+  return best;
+}
+
+double AdaptiveMapper::throughput(const device::Processor* proc) const {
+  auto it = entries_.find(proc);
+  return it == entries_.end() ? 0.0 : it->second.throughput;
+}
+
+std::size_t AdaptiveMapper::observations(
+    const device::Processor* proc) const {
+  auto it = entries_.find(proc);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+}  // namespace northup::core

@@ -1,0 +1,108 @@
+#include "northup/core/balancer.hpp"
+
+#include <algorithm>
+
+namespace northup::core {
+
+topo::NodeId SubtreeBalancer::pick_child(topo::NodeId node) {
+  const auto& children = rt_.tree().get_children_list(node);
+  NU_CHECK(!children.empty(), "pick_child on a leaf node");
+
+  topo::NodeId best = children.front();
+  std::size_t best_pending = rt_.queues().subtree_pending(best);
+  // Dispatch history breaks the all-queues-empty tie (the synchronous
+  // runtime drains each queue immediately, so pending alone would always
+  // route to the first child).
+  std::uint64_t best_dispatched = dispatch_counts_[best];
+  std::uint64_t best_avail = rt_.dm().storage(best).available();
+
+  for (std::size_t i = 1; i < children.size(); ++i) {
+    const topo::NodeId child = children[i];
+    const std::size_t pending = rt_.queues().subtree_pending(child);
+    const std::uint64_t dispatched = dispatch_counts_[child];
+    const std::uint64_t avail = rt_.dm().storage(child).available();
+    const bool better =
+        pending < best_pending ||
+        (pending == best_pending &&
+         (dispatched < best_dispatched ||
+          (dispatched == best_dispatched && avail > best_avail)));
+    if (better) {
+      best = child;
+      best_pending = pending;
+      best_dispatched = dispatched;
+      best_avail = avail;
+    }
+  }
+  return best;
+}
+
+void SubtreeBalancer::balanced_spawn(
+    ExecContext& ctx, std::uint64_t chunk_count,
+    const std::function<void(ExecContext&, std::uint64_t)>& body) {
+  for (std::uint64_t i = 0; i < chunk_count; ++i) {
+    const topo::NodeId target = pick_child(ctx.get_cur_treenode());
+    ++dispatch_counts_[target];
+    ctx.northup_spawn(target, [&body, i](ExecContext& child_ctx) {
+      body(child_ctx, i);
+    });
+  }
+}
+
+void SubtreeBalancer::balanced_spawn_weighted(
+    ExecContext& ctx, std::uint64_t chunk_count, double work_per_chunk,
+    const std::map<topo::NodeId, double>& speeds,
+    const std::function<void(ExecContext&, std::uint64_t)>& body) {
+  const auto& children = rt_.tree().get_children_list(ctx.get_cur_treenode());
+  NU_CHECK(!children.empty(), "balanced_spawn_weighted on a leaf node");
+  NU_CHECK(work_per_chunk > 0.0, "chunk work must be positive");
+  for (const topo::NodeId child : children) {
+    NU_CHECK(speeds.count(child) != 0 && speeds.at(child) > 0.0,
+             "missing or non-positive speed for child '" +
+                 rt_.tree().node(child).name + "'");
+  }
+
+  for (std::uint64_t i = 0; i < chunk_count; ++i) {
+    topo::NodeId best = children.front();
+    double best_finish =
+        (assigned_work_[best] + work_per_chunk) / speeds.at(best);
+    for (std::size_t k = 1; k < children.size(); ++k) {
+      const topo::NodeId child = children[k];
+      const double finish =
+          (assigned_work_[child] + work_per_chunk) / speeds.at(child);
+      if (finish < best_finish) {
+        best = child;
+        best_finish = finish;
+      }
+    }
+    assigned_work_[best] += work_per_chunk;
+    ++dispatch_counts_[best];
+    ctx.northup_spawn(best, [&body, i](ExecContext& child_ctx) {
+      body(child_ctx, i);
+    });
+  }
+}
+
+double subtree_speed(Runtime& rt, topo::NodeId node,
+                     const device::KernelCost& cost) {
+  topo::NodeId cur = node;
+  while (true) {
+    const auto procs = rt.processors_at(cur);
+    if (!procs.empty()) {
+      // Prefer the fastest processor at this node for the given cost.
+      double best = 0.0;
+      for (auto* proc : procs) {
+        const double t = proc->kernel_seconds(16, cost);
+        best = std::max(best, 1.0 / t);
+      }
+      return best;
+    }
+    const auto& kids = rt.tree().get_children_list(cur);
+    if (kids.empty()) {
+      throw util::TopologyError("no processor below node '" +
+                                rt.tree().node(cur).name + "'");
+    }
+    cur = kids.front();
+  }
+}
+
+}  // namespace northup::core

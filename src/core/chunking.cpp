@@ -1,0 +1,56 @@
+#include "northup/core/chunking.hpp"
+
+namespace northup::core {
+
+std::uint64_t choose_chunk_count(std::uint64_t total_bytes,
+                                 std::uint64_t child_available,
+                                 std::uint64_t copies, double safety) {
+  NU_CHECK(total_bytes > 0, "empty working set");
+  NU_CHECK(copies > 0, "copies must be positive");
+  NU_CHECK(safety > 0.0 && safety <= 1.0, "safety must be in (0, 1]");
+  const auto budget = static_cast<std::uint64_t>(
+      static_cast<double>(child_available) * safety);
+  NU_CHECK(budget >= copies, "child capacity too small for any chunk");
+  const std::uint64_t per_chunk_budget = budget / copies;
+  return ceil_div(total_bytes, per_chunk_budget);
+}
+
+GridDims choose_grid(std::uint64_t rows, std::uint64_t cols,
+                     std::uint64_t elem_bytes,
+                     std::uint64_t buffers_per_chunk,
+                     std::uint64_t child_available, double safety) {
+  NU_CHECK(rows > 0 && cols > 0 && elem_bytes > 0, "empty matrix");
+  NU_CHECK(buffers_per_chunk > 0, "buffers_per_chunk must be positive");
+  NU_CHECK(safety > 0.0 && safety <= 1.0, "safety must be in (0, 1]");
+
+  const double budget = static_cast<double>(child_available) * safety /
+                        static_cast<double>(buffers_per_chunk);
+  NU_CHECK(budget >= static_cast<double>(elem_bytes),
+           "child capacity too small for a single element");
+
+  GridDims grid;
+  auto chunk_bytes = [&](const GridDims& g) {
+    return static_cast<double>(ceil_div(rows, g.x)) *
+           static_cast<double>(ceil_div(cols, g.y)) *
+           static_cast<double>(elem_bytes);
+  };
+  while (chunk_bytes(grid) > budget) {
+    // Split the dimension whose chunk extent is currently longer; ties
+    // split x. Stop refining a dimension once it is down to single rows
+    // or columns.
+    const std::uint64_t chunk_r = ceil_div(rows, grid.x);
+    const std::uint64_t chunk_c = ceil_div(cols, grid.y);
+    if (chunk_r >= chunk_c && chunk_r > 1) {
+      ++grid.x;
+    } else if (chunk_c > 1) {
+      ++grid.y;
+    } else if (chunk_r > 1) {
+      ++grid.x;
+    } else {
+      NU_CHECK(false, "cannot decompose to fit child capacity");
+    }
+  }
+  return grid;
+}
+
+}  // namespace northup::core

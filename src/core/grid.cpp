@@ -1,0 +1,78 @@
+#include "northup/core/grid.hpp"
+
+namespace northup::core {
+
+void grid_map(ExecContext& ctx, const GridJob& job, const data::MatView& in,
+              const data::MatView& out, const GridLeafFn& leaf) {
+  NU_CHECK(job.rows > 0 && job.cols > 0 && job.elem_size > 0,
+           "grid_map on empty job");
+
+  if (ctx.is_leaf()) {
+    NU_CHECK(in.buf != nullptr && out.buf != nullptr, "null grid view");
+    // At the leaf the views are dense chunk buffers by construction.
+    leaf(ctx, *in.buf, *out.buf, job.rows, job.cols);
+    return;
+  }
+
+  auto& dm = ctx.dm();
+  const topo::NodeId child = ctx.child(0);
+  // Listing 3: the chunk grid (get_x() x get_y()) follows from the
+  // child's free capacity; two buffers (in + out) travel per chunk.
+  const GridDims grid =
+      choose_grid(job.rows, job.cols, job.elem_size, 2,
+                  ctx.available_bytes(child), job.capacity_safety);
+
+  const std::uint64_t chunk_r = ceil_div(job.rows, grid.x);
+  const std::uint64_t chunk_c = ceil_div(job.cols, grid.y);
+
+  for (std::uint64_t gi = 0; gi < grid.x; ++gi) {
+    for (std::uint64_t gj = 0; gj < grid.y; ++gj) {
+      const std::uint64_t r0 = gi * chunk_r;
+      const std::uint64_t c0 = gj * chunk_c;
+      if (r0 >= job.rows || c0 >= job.cols) continue;
+      const std::uint64_t h = std::min(chunk_r, job.rows - r0);
+      const std::uint64_t w = std::min(chunk_c, job.cols - c0);
+      const std::uint64_t row_bytes = w * job.elem_size;
+
+      // setup_buffer(): space for the chunk at the child level.
+      data::Buffer cin = dm.alloc(h * row_bytes, child);
+      data::Buffer cout = dm.alloc(h * row_bytes, child);
+
+      // data_down(): index() locates the chunk in the parent view.
+      const data::MatView src{in.buf,
+                               in.offset + r0 * in.pitch + c0 * job.elem_size,
+                               in.pitch};
+      data::move_submatrix(dm, {&cin, 0, row_bytes}, src, h, row_bytes);
+
+      // northup_spawn(myfunction(...)): recurse with the chunk as the
+      // child's whole (dense) dataset.
+      ctx.northup_spawn(child, [&](ExecContext& cctx) {
+        GridJob sub = job;
+        sub.rows = h;
+        sub.cols = w;
+        grid_map(cctx, sub, {&cin, 0, row_bytes}, {&cout, 0, row_bytes},
+                 leaf);
+      });
+
+      // data_up(): result back into the parent's output view.
+      const data::MatView dst{
+          out.buf, out.offset + r0 * out.pitch + c0 * job.elem_size,
+          out.pitch};
+      data::move_submatrix(dm, dst, {&cout, 0, row_bytes}, h, row_bytes);
+
+      dm.release(cin);
+      dm.release(cout);
+    }
+  }
+}
+
+void grid_map(ExecContext& ctx, const GridJob& job, data::Buffer& in,
+              data::Buffer& out, const GridLeafFn& leaf) {
+  const std::uint64_t pitch = job.cols * job.elem_size;
+  NU_CHECK(in.size() >= job.rows * pitch && out.size() >= job.rows * pitch,
+           "grid buffers smaller than the dataset");
+  grid_map(ctx, job, data::MatView{&in, 0, pitch},
+           data::MatView{&out, 0, pitch}, leaf);
+}
+
+}  // namespace northup::core

@@ -1,0 +1,57 @@
+#include "northup/core/profiler.hpp"
+
+#include <sstream>
+
+#include "northup/util/bytes.hpp"
+
+namespace northup::core {
+
+Breakdown Breakdown::from(const sim::EventSim& sim) {
+  Breakdown b;
+  for (const auto& [phase, total] : sim.phase_totals()) {
+    if (phase == "cpu") b.cpu = total;
+    else if (phase == "gpu") b.gpu = total;
+    else if (phase == "setup") b.setup = total;
+    else if (phase == "transfer") b.transfer = total;
+    else if (phase == "io") b.io = total;
+    else if (phase == "runtime") b.runtime = total;
+  }
+  b.makespan = sim.makespan();
+  return b;
+}
+
+double Breakdown::component_total() const {
+  return cpu + gpu + setup + transfer + io + runtime;
+}
+
+std::map<std::string, double> Breakdown::shares() const {
+  const double total = component_total();
+  std::map<std::string, double> result;
+  if (total <= 0.0) return result;
+  result["cpu"] = cpu / total;
+  result["gpu"] = gpu / total;
+  result["setup"] = setup / total;
+  result["transfer"] = transfer / total;
+  result["io"] = io / total;
+  result["runtime"] = runtime / total;
+  return result;
+}
+
+double Breakdown::runtime_overhead_fraction() const {
+  const double total = component_total();
+  return total > 0.0 ? runtime / total : 0.0;
+}
+
+std::string Breakdown::to_string() const {
+  std::ostringstream os;
+  os << "makespan=" << util::format_seconds(makespan)
+     << " cpu=" << util::format_seconds(cpu)
+     << " gpu=" << util::format_seconds(gpu)
+     << " setup=" << util::format_seconds(setup)
+     << " transfer=" << util::format_seconds(transfer)
+     << " io=" << util::format_seconds(io)
+     << " runtime=" << util::format_seconds(runtime);
+  return os.str();
+}
+
+}  // namespace northup::core

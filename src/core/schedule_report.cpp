@@ -1,0 +1,66 @@
+#include "northup/core/schedule_report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "northup/util/bytes.hpp"
+#include "northup/util/table.hpp"
+
+namespace northup::core {
+
+ScheduleReport ScheduleReport::from(const sim::EventSim& sim) {
+  ScheduleReport report;
+  report.makespan = sim.makespan();
+
+  for (sim::ResourceId r = 0; r < sim.resource_count(); ++r) {
+    ResourceUtilization u;
+    u.name = sim.resource_name(r);
+    u.busy_seconds = sim.resource_busy(r);
+    u.utilization =
+        report.makespan > 0.0 ? u.busy_seconds / report.makespan : 0.0;
+    report.serialized_total += u.busy_seconds;
+    report.resources.push_back(std::move(u));
+  }
+  std::sort(report.resources.begin(), report.resources.end(),
+            [](const auto& a, const auto& b) {
+              return a.busy_seconds > b.busy_seconds;
+            });
+  report.parallelism = report.makespan > 0.0
+                           ? report.serialized_total / report.makespan
+                           : 0.0;
+
+  const auto path = sim.critical_path();
+  report.critical_path_length = path.size();
+  for (const auto id : path) {
+    const auto& spec = sim.task(id);
+    report.critical_path_by_phase[spec.phase] += spec.duration;
+  }
+  return report;
+}
+
+std::string ScheduleReport::to_string() const {
+  std::ostringstream os;
+  os << "makespan " << util::format_seconds(makespan) << ", serialized "
+     << util::format_seconds(serialized_total) << ", parallelism "
+     << util::TextTable::num(parallelism, 2) << "x\n";
+
+  util::TextTable engines;
+  engines.set_header({"engine", "busy", "utilization"});
+  for (const auto& r : resources) {
+    engines.add_row({r.name, util::format_seconds(r.busy_seconds),
+                     util::TextTable::num(r.utilization * 100.0, 1) + "%"});
+  }
+  os << engines.render();
+
+  os << "critical path (" << critical_path_length << " tasks):";
+  for (const auto& [phase, seconds] : critical_path_by_phase) {
+    os << ' ' << phase << '='
+       << util::TextTable::num(
+              makespan > 0.0 ? seconds / makespan * 100.0 : 0.0, 1)
+       << '%';
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace northup::core

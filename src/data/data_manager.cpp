@@ -1,0 +1,271 @@
+#include "northup/data/data_manager.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::data {
+
+namespace {
+
+bool involves_file(mem::StorageKind kind) { return mem::is_file_backed(kind); }
+
+bool is_device_like(mem::StorageKind kind) {
+  return kind == mem::StorageKind::DeviceMem ||
+         kind == mem::StorageKind::Scratchpad;
+}
+
+}  // namespace
+
+DataManager::DataManager(const topo::TopoTree& tree, sim::EventSim* sim)
+    : tree_(tree), sim_(sim) {}
+
+void DataManager::bind_storage(topo::NodeId node,
+                               std::unique_ptr<mem::Storage> storage) {
+  NU_CHECK(node < tree_.node_count(), "bind_storage: unknown node");
+  NU_CHECK(storage != nullptr, "bind_storage: null backend");
+  NU_CHECK(storage->kind() == tree_.fetch_node_type(node),
+           "backend kind does not match the node's storage_type");
+  storages_[node] = std::move(storage);
+}
+
+bool DataManager::is_bound(topo::NodeId node) const {
+  return storages_.count(node) != 0;
+}
+
+mem::Storage& DataManager::storage(topo::NodeId node) {
+  auto it = storages_.find(node);
+  NU_CHECK(it != storages_.end(),
+           "no storage bound for node '" + tree_.node(node).name + "'");
+  return *it->second;
+}
+
+sim::ResourceId DataManager::resource_for(topo::NodeId node) {
+  NU_CHECK(sim_ != nullptr, "resource_for requires an EventSim");
+  auto it = resources_.find(node);
+  if (it != resources_.end()) return it->second;
+  const auto id = sim_->add_resource("mem:" + tree_.node(node).name);
+  resources_.emplace(node, id);
+  return id;
+}
+
+Buffer DataManager::alloc(std::uint64_t size, topo::NodeId tree_node) {
+  mem::Storage& st = storage(tree_node);
+  Buffer buffer;
+  buffer.node = tree_node;
+  buffer.allocation = st.alloc(size);
+  charge_setup(tree_node, setup_costs_.alloc_time(st.kind()),
+               "alloc@" + tree_.node(tree_node).name, &buffer);
+  return buffer;
+}
+
+void DataManager::release(Buffer& buffer) {
+  NU_CHECK(buffer.valid(), "release of invalid buffer");
+  storage(buffer.node).release(buffer.allocation);
+  charge_setup(buffer.node, setup_costs_.release_s,
+               "release@" + tree_.node(buffer.node).name, nullptr);
+  buffer = Buffer{};
+}
+
+void DataManager::charge_setup(topo::NodeId node, double seconds,
+                               const std::string& label, Buffer* buffer) {
+  if (sim_ == nullptr) return;
+  const auto task =
+      sim_->add_task(label, phase::kSetup, resource_for(node), seconds);
+  if (buffer != nullptr) buffer->ready = task;
+}
+
+void DataManager::copy_bytes(Buffer& dst, const Buffer& src,
+                             std::uint64_t size, std::uint64_t dst_offset,
+                             std::uint64_t src_offset) {
+  std::vector<std::byte> staging(size);
+  storage(src.node).read(staging.data(), src.allocation, src_offset, size);
+  storage(dst.node).write(dst.allocation, dst_offset, staging.data(), size);
+}
+
+void DataManager::charge_move(Buffer& dst, const Buffer& src,
+                              std::uint64_t bytes,
+                              std::uint64_t src_accesses,
+                              std::uint64_t dst_accesses,
+                              const std::string& label,
+                              std::vector<sim::TaskId> extra_deps) {
+  bytes_moved_ += bytes;
+  if (sim_ == nullptr) return;
+
+  const auto sk = tree_.fetch_node_type(src.node);
+  const auto dk = tree_.fetch_node_type(dst.node);
+  const auto& smodel = storage(src.node).model();
+  const auto& dmodel = storage(dst.node).model();
+
+  // The per-access latency penalty applies to file-backed storage (each
+  // fragment is a separate I/O syscall, §V-B's "variable buffer sizes"
+  // penalty) and only on the side that is actually fragmented; DMA
+  // engines and memcpy gather strided copies, so byte-addressable legs
+  // are charged as a single access.
+  const std::uint64_t src_acc = src_accesses;
+  const std::uint64_t dst_acc = dst_accesses;
+  constexpr std::uint64_t kDmaAcc = 1;
+
+  std::vector<Leg> legs;
+  if (involves_file(sk) && involves_file(dk)) {
+    legs.push_back({src.node, phase::kIo, smodel.read_time(bytes, src_acc)});
+    legs.push_back({dst.node, phase::kIo, dmodel.write_time(bytes, dst_acc)});
+  } else if (involves_file(sk) && is_device_like(dk)) {
+    // Staged: storage -> DRAM (I/O engine), then DRAM -> device (DMA).
+    legs.push_back({src.node, phase::kIo, smodel.read_time(bytes, src_acc)});
+    legs.push_back(
+        {dst.node, phase::kTransfer, dmodel.write_time(bytes, kDmaAcc)});
+  } else if (is_device_like(sk) && involves_file(dk)) {
+    legs.push_back(
+        {src.node, phase::kTransfer, smodel.read_time(bytes, kDmaAcc)});
+    legs.push_back({dst.node, phase::kIo, dmodel.write_time(bytes, dst_acc)});
+  } else if (involves_file(sk)) {
+    legs.push_back({src.node, phase::kIo, smodel.read_time(bytes, src_acc)});
+  } else if (involves_file(dk)) {
+    legs.push_back({dst.node, phase::kIo, dmodel.write_time(bytes, dst_acc)});
+  } else if (is_device_like(dk)) {
+    legs.push_back(
+        {dst.node, phase::kTransfer, dmodel.write_time(bytes, kDmaAcc)});
+  } else if (is_device_like(sk)) {
+    legs.push_back(
+        {src.node, phase::kTransfer, smodel.read_time(bytes, kDmaAcc)});
+  } else {
+    // Host-to-host (DRAM/NVM): the slower of the two sides bounds the copy.
+    const double read_t = smodel.read_time(bytes, kDmaAcc);
+    const double write_t = dmodel.write_time(bytes, kDmaAcc);
+    const topo::NodeId bottleneck = read_t >= write_t ? src.node : dst.node;
+    legs.push_back({bottleneck, phase::kTransfer, std::max(read_t, write_t)});
+  }
+
+  std::vector<sim::TaskId> deps = std::move(extra_deps);
+  if (src.ready != sim::kInvalidTask) deps.push_back(src.ready);
+  if (dst.ready != sim::kInvalidTask) deps.push_back(dst.ready);
+  sim::TaskId last = sim::kInvalidTask;
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    std::vector<sim::TaskId> leg_deps =
+        (i == 0) ? deps : std::vector<sim::TaskId>{last};
+    last = sim_->add_task(label, legs[i].phase,
+                          resource_for(legs[i].resource_node),
+                          legs[i].seconds, std::move(leg_deps));
+  }
+  dst.ready = last;
+}
+
+void DataManager::move_data(Buffer& dst, const Buffer& src,
+                            std::uint64_t size, std::uint64_t dst_offset,
+                            std::uint64_t src_offset,
+                            std::vector<sim::TaskId> extra_deps) {
+  NU_CHECK(src.valid() && dst.valid(), "move_data with invalid buffer");
+  NU_CHECK(&dst != &src, "move_data src and dst alias the same handle");
+  copy_bytes(dst, src, size, dst_offset, src_offset);
+  charge_move(dst, src, size, 1, 1,
+              "move " + tree_.node(src.node).name + "->" +
+                  tree_.node(dst.node).name,
+              std::move(extra_deps));
+}
+
+void DataManager::move_data_down(Buffer& dst, const Buffer& src,
+                                 std::uint64_t size, std::uint64_t dst_offset,
+                                 std::uint64_t src_offset,
+                                 std::vector<sim::TaskId> extra_deps) {
+  NU_CHECK(tree_.get_parent(dst.node) == src.node,
+           "move_data_down: destination is not on a child of the source");
+  move_data(dst, src, size, dst_offset, src_offset, std::move(extra_deps));
+}
+
+void DataManager::move_data_up(Buffer& dst, const Buffer& src,
+                               std::uint64_t size, std::uint64_t dst_offset,
+                               std::uint64_t src_offset,
+                               std::vector<sim::TaskId> extra_deps) {
+  NU_CHECK(tree_.get_parent(src.node) == dst.node,
+           "move_data_up: destination is not the source's parent");
+  move_data(dst, src, size, dst_offset, src_offset, std::move(extra_deps));
+}
+
+void DataManager::move_block_2d(Buffer& dst, const Buffer& src,
+                                std::uint64_t rows, std::uint64_t row_bytes,
+                                std::uint64_t dst_offset,
+                                std::uint64_t dst_pitch,
+                                std::uint64_t src_offset,
+                                std::uint64_t src_pitch,
+                                std::vector<sim::TaskId> extra_deps) {
+  NU_CHECK(src.valid() && dst.valid(), "move_block_2d with invalid buffer");
+  NU_CHECK(src_pitch >= row_bytes && dst_pitch >= row_bytes,
+           "move_block_2d pitch smaller than row");
+  std::vector<std::byte> staging(row_bytes);
+  mem::Storage& s = storage(src.node);
+  mem::Storage& d = storage(dst.node);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    s.read(staging.data(), src.allocation, src_offset + r * src_pitch,
+           row_bytes);
+    d.write(dst.allocation, dst_offset + r * dst_pitch, staging.data(),
+            row_bytes);
+  }
+  // Per-side fragmentation: a dense side (pitch == row) is one request.
+  const std::uint64_t src_acc = src_pitch == row_bytes ? 1 : rows;
+  const std::uint64_t dst_acc = dst_pitch == row_bytes ? 1 : rows;
+  charge_move(dst, src, rows * row_bytes, src_acc, dst_acc,
+              "block2d " + tree_.node(src.node).name + "->" +
+                  tree_.node(dst.node).name,
+              std::move(extra_deps));
+}
+
+void DataManager::fill(Buffer& dst, std::byte value, std::uint64_t size,
+                       std::uint64_t dst_offset) {
+  NU_CHECK(dst.valid(), "fill of invalid buffer");
+  std::vector<std::byte> staging(size, value);
+  storage(dst.node).write(dst.allocation, dst_offset, staging.data(), size);
+  if (sim_ != nullptr) {
+    std::vector<sim::TaskId> deps;
+    if (dst.ready != sim::kInvalidTask) deps.push_back(dst.ready);
+    dst.ready = sim_->add_task(
+        "fill@" + tree_.node(dst.node).name, phase::kTransfer,
+        resource_for(dst.node), storage(dst.node).model().write_time(size),
+        std::move(deps));
+  }
+}
+
+void DataManager::write_from_host(Buffer& dst, const void* src,
+                                  std::uint64_t size,
+                                  std::uint64_t dst_offset) {
+  NU_CHECK(dst.valid(), "write_from_host to invalid buffer");
+  storage(dst.node).write(dst.allocation, dst_offset, src, size);
+  if (sim_ != nullptr) {
+    const auto kind = tree_.fetch_node_type(dst.node);
+    const char* ph = involves_file(kind) ? phase::kIo : phase::kTransfer;
+    std::vector<sim::TaskId> deps;
+    if (dst.ready != sim::kInvalidTask) deps.push_back(dst.ready);
+    dst.ready = sim_->add_task(
+        "host->" + tree_.node(dst.node).name, ph, resource_for(dst.node),
+        storage(dst.node).model().write_time(size), std::move(deps));
+  }
+  bytes_moved_ += size;
+}
+
+void DataManager::read_to_host(void* dst, const Buffer& src,
+                               std::uint64_t size, std::uint64_t src_offset) {
+  NU_CHECK(src.valid(), "read_to_host from invalid buffer");
+  storage(src.node).read(dst, src.allocation, src_offset, size);
+  if (sim_ != nullptr) {
+    const auto kind = tree_.fetch_node_type(src.node);
+    const char* ph = involves_file(kind) ? phase::kIo : phase::kTransfer;
+    std::vector<sim::TaskId> deps;
+    if (src.ready != sim::kInvalidTask) deps.push_back(src.ready);
+    sim_->add_task(tree_.node(src.node).name + "->host", ph,
+                   resource_for(src.node),
+                   storage(src.node).model().read_time(size), std::move(deps));
+  }
+  bytes_moved_ += size;
+}
+
+std::byte* DataManager::host_view(const Buffer& buffer) {
+  NU_CHECK(buffer.valid(), "host_view of invalid buffer");
+  auto* host = dynamic_cast<mem::HostStorage*>(&storage(buffer.node));
+  NU_CHECK(host != nullptr,
+           "host_view requires a byte-addressable (HostStorage) node; '" +
+               tree_.node(buffer.node).name + "' is file-backed");
+  return host->raw(buffer.allocation);
+}
+
+}  // namespace northup::data

@@ -1,0 +1,107 @@
+#include "northup/data/layout.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace northup::data {
+
+namespace {
+
+/// Runs a staged transform: read the source range to host, permute into a
+/// second staging buffer, write to the destination, then charge (a) the
+/// byte movement between the nodes and (b) the CPU-side permutation pass.
+template <typename Permute>
+void staged_transform(DataManager& dm, Buffer& dst, const Buffer& src,
+                      std::uint64_t bytes, std::uint64_t dst_offset,
+                      std::uint64_t src_offset,
+                      const TransformCostModel& cost, const char* label,
+                      Permute&& permute) {
+  NU_CHECK(src.valid() && dst.valid(), "transforming move on invalid buffer");
+  NU_CHECK(cost.bytes_per_s > 0.0, "transform bandwidth must be positive");
+
+  std::vector<std::byte> in(bytes), out(bytes);
+  dm.storage(src.node).read(in.data(), src.allocation, src_offset, bytes);
+  permute(in.data(), out.data());
+  dm.storage(dst.node).write(dst.allocation, dst_offset, out.data(), bytes);
+
+  auto* sim = dm.event_sim();
+  if (sim == nullptr) return;
+  // Movement legs (same classification as move_data): model by issuing a
+  // zero-byte "shadow" move is not possible, so charge directly — one leg
+  // on the source node's engine for the read and one CPU-style transform
+  // task, then the destination write. We reuse the node models.
+  std::vector<sim::TaskId> deps;
+  if (src.ready != sim::kInvalidTask) deps.push_back(src.ready);
+  if (dst.ready != sim::kInvalidTask) deps.push_back(dst.ready);
+
+  const auto read_task = sim->add_task(
+      std::string(label) + ":read",
+      mem::is_file_backed(dm.tree().fetch_node_type(src.node))
+          ? phase::kIo
+          : phase::kTransfer,
+      dm.resource_for(src.node),
+      dm.storage(src.node).model().read_time(bytes), deps);
+  const auto xform_task = sim->add_task(
+      std::string(label) + ":permute", phase::kCpu,
+      dm.resource_for(src.node),  // staged on the host side of the source
+      static_cast<double>(bytes) / cost.bytes_per_s, {read_task});
+  const auto write_task = sim->add_task(
+      std::string(label) + ":write",
+      mem::is_file_backed(dm.tree().fetch_node_type(dst.node))
+          ? phase::kIo
+          : phase::kTransfer,
+      dm.resource_for(dst.node),
+      dm.storage(dst.node).model().write_time(bytes), {xform_task});
+  dst.ready = write_task;
+}
+
+}  // namespace
+
+void move_transposed(DataManager& dm, Buffer& dst, const Buffer& src,
+                     std::uint64_t rows, std::uint64_t cols,
+                     std::uint64_t elem_size, std::uint64_t dst_offset,
+                     std::uint64_t src_offset,
+                     const TransformCostModel& cost) {
+  NU_CHECK(rows > 0 && cols > 0 && elem_size > 0, "empty transpose");
+  const std::uint64_t bytes = rows * cols * elem_size;
+  staged_transform(
+      dm, dst, src, bytes, dst_offset, src_offset, cost, "transpose",
+      [&](const std::byte* in, std::byte* out) {
+        for (std::uint64_t r = 0; r < rows; ++r) {
+          for (std::uint64_t c = 0; c < cols; ++c) {
+            const std::byte* s = in + (r * cols + c) * elem_size;
+            std::byte* d = out + (c * rows + r) * elem_size;
+            std::copy(s, s + elem_size, d);
+          }
+        }
+      });
+}
+
+void move_reinterleaved(DataManager& dm, Buffer& dst, const Buffer& src,
+                        std::uint64_t records, std::uint64_t fields,
+                        std::uint64_t field_size, LayoutTransform transform,
+                        std::uint64_t dst_offset, std::uint64_t src_offset,
+                        const TransformCostModel& cost) {
+  NU_CHECK(records > 0 && fields > 0 && field_size > 0, "empty reinterleave");
+  NU_CHECK(transform == LayoutTransform::AosToSoa ||
+               transform == LayoutTransform::SoaToAos,
+           "move_reinterleaved requires AosToSoa or SoaToAos");
+  const std::uint64_t bytes = records * fields * field_size;
+  const bool to_soa = transform == LayoutTransform::AosToSoa;
+  staged_transform(
+      dm, dst, src, bytes, dst_offset, src_offset, cost,
+      to_soa ? "aos->soa" : "soa->aos",
+      [&](const std::byte* in, std::byte* out) {
+        for (std::uint64_t rec = 0; rec < records; ++rec) {
+          for (std::uint64_t f = 0; f < fields; ++f) {
+            const std::uint64_t aos = (rec * fields + f) * field_size;
+            const std::uint64_t soa = (f * records + rec) * field_size;
+            const std::uint64_t from = to_soa ? aos : soa;
+            const std::uint64_t to = to_soa ? soa : aos;
+            std::copy(in + from, in + from + field_size, out + to);
+          }
+        }
+      });
+}
+
+}  // namespace northup::data

@@ -1,0 +1,110 @@
+#include "northup/device/processor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "northup/data/data_manager.hpp"
+
+namespace northup::device {
+
+const char* phase_for(topo::ProcessorType type) {
+  switch (type) {
+    case topo::ProcessorType::Cpu: return data::phase::kCpu;
+    case topo::ProcessorType::Gpu: return data::phase::kGpu;
+    case topo::ProcessorType::Fpga: return data::phase::kGpu;
+  }
+  return data::phase::kCpu;
+}
+
+Processor::Processor(topo::ProcessorInfo info, sim::EventSim* sim)
+    : info_(std::move(info)), sim_(sim) {
+  if (sim_ != nullptr) {
+    resource_ = sim_->add_resource("proc:" + info_.name);
+  }
+  const std::uint64_t local_bytes =
+      info_.local_mem_bytes > 0 ? info_.local_mem_bytes : 0;
+  if (local_bytes > 0) {
+    local_mem_ = util::AlignedBuffer(local_bytes, util::kCacheLineSize);
+  }
+}
+
+double Processor::occupancy(std::uint32_t num_groups) const {
+  NU_CHECK(num_groups > 0, "kernel launch with zero workgroups");
+  const double full =
+      2.0 * static_cast<double>(std::max(info_.compute_units, 1));
+  const double ratio = static_cast<double>(num_groups) / full;
+  return ratio >= 1.0 ? 1.0 : ratio;
+}
+
+double Processor::kernel_seconds(std::uint32_t num_groups,
+                                 const KernelCost& cost) const {
+  return info_.model.kernel_time(cost.flops, cost.bytes,
+                                 occupancy(num_groups));
+}
+
+LaunchResult Processor::launch(const std::string& label,
+                               std::uint32_t num_groups,
+                               const KernelFn& kernel, const KernelCost& cost,
+                               std::vector<sim::TaskId> deps) {
+  NU_CHECK(num_groups > 0, "kernel launch with zero workgroups");
+  if (pool_ != nullptr && num_groups > 1) {
+    // Parallel functional pass: every workgroup becomes a pool task with
+    // its own local-memory arena (concurrent groups cannot share one, as
+    // on hardware each resident group owns a scratchpad slice).
+    const std::uint64_t local_bytes = local_mem_.size();
+    std::atomic<std::uint32_t> remaining{num_groups};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    for (std::uint32_t g = 0; g < num_groups; ++g) {
+      pool_->submit([&, g] {
+        std::vector<std::byte> arena(local_bytes);
+        WorkGroupCtx ctx;
+        ctx.group_id = g;
+        ctx.group_count = num_groups;
+        ctx.local_mem = arena.data();
+        ctx.local_mem_bytes = local_bytes;
+        kernel(ctx);
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] {
+      return remaining.load(std::memory_order_acquire) == 0;
+    });
+  } else {
+    // Serial functional pass: one WorkGroupCtx per group, sharing the
+    // local-memory arena (safe when groups run one at a time; local
+    // memory is undefined at group start, as on hardware).
+    for (std::uint32_t g = 0; g < num_groups; ++g) {
+      WorkGroupCtx ctx;
+      ctx.group_id = g;
+      ctx.group_count = num_groups;
+      ctx.local_mem = local_mem_.data();
+      ctx.local_mem_bytes = local_mem_.size();
+      kernel(ctx);
+    }
+  }
+  return launch_costed(label, num_groups, cost, std::move(deps));
+}
+
+LaunchResult Processor::launch_costed(const std::string& label,
+                                      std::uint32_t num_groups,
+                                      const KernelCost& cost,
+                                      std::vector<sim::TaskId> deps) {
+  ++launch_count_;
+  LaunchResult result;
+  result.sim_seconds = kernel_seconds(num_groups, cost);
+  if (sim_ != nullptr) {
+    result.task = sim_->add_task(label, phase_for(info_.type), resource_,
+                                 result.sim_seconds, std::move(deps));
+  }
+  return result;
+}
+
+}  // namespace northup::device

@@ -1,0 +1,36 @@
+#include "northup/device/stream.hpp"
+
+namespace northup::device {
+
+Stream::Stream(Processor& processor, data::DataManager& dm, std::string name)
+    : processor_(processor), dm_(dm), name_(std::move(name)) {}
+
+std::vector<sim::TaskId> Stream::chain_deps(std::vector<sim::TaskId> extra) {
+  if (last_ != sim::kInvalidTask) extra.push_back(last_);
+  extra.insert(extra.end(), pending_waits_.begin(), pending_waits_.end());
+  pending_waits_.clear();
+  return extra;
+}
+
+void Stream::copy(data::Buffer& dst, const data::Buffer& src,
+                  std::uint64_t size, std::uint64_t dst_offset,
+                  std::uint64_t src_offset) {
+  dm_.move_data(dst, src, size, dst_offset, src_offset, chain_deps({}));
+  if (dst.ready != sim::kInvalidTask) last_ = dst.ready;
+}
+
+LaunchResult Stream::launch(const std::string& label,
+                            std::uint32_t num_groups, const KernelFn& kernel,
+                            const KernelCost& cost,
+                            std::vector<sim::TaskId> input_ready) {
+  auto result = processor_.launch(name_ + ":" + label, num_groups, kernel,
+                                  cost, chain_deps(std::move(input_ready)));
+  if (result.task != sim::kInvalidTask) last_ = result.task;
+  return result;
+}
+
+void Stream::wait(sim::TaskId task) {
+  if (task != sim::kInvalidTask) pending_waits_.push_back(task);
+}
+
+}  // namespace northup::device

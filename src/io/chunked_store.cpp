@@ -1,0 +1,102 @@
+#include "northup/io/chunked_store.hpp"
+
+#include <filesystem>
+#include <vector>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::io {
+
+ChunkedFileStore::ChunkedFileStore(std::string dir) : dir_(std::move(dir)) {
+  NU_CHECK(std::filesystem::is_directory(dir_),
+           "chunk store directory does not exist: '" + dir_ + "'");
+}
+
+PosixFile& ChunkedFileStore::open_chunk(std::uint64_t id, bool create) const {
+  auto it = files_.find(id);
+  if (it != files_.end()) return it->second;
+  NU_CHECK(create, "chunk " + std::to_string(id) + " does not exist");
+  const auto path =
+      (std::filesystem::path(dir_) / ("chunk_" + std::to_string(id) + ".bin"))
+          .string();
+  auto [pos, inserted] =
+      files_.emplace(id, PosixFile(path, {.create = true, .truncate = true}));
+  NU_ASSERT(inserted);
+  return pos->second;
+}
+
+void ChunkedFileStore::write_chunk(std::uint64_t id, const void* data,
+                                   std::size_t bytes) {
+  PosixFile& f = open_chunk(id, /*create=*/true);
+  f.truncate(bytes);
+  f.pwrite_exact(data, bytes, 0);
+}
+
+void ChunkedFileStore::read_chunk(std::uint64_t id, void* dst,
+                                  std::size_t bytes,
+                                  std::uint64_t offset) const {
+  const PosixFile& f = open_chunk(id, /*create=*/false);
+  f.pread_exact(dst, bytes, offset);
+}
+
+std::uint64_t ChunkedFileStore::chunk_bytes(std::uint64_t id) const {
+  return open_chunk(id, /*create=*/false).size();
+}
+
+bool ChunkedFileStore::has_chunk(std::uint64_t id) const {
+  return files_.count(id) != 0;
+}
+
+void ChunkedFileStore::erase_chunk(std::uint64_t id) {
+  auto it = files_.find(id);
+  NU_CHECK(it != files_.end(),
+           "erase of unknown chunk " + std::to_string(id));
+  const std::string path = it->second.path();
+  files_.erase(it);
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+std::size_t write_tiled_matrix(ChunkedFileStore& store, const void* data,
+                               std::size_t rows, std::size_t cols,
+                               std::size_t elem_size, std::size_t tile_rows,
+                               std::size_t tile_cols) {
+  NU_CHECK(tile_rows > 0 && tile_cols > 0, "tile dims must be positive");
+  const std::size_t tiles_r = (rows + tile_rows - 1) / tile_rows;
+  const std::size_t tiles_c = (cols + tile_cols - 1) / tile_cols;
+  const auto* src = static_cast<const std::byte*>(data);
+
+  std::vector<std::byte> staging(tile_rows * tile_cols * elem_size);
+  for (std::size_t tr = 0; tr < tiles_r; ++tr) {
+    for (std::size_t tc = 0; tc < tiles_c; ++tc) {
+      const std::size_t r0 = tr * tile_rows;
+      const std::size_t c0 = tc * tile_cols;
+      const std::size_t h = std::min(tile_rows, rows - r0);
+      const std::size_t w = std::min(tile_cols, cols - c0);
+      for (std::size_t r = 0; r < h; ++r) {
+        const std::byte* row_src =
+            src + ((r0 + r) * cols + c0) * elem_size;
+        std::copy(row_src, row_src + w * elem_size,
+                  staging.data() + r * w * elem_size);
+      }
+      store.write_chunk(tr * tiles_c + tc, staging.data(),
+                        h * w * elem_size);
+    }
+  }
+  return tiles_r * tiles_c;
+}
+
+void read_matrix_tile(const ChunkedFileStore& store, void* dst,
+                      std::size_t rows, std::size_t cols,
+                      std::size_t elem_size, std::size_t tile_rows,
+                      std::size_t tile_cols, std::size_t tr, std::size_t tc) {
+  const std::size_t tiles_c = (cols + tile_cols - 1) / tile_cols;
+  const std::size_t r0 = tr * tile_rows;
+  const std::size_t c0 = tc * tile_cols;
+  NU_CHECK(r0 < rows && c0 < cols, "tile index out of range");
+  const std::size_t h = std::min(tile_rows, rows - r0);
+  const std::size_t w = std::min(tile_cols, cols - c0);
+  store.read_chunk(tr * tiles_c + tc, dst, h * w * elem_size);
+}
+
+}  // namespace northup::io

@@ -1,0 +1,171 @@
+#include "northup/io/posix_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::io {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw util::IoError(what + " failed for '" + path +
+                      "': " + std::strerror(errno));
+}
+}  // namespace
+
+PosixFile::PosixFile(const std::string& path, OpenOptions options)
+    : path_(path) {
+  int flags = O_RDWR;
+  if (options.create) flags |= O_CREAT;
+  if (options.truncate) flags |= O_TRUNC;
+#ifdef O_DIRECT
+  if (options.direct) flags |= O_DIRECT | O_SYNC;
+#endif
+  fd_ = ::open(path.c_str(), flags, 0644);
+#ifdef O_DIRECT
+  if (options.direct) {
+    if (fd_ >= 0) {
+      direct_ = true;
+    } else {
+      // tmpfs and some filesystems reject O_DIRECT; fall back to buffered
+      // I/O so the functional path still works (timing comes from the
+      // model).
+      flags &= ~(O_DIRECT | O_SYNC);
+      fd_ = ::open(path.c_str(), flags, 0644);
+    }
+  }
+#endif
+  if (fd_ < 0) throw_errno("open", path);
+}
+
+void PosixFile::reopen_buffered() {
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_RDWR, 0644);
+  direct_ = false;
+  if (fd_ < 0) throw_errno("reopen", path_);
+}
+
+PosixFile::PosixFile(PosixFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)),
+      direct_(std::exchange(other.direct_, false)) {}
+
+PosixFile& PosixFile::operator=(PosixFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    direct_ = std::exchange(other.direct_, false);
+  }
+  return *this;
+}
+
+PosixFile::~PosixFile() { close(); }
+
+void PosixFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void PosixFile::pread_exact(void* dst, std::size_t size,
+                            std::uint64_t offset) const {
+  NU_CHECK(is_open(), "pread on closed file");
+  auto* out = static_cast<char*>(dst);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pread(fd_, out + done, size - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EINVAL && direct_) {
+        // Unaligned access under O_DIRECT: degrade to buffered I/O.
+        const_cast<PosixFile*>(this)->reopen_buffered();
+        continue;
+      }
+      throw_errno("pread", path_);
+    }
+    if (n == 0) {
+      throw util::IoError("pread hit EOF at offset " +
+                          std::to_string(offset + done) + " in '" + path_ +
+                          "'");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void PosixFile::pwrite_exact(const void* src, std::size_t size,
+                             std::uint64_t offset) {
+  NU_CHECK(is_open(), "pwrite on closed file");
+  const auto* in = static_cast<const char*>(src);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pwrite(fd_, in + done, size - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EINVAL && direct_) {
+        // Unaligned access under O_DIRECT: degrade to buffered I/O.
+        reopen_buffered();
+        continue;
+      }
+      throw_errno("pwrite", path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void PosixFile::truncate(std::uint64_t size) {
+  NU_CHECK(is_open(), "truncate on closed file");
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    throw_errno("ftruncate", path_);
+  }
+}
+
+std::uint64_t PosixFile::size() const {
+  NU_CHECK(is_open(), "size on closed file");
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) throw_errno("lseek", path_);
+  return static_cast<std::uint64_t>(end);
+}
+
+void PosixFile::fsync_file() {
+  NU_CHECK(is_open(), "fsync on closed file");
+  if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+}
+
+TempDir::TempDir(const std::string& tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  const char* base_env = std::getenv("TMPDIR");
+  const std::filesystem::path base = base_env ? base_env : "/tmp";
+  const auto unique =
+      tag + "-" + std::to_string(::getpid()) + "-" +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  const auto dir = base / unique;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw util::IoError("failed to create temp dir '" + dir.string() +
+                        "': " + ec.message());
+  }
+  path_ = dir.string();
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+  // Destructor: swallow errors; scratch cleanup is best-effort.
+}
+
+std::string TempDir::file(const std::string& name) const {
+  return (std::filesystem::path(path_) / name).string();
+}
+
+}  // namespace northup::io

@@ -1,0 +1,66 @@
+#include "northup/memsim/fault_injection.hpp"
+
+namespace northup::mem {
+
+FaultInjectingStorage::FaultInjectingStorage(std::unique_ptr<Storage> inner)
+    : Storage(inner->name() + "+faults", inner->kind(), inner->capacity(),
+              inner->model()),
+      inner_(std::move(inner)) {}
+
+void FaultInjectingStorage::arm(FaultKind kind, std::uint64_t countdown) {
+  NU_CHECK(countdown > 0, "fault countdown must be positive");
+  armed_ = true;
+  kind_ = kind;
+  countdown_ = countdown;
+}
+
+void FaultInjectingStorage::disarm() { armed_ = false; }
+
+void FaultInjectingStorage::maybe_fire(FaultKind kind) {
+  if (!armed_ || kind != kind_) return;
+  if (--countdown_ == 0) {
+    armed_ = false;
+    ++fired_;
+    throw util::IoError("injected " +
+                        std::string(kind == FaultKind::Read    ? "read"
+                                    : kind == FaultKind::Write ? "write"
+                                                               : "alloc") +
+                        " fault on '" + name() + "'");
+  }
+}
+
+std::uint64_t FaultInjectingStorage::do_alloc(std::uint64_t size) {
+  maybe_fire(FaultKind::Alloc);
+  // Drive the inner backend through its public API and remember the
+  // resulting allocation keyed by its handle.
+  const Allocation allocation = inner_->alloc(size);
+  allocations_.emplace(allocation.handle, allocation);
+  return allocation.handle;
+}
+
+void FaultInjectingStorage::do_release(std::uint64_t handle) {
+  auto it = allocations_.find(handle);
+  NU_CHECK(it != allocations_.end(), "unknown handle in fault wrapper");
+  inner_->release(it->second);
+  allocations_.erase(it);
+}
+
+void FaultInjectingStorage::do_read(void* dst, std::uint64_t handle,
+                                    std::uint64_t offset,
+                                    std::uint64_t size) {
+  maybe_fire(FaultKind::Read);
+  auto it = allocations_.find(handle);
+  NU_CHECK(it != allocations_.end(), "unknown handle in fault wrapper");
+  inner_->read(dst, it->second, offset, size);
+}
+
+void FaultInjectingStorage::do_write(std::uint64_t handle,
+                                     std::uint64_t offset, const void* src,
+                                     std::uint64_t size) {
+  maybe_fire(FaultKind::Write);
+  auto it = allocations_.find(handle);
+  NU_CHECK(it != allocations_.end(), "unknown handle in fault wrapper");
+  inner_->write(it->second, offset, src, size);
+}
+
+}  // namespace northup::mem

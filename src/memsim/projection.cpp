@@ -1,0 +1,44 @@
+#include "northup/memsim/projection.hpp"
+
+#include "northup/util/assert.hpp"
+
+namespace northup::mem {
+
+double replay_trace_time(const std::vector<IoRecord>& trace,
+                         const sim::BandwidthModel& model) {
+  double total = 0.0;
+  for (const auto& rec : trace) {
+    total += rec.is_write ? model.write_time(rec.bytes)
+                          : model.read_time(rec.bytes);
+  }
+  return total;
+}
+
+ProjectionPoint project_storage(const std::vector<IoRecord>& trace,
+                                const sim::BandwidthModel& new_model,
+                                double baseline_io_time,
+                                double baseline_total_time,
+                                std::string label) {
+  NU_CHECK(baseline_total_time >= baseline_io_time,
+           "total time cannot be smaller than its I/O component");
+  ProjectionPoint point;
+  point.label = std::move(label);
+  point.io_time = replay_trace_time(trace, new_model);
+  point.overall_time =
+      (baseline_total_time - baseline_io_time) + point.io_time;
+  return point;
+}
+
+std::vector<sim::BandwidthModel> fig9_storage_sweep() {
+  return {
+      sim::ModelPresets::ssd(1400, 600),  sim::ModelPresets::ssd(2000, 1000),
+      sim::ModelPresets::ssd(2600, 1500), sim::ModelPresets::ssd(3100, 1800),
+      sim::ModelPresets::ssd(3500, 2100),
+  };
+}
+
+std::vector<std::string> fig9_storage_labels() {
+  return {"1400/600", "2000/1000", "2600/1500", "3100/1800", "3500/2100"};
+}
+
+}  // namespace northup::mem

@@ -1,0 +1,174 @@
+#include "northup/memsim/storage.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+namespace northup::mem {
+
+const char* to_string(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::Dram: return "dram";
+    case StorageKind::Nvm: return "nvm";
+    case StorageKind::Ssd: return "ssd";
+    case StorageKind::Hdd: return "hdd";
+    case StorageKind::DeviceMem: return "device";
+    case StorageKind::Scratchpad: return "scratchpad";
+  }
+  return "?";
+}
+
+bool is_file_backed(StorageKind kind) {
+  return kind == StorageKind::Ssd || kind == StorageKind::Hdd;
+}
+
+bool is_host_addressable(StorageKind kind) {
+  return kind == StorageKind::Dram || kind == StorageKind::Nvm;
+}
+
+Storage::Storage(std::string name, StorageKind kind, std::uint64_t capacity,
+                 sim::BandwidthModel model)
+    : name_(std::move(name)), kind_(kind), capacity_(capacity),
+      model_(model) {
+  NU_CHECK(capacity_ > 0, "storage capacity must be positive");
+}
+
+Allocation Storage::alloc(std::uint64_t size) {
+  NU_CHECK(size > 0, "zero-byte allocation on '" + name_ + "'");
+  if (used_ + size > capacity_) {
+    throw util::CapacityError(
+        "allocation of " + std::to_string(size) + " B exceeds capacity of '" +
+        name_ + "' (" + std::to_string(available()) + " B available)");
+  }
+  const std::uint64_t handle = do_alloc(size);
+  used_ += size;
+  ++stats_.num_allocs;
+  stats_.peak_used = std::max(stats_.peak_used, used_);
+  return Allocation{handle, size, true};
+}
+
+void Storage::release(Allocation& allocation) {
+  NU_CHECK(allocation.valid, "release of invalid allocation on '" + name_ +
+                                 "'");
+  do_release(allocation.handle);
+  NU_ASSERT(used_ >= allocation.size);
+  used_ -= allocation.size;
+  ++stats_.num_releases;
+  allocation = {};
+}
+
+void Storage::read(void* dst, const Allocation& src, std::uint64_t offset,
+                   std::uint64_t size) {
+  NU_CHECK(src.valid, "read from invalid allocation on '" + name_ + "'");
+  NU_CHECK(offset + size <= src.size,
+           "read past end of allocation on '" + name_ + "'");
+  do_read(dst, src.handle, offset, size);
+  stats_.bytes_read += size;
+  ++stats_.num_reads;
+  if (trace_enabled_) trace_.push_back({false, size});
+}
+
+void Storage::write(Allocation& dst, std::uint64_t offset, const void* src,
+                    std::uint64_t size) {
+  NU_CHECK(dst.valid, "write to invalid allocation on '" + name_ + "'");
+  NU_CHECK(offset + size <= dst.size,
+           "write past end of allocation on '" + name_ + "'");
+  do_write(dst.handle, offset, src, size);
+  stats_.bytes_written += size;
+  ++stats_.num_writes;
+  if (trace_enabled_) trace_.push_back({true, size});
+}
+
+// --- HostStorage -----------------------------------------------------------
+
+HostStorage::HostStorage(std::string name, StorageKind kind,
+                         std::uint64_t capacity, sim::BandwidthModel model)
+    : Storage(std::move(name), kind, capacity, model) {
+  NU_CHECK(!is_file_backed(kind),
+           "HostStorage cannot back a file-based kind");
+}
+
+util::AlignedBuffer& HostStorage::buffer_for(std::uint64_t handle) {
+  auto it = buffers_.find(handle);
+  NU_CHECK(it != buffers_.end(), "unknown allocation handle on '" + name() +
+                                     "'");
+  return it->second;
+}
+
+std::byte* HostStorage::raw(const Allocation& allocation) {
+  NU_CHECK(allocation.valid, "raw() on invalid allocation");
+  return buffer_for(allocation.handle).data();
+}
+
+std::uint64_t HostStorage::do_alloc(std::uint64_t size) {
+  const std::uint64_t handle = next_handle_++;
+  buffers_.emplace(handle, util::AlignedBuffer(size));
+  return handle;
+}
+
+void HostStorage::do_release(std::uint64_t handle) {
+  const auto erased = buffers_.erase(handle);
+  NU_CHECK(erased == 1, "double release on '" + name() + "'");
+}
+
+void HostStorage::do_read(void* dst, std::uint64_t handle,
+                          std::uint64_t offset, std::uint64_t size) {
+  std::memcpy(dst, buffer_for(handle).data() + offset, size);
+}
+
+void HostStorage::do_write(std::uint64_t handle, std::uint64_t offset,
+                           const void* src, std::uint64_t size) {
+  std::memcpy(buffer_for(handle).data() + offset, src, size);
+}
+
+// --- FileStorage -----------------------------------------------------------
+
+FileStorage::FileStorage(std::string name, StorageKind kind,
+                         std::uint64_t capacity, sim::BandwidthModel model,
+                         std::string dir, bool direct_io)
+    : Storage(std::move(name), kind, capacity, model), dir_(std::move(dir)),
+      direct_io_(direct_io) {
+  NU_CHECK(is_file_backed(kind), "FileStorage requires a file-backed kind");
+  NU_CHECK(std::filesystem::is_directory(dir_),
+           "FileStorage directory does not exist: '" + dir_ + "'");
+}
+
+io::PosixFile& FileStorage::file_for(std::uint64_t handle) {
+  auto it = files_.find(handle);
+  NU_CHECK(it != files_.end(), "unknown allocation handle on '" + name() +
+                                   "'");
+  return it->second;
+}
+
+std::uint64_t FileStorage::do_alloc(std::uint64_t size) {
+  const std::uint64_t handle = next_handle_++;
+  const auto path = (std::filesystem::path(dir_) /
+                     (name() + "_alloc_" + std::to_string(handle) + ".bin"))
+                        .string();
+  io::PosixFile file(path,
+                     {.create = true, .truncate = true, .direct = direct_io_});
+  file.truncate(size);
+  files_.emplace(handle, std::move(file));
+  return handle;
+}
+
+void FileStorage::do_release(std::uint64_t handle) {
+  auto it = files_.find(handle);
+  NU_CHECK(it != files_.end(), "double release on '" + name() + "'");
+  const std::string path = it->second.path();
+  files_.erase(it);
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+void FileStorage::do_read(void* dst, std::uint64_t handle,
+                          std::uint64_t offset, std::uint64_t size) {
+  file_for(handle).pread_exact(dst, size, offset);
+}
+
+void FileStorage::do_write(std::uint64_t handle, std::uint64_t offset,
+                           const void* src, std::uint64_t size) {
+  file_for(handle).pwrite_exact(src, size, offset);
+}
+
+}  // namespace northup::mem

@@ -1,0 +1,95 @@
+#include "northup/sched/pool.hpp"
+
+#include <chrono>
+
+namespace northup::sched {
+
+thread_local std::size_t WorkStealingPool::tls_worker_index_ = 0;
+thread_local WorkStealingPool* WorkStealingPool::tls_pool_ = nullptr;
+
+WorkStealingPool::WorkStealingPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  wait_idle();
+  stop_.store(true, std::memory_order_release);
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void WorkStealingPool::submit(std::function<void()> fn) {
+  auto* task = new std::function<void()>(std::move(fn));
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (tls_pool_ == this) {
+    // Nested spawn from a worker: push to the owner's deque (LIFO).
+    if (workers_[tls_worker_index_]->deque.push_bottom(task)) {
+      work_cv_.notify_one();
+      return;
+    }
+    // Deque full: overflow into the injector.
+  }
+  injector_.push(QueueTask{0, [task, this] { run_task(task); }});
+  work_cv_.notify_one();
+}
+
+void WorkStealingPool::run_task(std::function<void()>* task) {
+  (*task)();
+  delete task;
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+std::function<void()>* WorkStealingPool::try_acquire(std::size_t self) {
+  std::function<void()>* task = nullptr;
+  if (workers_[self]->deque.pop_bottom(task)) return task;
+  // Steal round-robin starting after self.
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    const std::size_t victim = (self + k) % workers_.size();
+    if (workers_[victim]->deque.steal_top(task)) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void WorkStealingPool::worker_loop(std::size_t index) {
+  tls_worker_index_ = index;
+  tls_pool_ = this;
+  while (true) {
+    // Own deque, then steal, then the injector.
+    if (auto* task = try_acquire(index)) {
+      run_task(task);
+      continue;
+    }
+    QueueTask injected;
+    if (injector_.pop(injected)) {
+      injected.body();  // body wraps run_task
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    work_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void WorkStealingPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace northup::sched

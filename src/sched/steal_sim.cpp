@@ -1,0 +1,90 @@
+#include "northup/sched/steal_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace northup::sched {
+
+std::size_t StealSim::add_worker(SimWorker worker) {
+  NU_CHECK(worker.speed > 0.0, "worker speed must be positive");
+  workers_.push_back(std::move(worker));
+  queues_.emplace_back();
+  return workers_.size() - 1;
+}
+
+void StealSim::add_task(std::size_t worker, double cost) {
+  NU_CHECK(worker < workers_.size(), "unknown worker");
+  NU_CHECK(cost > 0.0, "task cost must be positive");
+  queues_[worker].push_back(cost);
+  ++total_tasks_;
+}
+
+StealSimResult StealSim::run(bool stealing) const {
+  const std::size_t n = workers_.size();
+  NU_CHECK(n > 0, "no workers");
+
+  std::vector<std::deque<double>> queues = queues_;
+  std::vector<double> now(n, 0.0);
+  StealSimResult result;
+  result.busy.assign(n, 0.0);
+  result.executed.assign(n, 0);
+
+  std::size_t remaining = total_tasks_;
+  while (remaining > 0) {
+    // Advance the worker that is free earliest and can acquire a task.
+    // Deterministic tie-break: lowest index.
+    std::size_t chosen = n;
+    double best_time = std::numeric_limits<double>::infinity();
+    for (std::size_t w = 0; w < n; ++w) {
+      const bool has_own = !queues[w].empty();
+      const bool may_steal = stealing && workers_[w].can_steal;
+      if (!has_own && !may_steal) continue;
+      if (!has_own) {
+        // Verify there is actually something to steal.
+        bool victim_exists = false;
+        for (std::size_t v = 0; v < n && !victim_exists; ++v) {
+          victim_exists = (v != w) && !queues[v].empty();
+        }
+        if (!victim_exists) continue;
+      }
+      if (now[w] < best_time) {
+        best_time = now[w];
+        chosen = w;
+      }
+    }
+    NU_ASSERT(chosen < n);  // remaining > 0 implies someone can make progress
+
+    double cost = 0.0;
+    if (!queues[chosen].empty()) {
+      // Owner pops from the tail of its local queue (Fig 10).
+      cost = queues[chosen].back();
+      queues[chosen].pop_back();
+    } else {
+      // Steal from the head of the longest victim queue.
+      std::size_t victim = n;
+      std::size_t victim_len = 0;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (v == chosen) continue;
+        if (queues[v].size() > victim_len) {
+          victim_len = queues[v].size();
+          victim = v;
+        }
+      }
+      NU_ASSERT(victim < n);
+      cost = queues[victim].front();
+      queues[victim].pop_front();
+      ++result.steals;
+    }
+
+    const double duration = cost / workers_[chosen].speed;
+    now[chosen] += duration;
+    result.busy[chosen] += duration;
+    ++result.executed[chosen];
+    --remaining;
+  }
+
+  result.makespan = *std::max_element(now.begin(), now.end());
+  return result;
+}
+
+}  // namespace northup::sched

@@ -1,0 +1,76 @@
+#include "northup/sched/work_queue.hpp"
+
+namespace northup::sched {
+
+void WorkQueue::push(QueueTask task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tasks_.push_back(std::move(task));
+  ++enqueued_total_;
+}
+
+bool WorkQueue::pop(QueueTask& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tasks_.empty()) return false;
+  out = std::move(tasks_.front());
+  tasks_.pop_front();
+  return true;
+}
+
+bool WorkQueue::pop_back(QueueTask& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tasks_.empty()) return false;
+  out = std::move(tasks_.back());
+  tasks_.pop_back();
+  return true;
+}
+
+std::size_t WorkQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+std::uint64_t WorkQueue::enqueued_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enqueued_total_;
+}
+
+void NodeQueueSet::create_queues(topo::NodeId node, std::size_t count) {
+  NU_CHECK(node < tree_.node_count(), "create_queues: unknown node");
+  auto& list = queues_[node];
+  while (list.size() < count) {
+    list.push_back(std::make_unique<WorkQueue>(
+        tree_.node(node).name + "/q" + std::to_string(list.size())));
+  }
+}
+
+std::size_t NodeQueueSet::queue_count(topo::NodeId node) const {
+  auto it = queues_.find(node);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+WorkQueue& NodeQueueSet::queue(topo::NodeId node, std::size_t index) {
+  auto it = queues_.find(node);
+  NU_CHECK(it != queues_.end() && index < it->second.size(),
+           "queue index out of range");
+  return *it->second[index];
+}
+
+std::size_t NodeQueueSet::subtree_pending(topo::NodeId node) const {
+  NU_CHECK(node < tree_.node_count(), "subtree_pending: unknown node");
+  std::size_t pending = 0;
+  std::vector<topo::NodeId> stack{node};
+  while (!stack.empty()) {
+    const topo::NodeId cur = stack.back();
+    stack.pop_back();
+    auto it = queues_.find(cur);
+    if (it != queues_.end()) {
+      for (const auto& q : it->second) pending += q->size();
+    }
+    for (topo::NodeId child : tree_.get_children_list(cur)) {
+      stack.push_back(child);
+    }
+  }
+  return pending;
+}
+
+}  // namespace northup::sched

@@ -1,0 +1,106 @@
+#include "northup/sim/event_sim.hpp"
+
+#include <algorithm>
+
+namespace northup::sim {
+
+ResourceId EventSim::add_resource(std::string name) {
+  resource_names_.push_back(std::move(name));
+  resource_available_.push_back(0.0);
+  resource_last_task_.push_back(kInvalidTask);
+  return static_cast<ResourceId>(resource_names_.size() - 1);
+}
+
+TaskId EventSim::add_task(TaskSpec spec) {
+  NU_CHECK(spec.resource < resource_names_.size(),
+           "task references unknown resource");
+  NU_CHECK(spec.duration >= 0.0, "task duration must be non-negative");
+  const auto id = static_cast<TaskId>(tasks_.size());
+
+  double start = resource_available_[spec.resource];
+  TaskId determiner = resource_last_task_[spec.resource];
+  for (TaskId dep : spec.deps) {
+    NU_CHECK(dep < id, "dependency must reference an earlier task");
+    if (timings_[dep].finish > start) {
+      start = timings_[dep].finish;
+      determiner = dep;
+    }
+  }
+
+  const double finish = start + spec.duration;
+  resource_available_[spec.resource] = finish;
+  resource_last_task_[spec.resource] = id;
+  makespan_ = std::max(makespan_, finish);
+
+  tasks_.push_back(std::move(spec));
+  timings_.push_back({start, finish});
+  start_determiner_.push_back(determiner);
+  return id;
+}
+
+TaskId EventSim::add_task(std::string label, std::string phase,
+                          ResourceId resource, double duration,
+                          std::vector<TaskId> deps) {
+  return add_task(TaskSpec{std::move(label), std::move(phase), resource,
+                           duration, std::move(deps)});
+}
+
+const TaskSpec& EventSim::task(TaskId id) const {
+  NU_CHECK(id < tasks_.size(), "unknown task id");
+  return tasks_[id];
+}
+
+TaskTiming EventSim::timing(TaskId id) const {
+  NU_CHECK(id < timings_.size(), "unknown task id");
+  return timings_[id];
+}
+
+const std::string& EventSim::resource_name(ResourceId id) const {
+  NU_CHECK(id < resource_names_.size(), "unknown resource id");
+  return resource_names_[id];
+}
+
+double EventSim::resource_busy(ResourceId id) const {
+  NU_CHECK(id < resource_names_.size(), "unknown resource id");
+  double busy = 0.0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].resource == id) busy += tasks_[i].duration;
+  }
+  return busy;
+}
+
+std::map<std::string, double> EventSim::phase_totals() const {
+  std::map<std::string, double> totals;
+  for (const auto& t : tasks_) totals[t.phase] += t.duration;
+  return totals;
+}
+
+std::vector<TaskId> EventSim::critical_path() const {
+  if (tasks_.empty()) return {};
+  // Start from the latest-finishing task and walk start-determiners back.
+  TaskId cur = 0;
+  for (TaskId i = 1; i < tasks_.size(); ++i) {
+    if (timings_[i].finish > timings_[cur].finish) cur = i;
+  }
+  std::vector<TaskId> path;
+  while (cur != kInvalidTask) {
+    path.push_back(cur);
+    // Skip predecessors that merely precede us with slack: the determiner
+    // chain already points at whichever predecessor set our start time.
+    cur = start_determiner_[cur];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void EventSim::reset_tasks() {
+  tasks_.clear();
+  timings_.clear();
+  start_determiner_.clear();
+  makespan_ = 0.0;
+  std::fill(resource_available_.begin(), resource_available_.end(), 0.0);
+  std::fill(resource_last_task_.begin(), resource_last_task_.end(),
+            kInvalidTask);
+}
+
+}  // namespace northup::sim

@@ -1,0 +1,198 @@
+#include "northup/topo/config.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "northup/util/bytes.hpp"
+
+namespace northup::topo {
+
+namespace {
+
+[[noreturn]] void parse_error(int line_no, const std::string& message) {
+  throw util::TopologyError("topology config line " + std::to_string(line_no) +
+                            ": " + message);
+}
+
+/// Splits "key=value" tokens after the directive and name.
+std::map<std::string, std::string> parse_kv(
+    const std::vector<std::string>& tokens, std::size_t first, int line_no) {
+  std::map<std::string, std::string> kv;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= tokens[i].size()) {
+      parse_error(line_no, "expected key=value, got '" + tokens[i] + "'");
+    }
+    kv[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return kv;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+mem::StorageKind parse_kind(const std::string& text, int line_no) {
+  if (text == "dram") return mem::StorageKind::Dram;
+  if (text == "nvm") return mem::StorageKind::Nvm;
+  if (text == "ssd") return mem::StorageKind::Ssd;
+  if (text == "hdd") return mem::StorageKind::Hdd;
+  if (text == "device") return mem::StorageKind::DeviceMem;
+  if (text == "scratchpad") return mem::StorageKind::Scratchpad;
+  parse_error(line_no, "unknown storage kind '" + text + "'");
+}
+
+ProcessorType parse_proc_type(const std::string& text, int line_no) {
+  if (text == "cpu") return ProcessorType::Cpu;
+  if (text == "gpu") return ProcessorType::Gpu;
+  if (text == "fpga") return ProcessorType::Fpga;
+  parse_error(line_no, "unknown processor type '" + text + "'");
+}
+
+sim::BandwidthModel default_model(mem::StorageKind kind) {
+  switch (kind) {
+    case mem::StorageKind::Ssd: return sim::ModelPresets::ssd();
+    case mem::StorageKind::Hdd: return sim::ModelPresets::hdd();
+    case mem::StorageKind::Nvm: return sim::ModelPresets::nvm();
+    case mem::StorageKind::DeviceMem: return sim::ModelPresets::pcie3_x16();
+    default: return sim::ModelPresets::dram();
+  }
+}
+
+sim::RooflineModel default_proc_model(ProcessorType type) {
+  return type == ProcessorType::Cpu ? sim::ModelPresets::cpu()
+                                    : sim::ModelPresets::dgpu();
+}
+
+}  // namespace
+
+TopoTree parse_config(std::string_view text) {
+  TopoTree tree;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  int line_no = 0;
+
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "node") {
+      if (tokens.size() < 2) parse_error(line_no, "node requires a name");
+      const std::string& name = tokens[1];
+      if (tree.find(name) != kInvalidNode) {
+        parse_error(line_no, "duplicate node name '" + name + "'");
+      }
+      auto kv = parse_kv(tokens, 2, line_no);
+      if (!kv.count("kind")) parse_error(line_no, "node requires kind=");
+      if (!kv.count("cap")) parse_error(line_no, "node requires cap=");
+
+      MemoryInfo info;
+      info.storage_type = parse_kind(kv["kind"], line_no);
+      info.capacity = util::parse_bytes(kv["cap"]);
+      info.model = default_model(info.storage_type);
+      if (kv.count("read")) {
+        info.model.read_bytes_per_s =
+            static_cast<double>(util::parse_bytes(kv["read"]));
+      }
+      if (kv.count("write")) {
+        info.model.write_bytes_per_s =
+            static_cast<double>(util::parse_bytes(kv["write"]));
+      }
+      if (kv.count("latency")) info.model.access_latency_s = std::stod(kv["latency"]);
+
+      if (kv.count("parent")) {
+        const NodeId parent = tree.find(kv["parent"]);
+        if (parent == kInvalidNode) {
+          parse_error(line_no, "unknown parent '" + kv["parent"] + "'");
+        }
+        tree.add_child(parent, name, info);
+      } else {
+        if (!tree.empty()) {
+          parse_error(line_no,
+                      "second root '" + name + "' (missing parent=?)");
+        }
+        tree.add_root(name, info);
+      }
+    } else if (tokens[0] == "proc") {
+      if (tokens.size() < 2) parse_error(line_no, "proc requires a name");
+      auto kv = parse_kv(tokens, 2, line_no);
+      if (!kv.count("node")) parse_error(line_no, "proc requires node=");
+      if (!kv.count("type")) parse_error(line_no, "proc requires type=");
+      const NodeId node = tree.find(kv["node"]);
+      if (node == kInvalidNode) {
+        parse_error(line_no, "unknown node '" + kv["node"] + "'");
+      }
+
+      ProcessorInfo proc;
+      proc.name = tokens[1];
+      proc.type = parse_proc_type(kv["type"], line_no);
+      proc.model = default_proc_model(proc.type);
+      if (kv.count("gflops")) proc.model.flops_per_s = std::stod(kv["gflops"]) * 1e9;
+      if (kv.count("membw")) {
+        proc.model.mem_bytes_per_s =
+            static_cast<double>(util::parse_bytes(kv["membw"]));
+      }
+      if (kv.count("cus")) proc.compute_units = std::stoi(kv["cus"]);
+      if (kv.count("llc")) proc.llc_bytes = util::parse_bytes(kv["llc"]);
+      if (kv.count("localmem")) proc.local_mem_bytes = util::parse_bytes(kv["localmem"]);
+      tree.attach_processor(node, proc);
+    } else {
+      parse_error(line_no, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+
+  if (tree.empty()) throw util::TopologyError("topology config defines no nodes");
+  tree.validate();
+  return tree;
+}
+
+TopoTree load_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::TopologyError("cannot open topology file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_config(buffer.str());
+}
+
+std::string to_config(const TopoTree& tree) {
+  std::ostringstream os;
+  for (NodeId id : tree.preorder()) {
+    const Node& n = tree.node(id);
+    os << "node " << n.name;
+    if (n.parent != kInvalidNode) {
+      os << " parent=" << tree.node(n.parent).name;
+    }
+    os << " kind=" << mem::to_string(n.memory.storage_type);
+    os << " cap=" << n.memory.capacity;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " read=%.0f write=%.0f latency=%g",
+                  n.memory.model.read_bytes_per_s,
+                  n.memory.model.write_bytes_per_s,
+                  n.memory.model.access_latency_s);
+    os << buf << '\n';
+    for (const auto& p : n.processors) {
+      std::snprintf(buf, sizeof(buf),
+                    " gflops=%.1f membw=%.0f cus=%d llc=%llu localmem=%llu",
+                    p.model.flops_per_s / 1e9, p.model.mem_bytes_per_s,
+                    p.compute_units,
+                    static_cast<unsigned long long>(p.llc_bytes),
+                    static_cast<unsigned long long>(p.local_mem_bytes));
+      os << "proc " << p.name << " node=" << n.name
+         << " type=" << to_string(p.type) << buf << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace northup::topo

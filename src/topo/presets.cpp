@@ -1,0 +1,158 @@
+#include "northup/topo/presets.hpp"
+
+namespace northup::topo {
+
+namespace {
+
+sim::BandwidthModel storage_model_for(mem::StorageKind kind,
+                                      const PresetOptions& options) {
+  if (options.storage_model.read_bytes_per_s > 0.0) {
+    return options.storage_model;
+  }
+  switch (kind) {
+    case mem::StorageKind::Ssd: return sim::ModelPresets::ssd();
+    case mem::StorageKind::Hdd: return sim::ModelPresets::hdd();
+    case mem::StorageKind::Nvm: return sim::ModelPresets::nvm();
+    default: return sim::ModelPresets::dram();
+  }
+}
+
+MemoryInfo file_root(mem::StorageKind kind, const PresetOptions& options) {
+  NU_CHECK(mem::is_file_backed(kind),
+           "root of the preset topologies must be file-backed");
+  return MemoryInfo{kind, options.root_capacity,
+                    storage_model_for(kind, options), 0};
+}
+
+MemoryInfo dram_node(std::uint64_t capacity) {
+  return MemoryInfo{mem::StorageKind::Dram, capacity,
+                    sim::ModelPresets::dram(), 1};
+}
+
+MemoryInfo device_node(std::uint64_t capacity) {
+  // Device memory is reached over PCIe through the OpenCL copy path
+  // (pageable host buffers), which bounds transfer cost in practice.
+  return MemoryInfo{mem::StorageKind::DeviceMem, capacity,
+                    sim::ModelPresets::pcie_opencl(), 2};
+}
+
+}  // namespace
+
+ProcessorInfo preset_cpu(double flops_scale) {
+  ProcessorInfo p;
+  p.type = ProcessorType::Cpu;
+  p.name = "a10-cpu";
+  p.model = sim::ModelPresets::cpu();
+  p.model.flops_per_s *= flops_scale;
+  p.llc_bytes = 4ULL << 20;
+  p.compute_units = 4;
+  return p;
+}
+
+ProcessorInfo preset_apu_gpu(double flops_scale) {
+  ProcessorInfo p;
+  p.type = ProcessorType::Gpu;
+  p.name = "apu-gpu";
+  p.model = sim::ModelPresets::apu_gpu();
+  p.model.flops_per_s *= flops_scale;
+  p.llc_bytes = 512ULL << 10;
+  p.compute_units = 8;
+  p.local_mem_bytes = 32ULL << 10;
+  return p;
+}
+
+ProcessorInfo preset_dgpu(double flops_scale) {
+  ProcessorInfo p;
+  p.type = ProcessorType::Gpu;
+  p.name = "w9100";
+  p.model = sim::ModelPresets::dgpu();
+  p.model.flops_per_s *= flops_scale;
+  p.llc_bytes = 1ULL << 20;
+  p.compute_units = 44;
+  p.local_mem_bytes = 32ULL << 10;
+  return p;
+}
+
+TopoTree apu_two_level(mem::StorageKind file_kind,
+                       const PresetOptions& options) {
+  TopoTree tree;
+  const NodeId root = tree.add_root("storage", file_root(file_kind, options));
+  const NodeId dram =
+      tree.add_child(root, "dram", dram_node(options.staging_capacity));
+  tree.attach_processor(dram, preset_cpu(options.proc_flops_scale));
+  tree.attach_processor(dram, preset_apu_gpu(options.proc_flops_scale));
+  tree.validate();
+  return tree;
+}
+
+TopoTree dgpu_three_level(mem::StorageKind file_kind,
+                          const PresetOptions& options) {
+  TopoTree tree;
+  const NodeId root = tree.add_root("storage", file_root(file_kind, options));
+  const NodeId dram =
+      tree.add_child(root, "dram", dram_node(options.staging_capacity));
+  // The CPU attaches to the non-leaf DRAM node in a discrete-GPU system.
+  tree.attach_processor(dram, preset_cpu(options.proc_flops_scale));
+  const NodeId dev =
+      tree.add_child(dram, "gpu-mem", device_node(options.device_capacity));
+  tree.attach_processor(dev, preset_dgpu(options.proc_flops_scale));
+  tree.validate();
+  return tree;
+}
+
+TopoTree nvm_root_two_level(const PresetOptions& options) {
+  TopoTree tree;
+  MemoryInfo nvm{mem::StorageKind::Nvm, options.root_capacity,
+                 options.storage_model.read_bytes_per_s > 0.0
+                     ? options.storage_model
+                     : sim::ModelPresets::nvm(),
+                 0};
+  const NodeId root = tree.add_root("nvm", nvm);
+  const NodeId dram =
+      tree.add_child(root, "dram", dram_node(options.staging_capacity));
+  tree.attach_processor(dram, preset_cpu(options.proc_flops_scale));
+  tree.attach_processor(dram, preset_apu_gpu(options.proc_flops_scale));
+  tree.validate();
+  return tree;
+}
+
+TopoTree deep_four_level(const PresetOptions& options) {
+  TopoTree tree;
+  const NodeId root =
+      tree.add_root("hdd", file_root(mem::StorageKind::Hdd, options));
+  MemoryInfo nvm{mem::StorageKind::Nvm, options.root_capacity / 4,
+                 sim::ModelPresets::nvm(), 1};
+  const NodeId nvm_id = tree.add_child(root, "nvm", nvm);
+  const NodeId dram =
+      tree.add_child(nvm_id, "dram", dram_node(options.staging_capacity));
+  tree.attach_processor(dram, preset_cpu(options.proc_flops_scale));
+  const NodeId dev =
+      tree.add_child(dram, "gpu-mem", device_node(options.device_capacity));
+  tree.attach_processor(dev, preset_dgpu(options.proc_flops_scale));
+  tree.validate();
+  return tree;
+}
+
+TopoTree asymmetric_fig2() {
+  // Fig 2's shape: the root has two children; the left subtree is one
+  // level deep (a CPU leaf), the right subtree is two levels deep with two
+  // heterogeneous leaves (a GPU and a CPU).
+  TopoTree tree;
+  constexpr std::uint64_t kCap = 64ULL << 20;
+  MemoryInfo dram{mem::StorageKind::Dram, kCap, sim::ModelPresets::dram(), 0};
+  const NodeId n0 = tree.add_root("n0", dram);
+  const NodeId n1 = tree.add_child(n0, "n1", dram);
+  const NodeId n2 = tree.add_child(n0, "n2", dram);
+  tree.attach_processor(n1, preset_cpu());
+  const NodeId n3 = tree.add_child(n2, "n3", dram);
+  const NodeId n4 = tree.add_child(n2, "n4", dram);
+  MemoryInfo dev{mem::StorageKind::DeviceMem, kCap,
+                 sim::ModelPresets::pcie3_x16(), 1};
+  const NodeId n5 = tree.add_child(n3, "n5", dev);
+  tree.attach_processor(n5, preset_dgpu());
+  tree.attach_processor(n4, preset_cpu());
+  tree.validate();
+  return tree;
+}
+
+}  // namespace northup::topo

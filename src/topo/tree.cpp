@@ -1,0 +1,179 @@
+#include "northup/topo/tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "northup/util/bytes.hpp"
+
+namespace northup::topo {
+
+const char* to_string(ProcessorType type) {
+  switch (type) {
+    case ProcessorType::Cpu: return "cpu";
+    case ProcessorType::Gpu: return "gpu";
+    case ProcessorType::Fpga: return "fpga";
+  }
+  return "?";
+}
+
+NodeId TopoTree::add_root(std::string name, MemoryInfo memory) {
+  NU_CHECK(nodes_.empty(), "tree already has a root");
+  Node node;
+  node.name = std::move(name);
+  node.memory = memory;
+  node.level = 0;
+  nodes_.push_back(std::move(node));
+  return 0;
+}
+
+NodeId TopoTree::add_child(NodeId parent, std::string name,
+                           MemoryInfo memory) {
+  const Node& p = checked(parent);
+  Node node;
+  node.name = std::move(name);
+  node.memory = memory;
+  node.parent = parent;
+  node.level = p.level + 1;
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void TopoTree::attach_processor(NodeId node, ProcessorInfo processor) {
+  checked(node);
+  nodes_[node].processors.push_back(std::move(processor));
+}
+
+const Node& TopoTree::checked(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw util::TopologyError("unknown node id " + std::to_string(id));
+  }
+  return nodes_[id];
+}
+
+NodeId TopoTree::root() const {
+  NU_CHECK(!nodes_.empty(), "empty topology");
+  return 0;
+}
+
+NodeId TopoTree::get_parent(NodeId node) const { return checked(node).parent; }
+
+const std::vector<NodeId>& TopoTree::get_children_list(NodeId node) const {
+  return checked(node).children;
+}
+
+int TopoTree::get_level(NodeId node) const { return checked(node).level; }
+
+int TopoTree::get_max_treelevel() const {
+  int max_level = 0;
+  for (const auto& n : nodes_) max_level = std::max(max_level, n.level);
+  return max_level;
+}
+
+bool TopoTree::is_leaf(NodeId node) const {
+  return checked(node).children.empty();
+}
+
+mem::StorageKind TopoTree::fetch_node_type(NodeId node) const {
+  return checked(node).memory.storage_type;
+}
+
+const Node& TopoTree::node(NodeId id) const { return checked(id); }
+
+const MemoryInfo& TopoTree::memory(NodeId id) const {
+  return checked(id).memory;
+}
+
+const std::vector<ProcessorInfo>& TopoTree::processors(NodeId id) const {
+  return checked(id).processors;
+}
+
+NodeId TopoTree::find(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeId> TopoTree::leaves() const {
+  std::vector<NodeId> result;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].children.empty()) result.push_back(static_cast<NodeId>(i));
+  }
+  return result;
+}
+
+std::vector<NodeId> TopoTree::preorder() const {
+  std::vector<NodeId> order;
+  if (nodes_.empty()) return order;
+  std::vector<NodeId> stack{root()};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    const auto& kids = nodes_[id].children;
+    // Push in reverse so preorder visits children left-to-right.
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return order;
+}
+
+std::string TopoTree::dump() const {
+  std::ostringstream os;
+  for (NodeId id : preorder()) {
+    const Node& n = nodes_[id];
+    os << std::string(static_cast<std::size_t>(n.level) * 2, ' ');
+    os << "[L" << n.level << " #" << id << "] " << n.name << " ("
+       << mem::to_string(n.memory.storage_type) << ", "
+       << util::format_bytes(n.memory.capacity) << ")";
+    for (const auto& p : n.processors) {
+      os << " +" << to_string(p.type) << ":" << p.name;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void TopoTree::validate() const {
+  if (nodes_.empty()) throw util::TopologyError("empty topology");
+  std::size_t rootless = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.parent == kInvalidNode) {
+      ++rootless;
+      if (i != 0) throw util::TopologyError("non-first node lacks a parent");
+      if (n.level != 0) throw util::TopologyError("root level must be 0");
+    } else {
+      if (n.parent >= nodes_.size()) {
+        throw util::TopologyError("node '" + n.name + "' has invalid parent");
+      }
+      if (n.level != nodes_[n.parent].level + 1) {
+        throw util::TopologyError("node '" + n.name +
+                                  "' level inconsistent with parent");
+      }
+      const auto& siblings = nodes_[n.parent].children;
+      if (std::count(siblings.begin(), siblings.end(),
+                     static_cast<NodeId>(i)) != 1) {
+        throw util::TopologyError("node '" + n.name +
+                                  "' missing from parent's child list");
+      }
+    }
+    if (n.memory.capacity == 0) {
+      throw util::TopologyError("node '" + n.name + "' has zero capacity");
+    }
+    for (NodeId child : n.children) {
+      if (child >= nodes_.size() || nodes_[child].parent != i) {
+        throw util::TopologyError("node '" + n.name +
+                                  "' has inconsistent child link");
+      }
+    }
+  }
+  if (rootless != 1) throw util::TopologyError("tree must have exactly one root");
+  // Reachability: preorder from the root must visit every node.
+  if (preorder().size() != nodes_.size()) {
+    throw util::TopologyError("tree has unreachable nodes");
+  }
+}
+
+}  // namespace northup::topo

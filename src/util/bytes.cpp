@@ -1,0 +1,96 @@
+#include "northup/util/bytes.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::util {
+
+std::uint64_t parse_bytes(std::string_view text) {
+  NU_CHECK(!text.empty(), "empty byte-size string");
+  std::size_t pos = 0;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+          text[pos] == '.')) {
+    ++pos;
+  }
+  NU_CHECK(pos > 0, "byte-size string must start with a number: '" +
+                        std::string(text) + "'");
+  const double value = std::stod(std::string(text.substr(0, pos)));
+  NU_CHECK(value >= 0.0, "byte size must be non-negative");
+
+  std::string suffix;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    suffix += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  // Accept "K", "KB", "KIB" uniformly as binary multipliers.
+  if (!suffix.empty() && suffix.back() == 'B') suffix.pop_back();
+  if (!suffix.empty() && suffix.back() == 'I') suffix.pop_back();
+
+  double multiplier = 1.0;
+  if (suffix.empty()) {
+    multiplier = 1.0;
+  } else if (suffix == "K") {
+    multiplier = 1024.0;
+  } else if (suffix == "M") {
+    multiplier = 1024.0 * 1024.0;
+  } else if (suffix == "G") {
+    multiplier = 1024.0 * 1024.0 * 1024.0;
+  } else if (suffix == "T") {
+    multiplier = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  } else {
+    NU_CHECK(false, "unknown byte-size suffix: '" + std::string(text) + "'");
+  }
+  return static_cast<std::uint64_t>(value * multiplier);
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  char buf[64];
+  if (bytes_per_second >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB/s", bytes_per_second / 1e9);
+  } else if (bytes_per_second >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB/s", bytes_per_second / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B/s", bytes_per_second);
+  }
+  return buf;
+}
+
+}  // namespace northup::util

@@ -1,0 +1,82 @@
+#include "northup/util/flags.hpp"
+
+#include <cstdlib>
+
+#include "northup/util/assert.hpp"
+#include "northup/util/bytes.hpp"
+
+namespace northup::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  NU_CHECK(argc >= 1, "argc must include the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    NU_CHECK(!body.empty() && body[0] != '=',
+             "malformed flag '" + arg + "'");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";  // bare boolean
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const auto v = std::strtoll(it->second.c_str(), &end, 10);
+  NU_CHECK(end != nullptr && *end == '\0' && !it->second.empty(),
+           "flag --" + name + " expects an integer, got '" + it->second +
+               "'");
+  return v;
+}
+
+double Flags::get_double(const std::string& name,
+                         double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  NU_CHECK(end != nullptr && *end == '\0' && !it->second.empty(),
+           "flag --" + name + " expects a number, got '" + it->second + "'");
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  NU_CHECK(false, "flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::uint64_t Flags::get_bytes(const std::string& name,
+                               std::uint64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return parse_bytes(it->second);
+}
+
+}  // namespace northup::util

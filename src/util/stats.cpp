@@ -1,0 +1,54 @@
+#include "northup/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+  NU_CHECK(!values.empty(), "percentile of empty sample");
+  NU_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double geomean(const std::vector<double>& values) {
+  NU_CHECK(!values.empty(), "geomean of empty sample");
+  double log_sum = 0.0;
+  for (double v : values) {
+    NU_CHECK(v > 0.0, "geomean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace northup::util

@@ -1,0 +1,59 @@
+#include "northup/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  NU_CHECK(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  NU_CHECK(row.size() == header_.size(),
+           "row arity does not match header arity");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace northup::util

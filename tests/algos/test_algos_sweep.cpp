@@ -1,0 +1,128 @@
+// Parameterized correctness sweeps over problem sizes, capacities, and
+// topologies for the three case studies — the property: out-of-core
+// execution is always correct no matter how the runtime decomposes.
+#include <gtest/gtest.h>
+
+#include "northup/algos/csr_adaptive.hpp"
+#include "northup/algos/gemm.hpp"
+#include "northup/algos/hotspot.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace na = northup::algos;
+namespace nt = northup::topo;
+namespace nc = northup::core;
+namespace nm = northup::mem;
+
+namespace {
+
+nt::TopoTree make_tree(const std::string& topo, std::uint64_t staging) {
+  nt::PresetOptions opts;
+  opts.root_capacity = 128ULL << 20;
+  opts.staging_capacity = staging;
+  opts.device_capacity = std::max<std::uint64_t>(staging / 2, 64ULL << 10);
+  if (topo == "apu") return nt::apu_two_level(nm::StorageKind::Ssd, opts);
+  if (topo == "dgpu") return nt::dgpu_three_level(nm::StorageKind::Ssd, opts);
+  return nt::deep_four_level(opts);
+}
+
+}  // namespace
+
+// --- GEMM sweep: (n, staging KiB, topology, reuse). ---
+
+using GemmParam = std::tuple<std::uint64_t, std::uint64_t, const char*, bool>;
+
+class GemmSweep : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmSweep, OutOfCoreVerifies) {
+  const auto [n, staging_kib, topo, reuse] = GetParam();
+  nc::Runtime rt(make_tree(topo, staging_kib << 10));
+  na::GemmConfig cfg;
+  cfg.n = n;
+  cfg.shard_reuse = reuse;
+  cfg.verify_samples = 48;
+  const auto stats = na::gemm_northup(rt, cfg);
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(64, 128, 192),
+                       ::testing::Values<std::uint64_t>(64, 384),
+                       ::testing::Values("apu", "dgpu"),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param)) + "k_" +
+             std::get<2>(info.param) +
+             (std::get<3>(info.param) ? "_reuse" : "_noreuse");
+    });
+
+// --- HotSpot sweep: (n, iterations, topology). ---
+
+using HotspotParam = std::tuple<std::uint64_t, std::uint64_t, const char*>;
+
+class HotspotSweep : public ::testing::TestWithParam<HotspotParam> {};
+
+TEST_P(HotspotSweep, OutOfCoreMatchesReferenceExactly) {
+  const auto [n, iters, topo] = GetParam();
+  nc::Runtime rt(make_tree(topo, 96ULL << 10));
+  na::HotspotConfig cfg;
+  cfg.n = n;
+  cfg.iterations = iters;
+  const auto stats = na::hotspot_northup(rt, cfg);
+  EXPECT_TRUE(stats.verified);
+  EXPECT_EQ(stats.max_rel_err, 0.0);  // per-cell math: bit-exact
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSweeps, HotspotSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(64, 96, 128),
+                       ::testing::Values<std::uint64_t>(1, 2, 4),
+                       ::testing::Values("apu", "dgpu", "deep")),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_it" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             std::get<2>(info.param);
+    });
+
+// --- SpMV sweep: (pattern, avg_nnz, topology). ---
+
+using SpmvParam = std::tuple<int, std::uint32_t, const char*>;
+
+class SpmvSweep : public ::testing::TestWithParam<SpmvParam> {};
+
+namespace {
+// Outside the INSTANTIATE macro: brace initializers confuse the
+// preprocessor's argument splitting.
+const char* spmv_pattern_name(int pattern) {
+  switch (pattern) {
+    case 0: return "banded";
+    case 1: return "uniform";
+    case 2: return "powerlaw";
+    default: return "denserows";
+  }
+}
+}  // namespace
+
+TEST_P(SpmvSweep, OutOfCoreMatchesReferenceExactly) {
+  const auto [pattern, avg_nnz, topo] = GetParam();
+  nc::Runtime rt(make_tree(topo, 192ULL << 10));
+  na::SpmvConfig cfg;
+  cfg.rows = 3000;  // deliberately not a power of two
+  cfg.avg_nnz = avg_nnz;
+  cfg.pattern = static_cast<na::SpmvConfig::Pattern>(pattern);
+  const auto stats = na::spmv_northup(rt, cfg);
+  EXPECT_TRUE(stats.verified);
+  EXPECT_EQ(stats.max_rel_err, 0.0);  // same accumulation order: bit-exact
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsAndShapes, SpmvSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values<std::uint32_t>(4, 24),
+                       ::testing::Values("apu", "dgpu")),
+    [](const auto& info) {
+      return std::string(spmv_pattern_name(std::get<0>(info.param))) +
+             "_nnz" + std::to_string(std::get<1>(info.param)) + "_" +
+             std::get<2>(info.param);
+    });

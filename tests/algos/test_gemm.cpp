@@ -1,0 +1,122 @@
+// GEMM case-study tests: numerics of the leaf kernel, correctness of the
+// out-of-core recursion on both evaluated topologies, the shard-reuse
+// ablation, and the in-memory-vs-out-of-core performance shape.
+#include <gtest/gtest.h>
+
+#include "northup/algos/dense.hpp"
+#include "northup/algos/gemm.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace na = northup::algos;
+namespace nt = northup::topo;
+namespace nc = northup::core;
+
+namespace {
+
+nt::PresetOptions small_options() {
+  nt::PresetOptions opts;
+  opts.root_capacity = 64ULL << 20;
+  opts.staging_capacity = 512ULL << 10;  // forces multi-block decomposition
+  opts.device_capacity = 128ULL << 10;
+  return opts;
+}
+
+na::GemmConfig small_config() {
+  na::GemmConfig cfg;
+  cfg.n = 128;
+  cfg.verify_samples = 64;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(GemmReference, MatchesHandComputed) {
+  na::Matrix a(2, 3);
+  na::Matrix b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  na::Matrix c = na::gemm_reference(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(GemmInMemory, ApuTwoLevelVerifies) {
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd,
+                                   small_options()));
+  const auto stats = na::gemm_inmemory(rt, small_config());
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+  EXPECT_GT(stats.makespan, 0.0);
+  EXPECT_GT(stats.breakdown.gpu, 0.0);
+  // In-memory: no file storage was touched during the measured phase.
+  EXPECT_EQ(stats.breakdown.io, 0.0);
+}
+
+TEST(GemmNorthup, ApuTwoLevelVerifies) {
+  auto opts = small_options();
+  opts.staging_capacity = 128ULL << 10;  // forces a 2x2 level-1 grid
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd, opts));
+  const auto stats = na::gemm_northup(rt, small_config());
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+  EXPECT_GT(stats.breakdown.io, 0.0);   // chunks really came from storage
+  EXPECT_GT(stats.breakdown.gpu, 0.0);
+  EXPECT_GT(stats.spawns, 1u);          // recursion actually decomposed
+}
+
+TEST(GemmNorthup, DiscreteGpuThreeLevelVerifies) {
+  nc::Runtime rt(nt::dgpu_three_level(northup::mem::StorageKind::Ssd,
+                                      small_options()));
+  const auto stats = na::gemm_northup(rt, small_config());
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+  EXPECT_GT(stats.breakdown.io, 0.0);
+  EXPECT_GT(stats.breakdown.transfer, 0.0);  // PCIe leg exists
+  EXPECT_GT(stats.breakdown.gpu, 0.0);
+}
+
+TEST(GemmNorthup, HddSlowerThanSsd) {
+  nc::Runtime ssd(nt::apu_two_level(northup::mem::StorageKind::Ssd,
+                                    small_options()));
+  nc::Runtime hdd(nt::apu_two_level(northup::mem::StorageKind::Hdd,
+                                    small_options()));
+  auto cfg = small_config();
+  cfg.verify_samples = 0;
+  const auto s = na::gemm_northup(ssd, cfg);
+  const auto h = na::gemm_northup(hdd, cfg);
+  EXPECT_GT(h.makespan, s.makespan);
+}
+
+TEST(GemmNorthup, ShardReuseReducesIo) {
+  auto cfg = small_config();
+  cfg.verify_samples = 0;
+  cfg.n = 256;
+
+  nc::Runtime with(nt::apu_two_level(northup::mem::StorageKind::Ssd,
+                                     small_options()));
+  cfg.shard_reuse = true;
+  const auto reuse = na::gemm_northup(with, cfg);
+
+  nc::Runtime without(nt::apu_two_level(northup::mem::StorageKind::Ssd,
+                                        small_options()));
+  cfg.shard_reuse = false;
+  const auto no_reuse = na::gemm_northup(without, cfg);
+
+  EXPECT_LT(reuse.breakdown.io, no_reuse.breakdown.io);
+}
+
+TEST(GemmBlockChooser, RespectsCapacityAndDivisibility) {
+  // 256x256 floats: block 64 with reuse needs (4+2)*64*64*4 = 96 KiB.
+  const auto b = na::choose_gemm_block(256, 16, 128ULL << 10, true, 0.9);
+  EXPECT_EQ(256 % b, 0u);
+  EXPECT_GE(b, 16u);
+  const double resident = (256.0 / b + 2.0) * b * b * 4.0;
+  EXPECT_LE(resident, 128.0 * 1024.0 * 0.9);
+}
+
+TEST(GemmBlockChooser, ThrowsWhenNothingFits) {
+  EXPECT_THROW(na::choose_gemm_block(256, 16, 1024, true, 0.9),
+               northup::util::CapacityError);
+}

@@ -1,0 +1,104 @@
+// HotSpot-2D tests: the reference kernel, halo correctness of the
+// out-of-core block exchange across multiple sweeps, and topology
+// portability of the same recursion.
+#include <gtest/gtest.h>
+
+#include "northup/algos/hotspot.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace na = northup::algos;
+namespace nt = northup::topo;
+namespace nc = northup::core;
+
+namespace {
+
+nt::PresetOptions tight_options() {
+  nt::PresetOptions opts;
+  opts.root_capacity = 64ULL << 20;
+  opts.staging_capacity = 96ULL << 10;  // forces 64x64 blocks at n=128
+  opts.device_capacity = 64ULL << 10;
+  return opts;
+}
+
+na::HotspotConfig small_config() {
+  na::HotspotConfig cfg;
+  cfg.n = 128;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(HotspotReference, HeatDiffusesFromHotCell) {
+  na::Matrix temp(8, 8, 80.0f);
+  temp.at(4, 4) = 200.0f;
+  na::Matrix power(8, 8, 0.0f);
+  na::HotSpotParams p;
+  const na::Matrix out = na::hotspot_reference(temp, power, p);
+  // The hot cell cools, its neighbours warm.
+  EXPECT_LT(out.at(4, 4), 200.0f);
+  EXPECT_GT(out.at(4, 5), 80.0f);
+  EXPECT_GT(out.at(3, 4), 80.0f);
+  // A far-away cell at ambient with no power stays put.
+  EXPECT_FLOAT_EQ(out.at(0, 0), 80.0f);
+}
+
+TEST(HotspotInMemory, MatchesReference) {
+  // The in-memory baseline models the 16 GB configuration: DRAM holds the
+  // whole working set (§V-A).
+  auto opts = tight_options();
+  opts.staging_capacity = 8ULL << 20;
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd, opts));
+  auto cfg = small_config();
+  cfg.iterations = 2;
+  const auto stats = na::hotspot_inmemory(rt, cfg);
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+  EXPECT_EQ(stats.breakdown.io, 0.0);
+  EXPECT_GT(stats.breakdown.gpu, 0.0);
+}
+
+TEST(HotspotNorthup, SingleSweepMatchesReference) {
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd,
+                                   tight_options()));
+  const auto stats = na::hotspot_northup(rt, small_config());
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+  EXPECT_GT(stats.breakdown.io, 0.0);
+  EXPECT_GT(stats.spawns, 1u);
+}
+
+TEST(HotspotNorthup, MultiSweepHaloExchangeIsExact) {
+  // Three sweeps force the block-edge republication path: any halo slot
+  // mis-wiring shows up as a growing boundary error.
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd,
+                                   tight_options()));
+  auto cfg = small_config();
+  cfg.iterations = 3;
+  const auto stats = na::hotspot_northup(rt, cfg);
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+}
+
+TEST(HotspotNorthup, DiscreteGpuThreeLevelVerifies) {
+  nc::Runtime rt(nt::dgpu_three_level(northup::mem::StorageKind::Ssd,
+                                      tight_options()));
+  auto cfg = small_config();
+  cfg.iterations = 2;
+  const auto stats = na::hotspot_northup(rt, cfg);
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+  EXPECT_GT(stats.breakdown.transfer, 0.0);
+}
+
+TEST(HotspotNorthup, DeepFourLevelVerifies) {
+  // The same application code runs unchanged on a 4-level
+  // HDD -> NVM -> DRAM -> device hierarchy (the paper's portability claim).
+  auto opts = tight_options();
+  opts.root_capacity = 64ULL << 20;
+  nc::Runtime rt(nt::deep_four_level(opts));
+  const auto stats = na::hotspot_northup(rt, small_config());
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+}
+
+TEST(HotspotBlockChooser, FitsAndDivides) {
+  const auto b = na::choose_hotspot_block(256, 16, 200ULL << 10, 0.9);
+  EXPECT_EQ(256 % b, 0u);
+  const double bytes = (3.0 * b * b + 4.0 * b) * 4.0;
+  EXPECT_LE(bytes, 200.0 * 1024.0 * 0.9);
+}

@@ -1,0 +1,89 @@
+// Property tests for the sparse generators (the Florida-collection
+// stand-ins) and CSR invariants, parameterized over seeds and shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "northup/algos/sparse.hpp"
+
+namespace na = northup::algos;
+
+class SparseGenProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(SparseGenProperty, GeneratorsProduceValidCsr) {
+  const auto [seed, rows_exp] = GetParam();
+  const auto rows = static_cast<std::uint32_t>(1 << rows_exp);
+
+  for (int which = 0; which < 4; ++which) {
+    na::Csr m;
+    switch (which) {
+      case 0: m = na::banded_matrix(rows, 4, seed); break;
+      case 1: m = na::uniform_matrix(rows, rows, 8, seed); break;
+      case 2: m = na::powerlaw_matrix(rows, rows, 8, 1.8, seed); break;
+      default: m = na::dense_rows_matrix(rows, rows, 6, 4, rows / 2, seed);
+    }
+    ASSERT_NO_THROW(m.validate()) << "generator " << which;
+    EXPECT_EQ(m.rows, rows);
+    EXPECT_GT(m.nnz(), 0u);
+  }
+}
+
+TEST_P(SparseGenProperty, UniformMeanNnzNearTarget) {
+  const auto [seed, rows_exp] = GetParam();
+  const auto rows = static_cast<std::uint32_t>(1 << rows_exp);
+  const auto m = na::uniform_matrix(rows, rows, 16, seed);
+  const double avg = static_cast<double>(m.nnz()) / m.rows;
+  EXPECT_NEAR(avg, 16.0, 2.0);
+}
+
+TEST_P(SparseGenProperty, BandedStaysInBand) {
+  const auto [seed, rows_exp] = GetParam();
+  const auto rows = static_cast<std::uint32_t>(1 << rows_exp);
+  constexpr std::uint32_t kHalfBand = 3;
+  const auto m = na::banded_matrix(rows, kHalfBand, seed);
+  for (std::uint32_t r = 0; r < m.rows; ++r) {
+    for (std::uint32_t i = m.row_ptr[r]; i < m.row_ptr[r + 1]; ++i) {
+      const auto c = static_cast<std::int64_t>(m.col_id[i]);
+      EXPECT_LE(std::abs(c - static_cast<std::int64_t>(r)), kHalfBand);
+    }
+  }
+}
+
+TEST_P(SparseGenProperty, SpmvReferenceIsLinear) {
+  // A(x + y) == Ax + Ay within float tolerance — sanity on the reference
+  // used to verify everything else.
+  const auto [seed, rows_exp] = GetParam();
+  const auto rows = static_cast<std::uint32_t>(1 << rows_exp);
+  const auto m = na::powerlaw_matrix(rows, rows, 8, 1.8, seed);
+  const auto x = na::random_vector(rows, seed + 1);
+  const auto y = na::random_vector(rows, seed + 2);
+  std::vector<float> xy(rows);
+  for (std::uint32_t i = 0; i < rows; ++i) xy[i] = x[i] + y[i];
+
+  const auto ax = na::spmv_reference(m, x);
+  const auto ay = na::spmv_reference(m, y);
+  const auto axy = na::spmv_reference(m, xy);
+  std::vector<float> sum(rows);
+  for (std::uint32_t i = 0; i < rows; ++i) sum[i] = ax[i] + ay[i];
+  EXPECT_LT(na::max_rel_diff(axy, sum), 1e-4);
+}
+
+TEST_P(SparseGenProperty, GeneratorsAreDeterministic) {
+  const auto [seed, rows_exp] = GetParam();
+  const auto rows = static_cast<std::uint32_t>(1 << rows_exp);
+  const auto a = na::uniform_matrix(rows, rows, 8, seed);
+  const auto b = na::uniform_matrix(rows, rows, 8, seed);
+  EXPECT_EQ(a.row_ptr, b.row_ptr);
+  EXPECT_EQ(a.col_id, b.col_id);
+  EXPECT_EQ(a.data, b.data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, SparseGenProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(3, 17, 5150),
+                       ::testing::Values(8, 10, 12)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_rows2e" +
+             std::to_string(std::get<1>(info.param));
+    });

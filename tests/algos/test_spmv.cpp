@@ -1,0 +1,129 @@
+// CSR-Adaptive SpMV tests: CSR generators, row binning, and out-of-core
+// correctness across input patterns and topologies.
+#include <gtest/gtest.h>
+
+#include "northup/algos/csr_adaptive.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace na = northup::algos;
+namespace nt = northup::topo;
+namespace nc = northup::core;
+
+namespace {
+
+nt::PresetOptions tight_options() {
+  nt::PresetOptions opts;
+  opts.root_capacity = 64ULL << 20;
+  opts.staging_capacity = 256ULL << 10;
+  opts.device_capacity = 160ULL << 10;
+  return opts;
+}
+
+na::SpmvConfig small_config(na::SpmvConfig::Pattern pattern) {
+  na::SpmvConfig cfg;
+  cfg.rows = 4096;
+  cfg.avg_nnz = 8;
+  cfg.pattern = pattern;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(CsrGenerators, AllPatternsValidate) {
+  for (auto pattern :
+       {na::SpmvConfig::Pattern::Banded, na::SpmvConfig::Pattern::Uniform,
+        na::SpmvConfig::Pattern::PowerLaw,
+        na::SpmvConfig::Pattern::DenseRows}) {
+    const auto m = small_config(pattern).make_matrix();
+    EXPECT_NO_THROW(m.validate());
+    EXPECT_GT(m.nnz(), 0u);
+  }
+}
+
+TEST(CsrGenerators, PowerLawIsSkewed) {
+  const auto m = na::powerlaw_matrix(8192, 8192, 16, 1.8, 3);
+  std::uint32_t max_len = 0;
+  for (std::uint32_t r = 0; r < m.rows; ++r) {
+    max_len = std::max(max_len, m.row_len(r));
+  }
+  const double avg = static_cast<double>(m.nnz()) / m.rows;
+  EXPECT_GT(max_len, 8 * avg);  // heavy tail exists
+}
+
+TEST(BinRows, GroupsShortRowsAndIsolatesLongOnes) {
+  // rows: 4, 4, 4, 20(long), 4 — cap 8.
+  std::vector<std::uint32_t> rp = {0, 4, 8, 12, 32, 36};
+  const auto blocks = na::bin_rows(rp.data(), 5, 8);
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0].kind, na::RowBlockKind::Stream);
+  EXPECT_EQ(blocks[0].row_count, 2u);  // 4+4 fits, +4 would exceed
+  EXPECT_EQ(blocks[1].kind, na::RowBlockKind::Stream);
+  EXPECT_EQ(blocks[1].row_count, 1u);
+  EXPECT_EQ(blocks[2].kind, na::RowBlockKind::Vector);
+  EXPECT_EQ(blocks[2].first_row, 3u);
+  EXPECT_EQ(blocks[3].kind, na::RowBlockKind::Stream);
+}
+
+TEST(BinRows, CoversEveryRowExactlyOnce) {
+  const auto m = na::powerlaw_matrix(2000, 2000, 12, 1.8, 11);
+  const auto blocks = na::bin_rows(m.row_ptr.data(), m.rows, 256);
+  std::uint32_t next = 0;
+  for (const auto& b : blocks) {
+    EXPECT_EQ(b.first_row, next);
+    next += b.row_count;
+  }
+  EXPECT_EQ(next, m.rows);
+}
+
+TEST(SpmvInMemory, MatchesReference) {
+  auto opts = tight_options();
+  opts.staging_capacity = 8ULL << 20;
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd, opts));
+  const auto stats =
+      na::spmv_inmemory(rt, small_config(na::SpmvConfig::Pattern::Uniform));
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+  // The baseline bins at load time, so no CPU binning cost is measured.
+  EXPECT_EQ(stats.breakdown.cpu, 0.0);
+}
+
+TEST(SpmvNorthup, BinningIsCountedOnCpu) {
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd,
+                                   tight_options()));
+  const auto stats =
+      na::spmv_northup(rt, small_config(na::SpmvConfig::Pattern::Uniform));
+  EXPECT_GT(stats.breakdown.cpu, 0.0);  // per-shard binning ran on the CPU
+}
+
+TEST(SpmvNorthup, UniformVerifiesOnApu) {
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd,
+                                   tight_options()));
+  const auto stats =
+      na::spmv_northup(rt, small_config(na::SpmvConfig::Pattern::Uniform));
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+  EXPECT_GT(stats.breakdown.io, 0.0);
+  EXPECT_GT(stats.spawns, 1u);  // multiple shards
+}
+
+TEST(SpmvNorthup, PowerLawVerifiesOnDiscreteGpu) {
+  nc::Runtime rt(nt::dgpu_three_level(northup::mem::StorageKind::Ssd,
+                                      tight_options()));
+  const auto stats =
+      na::spmv_northup(rt, small_config(na::SpmvConfig::Pattern::PowerLaw));
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+  EXPECT_GT(stats.breakdown.transfer, 0.0);
+}
+
+TEST(SpmvNorthup, DenseRowsVerifies) {
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd,
+                                   tight_options()));
+  const auto stats =
+      na::spmv_northup(rt, small_config(na::SpmvConfig::Pattern::DenseRows));
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+}
+
+TEST(SpmvNorthup, BandedVerifiesOnDeepTree) {
+  nc::Runtime rt(nt::deep_four_level(tight_options()));
+  const auto stats =
+      na::spmv_northup(rt, small_config(na::SpmvConfig::Pattern::Banded));
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+}

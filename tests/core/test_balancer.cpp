@@ -1,0 +1,165 @@
+// SubtreeBalancer and AdaptiveMapper tests (§III-C multi-branch spawning,
+// §III-E profile-guided processor mapping) on the Fig 2 asymmetric tree.
+#include <gtest/gtest.h>
+
+#include "northup/core/adaptive.hpp"
+#include "northup/core/balancer.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace nc = northup::core;
+namespace nt = northup::topo;
+
+TEST(SubtreeBalancer, DistributesChunksAcrossBranches) {
+  nc::Runtime rt(nt::asymmetric_fig2());
+  nc::SubtreeBalancer balancer(rt);
+  const auto n1 = rt.tree().find("n1");
+  const auto n2 = rt.tree().find("n2");
+
+  std::map<nt::NodeId, int> executed;
+  rt.run([&](nc::ExecContext& ctx) {
+    balancer.balanced_spawn(ctx, 10, [&](nc::ExecContext& c, std::uint64_t) {
+      ++executed[c.get_cur_treenode()];
+    });
+  });
+  // Both branches got work, roughly evenly (synchronous drain means the
+  // dispatch-history tiebreak alternates them).
+  EXPECT_EQ(executed[n1], 5);
+  EXPECT_EQ(executed[n2], 5);
+  EXPECT_EQ(balancer.dispatch_counts().at(n1), 5u);
+  EXPECT_EQ(balancer.dispatch_counts().at(n2), 5u);
+}
+
+TEST(SubtreeBalancer, PrefersIdleSubtree) {
+  nc::Runtime rt(nt::asymmetric_fig2());
+  nc::SubtreeBalancer balancer(rt);
+  const auto root = rt.tree().root();
+  const auto n1 = rt.tree().find("n1");
+  const auto n2 = rt.tree().find("n2");
+
+  // Pre-load n1's queue so it looks busy.
+  rt.queues().queue(n1, 0).push({0, [] {}});
+  rt.queues().queue(n1, 0).push({1, [] {}});
+  EXPECT_EQ(balancer.pick_child(root), n2);
+
+  // Pending work deeper inside n2's subtree counts against n2 as well.
+  const auto n5 = rt.tree().find("n5");
+  rt.queues().create_queues(n5, 1);
+  for (int i = 0; i < 5; ++i) rt.queues().queue(n5, 0).push({2, [] {}});
+  EXPECT_EQ(balancer.pick_child(root), n1);
+}
+
+TEST(SubtreeBalancer, PickOnLeafThrows) {
+  nc::Runtime rt(nt::asymmetric_fig2());
+  nc::SubtreeBalancer balancer(rt);
+  EXPECT_THROW(balancer.pick_child(rt.tree().find("n1")),
+               northup::util::Error);
+}
+
+TEST(SubtreeBalancer, WeightedSplitFollowsSpeedRatio) {
+  nc::Runtime rt(nt::asymmetric_fig2());
+  nc::SubtreeBalancer balancer(rt);
+  const auto n1 = rt.tree().find("n1");
+  const auto n2 = rt.tree().find("n2");
+
+  std::map<nt::NodeId, int> executed;
+  rt.run([&](nc::ExecContext& ctx) {
+    // Branch speeds 1 : 4 -> chunk counts should land near 20 : 80.
+    std::map<nt::NodeId, double> speeds{{n1, 1.0}, {n2, 4.0}};
+    balancer.balanced_spawn_weighted(
+        ctx, 100, 1.0, speeds, [&](nc::ExecContext& c, std::uint64_t) {
+          ++executed[c.get_cur_treenode()];
+        });
+  });
+  EXPECT_EQ(executed[n1] + executed[n2], 100);
+  EXPECT_NEAR(executed[n2], 80, 1);
+}
+
+TEST(SubtreeBalancer, WeightedRejectsMissingSpeed) {
+  nc::Runtime rt(nt::asymmetric_fig2());
+  nc::SubtreeBalancer balancer(rt);
+  rt.run([&](nc::ExecContext& ctx) {
+    std::map<nt::NodeId, double> speeds{{rt.tree().find("n1"), 1.0}};
+    EXPECT_THROW(balancer.balanced_spawn_weighted(
+                     ctx, 4, 1.0, speeds,
+                     [](nc::ExecContext&, std::uint64_t) {}),
+                 northup::util::Error);
+  });
+}
+
+TEST(SubtreeSpeed, FindsProcessorDownTheBranch) {
+  nc::Runtime rt(nt::asymmetric_fig2());
+  const northup::device::KernelCost cost{1e9, 1e6};
+  // n1 is a CPU leaf; n2's first-child path reaches the discrete GPU.
+  const double cpu_speed = nc::subtree_speed(rt, rt.tree().find("n1"), cost);
+  const double gpu_speed = nc::subtree_speed(rt, rt.tree().find("n2"), cost);
+  EXPECT_GT(cpu_speed, 0.0);
+  EXPECT_GT(gpu_speed, 10.0 * cpu_speed);  // compute-bound: dGPU >> CPU
+}
+
+TEST(AdaptiveMapper, ProbesUnknownProcessorsFirst) {
+  nc::Runtime rt(nt::asymmetric_fig2());
+  auto* cpu = rt.find_processor(nt::ProcessorType::Cpu);
+  auto* gpu = rt.find_processor(nt::ProcessorType::Gpu);
+  std::vector<northup::device::Processor*> candidates{cpu, gpu};
+
+  nc::AdaptiveMapper mapper;
+  auto* first = mapper.pick(candidates);
+  mapper.observe(first, 100.0, 1.0);
+  auto* second = mapper.pick(candidates);
+  EXPECT_NE(first, second);  // the unprofiled one gets probed
+}
+
+TEST(AdaptiveMapper, PrefersFasterProcessorAfterProfiling) {
+  nc::Runtime rt(nt::asymmetric_fig2());
+  auto* cpu = rt.find_processor(nt::ProcessorType::Cpu);
+  auto* gpu = rt.find_processor(nt::ProcessorType::Gpu);
+  std::vector<northup::device::Processor*> candidates{cpu, gpu};
+
+  nc::AdaptiveMapper mapper;
+  mapper.observe(cpu, 100.0, 1.0);   // 100 units/s
+  mapper.observe(gpu, 100.0, 0.1);   // 1000 units/s
+  EXPECT_EQ(mapper.pick(candidates), gpu);
+  EXPECT_GT(mapper.throughput(gpu), mapper.throughput(cpu));
+  EXPECT_EQ(mapper.observations(gpu), 1u);
+}
+
+TEST(AdaptiveMapper, AdaptsWhenPerformanceShifts) {
+  nc::Runtime rt(nt::asymmetric_fig2());
+  auto* cpu = rt.find_processor(nt::ProcessorType::Cpu);
+  auto* gpu = rt.find_processor(nt::ProcessorType::Gpu);
+  std::vector<northup::device::Processor*> candidates{cpu, gpu};
+
+  nc::AdaptiveMapper mapper(0.5);
+  mapper.observe(gpu, 100.0, 0.1);
+  mapper.observe(cpu, 100.0, 1.0);
+  ASSERT_EQ(mapper.pick(candidates), gpu);
+  // The GPU degrades (e.g., contended); repeated slow samples flip the
+  // choice.
+  for (int i = 0; i < 8; ++i) mapper.observe(gpu, 100.0, 10.0);
+  EXPECT_EQ(mapper.pick(candidates), cpu);
+}
+
+TEST(AdaptiveMapper, DrivenByRealLaunchResults) {
+  // End-to-end: feed actual LaunchResults from the simulated processors;
+  // the mapper should discover that the GPU wins on a big parallel chunk.
+  nc::Runtime rt(nt::apu_two_level());
+  const auto leaf = rt.tree().leaves().front();
+  auto* cpu = rt.processor_at(leaf, nt::ProcessorType::Cpu);
+  auto* gpu = rt.processor_at(leaf, nt::ProcessorType::Gpu);
+
+  nc::AdaptiveMapper mapper;
+  const northup::device::KernelCost cost{1e9, 1e8};  // compute-heavy chunk
+  const double work = 1e9;
+  for (auto* proc : {cpu, gpu}) {
+    const auto result = proc->launch_costed("probe", 64, cost);
+    mapper.observe(proc, work, result.sim_seconds);
+  }
+  EXPECT_EQ(mapper.pick({cpu, gpu}), gpu);
+}
+
+TEST(AdaptiveMapper, RejectsBadInputs) {
+  EXPECT_THROW(nc::AdaptiveMapper(0.0), northup::util::Error);
+  nc::AdaptiveMapper mapper;
+  EXPECT_THROW(mapper.pick({}), northup::util::Error);
+  EXPECT_THROW(mapper.observe(nullptr, 1.0, 1.0), northup::util::Error);
+}

@@ -1,0 +1,168 @@
+// grid_map (generic Listing-3 driver) tests: element-wise maps through
+// 2-, 3-, and 4-level trees, edge chunks, capacity-driven chunk counts,
+// and a parameterized sweep over dataset shapes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "northup/core/grid.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace nc = northup::core;
+namespace nt = northup::topo;
+namespace nm = northup::mem;
+
+namespace {
+
+nt::PresetOptions tiny() {
+  nt::PresetOptions o;
+  o.root_capacity = 16ULL << 20;
+  o.staging_capacity = 16ULL << 10;  // forces several chunks
+  o.device_capacity = 8ULL << 10;
+  return o;
+}
+
+/// Leaf kernel: negate every float in the chunk via the leaf processor.
+nc::GridLeafFn negate_leaf() {
+  return [](nc::ExecContext& ctx, northup::data::Buffer& in,
+            northup::data::Buffer& out, std::uint64_t rows,
+            std::uint64_t cols) {
+    auto& dm = ctx.dm();
+    auto* proc = ctx.get_devices().empty()
+                     ? ctx.runtime().find_processor(nt::ProcessorType::Gpu)
+                     : ctx.get_devices().front();
+    float* src = reinterpret_cast<float*>(dm.host_view(in));
+    float* dst = reinterpret_cast<float*>(dm.host_view(out));
+    const std::uint64_t n = rows * cols;
+    std::vector<northup::sim::TaskId> deps;
+    if (in.ready != northup::sim::kInvalidTask) deps.push_back(in.ready);
+    auto launch = proc->launch(
+        "negate", 1,
+        [=](northup::device::WorkGroupCtx&) {
+          for (std::uint64_t i = 0; i < n; ++i) dst[i] = -src[i];
+        },
+        {static_cast<double>(n), 8.0 * static_cast<double>(n)}, deps);
+    out.ready = launch.task;
+  };
+}
+
+/// Runs grid_map over a rows x cols float dataset on `tree` and verifies
+/// every element was negated exactly once.
+void run_and_verify(nt::TopoTree tree, std::uint64_t rows,
+                    std::uint64_t cols, std::uint64_t* spawns_out = nullptr) {
+  nc::Runtime rt(std::move(tree));
+  auto& dm = rt.dm();
+  const auto root = rt.tree().root();
+  const std::uint64_t bytes = rows * cols * 4;
+
+  std::vector<float> input(rows * cols);
+  std::iota(input.begin(), input.end(), 1.0f);
+  auto in = dm.alloc(bytes, root);
+  auto out = dm.alloc(bytes, root);
+  dm.write_from_host(in, input.data(), bytes);
+
+  rt.run([&](nc::ExecContext& ctx) {
+    nc::GridJob job{rows, cols, 4, 0.85};
+    nc::grid_map(ctx, job, in, out, negate_leaf());
+  });
+
+  std::vector<float> result(rows * cols);
+  dm.read_to_host(result.data(), out, bytes);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_EQ(result[i], -input[i]) << "at " << i;
+  }
+  if (spawns_out != nullptr) *spawns_out = rt.spawn_count();
+  dm.release(in);
+  dm.release(out);
+}
+
+}  // namespace
+
+TEST(GridMap, TwoLevelTree) {
+  run_and_verify(nt::apu_two_level(nm::StorageKind::Ssd, tiny()), 64, 64);
+}
+
+TEST(GridMap, ThreeLevelTree) {
+  run_and_verify(nt::dgpu_three_level(nm::StorageKind::Ssd, tiny()), 64, 64);
+}
+
+TEST(GridMap, FourLevelTree) {
+  run_and_verify(nt::deep_four_level(tiny()), 64, 64);
+}
+
+TEST(GridMap, NonSquareWithRaggedEdges) {
+  // 50 x 37 does not divide evenly by any chunk grid: edge chunks clip.
+  run_and_verify(nt::apu_two_level(nm::StorageKind::Ssd, tiny()), 50, 37);
+}
+
+TEST(GridMap, SingleElement) {
+  run_and_verify(nt::apu_two_level(nm::StorageKind::Ssd, tiny()), 1, 1);
+}
+
+TEST(GridMap, TighterCapacityMeansMoreChunks) {
+  std::uint64_t loose_spawns = 0, tight_spawns = 0;
+  auto loose = tiny();
+  loose.staging_capacity = 64ULL << 10;
+  run_and_verify(nt::apu_two_level(nm::StorageKind::Ssd, loose), 64, 64,
+                 &loose_spawns);
+  auto cramped = tiny();
+  cramped.staging_capacity = 4ULL << 10;
+  run_and_verify(nt::apu_two_level(nm::StorageKind::Ssd, cramped), 64, 64,
+                 &tight_spawns);
+  EXPECT_GT(tight_spawns, loose_spawns);
+}
+
+TEST(GridMap, RejectsEmptyJob) {
+  nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, tiny()));
+  auto in = rt.dm().alloc(64, rt.tree().root());
+  auto out = rt.dm().alloc(64, rt.tree().root());
+  rt.run([&](nc::ExecContext& ctx) {
+    nc::GridJob job{0, 4, 4, 0.85};
+    EXPECT_THROW(nc::grid_map(ctx, job, in, out, negate_leaf()),
+                 northup::util::Error);
+  });
+  rt.dm().release(in);
+  rt.dm().release(out);
+}
+
+TEST(GridMap, RejectsUndersizedBuffers) {
+  nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, tiny()));
+  auto in = rt.dm().alloc(64, rt.tree().root());
+  auto out = rt.dm().alloc(64, rt.tree().root());
+  rt.run([&](nc::ExecContext& ctx) {
+    nc::GridJob job{100, 100, 4, 0.85};  // needs 40 KB, buffers hold 64 B
+    EXPECT_THROW(nc::grid_map(ctx, job, in, out, negate_leaf()),
+                 northup::util::Error);
+  });
+  rt.dm().release(in);
+  rt.dm().release(out);
+}
+
+// Parameterized sweep: shapes x topologies.
+class GridSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t,
+                                                 const char*>> {};
+
+TEST_P(GridSweep, NegatesEverywhere) {
+  const auto [rows, cols, topo_name] = GetParam();
+  nt::TopoTree tree = std::string(topo_name) == "apu"
+                          ? nt::apu_two_level(nm::StorageKind::Ssd, tiny())
+                          : std::string(topo_name) == "dgpu"
+                                ? nt::dgpu_three_level(nm::StorageKind::Ssd,
+                                                       tiny())
+                                : nt::deep_four_level(tiny());
+  run_and_verify(std::move(tree), rows, cols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTopologies, GridSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(8, 33, 100),
+                       ::testing::Values<std::uint64_t>(8, 65),
+                       ::testing::Values("apu", "dgpu", "deep")),
+    [](const auto& info) {
+      return std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             std::get<2>(info.param);
+    });

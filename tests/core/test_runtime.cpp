@@ -1,0 +1,182 @@
+// Core runtime tests: system instantiation from a topology, the paper's
+// context API, recursive spawning through work queues, capacity-driven
+// planning, and the profiler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "northup/core/chunking.hpp"
+#include "northup/core/profiler.hpp"
+#include "northup/core/runtime.hpp"
+#include "northup/topo/config.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace nc = northup::core;
+namespace nt = northup::topo;
+namespace nm = northup::mem;
+
+TEST(Runtime, BindsStorageForEveryNode) {
+  nc::Runtime rt(nt::dgpu_three_level());
+  for (nt::NodeId id = 0; id < rt.tree().node_count(); ++id) {
+    EXPECT_TRUE(rt.dm().is_bound(id));
+    EXPECT_EQ(rt.dm().storage(id).kind(), rt.tree().fetch_node_type(id));
+  }
+}
+
+TEST(Runtime, CreatesProcessorsFromTopology) {
+  nc::Runtime rt(nt::apu_two_level());
+  const auto leaf = rt.tree().leaves().front();
+  EXPECT_EQ(rt.processors_at(leaf).size(), 2u);
+  EXPECT_NE(rt.processor_at(leaf, nt::ProcessorType::Cpu), nullptr);
+  EXPECT_NE(rt.processor_at(leaf, nt::ProcessorType::Gpu), nullptr);
+  EXPECT_EQ(rt.processor_at(leaf, nt::ProcessorType::Fpga), nullptr);
+  EXPECT_NE(rt.find_processor(nt::ProcessorType::Gpu), nullptr);
+}
+
+TEST(Runtime, WorksFromParsedConfig) {
+  const auto tree = nt::parse_config(R"(
+node root kind=ssd cap=16M
+node dram parent=root kind=dram cap=1M
+proc gpu node=dram type=gpu gflops=100 membw=10G cus=8 localmem=32K
+)");
+  nc::Runtime rt(tree);
+  EXPECT_NE(rt.find_processor(nt::ProcessorType::Gpu), nullptr);
+  auto buf = rt.dm().alloc(1024, rt.tree().find("root"));
+  EXPECT_TRUE(buf.valid());
+  rt.dm().release(buf);
+}
+
+TEST(ExecContext, PaperQueryApi) {
+  nc::Runtime rt(nt::dgpu_three_level());
+  rt.run([&](nc::ExecContext& ctx) {
+    EXPECT_EQ(ctx.get_level(), 0);
+    EXPECT_EQ(ctx.get_max_treelevel(), 2);
+    EXPECT_FALSE(ctx.is_leaf());
+    EXPECT_TRUE(nm::is_file_backed(ctx.fetch_node_type()));
+    EXPECT_EQ(ctx.get_parent(), nt::kInvalidNode);
+    ASSERT_EQ(ctx.get_children_list().size(), 1u);
+    EXPECT_EQ(ctx.child(0), ctx.get_children_list()[0]);
+    EXPECT_THROW(ctx.child(5), northup::util::Error);
+  });
+}
+
+TEST(ExecContext, SpawnDescendsLevels) {
+  nc::Runtime rt(nt::dgpu_three_level());
+  std::vector<int> levels;
+  rt.run([&](nc::ExecContext& ctx) {
+    levels.push_back(ctx.get_level());
+    ctx.northup_spawn(ctx.child(0), [&](nc::ExecContext& c1) {
+      levels.push_back(c1.get_level());
+      c1.northup_spawn(c1.child(0), [&](nc::ExecContext& c2) {
+        levels.push_back(c2.get_level());
+        EXPECT_TRUE(c2.is_leaf());
+      });
+    });
+  });
+  EXPECT_EQ(levels, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(rt.spawn_count(), 2u);
+  EXPECT_GT(rt.bookkeeping_wall_seconds(), 0.0);
+}
+
+TEST(ExecContext, SpawnRejectsNonChild) {
+  nc::Runtime rt(nt::dgpu_three_level());
+  rt.run([&](nc::ExecContext& ctx) {
+    const auto grandchild = rt.tree().find("gpu-mem");
+    EXPECT_THROW(ctx.northup_spawn(grandchild, [](nc::ExecContext&) {}),
+                 northup::util::Error);
+  });
+}
+
+TEST(ExecContext, SpawnChargesRuntimePhase) {
+  nc::Runtime rt(nt::apu_two_level());
+  rt.run([&](nc::ExecContext& ctx) {
+    ctx.northup_spawn(ctx.child(0), [](nc::ExecContext&) {});
+  });
+  const auto breakdown = nc::Breakdown::from(*rt.event_sim());
+  EXPECT_GT(breakdown.runtime, 0.0);
+}
+
+TEST(ExecContext, AvailableBytesTracksAllocations) {
+  nc::Runtime rt(nt::apu_two_level());
+  rt.run([&](nc::ExecContext& ctx) {
+    const auto before = ctx.available_bytes(ctx.child(0));
+    auto buf = rt.dm().alloc(4096, ctx.child(0));
+    EXPECT_EQ(ctx.available_bytes(ctx.child(0)), before - 4096);
+    rt.dm().release(buf);
+    EXPECT_EQ(ctx.available_bytes(ctx.child(0)), before);
+  });
+}
+
+TEST(Runtime, SimDisabledStillExecutesFunctionally) {
+  nc::RuntimeOptions opts;
+  opts.enable_sim = false;
+  nc::Runtime rt(nt::apu_two_level(), opts);
+  EXPECT_EQ(rt.event_sim(), nullptr);
+  bool ran = false;
+  rt.run([&](nc::ExecContext& ctx) {
+    ctx.northup_spawn(ctx.child(0), [&](nc::ExecContext&) { ran = true; });
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(rt.makespan(), 0.0);
+}
+
+TEST(Runtime, AsymmetricTreeSpawnsIntoBothSubtrees) {
+  nc::Runtime rt(nt::asymmetric_fig2());
+  std::vector<std::string> visited;
+  rt.run([&](nc::ExecContext& ctx) {
+    for (const auto child : ctx.get_children_list()) {
+      ctx.northup_spawn(child, [&](nc::ExecContext& c) {
+        visited.push_back(rt.tree().node(c.get_cur_treenode()).name);
+      });
+    }
+  });
+  EXPECT_EQ(visited, (std::vector<std::string>{"n1", "n2"}));
+}
+
+// --- Chunk planning. ---
+
+TEST(Chunking, ChunkCountCoversWorkingSet) {
+  // 100 KiB into a 16 KiB child with 0.9 safety: budget 14.4 KiB/chunk.
+  const auto n = nc::choose_chunk_count(100 << 10, 16 << 10, 1, 0.9);
+  EXPECT_EQ(n, 7u);
+  // Two simultaneous copies halve the budget.
+  const auto n2 = nc::choose_chunk_count(100 << 10, 16 << 10, 2, 0.9);
+  EXPECT_GE(n2, 2 * n - 1);
+}
+
+TEST(Chunking, GridFitsBudgetAndStaysSquare) {
+  const auto grid = nc::choose_grid(1000, 1000, 4, 2, 64 << 10, 0.9);
+  const auto chunk_bytes = nc::ceil_div(1000, grid.x) *
+                           nc::ceil_div(1000, grid.y) * 4 * 2;
+  EXPECT_LE(static_cast<double>(chunk_bytes), 64.0 * 1024 * 0.9);
+  // Near-square: dimensions within 2x of each other.
+  EXPECT_LE(grid.x, 2 * grid.y + 1);
+  EXPECT_LE(grid.y, 2 * grid.x + 1);
+}
+
+TEST(Chunking, SingleChunkWhenEverythingFits) {
+  const auto grid = nc::choose_grid(100, 100, 4, 1, 1 << 20, 0.9);
+  EXPECT_EQ(grid.count(), 1u);
+}
+
+TEST(Chunking, ThrowsWhenElementTooBig) {
+  EXPECT_THROW(nc::choose_grid(10, 10, 1 << 20, 1, 1024, 0.9),
+               northup::util::Error);
+}
+
+// --- Profiler. ---
+
+TEST(Breakdown, CollectsPhaseTotalsAndShares) {
+  northup::sim::EventSim sim;
+  const auto r = sim.add_resource("x");
+  sim.add_task("a", "gpu", r, 3.0);
+  sim.add_task("b", "io", r, 1.0);
+  const auto bd = nc::Breakdown::from(sim);
+  EXPECT_DOUBLE_EQ(bd.gpu, 3.0);
+  EXPECT_DOUBLE_EQ(bd.io, 1.0);
+  EXPECT_DOUBLE_EQ(bd.component_total(), 4.0);
+  EXPECT_DOUBLE_EQ(bd.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(bd.shares().at("gpu"), 0.75);
+  EXPECT_DOUBLE_EQ(bd.runtime_overhead_fraction(), 0.0);
+  EXPECT_FALSE(bd.to_string().empty());
+}

@@ -1,0 +1,70 @@
+// ScheduleReport tests over hand-built and application-recorded traces.
+#include <gtest/gtest.h>
+
+#include "northup/algos/hotspot.hpp"
+#include "northup/core/schedule_report.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace nc = northup::core;
+namespace ns = northup::sim;
+namespace nt = northup::topo;
+namespace na = northup::algos;
+
+TEST(ScheduleReport, HandBuiltPipeline) {
+  ns::EventSim sim;
+  const auto io = sim.add_resource("io");
+  const auto gpu = sim.add_resource("gpu");
+  ns::TaskId prev = ns::kInvalidTask;
+  for (int i = 0; i < 4; ++i) {
+    const auto read = sim.add_task("r", "io", io, 1.0);
+    std::vector<ns::TaskId> deps{read};
+    if (prev != ns::kInvalidTask) deps.push_back(prev);
+    prev = sim.add_task("k", "gpu", gpu, 2.0, deps);
+  }
+  const auto report = nc::ScheduleReport::from(sim);
+  EXPECT_DOUBLE_EQ(report.makespan, 9.0);        // 1 + 4*2
+  EXPECT_DOUBLE_EQ(report.serialized_total, 12.0);
+  EXPECT_NEAR(report.parallelism, 12.0 / 9.0, 1e-12);
+  // Busiest engine first.
+  ASSERT_EQ(report.resources.size(), 2u);
+  EXPECT_EQ(report.resources[0].name, "gpu");
+  EXPECT_NEAR(report.resources[0].utilization, 8.0 / 9.0, 1e-12);
+  // Critical path: first read then the kernel chain.
+  EXPECT_EQ(report.critical_path_length, 5u);
+  EXPECT_DOUBLE_EQ(report.critical_path_by_phase.at("io"), 1.0);
+  EXPECT_DOUBLE_EQ(report.critical_path_by_phase.at("gpu"), 8.0);
+  EXPECT_FALSE(report.to_string().empty());
+}
+
+TEST(ScheduleReport, EmptyTrace) {
+  ns::EventSim sim;
+  const auto report = nc::ScheduleReport::from(sim);
+  EXPECT_DOUBLE_EQ(report.makespan, 0.0);
+  EXPECT_EQ(report.critical_path_length, 0u);
+}
+
+TEST(ScheduleReport, ApplicationTraceIsConsistent) {
+  nt::PresetOptions opts;
+  opts.staging_capacity = 96ULL << 10;
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd, opts));
+  na::HotspotConfig cfg;
+  cfg.n = 128;
+  cfg.verify = false;
+  na::hotspot_northup(rt, cfg);
+
+  const auto report = nc::ScheduleReport::from(*rt.event_sim());
+  EXPECT_GT(report.makespan, 0.0);
+  EXPECT_GE(report.serialized_total, report.makespan);
+  EXPECT_GE(report.parallelism, 1.0);
+  double busiest = 0.0;
+  for (const auto& r : report.resources) {
+    EXPECT_GE(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0 + 1e-9);
+    busiest = std::max(busiest, r.busy_seconds);
+  }
+  EXPECT_EQ(report.resources.front().busy_seconds, busiest);
+  // The critical-path phase times sum to at most the makespan.
+  double path_total = 0.0;
+  for (const auto& [phase, t] : report.critical_path_by_phase) path_total += t;
+  EXPECT_LE(path_total, report.makespan + 1e-9);
+}

@@ -1,0 +1,111 @@
+// TypedBuffer<T> tests: element-based API, RAII release, move semantics,
+// and interop with the untyped Table-I interface.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "northup/data/typed_buffer.hpp"
+#include "northup/memsim/storage.hpp"
+#include "northup/topo/tree.hpp"
+
+namespace nd = northup::data;
+namespace nt = northup::topo;
+namespace nm = northup::mem;
+namespace ns = northup::sim;
+
+namespace {
+
+class TypedBufferTest : public ::testing::Test {
+ protected:
+  TypedBufferTest() {
+    root_ = tree_.add_root(
+        "dram", {nm::StorageKind::Dram, 1 << 20, ns::ModelPresets::dram(),
+                 0});
+    tree_.validate();
+    dm_ = std::make_unique<nd::DataManager>(tree_, nullptr);
+    dm_->bind_storage(root_, std::make_unique<nm::HostStorage>(
+                                 "dram", nm::StorageKind::Dram, 1 << 20,
+                                 ns::ModelPresets::dram()));
+  }
+
+  nt::TopoTree tree_;
+  std::unique_ptr<nd::DataManager> dm_;
+  nt::NodeId root_;
+};
+
+}  // namespace
+
+TEST_F(TypedBufferTest, ElementRoundTrip) {
+  nd::TypedBuffer<double> buf(*dm_, 100, root_);
+  EXPECT_EQ(buf.count(), 100u);
+  EXPECT_EQ(buf.bytes(), 800u);
+
+  std::vector<double> data(100);
+  std::iota(data.begin(), data.end(), 0.5);
+  buf.write(data.data(), data.size());
+  std::vector<double> back(100);
+  buf.read(back.data(), back.size());
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(TypedBufferTest, OffsetAccessIsElementIndexed) {
+  nd::TypedBuffer<std::uint32_t> buf(*dm_, 16, root_);
+  const std::uint32_t v = 0xabcd1234;
+  buf.write(&v, 1, 7);
+  std::uint32_t got = 0;
+  buf.read(&got, 1, 7);
+  EXPECT_EQ(got, v);
+  // Element 7 of a uint32 buffer lives at byte offset 28.
+  std::uint32_t raw = 0;
+  dm_->read_to_host(&raw, buf.raw(), 4, 28);
+  EXPECT_EQ(raw, v);
+}
+
+TEST_F(TypedBufferTest, OutOfRangeAccessRejected) {
+  nd::TypedBuffer<float> buf(*dm_, 8, root_);
+  float x = 0.0f;
+  EXPECT_THROW(buf.write(&x, 1, 8), northup::util::Error);
+  EXPECT_THROW(buf.read(&x, 9, 0), northup::util::Error);
+}
+
+TEST_F(TypedBufferTest, RaiiReleasesStorage) {
+  const auto before = dm_->storage(root_).used();
+  {
+    nd::TypedBuffer<float> buf(*dm_, 256, root_);
+    EXPECT_EQ(dm_->storage(root_).used(), before + 1024);
+  }
+  EXPECT_EQ(dm_->storage(root_).used(), before);
+}
+
+TEST_F(TypedBufferTest, MoveTransfersOwnership) {
+  nd::TypedBuffer<float> a(*dm_, 64, root_);
+  const auto used = dm_->storage(root_).used();
+  nd::TypedBuffer<float> b(std::move(a));
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(dm_->storage(root_).used(), used);  // no double accounting
+  b.reset();
+  EXPECT_EQ(dm_->storage(root_).used(), used - 256);
+}
+
+TEST_F(TypedBufferTest, CopyFromMovesElements) {
+  nd::TypedBuffer<std::int64_t> src(*dm_, 10, root_);
+  nd::TypedBuffer<std::int64_t> dst(*dm_, 10, root_);
+  std::vector<std::int64_t> data(10);
+  std::iota(data.begin(), data.end(), -5);
+  src.write(data.data(), data.size());
+
+  dst.copy_from(src, 4, 2, 3);  // dst[2..5] = src[3..6]
+  std::vector<std::int64_t> got(4);
+  dst.read(got.data(), 4, 2);
+  EXPECT_EQ(got, (std::vector<std::int64_t>{-2, -1, 0, 1}));
+}
+
+TEST_F(TypedBufferTest, HostPtrSeesWrites) {
+  nd::TypedBuffer<float> buf(*dm_, 4, root_);
+  const float vals[4] = {1, 2, 3, 4};
+  buf.write(vals, 4);
+  const float* p = buf.host_ptr();
+  EXPECT_FLOAT_EQ(p[2], 3.0f);
+}

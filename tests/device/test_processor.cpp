@@ -1,0 +1,180 @@
+// Simulated-processor tests: functional workgroup execution, local
+// memory, roofline costing, occupancy, and stream ordering.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "northup/device/processor.hpp"
+#include "northup/device/stream.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace ndv = northup::device;
+namespace nt = northup::topo;
+namespace ns = northup::sim;
+
+namespace {
+
+nt::ProcessorInfo gpu_info() {
+  auto info = nt::preset_apu_gpu();
+  info.model = {100e9, 10e9, 0.0};  // clean numbers for assertions
+  info.compute_units = 8;
+  return info;
+}
+
+}  // namespace
+
+TEST(Processor, ExecutesEveryWorkgroupExactlyOnce) {
+  ndv::Processor proc(gpu_info(), nullptr);
+  std::vector<int> hits(64, 0);
+  proc.launch("count", 64,
+              [&](ndv::WorkGroupCtx& wg) { ++hits[wg.group_id]; },
+              {1.0, 1.0});
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Processor, WorkgroupSeesGroupCount) {
+  ndv::Processor proc(gpu_info(), nullptr);
+  proc.launch("meta", 5,
+              [&](ndv::WorkGroupCtx& wg) {
+                EXPECT_EQ(wg.group_count, 5u);
+                EXPECT_LT(wg.group_id, 5u);
+              },
+              {1.0, 1.0});
+}
+
+TEST(Processor, LocalMemoryIsUsableScratch) {
+  ndv::Processor proc(gpu_info(), nullptr);
+  std::vector<float> sums(4, 0.0f);
+  proc.launch("local", 4,
+              [&](ndv::WorkGroupCtx& wg) {
+                float* scratch = wg.local_array<float>(16);
+                for (int i = 0; i < 16; ++i) {
+                  scratch[i] = static_cast<float>(i + wg.group_id);
+                }
+                sums[wg.group_id] =
+                    std::accumulate(scratch, scratch + 16, 0.0f);
+              },
+              {1.0, 1.0});
+  EXPECT_FLOAT_EQ(sums[0], 120.0f);
+  EXPECT_FLOAT_EQ(sums[1], 136.0f);
+}
+
+TEST(Processor, LocalMemoryOverflowThrows) {
+  auto info = gpu_info();
+  info.local_mem_bytes = 64;
+  ndv::Processor proc(info, nullptr);
+  EXPECT_THROW(proc.launch("overflow", 1,
+                           [&](ndv::WorkGroupCtx& wg) {
+                             wg.local_array<float>(1000);
+                           },
+                           {1.0, 1.0}),
+               northup::util::Error);
+}
+
+TEST(Processor, RooflinePicksBindingTerm) {
+  ndv::Processor proc(gpu_info(), nullptr);  // 100 GF/s, 10 GB/s
+  // Compute-bound: 100e9 flops -> 1 s.
+  EXPECT_DOUBLE_EQ(proc.kernel_seconds(16, {100e9, 1.0}), 1.0);
+  // Memory-bound: 10e9 bytes -> 1 s.
+  EXPECT_DOUBLE_EQ(proc.kernel_seconds(16, {1.0, 10e9}), 1.0);
+}
+
+TEST(Processor, OccupancyPenalizesSmallLaunches) {
+  ndv::Processor proc(gpu_info(), nullptr);  // 8 CUs -> full at 16 groups
+  EXPECT_DOUBLE_EQ(proc.occupancy(16), 1.0);
+  EXPECT_DOUBLE_EQ(proc.occupancy(32), 1.0);
+  EXPECT_DOUBLE_EQ(proc.occupancy(4), 0.25);
+  // A 4-group launch takes 4x the time of the same work at full occupancy.
+  EXPECT_DOUBLE_EQ(proc.kernel_seconds(4, {100e9, 1.0}), 4.0);
+}
+
+TEST(Processor, LaunchChargesSimTask) {
+  ns::EventSim sim;
+  ndv::Processor proc(gpu_info(), &sim);
+  const auto result =
+      proc.launch("k", 16, [](ndv::WorkGroupCtx&) {}, {100e9, 1.0});
+  ASSERT_NE(result.task, ns::kInvalidTask);
+  EXPECT_DOUBLE_EQ(result.sim_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(sim.makespan(), 1.0);
+  EXPECT_DOUBLE_EQ(sim.phase_totals().at("gpu"), 1.0);
+  EXPECT_EQ(proc.launch_count(), 1u);
+}
+
+TEST(Processor, CpuLaunchesUseCpuPhase) {
+  ns::EventSim sim;
+  ndv::Processor proc(nt::preset_cpu(), &sim);
+  proc.launch_costed("host-work", 1, {1e9, 1e6});
+  EXPECT_EQ(sim.phase_totals().count("gpu"), 0u);
+  EXPECT_GT(sim.phase_totals().at("cpu"), 0.0);
+}
+
+TEST(Processor, KernelsOnOneProcessorSerialize) {
+  ns::EventSim sim;
+  ndv::Processor proc(gpu_info(), &sim);
+  proc.launch_costed("k1", 16, {100e9, 1.0});
+  const auto r2 = proc.launch_costed("k2", 16, {100e9, 1.0});
+  EXPECT_DOUBLE_EQ(sim.timing(r2.task).start, 1.0);
+}
+
+TEST(Processor, KernelsOnDistinctProcessorsOverlap) {
+  ns::EventSim sim;
+  ndv::Processor a(gpu_info(), &sim);
+  ndv::Processor b(gpu_info(), &sim);
+  a.launch_costed("ka", 16, {100e9, 1.0});
+  b.launch_costed("kb", 16, {100e9, 1.0});
+  EXPECT_DOUBLE_EQ(sim.makespan(), 1.0);
+}
+
+TEST(Processor, ZeroGroupLaunchRejected) {
+  ndv::Processor proc(gpu_info(), nullptr);
+  EXPECT_THROW(proc.launch("bad", 0, [](ndv::WorkGroupCtx&) {}, {1.0, 1.0}),
+               northup::util::Error);
+}
+
+TEST(Stream, OpsSerializeWithinAStream) {
+  ns::EventSim sim;
+  ndv::Processor proc(gpu_info(), &sim);
+
+  nt::TopoTree tree;
+  const auto root = tree.add_root(
+      "dram", {northup::mem::StorageKind::Dram, 1 << 20,
+               ns::ModelPresets::dram(), 0});
+  northup::data::DataManager dm(tree, &sim);
+  dm.bind_storage(root, std::make_unique<northup::mem::HostStorage>(
+                            "dram", northup::mem::StorageKind::Dram, 1 << 20,
+                            ns::ModelPresets::dram()));
+
+  ndv::Stream stream(proc, dm, "s0");
+  auto a = dm.alloc(1 << 16, root);
+  auto b = dm.alloc(1 << 16, root);
+  stream.copy(b, a, 1 << 16);
+  const auto copy_task = stream.last();
+  const auto launch = stream.launch("k", 16, [](ndv::WorkGroupCtx&) {},
+                                    {100e9, 1.0});
+  // The kernel must start after the stream's earlier copy finished.
+  EXPECT_GE(sim.timing(launch.task).start, sim.timing(copy_task).finish);
+  dm.release(a);
+  dm.release(b);
+}
+
+TEST(Stream, WaitOrdersAcrossStreams) {
+  ns::EventSim sim;
+  ndv::Processor gpu_a(gpu_info(), &sim);
+  ndv::Processor gpu_b(gpu_info(), &sim);
+
+  nt::TopoTree tree;
+  tree.add_root("dram", {northup::mem::StorageKind::Dram, 1 << 20,
+                         ns::ModelPresets::dram(), 0});
+  northup::data::DataManager dm(tree, &sim);
+
+  ndv::Stream s1(gpu_a, dm, "s1");
+  ndv::Stream s2(gpu_b, dm, "s2");
+  const auto first = s1.launch("k1", 16, [](ndv::WorkGroupCtx&) {},
+                               {100e9, 1.0});
+  s2.wait(first.task);
+  const auto second = s2.launch("k2", 16, [](ndv::WorkGroupCtx&) {},
+                                {100e9, 1.0});
+  EXPECT_GE(sim.timing(second.task).start, sim.timing(first.task).finish);
+}

@@ -1,0 +1,166 @@
+// Figure-shape regression tests: pin the qualitative results the paper
+// reports so a future model or runtime change that silently breaks the
+// reproduction fails CI instead of shipping. Uses the same configurations
+// as the bench harnesses (bench/bench_common.hpp).
+#include <gtest/gtest.h>
+
+#include "bench_common.hpp"
+#include "northup/memsim/projection.hpp"
+#include "northup/sched/steal_sim.hpp"
+#include "northup/util/stats.hpp"
+
+namespace nb = northup::bench;
+namespace na = northup::algos;
+namespace nt = northup::topo;
+namespace nc = northup::core;
+namespace nm = northup::mem;
+
+namespace {
+
+double inmem_makespan(const char* app) {
+  auto opts = std::string(app) == "gemm"
+                  ? nb::gemm_outofcore_options(nm::StorageKind::Ssd)
+                  : std::string(app) == "hotspot"
+                        ? nb::hotspot_outofcore_options(nm::StorageKind::Ssd)
+                        : nb::spmv_outofcore_options(nm::StorageKind::Ssd);
+  nc::Runtime rt(
+      nt::apu_two_level(nm::StorageKind::Ssd, nb::inmemory_options(opts)));
+  if (std::string(app) == "gemm") {
+    return na::gemm_inmemory(rt, nb::fig_gemm()).makespan;
+  }
+  if (std::string(app) == "hotspot") {
+    return na::hotspot_inmemory(rt, nb::fig_hotspot()).makespan;
+  }
+  return na::spmv_inmemory(rt, nb::fig_spmv()).makespan;
+}
+
+double outofcore_makespan(const char* app, nm::StorageKind kind) {
+  if (std::string(app) == "gemm") {
+    nc::Runtime rt(nt::apu_two_level(kind, nb::gemm_outofcore_options(kind)));
+    return na::gemm_northup(rt, nb::fig_gemm()).makespan;
+  }
+  if (std::string(app) == "hotspot") {
+    nc::Runtime rt(
+        nt::apu_two_level(kind, nb::hotspot_outofcore_options(kind)));
+    return na::hotspot_northup(rt, nb::fig_hotspot()).makespan;
+  }
+  nc::Runtime rt(nt::apu_two_level(kind, nb::spmv_outofcore_options(kind)));
+  return na::spmv_northup(rt, nb::fig_spmv()).makespan;
+}
+
+}  // namespace
+
+TEST(FigureShapes, Fig6HeadlineInBand) {
+  // Paper: SSD out-of-core averages 17% slower than in-memory.
+  std::vector<double> norms;
+  for (const char* app : {"gemm", "hotspot", "spmv"}) {
+    norms.push_back(outofcore_makespan(app, nm::StorageKind::Ssd) /
+                    inmem_makespan(app));
+  }
+  const double headline = northup::util::geomean(norms) - 1.0;
+  EXPECT_GE(headline, 0.10);
+  EXPECT_LE(headline, 0.30);
+}
+
+TEST(FigureShapes, Fig6DiskSubstantiallySlowerThanSsd) {
+  // Paper: disk costs 2-2.5x for the memory-bound apps.
+  for (const char* app : {"hotspot", "spmv"}) {
+    const double ssd = outofcore_makespan(app, nm::StorageKind::Ssd);
+    const double hdd = outofcore_makespan(app, nm::StorageKind::Hdd);
+    const double im = inmem_makespan(app);
+    EXPECT_GT(hdd / im, 2.0) << app;
+    EXPECT_LT(hdd / im, 3.5) << app;
+    EXPECT_GT(hdd, 1.5 * ssd) << app;
+  }
+}
+
+TEST(FigureShapes, Fig7GpuShareRisesDiskToSsd) {
+  for (auto make_opts :
+       {nb::hotspot_outofcore_options, nb::spmv_outofcore_options}) {
+    double shares[2];
+    int i = 0;
+    for (auto kind : {nm::StorageKind::Hdd, nm::StorageKind::Ssd}) {
+      nc::Runtime rt(nt::apu_two_level(kind, make_opts(kind)));
+      const auto stats =
+          make_opts == nb::hotspot_outofcore_options
+              ? na::hotspot_northup(rt, nb::fig_hotspot())
+              : na::spmv_northup(rt, nb::fig_spmv());
+      shares[i++] = stats.breakdown.shares().at("gpu");
+    }
+    EXPECT_GT(shares[1], shares[0] * 1.5);  // ssd share >> disk share
+  }
+}
+
+TEST(FigureShapes, Fig9ProjectionGainsInBand) {
+  // Paper: up to ~65% I/O gain moving 1400/600 -> 3500/2100.
+  nc::RuntimeOptions ropts;
+  ropts.trace_io = true;
+  nc::Runtime rt(
+      nt::apu_two_level(nm::StorageKind::Ssd,
+                        nb::hotspot_outofcore_options(nm::StorageKind::Ssd)),
+      ropts);
+  const auto base = na::hotspot_northup(rt, nb::fig_hotspot());
+  const auto& trace = rt.dm().storage(rt.tree().root()).trace();
+  auto fast = nm::fig9_storage_sweep().back();
+  fast.access_latency_s *= nb::kModelScale;
+  const double fast_io = nm::replay_trace_time(trace, fast);
+  const double gain = 1.0 - fast_io / base.breakdown.io;
+  EXPECT_GE(gain, 0.55);
+  EXPECT_LE(gain, 0.75);
+}
+
+TEST(FigureShapes, Fig11ThirtyTwoQueuesBestAndInBand) {
+  // Mirror of the bench model: GPU throughput saturates with queue count.
+  auto gpu_total = [](std::size_t q) {
+    return static_cast<double>(q) / (static_cast<double>(q) + 8.0);
+  };
+  auto run_point = [&](std::size_t q, bool with_cpu) {
+    northup::sched::StealSim sim;
+    std::vector<std::size_t> workers;
+    for (std::size_t i = 0; i < q; ++i) {
+      workers.push_back(sim.add_worker({"g", gpu_total(q) / q, true}));
+    }
+    if (with_cpu) {
+      for (int t = 0; t < 4; ++t) {
+        workers.push_back(sim.add_worker({"c", 0.0625, true}));
+      }
+    }
+    std::size_t next = 0;
+    for (int i = 0; i < 16 * 32; ++i) {
+      sim.add_task(workers[next++ % workers.size()], 8192.0);
+    }
+    return sim.run(true).makespan;
+  };
+  const double baseline = run_point(32, false);
+  double best_improvement = -1.0;
+  std::size_t best_q = 0;
+  for (std::size_t q : {8u, 16u, 32u}) {
+    const double improvement = baseline / run_point(q, true) - 1.0;
+    if (improvement > best_improvement) {
+      best_improvement = improvement;
+      best_q = q;
+    }
+  }
+  EXPECT_EQ(best_q, 32u);
+  EXPECT_GE(best_improvement, 0.10);
+  EXPECT_LE(best_improvement, 0.35);
+}
+
+TEST(FigureShapes, RuntimeOverheadUnderOnePercent) {
+  for (const char* app : {"gemm", "hotspot", "spmv"}) {
+    nc::Runtime rt(nt::apu_two_level(
+        nm::StorageKind::Ssd,
+        std::string(app) == "gemm"
+            ? nb::gemm_outofcore_options(nm::StorageKind::Ssd)
+            : std::string(app) == "hotspot"
+                  ? nb::hotspot_outofcore_options(nm::StorageKind::Ssd)
+                  : nb::spmv_outofcore_options(nm::StorageKind::Ssd)));
+    const auto stats =
+        std::string(app) == "gemm"
+            ? na::gemm_northup(rt, nb::fig_gemm())
+            : std::string(app) == "hotspot"
+                  ? na::hotspot_northup(rt, nb::fig_hotspot())
+                  : na::spmv_northup(rt, nb::fig_spmv());
+    EXPECT_LT(stats.breakdown.runtime_overhead_fraction(), 0.01) << app;
+  }
+}

@@ -1,0 +1,208 @@
+// Cross-module integration tests: config-file-driven systems, the
+// portability claim (identical application code and results across
+// topologies), capacity stress, resource-leak checks, and trace/stat
+// consistency.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "northup/algos/csr_adaptive.hpp"
+#include "northup/algos/gemm.hpp"
+#include "northup/algos/hotspot.hpp"
+#include "northup/topo/config.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace na = northup::algos;
+namespace nt = northup::topo;
+namespace nc = northup::core;
+namespace nm = northup::mem;
+
+namespace {
+
+nt::PresetOptions tight() {
+  nt::PresetOptions o;
+  o.root_capacity = 64ULL << 20;
+  o.staging_capacity = 256ULL << 10;
+  o.device_capacity = 160ULL << 10;
+  return o;
+}
+
+}  // namespace
+
+TEST(Integration, ConfigFileToVerifiedGemm) {
+  // A machine described entirely in the text format, instantiated and
+  // driven through the full out-of-core pipeline.
+  const auto tree = nt::parse_config(R"(
+node disk kind=hdd cap=64M
+node mem parent=disk kind=dram cap=256K
+proc cpu0 node=mem type=cpu gflops=17 membw=15G cus=4
+proc gpu0 node=mem type=gpu gflops=405 membw=18G cus=8 localmem=32K
+)");
+  nc::Runtime rt(tree);
+  na::GemmConfig cfg;
+  cfg.n = 128;
+  cfg.verify_samples = 64;
+  const auto stats = na::gemm_northup(rt, cfg);
+  EXPECT_TRUE(stats.verified) << stats.max_rel_err;
+  EXPECT_GT(stats.breakdown.io, 0.0);
+}
+
+TEST(Integration, HotspotResultsIdenticalAcrossTopologies) {
+  // §I's portability claim: "Once the code is written, it should work
+  // across heterogeneous architectures." The stencil result is a pure
+  // per-cell function of the inputs, so every topology must produce the
+  // exact same bytes no matter how the runtime decomposed the grid.
+  na::HotspotConfig cfg;
+  cfg.n = 64;
+  cfg.iterations = 2;
+  cfg.verify = true;
+
+  std::vector<double> errs;
+  {
+    nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, tight()));
+    errs.push_back(na::hotspot_northup(rt, cfg).max_rel_err);
+  }
+  {
+    nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Hdd, tight()));
+    errs.push_back(na::hotspot_northup(rt, cfg).max_rel_err);
+  }
+  {
+    nc::Runtime rt(nt::dgpu_three_level(nm::StorageKind::Ssd, tight()));
+    errs.push_back(na::hotspot_northup(rt, cfg).max_rel_err);
+  }
+  {
+    nc::Runtime rt(nt::deep_four_level(tight()));
+    errs.push_back(na::hotspot_northup(rt, cfg).max_rel_err);
+  }
+  // Identical to the reference on every topology — not merely "close".
+  for (double e : errs) EXPECT_EQ(e, 0.0);
+}
+
+TEST(Integration, SpmvResultsIdenticalAcrossTopologies) {
+  na::SpmvConfig cfg;
+  cfg.rows = 2048;
+  cfg.avg_nnz = 8;
+  cfg.pattern = na::SpmvConfig::Pattern::PowerLaw;
+
+  std::vector<double> errs;
+  for (int which = 0; which < 3; ++which) {
+    nt::TopoTree tree = which == 0
+                            ? nt::apu_two_level(nm::StorageKind::Ssd, tight())
+                            : which == 1
+                                  ? nt::dgpu_three_level(nm::StorageKind::Ssd,
+                                                         tight())
+                                  : nt::deep_four_level(tight());
+    nc::Runtime rt(std::move(tree));
+    errs.push_back(na::spmv_northup(rt, cfg).max_rel_err);
+  }
+  for (double e : errs) EXPECT_EQ(e, 0.0);
+}
+
+TEST(Integration, TightCapacityIncreasesChunksButStaysCorrect) {
+  na::GemmConfig cfg;
+  cfg.n = 128;
+  cfg.verify_samples = 32;
+
+  auto loose = tight();
+  loose.staging_capacity = 1ULL << 20;
+  nc::Runtime rt_loose(nt::apu_two_level(nm::StorageKind::Ssd, loose));
+  const auto s_loose = na::gemm_northup(rt_loose, cfg);
+
+  auto cramped = tight();
+  cramped.staging_capacity = 48ULL << 10;  // barely fits 3 x 32x32 + strip
+  nc::Runtime rt_cramped(nt::apu_two_level(nm::StorageKind::Ssd, cramped));
+  const auto s_cramped = na::gemm_northup(rt_cramped, cfg);
+
+  EXPECT_TRUE(s_loose.verified);
+  EXPECT_TRUE(s_cramped.verified);
+  EXPECT_GT(s_cramped.spawns, s_loose.spawns);
+}
+
+TEST(Integration, NoStorageLeaksAfterRuns) {
+  nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, tight()));
+  na::GemmConfig gemm_cfg;
+  gemm_cfg.n = 64;
+  gemm_cfg.verify_samples = 0;
+  na::gemm_northup(rt, gemm_cfg);
+
+  na::HotspotConfig hs_cfg;
+  hs_cfg.n = 64;
+  hs_cfg.verify = false;
+  na::hotspot_northup(rt, hs_cfg);
+
+  for (nt::NodeId id = 0; id < rt.tree().node_count(); ++id) {
+    EXPECT_EQ(rt.dm().storage(id).used(), 0u)
+        << "leak on node " << rt.tree().node(id).name;
+  }
+}
+
+TEST(Integration, IoTraceMatchesStorageStats) {
+  nc::RuntimeOptions ropts;
+  ropts.trace_io = true;
+  nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, tight()), ropts);
+  na::HotspotConfig cfg;
+  cfg.n = 64;
+  cfg.verify = false;
+  na::hotspot_northup(rt, cfg);
+
+  const auto& storage = rt.dm().storage(rt.tree().root());
+  const auto& trace = storage.trace();
+  ASSERT_FALSE(trace.empty());
+  std::uint64_t traced_read = 0, traced_written = 0;
+  for (const auto& rec : trace) {
+    (rec.is_write ? traced_written : traced_read) += rec.bytes;
+  }
+  EXPECT_EQ(traced_read, storage.stats().bytes_read);
+  EXPECT_EQ(traced_written, storage.stats().bytes_written);
+}
+
+TEST(Integration, DeterministicAcrossRepeatedRuns) {
+  na::SpmvConfig cfg;
+  cfg.rows = 2048;
+  cfg.avg_nnz = 8;
+  cfg.verify = false;
+
+  auto run_once = [&] {
+    nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, tight()));
+    return na::spmv_northup(rt, cfg);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.bytes_moved, b.bytes_moved);
+  EXPECT_EQ(a.spawns, b.spawns);
+}
+
+TEST(Integration, InMemoryBeatsOutOfCoreOnEveryApp) {
+  // The global sanity property behind Fig 6.
+  auto big = tight();
+  big.staging_capacity = 32ULL << 20;
+
+  {
+    na::GemmConfig cfg;
+    cfg.n = 256;
+    cfg.verify_samples = 0;
+    nc::Runtime im(nt::apu_two_level(nm::StorageKind::Ssd, big));
+    nc::Runtime ooc(nt::apu_two_level(nm::StorageKind::Ssd, tight()));
+    EXPECT_LT(na::gemm_inmemory(im, cfg).makespan,
+              na::gemm_northup(ooc, cfg).makespan);
+  }
+  {
+    na::HotspotConfig cfg;
+    cfg.n = 256;
+    cfg.verify = false;
+    nc::Runtime im(nt::apu_two_level(nm::StorageKind::Ssd, big));
+    nc::Runtime ooc(nt::apu_two_level(nm::StorageKind::Ssd, tight()));
+    EXPECT_LT(na::hotspot_inmemory(im, cfg).makespan,
+              na::hotspot_northup(ooc, cfg).makespan);
+  }
+  {
+    na::SpmvConfig cfg;
+    cfg.rows = 8192;
+    cfg.verify = false;
+    nc::Runtime im(nt::apu_two_level(nm::StorageKind::Ssd, big));
+    nc::Runtime ooc(nt::apu_two_level(nm::StorageKind::Ssd, tight()));
+    EXPECT_LT(na::spmv_inmemory(im, cfg).makespan,
+              na::spmv_northup(ooc, cfg).makespan);
+  }
+}

@@ -1,0 +1,124 @@
+// Property test: the recursive machinery works on *randomly generated*
+// topologies, not just the presets — arbitrary depth, branching, and
+// capacity ladders. For each seeded tree we run grid_map over a dataset
+// and check exact results, leak-freedom, and level invariants.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "northup/core/grid.hpp"
+#include "northup/topo/presets.hpp"
+#include "northup/util/rng.hpp"
+
+namespace nc = northup::core;
+namespace nt = northup::topo;
+namespace nm = northup::mem;
+namespace ns = northup::sim;
+namespace nu = northup::util;
+
+namespace {
+
+/// Builds a random tree: a spine (first-child chain) of depth 2-4 with
+/// shrinking capacities, plus random side branches. Every leaf gets a
+/// processor; the spine leaf gets the GPU.
+nt::TopoTree random_tree(std::uint64_t seed) {
+  nu::Xoshiro256 rng(seed);
+  nt::TopoTree tree;
+
+  const std::uint64_t root_cap = 32ULL << 20;
+  tree.add_root("root", {nm::StorageKind::Ssd, root_cap,
+                         ns::ModelPresets::ssd(), 0});
+
+  const int depth = static_cast<int>(2 + rng.bounded(3));  // 2..4 levels
+  nt::NodeId spine = tree.root();
+  std::uint64_t cap = 256ULL << 10;
+  std::vector<nt::NodeId> all_inner{spine};
+  for (int level = 1; level <= depth; ++level) {
+    const auto kind = level == depth && rng.bounded(2) == 0
+                          ? nm::StorageKind::DeviceMem
+                          : nm::StorageKind::Dram;
+    const auto model = kind == nm::StorageKind::DeviceMem
+                           ? ns::ModelPresets::pcie_opencl()
+                           : ns::ModelPresets::dram();
+    spine = tree.add_child(spine, "spine" + std::to_string(level),
+                           {kind, cap, model, level});
+    all_inner.push_back(spine);
+    cap = std::max<std::uint64_t>(cap / (1 + rng.bounded(3)), 24ULL << 10);
+  }
+  tree.attach_processor(spine, nt::preset_apu_gpu());
+
+  // Random side branches with CPU leaves.
+  const auto branches = rng.bounded(3);
+  for (std::uint64_t b = 0; b < branches; ++b) {
+    const auto parent = all_inner[rng.bounded(all_inner.size())];
+    const auto leaf = tree.add_child(
+        parent, "side" + std::to_string(b),
+        {nm::StorageKind::Dram, 64ULL << 10, ns::ModelPresets::dram(),
+         99});
+    tree.attach_processor(leaf, nt::preset_cpu());
+  }
+  tree.validate();
+  return tree;
+}
+
+}  // namespace
+
+class RandomTopology : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTopology, GridMapIsExactAndLeakFree) {
+  nc::Runtime rt(random_tree(GetParam()));
+
+  constexpr std::uint64_t kRows = 48, kCols = 48;
+  constexpr std::uint64_t kBytes = kRows * kCols * 4;
+  auto& dm = rt.dm();
+  auto in = dm.alloc(kBytes, rt.tree().root());
+  auto out = dm.alloc(kBytes, rt.tree().root());
+  std::vector<float> data(kRows * kCols);
+  std::iota(data.begin(), data.end(), 1.0f);
+  dm.write_from_host(in, data.data(), kBytes);
+
+  rt.run([&](nc::ExecContext& ctx) {
+    nc::GridJob job{kRows, kCols, 4, 0.85};
+    nc::grid_map(ctx, job, in, out,
+                 [&](nc::ExecContext& leaf, northup::data::Buffer& cin,
+                     northup::data::Buffer& cout, std::uint64_t rows,
+                     std::uint64_t cols) {
+                   auto* proc = leaf.get_devices().front();
+                   float* src =
+                       reinterpret_cast<float*>(dm.host_view(cin));
+                   float* dst =
+                       reinterpret_cast<float*>(dm.host_view(cout));
+                   const std::uint64_t n = rows * cols;
+                   proc->launch(
+                       "x3", 1,
+                       [=](northup::device::WorkGroupCtx&) {
+                         for (std::uint64_t i = 0; i < n; ++i) {
+                           dst[i] = 3.0f * src[i];
+                         }
+                       },
+                       {static_cast<double>(n), 8.0 * n});
+                 });
+  });
+
+  std::vector<float> got(kRows * kCols);
+  dm.read_to_host(got.data(), out, kBytes);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(got[i], 3.0f * data[i]) << "seed " << GetParam() << " at " << i;
+  }
+  dm.release(in);
+  dm.release(out);
+
+  // Leak-freedom and level invariants on the random shape.
+  for (nt::NodeId id = 0; id < rt.tree().node_count(); ++id) {
+    EXPECT_EQ(dm.storage(id).used(), 0u);
+    const auto parent = rt.tree().get_parent(id);
+    if (parent != nt::kInvalidNode) {
+      EXPECT_EQ(rt.tree().get_level(id), rt.tree().get_level(parent) + 1);
+    }
+  }
+  EXPECT_GT(rt.makespan(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopology,
+                         ::testing::Range<std::uint64_t>(1, 13));

@@ -1,0 +1,213 @@
+// Storage backend tests, parameterized over backend type where the
+// behaviour must be identical (round trips, capacity accounting, stats).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "northup/io/posix_file.hpp"
+#include "northup/memsim/projection.hpp"
+#include "northup/memsim/storage.hpp"
+
+namespace nm = northup::mem;
+namespace ni = northup::io;
+namespace nsim = northup::sim;
+
+namespace {
+
+/// Factory fixture: builds each Storage backend kind with 1 MiB capacity.
+class StorageParamTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    const std::string which = GetParam();
+    if (which == "dram") {
+      storage_ = std::make_unique<nm::HostStorage>(
+          "dram", nm::StorageKind::Dram, 1 << 20,
+          nsim::ModelPresets::dram());
+    } else if (which == "nvm") {
+      storage_ = std::make_unique<nm::HostStorage>(
+          "nvm", nm::StorageKind::Nvm, 1 << 20, nsim::ModelPresets::nvm());
+    } else if (which == "device") {
+      storage_ = std::make_unique<nm::HostStorage>(
+          "dev", nm::StorageKind::DeviceMem, 1 << 20,
+          nsim::ModelPresets::pcie3_x16());
+    } else if (which == "ssd") {
+      dir_ = std::make_unique<ni::TempDir>("storage-test");
+      storage_ = std::make_unique<nm::FileStorage>(
+          "ssd", nm::StorageKind::Ssd, 1 << 20, nsim::ModelPresets::ssd(),
+          dir_->path());
+    } else {
+      FAIL() << "unknown backend " << which;
+    }
+  }
+
+  std::unique_ptr<ni::TempDir> dir_;
+  std::unique_ptr<nm::Storage> storage_;
+};
+
+}  // namespace
+
+TEST_P(StorageParamTest, RoundTripsBytes) {
+  auto alloc = storage_->alloc(4096);
+  std::vector<std::uint8_t> out(4096), in(4096);
+  std::iota(out.begin(), out.end(), 0);
+  storage_->write(alloc, 0, out.data(), out.size());
+  storage_->read(in.data(), alloc, 0, in.size());
+  EXPECT_EQ(in, out);
+  storage_->release(alloc);
+}
+
+TEST_P(StorageParamTest, OffsetReadWrite) {
+  auto alloc = storage_->alloc(256);
+  const std::uint8_t payload[4] = {0xde, 0xad, 0xbe, 0xef};
+  storage_->write(alloc, 100, payload, 4);
+  std::uint8_t got[4] = {};
+  storage_->read(got, alloc, 100, 4);
+  EXPECT_EQ(std::memcmp(got, payload, 4), 0);
+  storage_->release(alloc);
+}
+
+TEST_P(StorageParamTest, CapacityAccounting) {
+  EXPECT_EQ(storage_->used(), 0u);
+  auto a = storage_->alloc(1000);
+  auto b = storage_->alloc(2000);
+  EXPECT_EQ(storage_->used(), 3000u);
+  EXPECT_EQ(storage_->available(), (1u << 20) - 3000u);
+  storage_->release(a);
+  EXPECT_EQ(storage_->used(), 2000u);
+  storage_->release(b);
+  EXPECT_EQ(storage_->used(), 0u);
+  EXPECT_EQ(storage_->stats().peak_used, 3000u);
+}
+
+TEST_P(StorageParamTest, ThrowsOnCapacityExceeded) {
+  auto a = storage_->alloc(900 << 10);
+  EXPECT_THROW(storage_->alloc(200 << 10), northup::util::CapacityError);
+  storage_->release(a);
+  // After release the same allocation fits.
+  auto b = storage_->alloc(200 << 10);
+  storage_->release(b);
+}
+
+TEST_P(StorageParamTest, OutOfBoundsAccessRejected) {
+  auto a = storage_->alloc(100);
+  std::uint8_t buf[64] = {};
+  EXPECT_THROW(storage_->read(buf, a, 90, 20), northup::util::Error);
+  EXPECT_THROW(storage_->write(a, 90, buf, 20), northup::util::Error);
+  storage_->release(a);
+}
+
+TEST_P(StorageParamTest, DoubleReleaseRejected) {
+  auto a = storage_->alloc(64);
+  auto copy = a;
+  storage_->release(a);
+  EXPECT_THROW(storage_->release(copy), northup::util::Error);
+}
+
+TEST_P(StorageParamTest, StatsCountAccesses) {
+  auto a = storage_->alloc(1024);
+  std::vector<std::uint8_t> buf(512, 7);
+  storage_->write(a, 0, buf.data(), 512);
+  storage_->read(buf.data(), a, 0, 256);
+  const auto& s = storage_->stats();
+  EXPECT_EQ(s.bytes_written, 512u);
+  EXPECT_EQ(s.bytes_read, 256u);
+  EXPECT_EQ(s.num_writes, 1u);
+  EXPECT_EQ(s.num_reads, 1u);
+  storage_->release(a);
+}
+
+TEST_P(StorageParamTest, TraceRecordsAccessesInOrder) {
+  storage_->set_trace_enabled(true);
+  auto a = storage_->alloc(1024);
+  std::vector<std::uint8_t> buf(128, 1);
+  storage_->write(a, 0, buf.data(), 128);
+  storage_->read(buf.data(), a, 0, 64);
+  ASSERT_EQ(storage_->trace().size(), 2u);
+  EXPECT_TRUE(storage_->trace()[0].is_write);
+  EXPECT_EQ(storage_->trace()[0].bytes, 128u);
+  EXPECT_FALSE(storage_->trace()[1].is_write);
+  EXPECT_EQ(storage_->trace()[1].bytes, 64u);
+  storage_->release(a);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, StorageParamTest,
+                         ::testing::Values("dram", "nvm", "device", "ssd"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(StorageKind, Classification) {
+  EXPECT_TRUE(nm::is_file_backed(nm::StorageKind::Ssd));
+  EXPECT_TRUE(nm::is_file_backed(nm::StorageKind::Hdd));
+  EXPECT_FALSE(nm::is_file_backed(nm::StorageKind::Dram));
+  EXPECT_TRUE(nm::is_host_addressable(nm::StorageKind::Dram));
+  EXPECT_TRUE(nm::is_host_addressable(nm::StorageKind::Nvm));
+  EXPECT_FALSE(nm::is_host_addressable(nm::StorageKind::DeviceMem));
+}
+
+TEST(FileStorage, RejectsMismatchedKind) {
+  ni::TempDir dir("fs-kind");
+  EXPECT_THROW(nm::FileStorage("x", nm::StorageKind::Dram, 1024,
+                               nsim::ModelPresets::ssd(), dir.path()),
+               northup::util::Error);
+}
+
+TEST(FileStorage, PersistsDataAcrossAllocations) {
+  ni::TempDir dir("fs-persist");
+  nm::FileStorage fs("ssd", nm::StorageKind::Ssd, 1 << 20,
+                     nsim::ModelPresets::ssd(), dir.path());
+  auto a = fs.alloc(64);
+  auto b = fs.alloc(64);
+  const char pa[] = "alpha";
+  const char pb[] = "beta";
+  fs.write(a, 0, pa, sizeof(pa));
+  fs.write(b, 0, pb, sizeof(pb));
+  char got[16] = {};
+  fs.read(got, a, 0, sizeof(pa));
+  EXPECT_STREQ(got, "alpha");
+  fs.read(got, b, 0, sizeof(pb));
+  EXPECT_STREQ(got, "beta");
+  fs.release(a);
+  fs.release(b);
+}
+
+// --- §V-D projection. ---
+
+TEST(Projection, ReplayMatchesModelArithmetic) {
+  std::vector<nm::IoRecord> trace = {{false, 1000}, {true, 1000}};
+  nsim::BandwidthModel m{1000.0, 500.0, 0.0};
+  EXPECT_DOUBLE_EQ(nm::replay_trace_time(trace, m), 1.0 + 2.0);
+}
+
+TEST(Projection, FasterStorageShrinksIoAndOverall) {
+  std::vector<nm::IoRecord> trace = {{false, 14000}, {true, 6000}};
+  const auto base = nsim::ModelPresets::ssd(1400, 600);
+  const auto fast = nsim::ModelPresets::ssd(3500, 2100);
+  const double base_io = nm::replay_trace_time(trace, base);
+  const auto p = nm::project_storage(trace, fast, base_io, base_io + 5.0,
+                                     "3500/2100");
+  EXPECT_LT(p.io_time, base_io);
+  EXPECT_DOUBLE_EQ(p.overall_time, 5.0 + p.io_time);
+}
+
+TEST(Projection, SweepIsMonotonicallyFaster) {
+  std::vector<nm::IoRecord> trace;
+  for (int i = 0; i < 100; ++i) trace.push_back({i % 3 == 0, 1u << 20});
+  double prev = 1e100;
+  for (const auto& model : nm::fig9_storage_sweep()) {
+    const double t = nm::replay_trace_time(trace, model);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+  EXPECT_EQ(nm::fig9_storage_sweep().size(), nm::fig9_storage_labels().size());
+}
+
+TEST(Projection, RejectsInconsistentBaseline) {
+  std::vector<nm::IoRecord> trace = {{false, 100}};
+  EXPECT_THROW(nm::project_storage(trace, nsim::ModelPresets::ssd(), 10.0,
+                                   5.0, "x"),
+               northup::util::Error);
+}

@@ -1,0 +1,248 @@
+// Scheduler tests: Chase-Lev deque semantics (single-threaded laws plus a
+// multi-threaded stress), work queues, the pool, and the steal simulator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "northup/sched/chase_lev.hpp"
+#include "northup/sched/pool.hpp"
+#include "northup/sched/steal_sim.hpp"
+#include "northup/sched/work_queue.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace nsc = northup::sched;
+namespace nt = northup::topo;
+
+TEST(ChaseLev, LifoForOwner) {
+  nsc::ChaseLevDeque<int> dq(8);
+  EXPECT_TRUE(dq.push_bottom(1));
+  EXPECT_TRUE(dq.push_bottom(2));
+  EXPECT_TRUE(dq.push_bottom(3));
+  int v = 0;
+  EXPECT_TRUE(dq.pop_bottom(v));
+  EXPECT_EQ(v, 3);
+  EXPECT_TRUE(dq.pop_bottom(v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(ChaseLev, FifoForThief) {
+  nsc::ChaseLevDeque<int> dq(8);
+  dq.push_bottom(1);
+  dq.push_bottom(2);
+  int v = 0;
+  EXPECT_TRUE(dq.steal_top(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(dq.steal_top(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(dq.steal_top(v));
+}
+
+TEST(ChaseLev, PopOnEmptyFails) {
+  nsc::ChaseLevDeque<int> dq(8);
+  int v = 0;
+  EXPECT_FALSE(dq.pop_bottom(v));
+  dq.push_bottom(7);
+  EXPECT_TRUE(dq.pop_bottom(v));
+  EXPECT_FALSE(dq.pop_bottom(v));
+}
+
+TEST(ChaseLev, FullDequeRejectsPush) {
+  nsc::ChaseLevDeque<int> dq(4);
+  EXPECT_EQ(dq.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(dq.push_bottom(i));
+  EXPECT_FALSE(dq.push_bottom(99));
+  int v = 0;
+  EXPECT_TRUE(dq.steal_top(v));
+  EXPECT_TRUE(dq.push_bottom(99));  // space freed by the steal
+}
+
+TEST(ChaseLev, CapacityRoundsUpToPowerOfTwo) {
+  nsc::ChaseLevDeque<int> dq(5);
+  EXPECT_EQ(dq.capacity(), 8u);
+}
+
+TEST(ChaseLev, StressOwnerVsThieves) {
+  // One owner pushes/pops; three thieves steal. Every pushed value must be
+  // consumed exactly once across all consumers.
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  nsc::ChaseLevDeque<int> dq(1 << 15);
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      int v;
+      while (!done.load(std::memory_order_acquire)) {
+        if (dq.steal_top(v)) {
+          consumed_sum.fetch_add(v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      while (dq.steal_top(v)) {
+        consumed_sum.fetch_add(v, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  long long owner_sum = 0;
+  int owner_count = 0;
+  for (int i = 1; i <= kItems; ++i) {
+    while (!dq.push_bottom(i)) {
+      int v;
+      if (dq.pop_bottom(v)) {
+        owner_sum += v;
+        ++owner_count;
+      }
+    }
+    if (i % 3 == 0) {
+      int v;
+      if (dq.pop_bottom(v)) {
+        owner_sum += v;
+        ++owner_count;
+      }
+    }
+  }
+  int v;
+  while (dq.pop_bottom(v)) {
+    owner_sum += v;
+    ++owner_count;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  const long long expected =
+      static_cast<long long>(kItems) * (kItems + 1) / 2;
+  EXPECT_EQ(owner_count + consumed_count.load(), kItems);
+  EXPECT_EQ(owner_sum + consumed_sum.load(), expected);
+}
+
+TEST(WorkQueue, FifoAndOwnerEnd) {
+  nsc::WorkQueue q("test");
+  int order = 0;
+  q.push({1, [] {}});
+  q.push({2, [] {}});
+  q.push({3, [] {}});
+  EXPECT_EQ(q.size(), 3u);
+  nsc::QueueTask t;
+  EXPECT_TRUE(q.pop(t));
+  EXPECT_EQ(t.id, 1u);  // thief end: head
+  EXPECT_TRUE(q.pop_back(t));
+  EXPECT_EQ(t.id, 3u);  // owner end: tail
+  EXPECT_EQ(q.enqueued_total(), 3u);
+  (void)order;
+}
+
+TEST(NodeQueueSet, SubtreePendingAggregates) {
+  const auto tree = nt::asymmetric_fig2();
+  nsc::NodeQueueSet qs(tree);
+  qs.create_queues(tree.root(), 1);
+  const auto n2 = tree.find("n2");
+  const auto n5 = tree.find("n5");
+  qs.create_queues(n2, 2);
+  qs.create_queues(n5, 1);
+  qs.queue(n2, 0).push({0, [] {}});
+  qs.queue(n2, 1).push({1, [] {}});
+  qs.queue(n5, 0).push({2, [] {}});
+  // n2's subtree includes n5.
+  EXPECT_EQ(qs.subtree_pending(n2), 3u);
+  EXPECT_EQ(qs.subtree_pending(tree.root()), 3u);
+  EXPECT_EQ(qs.subtree_pending(tree.find("n1")), 0u);
+}
+
+TEST(Pool, RunsAllSubmittedTasks) {
+  nsc::WorkStealingPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(Pool, NestedSubmissionsComplete) {
+  nsc::WorkStealingPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&, i] {
+      for (int j = 0; j < 50; ++j) {
+        pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(Pool, WaitIdleOnEmptyPoolReturns) {
+  nsc::WorkStealingPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(StealSim, BalancedLoadNeedsNoStealing) {
+  nsc::StealSim sim;
+  const auto a = sim.add_worker({"a", 1.0, true});
+  const auto b = sim.add_worker({"b", 1.0, true});
+  for (int i = 0; i < 10; ++i) {
+    sim.add_task(a, 1.0);
+    sim.add_task(b, 1.0);
+  }
+  const auto r = sim.run(true);
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+  EXPECT_EQ(r.steals, 0u);
+}
+
+TEST(StealSim, StealingFixesImbalance) {
+  nsc::StealSim sim;
+  const auto a = sim.add_worker({"a", 1.0, true});
+  sim.add_worker({"b", 1.0, true});
+  for (int i = 0; i < 10; ++i) sim.add_task(a, 1.0);
+
+  const auto without = sim.run(false);
+  EXPECT_DOUBLE_EQ(without.makespan, 10.0);
+
+  const auto with = sim.run(true);
+  EXPECT_DOUBLE_EQ(with.makespan, 5.0);
+  EXPECT_EQ(with.steals, 5u);
+}
+
+TEST(StealSim, FasterWorkerExecutesMore) {
+  nsc::StealSim sim;
+  const auto fast = sim.add_worker({"gpu", 4.0, true});
+  const auto slow = sim.add_worker({"cpu", 1.0, true});
+  for (int i = 0; i < 50; ++i) {
+    sim.add_task(fast, 1.0);
+    sim.add_task(slow, 1.0);
+  }
+  const auto r = sim.run(true);
+  EXPECT_GT(r.executed[fast], r.executed[slow]);
+  // Combined throughput bound: 100 units at 5 units/s.
+  EXPECT_NEAR(r.makespan, 20.0, 2.0);
+}
+
+TEST(StealSim, RunIsRepeatable) {
+  nsc::StealSim sim;
+  const auto a = sim.add_worker({"a", 1.0, true});
+  sim.add_worker({"b", 2.0, true});
+  for (int i = 0; i < 20; ++i) sim.add_task(a, 1.0);
+  const auto r1 = sim.run(true);
+  const auto r2 = sim.run(true);
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.steals, r2.steals);
+}
+
+TEST(StealSim, NonStealingWorkerKeepsOnlyItsQueue) {
+  nsc::StealSim sim;
+  const auto a = sim.add_worker({"a", 1.0, false});
+  sim.add_worker({"b", 1.0, false});
+  for (int i = 0; i < 10; ++i) sim.add_task(a, 1.0);
+  const auto r = sim.run(true);  // stealing on, but workers opted out
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+  EXPECT_EQ(r.executed[a], 10u);
+}

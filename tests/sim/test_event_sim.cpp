@@ -1,0 +1,154 @@
+// EventSim tests: FIFO resource semantics, dependency scheduling,
+// overlap, phase totals, critical path, and model arithmetic.
+#include <gtest/gtest.h>
+
+#include "northup/sim/event_sim.hpp"
+#include "northup/sim/models.hpp"
+
+namespace ns = northup::sim;
+
+TEST(EventSim, EmptyHasZeroMakespan) {
+  ns::EventSim sim;
+  EXPECT_DOUBLE_EQ(sim.makespan(), 0.0);
+  EXPECT_TRUE(sim.critical_path().empty());
+}
+
+TEST(EventSim, TasksOnOneResourceSerialize) {
+  ns::EventSim sim;
+  const auto r = sim.add_resource("io");
+  const auto t1 = sim.add_task("a", "io", r, 1.0);
+  const auto t2 = sim.add_task("b", "io", r, 2.0);
+  EXPECT_DOUBLE_EQ(sim.timing(t1).finish, 1.0);
+  EXPECT_DOUBLE_EQ(sim.timing(t2).start, 1.0);
+  EXPECT_DOUBLE_EQ(sim.makespan(), 3.0);
+}
+
+TEST(EventSim, TasksOnDistinctResourcesOverlap) {
+  ns::EventSim sim;
+  const auto io = sim.add_resource("io");
+  const auto gpu = sim.add_resource("gpu");
+  sim.add_task("read", "io", io, 2.0);
+  sim.add_task("kernel", "gpu", gpu, 3.0);
+  EXPECT_DOUBLE_EQ(sim.makespan(), 3.0);  // not 5.0
+}
+
+TEST(EventSim, DependencyDelaysStart) {
+  ns::EventSim sim;
+  const auto io = sim.add_resource("io");
+  const auto gpu = sim.add_resource("gpu");
+  const auto read = sim.add_task("read", "io", io, 2.0);
+  const auto kernel = sim.add_task("kernel", "gpu", gpu, 1.0, {read});
+  EXPECT_DOUBLE_EQ(sim.timing(kernel).start, 2.0);
+  EXPECT_DOUBLE_EQ(sim.makespan(), 3.0);
+}
+
+TEST(EventSim, PipelineOverlapsStages) {
+  // Classic double buffering: read(i+1) runs while compute(i) runs.
+  ns::EventSim sim;
+  const auto io = sim.add_resource("io");
+  const auto gpu = sim.add_resource("gpu");
+  ns::TaskId prev_kernel = ns::kInvalidTask;
+  for (int i = 0; i < 4; ++i) {
+    const auto read = sim.add_task("read", "io", io, 1.0);
+    std::vector<ns::TaskId> deps{read};
+    const auto kernel = sim.add_task("kernel", "gpu", gpu, 1.0, deps);
+    prev_kernel = kernel;
+  }
+  // Serial would be 8; pipelined is 1 (first read) + 4 kernels = 5.
+  EXPECT_DOUBLE_EQ(sim.makespan(), 5.0);
+  EXPECT_EQ(sim.timing(prev_kernel).finish, 5.0);
+}
+
+TEST(EventSim, PhaseTotalsAggregate) {
+  ns::EventSim sim;
+  const auto r = sim.add_resource("x");
+  sim.add_task("a", "io", r, 1.0);
+  sim.add_task("b", "io", r, 2.0);
+  sim.add_task("c", "gpu", r, 4.0);
+  const auto totals = sim.phase_totals();
+  EXPECT_DOUBLE_EQ(totals.at("io"), 3.0);
+  EXPECT_DOUBLE_EQ(totals.at("gpu"), 4.0);
+}
+
+TEST(EventSim, ResourceBusyCountsDurations) {
+  ns::EventSim sim;
+  const auto a = sim.add_resource("a");
+  const auto b = sim.add_resource("b");
+  sim.add_task("t1", "p", a, 1.5);
+  sim.add_task("t2", "p", b, 2.5);
+  EXPECT_DOUBLE_EQ(sim.resource_busy(a), 1.5);
+  EXPECT_DOUBLE_EQ(sim.resource_busy(b), 2.5);
+}
+
+TEST(EventSim, CriticalPathFollowsBlockingChain) {
+  ns::EventSim sim;
+  const auto io = sim.add_resource("io");
+  const auto gpu = sim.add_resource("gpu");
+  const auto read = sim.add_task("read", "io", io, 5.0);
+  sim.add_task("small", "gpu", gpu, 0.1);
+  const auto kernel = sim.add_task("kernel", "gpu", gpu, 1.0, {read});
+  const auto path = sim.critical_path();
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], read);
+  EXPECT_EQ(path[1], kernel);
+}
+
+TEST(EventSim, RejectsForwardDependencies) {
+  ns::EventSim sim;
+  const auto r = sim.add_resource("x");
+  EXPECT_THROW(sim.add_task("bad", "p", r, 1.0, {5}), northup::util::Error);
+}
+
+TEST(EventSim, RejectsUnknownResource) {
+  ns::EventSim sim;
+  EXPECT_THROW(sim.add_task("bad", "p", 3, 1.0), northup::util::Error);
+}
+
+TEST(EventSim, ResetKeepsResources) {
+  ns::EventSim sim;
+  const auto r = sim.add_resource("x");
+  sim.add_task("a", "p", r, 1.0);
+  sim.reset_tasks();
+  EXPECT_DOUBLE_EQ(sim.makespan(), 0.0);
+  EXPECT_EQ(sim.task_count(), 0u);
+  const auto t = sim.add_task("b", "p", r, 1.0);
+  EXPECT_DOUBLE_EQ(sim.timing(t).start, 0.0);  // resource clock reset too
+}
+
+TEST(BandwidthModel, ReadWriteAsymmetry) {
+  ns::BandwidthModel m{1000.0, 500.0, 0.0};
+  EXPECT_DOUBLE_EQ(m.read_time(1000), 1.0);
+  EXPECT_DOUBLE_EQ(m.write_time(1000), 2.0);
+}
+
+TEST(BandwidthModel, AccessLatencyScalesWithFragmentation) {
+  ns::BandwidthModel m{1e9, 1e9, 1e-3};
+  const double one = m.read_time(1000, 1);
+  const double many = m.read_time(1000, 100);
+  EXPECT_NEAR(many - one, 99e-3, 1e-9);
+}
+
+TEST(RooflineModel, ComputeVsMemoryBound) {
+  ns::RooflineModel m{100.0, 10.0, 0.0};
+  // High intensity: compute-bound.
+  EXPECT_DOUBLE_EQ(m.kernel_time(1000.0, 1.0), 10.0);
+  // Low intensity: memory-bound.
+  EXPECT_DOUBLE_EQ(m.kernel_time(1.0, 1000.0), 100.0);
+  EXPECT_DOUBLE_EQ(m.ridge_point(), 10.0);
+}
+
+TEST(RooflineModel, OccupancyPenalty) {
+  ns::RooflineModel m{100.0, 10.0, 0.0};
+  EXPECT_DOUBLE_EQ(m.kernel_time(1000.0, 1.0, 0.5), 20.0);
+}
+
+TEST(ModelPresets, SaneOrderings) {
+  EXPECT_GT(ns::ModelPresets::ssd().read_bytes_per_s,
+            ns::ModelPresets::hdd().read_bytes_per_s);
+  EXPECT_GT(ns::ModelPresets::dram().read_bytes_per_s,
+            ns::ModelPresets::nvm().read_bytes_per_s);
+  EXPECT_GT(ns::ModelPresets::dgpu().flops_per_s,
+            ns::ModelPresets::cpu().flops_per_s);
+  EXPECT_LT(ns::ModelPresets::hdd().read_bytes_per_s,
+            ns::ModelPresets::nvm().read_bytes_per_s);
+}

@@ -1,0 +1,122 @@
+// Property tests for EventSim: on randomly generated task graphs, the
+// schedule must satisfy the defining invariants regardless of shape.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "northup/sim/event_sim.hpp"
+#include "northup/util/rng.hpp"
+
+namespace ns = northup::sim;
+namespace nu = northup::util;
+
+namespace {
+
+struct RandomSchedule {
+  ns::EventSim sim;
+  std::vector<ns::TaskId> tasks;
+};
+
+/// Builds a random DAG: `n` tasks over `r` resources, each depending on
+/// up to 3 random earlier tasks, with durations in [0, 10).
+RandomSchedule build_random(std::uint64_t seed, std::size_t n,
+                            std::size_t r) {
+  RandomSchedule s;
+  nu::Xoshiro256 rng(seed);
+  std::vector<ns::ResourceId> resources;
+  for (std::size_t i = 0; i < r; ++i) {
+    resources.push_back(s.sim.add_resource("res" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<ns::TaskId> deps;
+    if (!s.tasks.empty()) {
+      const auto dep_count = rng.bounded(4);
+      for (std::uint64_t d = 0; d < dep_count; ++d) {
+        deps.push_back(s.tasks[rng.bounded(s.tasks.size())]);
+      }
+    }
+    const auto resource = resources[rng.bounded(resources.size())];
+    const double duration = rng.uniform(0.0, 10.0);
+    const char* phase = (i % 3 == 0) ? "io" : (i % 3 == 1) ? "gpu" : "cpu";
+    s.tasks.push_back(
+        s.sim.add_task("t" + std::to_string(i), phase, resource, duration,
+                       std::move(deps)));
+  }
+  return s;
+}
+
+}  // namespace
+
+class EventSimProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventSimProperty, StartsRespectDependencies) {
+  auto s = build_random(GetParam(), 200, 4);
+  for (ns::TaskId id : s.tasks) {
+    const auto timing = s.sim.timing(id);
+    EXPECT_GE(timing.finish, timing.start);
+    for (ns::TaskId dep : s.sim.task(id).deps) {
+      EXPECT_GE(timing.start, s.sim.timing(dep).finish)
+          << "task " << id << " started before dep " << dep;
+    }
+  }
+}
+
+TEST_P(EventSimProperty, ResourcesNeverOverlap) {
+  auto s = build_random(GetParam(), 200, 4);
+  // Group intervals per resource; within a resource, sorted by id they
+  // must be non-overlapping and in order (FIFO execution).
+  std::map<ns::ResourceId, double> last_finish;
+  for (ns::TaskId id : s.tasks) {
+    const auto& spec = s.sim.task(id);
+    const auto timing = s.sim.timing(id);
+    auto it = last_finish.find(spec.resource);
+    if (it != last_finish.end()) {
+      EXPECT_GE(timing.start, it->second - 1e-12);
+    }
+    last_finish[spec.resource] = timing.finish;
+  }
+}
+
+TEST_P(EventSimProperty, MakespanBounds) {
+  auto s = build_random(GetParam(), 200, 4);
+  // Lower bound: the busiest resource. Upper bound: the serial sum.
+  double serial = 0.0;
+  double busiest = 0.0;
+  for (std::size_t r = 0; r < s.sim.resource_count(); ++r) {
+    const double busy = s.sim.resource_busy(static_cast<ns::ResourceId>(r));
+    serial += busy;
+    busiest = std::max(busiest, busy);
+  }
+  EXPECT_GE(s.sim.makespan() + 1e-9, busiest);
+  EXPECT_LE(s.sim.makespan(), serial + 1e-9);
+}
+
+TEST_P(EventSimProperty, PhaseTotalsEqualResourceTotals) {
+  auto s = build_random(GetParam(), 200, 4);
+  double phase_sum = 0.0;
+  for (const auto& [phase, total] : s.sim.phase_totals()) phase_sum += total;
+  double resource_sum = 0.0;
+  for (std::size_t r = 0; r < s.sim.resource_count(); ++r) {
+    resource_sum += s.sim.resource_busy(static_cast<ns::ResourceId>(r));
+  }
+  EXPECT_NEAR(phase_sum, resource_sum, 1e-9);
+}
+
+TEST_P(EventSimProperty, CriticalPathIsContiguousAndEndsAtMakespan) {
+  auto s = build_random(GetParam(), 200, 4);
+  const auto path = s.sim.critical_path();
+  ASSERT_FALSE(path.empty());
+  EXPECT_NEAR(s.sim.timing(path.back()).finish, s.sim.makespan(), 1e-12);
+  // Each step starts exactly when its predecessor on the path finishes.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_NEAR(s.sim.timing(path[i]).start,
+                s.sim.timing(path[i - 1]).finish, 1e-9);
+  }
+  // The path's first task starts at 0 (nothing blocked it).
+  EXPECT_DOUBLE_EQ(s.sim.timing(path.front()).start, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventSimProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 42u,
+                                           99u, 12345u));

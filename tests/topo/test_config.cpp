@@ -1,0 +1,117 @@
+// Topology config parser tests: happy path, defaults, error reporting
+// with line numbers, and round-tripping through to_config.
+#include <gtest/gtest.h>
+
+#include "northup/topo/config.hpp"
+
+namespace nt = northup::topo;
+namespace nm = northup::mem;
+
+namespace {
+
+constexpr const char* kSample = R"(
+# A discrete-GPU box.
+node storage kind=ssd cap=64G read=1400M write=600M
+node dram parent=storage kind=dram cap=2G
+node gpumem parent=dram kind=device cap=16G
+proc cpu0 node=dram type=cpu gflops=48 cus=4
+proc gpu0 node=gpumem type=gpu gflops=2600 membw=192G cus=44 localmem=32K
+)";
+
+}  // namespace
+
+TEST(TopoConfig, ParsesSample) {
+  const auto tree = nt::parse_config(kSample);
+  EXPECT_EQ(tree.node_count(), 3u);
+  EXPECT_EQ(tree.fetch_node_type(tree.find("storage")), nm::StorageKind::Ssd);
+  EXPECT_EQ(tree.get_level(tree.find("gpumem")), 2);
+  const auto& gpu = tree.processors(tree.find("gpumem"))[0];
+  EXPECT_EQ(gpu.name, "gpu0");
+  EXPECT_DOUBLE_EQ(gpu.model.flops_per_s, 2600e9);
+  EXPECT_EQ(gpu.compute_units, 44);
+  EXPECT_EQ(gpu.local_mem_bytes, 32u << 10);
+}
+
+TEST(TopoConfig, BandwidthOverridesApply) {
+  const auto tree = nt::parse_config(
+      "node root kind=ssd cap=1G read=2000M write=1000M latency=0.001");
+  const auto& model = tree.memory(tree.root()).model;
+  EXPECT_DOUBLE_EQ(model.read_bytes_per_s, 2000.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(model.write_bytes_per_s, 1000.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(model.access_latency_s, 0.001);
+}
+
+TEST(TopoConfig, DefaultsModelsByKind) {
+  const auto tree = nt::parse_config("node root kind=hdd cap=1G");
+  EXPECT_DOUBLE_EQ(tree.memory(tree.root()).model.read_bytes_per_s, 150e6);
+}
+
+TEST(TopoConfig, CommentsAndBlankLinesIgnored) {
+  const auto tree = nt::parse_config(
+      "\n# leading comment\nnode root kind=dram cap=1M  # trailing\n\n");
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(TopoConfig, ErrorsCarryLineNumbers) {
+  try {
+    nt::parse_config("node a kind=dram cap=1M\nnode b kind=banana cap=1M");
+    FAIL() << "expected TopologyError";
+  } catch (const northup::util::TopologyError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TopoConfig, RejectsUnknownParent) {
+  EXPECT_THROW(nt::parse_config("node a parent=ghost kind=dram cap=1M"),
+               northup::util::TopologyError);
+}
+
+TEST(TopoConfig, RejectsDuplicateName) {
+  EXPECT_THROW(nt::parse_config(
+                   "node a kind=dram cap=1M\nnode a parent=a kind=dram cap=1M"),
+               northup::util::TopologyError);
+}
+
+TEST(TopoConfig, RejectsSecondRoot) {
+  EXPECT_THROW(
+      nt::parse_config("node a kind=dram cap=1M\nnode b kind=dram cap=1M"),
+      northup::util::TopologyError);
+}
+
+TEST(TopoConfig, RejectsMissingRequiredKeys) {
+  EXPECT_THROW(nt::parse_config("node a cap=1M"),
+               northup::util::TopologyError);
+  EXPECT_THROW(nt::parse_config("node a kind=dram"),
+               northup::util::TopologyError);
+  EXPECT_THROW(nt::parse_config("node a kind=dram cap=1M\nproc p node=a"),
+               northup::util::TopologyError);
+}
+
+TEST(TopoConfig, RejectsUnknownDirective) {
+  EXPECT_THROW(nt::parse_config("widget a kind=dram cap=1M"),
+               northup::util::TopologyError);
+}
+
+TEST(TopoConfig, RejectsEmptyConfig) {
+  EXPECT_THROW(nt::parse_config("# nothing here\n"),
+               northup::util::TopologyError);
+}
+
+TEST(TopoConfig, RoundTripsThroughToConfig) {
+  const auto tree = nt::parse_config(kSample);
+  const auto text = nt::to_config(tree);
+  const auto again = nt::parse_config(text);
+  ASSERT_EQ(again.node_count(), tree.node_count());
+  for (nt::NodeId id = 0; id < tree.node_count(); ++id) {
+    EXPECT_EQ(again.node(id).name, tree.node(id).name);
+    EXPECT_EQ(again.fetch_node_type(id), tree.fetch_node_type(id));
+    EXPECT_EQ(again.memory(id).capacity, tree.memory(id).capacity);
+    EXPECT_EQ(again.get_level(id), tree.get_level(id));
+    ASSERT_EQ(again.processors(id).size(), tree.processors(id).size());
+    for (std::size_t p = 0; p < tree.processors(id).size(); ++p) {
+      EXPECT_EQ(again.processors(id)[p].name, tree.processors(id)[p].name);
+      EXPECT_NEAR(again.processors(id)[p].model.flops_per_s,
+                  tree.processors(id)[p].model.flops_per_s, 1e6);
+    }
+  }
+}

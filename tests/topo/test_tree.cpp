@@ -1,0 +1,174 @@
+// Topological tree tests: construction, the paper's query API, asymmetric
+// shapes, validation, presets, and dump output.
+#include <gtest/gtest.h>
+
+#include "northup/topo/presets.hpp"
+#include "northup/topo/tree.hpp"
+
+namespace nt = northup::topo;
+namespace nm = northup::mem;
+namespace ns = northup::sim;
+
+namespace {
+
+nt::MemoryInfo dram(std::uint64_t cap = 1 << 20) {
+  return {nm::StorageKind::Dram, cap, ns::ModelPresets::dram(), 0};
+}
+
+nt::MemoryInfo ssd(std::uint64_t cap = 1 << 30) {
+  return {nm::StorageKind::Ssd, cap, ns::ModelPresets::ssd(), 0};
+}
+
+}  // namespace
+
+TEST(TopoTree, RootIsLevelZero) {
+  nt::TopoTree tree;
+  const auto root = tree.add_root("root", ssd());
+  EXPECT_EQ(tree.get_level(root), 0);
+  EXPECT_EQ(tree.get_parent(root), nt::kInvalidNode);
+  EXPECT_TRUE(tree.is_leaf(root));
+  EXPECT_EQ(tree.get_max_treelevel(), 0);
+}
+
+TEST(TopoTree, LevelsIncreaseDownward) {
+  // The paper numbers the slowest storage 0 and faster levels higher.
+  nt::TopoTree tree;
+  const auto root = tree.add_root("root", ssd());
+  const auto mid = tree.add_child(root, "dram", dram());
+  const auto leaf = tree.add_child(mid, "dev", dram());
+  EXPECT_EQ(tree.get_level(mid), 1);
+  EXPECT_EQ(tree.get_level(leaf), 2);
+  EXPECT_EQ(tree.get_max_treelevel(), 2);
+  EXPECT_FALSE(tree.is_leaf(mid));
+  EXPECT_TRUE(tree.is_leaf(leaf));
+}
+
+TEST(TopoTree, ChildrenAndParentQueries) {
+  nt::TopoTree tree;
+  const auto root = tree.add_root("root", ssd());
+  const auto a = tree.add_child(root, "a", dram());
+  const auto b = tree.add_child(root, "b", dram());
+  const auto& kids = tree.get_children_list(root);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0], a);
+  EXPECT_EQ(kids[1], b);
+  EXPECT_EQ(tree.get_parent(a), root);
+  EXPECT_EQ(tree.get_parent(b), root);
+}
+
+TEST(TopoTree, FetchNodeType) {
+  nt::TopoTree tree;
+  const auto root = tree.add_root("root", ssd());
+  const auto child = tree.add_child(root, "c", dram());
+  EXPECT_EQ(tree.fetch_node_type(root), nm::StorageKind::Ssd);
+  EXPECT_EQ(tree.fetch_node_type(child), nm::StorageKind::Dram);
+}
+
+TEST(TopoTree, FindByName) {
+  nt::TopoTree tree;
+  tree.add_root("root", ssd());
+  EXPECT_NE(tree.find("root"), nt::kInvalidNode);
+  EXPECT_EQ(tree.find("missing"), nt::kInvalidNode);
+}
+
+TEST(TopoTree, SecondRootRejected) {
+  nt::TopoTree tree;
+  tree.add_root("root", ssd());
+  EXPECT_THROW(tree.add_root("another", ssd()), northup::util::Error);
+}
+
+TEST(TopoTree, ProcessorsAttach) {
+  nt::TopoTree tree;
+  const auto root = tree.add_root("root", ssd());
+  const auto leaf = tree.add_child(root, "dram", dram());
+  tree.attach_processor(leaf, nt::preset_cpu());
+  tree.attach_processor(leaf, nt::preset_apu_gpu());
+  ASSERT_EQ(tree.processors(leaf).size(), 2u);
+  EXPECT_EQ(tree.processors(leaf)[0].type, nt::ProcessorType::Cpu);
+  EXPECT_EQ(tree.processors(leaf)[1].type, nt::ProcessorType::Gpu);
+}
+
+TEST(TopoTree, PreorderVisitsEveryNodeOnce) {
+  const auto tree = nt::asymmetric_fig2();
+  const auto order = tree.preorder();
+  EXPECT_EQ(order.size(), tree.node_count());
+  EXPECT_EQ(order.front(), tree.root());
+}
+
+TEST(TopoTree, LeavesOfAsymmetricTree) {
+  const auto tree = nt::asymmetric_fig2();
+  const auto leaves = tree.leaves();
+  // Fig 2 shape: n1 (CPU), n4 (CPU), n5 (GPU) are leaves.
+  EXPECT_EQ(leaves.size(), 3u);
+  for (const auto leaf : leaves) {
+    EXPECT_FALSE(tree.processors(leaf).empty());
+  }
+  // Asymmetry: leaves sit at different levels.
+  int min_level = 100, max_level = 0;
+  for (const auto leaf : leaves) {
+    min_level = std::min(min_level, tree.get_level(leaf));
+    max_level = std::max(max_level, tree.get_level(leaf));
+  }
+  EXPECT_LT(min_level, max_level);
+}
+
+TEST(TopoTree, DumpShowsHierarchy) {
+  const auto tree = nt::apu_two_level();
+  const auto text = tree.dump();
+  EXPECT_NE(text.find("storage"), std::string::npos);
+  EXPECT_NE(text.find("dram"), std::string::npos);
+  EXPECT_NE(text.find("+gpu:apu-gpu"), std::string::npos);
+  EXPECT_NE(text.find("+cpu:a10-cpu"), std::string::npos);
+}
+
+TEST(TopoTree, ValidateRejectsZeroCapacity) {
+  nt::TopoTree tree;
+  tree.add_root("root", {nm::StorageKind::Dram, 0, ns::ModelPresets::dram(),
+                         0});
+  EXPECT_THROW(tree.validate(), northup::util::TopologyError);
+}
+
+TEST(Presets, ApuTwoLevelShape) {
+  const auto tree = nt::apu_two_level();
+  EXPECT_EQ(tree.node_count(), 2u);
+  EXPECT_EQ(tree.get_max_treelevel(), 1);
+  EXPECT_TRUE(nm::is_file_backed(tree.fetch_node_type(tree.root())));
+  const auto leaf = tree.leaves().front();
+  EXPECT_EQ(tree.processors(leaf).size(), 2u);  // CPU + GPU on the APU leaf
+}
+
+TEST(Presets, DgpuThreeLevelShape) {
+  const auto tree = nt::dgpu_three_level();
+  EXPECT_EQ(tree.node_count(), 3u);
+  EXPECT_EQ(tree.get_max_treelevel(), 2);
+  // The CPU attaches to the non-leaf DRAM node (§III-B).
+  const auto dram_node = tree.find("dram");
+  ASSERT_NE(dram_node, nt::kInvalidNode);
+  EXPECT_FALSE(tree.is_leaf(dram_node));
+  ASSERT_EQ(tree.processors(dram_node).size(), 1u);
+  EXPECT_EQ(tree.processors(dram_node)[0].type, nt::ProcessorType::Cpu);
+  // The GPU owns the device-memory leaf.
+  const auto dev = tree.find("gpu-mem");
+  EXPECT_EQ(tree.fetch_node_type(dev), nm::StorageKind::DeviceMem);
+  EXPECT_EQ(tree.processors(dev)[0].type, nt::ProcessorType::Gpu);
+}
+
+TEST(Presets, DeepFourLevelShape) {
+  const auto tree = nt::deep_four_level();
+  EXPECT_EQ(tree.get_max_treelevel(), 3);
+  EXPECT_EQ(tree.fetch_node_type(tree.root()), nm::StorageKind::Hdd);
+  EXPECT_EQ(tree.fetch_node_type(tree.find("nvm")), nm::StorageKind::Nvm);
+}
+
+TEST(Presets, FlopsScaleAppliesToProcessorsOnly) {
+  nt::PresetOptions opts;
+  opts.proc_flops_scale = 0.5;
+  const auto scaled = nt::apu_two_level(nm::StorageKind::Ssd, opts);
+  const auto normal = nt::apu_two_level(nm::StorageKind::Ssd, {});
+  const auto leaf_s = scaled.leaves().front();
+  const auto leaf_n = normal.leaves().front();
+  EXPECT_DOUBLE_EQ(scaled.processors(leaf_s)[1].model.flops_per_s,
+                   normal.processors(leaf_n)[1].model.flops_per_s * 0.5);
+  EXPECT_DOUBLE_EQ(scaled.processors(leaf_s)[1].model.mem_bytes_per_s,
+                   normal.processors(leaf_n)[1].model.mem_bytes_per_s);
+}

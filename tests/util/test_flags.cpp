@@ -1,0 +1,72 @@
+// CLI flag parser tests.
+#include <gtest/gtest.h>
+
+#include "northup/util/assert.hpp"
+#include "northup/util/flags.hpp"
+
+namespace nu = northup::util;
+
+namespace {
+nu::Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return nu::Flags(static_cast<int>(argv.size()), argv.data());
+}
+}  // namespace
+
+TEST(Flags, EqualsAndSpaceForms) {
+  const auto f = parse({"--n=512", "--storage", "hdd"});
+  EXPECT_EQ(f.get_int("n", 0), 512);
+  EXPECT_EQ(f.get("storage"), "hdd");
+}
+
+TEST(Flags, BareBooleans) {
+  // Note: a bare flag followed by a non-flag token would consume it as a
+  // value (the space form is greedy), so positionals come first or the
+  // `=` form is used.
+  const auto f = parse({"positional", "--verify", "--fast"});
+  EXPECT_TRUE(f.get_bool("verify"));
+  EXPECT_TRUE(f.get_bool("fast"));
+  EXPECT_FALSE(f.get_bool("absent"));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "positional");
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x"));
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x"));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=off"}).get_bool("x", true));
+  EXPECT_THROW(parse({"--x=maybe"}).get_bool("x"), nu::Error);
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const auto f = parse({});
+  EXPECT_EQ(f.get("name", "fallback"), "fallback");
+  EXPECT_EQ(f.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(f.get_bytes("cap", 1024), 1024u);
+}
+
+TEST(Flags, ByteSizes) {
+  const auto f = parse({"--cap=2G", "--staging", "512K"});
+  EXPECT_EQ(f.get_bytes("cap", 0), 2ULL << 30);
+  EXPECT_EQ(f.get_bytes("staging", 0), 512ULL << 10);
+}
+
+TEST(Flags, MalformedValuesThrow) {
+  EXPECT_THROW(parse({"--n=abc"}).get_int("n", 0), nu::Error);
+  EXPECT_THROW(parse({"--x=1.2.3"}).get_double("x", 0), nu::Error);
+  EXPECT_THROW(parse({"--="}), nu::Error);
+}
+
+TEST(Flags, FlagFollowedByFlagIsBoolean) {
+  const auto f = parse({"--a", "--b=2"});
+  EXPECT_TRUE(f.get_bool("a"));
+  EXPECT_EQ(f.get_int("b", 0), 2);
+}
+
+TEST(Flags, NegativeNumbersAsValues) {
+  const auto f = parse({"--delta=-3"});
+  EXPECT_EQ(f.get_int("delta", 0), -3);
+}

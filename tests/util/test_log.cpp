@@ -1,0 +1,50 @@
+// Logger tests: level gating and names.
+#include <gtest/gtest.h>
+
+#include "northup/util/log.hpp"
+
+namespace nu = northup::util;
+
+namespace {
+
+/// RAII guard restoring the global log level.
+class LevelGuard {
+ public:
+  LevelGuard() : saved_(nu::Log::level()) {}
+  ~LevelGuard() { nu::Log::set_level(saved_); }
+
+ private:
+  nu::LogLevel saved_;
+};
+
+}  // namespace
+
+TEST(Log, LevelRoundTrips) {
+  LevelGuard guard;
+  nu::Log::set_level(nu::LogLevel::Debug);
+  EXPECT_EQ(nu::Log::level(), nu::LogLevel::Debug);
+  nu::Log::set_level(nu::LogLevel::Error);
+  EXPECT_EQ(nu::Log::level(), nu::LogLevel::Error);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(nu::Log::level_name(nu::LogLevel::Trace), "TRACE");
+  EXPECT_STREQ(nu::Log::level_name(nu::LogLevel::Info), "INFO");
+  EXPECT_STREQ(nu::Log::level_name(nu::LogLevel::Error), "ERROR");
+}
+
+TEST(Log, MacroGatesBelowActiveLevel) {
+  LevelGuard guard;
+  nu::Log::set_level(nu::LogLevel::Error);
+  // The streamed expression must not be evaluated when gated.
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  NU_LOG_DEBUG << count();
+  EXPECT_EQ(evaluations, 0);
+  nu::Log::set_level(nu::LogLevel::Trace);
+  NU_LOG_DEBUG << count();
+  EXPECT_EQ(evaluations, 1);
+}

@@ -1,0 +1,202 @@
+// Unit tests for the util module: byte parsing/formatting, statistics,
+// RNG determinism, tables, aligned buffers, and the check macros.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "northup/util/aligned.hpp"
+#include "northup/util/assert.hpp"
+#include "northup/util/bytes.hpp"
+#include "northup/util/rng.hpp"
+#include "northup/util/stats.hpp"
+#include "northup/util/table.hpp"
+#include "northup/util/timer.hpp"
+
+namespace nu = northup::util;
+
+TEST(Bytes, ParsesPlainNumbers) {
+  EXPECT_EQ(nu::parse_bytes("0"), 0u);
+  EXPECT_EQ(nu::parse_bytes("4096"), 4096u);
+}
+
+TEST(Bytes, ParsesBinarySuffixes) {
+  EXPECT_EQ(nu::parse_bytes("1K"), 1024u);
+  EXPECT_EQ(nu::parse_bytes("2M"), 2ULL << 20);
+  EXPECT_EQ(nu::parse_bytes("2G"), 2ULL << 30);
+  EXPECT_EQ(nu::parse_bytes("1T"), 1ULL << 40);
+}
+
+TEST(Bytes, AcceptsSuffixVariants) {
+  EXPECT_EQ(nu::parse_bytes("2g"), 2ULL << 30);
+  EXPECT_EQ(nu::parse_bytes("2GB"), 2ULL << 30);
+  EXPECT_EQ(nu::parse_bytes("2GiB"), 2ULL << 30);
+  EXPECT_EQ(nu::parse_bytes("1.5K"), 1536u);
+}
+
+TEST(Bytes, RejectsMalformedInput) {
+  EXPECT_THROW(nu::parse_bytes(""), nu::Error);
+  EXPECT_THROW(nu::parse_bytes("G"), nu::Error);
+  EXPECT_THROW(nu::parse_bytes("12X"), nu::Error);
+}
+
+TEST(Bytes, FormatRoundTripsMagnitude) {
+  EXPECT_EQ(nu::format_bytes(512), "512 B");
+  EXPECT_EQ(nu::format_bytes(2ULL << 30), "2.0 GiB");
+  EXPECT_EQ(nu::format_bytes(1536), "1.5 KiB");
+}
+
+TEST(Bytes, FormatsSecondsAdaptively) {
+  EXPECT_EQ(nu::format_seconds(2.5), "2.500 s");
+  EXPECT_EQ(nu::format_seconds(0.0025), "2.500 ms");
+  EXPECT_EQ(nu::format_seconds(2.5e-6), "2.500 us");
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  nu::RunningStats rs;
+  for (double x : xs) rs.add(x);
+  const double mean =
+      std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean, 1e-12);
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  nu::RunningStats rs;
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.add(42.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(nu::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(nu::percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(nu::percentile(xs, 50), 25.0);
+}
+
+TEST(Percentile, RejectsBadArgs) {
+  EXPECT_THROW(nu::percentile({}, 50), nu::Error);
+  EXPECT_THROW(nu::percentile({1.0}, 101), nu::Error);
+}
+
+TEST(Geomean, KnownValues) {
+  EXPECT_NEAR(nu::geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(nu::geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_THROW(nu::geomean({1.0, -1.0}), nu::Error);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  nu::Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  nu::Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  nu::Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BoundedCoversRangeUniformly) {
+  nu::Xoshiro256 rng(7);
+  std::vector<int> histogram(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.bounded(10)];
+  for (int count : histogram) {
+    EXPECT_GT(count, kDraws / 10 * 0.9);
+    EXPECT_LT(count, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  nu::Xoshiro256 rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(TextTable, AlignsColumns) {
+  nu::TextTable t;
+  t.set_header({"a", "long-header"});
+  t.add_row({"xxxxx", "1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a      long-header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxx  1"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  nu::TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), nu::Error);
+}
+
+TEST(AlignedBuffer, RespectsAlignment) {
+  nu::AlignedBuffer buf(1000, 4096);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 4096, 0u);
+  EXPECT_EQ(buf.size(), 1000u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  nu::AlignedBuffer a(64);
+  std::byte* p = a.data();
+  nu::AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): testing move
+}
+
+TEST(AlignedBuffer, RejectsNonPowerOfTwoAlignment) {
+  EXPECT_THROW(nu::AlignedBuffer(64, 48), nu::Error);
+}
+
+TEST(CheckMacro, ThrowsWithContext) {
+  try {
+    NU_CHECK(1 == 2, "math is broken");
+    FAIL() << "NU_CHECK did not throw";
+  } catch (const nu::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"),
+              std::string::npos);
+  }
+}
+
+TEST(Timer, AccumulatesAcrossIntervals) {
+  nu::AccumulatingTimer acc;
+  {
+    nu::ScopedTimer guard(acc);
+    volatile int sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+  }
+  const double first = acc.total_seconds();
+  EXPECT_GT(first, 0.0);
+  {
+    nu::ScopedTimer guard(acc);
+  }
+  EXPECT_GE(acc.total_seconds(), first);
+}
