@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deep_hierarchy.dir/bench_deep_hierarchy.cpp.o"
+  "CMakeFiles/bench_deep_hierarchy.dir/bench_deep_hierarchy.cpp.o.d"
+  "bench_deep_hierarchy"
+  "bench_deep_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deep_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_inmem_vs_outofcore.dir/fig6_inmem_vs_outofcore.cpp.o"
+  "CMakeFiles/fig6_inmem_vs_outofcore.dir/fig6_inmem_vs_outofcore.cpp.o.d"
+  "fig6_inmem_vs_outofcore"
+  "fig6_inmem_vs_outofcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_inmem_vs_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_breakdown_apu.dir/fig7_breakdown_apu.cpp.o"
+  "CMakeFiles/fig7_breakdown_apu.dir/fig7_breakdown_apu.cpp.o.d"
+  "fig7_breakdown_apu"
+  "fig7_breakdown_apu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_breakdown_apu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

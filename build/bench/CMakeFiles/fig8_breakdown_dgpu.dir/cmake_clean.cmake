@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_breakdown_dgpu.dir/fig8_breakdown_dgpu.cpp.o"
+  "CMakeFiles/fig8_breakdown_dgpu.dir/fig8_breakdown_dgpu.cpp.o.d"
+  "fig8_breakdown_dgpu"
+  "fig8_breakdown_dgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_breakdown_dgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

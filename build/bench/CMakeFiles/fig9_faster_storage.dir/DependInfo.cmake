@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_faster_storage.cpp" "bench/CMakeFiles/fig9_faster_storage.dir/fig9_faster_storage.cpp.o" "gcc" "bench/CMakeFiles/fig9_faster_storage.dir/fig9_faster_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/northup_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/northup_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/northup_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/northup_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/northup_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/northup_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/northup_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/northup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/northup_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/northup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_faster_storage.dir/fig9_faster_storage.cpp.o"
+  "CMakeFiles/fig9_faster_storage.dir/fig9_faster_storage.cpp.o.d"
+  "fig9_faster_storage"
+  "fig9_faster_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_faster_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_runtime.dir/overhead_runtime.cpp.o"
+  "CMakeFiles/overhead_runtime.dir/overhead_runtime.cpp.o.d"
+  "overhead_runtime"
+  "overhead_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

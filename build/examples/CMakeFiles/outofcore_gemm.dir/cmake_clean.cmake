@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outofcore_gemm.dir/outofcore_gemm.cpp.o"
+  "CMakeFiles/outofcore_gemm.dir/outofcore_gemm.cpp.o.d"
+  "outofcore_gemm"
+  "outofcore_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outofcore_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

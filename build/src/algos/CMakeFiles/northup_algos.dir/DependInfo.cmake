@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/common.cpp" "src/algos/CMakeFiles/northup_algos.dir/common.cpp.o" "gcc" "src/algos/CMakeFiles/northup_algos.dir/common.cpp.o.d"
+  "/root/repo/src/algos/csr_adaptive.cpp" "src/algos/CMakeFiles/northup_algos.dir/csr_adaptive.cpp.o" "gcc" "src/algos/CMakeFiles/northup_algos.dir/csr_adaptive.cpp.o.d"
+  "/root/repo/src/algos/dense.cpp" "src/algos/CMakeFiles/northup_algos.dir/dense.cpp.o" "gcc" "src/algos/CMakeFiles/northup_algos.dir/dense.cpp.o.d"
+  "/root/repo/src/algos/gemm.cpp" "src/algos/CMakeFiles/northup_algos.dir/gemm.cpp.o" "gcc" "src/algos/CMakeFiles/northup_algos.dir/gemm.cpp.o.d"
+  "/root/repo/src/algos/hotspot.cpp" "src/algos/CMakeFiles/northup_algos.dir/hotspot.cpp.o" "gcc" "src/algos/CMakeFiles/northup_algos.dir/hotspot.cpp.o.d"
+  "/root/repo/src/algos/hotspot_temporal.cpp" "src/algos/CMakeFiles/northup_algos.dir/hotspot_temporal.cpp.o" "gcc" "src/algos/CMakeFiles/northup_algos.dir/hotspot_temporal.cpp.o.d"
+  "/root/repo/src/algos/listing2.cpp" "src/algos/CMakeFiles/northup_algos.dir/listing2.cpp.o" "gcc" "src/algos/CMakeFiles/northup_algos.dir/listing2.cpp.o.d"
+  "/root/repo/src/algos/sparse.cpp" "src/algos/CMakeFiles/northup_algos.dir/sparse.cpp.o" "gcc" "src/algos/CMakeFiles/northup_algos.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/northup_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/northup_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/northup_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/northup_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/northup_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/northup_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/northup_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/northup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/northup_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

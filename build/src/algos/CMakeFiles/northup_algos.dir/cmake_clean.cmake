@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/northup_algos.dir/common.cpp.o"
+  "CMakeFiles/northup_algos.dir/common.cpp.o.d"
+  "CMakeFiles/northup_algos.dir/csr_adaptive.cpp.o"
+  "CMakeFiles/northup_algos.dir/csr_adaptive.cpp.o.d"
+  "CMakeFiles/northup_algos.dir/dense.cpp.o"
+  "CMakeFiles/northup_algos.dir/dense.cpp.o.d"
+  "CMakeFiles/northup_algos.dir/gemm.cpp.o"
+  "CMakeFiles/northup_algos.dir/gemm.cpp.o.d"
+  "CMakeFiles/northup_algos.dir/hotspot.cpp.o"
+  "CMakeFiles/northup_algos.dir/hotspot.cpp.o.d"
+  "CMakeFiles/northup_algos.dir/hotspot_temporal.cpp.o"
+  "CMakeFiles/northup_algos.dir/hotspot_temporal.cpp.o.d"
+  "CMakeFiles/northup_algos.dir/listing2.cpp.o"
+  "CMakeFiles/northup_algos.dir/listing2.cpp.o.d"
+  "CMakeFiles/northup_algos.dir/sparse.cpp.o"
+  "CMakeFiles/northup_algos.dir/sparse.cpp.o.d"
+  "libnorthup_algos.a"
+  "libnorthup_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/northup_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

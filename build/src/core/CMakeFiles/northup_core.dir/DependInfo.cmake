@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/northup_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/northup_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/balancer.cpp" "src/core/CMakeFiles/northup_core.dir/balancer.cpp.o" "gcc" "src/core/CMakeFiles/northup_core.dir/balancer.cpp.o.d"
+  "/root/repo/src/core/chunking.cpp" "src/core/CMakeFiles/northup_core.dir/chunking.cpp.o" "gcc" "src/core/CMakeFiles/northup_core.dir/chunking.cpp.o.d"
+  "/root/repo/src/core/grid.cpp" "src/core/CMakeFiles/northup_core.dir/grid.cpp.o" "gcc" "src/core/CMakeFiles/northup_core.dir/grid.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/northup_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/northup_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/northup_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/northup_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/schedule_report.cpp" "src/core/CMakeFiles/northup_core.dir/schedule_report.cpp.o" "gcc" "src/core/CMakeFiles/northup_core.dir/schedule_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/northup_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/northup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/northup_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/northup_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/northup_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/northup_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/northup_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/northup_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

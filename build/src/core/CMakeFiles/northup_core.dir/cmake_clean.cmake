@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/northup_core.dir/adaptive.cpp.o"
+  "CMakeFiles/northup_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/northup_core.dir/balancer.cpp.o"
+  "CMakeFiles/northup_core.dir/balancer.cpp.o.d"
+  "CMakeFiles/northup_core.dir/chunking.cpp.o"
+  "CMakeFiles/northup_core.dir/chunking.cpp.o.d"
+  "CMakeFiles/northup_core.dir/grid.cpp.o"
+  "CMakeFiles/northup_core.dir/grid.cpp.o.d"
+  "CMakeFiles/northup_core.dir/profiler.cpp.o"
+  "CMakeFiles/northup_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/northup_core.dir/runtime.cpp.o"
+  "CMakeFiles/northup_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/northup_core.dir/schedule_report.cpp.o"
+  "CMakeFiles/northup_core.dir/schedule_report.cpp.o.d"
+  "libnorthup_core.a"
+  "libnorthup_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/northup_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/data_manager.cpp" "src/data/CMakeFiles/northup_data.dir/data_manager.cpp.o" "gcc" "src/data/CMakeFiles/northup_data.dir/data_manager.cpp.o.d"
+  "/root/repo/src/data/layout.cpp" "src/data/CMakeFiles/northup_data.dir/layout.cpp.o" "gcc" "src/data/CMakeFiles/northup_data.dir/layout.cpp.o.d"
+  "/root/repo/src/data/view.cpp" "src/data/CMakeFiles/northup_data.dir/view.cpp.o" "gcc" "src/data/CMakeFiles/northup_data.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/northup_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/northup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/northup_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/northup_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/northup_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

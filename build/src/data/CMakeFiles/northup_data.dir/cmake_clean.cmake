@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/northup_data.dir/data_manager.cpp.o"
+  "CMakeFiles/northup_data.dir/data_manager.cpp.o.d"
+  "CMakeFiles/northup_data.dir/layout.cpp.o"
+  "CMakeFiles/northup_data.dir/layout.cpp.o.d"
+  "CMakeFiles/northup_data.dir/view.cpp.o"
+  "CMakeFiles/northup_data.dir/view.cpp.o.d"
+  "libnorthup_data.a"
+  "libnorthup_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/northup_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

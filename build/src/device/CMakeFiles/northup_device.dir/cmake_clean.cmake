@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/northup_device.dir/processor.cpp.o"
+  "CMakeFiles/northup_device.dir/processor.cpp.o.d"
+  "CMakeFiles/northup_device.dir/stream.cpp.o"
+  "CMakeFiles/northup_device.dir/stream.cpp.o.d"
+  "libnorthup_device.a"
+  "libnorthup_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/northup_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

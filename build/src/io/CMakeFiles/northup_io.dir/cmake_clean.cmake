@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/northup_io.dir/chunked_store.cpp.o"
+  "CMakeFiles/northup_io.dir/chunked_store.cpp.o.d"
+  "CMakeFiles/northup_io.dir/posix_file.cpp.o"
+  "CMakeFiles/northup_io.dir/posix_file.cpp.o.d"
+  "libnorthup_io.a"
+  "libnorthup_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/northup_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

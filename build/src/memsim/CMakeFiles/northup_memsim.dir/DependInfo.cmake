@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/fault_injection.cpp" "src/memsim/CMakeFiles/northup_memsim.dir/fault_injection.cpp.o" "gcc" "src/memsim/CMakeFiles/northup_memsim.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/memsim/projection.cpp" "src/memsim/CMakeFiles/northup_memsim.dir/projection.cpp.o" "gcc" "src/memsim/CMakeFiles/northup_memsim.dir/projection.cpp.o.d"
+  "/root/repo/src/memsim/storage.cpp" "src/memsim/CMakeFiles/northup_memsim.dir/storage.cpp.o" "gcc" "src/memsim/CMakeFiles/northup_memsim.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/northup_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/northup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/northup_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

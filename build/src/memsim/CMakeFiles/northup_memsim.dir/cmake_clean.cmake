@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/northup_memsim.dir/fault_injection.cpp.o"
+  "CMakeFiles/northup_memsim.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/northup_memsim.dir/projection.cpp.o"
+  "CMakeFiles/northup_memsim.dir/projection.cpp.o.d"
+  "CMakeFiles/northup_memsim.dir/storage.cpp.o"
+  "CMakeFiles/northup_memsim.dir/storage.cpp.o.d"
+  "libnorthup_memsim.a"
+  "libnorthup_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/northup_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

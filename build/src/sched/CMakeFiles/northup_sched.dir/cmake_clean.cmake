@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/northup_sched.dir/pool.cpp.o"
+  "CMakeFiles/northup_sched.dir/pool.cpp.o.d"
+  "CMakeFiles/northup_sched.dir/steal_sim.cpp.o"
+  "CMakeFiles/northup_sched.dir/steal_sim.cpp.o.d"
+  "CMakeFiles/northup_sched.dir/work_queue.cpp.o"
+  "CMakeFiles/northup_sched.dir/work_queue.cpp.o.d"
+  "libnorthup_sched.a"
+  "libnorthup_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/northup_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnorthup_sched.a"
+)

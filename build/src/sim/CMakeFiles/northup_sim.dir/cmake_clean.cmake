@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/northup_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/northup_sim.dir/event_sim.cpp.o.d"
+  "libnorthup_sim.a"
+  "libnorthup_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/northup_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/config.cpp" "src/topo/CMakeFiles/northup_topo.dir/config.cpp.o" "gcc" "src/topo/CMakeFiles/northup_topo.dir/config.cpp.o.d"
+  "/root/repo/src/topo/presets.cpp" "src/topo/CMakeFiles/northup_topo.dir/presets.cpp.o" "gcc" "src/topo/CMakeFiles/northup_topo.dir/presets.cpp.o.d"
+  "/root/repo/src/topo/tree.cpp" "src/topo/CMakeFiles/northup_topo.dir/tree.cpp.o" "gcc" "src/topo/CMakeFiles/northup_topo.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/northup_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/northup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/northup_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/northup_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/northup_topo.dir/config.cpp.o"
+  "CMakeFiles/northup_topo.dir/config.cpp.o.d"
+  "CMakeFiles/northup_topo.dir/presets.cpp.o"
+  "CMakeFiles/northup_topo.dir/presets.cpp.o.d"
+  "CMakeFiles/northup_topo.dir/tree.cpp.o"
+  "CMakeFiles/northup_topo.dir/tree.cpp.o.d"
+  "libnorthup_topo.a"
+  "libnorthup_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/northup_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/northup_util.dir/bytes.cpp.o"
+  "CMakeFiles/northup_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/northup_util.dir/flags.cpp.o"
+  "CMakeFiles/northup_util.dir/flags.cpp.o.d"
+  "CMakeFiles/northup_util.dir/log.cpp.o"
+  "CMakeFiles/northup_util.dir/log.cpp.o.d"
+  "CMakeFiles/northup_util.dir/stats.cpp.o"
+  "CMakeFiles/northup_util.dir/stats.cpp.o.d"
+  "CMakeFiles/northup_util.dir/table.cpp.o"
+  "CMakeFiles/northup_util.dir/table.cpp.o.d"
+  "libnorthup_util.a"
+  "libnorthup_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/northup_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("memsim")
+subdirs("topo")
+subdirs("io")
+subdirs("data")
+subdirs("device")
+subdirs("sched")
+subdirs("core")
+subdirs("algos")
+subdirs("integration")

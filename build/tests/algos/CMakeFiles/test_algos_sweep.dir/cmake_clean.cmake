@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algos_sweep.dir/test_algos_sweep.cpp.o"
+  "CMakeFiles/test_algos_sweep.dir/test_algos_sweep.cpp.o.d"
+  "test_algos_sweep"
+  "test_algos_sweep.pdb"
+  "test_algos_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algos_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_listing2.dir/test_listing2.cpp.o"
+  "CMakeFiles/test_listing2.dir/test_listing2.cpp.o.d"
+  "test_listing2"
+  "test_listing2.pdb"
+  "test_listing2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_listing2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_property.dir/test_sparse_property.cpp.o"
+  "CMakeFiles/test_sparse_property.dir/test_sparse_property.cpp.o.d"
+  "test_sparse_property"
+  "test_sparse_property.pdb"
+  "test_sparse_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

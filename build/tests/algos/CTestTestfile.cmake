@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/algos
+# Build directory: /root/repo/build/tests/algos
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/algos/test_gemm[1]_include.cmake")
+include("/root/repo/build/tests/algos/test_hotspot[1]_include.cmake")
+include("/root/repo/build/tests/algos/test_spmv[1]_include.cmake")
+include("/root/repo/build/tests/algos/test_sparse_property[1]_include.cmake")
+include("/root/repo/build/tests/algos/test_algos_sweep[1]_include.cmake")
+include("/root/repo/build/tests/algos/test_listing2[1]_include.cmake")
+include("/root/repo/build/tests/algos/test_hotspot_temporal[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_report.dir/test_schedule_report.cpp.o"
+  "CMakeFiles/test_schedule_report.dir/test_schedule_report.cpp.o.d"
+  "test_schedule_report"
+  "test_schedule_report.pdb"
+  "test_schedule_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/data
+# Build directory: /root/repo/build/tests/data
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/data/test_data_manager[1]_include.cmake")
+include("/root/repo/build/tests/data/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/data/test_typed_buffer[1]_include.cmake")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/device
+# Build directory: /root/repo/build/tests/device
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/device/test_processor[1]_include.cmake")
+include("/root/repo/build/tests/device/test_parallel_exec[1]_include.cmake")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/memsim
+# Build directory: /root/repo/build/tests/memsim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/memsim/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/memsim/test_fault_injection[1]_include.cmake")
