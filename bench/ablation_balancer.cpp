@@ -36,7 +36,7 @@ void run_chunk(nc::ExecContext& ctx) {
 
 enum class Policy { PinCpu, PinGpu, NaiveEven, SpeedAware };
 
-double run(Policy policy) {
+double run(Policy policy, const nu::Flags& flags, const char* tag) {
   nc::Runtime rt(nt::asymmetric_fig2());
   nc::SubtreeBalancer balancer(rt);
   rt.run([&](nc::ExecContext& ctx) {
@@ -69,20 +69,22 @@ double run(Policy policy) {
       }
     }
   });
+  nb::dump_observability(rt, flags, tag);
   return rt.makespan();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
   nb::print_header(
       "Ablation: balanced multi-branch spawning on the Fig 2 asymmetric "
       "tree");
 
-  const double cpu_branch = run(Policy::PinCpu);
-  const double gpu_branch = run(Policy::PinGpu);
-  const double naive = run(Policy::NaiveEven);
-  const double weighted = run(Policy::SpeedAware);
+  const double cpu_branch = run(Policy::PinCpu, flags, "pin-cpu");
+  const double gpu_branch = run(Policy::PinGpu, flags, "pin-gpu");
+  const double naive = run(Policy::NaiveEven, flags, "naive-even");
+  const double weighted = run(Policy::SpeedAware, flags, "speed-aware");
   const double best_single = std::min(cpu_branch, gpu_branch);
 
   nu::TextTable table;

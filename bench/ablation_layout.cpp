@@ -26,7 +26,7 @@ constexpr std::uint64_t kBytes = kDim * kDim * 4;
 
 /// Consumer reading `passes` column sweeps directly from storage
 /// (strided: one access per column segment).
-double run_strided(std::uint64_t passes) {
+double run_strided(std::uint64_t passes, const nu::Flags& flags) {
   nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd,
                                    nb::gemm_outofcore_options(
                                        nm::StorageKind::Ssd)));
@@ -43,13 +43,14 @@ double run_strided(std::uint64_t passes) {
     }
   }
   const double t = rt.makespan();
+  nb::dump_observability(rt, flags, "strided-" + std::to_string(passes));
   dm.release(src);
   dm.release(dst);
   return t;
 }
 
 /// Transform once while staging, then stream contiguous panels.
-double run_transformed(std::uint64_t passes) {
+double run_transformed(std::uint64_t passes, const nu::Flags& flags) {
   auto opts = nb::gemm_outofcore_options(nm::StorageKind::Ssd);
   opts.staging_capacity = 2 * kBytes;  // room for the transposed image
   nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, opts));
@@ -64,18 +65,20 @@ double run_transformed(std::uint64_t passes) {
   for (std::uint64_t p = 0; p < passes; ++p) {
     for (std::uint64_t col = 0; col < kDim; col += 64) {
       // Former columns are now contiguous rows in DRAM.
-      dm.move_data(dst, transposed, kDim / 8 * 64 * 4, 0,
-                   col * kDim * 4);
+      dm.move_data(dst, transposed,
+                   {.size = kDim / 8 * 64 * 4, .src_offset = col * kDim * 4});
     }
   }
   const double t = rt.makespan();
+  nb::dump_observability(rt, flags, "transformed-" + std::to_string(passes));
   for (auto* b : {&src, &transposed, &dst}) dm.release(*b);
   return t;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
   nb::print_header(
       "Ablation: layout transformation during migration (§VI Data Layout)");
 
@@ -83,8 +86,8 @@ int main() {
   table.set_header({"consumer passes", "strided (ms)",
                     "transform-once (ms)", "speedup"});
   for (std::uint64_t passes : {1ULL, 2ULL, 4ULL, 8ULL}) {
-    const double strided = run_strided(passes);
-    const double transformed = run_transformed(passes);
+    const double strided = run_strided(passes, flags);
+    const double transformed = run_transformed(passes, flags);
     table.add_row({std::to_string(passes),
                    nu::TextTable::num(strided * 1e3, 2),
                    nu::TextTable::num(transformed * 1e3, 2),

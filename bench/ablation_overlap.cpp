@@ -29,7 +29,8 @@ void report(nu::TextTable& table, const char* app,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
   nb::print_header(
       "Ablation: copy/compute overlap from the recorded task graph "
       "(§III-C)");
@@ -42,6 +43,7 @@ int main() {
         nm::StorageKind::Ssd,
         nb::gemm_outofcore_options(nm::StorageKind::Ssd)));
     report(table, nb::kAppNames[0], na::gemm_northup(rt, nb::fig_gemm()));
+    nb::dump_observability(rt, flags, nb::kAppNames[0]);
   }
   {
     nc::Runtime rt(nt::dgpu_three_level(
@@ -49,6 +51,7 @@ int main() {
         nb::hotspot_outofcore_options(nm::StorageKind::Ssd)));
     report(table, nb::kAppNames[1],
            na::hotspot_northup(rt, nb::fig_hotspot()));
+    nb::dump_observability(rt, flags, nb::kAppNames[1]);
   }
   {
     nc::Runtime rt(nt::dgpu_three_level(
@@ -57,6 +60,7 @@ int main() {
     report(table, nb::kAppNames[2], na::spmv_northup(rt, nb::fig_spmv()));
     g_reports += "\n-- csr-adaptive schedule analysis --\n" +
                  nc::ScheduleReport::from(*rt.event_sim()).to_string();
+    nb::dump_observability(rt, flags, nb::kAppNames[2]);
   }
   std::printf("%s", table.render().c_str());
   std::printf("%s", g_reports.c_str());

@@ -13,7 +13,8 @@ namespace nc = northup::core;
 namespace nm = northup::mem;
 namespace nu = northup::util;
 
-int main() {
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
   nb::print_header("Ablation: GEMM row-shard reuse (§IV-A)");
 
   nu::TextTable table;
@@ -33,6 +34,9 @@ int main() {
            nu::TextTable::num(
                static_cast<double>(stats.bytes_moved) / (1 << 20), 1),
            nu::TextTable::num(stats.makespan * 1e3, 1)});
+      nb::dump_observability(
+          rt, flags,
+          std::string(sname) + (reuse ? "-reuse-on" : "-reuse-off"));
     }
   }
   std::printf("%s", table.render().c_str());

@@ -19,7 +19,8 @@ namespace nc = northup::core;
 namespace nm = northup::mem;
 namespace nu = northup::util;
 
-int main() {
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
   nb::print_header(
       "Ablation: temporal blocking (k sweeps per block load), HotSpot-2D");
 
@@ -44,6 +45,7 @@ int main() {
            nu::TextTable::num(
                static_cast<double>(stats.bytes_moved) / (1 << 20), 1),
            nu::TextTable::num(stats.makespan * 1e3, 1), "-"});
+      nb::dump_observability(rt, flags, std::string(sname) + "-packed");
     }
     double base = 0.0;
     for (std::uint64_t k : {1ULL, 2ULL, 4ULL}) {
@@ -59,6 +61,8 @@ int main() {
                static_cast<double>(stats.bytes_moved) / (1 << 20), 1),
            nu::TextTable::num(stats.makespan * 1e3, 1),
            nu::TextTable::num(base / stats.makespan, 2) + "x"});
+      nb::dump_observability(
+          rt, flags, std::string(sname) + "-k" + std::to_string(k));
     }
   }
   std::printf("%s", table.render().c_str());

@@ -14,11 +14,17 @@
 #include "northup/algos/csr_adaptive.hpp"
 #include "northup/algos/gemm.hpp"
 #include "northup/algos/hotspot.hpp"
+#include "northup/core/observability.hpp"
 #include "northup/sim/models.hpp"
 #include "northup/topo/presets.hpp"
+#include "northup/util/flags.hpp"
 #include "northup/util/table.hpp"
 
 namespace northup::bench {
+
+/// Every harness accepts --trace-out=<file> / --metrics-out=<file>; multi-run
+/// harnesses tag each dump (see core::dump_observability).
+using core::dump_observability;
 
 /// block_dim_ours / block_dim_paper (256 / 4096).
 inline constexpr double kModelScale = 1.0 / 16.0;

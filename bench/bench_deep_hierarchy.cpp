@@ -26,7 +26,8 @@ struct Tier {
 };
 
 template <typename RunNorthup, typename RunInMem, typename MakeOptions>
-void run_ladder(const char* app, RunNorthup run_northup, RunInMem run_inmem,
+void run_ladder(const nu::Flags& flags, const char* app,
+                RunNorthup run_northup, RunInMem run_inmem,
                 MakeOptions make_options, nu::TextTable& table) {
   const std::vector<Tier> tiers = {
       {"sata-disk", false, nm::StorageKind::Hdd, nb::scaled_hdd()},
@@ -54,6 +55,7 @@ void run_ladder(const char* app, RunNorthup run_northup, RunInMem run_inmem,
     table.add_row({app, tier.name,
                    nu::TextTable::num(stats.makespan * 1e3, 1),
                    nu::TextTable::num(stats.makespan / inmem, 2)});
+    nb::dump_observability(rt, flags, std::string(app) + "-" + tier.name);
   }
   table.add_row({app, "in-memory bound", nu::TextTable::num(inmem * 1e3, 1),
                  "1.00"});
@@ -61,7 +63,8 @@ void run_ladder(const char* app, RunNorthup run_northup, RunInMem run_inmem,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
   nb::print_header(
       "Deep-hierarchy ladder: filling the DRAM-storage gap (§V-D/§VI)");
 
@@ -69,7 +72,7 @@ int main() {
   table.set_header({"app", "level-0 store", "makespan (ms)",
                     "vs in-memory"});
   run_ladder(
-      nb::kAppNames[1],
+      flags, nb::kAppNames[1],
       [](nc::Runtime& rt) {
         return na::hotspot_northup(rt, nb::fig_hotspot());
       },
@@ -78,7 +81,7 @@ int main() {
       },
       nb::hotspot_outofcore_options, table);
   run_ladder(
-      nb::kAppNames[2],
+      flags, nb::kAppNames[2],
       [](nc::Runtime& rt) { return na::spmv_northup(rt, nb::fig_spmv()); },
       [](nc::Runtime& rt) { return na::spmv_inmemory(rt, nb::fig_spmv()); },
       nb::spmv_outofcore_options, table);

@@ -95,7 +95,12 @@ PointResult run_point(const Config& cfg, std::size_t gpu_queues) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Accepts the shared --trace-out/--metrics-out pair for harness
+  // uniformity; the steal model runs outside a Runtime, so there is no
+  // task graph to dump.
+  nu::Flags flags(argc, argv);
+  (void)flags;
   nb::print_header(
       "Fig 11: HotSpot CPU+GPU work stealing vs GPU-only (APU + main "
       "memory + SSD)");

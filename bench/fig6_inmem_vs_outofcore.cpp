@@ -31,8 +31,8 @@ struct AppRow {
 };
 
 template <typename RunInMem, typename RunNorthup, typename MakeOptions>
-AppRow run_app(const char* name, RunInMem run_inmem, RunNorthup run_northup,
-               MakeOptions make_options) {
+AppRow run_app(const nu::Flags& flags, const char* name, RunInMem run_inmem,
+               RunNorthup run_northup, MakeOptions make_options) {
   AppRow row;
   row.name = name;
   {
@@ -42,6 +42,7 @@ AppRow run_app(const char* name, RunInMem run_inmem, RunNorthup run_northup,
     const auto s = run_inmem(rt);
     row.inmem = s.makespan;
     row.verified = row.verified && s.verified;
+    nb::dump_observability(rt, flags, std::string(name) + "-inmem");
   }
   {
     nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd,
@@ -49,6 +50,7 @@ AppRow run_app(const char* name, RunInMem run_inmem, RunNorthup run_northup,
     const auto s = run_northup(rt);
     row.ssd = s.makespan;
     row.verified = row.verified && s.verified;
+    nb::dump_observability(rt, flags, std::string(name) + "-ssd");
   }
   {
     nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Hdd,
@@ -56,24 +58,26 @@ AppRow run_app(const char* name, RunInMem run_inmem, RunNorthup run_northup,
     const auto s = run_northup(rt);
     row.hdd = s.makespan;
     row.verified = row.verified && s.verified;
+    nb::dump_observability(rt, flags, std::string(name) + "-disk");
   }
   return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
   nb::print_header(
       "Fig 6: in-memory vs Northup out-of-core (SSD, disk), APU 2-level");
 
   std::vector<AppRow> rows;
   rows.push_back(run_app(
-      nb::kAppNames[0],
+      flags, nb::kAppNames[0],
       [](nc::Runtime& rt) { return na::gemm_inmemory(rt, nb::fig_gemm()); },
       [](nc::Runtime& rt) { return na::gemm_northup(rt, nb::fig_gemm()); },
       nb::gemm_outofcore_options));
   rows.push_back(run_app(
-      nb::kAppNames[1],
+      flags, nb::kAppNames[1],
       [](nc::Runtime& rt) {
         return na::hotspot_inmemory(rt, nb::fig_hotspot());
       },
@@ -82,7 +86,7 @@ int main() {
       },
       nb::hotspot_outofcore_options));
   rows.push_back(run_app(
-      nb::kAppNames[2],
+      flags, nb::kAppNames[2],
       [](nc::Runtime& rt) { return na::spmv_inmemory(rt, nb::fig_spmv()); },
       [](nc::Runtime& rt) { return na::spmv_northup(rt, nb::fig_spmv()); },
       nb::spmv_outofcore_options));

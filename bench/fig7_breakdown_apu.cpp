@@ -34,7 +34,8 @@ void add_row(nu::TextTable& table, const char* app, const char* storage,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
   nb::print_header(
       "Fig 7: execution breakdown, APU 2-level tree (shares of component "
       "time, %)");
@@ -49,18 +50,24 @@ int main() {
       nc::Runtime rt(nt::apu_two_level(kind, nb::gemm_outofcore_options(kind)));
       add_row(table, nb::kAppNames[0], sname,
               na::gemm_northup(rt, nb::fig_gemm()));
+      nb::dump_observability(rt, flags, std::string(nb::kAppNames[0]) + "-" +
+                                            sname);
     }
     {
       nc::Runtime rt(
           nt::apu_two_level(kind, nb::hotspot_outofcore_options(kind)));
       add_row(table, nb::kAppNames[1], sname,
               na::hotspot_northup(rt, nb::fig_hotspot()));
+      nb::dump_observability(rt, flags, std::string(nb::kAppNames[1]) + "-" +
+                                            sname);
     }
     {
       nc::Runtime rt(
           nt::apu_two_level(kind, nb::spmv_outofcore_options(kind)));
       add_row(table, nb::kAppNames[2], sname,
               na::spmv_northup(rt, nb::fig_spmv()));
+      nb::dump_observability(rt, flags, std::string(nb::kAppNames[2]) + "-" +
+                                            sname);
     }
   }
   std::printf("%s", table.render().c_str());

@@ -31,7 +31,8 @@ void add_row(nu::TextTable& table, const char* app,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
   nb::print_header(
       "Fig 8: execution breakdown, discrete-GPU 3-level tree (device mem + "
       "DRAM + disk)");
@@ -46,17 +47,20 @@ int main() {
   {
     nc::Runtime rt(nt::dgpu_three_level(kind, nb::gemm_outofcore_options(kind)));
     add_row(table, nb::kAppNames[0], na::gemm_northup(rt, nb::fig_gemm()));
+    nb::dump_observability(rt, flags, nb::kAppNames[0]);
   }
   {
     nc::Runtime rt(
         nt::dgpu_three_level(kind, nb::hotspot_outofcore_options(kind)));
     add_row(table, nb::kAppNames[1],
             na::hotspot_northup(rt, nb::fig_hotspot()));
+    nb::dump_observability(rt, flags, nb::kAppNames[1]);
   }
   {
     nc::Runtime rt(
         nt::dgpu_three_level(kind, nb::spmv_outofcore_options(kind)));
     add_row(table, nb::kAppNames[2], na::spmv_northup(rt, nb::fig_spmv()));
+    nb::dump_observability(rt, flags, nb::kAppNames[2]);
   }
   std::printf("%s", table.render().c_str());
   std::printf(

@@ -30,8 +30,9 @@ struct AppProjection {
 };
 
 template <typename RunNorthup, typename RunInMem, typename MakeOptions>
-AppProjection project_app(const char* name, RunNorthup run_northup,
-                          RunInMem run_inmem, MakeOptions make_options) {
+AppProjection project_app(const nu::Flags& flags, const char* name,
+                          RunNorthup run_northup, RunInMem run_inmem,
+                          MakeOptions make_options) {
   AppProjection result;
   result.name = name;
 
@@ -42,6 +43,7 @@ AppProjection project_app(const char* name, RunNorthup run_northup,
                                    make_options(nm::StorageKind::Ssd)),
                  ropts);
   const auto base = run_northup(rt);
+  nb::dump_observability(rt, flags, name);
   const auto& trace = rt.dm().storage(rt.tree().root()).trace();
 
   const auto sweep = nm::fig9_storage_sweep();
@@ -62,19 +64,20 @@ AppProjection project_app(const char* name, RunNorthup run_northup,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
   nb::print_header(
       "Fig 9: projected speedup with faster storage (normalized to "
       "1400/600 SSD)");
 
   std::vector<AppProjection> apps;
   apps.push_back(project_app(
-      nb::kAppNames[0],
+      flags, nb::kAppNames[0],
       [](nc::Runtime& rt) { return na::gemm_northup(rt, nb::fig_gemm()); },
       [](nc::Runtime& rt) { return na::gemm_inmemory(rt, nb::fig_gemm()); },
       nb::gemm_outofcore_options));
   apps.push_back(project_app(
-      nb::kAppNames[1],
+      flags, nb::kAppNames[1],
       [](nc::Runtime& rt) {
         return na::hotspot_northup(rt, nb::fig_hotspot());
       },
@@ -83,7 +86,7 @@ int main() {
       },
       nb::hotspot_outofcore_options));
   apps.push_back(project_app(
-      nb::kAppNames[2],
+      flags, nb::kAppNames[2],
       [](nc::Runtime& rt) { return na::spmv_northup(rt, nb::fig_spmv()); },
       [](nc::Runtime& rt) { return na::spmv_inmemory(rt, nb::fig_spmv()); },
       nb::spmv_outofcore_options));

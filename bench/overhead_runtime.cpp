@@ -35,7 +35,8 @@ void report(nu::TextTable& table, const char* app, nc::Runtime& rt,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
   nb::print_header("Runtime overhead (§V-B claim: < 1% of execution time)");
 
   nu::TextTable table;
@@ -46,6 +47,7 @@ int main() {
         nm::StorageKind::Ssd,
         nb::gemm_outofcore_options(nm::StorageKind::Ssd)));
     report(table, nb::kAppNames[0], rt, na::gemm_northup(rt, nb::fig_gemm()));
+    nb::dump_observability(rt, flags, nb::kAppNames[0]);
   }
   {
     nc::Runtime rt(nt::apu_two_level(
@@ -53,12 +55,14 @@ int main() {
         nb::hotspot_outofcore_options(nm::StorageKind::Ssd)));
     report(table, nb::kAppNames[1], rt,
            na::hotspot_northup(rt, nb::fig_hotspot()));
+    nb::dump_observability(rt, flags, nb::kAppNames[1]);
   }
   {
     nc::Runtime rt(nt::apu_two_level(
         nm::StorageKind::Ssd,
         nb::spmv_outofcore_options(nm::StorageKind::Ssd)));
     report(table, nb::kAppNames[2], rt, na::spmv_northup(rt, nb::fig_spmv()));
+    nb::dump_observability(rt, flags, nb::kAppNames[2]);
   }
   std::printf("%s", table.render().c_str());
   std::printf("\npaper claim: modeled overhead < 1%% for every app\n");

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "northup/core/grid.hpp"
+#include "northup/core/observability.hpp"
 #include "northup/data/typed_buffer.hpp"
 #include "northup/topo/presets.hpp"
 #include "northup/util/bytes.hpp"
@@ -113,5 +114,6 @@ int main(int argc, char** argv) {
               nu::format_seconds(rt.makespan()).c_str(),
               static_cast<unsigned long long>(rt.spawn_count()),
               static_cast<unsigned long long>(bad));
+  nc::dump_observability(rt, flags);
   return bad == 0 ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "northup/algos/gemm.hpp"
+#include "northup/core/observability.hpp"
 #include "northup/topo/presets.hpp"
 #include "northup/util/bytes.hpp"
 #include "northup/util/flags.hpp"
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ooc.spawns));
   std::printf("  verification: %s (max rel err %.2e)\n",
               ooc.verified ? "PASS" : "FAIL", ooc.max_rel_err);
+  nc::dump_observability(rt, flags, "ooc");
 
   nt::PresetOptions big = opts;
   big.staging_capacity = 4 * n * n * 4;
@@ -67,5 +69,6 @@ int main(int argc, char** argv) {
   std::printf("in-memory baseline:  %s  (out-of-core slowdown: %.2fx)\n",
               nu::format_seconds(im.makespan).c_str(),
               ooc.makespan / im.makespan);
+  nc::dump_observability(im_rt, flags, "inmem");
   return ooc.verified && im.verified ? 0 : 1;
 }

@@ -13,16 +13,23 @@
 #include <cstdio>
 #include <vector>
 
+#include "northup/core/observability.hpp"
 #include "northup/core/runtime.hpp"
+#include "northup/data/scoped_buffer.hpp"
 #include "northup/topo/presets.hpp"
 #include "northup/util/bytes.hpp"
+#include "northup/util/flags.hpp"
 
 namespace nc = northup::core;
 namespace nt = northup::topo;
 namespace nd = northup::data;
 namespace ndv = northup::device;
+namespace nu = northup::util;
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=<file> / --metrics-out=<file> dump the run's task graph
+  // (Chrome trace JSON, open in Perfetto) and the metrics registry.
+  nu::Flags flags(argc, argv);
   // --- 1. The machine: SSD root (level 0) + DRAM leaf with a CPU and an
   //        integrated GPU (level 1). Capacities are tiny on purpose so the
   //        runtime is forced to chunk.
@@ -45,9 +52,9 @@ int main() {
   }
 
   const auto root = rt.tree().root();
-  nd::Buffer in_root = dm.alloc(kBytes, root);
-  nd::Buffer out_root = dm.alloc(kBytes, root);
-  dm.write_from_host(in_root, input.data(), kBytes);
+  nd::ScopedBuffer in_root(dm, kBytes, root);
+  nd::ScopedBuffer out_root(dm, kBytes, root);
+  dm.write_from_host(*in_root, input.data(), kBytes);
 
   // --- 4. The recursive application: Listing 3's shape.
   std::uint64_t chunks_processed = 0;
@@ -61,24 +68,25 @@ int main() {
     for (std::uint64_t off = 0; off < kBytes; off += chunk_bytes) {
       const std::uint64_t len = std::min(chunk_bytes, kBytes - off);
 
-      nd::Buffer in_c = dm.alloc(len, child);
-      nd::Buffer out_c = dm.alloc(len, child);
-      dm.move_data_down(in_c, in_root, len, 0, off);  // storage -> DRAM
+      nd::ScopedBuffer in_c(dm, len, child);
+      nd::ScopedBuffer out_c(dm, len, child);
+      // storage -> DRAM
+      dm.move_data_down(*in_c, *in_root, {.size = len, .src_offset = off});
 
       ctx.northup_spawn(child, [&](nc::ExecContext& leaf) {
         // At the leaf: query the attached processors and launch a kernel
         // on the GPU, one workgroup per 4 KiB tile.
         auto* gpu = leaf.get_device(nt::ProcessorType::Gpu);
-        float* src = reinterpret_cast<float*>(dm.host_view(in_c));
-        float* dst = reinterpret_cast<float*>(dm.host_view(out_c));
+        float* src = reinterpret_cast<float*>(dm.host_view(*in_c));
+        float* dst = reinterpret_cast<float*>(dm.host_view(*out_c));
         const std::uint64_t n = len / sizeof(float);
         const auto groups =
             static_cast<std::uint32_t>((n + 1023) / 1024);
         ndv::KernelCost cost{static_cast<double>(n),
                              2.0 * static_cast<double>(len)};
         std::vector<northup::sim::TaskId> deps;
-        if (in_c.ready != northup::sim::kInvalidTask) {
-          deps.push_back(in_c.ready);
+        if (in_c->ready != northup::sim::kInvalidTask) {
+          deps.push_back(in_c->ready);
         }
         auto launch = gpu->launch(
             "square", groups,
@@ -88,25 +96,22 @@ int main() {
               for (std::uint64_t i = lo; i < hi; ++i) dst[i] = src[i] * src[i];
             },
             cost, deps);
-        out_c.ready = launch.task;
+        out_c->ready = launch.task;
       });
 
-      dm.move_data_up(out_root, out_c, len, off, 0);  // DRAM -> storage
-      dm.release(in_c);
-      dm.release(out_c);
+      // DRAM -> storage; in_c/out_c release at scope exit.
+      dm.move_data_up(*out_root, *out_c, {.size = len, .dst_offset = off});
       ++chunks_processed;
     }
   });
 
   // --- Verify and report.
   std::vector<float> output(kN);
-  dm.read_to_host(output.data(), out_root, kBytes);
+  dm.read_to_host(output.data(), *out_root, kBytes);
   std::uint64_t bad = 0;
   for (std::uint64_t i = 0; i < kN; ++i) {
     if (output[i] != input[i] * input[i]) ++bad;
   }
-  dm.release(in_root);
-  dm.release(out_root);
 
   std::printf("processed %llu chunks, %llu mismatches\n",
               static_cast<unsigned long long>(chunks_processed),
@@ -114,5 +119,6 @@ int main() {
   std::printf("virtual execution time: %s (spawns: %llu)\n",
               northup::util::format_seconds(rt.makespan()).c_str(),
               static_cast<unsigned long long>(rt.spawn_count()));
+  nc::dump_observability(rt, flags);
   return bad == 0 ? 0 : 1;
 }

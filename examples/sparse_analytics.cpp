@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "northup/algos/csr_adaptive.hpp"
+#include "northup/core/observability.hpp"
 #include "northup/topo/presets.hpp"
 #include "northup/util/flags.hpp"
 #include "northup/util/table.hpp"
@@ -69,6 +70,7 @@ int main(int argc, char** argv) {
                    std::to_string(stats.spawns),
                    nu::TextTable::num(stats.makespan * 1e3, 2),
                    stats.verified ? "yes" : "NO"});
+    nc::dump_observability(rt, flags, p.name);
   }
   std::printf("%s", table.render().c_str());
   return all_ok ? 0 : 1;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "northup/algos/hotspot.hpp"
+#include "northup/core/observability.hpp"
 #include "northup/topo/presets.hpp"
 #include "northup/util/bytes.hpp"
 #include "northup/util/flags.hpp"
@@ -53,5 +54,6 @@ int main(int argc, char** argv) {
       "verification vs reference after %llu sweeps: %s (max rel err %.2e)\n",
       static_cast<unsigned long long>(iters),
       stats.verified ? "PASS" : "FAIL", stats.max_rel_err);
+  nc::dump_observability(rt, flags);
   return stats.verified ? 0 : 1;
 }

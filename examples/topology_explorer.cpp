@@ -10,11 +10,16 @@
 #include <string>
 
 #include "northup/algos/hotspot.hpp"
+#include "northup/core/observability.hpp"
+#include "northup/data/scoped_buffer.hpp"
 #include "northup/memsim/projection.hpp"
 #include "northup/topo/config.hpp"
 #include "northup/topo/presets.hpp"
 #include "northup/util/bytes.hpp"
+#include "northup/util/flags.hpp"
 #include "northup/util/table.hpp"
+
+namespace nd = northup::data;
 
 namespace na = northup::algos;
 namespace nt = northup::topo;
@@ -41,6 +46,7 @@ nt::TopoTree select_tree(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
   nc::Runtime rt(select_tree(argc, argv));
   const auto& tree = rt.tree();
 
@@ -57,13 +63,12 @@ int main(int argc, char** argv) {
                     "write (model)"});
   for (nt::NodeId id = 0; id < tree.node_count(); ++id) {
     auto& storage = rt.dm().storage(id);
-    auto buf = rt.dm().alloc(64 << 10, id);
+    nd::ScopedBuffer buf(rt.dm(), 64 << 10, id);
     std::vector<std::uint8_t> data(64 << 10, 0x5a);
-    rt.dm().write_from_host(buf, data.data(), data.size());
+    rt.dm().write_from_host(*buf, data.data(), data.size());
     std::vector<std::uint8_t> back(64 << 10);
-    rt.dm().read_to_host(back.data(), buf, back.size());
+    rt.dm().read_to_host(back.data(), *buf, back.size());
     NU_CHECK(back == data, "probe round-trip failed");
-    rt.dm().release(buf);
     table.add_row({tree.node(id).name,
                    nm::to_string(tree.fetch_node_type(id)),
                    nu::format_bytes(tree.memory(id).capacity),
@@ -71,6 +76,7 @@ int main(int argc, char** argv) {
                    nu::format_seconds(storage.sim_write_time(64 << 10))});
   }
   std::printf("%s\n", table.render().c_str());
+  nc::dump_observability(rt, flags, "probe");
 
   // If the root is file-backed, run a stencil sweep and project faster
   // storage from the recorded I/O trace.
@@ -95,6 +101,7 @@ int main(int argc, char** argv) {
       proj.add_row({p.label, nu::format_seconds(p.overall_time)});
     }
     std::printf("%s", proj.render().c_str());
+    nc::dump_observability(traced, flags, "stencil");
   }
   return 0;
 }

@@ -1,0 +1,25 @@
+// Command-line plumbing for the observability artifacts.
+//
+// Every example and benchmark harness accepts the same flag pair:
+//   --trace-out=<file>     Chrome trace-event JSON of the EventSim graph
+//   --metrics-out=<file>   MetricsRegistry dump (counters + gauges)
+// dump_observability() reads them off an already-parsed Flags object and
+// writes whichever artifacts were requested, so harnesses stay one line.
+#pragma once
+
+#include <string>
+
+#include "northup/core/runtime.hpp"
+#include "northup/util/flags.hpp"
+
+namespace northup::core {
+
+/// Writes the trace/metrics artifacts requested via --trace-out /
+/// --metrics-out (no-op when neither flag is present). Harnesses that
+/// run several Runtimes pass a distinct `tag` per run; it is spliced in
+/// before the file extension ("out.json" + "ssd" -> "out.ssd.json") so
+/// successive dumps don't overwrite each other.
+void dump_observability(Runtime& rt, const util::Flags& flags,
+                        const std::string& tag = "");
+
+}  // namespace northup::core

@@ -14,11 +14,14 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "northup/data/data_manager.hpp"
 #include "northup/device/processor.hpp"
 #include "northup/io/posix_file.hpp"
+#include "northup/obs/metrics.hpp"
+#include "northup/obs/trace_writer.hpp"
 #include "northup/sched/work_queue.hpp"
 #include "northup/sim/event_sim.hpp"
 #include "northup/topo/tree.hpp"
@@ -54,9 +57,29 @@ class Runtime {
 
   const topo::TopoTree& tree() const { return tree_; }
   data::DataManager& dm() { return *dm_; }
+  const data::DataManager& dm() const { return *dm_; }
   sim::EventSim* event_sim() { return sim_ ? sim_.get() : nullptr; }
   sched::NodeQueueSet& queues() { return *queues_; }
   const RuntimeOptions& options() const { return options_; }
+
+  /// Always-on telemetry: every DataManager move/alloc, storage access,
+  /// queue push/pop, and recursive spawn is counted here.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Chrome-trace track layout for this runtime's EventSim: one pid per
+  /// tree node (memory engine tid 0, attached processors tid 1..n).
+  obs::TraceLayout trace_layout();
+
+  /// Serializes the EventSim task graph to Chrome trace-event JSON at
+  /// `path` (openable in Perfetto). With the sim disabled the file holds
+  /// an empty event array.
+  void write_chrome_trace(const std::string& path);
+
+  /// Dumps the metrics registry as JSON at `path`, after folding in
+  /// point-in-time gauges (sim makespan, per-phase totals, spawn count,
+  /// leaf-pool steals, bookkeeping wall time).
+  void write_metrics_json(const std::string& path);
 
   /// Processors attached to `node` (empty for pure memory nodes).
   std::vector<device::Processor*> processors_at(topo::NodeId node);
@@ -97,6 +120,9 @@ class Runtime {
 
   topo::TopoTree tree_;
   RuntimeOptions options_;
+  obs::MetricsRegistry metrics_;  ///< outlives everything hooked into it
+  obs::Counter* spawn_counter_ = nullptr;
+  obs::Gauge* spawn_depth_gauge_ = nullptr;
   std::unique_ptr<sim::EventSim> sim_;
   std::unique_ptr<data::DataManager> dm_;
   std::unique_ptr<sched::NodeQueueSet> queues_;
@@ -142,10 +168,10 @@ class ExecContext {
   /// "The number of chunks depends on the current available capacity of
   ///  level i+1 and size of the data structure").
   std::uint64_t available_bytes() const {
-    return const_cast<Runtime&>(rt_).dm().storage(node_).available();
+    return std::as_const(rt_).dm().storage(node_).available();
   }
   std::uint64_t available_bytes(topo::NodeId node) const {
-    return const_cast<Runtime&>(rt_).dm().storage(node).available();
+    return std::as_const(rt_).dm().storage(node).available();
   }
 
   /// Allocates on the current node.

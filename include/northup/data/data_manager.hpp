@@ -25,10 +25,27 @@
 
 #include "northup/data/buffer.hpp"
 #include "northup/memsim/storage.hpp"
+#include "northup/obs/metrics.hpp"
 #include "northup/sim/event_sim.hpp"
 #include "northup/topo/tree.hpp"
 
 namespace northup::data {
+
+/// Parameters of one move_data/move_data_down/move_data_up call — the
+/// replacement for the four easily-swapped positional integers of the
+/// original Table I surface. Designated initializers keep call sites
+/// self-documenting:
+///
+///   dm.move_data_down(dst, src, {.size = n, .src_offset = off});
+///
+/// `deps` adds ordering constraints beyond the buffers' own ready tasks
+/// (used by device::Stream for in-order queues).
+struct CopySpec {
+  std::uint64_t size = 0;
+  std::uint64_t dst_offset = 0;
+  std::uint64_t src_offset = 0;
+  std::vector<sim::TaskId> deps = {};
+};
 
 /// Fixed per-operation overheads for buffer setup (the "buffer setup"
 /// component of Figs 7/8): allocation syscall / driver-call costs by kind.
@@ -71,8 +88,17 @@ class DataManager {
 
   bool is_bound(topo::NodeId node) const;
   mem::Storage& storage(topo::NodeId node);
+  const mem::Storage& storage(topo::NodeId node) const;
   const topo::TopoTree& tree() const { return tree_; }
   sim::EventSim* event_sim() { return sim_; }
+
+  /// Mirrors Table-I activity into `registry`: per-edge byte counters
+  /// ("bytes_moved.<src>-><dst>", host legs as "host"), move/alloc/
+  /// release counts and fragmented-access totals under "dm.*". Storages
+  /// bound afterwards get their own "storage.<name>.*" hooks attached.
+  /// Pass nullptr to detach. The registry must outlive this manager.
+  void attach_metrics(obs::MetricsRegistry* registry);
+  obs::MetricsRegistry* metrics() { return metrics_; }
 
   /// EventSim resource representing a node's copy/I-O engine (created on
   /// demand). Exposed so the device layer can serialize against it.
@@ -87,25 +113,45 @@ class DataManager {
   /// Releases the space and invalidates the handle.
   void release(Buffer& buffer);
 
-  /// Moves `size` bytes from `src`+src_offset to `dst`+dst_offset,
+  /// Moves `spec.size` bytes from `src`+src_offset to `dst`+dst_offset,
   /// dispatching on the two nodes' storage kinds. Updates dst.ready.
-  /// `extra_deps` adds ordering constraints beyond the buffers' own
-  /// ready tasks (used by device::Stream for in-order queues).
-  void move_data(Buffer& dst, const Buffer& src, std::uint64_t size,
-                 std::uint64_t dst_offset = 0, std::uint64_t src_offset = 0,
-                 std::vector<sim::TaskId> extra_deps = {});
+  void move_data(Buffer& dst, const Buffer& src, CopySpec spec);
 
   /// Table I's move_data_down: `dst` must live on a child of src's node.
+  void move_data_down(Buffer& dst, const Buffer& src, CopySpec spec);
+
+  /// Table I's move_data_up: `dst` must live on the parent of src's node.
+  void move_data_up(Buffer& dst, const Buffer& src, CopySpec spec);
+
+  // --- Deprecated positional forms. -----------------------------------
+  // Thin forwarding shims over the CopySpec overloads, kept for source
+  // compatibility; four adjacent integers are too easy to transpose, so
+  // new code should pass a CopySpec.
+
+  void move_data(Buffer& dst, const Buffer& src, std::uint64_t size,
+                 std::uint64_t dst_offset = 0, std::uint64_t src_offset = 0,
+                 std::vector<sim::TaskId> extra_deps = {}) {
+    move_data(dst, src,
+              CopySpec{size, dst_offset, src_offset, std::move(extra_deps)});
+  }
+
   void move_data_down(Buffer& dst, const Buffer& src, std::uint64_t size,
                       std::uint64_t dst_offset = 0,
                       std::uint64_t src_offset = 0,
-                      std::vector<sim::TaskId> extra_deps = {});
+                      std::vector<sim::TaskId> extra_deps = {}) {
+    move_data_down(
+        dst, src,
+        CopySpec{size, dst_offset, src_offset, std::move(extra_deps)});
+  }
 
-  /// Table I's move_data_up: `dst` must live on the parent of src's node.
   void move_data_up(Buffer& dst, const Buffer& src, std::uint64_t size,
                     std::uint64_t dst_offset = 0,
                     std::uint64_t src_offset = 0,
-                    std::vector<sim::TaskId> extra_deps = {});
+                    std::vector<sim::TaskId> extra_deps = {}) {
+    move_data_up(
+        dst, src,
+        CopySpec{size, dst_offset, src_offset, std::move(extra_deps)});
+  }
 
   /// Strided 2-D block move: copies `rows` runs of `row_bytes`, advancing
   /// the source by `src_pitch` and the destination by `dst_pitch` bytes
@@ -169,12 +215,18 @@ class DataManager {
   void charge_setup(topo::NodeId node, double seconds,
                     const std::string& label, Buffer* buffer);
 
+  /// Per-edge traffic counter; "host" stands in for host memory on
+  /// write_from_host/read_to_host legs.
+  obs::Counter& edge_counter(const std::string& src_name,
+                             const std::string& dst_name);
+
   const topo::TopoTree& tree_;
   sim::EventSim* sim_;
   SetupCostModel setup_costs_;
   std::map<topo::NodeId, std::unique_ptr<mem::Storage>> storages_;
   std::map<topo::NodeId, sim::ResourceId> resources_;
   std::uint64_t bytes_moved_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace northup::data

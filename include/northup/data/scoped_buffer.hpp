@@ -1,0 +1,83 @@
+// RAII ownership for the untyped Table-I buffer handle.
+//
+// The raw Buffer is a plain handle: forgetting DataManager::release leaks
+// node capacity, and an early exception (CapacityError mid-decomposition)
+// skips every manual release after it. ScopedBuffer ties the release to
+// scope exit, exactly like TypedBuffer does for the typed surface, while
+// staying byte-oriented for code that moves untyped extents.
+//
+// Applications and tests should prefer ScopedBuffer; the raw Buffer plus
+// manual release remains the runtime-internal currency (algos keep
+// handles in containers and release mid-pipeline to free child capacity
+// at precise points).
+#pragma once
+
+#include <utility>
+
+#include "northup/data/data_manager.hpp"
+
+namespace northup::data {
+
+/// Move-only owner of one Buffer; calls DataManager::release on
+/// destruction. Dereference (`*sb` / `sb->`) to reach the Buffer for the
+/// Table-I calls.
+class ScopedBuffer {
+ public:
+  ScopedBuffer() = default;
+
+  /// Allocates `size` bytes on `node` (throws util::CapacityError when
+  /// the node is full, like DataManager::alloc).
+  ScopedBuffer(DataManager& dm, std::uint64_t size, topo::NodeId node)
+      : dm_(&dm), buffer_(dm.alloc(size, node)) {}
+
+  /// Adopts an already-allocated handle.
+  ScopedBuffer(DataManager& dm, Buffer buffer) : dm_(&dm), buffer_(buffer) {}
+
+  ScopedBuffer(ScopedBuffer&& other) noexcept
+      : dm_(std::exchange(other.dm_, nullptr)),
+        buffer_(std::exchange(other.buffer_, Buffer{})) {}
+
+  ScopedBuffer& operator=(ScopedBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      dm_ = std::exchange(other.dm_, nullptr);
+      buffer_ = std::exchange(other.buffer_, Buffer{});
+    }
+    return *this;
+  }
+
+  ScopedBuffer(const ScopedBuffer&) = delete;
+  ScopedBuffer& operator=(const ScopedBuffer&) = delete;
+
+  ~ScopedBuffer() { reset(); }
+
+  /// Releases the storage now (idempotent).
+  void reset() {
+    if (dm_ != nullptr && buffer_.valid()) dm_->release(buffer_);
+    dm_ = nullptr;
+    buffer_ = Buffer{};
+  }
+
+  /// Relinquishes ownership: returns the handle without releasing it.
+  Buffer detach() {
+    dm_ = nullptr;
+    return std::exchange(buffer_, Buffer{});
+  }
+
+  Buffer& get() { return buffer_; }
+  const Buffer& get() const { return buffer_; }
+  Buffer& operator*() { return buffer_; }
+  const Buffer& operator*() const { return buffer_; }
+  Buffer* operator->() { return &buffer_; }
+  const Buffer* operator->() const { return &buffer_; }
+
+  bool valid() const { return buffer_.valid(); }
+  std::uint64_t size() const { return buffer_.size(); }
+  topo::NodeId node() const { return buffer_.node; }
+
+ private:
+  DataManager* dm_ = nullptr;
+  Buffer buffer_;
+};
+
+}  // namespace northup::data

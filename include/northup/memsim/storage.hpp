@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "northup/io/posix_file.hpp"
+#include "northup/obs/metrics.hpp"
 #include "northup/sim/models.hpp"
 #include "northup/util/aligned.hpp"
 #include "northup/util/assert.hpp"
@@ -118,6 +119,12 @@ class Storage {
   void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
   const std::vector<IoRecord>& trace() const { return trace_; }
 
+  /// Mirrors every access/alloc into `registry` under
+  /// "storage.<name>.*" (bytes_read, bytes_written, reads, writes,
+  /// allocs, releases, plus a peak_used_bytes gauge). The registry must
+  /// outlive this storage.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
  protected:
   virtual std::uint64_t do_alloc(std::uint64_t size) = 0;
   virtual void do_release(std::uint64_t handle) = 0;
@@ -135,6 +142,18 @@ class Storage {
   StorageStats stats_;
   bool trace_enabled_ = false;
   std::vector<IoRecord> trace_;
+
+  /// Optional always-on telemetry (null when no registry is attached).
+  struct MetricSet {
+    obs::Counter* bytes_read = nullptr;
+    obs::Counter* bytes_written = nullptr;
+    obs::Counter* reads = nullptr;
+    obs::Counter* writes = nullptr;
+    obs::Counter* allocs = nullptr;
+    obs::Counter* releases = nullptr;
+    obs::Gauge* peak_used = nullptr;
+  };
+  MetricSet metrics_;
 };
 
 /// Byte-addressable storage backed by host heap allocations. Used for

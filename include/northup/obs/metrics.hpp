@@ -1,0 +1,92 @@
+// Always-on metrics registry — the measurement substrate for every
+// perf-oriented change (overlap, balancing, sharding ablations).
+//
+// A MetricsRegistry is a flat namespace of named Counters (monotonic
+// uint64, e.g. bytes moved per tree edge, queue pushes) and Gauges
+// (double, e.g. peak residency, makespan). Components that want to be
+// observable hold raw Counter/Gauge pointers handed out by the registry
+// — registration is a one-time mutex-guarded lookup, the hot-path
+// increment is a single relaxed atomic op, so instrumentation stays on
+// even in benchmark runs (the "cheap, always-on telemetry" lesson of the
+// heterogeneous-memory guidance literature).
+//
+// Naming convention (dotted, with "->" for tree edges):
+//   bytes_moved.<src>-><dst>     dm.moves  dm.fragmented_accesses
+//   storage.<node>.bytes_read    queue.<name>.pushes   runtime.spawns
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace northup::obs {
+
+/// Monotonically increasing event/byte count. Thread-safe.
+class Counter {
+ public:
+  void add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar with a monotonic-max helper. Thread-safe.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  /// Keeps the maximum of the current and the observed value.
+  void record_max(double value) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !value_.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Named counters/gauges with stable addresses (safe to cache the
+/// returned references for the lifetime of the registry).
+class MetricsRegistry {
+ public:
+  /// Returns the counter named `name`, creating it at zero on first use.
+  Counter& counter(const std::string& name);
+
+  /// Returns the gauge named `name`, creating it at zero on first use.
+  Gauge& gauge(const std::string& name);
+
+  /// Point-in-time snapshots (sorted by name).
+  std::map<std::string, std::uint64_t> counter_values() const;
+  std::map<std::string, double> gauge_values() const;
+
+  /// Sum of all counters whose name starts with `prefix` — e.g.
+  /// counter_sum("bytes_moved.") is the total traffic over all edges.
+  std::uint64_t counter_sum(const std::string& prefix) const;
+
+  /// Machine-readable dump: {"counters": {...}, "gauges": {...}}.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`; throws util::Error on I/O failure.
+  void write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+}  // namespace northup::obs

@@ -1,0 +1,67 @@
+// Chrome trace-event export of the EventSim task graph.
+//
+// Every run of the runtime already records a full (resource, duration,
+// dependencies) task graph; TraceWriter serializes it to the Chrome
+// trace-event JSON format so any run opens directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing:
+//
+//   * one *process* (pid) per topological-tree node, named after it, so
+//     the per-level structure of the machine is the top-level grouping;
+//   * one *thread* (tid) per EventSim resource (a node's copy/I-O engine,
+//     each processor's compute-unit array), named like the resource;
+//   * each task becomes a complete ("X") event with its phase as the
+//     category and virtual seconds scaled to trace microseconds;
+//   * each dependency edge becomes a flow arrow ("s"/"f" pair), making
+//     the copy/compute overlap structure visible and clickable.
+//
+// The writer only reads the EventSim; the pid/tid layout comes from a
+// TraceLayout the caller builds (core::Runtime knows the tree and hands
+// one out — see Runtime::write_chrome_trace).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "northup/sim/event_sim.hpp"
+
+namespace northup::obs {
+
+/// Maps EventSim resources onto Chrome-trace (pid, tid) tracks.
+struct TraceLayout {
+  struct Track {
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+  };
+
+  /// Track per resource. Resources absent from the map are placed in a
+  /// synthetic "sim" process with tid = resource id.
+  std::map<sim::ResourceId, Track> tracks;
+
+  /// Display name per pid (tree-node name). The synthetic fallback
+  /// process takes the first unused pid.
+  std::map<std::uint32_t, std::string> process_names;
+};
+
+/// Serializes an EventSim task graph to Chrome trace-event JSON.
+class TraceWriter {
+ public:
+  TraceWriter(const sim::EventSim& sim, TraceLayout layout)
+      : sim_(sim), layout_(std::move(layout)) {}
+
+  /// Emits {"displayTimeUnit": ..., "traceEvents": [...]} with metadata
+  /// events first and all timed events sorted by timestamp.
+  void write(std::ostream& os) const;
+
+  std::string to_json() const;
+
+  /// Writes to `path`; throws util::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  const sim::EventSim& sim_;
+  TraceLayout layout_;
+};
+
+}  // namespace northup::obs

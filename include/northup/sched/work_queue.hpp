@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "northup/obs/metrics.hpp"
 #include "northup/topo/tree.hpp"
 #include "northup/util/assert.hpp"
 
@@ -48,11 +49,17 @@ class WorkQueue {
   /// Total tasks ever enqueued (progress tracking, §V-E).
   std::uint64_t enqueued_total() const;
 
+  /// Mirrors pushes/pops into "queue.<name>.pushes" / ".pops". The
+  /// registry must outlive this queue. pop_back counts as a pop.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
  private:
   mutable std::mutex mutex_;
   std::deque<QueueTask> tasks_;
   std::string name_;
   std::uint64_t enqueued_total_ = 0;
+  obs::Counter* push_counter_ = nullptr;
+  obs::Counter* pop_counter_ = nullptr;
 };
 
 /// The set of work queues hanging off the topological tree: one or more
@@ -66,6 +73,10 @@ class NodeQueueSet {
   /// Creates `count` queues on `node` (idempotent growth).
   void create_queues(topo::NodeId node, std::size_t count);
 
+  /// Attaches queue push/pop telemetry to `registry` — applies to all
+  /// existing queues and to queues created afterwards.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
   std::size_t queue_count(topo::NodeId node) const;
   WorkQueue& queue(topo::NodeId node, std::size_t index = 0);
 
@@ -76,6 +87,7 @@ class NodeQueueSet {
  private:
   const topo::TopoTree& tree_;
   std::map<topo::NodeId, std::vector<std::unique_ptr<WorkQueue>>> queues_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace northup::sched

@@ -215,17 +215,21 @@ void spmv_recurse(core::ExecContext& ctx, const SpmvShard& shard,
     const std::uint32_t nnz_s = rp[last] - rp[first];
 
     data::Buffer c_rp = dm.alloc((rows_s + 1) * kU, child_node);
-    dm.move_data_down(c_rp, *shard.row_ptr, (rows_s + 1) * kU, 0,
-                      first * kU);
+    dm.move_data_down(c_rp, *shard.row_ptr,
+                      {.size = (rows_s + 1) * kU, .src_offset = first * kU});
     data::Buffer c_ci;
     data::Buffer c_va;
     if (nnz_s > 0) {
       c_ci = dm.alloc(nnz_s * kU, child_node);
-      dm.move_data_down(c_ci, *shard.col_id, nnz_s * kU, 0,
-                        (rp[first] - shard.nnz_base) * kU);
+      dm.move_data_down(
+          c_ci, *shard.col_id,
+          {.size = nnz_s * kU,
+           .src_offset = (rp[first] - shard.nnz_base) * kU});
       c_va = dm.alloc(nnz_s * kF, child_node);
-      dm.move_data_down(c_va, *shard.data, nnz_s * kF, 0,
-                        (rp[first] - shard.nnz_base) * kF);
+      dm.move_data_down(
+          c_va, *shard.data,
+          {.size = nnz_s * kF,
+           .src_offset = (rp[first] - shard.nnz_base) * kF});
     } else {
       // Degenerate empty shard: allocate 1-element placeholders so the
       // leaf still has valid buffers.
@@ -240,7 +244,8 @@ void spmv_recurse(core::ExecContext& ctx, const SpmvShard& shard,
       spmv_recurse(cctx, sub, config);
     });
 
-    dm.move_data_up(*shard.y, c_y, rows_s * kF, first * kF, 0);
+    dm.move_data_up(*shard.y, c_y,
+                    {.size = rows_s * kF, .dst_offset = first * kF});
     for (auto* b : {&c_rp, &c_ci, &c_va, &c_y}) dm.release(*b);
     first = last;
   }
@@ -272,7 +277,7 @@ data::Buffer stage_x_to_leaf(core::Runtime& rt, topo::NodeId from,
   while (!tree.is_leaf(node)) {
     const topo::NodeId child = tree.get_children_list(node)[0];
     data::Buffer next = dm.alloc(bytes, child);
-    dm.move_data_down(next, *src, bytes);
+    dm.move_data_down(next, *src, {.size = bytes});
     if (cur.valid()) dm.release(cur);
     cur = std::move(next);
     src = &cur;
@@ -281,7 +286,7 @@ data::Buffer stage_x_to_leaf(core::Runtime& rt, topo::NodeId from,
   if (!cur.valid()) {
     // `from` is already the leaf: keep a copy so ownership is uniform.
     cur = dm.alloc(bytes, node);
-    dm.move_data(cur, x_at_from, bytes);
+    dm.move_data(cur, x_at_from, {.size = bytes});
   }
   return cur;
 }

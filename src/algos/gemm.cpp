@@ -334,7 +334,9 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
         a_strip.reserve(g);
         for (std::uint64_t kk = 0; kk < g; ++kk) {
           data::Buffer ab = dm.alloc(blk_bytes, l1);
-          dm.move_data_down(ab, a, blk_bytes, 0, (i * g + kk) * blk_bytes);
+          dm.move_data_down(
+              ab, a,
+              {.size = blk_bytes, .src_offset = (i * g + kk) * blk_bytes});
           a_strip.push_back(std::move(ab));
         }
       }
@@ -348,12 +350,15 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
             ab = &a_strip[kk];
           } else {
             ab_local = dm.alloc(blk_bytes, l1);
-            dm.move_data_down(ab_local, a, blk_bytes, 0,
-                              (i * g + kk) * blk_bytes);
+            dm.move_data_down(
+                ab_local, a,
+                {.size = blk_bytes, .src_offset = (i * g + kk) * blk_bytes});
             ab = &ab_local;
           }
           data::Buffer bb = dm.alloc(blk_bytes, l1);
-          dm.move_data_down(bb, b, blk_bytes, 0, (kk * g + j) * blk_bytes);
+          dm.move_data_down(
+              bb, b,
+              {.size = blk_bytes, .src_offset = (kk * g + j) * blk_bytes});
 
           ctx.northup_spawn(l1, [&](core::ExecContext& child_ctx) {
             gemm_recurse(child_ctx, MatView{ab, 0, row_bytes},
@@ -366,7 +371,9 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
         }
         // Result block back up to storage (Fig 3's data_up).
         data::Buffer& croot = *block_view(c, i, j).buf;
-        dm.move_data_up(croot, cb, blk_bytes, block_view(c, i, j).offset, 0);
+        dm.move_data_up(
+            croot, cb,
+            {.size = blk_bytes, .dst_offset = block_view(c, i, j).offset});
         dm.release(cb);
       }
       for (auto& ab : a_strip) dm.release(ab);

@@ -163,14 +163,14 @@ void hotspot_recurse(core::ExecContext& ctx, const StencilBlock& block,
     data::Buffer pw = dm.alloc(d * d * kF, child_node);
     data::Buffer hal = dm.alloc(4 * d * kF, child_node);
     data::Buffer tout = dm.alloc(d * d * kF, child_node);
-    dm.move_data_down(tin, *block.temp_in, d * d * kF);
-    dm.move_data_down(pw, *block.power, d * d * kF);
-    dm.move_data_down(hal, *block.halo, 4 * d * kF);
+    dm.move_data_down(tin, *block.temp_in, {.size = d * d * kF});
+    dm.move_data_down(pw, *block.power, {.size = d * d * kF});
+    dm.move_data_down(hal, *block.halo, {.size = 4 * d * kF});
     ctx.northup_spawn(child_node, [&](core::ExecContext& cctx) {
       StencilBlock sub{&tin, &pw, &hal, &tout, d};
       hotspot_recurse(cctx, sub, config);
     });
-    dm.move_data_up(*block.temp_out, tout, d * d * kF);
+    dm.move_data_up(*block.temp_out, tout, {.size = d * d * kF});
     for (auto* b : {&tin, &pw, &hal, &tout}) dm.release(*b);
     return;
   }
@@ -193,18 +193,26 @@ void hotspot_recurse(core::ExecContext& ctx, const StencilBlock& block,
 
       // Halo rows: one row of the parent block, or the parent halo slice.
       if (si > 0) {
-        dm.move_data(hal, *block.temp_in, sd * kF, halo_n(sd) * kF,
-                     ((r0 - 1) * d + c0) * kF);
+        dm.move_data(hal, *block.temp_in,
+                     {.size = sd * kF,
+                      .dst_offset = halo_n(sd) * kF,
+                      .src_offset = ((r0 - 1) * d + c0) * kF});
       } else {
-        dm.move_data(hal, *block.halo, sd * kF, halo_n(sd) * kF,
-                     (halo_n(d) + c0) * kF);
+        dm.move_data(hal, *block.halo,
+                     {.size = sd * kF,
+                      .dst_offset = halo_n(sd) * kF,
+                      .src_offset = (halo_n(d) + c0) * kF});
       }
       if (si + 1 < g) {
-        dm.move_data(hal, *block.temp_in, sd * kF, halo_s(sd) * kF,
-                     ((r0 + sd) * d + c0) * kF);
+        dm.move_data(hal, *block.temp_in,
+                     {.size = sd * kF,
+                      .dst_offset = halo_s(sd) * kF,
+                      .src_offset = ((r0 + sd) * d + c0) * kF});
       } else {
-        dm.move_data(hal, *block.halo, sd * kF, halo_s(sd) * kF,
-                     (halo_s(d) + c0) * kF);
+        dm.move_data(hal, *block.halo,
+                     {.size = sd * kF,
+                      .dst_offset = halo_s(sd) * kF,
+                      .src_offset = (halo_s(d) + c0) * kF});
       }
       // Halo columns: packed from the parent block (strided) or sliced
       // from the parent halo (already packed).
@@ -212,15 +220,19 @@ void hotspot_recurse(core::ExecContext& ctx, const StencilBlock& block,
         dm.move_block_2d(hal, *block.temp_in, sd, kF, halo_w(sd) * kF, kF,
                          (r0 * d + (c0 - 1)) * kF, d * kF);
       } else {
-        dm.move_data(hal, *block.halo, sd * kF, halo_w(sd) * kF,
-                     (halo_w(d) + r0) * kF);
+        dm.move_data(hal, *block.halo,
+                     {.size = sd * kF,
+                      .dst_offset = halo_w(sd) * kF,
+                      .src_offset = (halo_w(d) + r0) * kF});
       }
       if (sj + 1 < g) {
         dm.move_block_2d(hal, *block.temp_in, sd, kF, halo_e(sd) * kF, kF,
                          (r0 * d + (c0 + sd)) * kF, d * kF);
       } else {
-        dm.move_data(hal, *block.halo, sd * kF, halo_e(sd) * kF,
-                     (halo_e(d) + r0) * kF);
+        dm.move_data(hal, *block.halo,
+                     {.size = sd * kF,
+                      .dst_offset = halo_e(sd) * kF,
+                      .src_offset = (halo_e(d) + r0) * kF});
       }
 
       ctx.northup_spawn(child_node, [&](core::ExecContext& cctx) {
@@ -286,8 +298,11 @@ RunStats hotspot_inmemory(core::Runtime& rt, const HotspotConfig& config) {
   rt.run_from(home, [&](core::ExecContext& ctx) {
     for (std::uint64_t it = 0; it < config.iterations; ++it) {
       // Clamp halos: the grid's own edge rows/columns.
-      dm.move_data(hal, tin, n * kF, halo_n(n) * kF, 0);
-      dm.move_data(hal, tin, n * kF, halo_s(n) * kF, (n - 1) * n * kF);
+      dm.move_data(hal, tin, {.size = n * kF, .dst_offset = halo_n(n) * kF});
+      dm.move_data(hal, tin,
+                   {.size = n * kF,
+                    .dst_offset = halo_s(n) * kF,
+                    .src_offset = (n - 1) * n * kF});
       pack_column(dm, hal, halo_w(n), tin, n, 0);
       pack_column(dm, hal, halo_e(n), tin, n, n - 1);
 
@@ -401,16 +416,22 @@ RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
           data::Buffer pw = dm.alloc(blk_bytes, l1);
           data::Buffer hal = dm.alloc(halo_bytes, l1);
           data::Buffer tout = dm.alloc(blk_bytes, l1);
-          dm.move_data_down(tin, t_cur, blk_bytes, 0, block_off(bi, bj));
-          dm.move_data_down(pw, pw_blocks, blk_bytes, 0, block_off(bi, bj));
-          dm.move_data_down(hal, h_cur, halo_bytes, 0, halo_off(bi, bj));
+          dm.move_data_down(
+              tin, t_cur, {.size = blk_bytes, .src_offset = block_off(bi, bj)});
+          dm.move_data_down(
+              pw, pw_blocks,
+              {.size = blk_bytes, .src_offset = block_off(bi, bj)});
+          dm.move_data_down(
+              hal, h_cur, {.size = halo_bytes, .src_offset = halo_off(bi, bj)});
 
           ctx.northup_spawn(l1, [&](core::ExecContext& cctx) {
             StencilBlock blk{&tin, &pw, &hal, &tout, bd};
             hotspot_recurse(cctx, blk, config);
           });
 
-          dm.move_data_up(t_next, tout, blk_bytes, block_off(bi, bj), 0);
+          dm.move_data_up(
+              t_next, tout,
+              {.size = blk_bytes, .dst_offset = block_off(bi, bj)});
 
           // Publish this block's edges into the next-sweep halo slots
           // (clamped blocks feed their own slot at the grid boundary).
@@ -418,24 +439,29 @@ RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
           const std::uint64_t top_dst =
               bi > 0 ? halo_off(bi - 1, bj) + halo_s(bd) * kF
                      : halo_off(bi, bj) + halo_n(bd) * kF;
-          dm.move_data(h_next, tout, bd * kF, top_dst, 0);
+          dm.move_data(h_next, tout,
+                       {.size = bd * kF, .dst_offset = top_dst});
           const std::uint64_t bot_dst =
               bi + 1 < g ? halo_off(bi + 1, bj) + halo_n(bd) * kF
                          : halo_off(bi, bj) + halo_s(bd) * kF;
-          dm.move_data(h_next, tout, bd * kF, bot_dst,
-                       (bd - 1) * bd * kF);
+          dm.move_data(h_next, tout,
+                       {.size = bd * kF,
+                        .dst_offset = bot_dst,
+                        .src_offset = (bd - 1) * bd * kF});
 
           data::Buffer packed = dm.alloc(bd * kF, l1);
           pack_column(dm, packed, 0, tout, bd, 0);
           const std::uint64_t left_dst =
               bj > 0 ? halo_off(bi, bj - 1) + halo_e(bd) * kF
                      : halo_off(bi, bj) + halo_w(bd) * kF;
-          dm.move_data(h_next, packed, bd * kF, left_dst, 0);
+          dm.move_data(h_next, packed,
+                       {.size = bd * kF, .dst_offset = left_dst});
           pack_column(dm, packed, 0, tout, bd, bd - 1);
           const std::uint64_t right_dst =
               bj + 1 < g ? halo_off(bi, bj + 1) + halo_w(bd) * kF
                          : halo_off(bi, bj) + halo_e(bd) * kF;
-          dm.move_data(h_next, packed, bd * kF, right_dst, 0);
+          dm.move_data(h_next, packed,
+                       {.size = bd * kF, .dst_offset = right_dst});
           dm.release(packed);
 
           for (auto* b : {&tin, &pw, &hal, &tout}) dm.release(*b);

@@ -82,8 +82,12 @@ RunStats gemm_listing2(core::Runtime& rt, const GemmConfig& config) {
       for (std::uint64_t kk = 0; kk < g; ++kk) {
         data::Buffer ab = dm.alloc(blk_bytes, l1);
         data::Buffer bb = dm.alloc(blk_bytes, l1);
-        dm.move_data(ab, fa, blk_bytes, 0, (i * g + kk) * blk_bytes);
-        dm.move_data(bb, fb, blk_bytes, 0, (kk * g + j) * blk_bytes);
+        dm.move_data(
+            ab, fa,
+            {.size = blk_bytes, .src_offset = (i * g + kk) * blk_bytes});
+        dm.move_data(
+            bb, fb,
+            {.size = blk_bytes, .src_offset = (kk * g + j) * blk_bytes});
 
         // dLaunchComputation: the same tiled kernel, launched directly.
         rt.run_from(l1, [&](core::ExecContext& ctx) {
@@ -95,7 +99,9 @@ RunStats gemm_listing2(core::Runtime& rt, const GemmConfig& config) {
         dm.release(bb);
       }
       // file_write of the result chunk.
-      dm.move_data(fc, cb, blk_bytes, (i * g + j) * blk_bytes, 0);
+      dm.move_data(
+          fc, cb,
+          {.size = blk_bytes, .dst_offset = (i * g + j) * blk_bytes});
       dm.release(cb);
     }
   }

@@ -1,0 +1,42 @@
+#include "northup/core/observability.hpp"
+
+namespace northup::core {
+
+namespace {
+
+/// Tags come from free-form run labels ("ssd 1400/600"); keep them
+/// filename-safe.
+std::string sanitize_tag(const std::string& tag) {
+  std::string out;
+  out.reserve(tag.size());
+  for (char c : tag) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '-');
+  }
+  return out;
+}
+
+std::string with_tag(const std::string& path, const std::string& raw_tag) {
+  const std::string tag = sanitize_tag(raw_tag);
+  if (tag.empty()) return path;
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos || dot == 0 ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "." + tag;
+  }
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+}  // namespace
+
+void dump_observability(Runtime& rt, const util::Flags& flags,
+                        const std::string& tag) {
+  const std::string trace = flags.get("trace-out");
+  if (!trace.empty()) rt.write_chrome_trace(with_tag(trace, tag));
+  const std::string metrics = flags.get("metrics-out");
+  if (!metrics.empty()) rt.write_metrics_json(with_tag(metrics, tag));
+}
+
+}  // namespace northup::core

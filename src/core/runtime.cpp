@@ -14,9 +14,13 @@ constexpr const char* kRuntimePhase = "runtime";
 Runtime::Runtime(topo::TopoTree tree, RuntimeOptions options)
     : tree_(std::move(tree)), options_(std::move(options)) {
   tree_.validate();
+  spawn_counter_ = &metrics_.counter("runtime.spawns");
+  spawn_depth_gauge_ = &metrics_.gauge("runtime.max_spawn_depth");
   if (options_.enable_sim) sim_ = std::make_unique<sim::EventSim>();
   dm_ = std::make_unique<data::DataManager>(tree_, sim_.get());
+  dm_->attach_metrics(&metrics_);
   queues_ = std::make_unique<sched::NodeQueueSet>(tree_);
+  queues_->attach_metrics(metrics_);
   bind_all_storages();
   create_processors();
   // One default work queue per memory node (Listing 1's work_queue links).
@@ -102,6 +106,48 @@ void Runtime::run_from(topo::NodeId node,
 
 double Runtime::makespan() const { return sim_ ? sim_->makespan() : 0.0; }
 
+obs::TraceLayout Runtime::trace_layout() {
+  obs::TraceLayout layout;
+  for (topo::NodeId id = 0; id < tree_.node_count(); ++id) {
+    layout.process_names[id] = tree_.node(id).name;
+    if (sim_ && dm_->is_bound(id)) {
+      layout.tracks[dm_->resource_for(id)] = {id, 0};
+    }
+    std::uint32_t tid = 1;
+    for (auto* proc : processors_at(id)) {
+      if (sim_) layout.tracks[proc->resource()] = {id, tid};
+      ++tid;
+    }
+  }
+  return layout;
+}
+
+void Runtime::write_chrome_trace(const std::string& path) {
+  if (sim_) {
+    obs::TraceWriter(*sim_, trace_layout()).write_file(path);
+  } else {
+    const sim::EventSim empty;
+    obs::TraceWriter(empty, {}).write_file(path);
+  }
+}
+
+void Runtime::write_metrics_json(const std::string& path) {
+  metrics_.gauge("sim.makespan_seconds").set(makespan());
+  if (sim_) {
+    metrics_.gauge("sim.tasks").set(static_cast<double>(sim_->task_count()));
+    for (const auto& [phase, seconds] : sim_->phase_totals()) {
+      metrics_.gauge("phase." + phase + ".seconds").set(seconds);
+    }
+  }
+  metrics_.gauge("runtime.bookkeeping_wall_seconds")
+      .set(bookkeeping_wall_seconds());
+  if (leaf_pool_) {
+    metrics_.gauge("pool.steals")
+        .set(static_cast<double>(leaf_pool_->steal_count()));
+  }
+  metrics_.write_json(path);
+}
+
 topo::NodeId ExecContext::child(std::size_t index) const {
   const auto& kids = rt_.tree().get_children_list(node_);
   NU_CHECK(index < kids.size(), "child index out of range at node '" +
@@ -126,6 +172,9 @@ void ExecContext::northup_spawn(topo::NodeId child_node,
         rt_.spawn_count_,
         [&fn, child_ctx]() mutable { fn(child_ctx); }});
     ++rt_.spawn_count_;
+    rt_.spawn_counter_->increment();
+    rt_.spawn_depth_gauge_->record_max(
+        static_cast<double>(rt_.tree().get_level(child_node)));
     if (auto* es = rt_.event_sim()) {
       es->add_task("spawn->" + rt_.tree().node(child_node).name,
                    kRuntimePhase, rt_.dm().resource_for(child_node),

@@ -27,6 +27,7 @@ void DataManager::bind_storage(topo::NodeId node,
   NU_CHECK(storage != nullptr, "bind_storage: null backend");
   NU_CHECK(storage->kind() == tree_.fetch_node_type(node),
            "backend kind does not match the node's storage_type");
+  if (metrics_ != nullptr) storage->attach_metrics(*metrics_);
   storages_[node] = std::move(storage);
 }
 
@@ -39,6 +40,24 @@ mem::Storage& DataManager::storage(topo::NodeId node) {
   NU_CHECK(it != storages_.end(),
            "no storage bound for node '" + tree_.node(node).name + "'");
   return *it->second;
+}
+
+const mem::Storage& DataManager::storage(topo::NodeId node) const {
+  auto it = storages_.find(node);
+  NU_CHECK(it != storages_.end(),
+           "no storage bound for node '" + tree_.node(node).name + "'");
+  return *it->second;
+}
+
+void DataManager::attach_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) return;
+  for (auto& [node, storage] : storages_) storage->attach_metrics(*registry);
+}
+
+obs::Counter& DataManager::edge_counter(const std::string& src_name,
+                                        const std::string& dst_name) {
+  return metrics_->counter("bytes_moved." + src_name + "->" + dst_name);
 }
 
 sim::ResourceId DataManager::resource_for(topo::NodeId node) {
@@ -55,6 +74,7 @@ Buffer DataManager::alloc(std::uint64_t size, topo::NodeId tree_node) {
   Buffer buffer;
   buffer.node = tree_node;
   buffer.allocation = st.alloc(size);
+  if (metrics_ != nullptr) metrics_->counter("dm.allocs").increment();
   charge_setup(tree_node, setup_costs_.alloc_time(st.kind()),
                "alloc@" + tree_.node(tree_node).name, &buffer);
   return buffer;
@@ -63,6 +83,7 @@ Buffer DataManager::alloc(std::uint64_t size, topo::NodeId tree_node) {
 void DataManager::release(Buffer& buffer) {
   NU_CHECK(buffer.valid(), "release of invalid buffer");
   storage(buffer.node).release(buffer.allocation);
+  if (metrics_ != nullptr) metrics_->counter("dm.releases").increment();
   charge_setup(buffer.node, setup_costs_.release_s,
                "release@" + tree_.node(buffer.node).name, nullptr);
   buffer = Buffer{};
@@ -91,6 +112,15 @@ void DataManager::charge_move(Buffer& dst, const Buffer& src,
                               const std::string& label,
                               std::vector<sim::TaskId> extra_deps) {
   bytes_moved_ += bytes;
+  if (metrics_ != nullptr) {
+    edge_counter(tree_.node(src.node).name, tree_.node(dst.node).name)
+        .add(bytes);
+    metrics_->counter("dm.moves").increment();
+    // Every access beyond the first on either side is a fragment — the
+    // strided-I/O penalty of §V-B, worth watching per run.
+    metrics_->counter("dm.fragmented_accesses")
+        .add((src_accesses - 1) + (dst_accesses - 1));
+  }
   if (sim_ == nullptr) return;
 
   const auto sk = tree_.fetch_node_type(src.node);
@@ -152,35 +182,28 @@ void DataManager::charge_move(Buffer& dst, const Buffer& src,
   dst.ready = last;
 }
 
-void DataManager::move_data(Buffer& dst, const Buffer& src,
-                            std::uint64_t size, std::uint64_t dst_offset,
-                            std::uint64_t src_offset,
-                            std::vector<sim::TaskId> extra_deps) {
+void DataManager::move_data(Buffer& dst, const Buffer& src, CopySpec spec) {
   NU_CHECK(src.valid() && dst.valid(), "move_data with invalid buffer");
   NU_CHECK(&dst != &src, "move_data src and dst alias the same handle");
-  copy_bytes(dst, src, size, dst_offset, src_offset);
-  charge_move(dst, src, size, 1, 1,
+  copy_bytes(dst, src, spec.size, spec.dst_offset, spec.src_offset);
+  charge_move(dst, src, spec.size, 1, 1,
               "move " + tree_.node(src.node).name + "->" +
                   tree_.node(dst.node).name,
-              std::move(extra_deps));
+              std::move(spec.deps));
 }
 
 void DataManager::move_data_down(Buffer& dst, const Buffer& src,
-                                 std::uint64_t size, std::uint64_t dst_offset,
-                                 std::uint64_t src_offset,
-                                 std::vector<sim::TaskId> extra_deps) {
+                                 CopySpec spec) {
   NU_CHECK(tree_.get_parent(dst.node) == src.node,
            "move_data_down: destination is not on a child of the source");
-  move_data(dst, src, size, dst_offset, src_offset, std::move(extra_deps));
+  move_data(dst, src, std::move(spec));
 }
 
 void DataManager::move_data_up(Buffer& dst, const Buffer& src,
-                               std::uint64_t size, std::uint64_t dst_offset,
-                               std::uint64_t src_offset,
-                               std::vector<sim::TaskId> extra_deps) {
+                               CopySpec spec) {
   NU_CHECK(tree_.get_parent(src.node) == dst.node,
            "move_data_up: destination is not the source's parent");
-  move_data(dst, src, size, dst_offset, src_offset, std::move(extra_deps));
+  move_data(dst, src, std::move(spec));
 }
 
 void DataManager::move_block_2d(Buffer& dst, const Buffer& src,
@@ -241,6 +264,9 @@ void DataManager::write_from_host(Buffer& dst, const void* src,
         storage(dst.node).model().write_time(size), std::move(deps));
   }
   bytes_moved_ += size;
+  if (metrics_ != nullptr) {
+    edge_counter("host", tree_.node(dst.node).name).add(size);
+  }
 }
 
 void DataManager::read_to_host(void* dst, const Buffer& src,
@@ -257,6 +283,9 @@ void DataManager::read_to_host(void* dst, const Buffer& src,
                    storage(src.node).model().read_time(size), std::move(deps));
   }
   bytes_moved_ += size;
+  if (metrics_ != nullptr) {
+    edge_counter(tree_.node(src.node).name, "host").add(size);
+  }
 }
 
 std::byte* DataManager::host_view(const Buffer& buffer) {

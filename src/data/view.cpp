@@ -6,8 +6,10 @@ void move_submatrix(DataManager& dm, const MatView& dst, const MatView& src,
                     std::uint64_t rows, std::uint64_t row_bytes) {
   NU_CHECK(dst.buf != nullptr && src.buf != nullptr, "null view");
   if (dst.pitch == row_bytes && src.pitch == row_bytes) {
-    dm.move_data(*dst.buf, *src.buf, rows * row_bytes, dst.offset,
-                 src.offset);
+    dm.move_data(*dst.buf, *src.buf,
+                 {.size = rows * row_bytes,
+                  .dst_offset = dst.offset,
+                  .src_offset = src.offset});
   } else {
     dm.move_block_2d(*dst.buf, *src.buf, rows, row_bytes, dst.offset,
                      dst.pitch, src.offset, src.pitch);

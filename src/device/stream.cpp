@@ -15,7 +15,11 @@ std::vector<sim::TaskId> Stream::chain_deps(std::vector<sim::TaskId> extra) {
 void Stream::copy(data::Buffer& dst, const data::Buffer& src,
                   std::uint64_t size, std::uint64_t dst_offset,
                   std::uint64_t src_offset) {
-  dm_.move_data(dst, src, size, dst_offset, src_offset, chain_deps({}));
+  dm_.move_data(dst, src,
+                {.size = size,
+                 .dst_offset = dst_offset,
+                 .src_offset = src_offset,
+                 .deps = chain_deps({})});
   if (dst.ready != sim::kInvalidTask) last_ = dst.ready;
 }
 

@@ -33,6 +33,18 @@ Storage::Storage(std::string name, StorageKind kind, std::uint64_t capacity,
   NU_CHECK(capacity_ > 0, "storage capacity must be positive");
 }
 
+void Storage::attach_metrics(obs::MetricsRegistry& registry) {
+  const std::string prefix = "storage." + name_ + ".";
+  metrics_.bytes_read = &registry.counter(prefix + "bytes_read");
+  metrics_.bytes_written = &registry.counter(prefix + "bytes_written");
+  metrics_.reads = &registry.counter(prefix + "reads");
+  metrics_.writes = &registry.counter(prefix + "writes");
+  metrics_.allocs = &registry.counter(prefix + "allocs");
+  metrics_.releases = &registry.counter(prefix + "releases");
+  metrics_.peak_used = &registry.gauge(prefix + "peak_used_bytes");
+  metrics_.peak_used->record_max(static_cast<double>(stats_.peak_used));
+}
+
 Allocation Storage::alloc(std::uint64_t size) {
   NU_CHECK(size > 0, "zero-byte allocation on '" + name_ + "'");
   if (used_ + size > capacity_) {
@@ -44,6 +56,10 @@ Allocation Storage::alloc(std::uint64_t size) {
   used_ += size;
   ++stats_.num_allocs;
   stats_.peak_used = std::max(stats_.peak_used, used_);
+  if (metrics_.allocs != nullptr) {
+    metrics_.allocs->increment();
+    metrics_.peak_used->record_max(static_cast<double>(stats_.peak_used));
+  }
   return Allocation{handle, size, true};
 }
 
@@ -54,6 +70,7 @@ void Storage::release(Allocation& allocation) {
   NU_ASSERT(used_ >= allocation.size);
   used_ -= allocation.size;
   ++stats_.num_releases;
+  if (metrics_.releases != nullptr) metrics_.releases->increment();
   allocation = {};
 }
 
@@ -65,6 +82,10 @@ void Storage::read(void* dst, const Allocation& src, std::uint64_t offset,
   do_read(dst, src.handle, offset, size);
   stats_.bytes_read += size;
   ++stats_.num_reads;
+  if (metrics_.reads != nullptr) {
+    metrics_.reads->increment();
+    metrics_.bytes_read->add(size);
+  }
   if (trace_enabled_) trace_.push_back({false, size});
 }
 
@@ -76,6 +97,10 @@ void Storage::write(Allocation& dst, std::uint64_t offset, const void* src,
   do_write(dst.handle, offset, src, size);
   stats_.bytes_written += size;
   ++stats_.num_writes;
+  if (metrics_.writes != nullptr) {
+    metrics_.writes->increment();
+    metrics_.bytes_written->add(size);
+  }
   if (trace_enabled_) trace_.push_back({true, size});
 }
 

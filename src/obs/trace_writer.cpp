@@ -1,0 +1,173 @@
+#include "northup/obs/trace_writer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+/// One rendered trace event, sortable by timestamp. Metadata events keep
+/// rank 0 so they precede all timed events; ties between timed events
+/// break on emission order, keeping the output deterministic.
+struct Event {
+  double ts = 0.0;
+  int rank = 0;
+  std::size_t order = 0;
+  std::string json;
+};
+
+}  // namespace
+
+void TraceWriter::write(std::ostream& os) const {
+  // Resolve the fallback process for resources outside the layout.
+  std::uint32_t fallback_pid = 0;
+  for (const auto& [pid, name] : layout_.process_names) {
+    fallback_pid = std::max(fallback_pid, pid + 1);
+  }
+  bool fallback_used = false;
+  const auto track_of = [&](sim::ResourceId rid) {
+    auto it = layout_.tracks.find(rid);
+    if (it != layout_.tracks.end()) return it->second;
+    fallback_used = true;
+    return TraceLayout::Track{fallback_pid, rid};
+  };
+
+  std::vector<Event> events;
+  events.reserve(3 * sim_.task_count() + sim_.resource_count() +
+                 layout_.process_names.size());
+  std::size_t order = 0;
+  const auto push = [&](double ts, int rank, std::string json) {
+    events.push_back({ts, rank, order++, std::move(json)});
+  };
+
+  // Thread-name metadata: one per EventSim resource.
+  for (sim::ResourceId rid = 0; rid < sim_.resource_count(); ++rid) {
+    const auto track = track_of(rid);
+    std::ostringstream e;
+    e << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << track.pid
+      << ",\"tid\":" << track.tid << ",\"args\":{\"name\":\""
+      << json_escape(sim_.resource_name(rid)) << "\"}}";
+    push(0.0, 0, e.str());
+  }
+
+  // Complete ("X") events: one per task, and flow arrows per dependency.
+  std::uint64_t flow_id = 0;
+  for (sim::TaskId id = 0; id < sim_.task_count(); ++id) {
+    const auto& spec = sim_.task(id);
+    const auto timing = sim_.timing(id);
+    const auto track = track_of(spec.resource);
+    {
+      std::ostringstream e;
+      e << "{\"ph\":\"X\",\"name\":\"" << json_escape(spec.label)
+        << "\",\"cat\":\""
+        << json_escape(spec.phase.empty() ? "task" : spec.phase)
+        << "\",\"ts\":" << fmt_us(timing.start)
+        << ",\"dur\":" << fmt_us(timing.finish - timing.start)
+        << ",\"pid\":" << track.pid << ",\"tid\":" << track.tid
+        << ",\"args\":{\"task\":" << id << "}}";
+      push(timing.start, 1, e.str());
+    }
+    for (const sim::TaskId dep : spec.deps) {
+      const auto& dep_spec = sim_.task(dep);
+      const auto dep_timing = sim_.timing(dep);
+      const auto dep_track = track_of(dep_spec.resource);
+      ++flow_id;
+      std::ostringstream s;
+      s << "{\"ph\":\"s\",\"name\":\"dep\",\"cat\":\"dep\",\"id\":" << flow_id
+        << ",\"ts\":" << fmt_us(dep_timing.finish)
+        << ",\"pid\":" << dep_track.pid << ",\"tid\":" << dep_track.tid
+        << "}";
+      push(dep_timing.finish, 1, s.str());
+      std::ostringstream f;
+      f << "{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"dep\",\"cat\":\"dep\","
+        << "\"id\":" << flow_id << ",\"ts\":" << fmt_us(timing.start)
+        << ",\"pid\":" << track.pid << ",\"tid\":" << track.tid << "}";
+      push(timing.start, 1, f.str());
+    }
+  }
+
+  // Process-name metadata (prepended after the fact so the fallback
+  // process only appears when a resource actually landed in it).
+  std::vector<Event> meta;
+  for (const auto& [pid, name] : layout_.process_names) {
+    std::ostringstream e;
+    e << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+    meta.push_back({0.0, 0, 0, e.str()});
+  }
+  if (fallback_used) {
+    std::ostringstream e;
+    e << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << fallback_pid
+      << ",\"tid\":0,\"args\":{\"name\":\"sim\"}}";
+    meta.push_back({0.0, 0, 0, e.str()});
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.order < b.order;
+                   });
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : meta) {
+    os << (first ? "\n" : ",\n") << e.json;
+    first = false;
+  }
+  for (const auto& e : events) {
+    os << (first ? "\n" : ",\n") << e.json;
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+std::string TraceWriter::to_json() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void TraceWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  NU_CHECK(out.good(), "cannot open trace output file '" + path + "'");
+  write(out);
+  NU_CHECK(out.good(), "failed writing trace to '" + path + "'");
+}
+
+}  // namespace northup::obs

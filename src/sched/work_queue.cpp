@@ -6,6 +6,7 @@ void WorkQueue::push(QueueTask task) {
   std::lock_guard<std::mutex> lock(mutex_);
   tasks_.push_back(std::move(task));
   ++enqueued_total_;
+  if (push_counter_ != nullptr) push_counter_->increment();
 }
 
 bool WorkQueue::pop(QueueTask& out) {
@@ -13,6 +14,7 @@ bool WorkQueue::pop(QueueTask& out) {
   if (tasks_.empty()) return false;
   out = std::move(tasks_.front());
   tasks_.pop_front();
+  if (pop_counter_ != nullptr) pop_counter_->increment();
   return true;
 }
 
@@ -21,7 +23,14 @@ bool WorkQueue::pop_back(QueueTask& out) {
   if (tasks_.empty()) return false;
   out = std::move(tasks_.back());
   tasks_.pop_back();
+  if (pop_counter_ != nullptr) pop_counter_->increment();
   return true;
+}
+
+void WorkQueue::attach_metrics(obs::MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  push_counter_ = &registry.counter("queue." + name_ + ".pushes");
+  pop_counter_ = &registry.counter("queue." + name_ + ".pops");
 }
 
 std::size_t WorkQueue::size() const {
@@ -40,6 +49,14 @@ void NodeQueueSet::create_queues(topo::NodeId node, std::size_t count) {
   while (list.size() < count) {
     list.push_back(std::make_unique<WorkQueue>(
         tree_.node(node).name + "/q" + std::to_string(list.size())));
+    if (metrics_ != nullptr) list.back()->attach_metrics(*metrics_);
+  }
+}
+
+void NodeQueueSet::attach_metrics(obs::MetricsRegistry& registry) {
+  metrics_ = &registry;
+  for (auto& [node, list] : queues_) {
+    for (auto& queue : list) queue->attach_metrics(registry);
   }
 }
 

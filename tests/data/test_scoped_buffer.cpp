@@ -1,0 +1,158 @@
+// ScopedBuffer RAII semantics: release on scope exit (capacity restored),
+// move-only ownership transfer, detach, and idempotent reset — plus the
+// CopySpec overloads matching the deprecated positional move_data forms.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "northup/data/scoped_buffer.hpp"
+#include "northup/memsim/storage.hpp"
+#include "northup/topo/tree.hpp"
+
+namespace nd = northup::data;
+namespace nm = northup::mem;
+namespace ns = northup::sim;
+namespace nt = northup::topo;
+
+namespace {
+
+/// Two byte-addressable nodes (nvm root -> dram child): enough for
+/// alloc/release accounting and parent<->child moves without file I/O.
+class ScopedBufferTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kCap = 1 << 20;
+
+  ScopedBufferTest() {
+    root_ = tree_.add_root(
+        "nvm", {nm::StorageKind::Nvm, kCap, ns::ModelPresets::nvm(), 0});
+    dram_ = tree_.add_child(
+        root_, "dram",
+        {nm::StorageKind::Dram, kCap, ns::ModelPresets::dram(), 1});
+    tree_.validate();
+    dm_ = std::make_unique<nd::DataManager>(tree_, &sim_);
+    dm_->bind_storage(root_, std::make_unique<nm::HostStorage>(
+                                 "nvm", nm::StorageKind::Nvm, kCap,
+                                 ns::ModelPresets::nvm()));
+    dm_->bind_storage(dram_, std::make_unique<nm::HostStorage>(
+                                 "dram", nm::StorageKind::Dram, kCap,
+                                 ns::ModelPresets::dram()));
+  }
+
+  std::uint64_t available(nt::NodeId node) {
+    return dm_->storage(node).available();
+  }
+
+  nt::TopoTree tree_;
+  ns::EventSim sim_;
+  std::unique_ptr<nd::DataManager> dm_;
+  nt::NodeId root_ = 0, dram_ = 0;
+};
+
+}  // namespace
+
+TEST_F(ScopedBufferTest, ReleasesOnScopeExit) {
+  const auto before = available(dram_);
+  {
+    nd::ScopedBuffer buf(*dm_, 4096, dram_);
+    EXPECT_TRUE(buf.valid());
+    EXPECT_EQ(buf.size(), 4096u);
+    EXPECT_EQ(buf.node(), dram_);
+    EXPECT_LT(available(dram_), before);
+  }
+  EXPECT_EQ(available(dram_), before);
+}
+
+TEST_F(ScopedBufferTest, MoveTransfersOwnership) {
+  const auto before = available(dram_);
+  {
+    nd::ScopedBuffer a(*dm_, 4096, dram_);
+    nd::ScopedBuffer b(std::move(a));
+    EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): probing
+    EXPECT_TRUE(b.valid());
+    EXPECT_LT(available(dram_), before);
+
+    nd::ScopedBuffer c;
+    c = std::move(b);
+    EXPECT_FALSE(b.valid());  // NOLINT(bugprone-use-after-move): probing
+    EXPECT_TRUE(c.valid());
+    EXPECT_LT(available(dram_), before);  // still exactly one allocation
+  }
+  EXPECT_EQ(available(dram_), before);
+}
+
+TEST_F(ScopedBufferTest, MoveAssignReleasesThePreviousBuffer) {
+  const auto before = available(dram_);
+  nd::ScopedBuffer a(*dm_, 4096, dram_);
+  {
+    nd::ScopedBuffer b(*dm_, 8192, dram_);
+    a = std::move(b);  // a's original 4096 must release here
+  }
+  EXPECT_EQ(available(dram_), before - 8192);
+  a.reset();
+  EXPECT_EQ(available(dram_), before);
+  a.reset();  // idempotent
+  EXPECT_EQ(available(dram_), before);
+}
+
+TEST_F(ScopedBufferTest, DetachRelinquishesOwnership) {
+  const auto before = available(dram_);
+  nd::Buffer raw;
+  {
+    nd::ScopedBuffer buf(*dm_, 4096, dram_);
+    raw = buf.detach();
+    EXPECT_FALSE(buf.valid());
+  }
+  // Scope exit must NOT have released the detached allocation.
+  EXPECT_EQ(available(dram_), before - 4096);
+  dm_->release(raw);
+  EXPECT_EQ(available(dram_), before);
+}
+
+TEST_F(ScopedBufferTest, AdoptsARawHandle) {
+  const auto before = available(dram_);
+  nd::Buffer raw = dm_->alloc(4096, dram_);
+  {
+    nd::ScopedBuffer buf(*dm_, raw);
+    EXPECT_TRUE(buf.valid());
+  }
+  EXPECT_EQ(available(dram_), before);
+}
+
+TEST_F(ScopedBufferTest, TableICallsGoThroughDereference) {
+  nd::ScopedBuffer src(*dm_, 4096, root_);
+  nd::ScopedBuffer dst(*dm_, 4096, dram_);
+  std::vector<std::uint8_t> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  dm_->write_from_host(*src, data.data(), data.size());
+  dm_->move_data_down(*dst, *src, {.size = 4096});
+  std::vector<std::uint8_t> back(4096);
+  dm_->read_to_host(back.data(), *dst, back.size());
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(ScopedBufferTest, CopySpecMatchesDeprecatedPositionalForm) {
+  nd::ScopedBuffer src(*dm_, 8192, root_);
+  nd::ScopedBuffer via_spec(*dm_, 4096, dram_);
+  nd::ScopedBuffer via_shim(*dm_, 4096, dram_);
+  std::vector<std::uint8_t> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  dm_->write_from_host(*src, data.data(), data.size());
+
+  const auto before = dm_->bytes_moved();
+  dm_->move_data(*via_spec, *src, {.size = 2048, .src_offset = 1024});
+  const auto spec_delta = dm_->bytes_moved() - before;
+  dm_->move_data(*via_shim, *src, 2048, 0, 1024);  // positional shim
+  EXPECT_EQ(dm_->bytes_moved() - before, 2 * spec_delta);
+
+  std::vector<std::uint8_t> a(2048), b(2048);
+  dm_->read_to_host(a.data(), *via_spec, 2048);
+  dm_->read_to_host(b.data(), *via_shim, 2048);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::memcmp(a.data(), data.data() + 1024, 2048) == 0);
+}

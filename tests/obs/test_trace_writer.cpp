@@ -1,0 +1,360 @@
+// Chrome-trace schema validation: the export parses as JSON, metadata
+// precedes timed events, X events are time-sorted onto named (pid, tid)
+// tracks, and every dependency flow "s"/"f" pair resolves — both for a
+// hand-built EventSim and for a quickstart-shaped Runtime dump.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "northup/core/runtime.hpp"
+#include "northup/data/scoped_buffer.hpp"
+#include "northup/io/posix_file.hpp"
+#include "northup/obs/trace_writer.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace nc = northup::core;
+namespace nd = northup::data;
+namespace ni = northup::io;
+namespace no = northup::obs;
+namespace ns = northup::sim;
+namespace nt = northup::topo;
+
+namespace {
+
+/// Minimal JSON value/parser — just enough structure checking for the
+/// trace schema (objects, arrays, strings, numbers, bools, null).
+struct Json {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  bool has(const std::string& key) const {
+    return kind == Kind::Object && object.count(key) > 0;
+  }
+  const Json& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("json parse error at " + std::to_string(pos_) +
+                             ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Json v;
+        v.kind = Json::Kind::String;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': parse_literal("null"); return Json{};
+      default: return parse_number();
+    }
+  }
+
+  void parse_literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) fail("bad literal");
+    pos_ += lit.size();
+  }
+
+  Json parse_bool() {
+    Json v;
+    v.kind = Json::Kind::Bool;
+    if (peek() == 't') {
+      parse_literal("true");
+      v.boolean = true;
+    } else {
+      parse_literal("false");
+    }
+    return v;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    Json v;
+    v.kind = Json::Kind::Number;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': pos_ += 4; out.push_back('?'); break;
+          default: out.push_back(esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json v;
+    v.kind = Json::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json v;
+    v.kind = Json::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Asserts the trace-schema invariants shared by every export.
+/// Returns the number of "X" (complete) events.
+std::size_t validate_trace(const Json& root) {
+  EXPECT_TRUE(root.has("traceEvents"));
+  EXPECT_TRUE(root.has("displayTimeUnit"));
+  const auto& events = root.at("traceEvents").array;
+
+  bool seen_timed = false;
+  double last_ts = -1.0;
+  std::size_t x_events = 0;
+  std::set<double> pids_with_tasks;
+  std::map<double, std::string> process_names;
+  std::map<double, double> flow_starts;  // id -> ts
+  std::map<double, double> flow_ends;
+
+  for (const auto& ev : events) {
+    EXPECT_TRUE(ev.has("ph"));
+    const std::string ph = ev.at("ph").string;
+    if (ph == "M") {
+      // Metadata must precede every timed event.
+      EXPECT_FALSE(seen_timed) << "metadata event after a timed event";
+      if (ev.at("name").string == "process_name") {
+        process_names[ev.at("pid").number] =
+            ev.at("args").at("name").string;
+      }
+      continue;
+    }
+    seen_timed = true;
+    EXPECT_TRUE(ev.has("ts"));
+    EXPECT_GE(ev.at("ts").number, last_ts) << "events not sorted by ts";
+    last_ts = ev.at("ts").number;
+    if (ph == "X") {
+      ++x_events;
+      EXPECT_TRUE(ev.has("pid"));
+      EXPECT_TRUE(ev.has("tid"));
+      EXPECT_TRUE(ev.has("dur"));
+      EXPECT_TRUE(ev.has("name"));
+      EXPECT_GE(ev.at("dur").number, 0.0);
+      pids_with_tasks.insert(ev.at("pid").number);
+    } else if (ph == "s" || ph == "f") {
+      const double id = ev.at("id").number;
+      if (ph == "s") {
+        EXPECT_EQ(flow_starts.count(id), 0u) << "duplicate flow start";
+        flow_starts[id] = ev.at("ts").number;
+      } else {
+        EXPECT_EQ(flow_ends.count(id), 0u) << "duplicate flow end";
+        EXPECT_EQ(ev.at("bp").string, "e");
+        flow_ends[id] = ev.at("ts").number;
+      }
+    } else {
+      ADD_FAILURE() << "unexpected phase '" << ph << "'";
+    }
+  }
+
+  // Every flow id resolves to exactly one s/f pair, ordered in time.
+  EXPECT_EQ(flow_starts.size(), flow_ends.size());
+  for (const auto& [id, start_ts] : flow_starts) {
+    const auto it = flow_ends.find(id);
+    EXPECT_TRUE(it != flow_ends.end()) << "unresolved flow id " << id;
+    if (it != flow_ends.end()) {
+      EXPECT_LE(start_ts, it->second);
+    }
+  }
+  // Every pid that carries tasks is named.
+  for (double pid : pids_with_tasks) {
+    EXPECT_EQ(process_names.count(pid), 1u) << "unnamed pid " << pid;
+  }
+  return x_events;
+}
+
+Json parse_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return JsonParser(buf.str()).parse();
+}
+
+}  // namespace
+
+TEST(TraceWriter, HandBuiltGraphExportsValidSchema) {
+  ns::EventSim sim;
+  const auto io = sim.add_resource("ssd.io");
+  const auto gpu = sim.add_resource("gpu.cu");
+  const auto t0 = sim.add_task("read", "io", io, 1.0);
+  const auto t1 = sim.add_task("kernel", "gpu", gpu, 2.0, {t0});
+  sim.add_task("write", "io", io, 0.5, {t1});
+
+  no::TraceLayout layout;
+  layout.tracks[io] = {0, 0};
+  layout.process_names[0] = "ssd";
+  // gpu is deliberately unmapped: it must land in the synthetic process.
+
+  const std::string json = no::TraceWriter(sim, layout).to_json();
+  const Json root = JsonParser(json).parse();
+  EXPECT_EQ(validate_trace(root), 3u);  // one X event per task
+
+  // The fallback process exists and is named "sim".
+  bool has_sim_process = false;
+  for (const auto& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").string == "M" &&
+        ev.at("name").string == "process_name" &&
+        ev.at("args").at("name").string == "sim") {
+      has_sim_process = true;
+    }
+  }
+  EXPECT_TRUE(has_sim_process);
+}
+
+TEST(TraceWriter, EmptySimProducesParseableTrace) {
+  ns::EventSim sim;
+  const Json root = JsonParser(no::TraceWriter(sim, {}).to_json()).parse();
+  EXPECT_EQ(validate_trace(root), 0u);
+}
+
+TEST(TraceWriter, QuickstartRunDumpsValidChromeTrace) {
+  nt::PresetOptions opts;
+  opts.root_capacity = 1ULL << 20;
+  opts.staging_capacity = 64ULL << 10;
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd, opts));
+  auto& dm = rt.dm();
+  const auto root_node = rt.tree().root();
+  const auto dram = rt.tree().find("dram");
+
+  constexpr std::uint64_t kBytes = 32 << 10;
+  nd::ScopedBuffer in_root(dm, kBytes, root_node);
+  nd::ScopedBuffer out_root(dm, kBytes, root_node);
+  std::vector<float> host(kBytes / sizeof(float), 2.0f);
+  dm.write_from_host(*in_root, host.data(), kBytes);
+
+  rt.run([&](nc::ExecContext& ctx) {
+    const auto child = ctx.child(0);
+    constexpr std::uint64_t kChunk = 16 << 10;
+    for (std::uint64_t off = 0; off < kBytes; off += kChunk) {
+      nd::ScopedBuffer stage(dm, kChunk, child);
+      dm.move_data_down(*stage, *in_root, {.size = kChunk, .src_offset = off});
+      ctx.northup_spawn(child, [](nc::ExecContext&) {});
+      dm.move_data_up(*out_root, *stage, {.size = kChunk, .dst_offset = off});
+    }
+  });
+
+  ni::TempDir dir("trace-test");
+  const std::string path = dir.path() + "/trace.json";
+  rt.write_chrome_trace(path);
+
+  const Json root = parse_file(path);
+  const std::size_t x_events = validate_trace(root);
+  ASSERT_NE(rt.event_sim(), nullptr);
+  EXPECT_EQ(x_events, rt.event_sim()->task_count());
+
+  // Timed events stay within the virtual-makespan window (µs scale).
+  const double horizon_us = rt.makespan() * 1e6 + 1.0;
+  for (const auto& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").string != "X") continue;
+    EXPECT_LE(ev.at("ts").number + ev.at("dur").number, horizon_us);
+  }
+}
