@@ -1,0 +1,97 @@
+// Ablation for the northup::cache subsystem: the cross-call ShardCache
+// turns repeat downloads of unchanged parent regions (GEMM's A row strip,
+// HotSpot's power blocks across sweeps) into zero-transfer hits, and the
+// BufferPool sheds LRU entries when a node fills instead of failing the
+// allocation. Three settings per app: cache off, cache on, and cache on
+// under a constrained staging capacity (nonzero evictions, pool high
+// water pinned at or below the node capacity).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "northup/cache/cache_manager.hpp"
+
+namespace nb = northup::bench;
+namespace na = northup::algos;
+namespace nt = northup::topo;
+namespace nc = northup::core;
+namespace nm = northup::mem;
+namespace nu = northup::util;
+
+namespace {
+
+struct CacheStats {
+  std::uint64_t hits = 0, misses = 0, evictions = 0, high_water = 0;
+};
+
+CacheStats stats_at_l1(nc::Runtime& rt) {
+  CacheStats s;
+  const auto l1 = rt.tree().get_children_list(rt.tree().root())[0];
+  if (auto* cache = rt.shard_cache_at(l1)) {
+    s.hits = cache->hits();
+    s.misses = cache->misses();
+    s.evictions = cache->evictions();
+  }
+  if (auto* pool = rt.pool_at(l1)) s.high_water = pool->high_water();
+  return s;
+}
+
+void add_row(nu::TextTable& table, const char* app, const char* mode,
+             const na::RunStats& run, const CacheStats& cs) {
+  table.add_row({app, mode, nu::TextTable::num(run.makespan * 1e3, 1),
+                 nu::TextTable::num(
+                     static_cast<double>(run.bytes_moved) / (1 << 20), 1),
+                 std::to_string(cs.hits), std::to_string(cs.misses),
+                 std::to_string(cs.evictions),
+                 nu::TextTable::num(
+                     static_cast<double>(cs.high_water) / (1 << 20), 1)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
+  nb::print_header("Ablation: shard cache + buffer pool (northup::cache)");
+
+  nu::TextTable table;
+  table.set_header({"app", "cache", "makespan (ms)", "bytes moved (MiB)",
+                    "hits", "misses", "evictions", "pool high water (MiB)"});
+
+  // GEMM: the §IV-A row-strip reuse now rides the runtime cache; off
+  // means every (i, j, kk) product re-reads its A block from storage.
+  for (const char* mode : {"off", "on", "constrained"}) {
+    auto opts = nb::gemm_outofcore_options(nm::StorageKind::Ssd);
+    if (std::string(mode) == "constrained") {
+      opts.staging_capacity = 1ULL << 20;  // halves the level-1 block
+    }
+    nc::RuntimeOptions ropts;
+    ropts.enable_shard_cache = std::string(mode) != "off";
+    nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, opts), ropts);
+    const auto stats = na::gemm_northup(rt, nb::fig_gemm());
+    add_row(table, "gemm", mode, stats, stats_at_l1(rt));
+    nb::dump_observability(rt, flags, std::string("gemm-cache-") + mode);
+  }
+
+  // HotSpot: across sweeps the power blocks never change, so every
+  // re-download after the first sweep hits when the staging level can
+  // retain them.
+  for (const char* mode : {"off", "on"}) {
+    auto opts = nb::hotspot_outofcore_options(nm::StorageKind::Ssd);
+    opts.staging_capacity = 40ULL << 20;  // retains the working set
+    opts.device_capacity = 8ULL << 20;
+    nc::RuntimeOptions ropts;
+    ropts.enable_shard_cache = std::string(mode) != "off";
+    nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, opts), ropts);
+    auto cfg = nb::fig_hotspot();
+    cfg.iterations = 3;
+    const auto stats = na::hotspot_northup(rt, cfg);
+    add_row(table, "hotspot", mode, stats, stats_at_l1(rt));
+    nb::dump_observability(rt, flags, std::string("hotspot-cache-") + mode);
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected: cache on strictly lowers makespan (repeat downloads "
+      "become free hits); the constrained run keeps evicting yet never "
+      "exceeds the staging capacity\n");
+  return 0;
+}

@@ -80,7 +80,7 @@ static void BM_MoveDramToDram(benchmark::State& state) {
   auto a = rt.dm().alloc(bytes, dram);
   auto b = rt.dm().alloc(bytes, dram);
   for (auto _ : state) {
-    rt.dm().move_data(b, a, bytes);
+    rt.dm().move_data(b, a, {.size = bytes});
   }
   rt.dm().release(a);
   rt.dm().release(b);
@@ -97,7 +97,7 @@ static void BM_MoveFileToDram(benchmark::State& state) {
   auto src = rt.dm().alloc(bytes, rt.tree().root());
   auto dst = rt.dm().alloc(bytes, rt.tree().find("dram"));
   for (auto _ : state) {
-    rt.dm().move_data(dst, src, bytes);
+    rt.dm().move_data(dst, src, {.size = bytes});
   }
   rt.dm().release(src);
   rt.dm().release(dst);

@@ -56,6 +56,13 @@ int main(int argc, char** argv) {
   std::printf("  bytes moved: %s, recursive spawns: %llu\n",
               nu::format_bytes(ooc.bytes_moved).c_str(),
               static_cast<unsigned long long>(ooc.spawns));
+  std::printf("  shard cache: %llu hits, %llu misses, %llu evictions\n",
+              static_cast<unsigned long long>(
+                  rt.metrics().counter_sum("cache.hits.")),
+              static_cast<unsigned long long>(
+                  rt.metrics().counter_sum("cache.misses.")),
+              static_cast<unsigned long long>(
+                  rt.metrics().counter_sum("cache.evictions.")));
   std::printf("  verification: %s (max rel err %.2e)\n",
               ooc.verified ? "PASS" : "FAIL", ooc.max_rel_err);
   nc::dump_observability(rt, flags, "ooc");

@@ -50,6 +50,10 @@ struct SpmvConfig {
   /// paper's file reorganization); Northup re-bins every shard as it
   /// arrives, which is part of its runtime.
   bool count_binning = true;
+  /// How many times the full SpMV executes (an iterative solver re-applies
+  /// the same matrix). With a shard cache attached, repeat sweeps re-key
+  /// the identical row shards and turn their downloads into hits.
+  std::uint32_t repeats = 1;
 
   /// Materializes the configured input matrix.
   Csr make_matrix() const;

@@ -1,0 +1,64 @@
+// Per-tree-node capacity accounting over DataManager (northup::cache).
+//
+// A BufferPool watches one memory node: it tracks bytes in use and the
+// high-water mark against TopoNode::capacity, counts pinned (unevictable)
+// bytes, and frees space on demand by invoking an evictor installed by
+// the node's ShardCache. DataManager::alloc routes capacity pressure on
+// pool-managed nodes through make_room() before failing, so a full node
+// sheds LRU cached shards instead of throwing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "northup/data/data_manager.hpp"
+#include "northup/topo/tree.hpp"
+
+namespace northup::cache {
+
+class BufferPool {
+ public:
+  /// `dm` must outlive the pool. Registers the "pool.high_water.<node>"
+  /// gauge when the manager has metrics attached.
+  BufferPool(data::DataManager& dm, topo::NodeId node);
+
+  topo::NodeId node() const { return node_; }
+
+  /// Evictor callback: release one unpinned cached buffer (LRU first),
+  /// returning false when nothing is evictable. Installed by ShardCache.
+  void set_evictor(std::function<bool()> evict_one) {
+    evict_one_ = std::move(evict_one);
+  }
+
+  /// Frees storage until `bytes` more fit on the node, one eviction at a
+  /// time. Returns false if the evictor runs dry first.
+  bool make_room(std::uint64_t bytes);
+
+  /// Allocates through the DataManager (which itself re-enters make_room
+  /// under pressure) and refreshes the high-water gauge.
+  data::Buffer alloc(std::uint64_t size);
+  void release(data::Buffer& buffer);
+
+  /// Pinned bytes may not be evicted (a kernel holds a view of them).
+  void pin(std::uint64_t bytes);
+  void unpin(std::uint64_t bytes);
+
+  std::uint64_t bytes_in_use() const;
+  std::uint64_t capacity() const;
+  std::uint64_t pinned_bytes() const { return pinned_bytes_; }
+  std::uint64_t high_water() const { return high_water_; }
+
+  /// Folds the node's current usage into the high-water mark; called by
+  /// the cache manager after every allocation on this node.
+  void note_usage();
+
+ private:
+  data::DataManager& dm_;
+  topo::NodeId node_;
+  std::function<bool()> evict_one_;
+  std::uint64_t pinned_bytes_ = 0;
+  std::uint64_t high_water_ = 0;
+  obs::Gauge* high_water_gauge_ = nullptr;
+};
+
+}  // namespace northup::cache

@@ -1,0 +1,62 @@
+// The cache subsystem's face to the Runtime: one BufferPool per memory
+// node plus one ShardCache per non-root node (the root has no parent to
+// cache from), implementing data::CacheBackend so DataManager can route
+// capacity pressure, cached downloads, and coherence notifications here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "northup/cache/buffer_pool.hpp"
+#include "northup/cache/shard_cache.hpp"
+#include "northup/data/cache_backend.hpp"
+#include "northup/data/data_manager.hpp"
+
+namespace northup::cache {
+
+struct CacheOptions {
+  double hit_time_s = 0.0;  ///< modeled lookup cost per cache hit
+};
+
+class CacheManager final : public data::CacheBackend {
+ public:
+  using Options = CacheOptions;
+
+  /// Builds pools/caches for every node of `dm`'s tree and installs
+  /// itself as `dm`'s cache backend. `dm` must outlive the manager.
+  explicit CacheManager(data::DataManager& dm, Options options = {});
+  ~CacheManager() override;
+
+  CacheManager(const CacheManager&) = delete;
+  CacheManager& operator=(const CacheManager&) = delete;
+
+  BufferPool* pool(topo::NodeId node);
+  ShardCache* shard_cache(topo::NodeId node);
+
+  /// Writes back dirty entries and drops all unpinned entries, tree-wide.
+  void flush();
+
+  // --- data::CacheBackend ---
+  bool manages(topo::NodeId node) const override;
+  bool caches(topo::NodeId node) const override;
+  bool make_room(topo::NodeId node, std::uint64_t bytes) override;
+  std::uint64_t evictable_bytes(topo::NodeId node) const override;
+  data::Buffer* acquire(const data::Buffer& src, topo::NodeId child,
+                        std::uint64_t rows, std::uint64_t row_bytes,
+                        std::uint64_t src_offset,
+                        std::uint64_t src_pitch) override;
+  void release_shard(data::Buffer* shard, bool dirty) override;
+  void on_written(const data::Buffer& dst, std::uint64_t offset,
+                  std::uint64_t size) override;
+  void on_released(const data::Buffer& buffer) override;
+  void note_alloc(topo::NodeId node) override;
+
+ private:
+  data::DataManager& dm_;
+  Options options_;
+  std::map<topo::NodeId, std::unique_ptr<BufferPool>> pools_;
+  std::map<topo::NodeId, std::unique_ptr<ShardCache>> caches_;
+};
+
+}  // namespace northup::cache

@@ -1,0 +1,130 @@
+// Content-keyed cross-call shard cache for one memory node.
+//
+// A ShardCache remembers which parent regions are already resident at its
+// node. Downloads go through acquire(): a request whose (source buffer
+// id, offset, pitch, rows, row bytes) key matches a live entry is a hit —
+// no bytes move, the EventSim is charged a zero-duration "cache"-phase
+// task — while a miss allocates through the node's BufferPool (evicting
+// LRU entries under pressure) and performs the real transfer. Entries are
+// pinned while acquired, written back to their source region on eviction
+// when dirty, and invalidated when the source buffer is overwritten or
+// released (DataManager's CacheBackend notifications).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "northup/cache/buffer_pool.hpp"
+#include "northup/data/data_manager.hpp"
+
+namespace northup::cache {
+
+/// Normalized content key of one cached shard. Contiguous requests and
+/// 2-D requests whose pitch equals the row width collapse to rows == 1,
+/// so move_data_down_cached and an equivalent dense move_block_2d request
+/// share an entry.
+struct ShardKey {
+  std::uint64_t src_id = 0;
+  std::uint64_t src_offset = 0;
+  std::uint64_t src_pitch = 0;
+  std::uint64_t rows = 1;
+  std::uint64_t row_bytes = 0;
+
+  auto operator<=>(const ShardKey&) const = default;
+};
+
+class ShardCache {
+ public:
+  /// `hit_time_s` is the modeled per-hit lookup cost (default free).
+  ShardCache(data::DataManager& dm, BufferPool& pool, topo::NodeId node,
+             double hit_time_s = 0.0);
+  ~ShardCache();
+
+  ShardCache(const ShardCache&) = delete;
+  ShardCache& operator=(const ShardCache&) = delete;
+
+  topo::NodeId node() const { return node_; }
+
+  /// Cached download (see file comment). Returns a pinned cache-owned
+  /// buffer; every acquire must be balanced by a release.
+  data::Buffer* acquire(const data::Buffer& src, std::uint64_t rows,
+                        std::uint64_t row_bytes, std::uint64_t src_offset,
+                        std::uint64_t src_pitch);
+
+  /// Unpins a shard. `dirty` marks its bytes newer than the source's:
+  /// they are written back to the source region on eviction or flush.
+  void release(data::Buffer* shard, bool dirty);
+
+  /// True when `shard` points at a buffer owned by this cache.
+  bool owns(const data::Buffer* shard) const;
+
+  /// Evicts the least-recently-used unpinned entry (dirty -> writeback
+  /// first). Returns false when every entry is pinned or the cache is
+  /// empty. Wired into the BufferPool as its evictor.
+  bool evict_one();
+
+  /// Drops entries sourced from buffer `src_id` overlapping
+  /// [offset, offset + size) — their contents are stale. Pinned entries
+  /// become zombies: unreachable for future hits, freed on last release.
+  void invalidate_overlap(std::uint64_t src_id, std::uint64_t offset,
+                          std::uint64_t size);
+
+  /// Drops every entry sourced from `src_id` (source released; no
+  /// writeback possible).
+  void invalidate_source(std::uint64_t src_id);
+
+  /// Writes back dirty unpinned entries and drops all unpinned entries.
+  void flush();
+
+  std::uint64_t entry_count() const { return index_.size(); }
+  std::uint64_t cached_bytes() const;
+  /// Bytes held by unpinned (evictable) live entries.
+  std::uint64_t evictable_bytes() const;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    ShardKey key;
+    data::Buffer src;   ///< source handle snapshot (writeback target)
+    data::Buffer buf;   ///< dense rows * row_bytes shard at node_
+    std::uint64_t stamp = 0;
+    std::uint32_t pins = 0;
+    bool dirty = false;
+    bool live = true;   ///< false once invalidated while pinned (zombie)
+  };
+
+  static ShardKey normalize(const data::Buffer& src, std::uint64_t rows,
+                            std::uint64_t row_bytes, std::uint64_t src_offset,
+                            std::uint64_t src_pitch);
+
+  /// Zero-duration "cache"-phase EventSim task (hit/evict markers; the
+  /// TraceWriter renders them as instant events).
+  void charge_cache_task(const std::string& label, Entry& entry);
+
+  void write_back(Entry& entry);
+  /// Removes `entry` from the key index; destroys it unless pinned.
+  void drop(Entry* entry);
+  /// Releases the entry's buffer and erases it from the store.
+  void destroy(Entry* entry);
+
+  data::DataManager& dm_;
+  BufferPool& pool_;
+  topo::NodeId node_;
+  double hit_time_s_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  /// Entries own their storage here, keyed by the stable address of
+  /// Entry::buf (what acquire hands out); zombies live only here.
+  std::map<const data::Buffer*, std::unique_ptr<Entry>> store_;
+  /// Live entries by content key.
+  std::map<ShardKey, Entry*> index_;
+  obs::Counter* hit_counter_ = nullptr;
+  obs::Counter* miss_counter_ = nullptr;
+  obs::Counter* eviction_counter_ = nullptr;
+};
+
+}  // namespace northup::cache

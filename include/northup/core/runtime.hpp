@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "northup/cache/cache_manager.hpp"
 #include "northup/data/data_manager.hpp"
 #include "northup/device/processor.hpp"
 #include "northup/io/posix_file.hpp"
@@ -44,6 +45,13 @@ struct RuntimeOptions {
   /// pool with this many threads (functional parallelism on the host;
   /// virtual timing is unchanged). 0 = serial, deterministic default.
   std::size_t parallel_leaf_threads = 0;
+  /// Attach a cache::CacheManager: per-node BufferPools with LRU eviction
+  /// plus content-keyed ShardCaches behind move_data_down_cached. Off means
+  /// the cached download API is unavailable (has_shard_cache == false) and
+  /// allocations never evict.
+  bool enable_shard_cache = true;
+  /// Modeled cost of serving a shard-cache hit (0 = free lookup).
+  double cache_hit_time_s = 0.0;
 };
 
 /// Instantiated system: tree + storages + processors + queues + sim.
@@ -60,6 +68,21 @@ class Runtime {
   const data::DataManager& dm() const { return *dm_; }
   sim::EventSim* event_sim() { return sim_ ? sim_.get() : nullptr; }
   sched::NodeQueueSet& queues() { return *queues_; }
+
+  /// The capacity/caching layer, or nullptr when enable_shard_cache is
+  /// false. Algorithms normally stay on the DataManager cached-download
+  /// API; this accessor is for stats and explicit flushes.
+  cache::CacheManager* cache_manager() { return cache_.get(); }
+
+  /// Capacity-accounting pool of `node` (nullptr without a cache manager).
+  cache::BufferPool* pool_at(topo::NodeId node) {
+    return cache_ ? cache_->pool(node) : nullptr;
+  }
+
+  /// Shard cache of `node` (nullptr at the root or without a manager).
+  cache::ShardCache* shard_cache_at(topo::NodeId node) {
+    return cache_ ? cache_->shard_cache(node) : nullptr;
+  }
   const RuntimeOptions& options() const { return options_; }
 
   /// Always-on telemetry: every DataManager move/alloc, storage access,
@@ -125,6 +148,9 @@ class Runtime {
   obs::Gauge* spawn_depth_gauge_ = nullptr;
   std::unique_ptr<sim::EventSim> sim_;
   std::unique_ptr<data::DataManager> dm_;
+  /// Declared after dm_ so it detaches from the DataManager before the
+  /// DataManager itself goes away.
+  std::unique_ptr<cache::CacheManager> cache_;
   std::unique_ptr<sched::NodeQueueSet> queues_;
   std::unique_ptr<io::TempDir> temp_dir_;  ///< only when file_dir empty
   std::map<topo::NodeId, std::vector<std::unique_ptr<device::Processor>>>
@@ -166,13 +192,18 @@ class ExecContext {
 
   /// Free capacity of the current node — drives chunk sizing (§III-C:
   /// "The number of chunks depends on the current available capacity of
-  ///  level i+1 and size of the data structure").
-  std::uint64_t available_bytes() const {
-    return std::as_const(rt_).dm().storage(node_).available();
-  }
+  ///  level i+1 and size of the data structure"). Unpinned cache-resident
+  /// bytes count as free: the pool evicts them on demand, so a planner
+  /// that ignored them would shrink its chunks whenever the cache warmed.
+  std::uint64_t available_bytes() const { return available_bytes(node_); }
   std::uint64_t available_bytes(topo::NodeId node) const {
-    return std::as_const(rt_).dm().storage(node).available();
+    const data::DataManager& dm = std::as_const(rt_).dm();
+    return dm.storage(node).available() + dm.reclaimable_bytes(node);
   }
+
+  /// Capacity-accounting pool of the current node (nullptr when the
+  /// runtime was built with enable_shard_cache = false).
+  cache::BufferPool* pool() { return rt_.pool_at(node_); }
 
   /// Allocates on the current node.
   data::Buffer alloc_here(std::uint64_t size) {

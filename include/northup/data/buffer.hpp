@@ -27,6 +27,10 @@ struct Buffer {
   topo::NodeId node = topo::kInvalidNode;
   mem::Allocation allocation;
   sim::TaskId ready = sim::kInvalidTask;
+  /// Monotonic identity assigned by DataManager::alloc (0 = none). Content
+  /// caches key on it: the id survives the struct being copied or swapped,
+  /// and is never reused, so a released source can't alias a live entry.
+  std::uint64_t id = 0;
 
   bool valid() const { return allocation.valid; }
   std::uint64_t size() const { return allocation.size; }

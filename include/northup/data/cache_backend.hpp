@@ -1,0 +1,61 @@
+// Seam between the data layer and the cache subsystem (northup::cache).
+//
+// DataManager consults an installed CacheBackend on the paths where a
+// runtime-managed pool/cache changes behavior: capacity pressure on
+// alloc (make_room), the cached download path (acquire/release_shard),
+// and the write/release notifications that keep cached shards coherent
+// with their source buffers. The concrete implementation lives one layer
+// up (cache::CacheManager) so northup_data does not depend on it.
+#pragma once
+
+#include <cstdint>
+
+#include "northup/data/buffer.hpp"
+#include "northup/topo/tree.hpp"
+
+namespace northup::data {
+
+class CacheBackend {
+ public:
+  virtual ~CacheBackend() = default;
+
+  /// True when `node` has a BufferPool (capacity accounting + eviction).
+  virtual bool manages(topo::NodeId node) const = 0;
+
+  /// True when `node` has a ShardCache (cached download path).
+  virtual bool caches(topo::NodeId node) const = 0;
+
+  /// Frees space on `node` until `bytes` more fit, by evicting unpinned
+  /// cached shards (writing dirty ones back to the parent). Returns false
+  /// when nothing more can be evicted.
+  virtual bool make_room(topo::NodeId node, std::uint64_t bytes) = 0;
+
+  /// Bytes on `node` held by unpinned cache entries — reclaimable on
+  /// demand, so planners may treat them as available.
+  virtual std::uint64_t evictable_bytes(topo::NodeId node) const = 0;
+
+  /// Content-keyed download of `rows` runs of `row_bytes` from `src`
+  /// (starting at `src_offset`, source rows `src_pitch` apart) into a
+  /// shard resident at `child`. Returns a pinned buffer owned by the
+  /// cache; pass it back through release_shard.
+  virtual Buffer* acquire(const Buffer& src, topo::NodeId child,
+                          std::uint64_t rows, std::uint64_t row_bytes,
+                          std::uint64_t src_offset, std::uint64_t src_pitch) = 0;
+
+  /// Unpins a shard returned by acquire. `dirty` marks it for writeback
+  /// to the source region when it is evicted or flushed.
+  virtual void release_shard(Buffer* shard, bool dirty) = 0;
+
+  /// `dst`'s bytes [offset, offset + size) were overwritten: cached
+  /// shards sourced from that region are stale and must be dropped.
+  virtual void on_written(const Buffer& dst, std::uint64_t offset,
+                          std::uint64_t size) = 0;
+
+  /// `buffer` is being released: every shard cached from it must go.
+  virtual void on_released(const Buffer& buffer) = 0;
+
+  /// An allocation landed on `node` (pool high-water bookkeeping).
+  virtual void note_alloc(topo::NodeId node) = 0;
+};
+
+}  // namespace northup::data

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "northup/data/buffer.hpp"
+#include "northup/data/cache_backend.hpp"
 #include "northup/memsim/storage.hpp"
 #include "northup/obs/metrics.hpp"
 #include "northup/sim/event_sim.hpp"
@@ -72,6 +73,7 @@ inline constexpr const char* kIo = "io";          ///< file storage accesses
 inline constexpr const char* kTransfer = "transfer";  ///< DMA / memcpy between memories
 inline constexpr const char* kCpu = "cpu";
 inline constexpr const char* kGpu = "gpu";
+inline constexpr const char* kCache = "cache";  ///< shard-cache hits/evicts
 }  // namespace phase
 
 /// Binds the descriptive TopoTree to concrete Storage backends and
@@ -104,10 +106,54 @@ class DataManager {
   /// demand). Exposed so the device layer can serialize against it.
   sim::ResourceId resource_for(topo::NodeId node);
 
+  // --- Cache backend (northup::cache wiring). ---
+
+  /// Installs (or detaches, with nullptr) the pool/cache backend. The
+  /// backend must outlive every operation routed through it.
+  void set_cache_backend(CacheBackend* backend) { backend_ = backend; }
+  CacheBackend* cache_backend() { return backend_; }
+
+  /// True when `node` has a ShardCache behind move_data_down_cached.
+  bool has_shard_cache(topo::NodeId node) const {
+    return backend_ != nullptr && backend_->caches(node);
+  }
+
+  /// Bytes on `node` held by unpinned cache entries, reclaimable on
+  /// demand; planners add this to Storage::available() when sizing
+  /// chunks so resident cache contents never shrink a decomposition.
+  std::uint64_t reclaimable_bytes(topo::NodeId node) const {
+    return backend_ != nullptr ? backend_->evictable_bytes(node) : 0;
+  }
+
+  /// Content-keyed move_data_down: returns a cache-owned, pinned shard at
+  /// `child` holding src[src_offset, src_offset + size). A repeat request
+  /// for the same source region is a hit — no bytes move and the EventSim
+  /// is charged a zero-duration "cache"-phase task instead of a transfer.
+  /// Pass the shard back through release_cached. Requires has_shard_cache
+  /// and that `child` is a tree child of src's node.
+  Buffer* move_data_down_cached(const Buffer& src, topo::NodeId child,
+                                std::uint64_t size,
+                                std::uint64_t src_offset = 0);
+
+  /// 2-D variant: caches `rows` runs of `row_bytes` (source rows
+  /// `src_pitch` apart) as one dense shard at `child`.
+  Buffer* move_block_2d_down_cached(const Buffer& src, topo::NodeId child,
+                                    std::uint64_t rows,
+                                    std::uint64_t row_bytes,
+                                    std::uint64_t src_offset,
+                                    std::uint64_t src_pitch);
+
+  /// Unpins a shard obtained from a cached download. `dirty` requests
+  /// writeback of the shard to its source region on eviction/flush.
+  void release_cached(Buffer* shard, bool dirty = false);
+
   // --- Table I surface. ---
 
   /// Allocates `size` bytes on `tree_node`; charges the setup cost.
-  /// Throws util::CapacityError when the node is full.
+  /// When the node would exceed its capacity and a cache backend manages
+  /// it, unpinned cached shards are evicted to make room first; if the
+  /// request still does not fit, throws util::CapacityError naming the
+  /// node, the requested size, and the bytes remaining.
   Buffer alloc(std::uint64_t size, topo::NodeId tree_node);
 
   /// Releases the space and invalidates the handle.
@@ -128,6 +174,7 @@ class DataManager {
   // compatibility; four adjacent integers are too easy to transpose, so
   // new code should pass a CopySpec.
 
+  [[deprecated("pass a CopySpec instead of positional size/offsets")]]
   void move_data(Buffer& dst, const Buffer& src, std::uint64_t size,
                  std::uint64_t dst_offset = 0, std::uint64_t src_offset = 0,
                  std::vector<sim::TaskId> extra_deps = {}) {
@@ -135,6 +182,7 @@ class DataManager {
               CopySpec{size, dst_offset, src_offset, std::move(extra_deps)});
   }
 
+  [[deprecated("pass a CopySpec instead of positional size/offsets")]]
   void move_data_down(Buffer& dst, const Buffer& src, std::uint64_t size,
                       std::uint64_t dst_offset = 0,
                       std::uint64_t src_offset = 0,
@@ -144,6 +192,7 @@ class DataManager {
         CopySpec{size, dst_offset, src_offset, std::move(extra_deps)});
   }
 
+  [[deprecated("pass a CopySpec instead of positional size/offsets")]]
   void move_data_up(Buffer& dst, const Buffer& src, std::uint64_t size,
                     std::uint64_t dst_offset = 0,
                     std::uint64_t src_offset = 0,
@@ -215,6 +264,10 @@ class DataManager {
   void charge_setup(topo::NodeId node, double seconds,
                     const std::string& label, Buffer* buffer);
 
+  /// Backend coherence hook: dst[offset, offset+size) was overwritten.
+  void notify_written(const Buffer& dst, std::uint64_t offset,
+                      std::uint64_t size);
+
   /// Per-edge traffic counter; "host" stands in for host memory on
   /// write_from_host/read_to_host legs.
   obs::Counter& edge_counter(const std::string& src_name,
@@ -226,7 +279,9 @@ class DataManager {
   std::map<topo::NodeId, std::unique_ptr<mem::Storage>> storages_;
   std::map<topo::NodeId, sim::ResourceId> resources_;
   std::uint64_t bytes_moved_ = 0;
+  std::uint64_t next_buffer_id_ = 1;
   obs::MetricsRegistry* metrics_ = nullptr;
+  CacheBackend* backend_ = nullptr;
 };
 
 }  // namespace northup::data

@@ -87,8 +87,10 @@ class TypedBuffer {
     NU_CHECK(dst_elem_offset + elem_count <= count_ &&
                  src_elem_offset + elem_count <= src.count_,
              "typed copy out of range");
-    dm_->move_data(buffer_, src.buffer_, elem_count * sizeof(T),
-                   dst_elem_offset * sizeof(T), src_elem_offset * sizeof(T));
+    dm_->move_data(buffer_, src.buffer_,
+                   {.size = elem_count * sizeof(T),
+                    .dst_offset = dst_elem_offset * sizeof(T),
+                    .src_offset = src_elem_offset * sizeof(T)});
   }
 
   /// Host view (byte-addressable nodes only), element-typed.

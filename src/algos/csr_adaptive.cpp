@@ -214,39 +214,75 @@ void spmv_recurse(core::ExecContext& ctx, const SpmvShard& shard,
     const std::uint32_t rows_s = last - first;
     const std::uint32_t nnz_s = rp[last] - rp[first];
 
-    data::Buffer c_rp = dm.alloc((rows_s + 1) * kU, child_node);
-    dm.move_data_down(c_rp, *shard.row_ptr,
-                      {.size = (rows_s + 1) * kU, .src_offset = first * kU});
-    data::Buffer c_ci;
-    data::Buffer c_va;
-    if (nnz_s > 0) {
-      c_ci = dm.alloc(nnz_s * kU, child_node);
+    // The read-only CSR slices ride the shard cache when one is attached:
+    // an iterative solver re-descending the same rows (SpmvConfig::repeats)
+    // gets them as hits. The y slice is written, so it stays a plain
+    // per-shard allocation.
+    const bool cached = dm.has_shard_cache(child_node);
+    data::Buffer rp_local, ci_local, va_local;
+    data::Buffer* c_rp = nullptr;
+    data::Buffer* c_ci = nullptr;
+    data::Buffer* c_va = nullptr;
+    if (cached) {
+      c_rp = dm.move_data_down_cached(*shard.row_ptr, child_node,
+                                      (rows_s + 1) * kU, first * kU);
+    } else {
+      rp_local = dm.alloc((rows_s + 1) * kU, child_node);
+      dm.move_data_down(rp_local, *shard.row_ptr,
+                        {.size = (rows_s + 1) * kU, .src_offset = first * kU});
+      c_rp = &rp_local;
+    }
+    if (nnz_s > 0 && cached) {
+      c_ci = dm.move_data_down_cached(*shard.col_id, child_node, nnz_s * kU,
+                                      (rp[first] - shard.nnz_base) * kU);
+      c_va = dm.move_data_down_cached(*shard.data, child_node, nnz_s * kF,
+                                      (rp[first] - shard.nnz_base) * kF);
+    } else if (nnz_s > 0) {
+      ci_local = dm.alloc(nnz_s * kU, child_node);
       dm.move_data_down(
-          c_ci, *shard.col_id,
+          ci_local, *shard.col_id,
           {.size = nnz_s * kU,
            .src_offset = (rp[first] - shard.nnz_base) * kU});
-      c_va = dm.alloc(nnz_s * kF, child_node);
+      va_local = dm.alloc(nnz_s * kF, child_node);
       dm.move_data_down(
-          c_va, *shard.data,
+          va_local, *shard.data,
           {.size = nnz_s * kF,
            .src_offset = (rp[first] - shard.nnz_base) * kF});
+      c_ci = &ci_local;
+      c_va = &va_local;
     } else {
       // Degenerate empty shard: allocate 1-element placeholders so the
       // leaf still has valid buffers.
-      c_ci = dm.alloc(kU, child_node);
-      c_va = dm.alloc(kF, child_node);
+      ci_local = dm.alloc(kU, child_node);
+      va_local = dm.alloc(kF, child_node);
+      c_ci = &ci_local;
+      c_va = &va_local;
     }
     data::Buffer c_y = dm.alloc(std::max<std::uint64_t>(rows_s, 1) * kF,
                                 child_node);
 
     ctx.northup_spawn(child_node, [&](core::ExecContext& cctx) {
-      SpmvShard sub{&c_rp, &c_ci, &c_va, shard.x, &c_y, rows_s, rp[first]};
+      SpmvShard sub{c_rp, c_ci, c_va, shard.x, &c_y, rows_s, rp[first]};
       spmv_recurse(cctx, sub, config);
     });
 
     dm.move_data_up(*shard.y, c_y,
                     {.size = rows_s * kF, .dst_offset = first * kF});
-    for (auto* b : {&c_rp, &c_ci, &c_va, &c_y}) dm.release(*b);
+    if (cached) {
+      dm.release_cached(c_rp);
+      if (nnz_s > 0) {
+        dm.release_cached(c_ci);
+        dm.release_cached(c_va);
+      } else {
+        dm.release(ci_local);
+        dm.release(va_local);
+      }
+    } else {
+      for (auto* b : {&rp_local, &ci_local, &va_local}) {
+        if (b->valid()) dm.release(*b);
+      }
+    }
+    dm.release(c_y);
     first = last;
   }
 }
@@ -319,7 +355,10 @@ RunStats spmv_inmemory(core::Runtime& rt, const SpmvConfig& config_in) {
   rt.run_from(home, [&](core::ExecContext& ctx) {
     x_leaf = stage_x_to_leaf(rt, home, b_x, a.cols * kF);
     SpmvShard shard{&b_rp, &b_ci, &b_va, &x_leaf, &b_y, a.rows, 0};
-    spmv_recurse(ctx, shard, config);
+    for (std::uint32_t rep = 0;
+         rep < std::max<std::uint32_t>(1, config.repeats); ++rep) {
+      spmv_recurse(ctx, shard, config);
+    }
   });
   RunStats stats = collect(rt, wall.seconds());
 
@@ -361,7 +400,10 @@ RunStats spmv_northup(core::Runtime& rt, const SpmvConfig& config) {
   rt.run([&](core::ExecContext& ctx) {
     x_leaf = stage_x_to_leaf(rt, root, b_x, a.cols * kF);
     SpmvShard shard{&b_rp, &b_ci, &b_va, &x_leaf, &b_y, a.rows, 0};
-    spmv_recurse(ctx, shard, config);
+    for (std::uint32_t rep = 0;
+         rep < std::max<std::uint32_t>(1, config.repeats); ++rep) {
+      spmv_recurse(ctx, shard, config);
+    }
   });
   RunStats stats = collect(rt, wall.seconds());
 

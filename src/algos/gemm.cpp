@@ -139,19 +139,12 @@ void gemm_recurse(core::ExecContext& ctx, const MatView& a, const MatView& b,
                    v.pitch};
   };
 
-  // With shard reuse (§IV-A): the row strip of A stays resident at the
-  // child for the whole j loop; only B column blocks stream.
+  // With shard reuse (§IV-A) the row strip of A stays resident at the
+  // child for the whole j loop. The runtime ShardCache provides that:
+  // block (i,kk) misses once at j == 0 and hits for every later j, and
+  // the pool evicts the previous row's strip when capacity demands it.
+  const bool cached = config.shard_reuse && dm.has_shard_cache(child_node);
   for (std::uint64_t i = 0; i < g; ++i) {
-    std::vector<data::Buffer> a_strip;
-    if (config.shard_reuse) {
-      a_strip.reserve(g);
-      for (std::uint64_t kk = 0; kk < g; ++kk) {
-        data::Buffer ab = dm.alloc(blk * blk * kF, child_node);
-        move_submatrix(dm, MatView{&ab, 0, row_bytes}, src_block(a, i, kk),
-                       blk, row_bytes);
-        a_strip.push_back(std::move(ab));
-      }
-    }
     for (std::uint64_t j = 0; j < g; ++j) {
       data::Buffer cb = dm.alloc(blk * blk * kF, child_node);
       move_submatrix(dm, MatView{&cb, 0, row_bytes}, src_block(c, i, j), blk,
@@ -159,8 +152,10 @@ void gemm_recurse(core::ExecContext& ctx, const MatView& a, const MatView& b,
       for (std::uint64_t kk = 0; kk < g; ++kk) {
         data::Buffer ab_local;
         data::Buffer* ab = nullptr;
-        if (config.shard_reuse) {
-          ab = &a_strip[kk];
+        if (cached) {
+          const MatView sa = src_block(a, i, kk);
+          ab = dm.move_block_2d_down_cached(*sa.buf, child_node, blk,
+                                            row_bytes, sa.offset, sa.pitch);
         } else {
           ab_local = dm.alloc(blk * blk * kF, child_node);
           move_submatrix(dm, MatView{&ab_local, 0, row_bytes},
@@ -178,13 +173,16 @@ void gemm_recurse(core::ExecContext& ctx, const MatView& a, const MatView& b,
         });
 
         dm.release(bb);
-        if (!config.shard_reuse) dm.release(ab_local);
+        if (cached) {
+          dm.release_cached(ab);
+        } else {
+          dm.release(ab_local);
+        }
       }
       move_submatrix(dm, src_block(c, i, j), MatView{&cb, 0, row_bytes}, blk,
                      row_bytes);
       dm.release(cb);
     }
-    for (auto& ab : a_strip) dm.release(ab);
   }
 }
 
@@ -278,9 +276,10 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
 
   // Level-1 block size decides both the recursion grid and the
   // preprocessed block-major layout on the root storage (§V-B).
-  const std::uint64_t blk =
-      choose_gemm_block(n, config.leaf_tile, dm.storage(l1).available(),
-                        config.shard_reuse, config.capacity_safety);
+  const std::uint64_t blk = choose_gemm_block(
+      n, config.leaf_tile,
+      dm.storage(l1).available() + dm.reclaimable_bytes(l1),
+      config.shard_reuse, config.capacity_safety);
   const std::uint64_t g = n / blk;
   const std::uint64_t blk_bytes = blk * blk * kF;
   const std::uint64_t row_bytes = blk * kF;
@@ -326,28 +325,21 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
 
   util::Timer wall;
   rt.run([&](core::ExecContext& ctx) {
-    // Level-0 loop over C blocks with the §IV-A shard schedule: the row
-    // strip of A is loaded once per i and reused across all j.
+    // Level-0 loop over C blocks with the §IV-A shard schedule: block
+    // (i,kk) of A is downloaded through the runtime ShardCache, so it is
+    // fetched once per i (at j == 0) and served as a hit for every later
+    // j; the pool evicts the previous row's strip as capacity demands.
+    const bool cached = config.shard_reuse && dm.has_shard_cache(l1);
     for (std::uint64_t i = 0; i < g; ++i) {
-      std::vector<data::Buffer> a_strip;
-      if (config.shard_reuse) {
-        a_strip.reserve(g);
-        for (std::uint64_t kk = 0; kk < g; ++kk) {
-          data::Buffer ab = dm.alloc(blk_bytes, l1);
-          dm.move_data_down(
-              ab, a,
-              {.size = blk_bytes, .src_offset = (i * g + kk) * blk_bytes});
-          a_strip.push_back(std::move(ab));
-        }
-      }
       for (std::uint64_t j = 0; j < g; ++j) {
         data::Buffer cb = dm.alloc(blk_bytes, l1);
         dm.fill(cb, std::byte{0}, blk_bytes);
         for (std::uint64_t kk = 0; kk < g; ++kk) {
           data::Buffer ab_local;
           data::Buffer* ab = nullptr;
-          if (config.shard_reuse) {
-            ab = &a_strip[kk];
+          if (cached) {
+            ab = dm.move_data_down_cached(a, l1, blk_bytes,
+                                          (i * g + kk) * blk_bytes);
           } else {
             ab_local = dm.alloc(blk_bytes, l1);
             dm.move_data_down(
@@ -367,7 +359,11 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
           });
 
           dm.release(bb);
-          if (!config.shard_reuse) dm.release(ab_local);
+          if (cached) {
+            dm.release_cached(ab);
+          } else {
+            dm.release(ab_local);
+          }
         }
         // Result block back up to storage (Fig 3's data_up).
         data::Buffer& croot = *block_view(c, i, j).buf;
@@ -376,7 +372,6 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
             {.size = blk_bytes, .dst_offset = block_view(c, i, j).offset});
         dm.release(cb);
       }
-      for (auto& ab : a_strip) dm.release(ab);
     }
   });
   RunStats stats = collect_stats(rt, wall.seconds());

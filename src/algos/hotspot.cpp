@@ -79,17 +79,19 @@ void hotspot_leaf(core::ExecContext& ctx, const StencilBlock& block,
     float* lt = wg.local_array<float>((t + 2) * (t + 2), 0);
     auto block_at = [&](std::int64_t r, std::int64_t c) -> float {
       // Resolve a block-relative coordinate, falling into the packed halo
-      // vectors when one step outside the block.
-      if (r < 0) return hal[halo_n(d) + static_cast<std::uint64_t>(c)];
-      if (r >= static_cast<std::int64_t>(d)) {
-        return hal[halo_s(d) + static_cast<std::uint64_t>(c)];
-      }
-      if (c < 0) return hal[halo_w(d) + static_cast<std::uint64_t>(r)];
-      if (c >= static_cast<std::int64_t>(d)) {
-        return hal[halo_e(d) + static_cast<std::uint64_t>(r)];
-      }
-      return tin[static_cast<std::uint64_t>(r) * d +
-                 static_cast<std::uint64_t>(c)];
+      // vectors when one step outside the block. Corner probes (outside
+      // in both axes) fill halo-tile cells the 5-point stencil never
+      // reads, so clamp the in-vector index instead of running off the
+      // ends of the packed vectors.
+      const auto ci = static_cast<std::uint64_t>(
+          std::clamp<std::int64_t>(c, 0, static_cast<std::int64_t>(d) - 1));
+      const auto ri = static_cast<std::uint64_t>(
+          std::clamp<std::int64_t>(r, 0, static_cast<std::int64_t>(d) - 1));
+      if (r < 0) return hal[halo_n(d) + ci];
+      if (r >= static_cast<std::int64_t>(d)) return hal[halo_s(d) + ci];
+      if (c < 0) return hal[halo_w(d) + ri];
+      if (c >= static_cast<std::int64_t>(d)) return hal[halo_e(d) + ri];
+      return tin[ri * d + ci];
     };
     for (std::uint64_t r = 0; r < th + 2; ++r) {
       for (std::uint64_t c = 0; c < tw + 2; ++c) {
@@ -158,20 +160,42 @@ void hotspot_recurse(core::ExecContext& ctx, const StencilBlock& block,
       d, config.leaf_tile, ctx.available_bytes(child_node),
       config.capacity_safety);
   if (sd == d) {
-    // The whole block fits the child: move it down wholesale.
-    data::Buffer tin = dm.alloc(d * d * kF, child_node);
-    data::Buffer pw = dm.alloc(d * d * kF, child_node);
-    data::Buffer hal = dm.alloc(4 * d * kF, child_node);
+    // The whole block fits the child: move it down wholesale. The inputs
+    // go through the shard cache when one is attached — an unchanged
+    // power block or halo extent re-descending in a later sweep becomes
+    // a hit (writes upstream invalidate stale temperature entries).
+    const bool cached = dm.has_shard_cache(child_node);
+    data::Buffer tin_local, pw_local, hal_local;
+    data::Buffer* tin = nullptr;
+    data::Buffer* pw = nullptr;
+    data::Buffer* hal = nullptr;
+    if (cached) {
+      tin = dm.move_data_down_cached(*block.temp_in, child_node, d * d * kF);
+      pw = dm.move_data_down_cached(*block.power, child_node, d * d * kF);
+      hal = dm.move_data_down_cached(*block.halo, child_node, 4 * d * kF);
+    } else {
+      tin_local = dm.alloc(d * d * kF, child_node);
+      pw_local = dm.alloc(d * d * kF, child_node);
+      hal_local = dm.alloc(4 * d * kF, child_node);
+      dm.move_data_down(tin_local, *block.temp_in, {.size = d * d * kF});
+      dm.move_data_down(pw_local, *block.power, {.size = d * d * kF});
+      dm.move_data_down(hal_local, *block.halo, {.size = 4 * d * kF});
+      tin = &tin_local;
+      pw = &pw_local;
+      hal = &hal_local;
+    }
     data::Buffer tout = dm.alloc(d * d * kF, child_node);
-    dm.move_data_down(tin, *block.temp_in, {.size = d * d * kF});
-    dm.move_data_down(pw, *block.power, {.size = d * d * kF});
-    dm.move_data_down(hal, *block.halo, {.size = 4 * d * kF});
     ctx.northup_spawn(child_node, [&](core::ExecContext& cctx) {
-      StencilBlock sub{&tin, &pw, &hal, &tout, d};
+      StencilBlock sub{tin, pw, hal, &tout, d};
       hotspot_recurse(cctx, sub, config);
     });
     dm.move_data_up(*block.temp_out, tout, {.size = d * d * kF});
-    for (auto* b : {&tin, &pw, &hal, &tout}) dm.release(*b);
+    if (cached) {
+      for (auto* b : {tin, pw, hal}) dm.release_cached(b);
+    } else {
+      for (auto* b : {&tin_local, &pw_local, &hal_local}) dm.release(*b);
+    }
+    dm.release(tout);
     return;
   }
 
@@ -334,7 +358,8 @@ RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
   const topo::NodeId l1 = rt.tree().get_children_list(root)[0];
 
   const std::uint64_t bd = choose_hotspot_block(
-      n, config.leaf_tile, dm.storage(l1).available(),
+      n, config.leaf_tile,
+      dm.storage(l1).available() + dm.reclaimable_bytes(l1),
       config.capacity_safety);
   const std::uint64_t g = n / bd;
   const std::uint64_t blk_bytes = bd * bd * kF;
@@ -409,23 +434,47 @@ RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
 
   util::Timer wall;
   rt.run([&](core::ExecContext& ctx) {
+    // With a shard cache at l1, the static inputs hit from the second
+    // sweep on: power blocks never change, so every re-download after the
+    // first sweep is free. Temperature and halo blocks are re-keyed each
+    // sweep by the double-buffer swap, and writes through move_data_up /
+    // move_data invalidate the stale generation's entries.
+    const bool cached = dm.has_shard_cache(l1);
     for (std::uint64_t it = 0; it < config.iterations; ++it) {
       for (std::uint64_t bi = 0; bi < g; ++bi) {
         for (std::uint64_t bj = 0; bj < g; ++bj) {
-          data::Buffer tin = dm.alloc(blk_bytes, l1);
-          data::Buffer pw = dm.alloc(blk_bytes, l1);
-          data::Buffer hal = dm.alloc(halo_bytes, l1);
+          data::Buffer tin_local, pw_local, hal_local;
+          data::Buffer* tin = nullptr;
+          data::Buffer* pw = nullptr;
+          data::Buffer* hal = nullptr;
+          if (cached) {
+            tin = dm.move_data_down_cached(t_cur, l1, blk_bytes,
+                                           block_off(bi, bj));
+            pw = dm.move_data_down_cached(pw_blocks, l1, blk_bytes,
+                                          block_off(bi, bj));
+            hal = dm.move_data_down_cached(h_cur, l1, halo_bytes,
+                                           halo_off(bi, bj));
+          } else {
+            tin_local = dm.alloc(blk_bytes, l1);
+            pw_local = dm.alloc(blk_bytes, l1);
+            hal_local = dm.alloc(halo_bytes, l1);
+            dm.move_data_down(
+                tin_local, t_cur,
+                {.size = blk_bytes, .src_offset = block_off(bi, bj)});
+            dm.move_data_down(
+                pw_local, pw_blocks,
+                {.size = blk_bytes, .src_offset = block_off(bi, bj)});
+            dm.move_data_down(
+                hal_local, h_cur,
+                {.size = halo_bytes, .src_offset = halo_off(bi, bj)});
+            tin = &tin_local;
+            pw = &pw_local;
+            hal = &hal_local;
+          }
           data::Buffer tout = dm.alloc(blk_bytes, l1);
-          dm.move_data_down(
-              tin, t_cur, {.size = blk_bytes, .src_offset = block_off(bi, bj)});
-          dm.move_data_down(
-              pw, pw_blocks,
-              {.size = blk_bytes, .src_offset = block_off(bi, bj)});
-          dm.move_data_down(
-              hal, h_cur, {.size = halo_bytes, .src_offset = halo_off(bi, bj)});
 
           ctx.northup_spawn(l1, [&](core::ExecContext& cctx) {
-            StencilBlock blk{&tin, &pw, &hal, &tout, bd};
+            StencilBlock blk{tin, pw, hal, &tout, bd};
             hotspot_recurse(cctx, blk, config);
           });
 
@@ -464,7 +513,14 @@ RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
                        {.size = bd * kF, .dst_offset = right_dst});
           dm.release(packed);
 
-          for (auto* b : {&tin, &pw, &hal, &tout}) dm.release(*b);
+          if (cached) {
+            for (auto* b : {tin, pw, hal}) dm.release_cached(b);
+          } else {
+            for (auto* b : {&tin_local, &pw_local, &hal_local}) {
+              dm.release(*b);
+            }
+          }
+          dm.release(tout);
         }
       }
       std::swap(t_cur, t_next);

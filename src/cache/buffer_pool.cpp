@@ -1,0 +1,60 @@
+#include "northup/cache/buffer_pool.hpp"
+
+#include <utility>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::cache {
+
+BufferPool::BufferPool(data::DataManager& dm, topo::NodeId node)
+    : dm_(dm), node_(node) {
+  if (auto* reg = dm_.metrics()) {
+    high_water_gauge_ =
+        &reg->gauge("pool.high_water." + dm_.tree().node(node_).name);
+  }
+  note_usage();
+}
+
+bool BufferPool::make_room(std::uint64_t bytes) {
+  const mem::Storage& st = std::as_const(dm_).storage(node_);
+  while (st.available() < bytes) {
+    if (!evict_one_ || !evict_one_()) return false;
+  }
+  return true;
+}
+
+data::Buffer BufferPool::alloc(std::uint64_t size) {
+  data::Buffer buffer = dm_.alloc(size, node_);
+  note_usage();
+  return buffer;
+}
+
+void BufferPool::release(data::Buffer& buffer) {
+  NU_CHECK(buffer.node == node_, "pool release of a foreign buffer");
+  dm_.release(buffer);
+}
+
+void BufferPool::pin(std::uint64_t bytes) { pinned_bytes_ += bytes; }
+
+void BufferPool::unpin(std::uint64_t bytes) {
+  NU_CHECK(bytes <= pinned_bytes_, "pool unpin without matching pin");
+  pinned_bytes_ -= bytes;
+}
+
+std::uint64_t BufferPool::bytes_in_use() const {
+  return std::as_const(dm_).storage(node_).used();
+}
+
+std::uint64_t BufferPool::capacity() const {
+  return std::as_const(dm_).storage(node_).capacity();
+}
+
+void BufferPool::note_usage() {
+  const std::uint64_t used = bytes_in_use();
+  if (used > high_water_) high_water_ = used;
+  if (high_water_gauge_ != nullptr) {
+    high_water_gauge_->record_max(static_cast<double>(used));
+  }
+}
+
+}  // namespace northup::cache

@@ -1,0 +1,111 @@
+#include "northup/cache/cache_manager.hpp"
+
+#include "northup/util/assert.hpp"
+
+namespace northup::cache {
+
+CacheManager::CacheManager(data::DataManager& dm, Options options)
+    : dm_(dm), options_(options) {
+  const topo::TopoTree& tree = dm_.tree();
+  for (topo::NodeId id = 0; id < tree.node_count(); ++id) {
+    auto pool = std::make_unique<BufferPool>(dm_, id);
+    if (id != tree.root()) {
+      // The root has no parent to cache from; it still gets a pool for
+      // capacity accounting (its make_room has nothing to evict).
+      auto cache = std::make_unique<ShardCache>(dm_, *pool, id,
+                                                options_.hit_time_s);
+      pool->set_evictor([c = cache.get()] { return c->evict_one(); });
+      caches_[id] = std::move(cache);
+    }
+    pools_[id] = std::move(pool);
+  }
+  dm_.set_cache_backend(this);
+}
+
+CacheManager::~CacheManager() {
+  // Write back dirty unpinned entries while the object is fully alive,
+  // then detach: the remaining per-cache teardown (each ShardCache drops
+  // its own buffers in its destructor) must not notify a half-destroyed
+  // backend.
+  flush();
+  if (dm_.cache_backend() == this) dm_.set_cache_backend(nullptr);
+}
+
+BufferPool* CacheManager::pool(topo::NodeId node) {
+  auto it = pools_.find(node);
+  return it != pools_.end() ? it->second.get() : nullptr;
+}
+
+ShardCache* CacheManager::shard_cache(topo::NodeId node) {
+  auto it = caches_.find(node);
+  return it != caches_.end() ? it->second.get() : nullptr;
+}
+
+void CacheManager::flush() {
+  // Deepest caches first: a child's dirty writeback lands in its parent's
+  // buffer before that buffer is itself dropped.
+  for (auto it = caches_.rbegin(); it != caches_.rend(); ++it) {
+    it->second->flush();
+  }
+}
+
+bool CacheManager::manages(topo::NodeId node) const {
+  return pools_.count(node) != 0;
+}
+
+bool CacheManager::caches(topo::NodeId node) const {
+  return caches_.count(node) != 0;
+}
+
+bool CacheManager::make_room(topo::NodeId node, std::uint64_t bytes) {
+  auto it = pools_.find(node);
+  return it != pools_.end() && it->second->make_room(bytes);
+}
+
+std::uint64_t CacheManager::evictable_bytes(topo::NodeId node) const {
+  auto it = caches_.find(node);
+  return it != caches_.end() ? it->second->evictable_bytes() : 0;
+}
+
+data::Buffer* CacheManager::acquire(const data::Buffer& src,
+                                    topo::NodeId child, std::uint64_t rows,
+                                    std::uint64_t row_bytes,
+                                    std::uint64_t src_offset,
+                                    std::uint64_t src_pitch) {
+  auto it = caches_.find(child);
+  NU_CHECK(it != caches_.end(), "no shard cache at the requested node");
+  return it->second->acquire(src, rows, row_bytes, src_offset, src_pitch);
+}
+
+void CacheManager::release_shard(data::Buffer* shard, bool dirty) {
+  NU_CHECK(shard != nullptr && shard->valid(),
+           "release of a null or invalid cached shard");
+  auto it = caches_.find(shard->node);
+  NU_CHECK(it != caches_.end() && it->second->owns(shard),
+           "released shard is not owned by any cache");
+  it->second->release(shard, dirty);
+}
+
+void CacheManager::on_written(const data::Buffer& dst, std::uint64_t offset,
+                              std::uint64_t size) {
+  // Only caches on dst's children can hold shards sourced from it.
+  for (const topo::NodeId child : dm_.tree().get_children_list(dst.node)) {
+    if (auto* cache = shard_cache(child)) {
+      cache->invalidate_overlap(dst.id, offset, size);
+    }
+  }
+}
+
+void CacheManager::on_released(const data::Buffer& buffer) {
+  for (const topo::NodeId child : dm_.tree().get_children_list(buffer.node)) {
+    if (auto* cache = shard_cache(child)) {
+      cache->invalidate_source(buffer.id);
+    }
+  }
+}
+
+void CacheManager::note_alloc(topo::NodeId node) {
+  if (auto* p = pool(node)) p->note_usage();
+}
+
+}  // namespace northup::cache

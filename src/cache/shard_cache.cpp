@@ -1,0 +1,228 @@
+#include "northup/cache/shard_cache.hpp"
+
+#include <string>
+#include <vector>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::cache {
+
+ShardCache::ShardCache(data::DataManager& dm, BufferPool& pool,
+                       topo::NodeId node, double hit_time_s)
+    : dm_(dm), pool_(pool), node_(node), hit_time_s_(hit_time_s) {
+  NU_CHECK(pool.node() == node, "shard cache and pool disagree on the node");
+  if (auto* reg = dm_.metrics()) {
+    const std::string& name = dm_.tree().node(node_).name;
+    hit_counter_ = &reg->counter("cache.hits." + name);
+    miss_counter_ = &reg->counter("cache.misses." + name);
+    eviction_counter_ = &reg->counter("cache.evictions." + name);
+  }
+}
+
+ShardCache::~ShardCache() {
+  // Teardown: drop everything, pinned or not, without writeback — the
+  // owner flushes first when it wants dirty data persisted.
+  while (!store_.empty()) {
+    Entry* e = store_.begin()->second.get();
+    if (e->pins > 0) {
+      pool_.unpin(e->buf.size());
+      e->pins = 0;
+    }
+    if (e->live) index_.erase(e->key);
+    e->live = false;
+    destroy(e);
+  }
+}
+
+ShardKey ShardCache::normalize(const data::Buffer& src, std::uint64_t rows,
+                               std::uint64_t row_bytes,
+                               std::uint64_t src_offset,
+                               std::uint64_t src_pitch) {
+  if (rows <= 1 || src_pitch == row_bytes) {
+    // Dense region: a 2-D request with touching rows is the same bytes as
+    // a contiguous one, so both forms share a key.
+    return ShardKey{src.id, src_offset, rows * row_bytes, 1, rows * row_bytes};
+  }
+  return ShardKey{src.id, src_offset, src_pitch, rows, row_bytes};
+}
+
+void ShardCache::charge_cache_task(const std::string& label, Entry& entry) {
+  auto* sim = dm_.event_sim();
+  if (sim == nullptr) return;
+  std::vector<sim::TaskId> deps;
+  if (entry.buf.ready != sim::kInvalidTask) deps.push_back(entry.buf.ready);
+  entry.buf.ready =
+      sim->add_task(label, data::phase::kCache, dm_.resource_for(node_),
+                    hit_time_s_, std::move(deps));
+}
+
+data::Buffer* ShardCache::acquire(const data::Buffer& src, std::uint64_t rows,
+                                  std::uint64_t row_bytes,
+                                  std::uint64_t src_offset,
+                                  std::uint64_t src_pitch) {
+  NU_CHECK(src.valid() && src.id != 0,
+           "cached download from an invalid or unidentified buffer");
+  NU_CHECK(rows > 0 && row_bytes > 0, "cached download of zero bytes");
+  const ShardKey key = normalize(src, rows, row_bytes, src_offset, src_pitch);
+  ++clock_;
+
+  if (auto it = index_.find(key); it != index_.end()) {
+    Entry& e = *it->second;
+    e.stamp = clock_;
+    if (e.pins++ == 0) pool_.pin(e.buf.size());
+    ++hits_;
+    if (hit_counter_ != nullptr) hit_counter_->increment();
+    charge_cache_task("cache hit " + dm_.tree().node(src.node).name + "->" +
+                          dm_.tree().node(node_).name,
+                      e);
+    return &e.buf;
+  }
+
+  // Miss: real download into a fresh pool allocation (which may evict LRU
+  // entries of this very cache to make room).
+  auto entry = std::make_unique<Entry>();
+  entry->key = key;
+  entry->src = src;
+  entry->stamp = clock_;
+  entry->pins = 1;
+  entry->buf = pool_.alloc(key.rows * key.row_bytes);
+  if (key.rows == 1) {
+    dm_.move_data_down(entry->buf, src,
+                       {.size = key.row_bytes, .src_offset = key.src_offset});
+  } else {
+    dm_.move_block_2d(entry->buf, src, key.rows, key.row_bytes, 0,
+                      key.row_bytes, key.src_offset, key.src_pitch);
+  }
+  pool_.pin(entry->buf.size());
+  ++misses_;
+  if (miss_counter_ != nullptr) miss_counter_->increment();
+
+  Entry* raw = entry.get();
+  index_[key] = raw;
+  store_[&raw->buf] = std::move(entry);
+  return &raw->buf;
+}
+
+void ShardCache::release(data::Buffer* shard, bool dirty) {
+  auto it = store_.find(shard);
+  NU_CHECK(it != store_.end(), "release of a buffer this cache does not own");
+  Entry& e = *it->second;
+  NU_CHECK(e.pins > 0, "cache release without a matching acquire");
+  if (dirty) e.dirty = true;
+  if (--e.pins == 0) {
+    pool_.unpin(e.buf.size());
+    // A zombie (invalidated while pinned) frees on its last release; its
+    // dirty bytes are discarded — the source was overwritten or is gone.
+    if (!e.live) destroy(&e);
+  }
+}
+
+bool ShardCache::owns(const data::Buffer* shard) const {
+  return store_.count(shard) != 0;
+}
+
+bool ShardCache::evict_one() {
+  Entry* victim = nullptr;
+  for (auto& [key, e] : index_) {
+    if (e->pins == 0 && (victim == nullptr || e->stamp < victim->stamp)) {
+      victim = e;
+    }
+  }
+  if (victim == nullptr) return false;
+  index_.erase(victim->key);
+  victim->live = false;
+  if (victim->dirty) write_back(*victim);
+  ++evictions_;
+  if (eviction_counter_ != nullptr) eviction_counter_->increment();
+  charge_cache_task("cache evict@" + dm_.tree().node(node_).name, *victim);
+  destroy(victim);
+  return true;
+}
+
+void ShardCache::write_back(Entry& entry) {
+  // The snapshot handle still names a live allocation: entries sourced
+  // from a released buffer are dropped by invalidate_source before this
+  // could run.
+  data::Buffer parent = entry.src;
+  if (entry.key.rows == 1) {
+    dm_.move_data_up(parent, entry.buf,
+                     {.size = entry.key.row_bytes,
+                      .dst_offset = entry.key.src_offset});
+  } else {
+    dm_.move_block_2d(parent, entry.buf, entry.key.rows, entry.key.row_bytes,
+                      entry.key.src_offset, entry.key.src_pitch, 0,
+                      entry.key.row_bytes);
+  }
+  entry.dirty = false;
+}
+
+void ShardCache::invalidate_overlap(std::uint64_t src_id, std::uint64_t offset,
+                                    std::uint64_t size) {
+  if (size == 0) return;
+  std::vector<Entry*> victims;
+  for (auto& [key, e] : index_) {
+    if (key.src_id != src_id) continue;
+    const std::uint64_t lo = key.src_offset;
+    const std::uint64_t hi =
+        key.src_offset + (key.rows - 1) * key.src_pitch + key.row_bytes;
+    if (lo < offset + size && offset < hi) victims.push_back(e);
+  }
+  for (Entry* e : victims) drop(e);
+}
+
+void ShardCache::invalidate_source(std::uint64_t src_id) {
+  std::vector<Entry*> victims;
+  for (auto& [key, e] : index_) {
+    if (key.src_id == src_id) victims.push_back(e);
+  }
+  for (Entry* e : victims) drop(e);
+}
+
+void ShardCache::flush() {
+  // Fresh scan per round: a dirty writeback can invalidate siblings.
+  for (;;) {
+    Entry* next = nullptr;
+    for (auto& [key, e] : index_) {
+      if (e->pins == 0) {
+        next = e;
+        break;
+      }
+    }
+    if (next == nullptr) return;
+    index_.erase(next->key);
+    next->live = false;
+    if (next->dirty) write_back(*next);
+    destroy(next);
+  }
+}
+
+std::uint64_t ShardCache::cached_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, e] : index_) total += e->buf.size();
+  return total;
+}
+
+std::uint64_t ShardCache::evictable_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, e] : index_) {
+    if (e->pins == 0) total += e->buf.size();
+  }
+  return total;
+}
+
+void ShardCache::drop(Entry* entry) {
+  if (entry->live) index_.erase(entry->key);
+  entry->live = false;
+  // Pinned entries stay as zombies until the last release; their stale
+  // bytes remain readable through the already-handed-out pointer.
+  if (entry->pins == 0) destroy(entry);
+}
+
+void ShardCache::destroy(Entry* entry) {
+  NU_CHECK(entry->pins == 0, "destroying a pinned cache entry");
+  const data::Buffer* handle = &entry->buf;
+  if (entry->buf.valid()) pool_.release(entry->buf);
+  store_.erase(handle);
+}
+
+}  // namespace northup::cache

@@ -22,6 +22,10 @@ Runtime::Runtime(topo::TopoTree tree, RuntimeOptions options)
   queues_ = std::make_unique<sched::NodeQueueSet>(tree_);
   queues_->attach_metrics(metrics_);
   bind_all_storages();
+  if (options_.enable_shard_cache) {
+    cache_ = std::make_unique<cache::CacheManager>(
+        *dm_, cache::CacheManager::Options{options_.cache_hit_time_s});
+  }
   create_processors();
   // One default work queue per memory node (Listing 1's work_queue links).
   for (topo::NodeId id = 0; id < tree_.node_count(); ++id) {

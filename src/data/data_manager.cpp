@@ -71,10 +71,25 @@ sim::ResourceId DataManager::resource_for(topo::NodeId node) {
 
 Buffer DataManager::alloc(std::uint64_t size, topo::NodeId tree_node) {
   mem::Storage& st = storage(tree_node);
+  if (st.available() < size && backend_ != nullptr &&
+      backend_->manages(tree_node)) {
+    // Pool-managed node under pressure: evict unpinned cached shards
+    // (writing dirty ones back to the parent) until the request fits.
+    backend_->make_room(tree_node, size);
+  }
+  if (st.available() < size) {
+    throw util::CapacityError(
+        "alloc of " + std::to_string(size) + " B on node '" +
+        tree_.node(tree_node).name + "' exceeds its capacity: " +
+        std::to_string(st.used()) + " of " + std::to_string(st.capacity()) +
+        " B in use, " + std::to_string(st.available()) + " B remaining");
+  }
   Buffer buffer;
   buffer.node = tree_node;
+  buffer.id = next_buffer_id_++;
   buffer.allocation = st.alloc(size);
   if (metrics_ != nullptr) metrics_->counter("dm.allocs").increment();
+  if (backend_ != nullptr) backend_->note_alloc(tree_node);
   charge_setup(tree_node, setup_costs_.alloc_time(st.kind()),
                "alloc@" + tree_.node(tree_node).name, &buffer);
   return buffer;
@@ -82,11 +97,43 @@ Buffer DataManager::alloc(std::uint64_t size, topo::NodeId tree_node) {
 
 void DataManager::release(Buffer& buffer) {
   NU_CHECK(buffer.valid(), "release of invalid buffer");
+  if (backend_ != nullptr && buffer.id != 0) backend_->on_released(buffer);
   storage(buffer.node).release(buffer.allocation);
   if (metrics_ != nullptr) metrics_->counter("dm.releases").increment();
   charge_setup(buffer.node, setup_costs_.release_s,
                "release@" + tree_.node(buffer.node).name, nullptr);
   buffer = Buffer{};
+}
+
+void DataManager::notify_written(const Buffer& dst, std::uint64_t offset,
+                                 std::uint64_t size) {
+  if (backend_ != nullptr && dst.id != 0) backend_->on_written(dst, offset, size);
+}
+
+Buffer* DataManager::move_data_down_cached(const Buffer& src,
+                                           topo::NodeId child,
+                                           std::uint64_t size,
+                                           std::uint64_t src_offset) {
+  return move_block_2d_down_cached(src, child, 1, size, src_offset, size);
+}
+
+Buffer* DataManager::move_block_2d_down_cached(const Buffer& src,
+                                               topo::NodeId child,
+                                               std::uint64_t rows,
+                                               std::uint64_t row_bytes,
+                                               std::uint64_t src_offset,
+                                               std::uint64_t src_pitch) {
+  NU_CHECK(src.valid(), "cached download from invalid buffer");
+  NU_CHECK(has_shard_cache(child), "no shard cache at node '" +
+                                       tree_.node(child).name + "'");
+  NU_CHECK(tree_.get_parent(child) == src.node,
+           "cached download target is not a child of the source's node");
+  return backend_->acquire(src, child, rows, row_bytes, src_offset, src_pitch);
+}
+
+void DataManager::release_cached(Buffer* shard, bool dirty) {
+  NU_CHECK(backend_ != nullptr, "release_cached without a cache backend");
+  backend_->release_shard(shard, dirty);
 }
 
 void DataManager::charge_setup(topo::NodeId node, double seconds,
@@ -190,6 +237,7 @@ void DataManager::move_data(Buffer& dst, const Buffer& src, CopySpec spec) {
               "move " + tree_.node(src.node).name + "->" +
                   tree_.node(dst.node).name,
               std::move(spec.deps));
+  notify_written(dst, spec.dst_offset, spec.size);
 }
 
 void DataManager::move_data_down(Buffer& dst, const Buffer& src,
@@ -232,6 +280,8 @@ void DataManager::move_block_2d(Buffer& dst, const Buffer& src,
               "block2d " + tree_.node(src.node).name + "->" +
                   tree_.node(dst.node).name,
               std::move(extra_deps));
+  // Conservative invalidation span: first to last byte touched.
+  notify_written(dst, dst_offset, (rows - 1) * dst_pitch + row_bytes);
 }
 
 void DataManager::fill(Buffer& dst, std::byte value, std::uint64_t size,
@@ -247,6 +297,7 @@ void DataManager::fill(Buffer& dst, std::byte value, std::uint64_t size,
         resource_for(dst.node), storage(dst.node).model().write_time(size),
         std::move(deps));
   }
+  notify_written(dst, dst_offset, size);
 }
 
 void DataManager::write_from_host(Buffer& dst, const void* src,
@@ -267,6 +318,7 @@ void DataManager::write_from_host(Buffer& dst, const void* src,
   if (metrics_ != nullptr) {
     edge_counter("host", tree_.node(dst.node).name).add(size);
   }
+  notify_written(dst, dst_offset, size);
 }
 
 void DataManager::read_to_host(void* dst, const Buffer& src,

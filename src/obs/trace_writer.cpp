@@ -91,7 +91,16 @@ void TraceWriter::write(std::ostream& os) const {
     const auto& spec = sim_.task(id);
     const auto timing = sim_.timing(id);
     const auto track = track_of(spec.resource);
-    {
+    if (spec.phase == "cache" && timing.finish == timing.start) {
+      // Zero-duration cache events (hits, evictions with free transfer)
+      // render as thread-scoped instants — an "X" of dur 0 is invisible.
+      std::ostringstream e;
+      e << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << json_escape(spec.label)
+        << "\",\"cat\":\"cache\",\"ts\":" << fmt_us(timing.start)
+        << ",\"pid\":" << track.pid << ",\"tid\":" << track.tid
+        << ",\"args\":{\"task\":" << id << "}}";
+      push(timing.start, 1, e.str());
+    } else {
       std::ostringstream e;
       e << "{\"ph\":\"X\",\"name\":\"" << json_escape(spec.label)
         << "\",\"cat\":\""

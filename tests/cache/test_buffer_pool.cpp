@@ -1,0 +1,139 @@
+// BufferPool capacity accounting: eviction-backed allocation, pinned
+// bytes blocking eviction, high-water tracking, and the rich
+// over-capacity error from DataManager::alloc.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "northup/cache/cache_manager.hpp"
+#include "northup/memsim/storage.hpp"
+#include "northup/topo/tree.hpp"
+#include "northup/util/assert.hpp"
+
+namespace ncache = northup::cache;
+namespace nd = northup::data;
+namespace nm = northup::mem;
+namespace ns = northup::sim;
+namespace nt = northup::topo;
+
+namespace {
+
+constexpr std::uint64_t kRootCap = 1 << 20;
+constexpr std::uint64_t kDramCap = 8192;
+constexpr std::uint64_t kShard = 4096;
+
+/// nvm root -> small dram child with a CacheManager attached; the dram
+/// node holds exactly two kShard entries.
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() {
+    root_ = tree_.add_root(
+        "nvm", {nm::StorageKind::Nvm, kRootCap, ns::ModelPresets::nvm(), 0});
+    dram_ = tree_.add_child(
+        root_, "dram",
+        {nm::StorageKind::Dram, kDramCap, ns::ModelPresets::dram(), 1});
+    tree_.validate();
+    dm_ = std::make_unique<nd::DataManager>(tree_, &sim_);
+    dm_->bind_storage(root_, std::make_unique<nm::HostStorage>(
+                                 "nvm", nm::StorageKind::Nvm, kRootCap,
+                                 ns::ModelPresets::nvm()));
+    dm_->bind_storage(dram_, std::make_unique<nm::HostStorage>(
+                                 "dram", nm::StorageKind::Dram, kDramCap,
+                                 ns::ModelPresets::dram()));
+    cm_ = std::make_unique<ncache::CacheManager>(*dm_);
+    src_ = dm_->alloc(kRootCap / 2, root_);
+  }
+
+  ~BufferPoolTest() override { dm_->release(src_); }
+
+  ncache::ShardCache& cache() { return *cm_->shard_cache(dram_); }
+  ncache::BufferPool& pool() { return *cm_->pool(dram_); }
+
+  nt::TopoTree tree_;
+  ns::EventSim sim_;
+  std::unique_ptr<nd::DataManager> dm_;
+  std::unique_ptr<ncache::CacheManager> cm_;
+  nt::NodeId root_ = 0, dram_ = 0;
+  nd::Buffer src_;
+};
+
+}  // namespace
+
+TEST_F(BufferPoolTest, AllocEvictsCachedShardsInsteadOfThrowing) {
+  // Fill the node with two unpinned cached shards...
+  for (std::uint64_t off : {std::uint64_t{0}, kShard}) {
+    nd::Buffer* s = dm_->move_data_down_cached(src_, dram_, kShard, off);
+    dm_->release_cached(s);
+  }
+  EXPECT_EQ(dm_->storage(dram_).available(), 0u);
+  EXPECT_EQ(dm_->reclaimable_bytes(dram_), kDramCap);
+
+  // ...then a plain allocation succeeds by shedding LRU entries.
+  nd::Buffer plain = dm_->alloc(kShard, dram_);
+  EXPECT_TRUE(plain.valid());
+  EXPECT_EQ(cache().evictions(), 1u);
+  dm_->release(plain);
+}
+
+TEST_F(BufferPoolTest, OverCapacityAllocNamesNodeSizeAndRemaining) {
+  nd::Buffer held = dm_->alloc(kShard, dram_);
+  try {
+    dm_->alloc(kDramCap, dram_);  // kShard short of fitting
+    FAIL() << "expected CapacityError";
+  } catch (const northup::util::CapacityError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("dram"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(kDramCap)), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(kDramCap - kShard)), std::string::npos)
+        << msg;
+  }
+  dm_->release(held);
+}
+
+TEST_F(BufferPoolTest, PinnedShardsRefuseEviction) {
+  nd::Buffer* a = dm_->move_data_down_cached(src_, dram_, kShard, 0);
+  nd::Buffer* b = dm_->move_data_down_cached(src_, dram_, kShard, kShard);
+  EXPECT_EQ(pool().pinned_bytes(), 2 * kShard);
+
+  // Everything resident is pinned: the evictor runs dry and the alloc
+  // must fail instead of yanking a buffer a kernel may be reading.
+  EXPECT_THROW(dm_->alloc(kShard, dram_), northup::util::CapacityError);
+  EXPECT_EQ(cache().evictions(), 0u);
+
+  dm_->release_cached(a);
+  dm_->release_cached(b);
+  EXPECT_EQ(pool().pinned_bytes(), 0u);
+  nd::Buffer freed = dm_->alloc(kShard, dram_);
+  EXPECT_TRUE(freed.valid());
+  dm_->release(freed);
+}
+
+TEST_F(BufferPoolTest, HighWaterTracksPeakUsageWithinCapacity) {
+  nd::Buffer* a = dm_->move_data_down_cached(src_, dram_, kShard, 0);
+  EXPECT_EQ(pool().high_water(), kShard);
+  nd::Buffer* b = dm_->move_data_down_cached(src_, dram_, kShard, kShard);
+  EXPECT_EQ(pool().high_water(), kDramCap);
+  dm_->release_cached(a);
+  dm_->release_cached(b);
+
+  // Churn past capacity: high water saturates at the node's capacity —
+  // the pool never oversubscribes the storage.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    nd::Buffer* s =
+        dm_->move_data_down_cached(src_, dram_, kShard, (i % 4) * kShard);
+    dm_->release_cached(s);
+  }
+  EXPECT_GT(cache().evictions(), 0u);
+  EXPECT_LE(pool().high_water(), kDramCap);
+  EXPECT_LE(pool().bytes_in_use(), pool().capacity());
+}
+
+TEST_F(BufferPoolTest, UnboundNodeStillFailsCleanly) {
+  nt::TopoTree other;
+  other.add_root("lone",
+                 {nm::StorageKind::Dram, 1024, ns::ModelPresets::dram(), 0});
+  other.validate();
+  nd::DataManager unbound(other, nullptr);
+  EXPECT_THROW(unbound.alloc(64, 0), northup::util::Error);
+}

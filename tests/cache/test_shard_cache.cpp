@@ -1,0 +1,267 @@
+// ShardCache semantics: hit/miss keying, LRU eviction order, dirty
+// writeback, invalidation on source write/release (zombies included),
+// the hits+misses == cached-calls invariant, zero-cost hits in virtual
+// time, and the Runtime-level enable_shard_cache switch.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "northup/cache/cache_manager.hpp"
+#include "northup/core/runtime.hpp"
+#include "northup/memsim/storage.hpp"
+#include "northup/topo/presets.hpp"
+#include "northup/topo/tree.hpp"
+
+namespace ncache = northup::cache;
+namespace nc = northup::core;
+namespace nd = northup::data;
+namespace nm = northup::mem;
+namespace ns = northup::sim;
+namespace nt = northup::topo;
+
+namespace {
+
+constexpr std::uint64_t kRootCap = 1 << 20;
+constexpr std::uint64_t kDramCap = 8192;
+constexpr std::uint64_t kShard = 4096;
+
+class ShardCacheTest : public ::testing::Test {
+ protected:
+  ShardCacheTest() {
+    root_ = tree_.add_root(
+        "nvm", {nm::StorageKind::Nvm, kRootCap, ns::ModelPresets::nvm(), 0});
+    dram_ = tree_.add_child(
+        root_, "dram",
+        {nm::StorageKind::Dram, kDramCap, ns::ModelPresets::dram(), 1});
+    tree_.validate();
+    dm_ = std::make_unique<nd::DataManager>(tree_, &sim_);
+    dm_->bind_storage(root_, std::make_unique<nm::HostStorage>(
+                                 "nvm", nm::StorageKind::Nvm, kRootCap,
+                                 ns::ModelPresets::nvm()));
+    dm_->bind_storage(dram_, std::make_unique<nm::HostStorage>(
+                                 "dram", nm::StorageKind::Dram, kDramCap,
+                                 ns::ModelPresets::dram()));
+    cm_ = std::make_unique<ncache::CacheManager>(*dm_);
+    src_ = dm_->alloc(16 * kShard, root_);
+    std::vector<std::uint8_t> init(16 * kShard);
+    std::iota(init.begin(), init.end(), 0);
+    dm_->write_from_host(src_, init.data(), init.size());
+  }
+
+  ~ShardCacheTest() override {
+    if (src_.valid()) dm_->release(src_);
+  }
+
+  ncache::ShardCache& cache() { return *cm_->shard_cache(dram_); }
+
+  nd::Buffer* get(std::uint64_t off) {
+    return dm_->move_data_down_cached(src_, dram_, kShard, off);
+  }
+
+  nt::TopoTree tree_;
+  ns::EventSim sim_;
+  std::unique_ptr<nd::DataManager> dm_;
+  std::unique_ptr<ncache::CacheManager> cm_;
+  nt::NodeId root_ = 0, dram_ = 0;
+  nd::Buffer src_;
+};
+
+}  // namespace
+
+TEST_F(ShardCacheTest, RepeatDownloadHitsWithoutMovingBytes) {
+  nd::Buffer* a = get(0);
+  dm_->release_cached(a);
+  EXPECT_EQ(cache().misses(), 1u);
+
+  const auto moved = dm_->bytes_moved();
+  const double makespan = sim_.makespan();
+  nd::Buffer* again = get(0);
+  EXPECT_EQ(again, a);  // same resident shard
+  EXPECT_EQ(cache().hits(), 1u);
+  EXPECT_EQ(dm_->bytes_moved(), moved);     // no functional transfer
+  EXPECT_EQ(sim_.makespan(), makespan);     // no virtual-time transfer
+  dm_->release_cached(again);
+
+  // A different region is a different key.
+  nd::Buffer* other = get(kShard);
+  EXPECT_EQ(cache().misses(), 2u);
+  dm_->release_cached(other);
+}
+
+TEST_F(ShardCacheTest, HitChargesZeroDurationCachePhaseTask) {
+  dm_->release_cached(get(0));
+  const auto before = sim_.task_count();
+  dm_->release_cached(get(0));  // hit
+  ASSERT_GT(sim_.task_count(), before);
+  bool found = false;
+  for (ns::TaskId id = before; id < sim_.task_count(); ++id) {
+    if (sim_.task(id).phase == nd::phase::kCache) {
+      const auto t = sim_.timing(id);
+      EXPECT_DOUBLE_EQ(t.finish, t.start);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ShardCacheTest, DenseBlock2dSharesKeyWithContiguousDownload) {
+  dm_->release_cached(get(0));
+  // Same bytes requested as 4 touching rows: collapses to the same key.
+  nd::Buffer* dense = dm_->move_block_2d_down_cached(src_, dram_, 4,
+                                                     kShard / 4, 0, kShard / 4);
+  EXPECT_EQ(cache().hits(), 1u);
+  EXPECT_EQ(cache().misses(), 1u);
+  dm_->release_cached(dense);
+}
+
+TEST_F(ShardCacheTest, EvictionIsLeastRecentlyUsed) {
+  dm_->release_cached(get(0));       // A: miss
+  dm_->release_cached(get(kShard));  // B: miss
+  dm_->release_cached(get(0));       // A: hit, now newer than B
+  EXPECT_EQ(cache().hits(), 1u);
+
+  dm_->release_cached(get(2 * kShard));  // C: miss, evicts LRU (= B)
+  EXPECT_EQ(cache().evictions(), 1u);
+
+  dm_->release_cached(get(0));  // A survived the eviction
+  EXPECT_EQ(cache().hits(), 2u);
+  dm_->release_cached(get(kShard));  // B is gone: miss again
+  EXPECT_EQ(cache().misses(), 4u);
+}
+
+TEST_F(ShardCacheTest, DirtyShardWritesBackToParentOnEviction) {
+  nd::Buffer* s = get(0);
+  auto* bytes = dm_->host_view(*s);
+  std::memset(bytes, 0xEE, kShard);
+  dm_->release_cached(s, /*dirty=*/true);
+
+  // Still cached: the parent region is stale until eviction/flush.
+  cache().flush();
+  EXPECT_EQ(cache().entry_count(), 0u);
+
+  std::vector<std::uint8_t> back(kShard);
+  dm_->read_to_host(back.data(), src_, kShard);
+  for (auto v : back) ASSERT_EQ(v, 0xEE);
+}
+
+TEST_F(ShardCacheTest, SourceWriteInvalidatesOverlappingEntries) {
+  dm_->release_cached(get(0));
+  dm_->release_cached(get(2 * kShard));
+  EXPECT_EQ(cache().entry_count(), 2u);
+
+  // Overwrite the first region through the DataManager: only the
+  // overlapping entry drops.
+  std::vector<std::uint8_t> fresh(kShard, 0x11);
+  dm_->write_from_host(src_, fresh.data(), kShard);
+  EXPECT_EQ(cache().entry_count(), 1u);
+
+  nd::Buffer* reread = get(0);
+  EXPECT_EQ(cache().hits(), 0u);  // stale entry was not served
+  EXPECT_EQ(dm_->host_view(*reread)[0], std::byte{0x11});
+  dm_->release_cached(reread);
+  dm_->release_cached(get(2 * kShard));  // untouched entry still hits
+  EXPECT_EQ(cache().hits(), 1u);
+}
+
+TEST_F(ShardCacheTest, MoveDataUpIntoSourceInvalidates) {
+  dm_->release_cached(get(0));
+  nd::Buffer scratch = dm_->alloc(kShard, dram_);
+  dm_->fill(scratch, std::byte{0x22}, kShard);
+  dm_->move_data_up(src_, scratch, {.size = kShard});
+  EXPECT_EQ(cache().entry_count(), 0u);
+  dm_->release(scratch);
+}
+
+TEST_F(ShardCacheTest, SourceReleaseDropsItsEntries) {
+  nd::Buffer other = dm_->alloc(kShard, root_);
+  nd::Buffer* s = dm_->move_data_down_cached(other, dram_, kShard, 0);
+  dm_->release_cached(s);
+  EXPECT_EQ(cache().entry_count(), 1u);
+  dm_->release(other);
+  EXPECT_EQ(cache().entry_count(), 0u);
+}
+
+TEST_F(ShardCacheTest, PinnedEntryInvalidatedBecomesZombie) {
+  nd::Buffer* s = get(0);  // stays pinned
+  std::vector<std::uint8_t> fresh(kShard, 0x33);
+  dm_->write_from_host(src_, fresh.data(), kShard);
+
+  // Unreachable for new lookups, but the handed-out buffer stays valid.
+  EXPECT_EQ(cache().entry_count(), 0u);
+  EXPECT_TRUE(cache().owns(s));
+  EXPECT_TRUE(s->valid());
+
+  const auto used_before = dm_->storage(dram_).used();
+  dm_->release_cached(s);  // last release frees the zombie
+  EXPECT_FALSE(cache().owns(s));
+  EXPECT_LT(dm_->storage(dram_).used(), used_before);
+}
+
+TEST_F(ShardCacheTest, HitsPlusMissesEqualsCachedCalls) {
+  std::uint64_t calls = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t off = 0; off < 6 * kShard; off += kShard) {
+      dm_->release_cached(get(off));
+      ++calls;
+    }
+  }
+  EXPECT_EQ(cache().hits() + cache().misses(), calls);
+  EXPECT_GT(cache().evictions(), 0u);  // 6 shards churn through 2 slots
+}
+
+TEST(ShardCacheRuntime, MetricsCountersMatchCacheStats) {
+  nt::PresetOptions opts;
+  opts.root_capacity = 1 << 20;
+  opts.staging_capacity = 16 << 10;
+  nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, opts));
+  auto& dm = rt.dm();
+  const auto root = rt.tree().root();
+  const auto dram = rt.tree().find("dram");
+
+  nd::Buffer src = dm.alloc(64 << 10, root);
+  std::uint64_t calls = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint64_t off = 0; off < 8; ++off) {
+      nd::Buffer* s = dm.move_data_down_cached(src, dram, 4096, off * 4096);
+      dm.release_cached(s);
+      ++calls;
+    }
+  }
+  auto* cache = rt.shard_cache_at(dram);
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->hits() + cache->misses(), calls);
+
+  const auto counters = rt.metrics().counter_values();
+  EXPECT_EQ(counters.at("cache.hits.dram"), cache->hits());
+  EXPECT_EQ(counters.at("cache.misses.dram"), cache->misses());
+  EXPECT_EQ(rt.metrics().counter_sum("cache.hits.") +
+                rt.metrics().counter_sum("cache.misses."),
+            calls);
+  if (cache->evictions() > 0) {
+    EXPECT_EQ(counters.at("cache.evictions.dram"), cache->evictions());
+  }
+  const auto gauges = rt.metrics().gauge_values();
+  EXPECT_GT(gauges.at("pool.high_water.dram"), 0.0);
+  EXPECT_LE(gauges.at("pool.high_water.dram"),
+            static_cast<double>(rt.tree().memory(dram).capacity));
+  dm.release(src);
+}
+
+TEST(ShardCacheRuntime, DisabledCacheLeavesPlainSemantics) {
+  nc::RuntimeOptions ropts;
+  ropts.enable_shard_cache = false;
+  nc::Runtime rt(nt::apu_two_level(), ropts);
+  const auto dram = rt.tree().find("dram");
+  EXPECT_EQ(rt.cache_manager(), nullptr);
+  EXPECT_EQ(rt.pool_at(dram), nullptr);
+  EXPECT_FALSE(rt.dm().has_shard_cache(dram));
+  EXPECT_EQ(rt.dm().reclaimable_bytes(dram), 0u);
+
+  nd::Buffer src = rt.dm().alloc(4096, rt.tree().root());
+  EXPECT_THROW(rt.dm().move_data_down_cached(src, dram, 4096),
+               northup::util::Error);
+  rt.dm().release(src);
+}

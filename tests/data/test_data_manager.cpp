@@ -77,7 +77,7 @@ TEST_F(DataManagerTest, AllocChargesSetupAndTracksReady) {
 TEST_F(DataManagerTest, FileToDramIsIoPhase) {
   auto src = dm_->alloc(1024, root_);
   auto dst = dm_->alloc(1024, dram_);
-  dm_->move_data(dst, src, 1024);
+  dm_->move_data(dst, src, {.size = 1024});
   const auto totals = sim_.phase_totals();
   EXPECT_GT(totals.at("io"), 0.0);
   EXPECT_EQ(totals.count("transfer"), 0u);
@@ -88,7 +88,7 @@ TEST_F(DataManagerTest, FileToDramIsIoPhase) {
 TEST_F(DataManagerTest, DramToDeviceIsTransferPhase) {
   auto src = dm_->alloc(1024, dram_);
   auto dst = dm_->alloc(1024, dev_);
-  dm_->move_data(dst, src, 1024);
+  dm_->move_data(dst, src, {.size = 1024});
   EXPECT_GT(sim_.phase_totals().at("transfer"), 0.0);
   dm_->release(src);
   dm_->release(dst);
@@ -98,7 +98,7 @@ TEST_F(DataManagerTest, FileToDeviceIsStagedTwoLegs) {
   auto src = dm_->alloc(1024, root_);
   auto dst = dm_->alloc(4096, dev_);
   const auto before = sim_.task_count();
-  dm_->move_data(dst, src, 1024, 128, 0);
+  dm_->move_data(dst, src, {.size = 1024, .dst_offset = 128});
   // Two legs: an io read plus a DMA write, serialized.
   EXPECT_EQ(sim_.task_count(), before + 2);
   const auto totals = sim_.phase_totals();
@@ -112,11 +112,11 @@ TEST_F(DataManagerTest, MoveDataDownValidatesParentage) {
   auto at_root = dm_->alloc(64, root_);
   auto at_dev = dm_->alloc(64, dev_);
   // dev's parent is dram, not root.
-  EXPECT_THROW(dm_->move_data_down(at_dev, at_root, 64),
+  EXPECT_THROW(dm_->move_data_down(at_dev, at_root, {.size = 64}),
                northup::util::Error);
   auto at_dram = dm_->alloc(64, dram_);
-  EXPECT_NO_THROW(dm_->move_data_down(at_dram, at_root, 64));
-  EXPECT_NO_THROW(dm_->move_data_up(at_root, at_dram, 64));
+  EXPECT_NO_THROW(dm_->move_data_down(at_dram, at_root, {.size = 64}));
+  EXPECT_NO_THROW(dm_->move_data_up(at_root, at_dram, {.size = 64}));
   dm_->release(at_root);
   dm_->release(at_dev);
   dm_->release(at_dram);
@@ -126,9 +126,9 @@ TEST_F(DataManagerTest, ReadyChainingSerializesDependentMoves) {
   auto a = dm_->alloc(1024, root_);
   auto b = dm_->alloc(1024, dram_);
   auto c = dm_->alloc(1024, dev_);
-  dm_->move_data(b, a, 1024);          // io
+  dm_->move_data(b, a, {.size = 1024});  // io
   const auto t1 = b.ready;
-  dm_->move_data(c, b, 1024);          // transfer, must start after t1
+  dm_->move_data(c, b, {.size = 1024});  // transfer, must start after t1
   ASSERT_NE(c.ready, ns::kInvalidTask);
   EXPECT_GE(sim_.timing(c.ready).start, sim_.timing(t1).finish);
   for (auto* buf : {&a, &b, &c}) dm_->release(*buf);
@@ -159,7 +159,7 @@ TEST_F(DataManagerTest, FragmentedFileMovesCostMoreThanContiguous) {
   sim_.reset_tasks();
   src.ready = dst1.ready = dst2.ready = ns::kInvalidTask;
 
-  dm_->move_data(dst1, src, 64 << 10);
+  dm_->move_data(dst1, src, {.size = 64 << 10});
   const double contiguous = sim_.phase_totals().at("io");
   // Same bytes gathered as 256 strided rows (pitch 512 > row 256) — one
   // I/O call per fragment on the file side.
@@ -179,7 +179,7 @@ TEST_F(DataManagerTest, DenseSideOfBlockMoveIsOneRequest) {
   sim_.reset_tasks();
   src.ready = dst1.ready = dst2.ready = ns::kInvalidTask;
 
-  dm_->move_data(dst1, src, 64 << 10);
+  dm_->move_data(dst1, src, {.size = 64 << 10});
   const double contiguous = sim_.phase_totals().at("io");
   dm_->move_block_2d(dst2, src, 256, 256, 0, 512, 0, 256);
   const double total = sim_.phase_totals().at("io");
@@ -209,7 +209,7 @@ TEST_F(DataManagerTest, BytesMovedAccumulates) {
   auto a = dm_->alloc(1024, root_);
   auto b = dm_->alloc(1024, dram_);
   const auto before = dm_->bytes_moved();
-  dm_->move_data(b, a, 512);
+  dm_->move_data(b, a, {.size = 512});
   EXPECT_EQ(dm_->bytes_moved(), before + 512);
   dm_->release(a);
   dm_->release(b);
@@ -248,7 +248,7 @@ TEST_P(MovePairTest, RoundTripsThroughPair) {
   std::vector<std::uint8_t> payload(512);
   std::iota(payload.begin(), payload.end(), 0);
   dm_->write_from_host(src, payload.data(), payload.size());
-  dm_->move_data(dst, src, 512);
+  dm_->move_data(dst, src, {.size = 512});
 
   std::vector<std::uint8_t> got(512);
   dm_->read_to_host(got.data(), dst, got.size());

@@ -147,7 +147,12 @@ TEST_F(ScopedBufferTest, CopySpecMatchesDeprecatedPositionalForm) {
   const auto before = dm_->bytes_moved();
   dm_->move_data(*via_spec, *src, {.size = 2048, .src_offset = 1024});
   const auto spec_delta = dm_->bytes_moved() - before;
-  dm_->move_data(*via_shim, *src, 2048, 0, 1024);  // positional shim
+  // The positional shim is deprecated but must stay byte-equivalent until
+  // it is removed; this is its one sanctioned caller.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  dm_->move_data(*via_shim, *src, 2048, 0, 1024);
+#pragma GCC diagnostic pop
   EXPECT_EQ(dm_->bytes_moved() - before, 2 * spec_delta);
 
   std::vector<std::uint8_t> a(2048), b(2048);

@@ -98,7 +98,7 @@ TEST(FaultInjection, PropagatesOutOfRecursiveExecution) {
         auto staged = rt.dm().alloc(4096, ctx.child(0));
         ctx.northup_spawn(ctx.child(0), [&](nc::ExecContext&) {
           // The functional write into the staged DRAM copy faults.
-          rt.dm().move_data(staged, root_buf, 4096);
+          rt.dm().move_data(staged, root_buf, {.size = 4096});
         });
         rt.dm().release(staged);
       }),

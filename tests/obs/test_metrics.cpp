@@ -121,7 +121,7 @@ TEST(MetricsIntegration, EdgeCountersSumToDataManagerBytesMoved) {
   nd::ScopedBuffer staged(dm, kBytes, dram);
   dm.write_from_host(*on_root, host.data(), kBytes);
   dm.move_data_down(*staged, *on_root, {.size = kBytes});
-  dm.move_data_up(*on_root, *staged, kBytes, 0, 0);  // deprecated shim
+  dm.move_data_up(*on_root, *staged, {.size = kBytes});
   dm.read_to_host(host.data(), *on_root, kBytes);
 
   EXPECT_GT(dm.bytes_moved(), 0u);
