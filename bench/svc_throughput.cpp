@@ -1,0 +1,219 @@
+// Closed-loop load generator for the northup::svc job service.
+//
+// N client threads each submit a small mixed stream of GEMM / HotSpot /
+// SpMV jobs back-to-back (closed loop: next submit waits for the previous
+// completion), against one shared machine. Two experiments:
+//
+//   1. Offered-load sweep (weighted-fair, cache on): client count rises,
+//      throughput should rise past the serialized baseline while the
+//      admission controller partitions the staging level — the
+//      "concurrent jobs beat one-at-a-time" claim, with p50/p95/p99
+//      end-to-end latency from the svc.latency.* histograms.
+//   2. Policy/cache matrix at the highest load: FIFO vs weighted-fair,
+//      shard cache on vs off, same metrics plus queue high water.
+//
+// --trace-out / --metrics-out dump the last configuration's interleaved
+// job Chrome trace and the machine metrics JSON (queue gauges, latency
+// histograms) for inspection.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "northup/svc/service.hpp"
+#include "northup/util/flags.hpp"
+#include "northup/util/table.hpp"
+#include "northup/util/timer.hpp"
+
+namespace nb = northup::bench;
+namespace na = northup::algos;
+namespace nsv = northup::svc;
+namespace nu = northup::util;
+
+namespace {
+
+struct LoadPoint {
+  int clients = 1;
+  nsv::SchedulingPolicy policy = nsv::SchedulingPolicy::WeightedFair;
+  bool cache = true;
+};
+
+struct LoadResult {
+  double wall_s = 0.0;
+  std::uint64_t completed = 0;
+  double throughput = 0.0;  ///< completed jobs per wall second
+  northup::obs::Histogram::Snapshot e2e;
+  northup::obs::Histogram::Snapshot queue_wait;
+  double queue_high_water = 0.0;
+};
+
+/// The job mix one client cycles through: compute-bound, stencil, sparse.
+nsv::JobRequest make_request(int client, int index) {
+  nsv::JobRequest request;
+  request.tenant = "client-" + std::to_string(client);
+  switch ((client + index) % 3) {
+    case 0: {
+      na::GemmConfig config;
+      config.n = 64;
+      config.verify_samples = 0;  // measured loop, not a correctness test
+      request.config = config;
+      break;
+    }
+    case 1: {
+      na::HotspotConfig config;
+      config.n = 64;
+      config.iterations = 1;
+      config.verify = false;
+      request.config = config;
+      break;
+    }
+    default: {
+      na::SpmvConfig config;
+      config.rows = 20000;
+      config.avg_nnz = 8;
+      config.verify = false;
+      request.config = config;
+      break;
+    }
+  }
+  return request;
+}
+
+LoadResult run_load(const LoadPoint& point, int jobs_per_client,
+                    std::size_t workers,
+                    std::unique_ptr<nsv::JobService>* keep_service) {
+  nsv::ServiceOptions opts;
+  opts.machine_levels = 2;  // APU preset: storage -> DRAM leaf
+  opts.machine.root_capacity = 512ULL << 20;
+  // Tight enough that a high offered load queues on admission (the SpMV
+  // jobs reserve ~1 MiB of staging each), loose enough for >= 2 jobs.
+  opts.machine.staging_capacity = 4ULL << 20;
+  opts.workers = workers;
+  opts.max_queue_depth = 64;
+  opts.policy = point.policy;
+  opts.enable_shard_cache = point.cache;
+
+  auto service = std::make_unique<nsv::JobService>(opts);
+
+  nu::Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(point.clients));
+  std::atomic<std::uint64_t> completed{0};
+  for (int c = 0; c < point.clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int j = 0; j < jobs_per_client; ++j) {
+        nsv::JobHandle handle = service->submit(make_request(c, j));
+        if (handle.wait().state == nsv::JobState::Done) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  service->wait_all();
+
+  LoadResult result;
+  result.wall_s = wall.seconds();
+  result.completed = completed.load();
+  result.throughput =
+      result.wall_s > 0 ? static_cast<double>(result.completed) / result.wall_s
+                        : 0.0;
+  const auto histograms = service->metrics().histogram_values();
+  if (histograms.count("svc.latency.e2e")) {
+    result.e2e = histograms.at("svc.latency.e2e");
+  }
+  if (histograms.count("svc.latency.queue_wait")) {
+    result.queue_wait = histograms.at("svc.latency.queue_wait");
+  }
+  result.queue_high_water =
+      service->metrics().gauge_values().at("svc.queue.high_water");
+
+  if (keep_service) {
+    // Kept alive so the caller can dump its trace/metrics after the run.
+    *keep_service = std::move(service);
+  }
+  return result;
+}
+
+std::string ms(double seconds) { return nu::TextTable::num(seconds * 1e3, 2); }
+
+void add_row(nu::TextTable& table, const std::string& label,
+             const LoadPoint& point, const LoadResult& r) {
+  table.add_row({label, nsv::policy_name(point.policy),
+                 point.cache ? "on" : "off", std::to_string(r.completed),
+                 nu::TextTable::num(r.throughput, 2), ms(r.e2e.p50),
+                 ms(r.e2e.p95), ms(r.e2e.p99), ms(r.queue_wait.p95),
+                 nu::TextTable::num(r.queue_high_water, 0)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick");
+  const int jobs_per_client =
+      static_cast<int>(flags.get_int("jobs", quick ? 3 : 6));
+  const auto workers =
+      static_cast<std::size_t>(flags.get_int("workers", quick ? 2 : 4));
+
+  nb::print_header("svc_throughput: closed-loop load on the job service");
+  std::printf("jobs/client=%d workers=%zu %s\n\n", jobs_per_client, workers,
+              quick ? "(quick)" : "");
+
+  nu::TextTable table;
+  table.set_header({"clients", "policy", "cache", "done", "jobs/s", "p50 (ms)",
+                    "p95 (ms)", "p99 (ms)", "queue p95 (ms)", "queue hwm"});
+
+  // Experiment 1: offered-load sweep under the fair policy.
+  std::vector<int> sweep = quick ? std::vector<int>{1, 2}
+                                 : std::vector<int>{1, 2, 4, 8};
+  double serial_throughput = 0.0;
+  double best_throughput = 0.0;
+  for (const int clients : sweep) {
+    const LoadPoint point{clients, nsv::SchedulingPolicy::WeightedFair, true};
+    const LoadResult r = run_load(point, jobs_per_client, workers, nullptr);
+    add_row(table, std::to_string(clients), point, r);
+    if (clients == 1) serial_throughput = r.throughput;
+    best_throughput = std::max(best_throughput, r.throughput);
+  }
+
+  // Experiment 2: policy x cache matrix at the highest load.
+  const int top = sweep.back();
+  std::unique_ptr<nsv::JobService> last_service;
+  const std::vector<LoadPoint> matrix = {
+      {top, nsv::SchedulingPolicy::Fifo, false},
+      {top, nsv::SchedulingPolicy::Fifo, true},
+      {top, nsv::SchedulingPolicy::WeightedFair, false},
+      {top, nsv::SchedulingPolicy::WeightedFair, true},
+  };
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    const bool keep = i + 1 == matrix.size();
+    const LoadResult r = run_load(matrix[i], jobs_per_client, workers,
+                                  keep ? &last_service : nullptr);
+    add_row(table, std::to_string(top) + "*", matrix[i], r);
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("concurrency speedup vs 1 client: %.2fx %s\n",
+              serial_throughput > 0 ? best_throughput / serial_throughput : 0.0,
+              best_throughput > serial_throughput ? "(concurrent wins)"
+                                                  : "(NO WIN — investigate)");
+
+  if (last_service) {
+    const std::string trace_out = flags.get("trace-out");
+    if (!trace_out.empty()) {
+      last_service->write_job_trace(trace_out);
+      std::printf("job trace    -> %s\n", trace_out.c_str());
+    }
+    const std::string metrics_out = flags.get("metrics-out");
+    if (!metrics_out.empty()) {
+      last_service->write_metrics_json(metrics_out);
+      std::printf("metrics json -> %s\n", metrics_out.c_str());
+    }
+  }
+  return 0;
+}

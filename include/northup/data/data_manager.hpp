@@ -169,39 +169,6 @@ class DataManager {
   /// Table I's move_data_up: `dst` must live on the parent of src's node.
   void move_data_up(Buffer& dst, const Buffer& src, CopySpec spec);
 
-  // --- Deprecated positional forms. -----------------------------------
-  // Thin forwarding shims over the CopySpec overloads, kept for source
-  // compatibility; four adjacent integers are too easy to transpose, so
-  // new code should pass a CopySpec.
-
-  [[deprecated("pass a CopySpec instead of positional size/offsets")]]
-  void move_data(Buffer& dst, const Buffer& src, std::uint64_t size,
-                 std::uint64_t dst_offset = 0, std::uint64_t src_offset = 0,
-                 std::vector<sim::TaskId> extra_deps = {}) {
-    move_data(dst, src,
-              CopySpec{size, dst_offset, src_offset, std::move(extra_deps)});
-  }
-
-  [[deprecated("pass a CopySpec instead of positional size/offsets")]]
-  void move_data_down(Buffer& dst, const Buffer& src, std::uint64_t size,
-                      std::uint64_t dst_offset = 0,
-                      std::uint64_t src_offset = 0,
-                      std::vector<sim::TaskId> extra_deps = {}) {
-    move_data_down(
-        dst, src,
-        CopySpec{size, dst_offset, src_offset, std::move(extra_deps)});
-  }
-
-  [[deprecated("pass a CopySpec instead of positional size/offsets")]]
-  void move_data_up(Buffer& dst, const Buffer& src, std::uint64_t size,
-                    std::uint64_t dst_offset = 0,
-                    std::uint64_t src_offset = 0,
-                    std::vector<sim::TaskId> extra_deps = {}) {
-    move_data_up(
-        dst, src,
-        CopySpec{size, dst_offset, src_offset, std::move(extra_deps)});
-  }
-
   /// Strided 2-D block move: copies `rows` runs of `row_bytes`, advancing
   /// the source by `src_pitch` and the destination by `dst_pitch` bytes
   /// per run (the dCopyBlockH2D/D2H of Listing 2, and the shard extraction

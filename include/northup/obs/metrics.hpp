@@ -2,17 +2,19 @@
 // perf-oriented change (overlap, balancing, sharding ablations).
 //
 // A MetricsRegistry is a flat namespace of named Counters (monotonic
-// uint64, e.g. bytes moved per tree edge, queue pushes) and Gauges
-// (double, e.g. peak residency, makespan). Components that want to be
-// observable hold raw Counter/Gauge pointers handed out by the registry
-// — registration is a one-time mutex-guarded lookup, the hot-path
-// increment is a single relaxed atomic op, so instrumentation stays on
-// even in benchmark runs (the "cheap, always-on telemetry" lesson of the
-// heterogeneous-memory guidance literature).
+// uint64, e.g. bytes moved per tree edge, queue pushes), Gauges
+// (double, e.g. peak residency, makespan), and Histograms (log-bucketed
+// latency distributions with p50/p95/p99 readout). Components that want
+// to be observable hold raw Counter/Gauge/Histogram pointers handed out
+// by the registry — registration is a one-time mutex-guarded lookup, the
+// hot-path increment is a handful of relaxed atomic ops, so
+// instrumentation stays on even in benchmark runs (the "cheap, always-on
+// telemetry" lesson of the heterogeneous-memory guidance literature).
 //
 // Naming convention (dotted, with "->" for tree edges):
 //   bytes_moved.<src>-><dst>     dm.moves  dm.fragmented_accesses
 //   storage.<node>.bytes_read    queue.<name>.pushes   runtime.spawns
+//   svc.latency.queue_wait       svc.latency.e2e  (histograms, seconds)
 #pragma once
 
 #include <atomic>
@@ -59,8 +61,65 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Named counters/gauges with stable addresses (safe to cache the
-/// returned references for the lifetime of the registry).
+/// Log-bucketed distribution of positive values (latencies in seconds,
+/// sizes in bytes). record() is wait-free: an atomic increment on one of
+/// a fixed set of geometric buckets (6 per octave, so quantile readouts
+/// carry at most ~12% relative bucket error) plus exact count/sum/min/max
+/// accumulators. Thread-safe; quantiles may be read concurrently with
+/// recording and see a consistent-enough point-in-time view.
+class Histogram {
+ public:
+  /// Folds `value` into the distribution. Non-positive values land in
+  /// the lowest bucket (they still count toward count/sum/min/max).
+  void record(double value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Approximate q-quantile (q in [0, 1]): the geometric midpoint of the
+  /// bucket holding the target rank, clamped to the exact [min, max]
+  /// envelope. 0 when empty.
+  double quantile(double q) const;
+
+  /// One-line summary snapshot used by the registry's JSON dump.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  /// 6 buckets per octave starting at 1e-9 covers [1 ns, ~3.3 h] for
+  /// seconds-valued data and [1, ~2^42] for counts before saturating at
+  /// the edge buckets.
+  static constexpr int kSubBuckets = 6;
+  static constexpr int kBuckets = 256;
+  static constexpr double kLowest = 1e-9;
+
+  static int bucket_of(double value);
+  static double bucket_mid(int bucket);
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  ///< valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+/// Named counters/gauges/histograms with stable addresses (safe to cache
+/// the returned references for the lifetime of the registry).
 class MetricsRegistry {
  public:
   /// Returns the counter named `name`, creating it at zero on first use.
@@ -69,15 +128,23 @@ class MetricsRegistry {
   /// Returns the gauge named `name`, creating it at zero on first use.
   Gauge& gauge(const std::string& name);
 
+  /// Returns the histogram named `name`, creating it empty on first use.
+  Histogram& histogram(const std::string& name);
+
   /// Point-in-time snapshots (sorted by name).
   std::map<std::string, std::uint64_t> counter_values() const;
   std::map<std::string, double> gauge_values() const;
+  std::map<std::string, Histogram::Snapshot> histogram_values() const;
 
   /// Sum of all counters whose name starts with `prefix` — e.g.
   /// counter_sum("bytes_moved.") is the total traffic over all edges.
   std::uint64_t counter_sum(const std::string& prefix) const;
 
-  /// Machine-readable dump: {"counters": {...}, "gauges": {...}}.
+  /// Machine-readable dump:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} — each
+  /// histogram as {count, sum, min, max, p50, p90, p95, p99}. The
+  /// histograms section is omitted while no histogram exists, keeping the
+  /// PR-1 golden metrics dumps byte-stable.
   std::string to_json() const;
 
   /// Writes to_json() to `path`; throws util::Error on I/O failure.
@@ -87,6 +154,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace northup::obs

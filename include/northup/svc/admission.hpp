@@ -1,0 +1,67 @@
+// Capacity admission control for the job service.
+//
+// The shared machine is one Runtime whose tree describes the physical
+// hierarchy; its per-node cache::BufferPools double as the reservation
+// ledger. Admitting a job pins the job's granted footprint on every
+// level's pool (pinned bytes are exactly the service's outstanding
+// reservations — nothing else allocates on the machine runtime), and the
+// job's private execution context is built with its grant as the node
+// capacities, so concurrent jobs genuinely partition the machine: more
+// co-runners -> smaller grants -> smaller blocks -> more I/O per job.
+//
+// Jobs whose *floor* footprint exceeds a node's total capacity can never
+// run and are rejected immediately with the same node/size/remaining
+// detail a util::CapacityError carries; jobs that merely don't fit right
+// now queue behind the running set.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "northup/core/runtime.hpp"
+#include "northup/svc/job.hpp"
+
+namespace northup::svc {
+
+class AdmissionController {
+ public:
+  /// `machine` must outlive the controller and have been built with
+  /// enable_shard_cache (the pools are the ledger). Walks the
+  /// first-child chain root -> leaf; footprint levels map root_bytes ->
+  /// level 0, device_bytes -> the leaf of chains deeper than two,
+  /// staging_bytes -> everything between.
+  explicit AdmissionController(core::Runtime& machine);
+
+  /// Non-empty when `floor` exceeds some node's total capacity — the
+  /// job can never run on this machine. The reason names the node, the
+  /// requested bytes, and the bytes a fully idle machine could offer.
+  std::string impossible_reason(const JobFootprint& floor) const;
+
+  /// Attempts to reserve between `floor` and `preferred` at every level
+  /// given current free capacity (grant = min(preferred, free), failing
+  /// when any level's free bytes drop under its floor). On success the
+  /// grant is pinned on every pool, `granted` is filled, and the
+  /// "svc.reserved.<node>" gauges are refreshed.
+  bool try_reserve(const JobFootprint& preferred, const JobFootprint& floor,
+                   JobFootprint& granted);
+
+  /// Returns a grant obtained from try_reserve.
+  void release(const JobFootprint& granted);
+
+  std::size_t levels() const { return chain_.size(); }
+  topo::NodeId level_node(std::size_t level) const { return chain_[level]; }
+  std::uint64_t level_capacity(std::size_t level) const;
+  std::uint64_t reserved_bytes(std::size_t level) const;
+
+ private:
+  std::uint64_t footprint_at(const JobFootprint& fp, std::size_t level) const;
+  void refresh_gauges_locked();
+
+  core::Runtime& machine_;
+  std::vector<topo::NodeId> chain_;  ///< root-to-leaf first-child chain
+  mutable std::mutex mutex_;         ///< guards the pools' pin accounting
+};
+
+}  // namespace northup::svc

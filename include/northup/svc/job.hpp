@@ -1,0 +1,90 @@
+// Job model of the northup::svc multi-tenant service layer.
+//
+// Every Northup workload so far is a single-shot binary: one Runtime, one
+// tree, one algorithm. The service layer turns the three case studies
+// into *jobs* that many tenants submit concurrently against one shared
+// memory hierarchy — the shared-capacity problem that online guidance
+// systems for heterogeneous memories manage across co-running
+// applications (arXiv:2110.02150). A JobRequest names the algorithm and
+// its config plus the service-level attributes (tenant, priority, fair
+// share weight, deadline, retry budget); the admission layer converts the
+// config into a per-tree-level byte footprint that gets reserved against
+// the machine's BufferPools before the job may start.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "northup/algos/csr_adaptive.hpp"
+#include "northup/algos/gemm.hpp"
+#include "northup/algos/hotspot.hpp"
+#include "northup/memsim/fault_injection.hpp"
+
+namespace northup::svc {
+
+enum class JobKind { Gemm, Hotspot, Spmv };
+
+const char* kind_name(JobKind kind);
+
+/// The algorithm payload: exactly one of the three case-study configs.
+using JobConfig =
+    std::variant<algos::GemmConfig, algos::HotspotConfig, algos::SpmvConfig>;
+
+/// Bytes a job needs reserved per level of the (linear-chain) machine
+/// tree before it can run. Level 2 is ignored on two-level machines.
+struct JobFootprint {
+  std::uint64_t root_bytes = 0;     ///< level 0 (file storage): inputs + outputs
+  std::uint64_t staging_bytes = 0;  ///< level 1 (DRAM): working blocks
+  std::uint64_t device_bytes = 0;   ///< level 2 (device memory), if present
+
+  bool zero() const {
+    return root_bytes == 0 && staging_bytes == 0 && device_bytes == 0;
+  }
+};
+
+/// Deterministic fault-injection plan for failure testing: the service
+/// wraps the job runtime's root storage in mem::FaultInjectingStorage and
+/// arms it for the first `failing_attempts` attempts, so a job fails,
+/// retries, and (with max_retries >= failing_attempts) succeeds.
+struct FaultPlan {
+  std::uint32_t failing_attempts = 0;  ///< 0 = no injection
+  mem::FaultKind kind = mem::FaultKind::Read;
+  std::uint64_t countdown = 1;  ///< which access of the attempt faults
+};
+
+struct JobRequest {
+  std::string name;              ///< trace label ("" = "<kind>-<id>")
+  std::string tenant = "default";
+  JobConfig config = algos::GemmConfig{};
+
+  int priority = 0;     ///< higher dispatches first
+  double weight = 1.0;  ///< weighted-fair share of the tenant (> 0)
+  /// Seconds from submission after which a still-queued job is expired
+  /// instead of dispatched. 0 = no deadline.
+  double deadline_s = 0.0;
+  /// Additional attempts after a failed one (I/O faults only; capacity
+  /// and logic errors fail immediately).
+  std::uint32_t max_retries = 0;
+  FaultPlan fault;
+
+  /// Overrides the estimated reservation when non-zero (all three fields
+  /// taken verbatim; the admission controller still clamps/validates).
+  JobFootprint footprint;
+};
+
+JobKind kind_of(const JobRequest& request);
+
+/// Preferred reservation for `request`: enough capacity at every level
+/// for the decomposition the bench harnesses use (level-1 blocks around
+/// n/4), with headroom for the shard cache. Granting less is legal down
+/// to min_footprint — the algorithms re-chunk to whatever they get.
+JobFootprint estimate_footprint(const JobRequest& request);
+
+/// Floor reservation below which the job can never run: exact root
+/// input/output bytes plus the smallest feasible working set (leaf-tile
+/// blocks; for SpMV the resident dense vector). Jobs whose floor exceeds
+/// a node's total capacity are fast-rejected at submission.
+JobFootprint min_footprint(const JobRequest& request);
+
+}  // namespace northup::svc

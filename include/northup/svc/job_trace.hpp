@@ -1,0 +1,75 @@
+// Wall-clock Chrome trace of interleaved jobs.
+//
+// The per-job Runtimes each carry their own EventSim in *virtual* time;
+// the service layer instead records the real-time job lifecycle — queue
+// wait, every execution attempt, retries, cancellations — into one
+// Chrome trace-event file:
+//
+//   * one process (pid) per tenant, named "tenant:<name>";
+//   * one thread (tid) per job, named after the job, so the rows of a
+//     tenant's process are its jobs and the horizontal extent of each
+//     row is that job's life;
+//   * "queue" / "run" complete events (categories double as phases) and
+//     instant events for retries and terminal states.
+//
+// Open the file in Perfetto next to a per-job virtual trace to see how
+// admission and scheduling shaped the interleaving.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "northup/util/timer.hpp"
+
+namespace northup::svc {
+
+class JobTraceRecorder {
+ public:
+  /// Trace time zero is construction.
+  JobTraceRecorder() = default;
+
+  /// Seconds since the recorder's epoch — use for span endpoints.
+  double now() const { return epoch_.seconds(); }
+
+  /// [start_s, end_s] complete event on (tenant, job) with category
+  /// `phase` ("queue", "run", ...).
+  void record_span(const std::string& tenant, std::uint64_t job_id,
+                   const std::string& job_name, const std::string& label,
+                   const char* phase, double start_s, double end_s);
+
+  /// Zero-duration marker ("retry", "cancelled", "expired", ...).
+  void record_instant(const std::string& tenant, std::uint64_t job_id,
+                      const std::string& job_name, const std::string& label,
+                      double at_s);
+
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`; throws util::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+  std::size_t event_count() const;
+
+ private:
+  struct Event {
+    std::string tenant;
+    std::uint64_t job_id = 0;
+    std::string job_name;
+    std::string label;
+    std::string phase;  ///< empty for instants
+    double start_s = 0.0;
+    double dur_s = 0.0;
+    bool instant = false;
+  };
+
+  std::uint32_t tenant_pid_locked(const std::string& tenant) const;
+
+  util::Timer epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  mutable std::map<std::string, std::uint32_t> pids_;
+};
+
+}  // namespace northup::svc

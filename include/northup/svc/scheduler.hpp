@@ -1,0 +1,119 @@
+// Job states, the per-job control block, and the dispatch-order policy.
+//
+// The scheduler is deliberately passive: it owns the pending set and the
+// tenants' weighted-fair virtual clocks and answers "in which order
+// should the service try to admit what's waiting?". The JobService
+// drives it under its own lock (submission, completion, and cancellation
+// are the only dispatch points — no timer thread), dispatching admitted
+// jobs onto the shared sched::WorkStealingPool.
+//
+// Policies:
+//   * Fifo — strict arrival order with head-of-line blocking: if the
+//     oldest job does not fit the remaining capacity, nothing younger
+//     may overtake it. The baseline every queueing system starts from.
+//   * WeightedFair — start-time fair queueing over tenants (the
+//     nested-dataflow scheduler literature's fairness applied at job
+//     granularity): order by priority, then by the tenant's virtual
+//     time (accumulated service seconds / weight), and backfill past
+//     jobs that do not currently fit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "northup/algos/common.hpp"
+#include "northup/svc/job.hpp"
+
+namespace northup::svc {
+
+enum class JobState {
+  Queued,     ///< admitted to the queue, waiting for capacity
+  Running,    ///< dispatched onto the worker pool
+  Done,       ///< completed successfully
+  Failed,     ///< ran and raised a non-retryable (or retry-exhausted) error
+  Rejected,   ///< never queued: impossible footprint or queue full
+  Cancelled,  ///< cancelled while queued (or between retry attempts)
+  Expired,    ///< deadline passed while still queued
+};
+
+const char* state_name(JobState state);
+
+struct JobResult {
+  JobState state = JobState::Queued;
+  std::string error;        ///< for Failed / Rejected / Expired
+  algos::RunStats stats;    ///< valid when state == Done
+  double queue_wait_s = 0.0;
+  double latency_s = 0.0;   ///< submission -> completion (end-to-end)
+  std::uint32_t attempts = 0;
+  JobFootprint granted;     ///< the admission grant the job ran under
+};
+
+/// Shared mutable state of one submitted job. The service publishes the
+/// result exactly once under `mu` and wakes `cv`; JobHandle::wait blocks
+/// on that.
+struct JobControl {
+  JobRequest request;
+  JobKind kind = JobKind::Gemm;
+  std::uint64_t id = 0;
+  std::uint64_t seq = 0;  ///< arrival order (FIFO key)
+  JobFootprint preferred;
+  JobFootprint floor;
+  std::chrono::steady_clock::time_point submit_time;
+  std::atomic<bool> cancel_requested{false};
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  JobResult result;
+};
+
+enum class SchedulingPolicy { Fifo, WeightedFair };
+
+const char* policy_name(SchedulingPolicy policy);
+
+/// Pending-set ordering. NOT internally synchronized — the JobService
+/// serializes all access under its dispatch lock.
+class JobScheduler {
+ public:
+  explicit JobScheduler(SchedulingPolicy policy) : policy_(policy) {}
+
+  SchedulingPolicy policy() const { return policy_; }
+
+  void enqueue(std::shared_ptr<JobControl> job);
+
+  /// Removes a specific pending job (dispatch, cancellation, expiry).
+  /// Returns false when it is not pending (already dispatched).
+  bool erase(const JobControl* job);
+
+  std::size_t depth() const { return pending_.size(); }
+
+  /// Pending jobs in dispatch-preference order (a copy; callers mutate
+  /// the pending set while iterating).
+  std::vector<std::shared_ptr<JobControl>> ordered() const;
+
+  /// True when the policy forbids admitting anything behind a job that
+  /// does not fit (FIFO head-of-line blocking).
+  bool head_of_line_blocking() const {
+    return policy_ == SchedulingPolicy::Fifo;
+  }
+
+  /// Weighted-fair bookkeeping: charges `seconds` of service to
+  /// `tenant`'s virtual clock at the given weight. No-op under FIFO.
+  void charge(const std::string& tenant, double weight, double seconds);
+
+  double virtual_time(const std::string& tenant) const;
+
+ private:
+  SchedulingPolicy policy_;
+  std::vector<std::shared_ptr<JobControl>> pending_;  ///< arrival order
+  std::map<std::string, double> virtual_time_;        ///< per tenant
+};
+
+}  // namespace northup::svc

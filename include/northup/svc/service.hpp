@@ -1,0 +1,187 @@
+// northup::svc — the multi-tenant job service (the tentpole subsystem).
+//
+// JobService turns the single-shot Northup runtime into a job server:
+// tenants submit JobRequests (one of the three case-study algorithms plus
+// service attributes), an AdmissionController reserves each job's byte
+// footprint against the shared machine's per-node BufferPools, and a
+// JobScheduler (FIFO or weighted-fair) dispatches admitted jobs onto one
+// sched::WorkStealingPool.
+//
+// Concurrency model: core::Runtime is not thread-safe, so the shared
+// "machine" Runtime is used purely as the capacity ledger (its pools'
+// pinned bytes are the outstanding reservations and nothing else ever
+// allocates there) while every admitted job executes on a *private*
+// Runtime whose node capacities equal its admission grant. Concurrent
+// jobs therefore genuinely partition the machine: more co-runners ->
+// smaller grants -> smaller blocks -> more I/O per job — and each job's
+// numerical result is identical to a serial run by construction.
+//
+// Lifecycle and reliability: a still-queued job can be cancelled or can
+// expire at its deadline; a job whose attempt dies with util::IoError
+// (e.g. under memsim fault injection) is retried up to max_retries times,
+// each attempt on a fresh runtime. Queue-wait, execution, and end-to-end
+// latency land in obs::Histogram metrics (svc.latency.*), queue depth and
+// reservations in gauges, and the real-time interleaving of every job in
+// a JobTraceRecorder Chrome trace.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "northup/core/runtime.hpp"
+#include "northup/sched/pool.hpp"
+#include "northup/svc/admission.hpp"
+#include "northup/svc/job.hpp"
+#include "northup/svc/job_trace.hpp"
+#include "northup/svc/scheduler.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace northup::svc {
+
+struct ServiceOptions {
+  /// Capacities/models of the shared machine; also the template for the
+  /// per-job runtimes (which shrink these capacities to the grant).
+  topo::PresetOptions machine;
+  /// 2 = apu_two_level (storage -> DRAM+APU), 3 = dgpu_three_level
+  /// (storage -> DRAM -> GPU memory).
+  int machine_levels = 3;
+  mem::StorageKind file_kind = mem::StorageKind::Ssd;
+  /// Worker threads executing jobs (= max truly concurrent jobs).
+  std::size_t workers = 2;
+  /// Bounded queue: submit() blocks and try_submit() rejects when this
+  /// many jobs are already queued (backpressure).
+  std::size_t max_queue_depth = 16;
+  SchedulingPolicy policy = SchedulingPolicy::WeightedFair;
+  /// Shard cache inside the per-job runtimes (ablation knob for the
+  /// bench; the machine ledger always has pools).
+  bool enable_shard_cache = true;
+  /// EventSim in the per-job runtimes (virtual-time stats in JobResult).
+  bool enable_sim = true;
+  std::string file_dir;  ///< dir for job file-backed roots ("" = temp)
+};
+
+class JobService;
+
+/// The caller's view of one submitted job. Cheap to copy; valid() is
+/// false only for default-constructed handles.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return control_ != nullptr; }
+  std::uint64_t id() const { return control_ ? control_->id : 0; }
+  const std::string& name() const { return control_->request.name; }
+
+  /// Current state (racy by nature; stable once done()).
+  JobState state() const;
+  bool done() const;
+
+  /// Blocks until the job reaches a terminal state, then returns the
+  /// result (also available via result() afterwards).
+  const JobResult& wait() const;
+  const JobResult& result() const;
+
+  /// Requests cancellation: a queued job terminates Cancelled right
+  /// away; a running job stops before its next retry attempt. Returns
+  /// false when the job had already reached a terminal state.
+  bool cancel();
+
+ private:
+  friend class JobService;
+  JobHandle(std::shared_ptr<JobControl> control, JobService* service)
+      : control_(std::move(control)), service_(service) {}
+
+  std::shared_ptr<JobControl> control_;
+  JobService* service_ = nullptr;
+};
+
+class JobService {
+ public:
+  explicit JobService(ServiceOptions options = {});
+
+  /// Drains: blocks until every queued and running job is terminal.
+  ~JobService();
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Submits a job, blocking while the queue is full (backpressure).
+  /// Jobs whose floor footprint can never fit are Rejected immediately
+  /// with a CapacityError-style reason in result().error.
+  JobHandle submit(JobRequest request);
+
+  /// Non-blocking variant: a full queue yields a Rejected handle with a
+  /// "queue full" error instead of blocking.
+  JobHandle try_submit(JobRequest request);
+
+  /// Blocks until no job is queued or running.
+  void wait_all();
+
+  /// Re-evaluates the pending set right now (expiry + admission). The
+  /// service kicks itself at every submit/completion/cancel; call this
+  /// after interacting with the admission ledger directly (tests, an
+  /// external capacity governor).
+  void kick();
+
+  std::size_t queue_depth() const;
+  std::size_t running_count() const;
+
+  SchedulingPolicy policy() const { return scheduler_.policy(); }
+  const ServiceOptions& options() const { return options_; }
+
+  /// The shared machine (capacity ledger + service metrics registry).
+  core::Runtime& machine() { return *machine_; }
+  obs::MetricsRegistry& metrics() { return machine_->metrics(); }
+  AdmissionController& admission() { return admission_; }
+
+  /// Chrome trace of the real-time job interleaving (one pid per tenant,
+  /// one tid per job). See JobTraceRecorder.
+  JobTraceRecorder& job_trace() { return trace_; }
+  void write_job_trace(const std::string& path) { trace_.write_file(path); }
+  void write_metrics_json(const std::string& path) {
+    machine_->write_metrics_json(path);
+  }
+
+ private:
+  friend class JobHandle;
+
+  topo::TopoTree make_tree(const topo::PresetOptions& preset) const;
+  JobHandle submit_impl(JobRequest request, bool blocking);
+
+  /// Scans the pending set in policy order from a dispatch point
+  /// (submission / completion / cancellation): expires deadline-passed
+  /// jobs, drops cancelled ones, reserves capacity and dispatches what
+  /// fits. Under FIFO a non-fitting head blocks everything behind it.
+  void dispatch_locked();
+
+  /// Executes one admitted job on a worker thread: attempt loop with a
+  /// fresh grant-sized Runtime per attempt, fault-plan arming, IoError
+  /// retry, then result publication and a re-dispatch.
+  void run_job(std::shared_ptr<JobControl> job, JobFootprint granted);
+
+  /// Publishes a terminal state for a job that never ran. Requires mu_.
+  void finalize_unrun_locked(const std::shared_ptr<JobControl>& job,
+                             JobState state, const std::string& error);
+
+  bool cancel(const std::shared_ptr<JobControl>& job);
+
+  ServiceOptions options_;
+  std::unique_ptr<core::Runtime> machine_;
+  AdmissionController admission_;
+  JobTraceRecorder trace_;
+  sched::WorkStealingPool pool_;
+
+  mutable std::mutex mu_;  ///< guards scheduler_, counters below
+  JobScheduler scheduler_;
+  std::condition_variable queue_space_cv_;  ///< signalled when depth drops
+  std::condition_variable drain_cv_;        ///< signalled toward wait_all
+  std::size_t running_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  double queue_high_water_ = 0.0;
+};
+
+}  // namespace northup::svc

@@ -1,6 +1,8 @@
 #include "northup/obs/metrics.hpp"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -35,7 +37,99 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Relaxed atomic-double accumulate / min / max via CAS loops.
+void atomic_add(std::atomic<double>& slot, double delta) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& slot, double value) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double value) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
+
+int Histogram::bucket_of(double value) {
+  if (!(value > kLowest)) return 0;
+  const int b = static_cast<int>(std::log2(value / kLowest) *
+                                 static_cast<double>(kSubBuckets));
+  return std::clamp(b, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_mid(int bucket) {
+  // Geometric midpoint of [lo * 2^(b/S), lo * 2^((b+1)/S)).
+  return kLowest * std::exp2((static_cast<double>(bucket) + 0.5) /
+                             static_cast<double>(kSubBuckets));
+}
+
+void Histogram::record(double value) {
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) {
+    // First sample seeds the envelope; racing recorders converge through
+    // the min/max CAS loops below.
+    double zero = 0.0;
+    min_.compare_exchange_strong(zero, value, std::memory_order_relaxed);
+  }
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::min() const {
+  return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based (nearest-rank definition).
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(n))));
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cum += buckets_[b].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      return std::clamp(bucket_mid(b), min(), max());
+    }
+  }
+  return max();
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -51,6 +145,13 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   return *slot;
 }
 
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
 std::map<std::string, std::uint64_t> MetricsRegistry::counter_values() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::string, std::uint64_t> out;
@@ -62,6 +163,14 @@ std::map<std::string, double> MetricsRegistry::gauge_values() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::string, double> out;
   for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::map<std::string, Histogram::Snapshot> MetricsRegistry::histogram_values()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, hist] : histograms_) out[name] = hist->snapshot();
   return out;
 }
 
@@ -96,7 +205,26 @@ std::string MetricsRegistry::to_json() const {
        << "\": " << buf;
     first = false;
   }
-  os << (first ? "" : "\n  ") << "}\n}\n";
+  os << (first ? "" : "\n  ") << "}";
+  const auto histograms = histogram_values();
+  if (!histograms.empty()) {
+    os << ",\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, s] : histograms) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"count\": %llu, \"sum\": %.17g, \"min\": %.17g, "
+                    "\"max\": %.17g, \"p50\": %.17g, \"p90\": %.17g, "
+                    "\"p95\": %.17g, \"p99\": %.17g}",
+                    static_cast<unsigned long long>(s.count), s.sum, s.min,
+                    s.max, s.p50, s.p90, s.p95, s.p99);
+      os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+         << "\": " << buf;
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "}";
+  }
+  os << "\n}\n";
   return os.str();
 }
 

@@ -1,0 +1,106 @@
+#include "northup/svc/admission.hpp"
+
+#include "northup/util/assert.hpp"
+
+namespace northup::svc {
+
+AdmissionController::AdmissionController(core::Runtime& machine)
+    : machine_(machine) {
+  const auto& tree = machine_.tree();
+  topo::NodeId node = tree.root();
+  chain_.push_back(node);
+  while (!tree.is_leaf(node)) {
+    node = tree.get_children_list(node)[0];
+    chain_.push_back(node);
+  }
+  for (const topo::NodeId n : chain_) {
+    NU_CHECK(machine_.pool_at(n) != nullptr,
+             "admission control needs the machine runtime's buffer pools "
+             "(enable_shard_cache)");
+  }
+  refresh_gauges_locked();
+}
+
+std::uint64_t AdmissionController::footprint_at(const JobFootprint& fp,
+                                                std::size_t level) const {
+  if (level == 0) return fp.root_bytes;
+  if (level + 1 == chain_.size() && chain_.size() > 2) return fp.device_bytes;
+  return fp.staging_bytes;
+}
+
+std::uint64_t AdmissionController::level_capacity(std::size_t level) const {
+  return machine_.pool_at(chain_[level])->capacity();
+}
+
+std::uint64_t AdmissionController::reserved_bytes(std::size_t level) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return machine_.pool_at(chain_[level])->pinned_bytes();
+}
+
+std::string AdmissionController::impossible_reason(
+    const JobFootprint& floor) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t level = 0; level < chain_.size(); ++level) {
+    const cache::BufferPool& pool = *machine_.pool_at(chain_[level]);
+    const std::uint64_t need = footprint_at(floor, level);
+    if (need > pool.capacity()) {
+      const std::uint64_t remaining = pool.capacity() - pool.pinned_bytes();
+      return "job needs " + std::to_string(need) + " B on node '" +
+             machine_.tree().node(chain_[level]).name +
+             "' but its capacity is " + std::to_string(pool.capacity()) +
+             " B (" + std::to_string(remaining) +
+             " B currently unreserved); it can never be admitted";
+    }
+  }
+  return "";
+}
+
+bool AdmissionController::try_reserve(const JobFootprint& preferred,
+                                      const JobFootprint& floor,
+                                      JobFootprint& granted) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobFootprint grant;
+  for (std::size_t level = 0; level < chain_.size(); ++level) {
+    const cache::BufferPool& pool = *machine_.pool_at(chain_[level]);
+    const std::uint64_t free = pool.capacity() - pool.pinned_bytes();
+    const std::uint64_t want = footprint_at(preferred, level);
+    const std::uint64_t need = footprint_at(floor, level);
+    const std::uint64_t grant_bytes = std::min(want, free);
+    if (grant_bytes < need) return false;
+    if (level == 0) {
+      grant.root_bytes = grant_bytes;
+    } else if (level + 1 == chain_.size() && chain_.size() > 2) {
+      grant.device_bytes = grant_bytes;
+    } else {
+      // Chains deeper than three levels share one staging figure; keep
+      // the most constrained grant so every middle node can honor it.
+      grant.staging_bytes = grant.staging_bytes
+                                ? std::min(grant.staging_bytes, grant_bytes)
+                                : grant_bytes;
+    }
+  }
+  for (std::size_t level = 0; level < chain_.size(); ++level) {
+    machine_.pool_at(chain_[level])->pin(footprint_at(grant, level));
+  }
+  granted = grant;
+  refresh_gauges_locked();
+  return true;
+}
+
+void AdmissionController::release(const JobFootprint& granted) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t level = 0; level < chain_.size(); ++level) {
+    machine_.pool_at(chain_[level])->unpin(footprint_at(granted, level));
+  }
+  refresh_gauges_locked();
+}
+
+void AdmissionController::refresh_gauges_locked() {
+  auto& metrics = machine_.metrics();
+  for (const topo::NodeId node : chain_) {
+    metrics.gauge("svc.reserved." + machine_.tree().node(node).name)
+        .set(static_cast<double>(machine_.pool_at(node)->pinned_bytes()));
+  }
+}
+
+}  // namespace northup::svc

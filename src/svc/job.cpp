@@ -1,0 +1,165 @@
+#include "northup/svc/job.hpp"
+
+#include <algorithm>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::svc {
+
+namespace {
+
+constexpr std::uint64_t kF = sizeof(float);
+
+/// Safety divisor mirroring the algorithms' capacity_safety defaults: a
+/// reservation of `bytes / kSafety` lets the chunk planners fit `bytes`
+/// of working set at their 0.85 budget factor.
+constexpr double kSafety = 0.85;
+/// Extra slop on preferred grants: shard-cache bookkeeping, transient
+/// double-residency while a block is being swapped.
+constexpr double kHeadroom = 1.25;
+
+std::uint64_t with_safety(double bytes, double headroom = 1.0) {
+  return static_cast<std::uint64_t>(bytes / kSafety * headroom) + 4096;
+}
+
+/// Largest divisor of `n` in the halving chain n, n/2, ... that is still
+/// >= max(floor, n/4) — the level-1 block the bench harnesses target.
+std::uint64_t preferred_block(std::uint64_t n, std::uint64_t floor) {
+  std::uint64_t b = n;
+  while (b / 2 >= floor && b / 2 >= n / 4 && n % (b / 2) == 0) b /= 2;
+  return b;
+}
+
+JobFootprint gemm_footprint(const algos::GemmConfig& c, bool preferred) {
+  NU_CHECK(c.n >= c.leaf_tile && c.n % c.leaf_tile == 0,
+           "GEMM job dimension must be a multiple of its leaf tile");
+  JobFootprint fp;
+  // Root holds A, B, C exactly (block-major preprocessing is in-place
+  // sized).
+  fp.root_bytes = 3 * c.n * c.n * kF + 4096;
+
+  const std::uint64_t b =
+      preferred ? preferred_block(c.n, c.leaf_tile) : c.leaf_tile;
+  // Resident level-1 set: C block + B block + (with reuse) the cached row
+  // strip of A, i.e. n/b blocks; without reuse a single A block.
+  const double resident =
+      (c.shard_reuse ? static_cast<double>(c.n / b) + 2.0 : 3.0) *
+      static_cast<double>(b * b) * kF;
+  fp.staging_bytes = with_safety(resident, preferred ? kHeadroom : 1.0);
+
+  // Device level re-splits b into sub-blocks; 3 leaf-tile blocks is the
+  // floor, a quarter-split strip the preferred shape.
+  const std::uint64_t t = preferred
+                              ? std::max<std::uint64_t>(c.leaf_tile, b / 4)
+                              : c.leaf_tile;
+  const double dev_resident =
+      (c.shard_reuse && t < b ? static_cast<double>(b / t) + 2.0 : 3.0) *
+      static_cast<double>(t * t) * kF;
+  fp.device_bytes = with_safety(dev_resident, preferred ? kHeadroom : 1.0);
+  return fp;
+}
+
+JobFootprint hotspot_footprint(const algos::HotspotConfig& c, bool preferred) {
+  NU_CHECK(c.n >= c.leaf_tile && c.n % c.leaf_tile == 0,
+           "HotSpot job dimension must be a multiple of its leaf tile");
+  JobFootprint fp;
+  // Root: temp_in/temp_out/power grids plus two packed halo arrays whose
+  // size grows as blocks shrink; bound with the smallest block (the leaf
+  // tile), giving 2 * (16 n^2 / b) <= 2 n^2 extra bytes.
+  const double halo_bound =
+      2.0 * 16.0 * static_cast<double>(c.n * c.n) /
+      static_cast<double>(c.leaf_tile);
+  fp.root_bytes = static_cast<std::uint64_t>(
+                      3.0 * static_cast<double>(c.n * c.n) * kF + halo_bound) +
+                  4096;
+
+  const std::uint64_t b =
+      preferred ? preferred_block(c.n, c.leaf_tile) : c.leaf_tile;
+  // In-flight block set: temp in/out, power, halo and the packed border
+  // vectors (~4 b^2 + 9 b floats), plus cross-sweep cached power blocks
+  // which stay evictable and need no reservation.
+  const double resident =
+      (4.0 * static_cast<double>(b * b) + 9.0 * static_cast<double>(b)) * kF;
+  fp.staging_bytes = with_safety(resident, preferred ? kHeadroom : 1.0);
+
+  const std::uint64_t t = preferred
+                              ? std::max<std::uint64_t>(c.leaf_tile, b / 4)
+                              : c.leaf_tile;
+  const double dev_resident =
+      (4.0 * static_cast<double>(t * t) + 9.0 * static_cast<double>(t)) * kF;
+  fp.device_bytes = with_safety(dev_resident, preferred ? kHeadroom : 1.0);
+  return fp;
+}
+
+JobFootprint spmv_footprint(const algos::SpmvConfig& c, bool preferred) {
+  JobFootprint fp;
+  const double rows = static_cast<double>(c.rows);
+  // Generators draw ~avg_nnz entries per row; power-law tails overshoot
+  // the mean, so budget with a 1.35 margin.
+  const double nnz_est = rows * static_cast<double>(c.avg_nnz) * 1.35 + rows;
+  const double x_bytes = rows * kF;  // generators emit square matrices
+  const double csr_bytes = (rows + 1.0) * 4.0 + nnz_est * 8.0 + rows * kF;
+  fp.root_bytes =
+      static_cast<std::uint64_t>((csr_bytes + x_bytes) * 1.05) + 4096;
+
+  // The dense vector stays resident at every level below the root ("the
+  // fastest memory has to be big enough to hold the vector"); shards
+  // stream through whatever is left, so the reservation is x (twice at
+  // staging: the in-flight copy plus the one being forwarded) plus a
+  // shard budget the planner can subdivide freely.
+  const double shard_budget =
+      preferred ? std::clamp(csr_bytes / 4.0, 512.0 * 1024, 6.0 * 1024 * 1024)
+                : 256.0 * 1024;
+  fp.staging_bytes =
+      with_safety(2.0 * x_bytes + shard_budget, preferred ? kHeadroom : 1.0);
+  fp.device_bytes =
+      with_safety(2.0 * x_bytes + shard_budget, preferred ? kHeadroom : 1.0);
+  return fp;
+}
+
+JobFootprint footprint_for(const JobRequest& request, bool preferred) {
+  if (!request.footprint.zero()) return request.footprint;
+  return std::visit(
+      [&](const auto& config) -> JobFootprint {
+        using T = std::decay_t<decltype(config)>;
+        if constexpr (std::is_same_v<T, algos::GemmConfig>) {
+          return gemm_footprint(config, preferred);
+        } else if constexpr (std::is_same_v<T, algos::HotspotConfig>) {
+          return hotspot_footprint(config, preferred);
+        } else {
+          return spmv_footprint(config, preferred);
+        }
+      },
+      request.config);
+}
+
+}  // namespace
+
+const char* kind_name(JobKind kind) {
+  switch (kind) {
+    case JobKind::Gemm: return "gemm";
+    case JobKind::Hotspot: return "hotspot";
+    case JobKind::Spmv: return "spmv";
+  }
+  return "?";
+}
+
+JobKind kind_of(const JobRequest& request) {
+  if (std::holds_alternative<algos::GemmConfig>(request.config)) {
+    return JobKind::Gemm;
+  }
+  if (std::holds_alternative<algos::HotspotConfig>(request.config)) {
+    return JobKind::Hotspot;
+  }
+  return JobKind::Spmv;
+}
+
+JobFootprint estimate_footprint(const JobRequest& request) {
+  return footprint_for(request, /*preferred=*/true);
+}
+
+JobFootprint min_footprint(const JobRequest& request) {
+  return footprint_for(request, /*preferred=*/false);
+}
+
+}  // namespace northup::svc

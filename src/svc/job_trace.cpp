@@ -1,0 +1,134 @@
+#include "northup/svc/job_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::svc {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t JobTraceRecorder::tenant_pid_locked(
+    const std::string& tenant) const {
+  const auto [it, inserted] =
+      pids_.try_emplace(tenant, static_cast<std::uint32_t>(pids_.size() + 1));
+  return it->second;
+}
+
+void JobTraceRecorder::record_span(const std::string& tenant,
+                                   std::uint64_t job_id,
+                                   const std::string& job_name,
+                                   const std::string& label, const char* phase,
+                                   double start_s, double end_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{tenant, job_id, job_name, label, phase, start_s,
+                          std::max(0.0, end_s - start_s), false});
+}
+
+void JobTraceRecorder::record_instant(const std::string& tenant,
+                                      std::uint64_t job_id,
+                                      const std::string& job_name,
+                                      const std::string& label, double at_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(
+      Event{tenant, job_id, job_name, label, "", at_s, 0.0, true});
+}
+
+std::size_t JobTraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string JobTraceRecorder::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> events = events_;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.start_s < b.start_s;
+                   });
+
+  std::ostringstream os;
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    os << (first ? "" : ",\n") << line;
+    first = false;
+  };
+
+  // Metadata: process per tenant, thread per job (named after the job).
+  std::set<std::pair<std::uint32_t, std::uint64_t>> named_threads;
+  for (const Event& e : events) {
+    const std::uint32_t pid = tenant_pid_locked(e.tenant);
+    char buf[64];
+    if (named_threads.insert({pid, 0}).second) {
+      emit("{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " +
+           std::to_string(pid) + ", \"args\": {\"name\": \"tenant:" +
+           json_escape(e.tenant) + "\"}}");
+    }
+    if (named_threads.insert({pid, e.job_id}).second) {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(e.job_id));
+      emit("{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " +
+           std::to_string(pid) + ", \"tid\": " + buf +
+           ", \"args\": {\"name\": \"" + json_escape(e.job_name) + "\"}}");
+    }
+  }
+
+  for (const Event& e : events) {
+    const std::uint32_t pid = tenant_pid_locked(e.tenant);
+    char ts[64];
+    std::snprintf(ts, sizeof(ts), "%.3f", e.start_s * 1e6);
+    if (e.instant) {
+      emit("{\"ph\": \"i\", \"pid\": " + std::to_string(pid) +
+           ", \"tid\": " + std::to_string(e.job_id) + ", \"ts\": " + ts +
+           ", \"name\": \"" + json_escape(e.label) + "\", \"s\": \"t\"}");
+    } else {
+      char dur[64];
+      std::snprintf(dur, sizeof(dur), "%.3f", e.dur_s * 1e6);
+      emit("{\"ph\": \"X\", \"pid\": " + std::to_string(pid) +
+           ", \"tid\": " + std::to_string(e.job_id) + ", \"ts\": " + ts +
+           ", \"dur\": " + dur + ", \"name\": \"" + json_escape(e.label) +
+           "\", \"cat\": \"" + json_escape(e.phase) + "\"}");
+    }
+  }
+  os << "\n]\n}\n";
+  return os.str();
+}
+
+void JobTraceRecorder::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  NU_CHECK(out.good(), "cannot open job-trace output file '" + path + "'");
+  out << to_json();
+  NU_CHECK(out.good(), "failed writing job trace to '" + path + "'");
+}
+
+}  // namespace northup::svc

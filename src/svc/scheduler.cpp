@@ -1,0 +1,89 @@
+#include "northup/svc/scheduler.hpp"
+
+#include <algorithm>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::svc {
+
+const char* state_name(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Rejected: return "rejected";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::Expired: return "expired";
+  }
+  return "?";
+}
+
+const char* policy_name(SchedulingPolicy policy) {
+  return policy == SchedulingPolicy::Fifo ? "fifo" : "fair";
+}
+
+void JobScheduler::enqueue(std::shared_ptr<JobControl> job) {
+  NU_CHECK(job->request.weight > 0.0, "job weight must be positive");
+  if (policy_ == SchedulingPolicy::WeightedFair) {
+    // A tenant (re)joining the active set starts at the floor of the
+    // currently waiting tenants' clocks: it competes fairly from now on
+    // but earns no credit for the time it sat idle.
+    double floor = 0.0;
+    bool any = false;
+    for (const auto& pending : pending_) {
+      const double vt = virtual_time_[pending->request.tenant];
+      floor = any ? std::min(floor, vt) : vt;
+      any = true;
+    }
+    auto [it, inserted] = virtual_time_.try_emplace(job->request.tenant, 0.0);
+    if (any) it->second = std::max(it->second, floor);
+  }
+  pending_.push_back(std::move(job));
+}
+
+bool JobScheduler::erase(const JobControl* job) {
+  const auto it = std::find_if(
+      pending_.begin(), pending_.end(),
+      [job](const std::shared_ptr<JobControl>& p) { return p.get() == job; });
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  return true;
+}
+
+std::vector<std::shared_ptr<JobControl>> JobScheduler::ordered() const {
+  std::vector<std::shared_ptr<JobControl>> out = pending_;
+  if (policy_ == SchedulingPolicy::WeightedFair) {
+    std::stable_sort(
+        out.begin(), out.end(),
+        [this](const std::shared_ptr<JobControl>& a,
+               const std::shared_ptr<JobControl>& b) {
+          if (a->request.priority != b->request.priority) {
+            return a->request.priority > b->request.priority;
+          }
+          const auto vt = [this](const std::shared_ptr<JobControl>& j) {
+            const auto it = virtual_time_.find(j->request.tenant);
+            return it != virtual_time_.end() ? it->second : 0.0;
+          };
+          const double va = vt(a);
+          const double vb = vt(b);
+          if (va != vb) return va < vb;
+          return a->seq < b->seq;
+        });
+  }
+  return out;
+}
+
+void JobScheduler::charge(const std::string& tenant, double weight,
+                          double seconds) {
+  if (policy_ != SchedulingPolicy::WeightedFair) return;
+  NU_CHECK(weight > 0.0, "job weight must be positive");
+  virtual_time_[tenant] += seconds / weight;
+}
+
+double JobScheduler::virtual_time(const std::string& tenant) const {
+  const auto it = virtual_time_.find(tenant);
+  return it != virtual_time_.end() ? it->second : 0.0;
+}
+
+}  // namespace northup::svc

@@ -1,0 +1,382 @@
+#include "northup/svc/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "northup/sim/models.hpp"
+#include "northup/util/assert.hpp"
+#include "northup/util/log.hpp"
+
+namespace northup::svc {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point then) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - then)
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- JobHandle
+
+JobState JobHandle::state() const {
+  NU_CHECK(control_, "state() on an invalid JobHandle");
+  std::lock_guard<std::mutex> lock(control_->mu);
+  return control_->result.state;
+}
+
+bool JobHandle::done() const {
+  NU_CHECK(control_, "done() on an invalid JobHandle");
+  std::lock_guard<std::mutex> lock(control_->mu);
+  return control_->done;
+}
+
+const JobResult& JobHandle::wait() const {
+  NU_CHECK(control_, "wait() on an invalid JobHandle");
+  std::unique_lock<std::mutex> lock(control_->mu);
+  control_->cv.wait(lock, [this] { return control_->done; });
+  return control_->result;
+}
+
+const JobResult& JobHandle::result() const {
+  NU_CHECK(control_, "result() on an invalid JobHandle");
+  std::lock_guard<std::mutex> lock(control_->mu);
+  NU_CHECK(control_->done, "result() before the job finished; use wait()");
+  return control_->result;
+}
+
+bool JobHandle::cancel() {
+  NU_CHECK(control_ && service_, "cancel() on an invalid JobHandle");
+  return service_->cancel(control_);
+}
+
+// ---------------------------------------------------------------- JobService
+
+JobService::JobService(ServiceOptions options)
+    : options_(std::move(options)),
+      machine_(std::make_unique<core::Runtime>(
+          make_tree(options_.machine),
+          core::RuntimeOptions{.enable_sim = false,
+                               .file_dir = options_.file_dir,
+                               // The ledger needs the BufferPools.
+                               .enable_shard_cache = true})),
+      admission_(*machine_),
+      pool_(std::max<std::size_t>(1, options_.workers)),
+      scheduler_(options_.policy) {
+  NU_CHECK(options_.machine_levels == 2 || options_.machine_levels == 3,
+           "machine_levels must be 2 (APU) or 3 (discrete GPU)");
+  NU_CHECK(options_.max_queue_depth > 0, "max_queue_depth must be positive");
+  auto& metrics = machine_->metrics();
+  metrics.gauge("svc.queue.depth").set(0.0);
+  metrics.gauge("svc.queue.high_water").set(0.0);
+  metrics.gauge("svc.running").set(0.0);
+}
+
+JobService::~JobService() { wait_all(); }
+
+topo::TopoTree JobService::make_tree(const topo::PresetOptions& preset) const {
+  return options_.machine_levels == 2
+             ? topo::apu_two_level(options_.file_kind, preset)
+             : topo::dgpu_three_level(options_.file_kind, preset);
+}
+
+std::size_t JobService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scheduler_.depth();
+}
+
+std::size_t JobService::running_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+JobHandle JobService::submit(JobRequest request) {
+  return submit_impl(std::move(request), /*blocking=*/true);
+}
+
+JobHandle JobService::try_submit(JobRequest request) {
+  return submit_impl(std::move(request), /*blocking=*/false);
+}
+
+JobHandle JobService::submit_impl(JobRequest request, bool blocking) {
+  auto& metrics = machine_->metrics();
+  metrics.counter("svc.jobs.submitted").increment();
+
+  auto job = std::make_shared<JobControl>();
+  job->kind = kind_of(request);
+  job->preferred = estimate_footprint(request);
+  job->floor = min_footprint(request);
+  job->request = std::move(request);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  job->id = next_id_++;
+  if (job->request.name.empty()) {
+    job->request.name =
+        std::string(kind_name(job->kind)) + "-" + std::to_string(job->id);
+  }
+
+  // Fast rejection: a floor that exceeds some node's total capacity can
+  // never be admitted, full stop.
+  const std::string impossible = admission_.impossible_reason(job->floor);
+  if (!impossible.empty()) {
+    metrics.counter("svc.jobs.rejected.capacity").increment();
+    std::lock_guard<std::mutex> job_lock(job->mu);
+    job->done = true;
+    job->result.state = JobState::Rejected;
+    job->result.error = impossible;
+    job->cv.notify_all();
+    return JobHandle(std::move(job), this);
+  }
+
+  // Bounded queue: block (submit) or reject (try_submit) when full.
+  if (blocking) {
+    queue_space_cv_.wait(
+        lock, [this] { return scheduler_.depth() < options_.max_queue_depth; });
+  } else if (scheduler_.depth() >= options_.max_queue_depth) {
+    metrics.counter("svc.jobs.rejected.queue_full").increment();
+    std::lock_guard<std::mutex> job_lock(job->mu);
+    job->done = true;
+    job->result.state = JobState::Rejected;
+    job->result.error = "queue full (" +
+                        std::to_string(options_.max_queue_depth) +
+                        " jobs already waiting)";
+    job->cv.notify_all();
+    return JobHandle(std::move(job), this);
+  }
+
+  job->seq = next_seq_++;
+  job->submit_time = std::chrono::steady_clock::now();
+  metrics.counter("svc.jobs.admitted").increment();
+  scheduler_.enqueue(job);
+  const double depth = static_cast<double>(scheduler_.depth());
+  queue_high_water_ = std::max(queue_high_water_, depth);
+  metrics.gauge("svc.queue.depth").set(depth);
+  metrics.gauge("svc.queue.high_water").set(queue_high_water_);
+
+  dispatch_locked();
+  return JobHandle(std::move(job), this);
+}
+
+void JobService::finalize_unrun_locked(const std::shared_ptr<JobControl>& job,
+                                       JobState state,
+                                       const std::string& error) {
+  auto& metrics = machine_->metrics();
+  metrics.gauge("svc.queue.depth")
+      .set(static_cast<double>(scheduler_.depth()));
+  {
+    std::lock_guard<std::mutex> job_lock(job->mu);
+    job->done = true;
+    job->result.state = state;
+    job->result.error = error;
+    job->result.latency_s = seconds_since(job->submit_time);
+    job->result.queue_wait_s = job->result.latency_s;
+    job->cv.notify_all();
+  }
+  trace_.record_instant(job->request.tenant, job->id, job->request.name,
+                        state_name(state), trace_.now());
+  queue_space_cv_.notify_all();
+  drain_cv_.notify_all();
+}
+
+void JobService::dispatch_locked() {
+  auto& metrics = machine_->metrics();
+  for (const auto& job : scheduler_.ordered()) {
+    if (job->cancel_requested.load(std::memory_order_relaxed)) {
+      scheduler_.erase(job.get());
+      metrics.counter("svc.jobs.cancelled").increment();
+      finalize_unrun_locked(job, JobState::Cancelled, "cancelled while queued");
+      continue;
+    }
+    const double deadline = job->request.deadline_s;
+    if (deadline > 0.0 && seconds_since(job->submit_time) > deadline) {
+      scheduler_.erase(job.get());
+      metrics.counter("svc.jobs.expired").increment();
+      finalize_unrun_locked(job, JobState::Expired,
+                            "deadline of " + std::to_string(deadline) +
+                                " s passed while queued");
+      continue;
+    }
+    JobFootprint granted;
+    if (admission_.try_reserve(job->preferred, job->floor, granted)) {
+      scheduler_.erase(job.get());
+      {
+        std::lock_guard<std::mutex> job_lock(job->mu);
+        job->result.state = JobState::Running;
+        job->result.granted = granted;
+      }
+      ++running_;
+      metrics.gauge("svc.running").set(static_cast<double>(running_));
+      metrics.gauge("svc.queue.depth")
+          .set(static_cast<double>(scheduler_.depth()));
+      queue_space_cv_.notify_all();
+      pool_.submit([this, job, granted] { run_job(job, granted); });
+    } else if (scheduler_.head_of_line_blocking()) {
+      // FIFO: nothing younger may overtake a head that does not fit.
+      break;
+    }
+  }
+}
+
+void JobService::run_job(std::shared_ptr<JobControl> job,
+                         JobFootprint granted) {
+  auto& metrics = machine_->metrics();
+  const std::string& tenant = job->request.tenant;
+  const std::string& name = job->request.name;
+
+  const double queue_wait = seconds_since(job->submit_time);
+  metrics.histogram("svc.latency.queue_wait").record(queue_wait);
+  const double dispatch_ts = trace_.now();
+  trace_.record_span(tenant, job->id, name, "queue", "queue",
+                     std::max(0.0, dispatch_ts - queue_wait), dispatch_ts);
+
+  topo::PresetOptions job_preset = options_.machine;
+  job_preset.root_capacity = granted.root_bytes;
+  job_preset.staging_capacity = granted.staging_bytes;
+  if (options_.machine_levels >= 3) {
+    job_preset.device_capacity = granted.device_bytes;
+  }
+
+  JobState state = JobState::Failed;
+  std::string error;
+  algos::RunStats stats;
+  std::uint32_t attempt = 0;
+  double exec_seconds = 0.0;
+  const std::uint32_t max_attempts = 1 + job->request.max_retries;
+
+  while (attempt < max_attempts) {
+    ++attempt;
+    if (job->cancel_requested.load(std::memory_order_relaxed)) {
+      state = JobState::Cancelled;
+      error = "cancelled before attempt " + std::to_string(attempt);
+      metrics.counter("svc.jobs.cancelled").increment();
+      trace_.record_instant(tenant, job->id, name, "cancelled", trace_.now());
+      break;
+    }
+    const double attempt_start = trace_.now();
+    const auto attempt_timer = std::chrono::steady_clock::now();
+    try {
+      core::Runtime rt(make_tree(job_preset),
+                       core::RuntimeOptions{
+                           .enable_sim = options_.enable_sim,
+                           .file_dir = options_.file_dir,
+                           .enable_shard_cache = options_.enable_shard_cache});
+      if (attempt <= job->request.fault.failing_attempts) {
+        // Deterministic failure testing: wrap the DRAM staging node in a
+        // faulting decorator armed per the job's plan.
+        const topo::NodeId dram = rt.tree().find("dram");
+        NU_CHECK(dram != topo::kInvalidNode,
+                 "fault plan needs a 'dram' node in the job tree");
+        auto wrapped = std::make_unique<mem::FaultInjectingStorage>(
+            std::make_unique<mem::HostStorage>(
+                "dram", mem::StorageKind::Dram,
+                rt.tree().memory(dram).capacity, sim::ModelPresets::dram()));
+        wrapped->arm(job->request.fault.kind, job->request.fault.countdown);
+        rt.dm().bind_storage(dram, std::move(wrapped));
+      }
+      stats = std::visit(
+          [&rt](const auto& config) {
+            using T = std::decay_t<decltype(config)>;
+            if constexpr (std::is_same_v<T, algos::GemmConfig>) {
+              return algos::gemm_northup(rt, config);
+            } else if constexpr (std::is_same_v<T, algos::HotspotConfig>) {
+              return algos::hotspot_northup(rt, config);
+            } else {
+              return algos::spmv_northup(rt, config);
+            }
+          },
+          job->request.config);
+      exec_seconds += seconds_since(attempt_timer);
+      trace_.record_span(tenant, job->id, name,
+                         "run#" + std::to_string(attempt), "run",
+                         attempt_start, trace_.now());
+      state = JobState::Done;
+      error.clear();
+      break;
+    } catch (const util::IoError& e) {
+      exec_seconds += seconds_since(attempt_timer);
+      trace_.record_span(tenant, job->id, name,
+                         "run#" + std::to_string(attempt) + " (I/O fault)",
+                         "run", attempt_start, trace_.now());
+      metrics.counter("svc.jobs.io_faults").increment();
+      error = e.what();
+      if (attempt < max_attempts) {
+        metrics.counter("svc.jobs.retries").increment();
+        trace_.record_instant(tenant, job->id, name, "retry", trace_.now());
+        continue;
+      }
+      error = "I/O fault persisted through " + std::to_string(attempt) +
+              " attempts: " + error;
+    } catch (const std::exception& e) {
+      // Capacity and logic errors are not transient; fail immediately.
+      exec_seconds += seconds_since(attempt_timer);
+      trace_.record_span(tenant, job->id, name,
+                         "run#" + std::to_string(attempt) + " (error)", "run",
+                         attempt_start, trace_.now());
+      error = e.what();
+      break;
+    }
+  }
+  if (state == JobState::Failed) {
+    metrics.counter("svc.jobs.failed").increment();
+    trace_.record_instant(tenant, job->id, name, "failed", trace_.now());
+  } else if (state == JobState::Done) {
+    metrics.counter("svc.jobs.completed").increment();
+  }
+
+  const double latency = seconds_since(job->submit_time);
+  metrics.histogram("svc.latency.e2e").record(latency);
+  metrics.histogram("svc.latency.exec").record(exec_seconds);
+
+  admission_.release(granted);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scheduler_.charge(job->request.tenant, job->request.weight, exec_seconds);
+    --running_;
+    metrics.gauge("svc.running").set(static_cast<double>(running_));
+    {
+      std::lock_guard<std::mutex> job_lock(job->mu);
+      job->done = true;
+      job->result.state = state;
+      job->result.error = error;
+      job->result.stats = stats;
+      job->result.queue_wait_s = queue_wait;
+      job->result.latency_s = latency;
+      job->result.attempts = attempt;
+      job->cv.notify_all();
+    }
+    drain_cv_.notify_all();
+    dispatch_locked();  // freed capacity may admit waiting jobs
+  }
+}
+
+bool JobService::cancel(const std::shared_ptr<JobControl>& job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> job_lock(job->mu);
+    if (job->done) return false;
+  }
+  job->cancel_requested.store(true, std::memory_order_relaxed);
+  if (scheduler_.erase(job.get())) {
+    machine_->metrics().counter("svc.jobs.cancelled").increment();
+    finalize_unrun_locked(job, JobState::Cancelled, "cancelled while queued");
+    dispatch_locked();  // cancellation is a dispatch point
+  }
+  // A running job observes the flag before its next attempt; its current
+  // attempt runs to completion (attempts are not interruptible).
+  return true;
+}
+
+void JobService::kick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dispatch_locked();
+}
+
+void JobService::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock,
+                 [this] { return scheduler_.depth() == 0 && running_ == 0; });
+}
+
+}  // namespace northup::svc

@@ -1,6 +1,6 @@
 // ScopedBuffer RAII semantics: release on scope exit (capacity restored),
 // move-only ownership transfer, detach, and idempotent reset — plus the
-// CopySpec overloads matching the deprecated positional move_data forms.
+// CopySpec move overloads and their offset handling.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -134,30 +134,18 @@ TEST_F(ScopedBufferTest, TableICallsGoThroughDereference) {
   EXPECT_EQ(back, data);
 }
 
-TEST_F(ScopedBufferTest, CopySpecMatchesDeprecatedPositionalForm) {
+TEST_F(ScopedBufferTest, CopySpecOffsetsAreHonored) {
   nd::ScopedBuffer src(*dm_, 8192, root_);
-  nd::ScopedBuffer via_spec(*dm_, 4096, dram_);
-  nd::ScopedBuffer via_shim(*dm_, 4096, dram_);
+  nd::ScopedBuffer dst(*dm_, 4096, dram_);
   std::vector<std::uint8_t> data(8192);
   for (std::size_t i = 0; i < data.size(); ++i) {
     data[i] = static_cast<std::uint8_t>(i * 7);
   }
   dm_->write_from_host(*src, data.data(), data.size());
 
-  const auto before = dm_->bytes_moved();
-  dm_->move_data(*via_spec, *src, {.size = 2048, .src_offset = 1024});
-  const auto spec_delta = dm_->bytes_moved() - before;
-  // The positional shim is deprecated but must stay byte-equivalent until
-  // it is removed; this is its one sanctioned caller.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  dm_->move_data(*via_shim, *src, 2048, 0, 1024);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(dm_->bytes_moved() - before, 2 * spec_delta);
+  dm_->move_data(*dst, *src, {.size = 2048, .src_offset = 1024});
 
-  std::vector<std::uint8_t> a(2048), b(2048);
-  dm_->read_to_host(a.data(), *via_spec, 2048);
-  dm_->read_to_host(b.data(), *via_shim, 2048);
-  EXPECT_EQ(a, b);
-  EXPECT_TRUE(std::memcmp(a.data(), data.data() + 1024, 2048) == 0);
+  std::vector<std::uint8_t> back(2048);
+  dm_->read_to_host(back.data(), *dst, 2048);
+  EXPECT_TRUE(std::memcmp(back.data(), data.data() + 1024, 2048) == 0);
 }

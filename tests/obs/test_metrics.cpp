@@ -72,6 +72,69 @@ TEST(MetricsRegistry, SnapshotsAreSortedByName) {
   EXPECT_DOUBLE_EQ(reg.gauge_values().at("g"), 3.0);
 }
 
+TEST(Histogram, EmptyReadsAsZero) {
+  no::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.0);
+}
+
+TEST(Histogram, ExactAccumulatorsAndBucketedQuantiles) {
+  no::Histogram h;
+  // 100 samples spread over two decades: 1ms .. 100ms.
+  for (int i = 1; i <= 100; ++i) h.record(1e-3 * i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.sum(), 5.050, 1e-9);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 0.100);
+  EXPECT_NEAR(h.mean(), 0.0505, 1e-12);
+  // Log buckets at 6/octave carry <= ~12% relative error.
+  EXPECT_NEAR(h.quantile(0.5), 0.050, 0.050 * 0.13);
+  EXPECT_NEAR(h.quantile(0.95), 0.095, 0.095 * 0.13);
+  // Quantiles are clamped into the exact [min, max] envelope.
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(Histogram, SingleSampleQuantilesCollapseToIt) {
+  no::Histogram h;
+  h.record(0.25);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.25);
+}
+
+TEST(Histogram, NonPositiveValuesStillCount) {
+  no::Histogram h;
+  h.record(0.0);
+  h.record(-1.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(MetricsRegistry, HistogramJsonSectionOnlyWhenPresent) {
+  no::MetricsRegistry reg;
+  reg.counter("c").add(1);
+  // Golden metrics dumps from before histograms existed must not change.
+  EXPECT_EQ(reg.to_json().find("\"histograms\""), std::string::npos);
+  reg.histogram("svc.latency.e2e").record(0.5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"svc.latency.e2e\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  const auto snaps = reg.histogram_values();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps.at("svc.latency.e2e").count, 1u);
+}
+
 TEST(MetricsRegistry, ToJsonListsCountersAndGauges) {
   no::MetricsRegistry reg;
   reg.counter("dm.moves").add(5);

@@ -1,0 +1,70 @@
+// Job-model unit tests: kind dispatch, footprint estimation invariants
+// (floor <= preferred, root covers the exact input/output bytes), and the
+// explicit footprint override.
+#include <gtest/gtest.h>
+
+#include "northup/svc/job.hpp"
+
+namespace na = northup::algos;
+namespace nsv = northup::svc;
+
+TEST(JobModel, KindOfFollowsConfigAlternative) {
+  nsv::JobRequest r;
+  r.config = na::GemmConfig{};
+  EXPECT_EQ(nsv::kind_of(r), nsv::JobKind::Gemm);
+  r.config = na::HotspotConfig{};
+  EXPECT_EQ(nsv::kind_of(r), nsv::JobKind::Hotspot);
+  r.config = na::SpmvConfig{};
+  EXPECT_EQ(nsv::kind_of(r), nsv::JobKind::Spmv);
+  EXPECT_STREQ(nsv::kind_name(nsv::JobKind::Gemm), "gemm");
+  EXPECT_STREQ(nsv::kind_name(nsv::JobKind::Hotspot), "hotspot");
+  EXPECT_STREQ(nsv::kind_name(nsv::JobKind::Spmv), "spmv");
+}
+
+TEST(JobModel, FloorNeverExceedsPreferred) {
+  for (const std::uint64_t n : {64u, 128u, 256u}) {
+    nsv::JobRequest r;
+    r.config = na::GemmConfig{.n = n};
+    const auto preferred = nsv::estimate_footprint(r);
+    const auto floor = nsv::min_footprint(r);
+    EXPECT_LE(floor.root_bytes, preferred.root_bytes) << "n=" << n;
+    EXPECT_LE(floor.staging_bytes, preferred.staging_bytes) << "n=" << n;
+    EXPECT_LE(floor.device_bytes, preferred.device_bytes) << "n=" << n;
+  }
+}
+
+TEST(JobModel, GemmRootCoversExactMatrixBytes) {
+  nsv::JobRequest r;
+  r.config = na::GemmConfig{.n = 128};
+  // A, B, C are allocated exactly on the root; the floor must cover them.
+  EXPECT_GE(nsv::min_footprint(r).root_bytes, 3u * 128 * 128 * 4);
+}
+
+TEST(JobModel, HotspotRootCoversGridsAndHalos) {
+  nsv::JobRequest r;
+  r.config = na::HotspotConfig{.n = 64};
+  EXPECT_GE(nsv::min_footprint(r).root_bytes, 3u * 64 * 64 * 4);
+  // Staging floor must fit the leaf-tile in-flight set with safety slack.
+  EXPECT_GE(nsv::min_footprint(r).staging_bytes, 4u * 16 * 16 * 4);
+}
+
+TEST(JobModel, SpmvStagingKeepsDenseVectorResident) {
+  nsv::JobRequest r;
+  r.config = na::SpmvConfig{.rows = 10000, .avg_nnz = 8};
+  const auto floor = nsv::min_footprint(r);
+  // x must stay resident below the root — twice, plus a shard budget.
+  EXPECT_GE(floor.staging_bytes, 2u * 10000 * 4);
+  EXPECT_GE(floor.device_bytes, 2u * 10000 * 4);
+}
+
+TEST(JobModel, ExplicitFootprintOverridesEstimation) {
+  nsv::JobRequest r;
+  r.config = na::GemmConfig{.n = 256};
+  r.footprint = {.root_bytes = 111, .staging_bytes = 222, .device_bytes = 333};
+  const auto preferred = nsv::estimate_footprint(r);
+  const auto floor = nsv::min_footprint(r);
+  EXPECT_EQ(preferred.root_bytes, 111u);
+  EXPECT_EQ(preferred.staging_bytes, 222u);
+  EXPECT_EQ(floor.device_bytes, 333u);
+  EXPECT_EQ(floor.root_bytes, preferred.root_bytes);
+}

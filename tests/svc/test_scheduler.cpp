@@ -1,0 +1,99 @@
+// JobScheduler ordering-policy tests: FIFO arrival order with
+// head-of-line blocking, weighted-fair priority/virtual-time ordering,
+// and the idle-tenant rejoin rule.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "northup/svc/scheduler.hpp"
+
+namespace nsv = northup::svc;
+
+namespace {
+
+std::shared_ptr<nsv::JobControl> make_job(std::uint64_t seq,
+                                          const std::string& tenant,
+                                          int priority = 0,
+                                          double weight = 1.0) {
+  auto job = std::make_shared<nsv::JobControl>();
+  job->id = seq + 1;
+  job->seq = seq;
+  job->request.tenant = tenant;
+  job->request.priority = priority;
+  job->request.weight = weight;
+  return job;
+}
+
+}  // namespace
+
+TEST(JobScheduler, FifoKeepsArrivalOrderAndBlocksHeadOfLine) {
+  nsv::JobScheduler sched(nsv::SchedulingPolicy::Fifo);
+  auto a = make_job(0, "t1", /*priority=*/0);
+  auto b = make_job(1, "t2", /*priority=*/9);  // priority is ignored
+  sched.enqueue(a);
+  sched.enqueue(b);
+  const auto order = sched.ordered();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0].get(), a.get());
+  EXPECT_EQ(order[1].get(), b.get());
+  EXPECT_TRUE(sched.head_of_line_blocking());
+}
+
+TEST(JobScheduler, WeightedFairOrdersByPriorityThenVirtualTime) {
+  nsv::JobScheduler sched(nsv::SchedulingPolicy::WeightedFair);
+  EXPECT_FALSE(sched.head_of_line_blocking());
+  // heavy has consumed lots of service; light none; vip outranks both.
+  // (light enqueues first: a tenant joining later never keeps a clock
+  // below the already-pending floor.)
+  sched.charge("heavy", 1.0, 10.0);
+  auto l = make_job(0, "light");
+  auto h = make_job(1, "heavy");
+  auto v = make_job(2, "heavy", /*priority=*/1);
+  sched.enqueue(l);
+  sched.enqueue(h);
+  sched.enqueue(v);
+  const auto order = sched.ordered();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].get(), v.get());  // priority wins outright
+  EXPECT_EQ(order[1].get(), l.get());  // lower virtual time next
+  EXPECT_EQ(order[2].get(), h.get());
+}
+
+TEST(JobScheduler, WeightDividesChargedService) {
+  nsv::JobScheduler sched(nsv::SchedulingPolicy::WeightedFair);
+  sched.charge("gold", 4.0, 8.0);    // 2 s of virtual time
+  sched.charge("bronze", 1.0, 4.0);  // 4 s of virtual time
+  EXPECT_DOUBLE_EQ(sched.virtual_time("gold"), 2.0);
+  EXPECT_DOUBLE_EQ(sched.virtual_time("bronze"), 4.0);
+  auto g = make_job(0, "gold");
+  auto b = make_job(1, "bronze");
+  sched.enqueue(b);
+  sched.enqueue(g);
+  EXPECT_EQ(sched.ordered()[0].get(), g.get());
+}
+
+TEST(JobScheduler, IdleTenantRejoinsAtPendingFloorNotZero) {
+  nsv::JobScheduler sched(nsv::SchedulingPolicy::WeightedFair);
+  sched.charge("busy", 1.0, 5.0);
+  auto busy = make_job(0, "busy");
+  sched.enqueue(busy);
+  // "fresh" was idle the whole time; it must not start infinitely ahead —
+  // it rejoins at the floor of the pending tenants' clocks.
+  auto fresh = make_job(1, "fresh");
+  sched.enqueue(fresh);
+  EXPECT_DOUBLE_EQ(sched.virtual_time("fresh"), 5.0);
+  // Ties resolve by arrival order.
+  EXPECT_EQ(sched.ordered()[0].get(), busy.get());
+}
+
+TEST(JobScheduler, EraseRemovesExactlyThatJob) {
+  nsv::JobScheduler sched(nsv::SchedulingPolicy::Fifo);
+  auto a = make_job(0, "t");
+  auto b = make_job(1, "t");
+  sched.enqueue(a);
+  sched.enqueue(b);
+  EXPECT_TRUE(sched.erase(a.get()));
+  EXPECT_FALSE(sched.erase(a.get()));  // already gone
+  ASSERT_EQ(sched.depth(), 1u);
+  EXPECT_EQ(sched.ordered()[0].get(), b.get());
+}

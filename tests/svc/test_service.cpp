@@ -1,0 +1,243 @@
+// End-to-end JobService behavior: capacity fast-rejection with a useful
+// error, bounded-queue backpressure, deadline expiry and cancellation of
+// queued jobs, fault-injected retry, and the concurrent == serial
+// numerical guarantee, plus the observability surface (latency
+// histograms, queue gauges, per-job Chrome trace).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "northup/svc/service.hpp"
+
+namespace na = northup::algos;
+namespace nsv = northup::svc;
+
+namespace {
+
+nsv::ServiceOptions small_machine() {
+  nsv::ServiceOptions opts;
+  opts.machine_levels = 2;  // APU preset: storage -> DRAM leaf
+  opts.machine.root_capacity = 64ULL << 20;
+  opts.machine.staging_capacity = 8ULL << 20;
+  opts.workers = 2;
+  return opts;
+}
+
+na::GemmConfig small_gemm() {
+  na::GemmConfig config;
+  config.n = 64;
+  config.verify_samples = 32;
+  return config;
+}
+
+/// Pins every byte of the machine's staging level so nothing can be
+/// admitted until release; returns the blocking grant.
+nsv::JobFootprint block_staging(nsv::JobService& service) {
+  nsv::AdmissionController& adm = service.admission();
+  nsv::JobFootprint want;
+  want.staging_bytes =
+      adm.level_capacity(1) - adm.reserved_bytes(1);
+  nsv::JobFootprint granted;
+  EXPECT_TRUE(adm.try_reserve(want, want, granted));
+  return granted;
+}
+
+}  // namespace
+
+TEST(JobService, RejectsImpossibleJobWithNodeAndByteDetail) {
+  auto opts = small_machine();
+  opts.machine.root_capacity = 1ULL << 20;  // 1 MiB root
+  nsv::JobService service(opts);
+
+  nsv::JobRequest request;
+  request.config = na::GemmConfig{.n = 512};  // needs 3 MiB on the root
+  nsv::JobHandle handle = service.submit(request);
+
+  const nsv::JobResult& result = handle.wait();
+  EXPECT_EQ(result.state, nsv::JobState::Rejected);
+  EXPECT_NE(result.error.find("storage"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("can never be admitted"), std::string::npos);
+  EXPECT_NE(result.error.find("B"), std::string::npos);  // byte counts
+  EXPECT_EQ(service.metrics().counter_values().at("svc.jobs.rejected.capacity"),
+            1u);
+  EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+TEST(JobService, BoundedQueueAppliesBackpressure) {
+  auto opts = small_machine();
+  opts.max_queue_depth = 2;
+  opts.policy = nsv::SchedulingPolicy::Fifo;
+  nsv::JobService service(opts);
+
+  const nsv::JobFootprint blocker = block_staging(service);
+  nsv::JobRequest request;
+  request.config = small_gemm();
+
+  nsv::JobHandle a = service.submit(request);
+  nsv::JobHandle b = service.submit(request);
+  EXPECT_EQ(service.queue_depth(), 2u);
+  EXPECT_EQ(a.state(), nsv::JobState::Queued);
+
+  nsv::JobHandle c = service.try_submit(request);
+  const nsv::JobResult& rejected = c.wait();
+  EXPECT_EQ(rejected.state, nsv::JobState::Rejected);
+  EXPECT_NE(rejected.error.find("queue full"), std::string::npos);
+  EXPECT_EQ(
+      service.metrics().counter_values().at("svc.jobs.rejected.queue_full"),
+      1u);
+
+  service.admission().release(blocker);
+  service.kick();
+  EXPECT_EQ(a.wait().state, nsv::JobState::Done);
+  EXPECT_EQ(b.wait().state, nsv::JobState::Done);
+  service.wait_all();
+  EXPECT_EQ(service.queue_depth(), 0u);
+  EXPECT_EQ(service.running_count(), 0u);
+}
+
+TEST(JobService, DeadlineExpiresJobStillQueued) {
+  nsv::JobService service(small_machine());
+  const nsv::JobFootprint blocker = block_staging(service);
+
+  nsv::JobRequest request;
+  request.config = small_gemm();
+  request.deadline_s = 0.05;
+  nsv::JobHandle handle = service.submit(request);
+  EXPECT_EQ(handle.state(), nsv::JobState::Queued);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  service.kick();  // dispatch point: notices the passed deadline
+
+  const nsv::JobResult& result = handle.wait();
+  EXPECT_EQ(result.state, nsv::JobState::Expired);
+  EXPECT_NE(result.error.find("deadline"), std::string::npos);
+  EXPECT_EQ(service.metrics().counter_values().at("svc.jobs.expired"), 1u);
+  service.admission().release(blocker);
+}
+
+TEST(JobService, CancelRemovesQueuedJob) {
+  nsv::JobService service(small_machine());
+  const nsv::JobFootprint blocker = block_staging(service);
+
+  nsv::JobRequest request;
+  request.config = small_gemm();
+  nsv::JobHandle handle = service.submit(request);
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_EQ(handle.wait().state, nsv::JobState::Cancelled);
+  EXPECT_FALSE(handle.cancel());  // already terminal
+  EXPECT_EQ(service.metrics().counter_values().at("svc.jobs.cancelled"), 1u);
+  service.admission().release(blocker);
+}
+
+TEST(JobService, FaultInjectedJobRetriesAndSucceeds) {
+  nsv::JobService service(small_machine());
+
+  nsv::JobRequest request;
+  request.config = small_gemm();
+  request.fault = {.failing_attempts = 1,
+                   .kind = northup::mem::FaultKind::Write,
+                   .countdown = 1};
+  request.max_retries = 1;
+  nsv::JobHandle handle = service.submit(request);
+
+  const nsv::JobResult& result = handle.wait();
+  EXPECT_EQ(result.state, nsv::JobState::Done) << result.error;
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_TRUE(result.stats.verified);
+  const auto counters = service.metrics().counter_values();
+  EXPECT_EQ(counters.at("svc.jobs.retries"), 1u);
+  EXPECT_EQ(counters.at("svc.jobs.io_faults"), 1u);
+  EXPECT_EQ(counters.at("svc.jobs.completed"), 1u);
+}
+
+TEST(JobService, FaultWithoutRetryBudgetFails) {
+  nsv::JobService service(small_machine());
+
+  nsv::JobRequest request;
+  request.config = small_gemm();
+  request.fault = {.failing_attempts = 1,
+                   .kind = northup::mem::FaultKind::Write,
+                   .countdown = 1};
+  request.max_retries = 0;
+  nsv::JobHandle handle = service.submit(request);
+
+  const nsv::JobResult& result = handle.wait();
+  EXPECT_EQ(result.state, nsv::JobState::Failed);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_NE(result.error.find("I/O fault"), std::string::npos) << result.error;
+  EXPECT_EQ(service.metrics().counter_values().at("svc.jobs.failed"), 1u);
+}
+
+TEST(JobService, ConcurrentJobsMatchSerialNumerically) {
+  // Pin the footprint so the grant — and therefore the per-job runtime's
+  // capacities and block decomposition — is identical whether the jobs
+  // run concurrently or one at a time.
+  nsv::JobRequest request;
+  request.config = small_gemm();
+  request.footprint = {.root_bytes = 1ULL << 20,
+                       .staging_bytes = 2ULL << 20,
+                       .device_bytes = 0};
+
+  auto serial_opts = small_machine();
+  serial_opts.workers = 1;
+  nsv::JobService serial(serial_opts);
+  const nsv::JobResult first = serial.submit(request).wait();
+  const nsv::JobResult second = serial.submit(request).wait();
+  ASSERT_EQ(first.state, nsv::JobState::Done) << first.error;
+  EXPECT_EQ(first.stats.max_rel_err, second.stats.max_rel_err);
+
+  nsv::JobService concurrent(small_machine());  // staging fits both grants
+  request.tenant = "alice";
+  nsv::JobHandle a = concurrent.submit(request);
+  request.tenant = "bob";
+  nsv::JobHandle b = concurrent.submit(request);
+  const nsv::JobResult& ra = a.wait();
+  const nsv::JobResult& rb = b.wait();
+  ASSERT_EQ(ra.state, nsv::JobState::Done) << ra.error;
+  ASSERT_EQ(rb.state, nsv::JobState::Done) << rb.error;
+
+  // Same grant, same seed, same decomposition: bitwise-identical stats.
+  EXPECT_TRUE(ra.stats.verified);
+  EXPECT_TRUE(rb.stats.verified);
+  EXPECT_EQ(ra.stats.max_rel_err, first.stats.max_rel_err);
+  EXPECT_EQ(rb.stats.max_rel_err, first.stats.max_rel_err);
+  EXPECT_EQ(ra.stats.bytes_moved, first.stats.bytes_moved);
+  EXPECT_EQ(ra.stats.makespan, first.stats.makespan);
+}
+
+TEST(JobService, ObservabilitySurfaceIsPopulated) {
+  nsv::JobService service(small_machine());
+  nsv::JobRequest request;
+  request.config = small_gemm();
+  request.tenant = "alice";
+  nsv::JobHandle a = service.submit(request);
+  request.tenant = "bob";
+  nsv::JobHandle b = service.submit(request);
+  a.wait();
+  b.wait();
+
+  const auto histograms = service.metrics().histogram_values();
+  ASSERT_TRUE(histograms.count("svc.latency.queue_wait"));
+  ASSERT_TRUE(histograms.count("svc.latency.e2e"));
+  EXPECT_EQ(histograms.at("svc.latency.e2e").count, 2u);
+  EXPECT_GT(histograms.at("svc.latency.e2e").max, 0.0);
+
+  const auto gauges = service.metrics().gauge_values();
+  EXPECT_TRUE(gauges.count("svc.queue.depth"));
+  EXPECT_TRUE(gauges.count("svc.queue.high_water"));
+  EXPECT_TRUE(gauges.count("svc.reserved.storage"));
+  EXPECT_TRUE(gauges.count("svc.reserved.dram"));
+  EXPECT_DOUBLE_EQ(gauges.at("svc.reserved.dram"), 0.0);  // all released
+
+  // The job trace interleaves both tenants' queue/run spans.
+  EXPECT_GT(service.job_trace().event_count(), 0u);
+  const std::string trace = service.job_trace().to_json();
+  EXPECT_NE(trace.find("tenant:alice"), std::string::npos);
+  EXPECT_NE(trace.find("tenant:bob"), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\": \"run\""), std::string::npos);
+
+  const std::string json = service.metrics().to_json();
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"svc.latency.e2e\""), std::string::npos);
+}
