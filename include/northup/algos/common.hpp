@@ -20,6 +20,10 @@ struct RunStats {
   std::uint64_t bytes_moved = 0;
   double wall_seconds = 0.0;   ///< real wall-clock of the functional run
   std::uint64_t spawns = 0;    ///< recursive spawns executed
+  /// CRC32 of the output buffer bytes (0 when hashing is off). The chaos
+  /// tests compare this between a faulted and a fault-free run to prove
+  /// the resilience layer recovered bit-identical results.
+  std::uint64_t result_hash = 0;
 };
 
 /// Relative-error tolerance for float32 block-accumulated kernels.
@@ -40,6 +44,13 @@ using data::move_submatrix;
 /// Picks the compute processor for a leaf: the GPU attached to `node` if
 /// any, else the CPU attached to it, else the nearest GPU above it.
 device::Processor* leaf_processor(core::Runtime& rt, topo::NodeId node);
+
+/// CRC32 over `bytes` of `buf` read back through the data plane in
+/// staging-sized chunks. Hashing the bytes as laid out on the node makes
+/// the value layout-dependent but deterministic for a fixed config —
+/// exactly what the chaos tests need.
+std::uint64_t hash_buffer(core::Runtime& rt, data::Buffer& buf,
+                          std::uint64_t bytes);
 
 /// Starts the measured phase of a run: clears the EventSim trace, every
 /// storage node's stats and I/O trace (so the §V-B preprocessing is

@@ -37,6 +37,9 @@ struct SpmvConfig {
   std::uint32_t nnz_per_workgroup = 1024;
   double capacity_safety = 0.85;
   bool verify = true;
+  /// Fills RunStats::result_hash with a CRC32 of the output vector y for
+  /// bit-exact run comparison.
+  bool hash_result = false;
   /// Effective-bandwidth calibration for the gather-heavy SpMV kernel
   /// (random x accesses defeat coalescing): modeled device traffic is
   /// raw bytes x this factor. See EXPERIMENTS.md.

@@ -31,6 +31,9 @@ struct GemmConfig {
   /// Number of randomly sampled C elements to verify against an exactly
   /// computed dot product (0 disables verification).
   std::uint64_t verify_samples = 256;
+  /// Fills RunStats::result_hash with a CRC32 of C (as laid out on its
+  /// node) so two runs of the same config can be compared bit-for-bit.
+  bool hash_result = false;
 };
 
 /// Leaf kernel: C(m x n) += A(m x k) * B(k x n). All three buffers must

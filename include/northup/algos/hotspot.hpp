@@ -32,6 +32,9 @@ struct HotspotConfig {
   double capacity_safety = 0.85;
   std::uint64_t seed = 7;
   bool verify = true;           ///< full-grid compare vs reference
+  /// Fills RunStats::result_hash with a CRC32 of the final temperature
+  /// grid (as laid out on its node) for bit-exact run comparison.
+  bool hash_result = false;
   HotSpotParams params;
   /// Effective-bandwidth calibration for the leaf kernel's cost model:
   /// Rodinia HotSpot-2D on the paper's entry-level APU sustains only a

@@ -23,6 +23,7 @@
 #include "northup/io/posix_file.hpp"
 #include "northup/obs/metrics.hpp"
 #include "northup/obs/trace_writer.hpp"
+#include "northup/resil/resilience.hpp"
 #include "northup/sched/work_queue.hpp"
 #include "northup/sim/event_sim.hpp"
 #include "northup/topo/tree.hpp"
@@ -52,6 +53,18 @@ struct RuntimeOptions {
   bool enable_shard_cache = true;
   /// Modeled cost of serving a shard-cache hit (0 = free lookup).
   double cache_hit_time_s = 0.0;
+  /// Chunk-granular fault tolerance: retry/backoff on failed transfers,
+  /// optional end-to-end checksums, per-node circuit breakers. The retry
+  /// loop only engages when an operation fails, so fault-free runs are
+  /// untouched by the defaults.
+  resil::ResilOptions resilience = {};
+  /// Applied to every storage backend the runtime binds — the seam for
+  /// fault injection (wrap the built backend in a
+  /// mem::FaultInjectingStorage under a chaos plan) and other decorators.
+  /// Returning the input unchanged is fine; returning null is an error.
+  std::function<std::unique_ptr<mem::Storage>(
+      topo::NodeId, const topo::TopoTree&, std::unique_ptr<mem::Storage>)>
+      storage_decorator = {};
 };
 
 /// Instantiated system: tree + storages + processors + queues + sim.
@@ -68,6 +81,10 @@ class Runtime {
   const data::DataManager& dm() const { return *dm_; }
   sim::EventSim* event_sim() { return sim_ ? sim_.get() : nullptr; }
   sched::NodeQueueSet& queues() { return *queues_; }
+
+  /// The fault-tolerance layer: chunk retry policy, end-to-end checksum
+  /// switch, and the per-node health/breaker state planners consult.
+  resil::ResilienceManager& resilience() { return *resil_; }
 
   /// The capacity/caching layer, or nullptr when enable_shard_cache is
   /// false. Algorithms normally stay on the DataManager cached-download
@@ -147,6 +164,9 @@ class Runtime {
   obs::Counter* spawn_counter_ = nullptr;
   obs::Gauge* spawn_depth_gauge_ = nullptr;
   std::unique_ptr<sim::EventSim> sim_;
+  /// Declared before dm_: the DataManager holds a raw pointer to it, so
+  /// it must be destroyed after the DataManager.
+  std::unique_ptr<resil::ResilienceManager> resil_;
   std::unique_ptr<data::DataManager> dm_;
   /// Declared after dm_ so it detaches from the DataManager before the
   /// DataManager itself goes away.
@@ -195,11 +215,25 @@ class ExecContext {
   ///  level i+1 and size of the data structure"). Unpinned cache-resident
   /// bytes count as free: the pool evicts them on demand, so a planner
   /// that ignored them would shrink its chunks whenever the cache warmed.
+  /// Degraded by the node's health (resil): a recovering node advertises
+  /// a fraction of its space so chunks shrink, a quarantined node
+  /// advertises zero.
   std::uint64_t available_bytes() const { return available_bytes(node_); }
   std::uint64_t available_bytes(topo::NodeId node) const {
     const data::DataManager& dm = std::as_const(rt_).dm();
-    return dm.storage(node).available() + dm.reclaimable_bytes(node);
+    const std::uint64_t raw =
+        dm.storage(node).available() + dm.reclaimable_bytes(node);
+    const double scale = dm.health_scale(node);
+    return scale >= 1.0
+               ? raw
+               : static_cast<std::uint64_t>(static_cast<double>(raw) * scale);
   }
+
+  /// First child whose circuit breaker admits traffic — the sibling
+  /// re-routing hook for programs that catch a failure at one child and
+  /// continue on another. Falls back to the first child when every child
+  /// is quarantined (the caller will then see the failure directly).
+  topo::NodeId healthy_child() const;
 
   /// Capacity-accounting pool of the current node (nullptr when the
   /// runtime was built with enable_shard_cache = false).

@@ -27,6 +27,7 @@
 #include "northup/data/cache_backend.hpp"
 #include "northup/memsim/storage.hpp"
 #include "northup/obs/metrics.hpp"
+#include "northup/resil/resilience.hpp"
 #include "northup/sim/event_sim.hpp"
 #include "northup/topo/tree.hpp"
 
@@ -74,6 +75,7 @@ inline constexpr const char* kTransfer = "transfer";  ///< DMA / memcpy between 
 inline constexpr const char* kCpu = "cpu";
 inline constexpr const char* kGpu = "gpu";
 inline constexpr const char* kCache = "cache";  ///< shard-cache hits/evicts
+inline constexpr const char* kResil = "resil";  ///< retry/quarantine instants
 }  // namespace phase
 
 /// Binds the descriptive TopoTree to concrete Storage backends and
@@ -105,6 +107,26 @@ class DataManager {
   /// EventSim resource representing a node's copy/I-O engine (created on
   /// demand). Exposed so the device layer can serialize against it.
   sim::ResourceId resource_for(topo::NodeId node);
+
+  // --- Resilience (northup::resil wiring). ---
+
+  /// Installs (or detaches, with nullptr) the resilience layer: every
+  /// Table-I operation's functional copy then runs under its retry
+  /// policy, optional end-to-end checksums verify the moved bytes, and
+  /// failures feed the per-node circuit breakers. The manager's trace
+  /// hook is pointed at this manager's EventSim so retry/quarantine
+  /// instants land on the right node track. Detached (the default),
+  /// operations behave exactly as before. The manager must outlive every
+  /// operation routed through it.
+  void set_resilience(resil::ResilienceManager* resil);
+  resil::ResilienceManager* resilience() { return resil_; }
+
+  /// Health-derived capacity multiplier of `node` for chunk planning:
+  /// 1.0 when healthy or without a resilience layer, smaller while the
+  /// node's breaker degrades it, 0 while quarantined.
+  double health_scale(topo::NodeId node) const {
+    return resil_ != nullptr ? resil_->capacity_scale(node) : 1.0;
+  }
 
   // --- Cache backend (northup::cache wiring). ---
 
@@ -224,9 +246,23 @@ class DataManager {
                    const std::string& label,
                    std::vector<sim::TaskId> extra_deps);
 
-  /// Performs the functional byte copy through a staging buffer.
+  /// Performs the functional byte copy through a staging buffer. With
+  /// checksum verification on, the source is read twice (a mismatch
+  /// means the read path corrupted bytes) and the destination is read
+  /// back after the write; either mismatch throws util::CorruptionError
+  /// naming the offending side.
   void copy_bytes(Buffer& dst, const Buffer& src, std::uint64_t size,
                   std::uint64_t dst_offset, std::uint64_t src_offset);
+
+  /// Routes `op` through the resilience layer's retry loop (attributing
+  /// outcomes to `src`/`dst`), or runs it directly when detached.
+  void run_guarded(topo::NodeId src, topo::NodeId dst,
+                   const std::string& label,
+                   const std::function<void()>& op);
+
+  bool verify_enabled() const {
+    return resil_ != nullptr && resil_->verify_checksums();
+  }
 
   void charge_setup(topo::NodeId node, double seconds,
                     const std::string& label, Buffer* buffer);
@@ -249,6 +285,7 @@ class DataManager {
   std::uint64_t next_buffer_id_ = 1;
   obs::MetricsRegistry* metrics_ = nullptr;
   CacheBackend* backend_ = nullptr;
+  resil::ResilienceManager* resil_ = nullptr;
 };
 
 }  // namespace northup::data

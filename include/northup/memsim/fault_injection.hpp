@@ -1,38 +1,101 @@
-// Fault-injecting storage wrapper for failure testing.
+// Fault-injecting storage wrapper for failure and chaos testing.
 //
-// Wraps any Storage backend and raises util::IoError on a chosen access
-// (the Nth read/write, or every access after a trigger). Used by the test
-// suite to verify that I/O failures deep inside a recursive out-of-core
-// execution propagate cleanly to the caller instead of corrupting state.
+// Wraps any Storage backend and perturbs its operations two ways:
+//
+//   * arm(kind, countdown) — the legacy single-shot trigger: the Nth
+//     subsequent operation of `kind` throws a *permanent*-class
+//     util::IoError (the chunk-level retry loop will not absorb it, so
+//     tests of whole-job retry and clean failure propagation keep their
+//     semantics).
+//   * set_plan(FaultPlan) — seeded probabilistic chaos: per-operation
+//     fault/corruption/latency-spike probabilities, transient-for-N-ops
+//     bursts or permanent-class errors, and a total fault budget. This is
+//     what the chaos CI leg and the resilience tests drive.
+//
+// The wrapper is thread-safe: concurrent workers may access the storage
+// while a test arms/disarms faults and reads the counters.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "northup/memsim/storage.hpp"
+#include "northup/util/rng.hpp"
 
 namespace northup::mem {
 
 /// Which operation class the injected fault applies to.
 enum class FaultKind { Read, Write, Alloc };
 
-/// Storage decorator that fails a specific access.
+/// Seeded probabilistic fault schedule. All rates are per-operation
+/// probabilities in [0, 1]; everything derives from `seed`, so a chaos
+/// run is exactly reproducible.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double read_fault_rate = 0.0;   ///< P(read throws util::IoError)
+  double write_fault_rate = 0.0;  ///< P(write throws util::IoError)
+  double alloc_fault_rate = 0.0;  ///< P(alloc throws util::IoError)
+  /// P(one random bit of the bytes handed back by a read is flipped) —
+  /// only end-to-end checksums catch this.
+  double read_corrupt_rate = 0.0;
+  /// P(one random bit of the bytes given to a write is flipped before
+  /// they reach the inner backend).
+  double write_corrupt_rate = 0.0;
+  double latency_spike_rate = 0.0;  ///< P(op sleeps latency_spike_s first)
+  double latency_spike_s = 0.0;
+  /// Burst length: once a fault fires, the following transient_ops - 1
+  /// operations of the same kind fail too (models a device that stays
+  /// bad for a little while). 1 = independent single-op faults.
+  std::uint32_t transient_ops = 1;
+  /// Injected IoErrors are permanent-class (never retried) instead of
+  /// transient. With a rate of 1.0 this models a dead node — the breaker
+  /// test's configuration.
+  bool permanent = false;
+  /// Total plan-injected faults across all kinds; 0 = unlimited.
+  std::uint64_t max_faults = 0;
+
+  bool enabled() const {
+    return read_fault_rate > 0.0 || write_fault_rate > 0.0 ||
+           alloc_fault_rate > 0.0 || read_corrupt_rate > 0.0 ||
+           write_corrupt_rate > 0.0 || latency_spike_rate > 0.0;
+  }
+};
+
+/// Storage decorator that injects faults per arm() or a FaultPlan.
 class FaultInjectingStorage final : public Storage {
  public:
-  /// Takes ownership of `inner`; forwards everything to it until the
+  /// Takes ownership of `inner`; forwards everything to it until a
   /// fault fires. The wrapper mirrors the inner capacity and model.
   explicit FaultInjectingStorage(std::unique_ptr<Storage> inner);
 
-  /// Arms a fault: the `countdown`-th subsequent operation of `kind`
-  /// (1 = the very next one) throws util::IoError.
+  /// Arms a single-shot fault: the `countdown`-th subsequent operation
+  /// of `kind` (1 = the very next one) throws a permanent-class
+  /// util::IoError.
   void arm(FaultKind kind, std::uint64_t countdown);
 
-  /// Disarms any pending fault.
+  /// Disarms any pending single-shot fault (the plan is unaffected).
   void disarm();
 
-  /// Number of times an armed fault has fired.
-  std::uint64_t faults_fired() const { return fired_; }
+  /// Installs (or clears, with a default-constructed plan) the seeded
+  /// probabilistic schedule; resets the plan's RNG and burst state.
+  void set_plan(const FaultPlan& plan);
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Number of injected IoErrors (single-shot and plan faults).
+  std::uint64_t faults_fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+  /// Number of bit-flips injected by the plan's corrupt rates.
+  std::uint64_t corruptions_injected() const {
+    return corrupted_.load(std::memory_order_relaxed);
+  }
+  /// Number of latency spikes the plan has inserted.
+  std::uint64_t spikes_injected() const {
+    return spiked_.load(std::memory_order_relaxed);
+  }
 
  protected:
   std::uint64_t do_alloc(std::uint64_t size) override;
@@ -43,14 +106,29 @@ class FaultInjectingStorage final : public Storage {
                 std::uint64_t size) override;
 
  private:
-  void maybe_fire(FaultKind kind);
+  /// Requires mu_. Throws when the single-shot trigger or the plan says
+  /// this operation fails; applies the plan's latency spike first.
+  void maybe_fire_locked(FaultKind kind);
+  [[noreturn]] void throw_fault(FaultKind kind, bool permanent);
+  /// Requires mu_. True when the plan corrupts this operation's bytes.
+  bool plan_corrupts_locked(double rate);
+  /// Flips one seeded-random bit in buf[0, size).
+  void flip_bit_locked(std::byte* buf, std::uint64_t size);
 
   std::unique_ptr<Storage> inner_;
+  mutable std::mutex mu_;  ///< guards everything below plus allocations_
   std::map<std::uint64_t, Allocation> allocations_;
   bool armed_ = false;
   FaultKind kind_ = FaultKind::Read;
   std::uint64_t countdown_ = 0;
-  std::uint64_t fired_ = 0;
+  FaultPlan plan_;
+  util::Xoshiro256 rng_{1};
+  std::uint64_t plan_fired_ = 0;       ///< plan faults, for max_faults
+  std::uint32_t burst_remaining_ = 0;  ///< transient_ops burst in progress
+  FaultKind burst_kind_ = FaultKind::Read;
+  std::atomic<std::uint64_t> fired_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
+  std::atomic<std::uint64_t> spiked_{0};
 };
 
 }  // namespace northup::mem

@@ -1,0 +1,102 @@
+// Per-tree-node health tracking and circuit breaking (northup::resil).
+//
+// Every data-plane operation reports its outcome (success + latency, or
+// failure) against the storage nodes it touched. A NodeHealth keeps a
+// sliding window of those outcomes and runs the classic three-state
+// circuit breaker over it:
+//
+//   Closed    -- healthy; trips to Open when the windowed failure
+//                fraction reaches the threshold (with enough samples).
+//   Open      -- quarantined; planners route around the node and shrink
+//                chunks. After a cooldown the breaker admits probes.
+//   Half-Open -- probing; a run of consecutive successes closes the
+//                breaker, any failure re-opens it.
+//
+// This is the "react to observed per-tier behaviour at runtime" posture
+// of the online-guidance literature (PAPERS.md) applied to failure
+// handling: placement/chunking decisions consult breaker state instead of
+// assuming every bound storage node stays serviceable forever.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace northup::resil {
+
+enum class BreakerState { Closed = 0, HalfOpen = 1, Open = 2 };
+
+const char* to_string(BreakerState state);
+
+/// Tuning knobs of one node's breaker.
+struct HealthOptions {
+  std::size_t window = 16;        ///< sliding window of recent outcomes
+  std::size_t min_samples = 4;    ///< no tripping before this many
+  double failure_threshold = 0.5; ///< windowed failure fraction that trips
+  double open_cooldown_s = 0.05;  ///< Open -> Half-Open after this
+  std::uint32_t half_open_probes = 2;  ///< successes needed to close
+  /// Capacity scale planners see while the node is Half-Open or its
+  /// windowed failure fraction is above half the trip threshold: chunks
+  /// shrink, so a recovering node is re-trusted with small transfers
+  /// before large ones.
+  double degrade_factor = 0.5;
+};
+
+/// Sliding error/latency window + circuit breaker for one node.
+/// Thread-safe: data-plane workers record outcomes concurrently with
+/// planner queries.
+class NodeHealth {
+ public:
+  explicit NodeHealth(HealthOptions options = {});
+
+  /// Observer invoked (outside internal locks) on every state change;
+  /// the resilience manager wires this to the breaker gauge and the
+  /// quarantine/restore trace instants.
+  using StateObserver = std::function<void(BreakerState)>;
+  void set_observer(StateObserver observer);
+
+  void record_success(double latency_s);
+  void record_failure();
+
+  /// Current state. Performs the Open -> Half-Open cooldown transition
+  /// on read, so a quarantined node becomes probeable by simply asking.
+  BreakerState state();
+
+  /// False only while Open within its cooldown: the planner must not
+  /// route new work at the node. Half-Open admits (probe) traffic.
+  bool allow();
+
+  /// Capacity multiplier for chunk planning: 1.0 when Closed and clean,
+  /// `degrade_factor` when recovering, 0 when Open.
+  double capacity_scale();
+
+  /// Windowed failure fraction (0 when no samples).
+  double failure_rate() const;
+  /// Mean latency of windowed successful ops (0 when none).
+  double mean_latency() const;
+  std::uint64_t trips() const;
+
+ private:
+  struct Outcome {
+    bool ok = false;
+    double latency_s = 0.0;
+  };
+
+  /// Requires mu_. Returns the observer call to make, if any.
+  void transition_locked(BreakerState next);
+  double failure_rate_locked() const;
+
+  HealthOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Outcome> window_;  ///< ring buffer, size options_.window
+  std::size_t next_ = 0;         ///< ring cursor
+  std::size_t filled_ = 0;
+  BreakerState state_ = BreakerState::Closed;
+  double open_since_s_ = 0.0;    ///< monotonic seconds at trip time
+  std::uint32_t probe_successes_ = 0;
+  std::uint64_t trips_ = 0;
+  StateObserver observer_;
+};
+
+}  // namespace northup::resil

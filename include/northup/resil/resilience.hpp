@@ -1,0 +1,133 @@
+// ResilienceManager — the resil subsystem's front door, owned by the
+// core::Runtime and consulted by the DataManager on every data-plane
+// operation.
+//
+// Responsibilities:
+//   * run_op(): execute one chunk transfer with bounded retries,
+//     exponential backoff (seeded jitter), per-op + external deadlines,
+//     and an abort hook (job cancellation interrupts backoff sleeps).
+//   * attribute each outcome to the storage nodes it touched and drive
+//     their NodeHealth circuit breakers (quarantine / probe / restore).
+//   * expose breaker state and capacity scaling to planners
+//     (ExecContext::available_bytes, healthy_child).
+//   * observability: resil.retries.* / resil.corruption.* /
+//     resil.breaker_state.<node> metrics plus "retry"/"quarantine"
+//     trace instants through a hook the DataManager installs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "northup/obs/metrics.hpp"
+#include "northup/resil/node_health.hpp"
+#include "northup/resil/retry.hpp"
+#include "northup/topo/tree.hpp"
+#include "northup/util/rng.hpp"
+
+namespace northup::resil {
+
+/// Configuration of the whole resilience layer (RuntimeOptions carries
+/// one of these per runtime).
+struct ResilOptions {
+  RetryPolicy retry;
+  /// End-to-end transfer integrity: checksum chunk transfers at the
+  /// source and verify at the destination (see DataManager). Off by
+  /// default; bench/ablation_resilience measures the functional cost.
+  bool verify_checksums = false;
+  HealthOptions health;
+  std::uint64_t seed = 0x7e51'11e4'ce5eedULL;  ///< backoff jitter seed
+};
+
+class ResilienceManager {
+ public:
+  ResilienceManager(const topo::TopoTree& tree, ResilOptions options);
+
+  const ResilOptions& options() const { return options_; }
+  bool verify_checksums() const { return options_.verify_checksums; }
+
+  /// Metrics sink (nullptr detaches). Must outlive the manager.
+  void attach_metrics(obs::MetricsRegistry* registry);
+
+  /// Trace hook for instant events: (label, node). The DataManager maps
+  /// the node to its EventSim resource and emits a zero-duration
+  /// "resil"-phase task (rendered as an instant by the TraceWriter).
+  using EventHook = std::function<void(const std::string&, topo::NodeId)>;
+  void set_event_hook(EventHook hook) { event_hook_ = std::move(hook); }
+
+  /// Abort predicate checked between attempts and during backoff sleeps
+  /// (the job service wires job cancellation here). When it fires, the
+  /// op's original error is rethrown without further retries.
+  void set_abort_check(std::function<bool()> check) {
+    abort_check_ = std::move(check);
+  }
+
+  /// External absolute deadline (e.g. the job's). Backoff sleeps are
+  /// clamped so they never overrun it; once it passes, retrying stops.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+  }
+  void clear_deadline() { deadline_.reset(); }
+
+  /// Sleep override for tests (seconds). Default sleeps in small slices,
+  /// re-checking the abort predicate each slice.
+  void set_sleeper(std::function<void(double)> sleeper) {
+    sleeper_ = std::move(sleeper);
+  }
+
+  /// Runs `op` (the full functional transfer, including checksum
+  /// verification) with the retry policy. Outcomes are recorded against
+  /// `src` and `dst` (pass the same node twice for single-sided ops);
+  /// failures carrying a storage origin are attributed to that node
+  /// alone. Rethrows the final error when attempts, deadline, or the
+  /// abort hook end the retry loop.
+  void run_op(topo::NodeId src, topo::NodeId dst, const std::string& label,
+              const std::function<void()>& op);
+
+  // --- Health / breaker queries (planner surface). ---
+
+  NodeHealth& health(topo::NodeId node);
+  BreakerState breaker_state(topo::NodeId node) {
+    return health(node).state();
+  }
+  /// Planner capacity multiplier of `node` (1.0 when fully healthy).
+  double capacity_scale(topo::NodeId node) {
+    return health(node).capacity_scale();
+  }
+
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t corruption_detected() const { return corruption_detected_; }
+
+ private:
+  obs::Counter* counter(const char* name);
+  void emit_instant(const std::string& label, topo::NodeId node);
+  /// Resolves an IoError/CorruptionError origin (storage name) to the
+  /// node it is bound to; kInvalidNode when unknown.
+  topo::NodeId node_of_origin(const std::string& origin) const;
+  void record_failure_at(topo::NodeId node);
+  void sleep_with_abort(double seconds);
+  /// Installs the gauge/trace observer on a node's breaker. Requires mu_.
+  NodeHealth& health_locked(topo::NodeId node);
+
+  const topo::TopoTree& tree_;
+  ResilOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  EventHook event_hook_;
+  std::function<bool()> abort_check_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  std::function<void(double)> sleeper_;
+
+  mutable std::mutex mu_;  ///< guards healths_ creation and rng_
+  std::map<topo::NodeId, std::unique_ptr<NodeHealth>> healths_;
+  util::Xoshiro256 rng_;
+
+  std::uint64_t retries_ = 0;  ///< total, any class (racy read is fine)
+  std::uint64_t corruption_detected_ = 0;
+};
+
+}  // namespace northup::resil

@@ -1,0 +1,53 @@
+// Retry policy of the chunk-granular resilience layer (northup::resil).
+//
+// Northup's deep-storage nodes sit on the hot path of every recursion
+// (§III-D), so a transient I/O fault used to unwind the whole execution
+// and the job service could only retry the *entire job attempt*. The
+// RetryPolicy instead bounds and paces retries of the individual chunk
+// transfer that failed: exponential backoff with seeded jitter, a per-op
+// deadline, and a structural transient-vs-permanent classification built
+// on util::IoError's errno/transient hints (never on error strings).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+
+namespace northup::resil {
+
+/// How the resilience layer should react to a failed attempt.
+enum class ErrorClass {
+  TransientIo,  ///< retry: the environment may recover (flaky read, EINTR)
+  Corruption,   ///< retry: re-read/re-write; counted separately
+  Permanent,    ///< do not retry: propagate immediately
+};
+
+const char* to_string(ErrorClass cls);
+
+/// Classifies a caught exception. util::CorruptionError -> Corruption;
+/// util::IoError with transient() -> TransientIo; everything else
+/// (permanent-errno IoError, CapacityError, logic errors) -> Permanent.
+ErrorClass classify(const std::exception_ptr& error);
+
+/// Bounds and paces the retries of one data-plane operation.
+struct RetryPolicy {
+  /// Total tries for one operation (1 = no retries).
+  std::uint32_t max_attempts = 4;
+  /// Sleep before retry k is base * multiplier^(k-1), capped at max.
+  double base_backoff_s = 200e-6;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 20e-3;
+  /// Each sleep is scaled by a seeded uniform factor in
+  /// [1 - jitter, 1 + jitter] to de-correlate concurrent retriers.
+  double jitter = 0.25;
+  /// Wall-clock budget for one operation including its backoff sleeps
+  /// (0 = unbounded). Sleeps are clamped so they never overrun it.
+  double op_deadline_s = 0.0;
+
+  bool enabled() const { return max_attempts > 1; }
+
+  /// Backoff before retry `attempt` (the attempt that just failed,
+  /// 1-based), before jitter.
+  double backoff_for(std::uint32_t attempt) const;
+};
+
+}  // namespace northup::resil

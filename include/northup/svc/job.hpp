@@ -64,9 +64,15 @@ struct JobRequest {
   /// instead of dispatched. 0 = no deadline.
   double deadline_s = 0.0;
   /// Additional attempts after a failed one (I/O faults only; capacity
-  /// and logic errors fail immediately).
+  /// and logic errors fail immediately). With the chunk-level retry
+  /// policy in the data plane this is the *last resort*: transient
+  /// faults are normally absorbed per transfer and never surface here.
   std::uint32_t max_retries = 0;
   FaultPlan fault;
+  /// Seeded probabilistic chaos applied to the job runtime's root
+  /// (deep-storage) node on every attempt — the knob the chaos tests and
+  /// CI leg turn. Disabled by default (all rates zero).
+  mem::FaultPlan chaos;
 
   /// Overrides the estimated reservation when non-zero (all three fields
   /// taken verbatim; the admission controller still clamps/validates).

@@ -52,6 +52,12 @@ struct JobResult {
   double queue_wait_s = 0.0;
   double latency_s = 0.0;   ///< submission -> completion (end-to-end)
   std::uint32_t attempts = 0;
+  /// Chunk-level transfer retries the data plane absorbed (resil layer);
+  /// faults recovered here never cost a whole-job attempt.
+  std::uint64_t chunk_retries = 0;
+  /// End-to-end checksum mismatches the data plane detected (and, when
+  /// the job completed, repaired by re-transfer).
+  std::uint64_t corruptions = 0;
   JobFootprint granted;     ///< the admission grant the job ran under
 };
 

@@ -61,6 +61,10 @@ struct ServiceOptions {
   /// EventSim in the per-job runtimes (virtual-time stats in JobResult).
   bool enable_sim = true;
   std::string file_dir;  ///< dir for job file-backed roots ("" = temp)
+  /// Resilience configuration of the per-job runtimes: chunk retry
+  /// policy, end-to-end checksums, breaker tuning. Per-attempt resil
+  /// counters are folded into the machine metrics and the JobResult.
+  resil::ResilOptions resilience;
 };
 
 class JobService;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cassert>
+#include <cerrno>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -25,10 +26,66 @@ class CapacityError : public Error {
   using Error::Error;
 };
 
-/// Raised when an I/O operation on a file-backed storage node fails.
+/// True for errno values that name conditions worth retrying (the
+/// environment may recover); false for programming/configuration errors.
+/// EIO is transient here on purpose: a flaky device read is exactly the
+/// failure the chunk-level retry policy exists to absorb.
+inline bool errno_transient(int err) {
+  switch (err) {
+    case EINTR:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:
+    case EIO:
+    case ETIMEDOUT:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Raised when an I/O operation on a storage node fails. Carries the
+/// originating errno and a transient-vs-permanent hint so the resilience
+/// layer classifies failures structurally instead of parsing strings, and
+/// an `origin` naming the storage that raised it (set by the mem::Storage
+/// access wrappers) so failures can be attributed to a tree node.
 class IoError : public Error {
  public:
-  using Error::Error;
+  explicit IoError(const std::string& what_arg, int errno_value = 0,
+                   bool transient = false)
+      : Error(what_arg),
+        errno_(errno_value),
+        transient_(transient || errno_transient(errno_value)) {}
+
+  int errno_value() const { return errno_; }
+  /// Hint that retrying the operation may succeed.
+  bool transient() const { return transient_; }
+  /// Name of the storage backend that raised the error ("" = unknown).
+  const std::string& origin() const { return origin_; }
+  void set_origin(const std::string& origin) { origin_ = origin; }
+
+ private:
+  int errno_ = 0;
+  bool transient_ = false;
+  std::string origin_;
+};
+
+/// Raised when an end-to-end transfer checksum does not match: the bytes
+/// that arrived are not the bytes that were sent. Always worth a retry
+/// (re-read / re-write), but counted separately from plain I/O faults.
+class CorruptionError : public Error {
+ public:
+  explicit CorruptionError(const std::string& what_arg,
+                           std::string origin = "")
+      : Error(what_arg), origin_(std::move(origin)) {}
+
+  /// Name of the storage side whose bytes mismatched ("" = unknown).
+  const std::string& origin() const { return origin_; }
+
+ private:
+  std::string origin_;
 };
 
 /// Raised when a topology query or construction is malformed.

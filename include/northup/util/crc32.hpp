@@ -1,0 +1,22 @@
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the end-to-end
+// transfer checksum of the resilience layer.
+//
+// Software slice-by-4 over a lazily built table set; fast enough that the
+// data plane can checksum every chunk transfer when verification is on
+// (the measured overhead lives in bench/ablation_resilience and
+// docs/resilience.md). Streaming-friendly: feed partial buffers by
+// passing the previous result back in as `seed`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace northup::util {
+
+/// CRC32 of `size` bytes. `seed` chains partial computations:
+///   crc32(b, n) == crc32(b + k, n - k, crc32(b, k))
+/// crc32("123456789") == 0xCBF43926 (the standard check value).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace northup::util

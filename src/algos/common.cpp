@@ -1,6 +1,24 @@
 #include "northup/algos/common.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "northup/util/crc32.hpp"
+
 namespace northup::algos {
+
+std::uint64_t hash_buffer(core::Runtime& rt, data::Buffer& buf,
+                          std::uint64_t bytes) {
+  constexpr std::uint64_t kChunk = 1ULL << 20;
+  std::vector<std::byte> staging(std::min(bytes, kChunk));
+  std::uint32_t crc = 0;
+  for (std::uint64_t off = 0; off < bytes; off += kChunk) {
+    const std::uint64_t len = std::min(kChunk, bytes - off);
+    rt.dm().read_to_host(staging.data(), buf, len, off);
+    crc = util::crc32(staging.data(), len, crc);
+  }
+  return crc;
+}
 
 topo::NodeId gpu_node(core::Runtime& rt) {
   const auto& tree = rt.tree();

@@ -369,6 +369,9 @@ RunStats spmv_inmemory(core::Runtime& rt, const SpmvConfig& config_in) {
     stats.max_rel_err = max_rel_diff(expect, got);
     stats.verified = stats.max_rel_err < kVerifyTolerance;
   }
+  if (config.hash_result) {
+    stats.result_hash = hash_buffer(rt, b_y, a.rows * kF);
+  }
 
   dm.release(x_leaf);
   for (auto* b : {&b_rp, &b_ci, &b_va, &b_x, &b_y}) dm.release(*b);
@@ -413,6 +416,9 @@ RunStats spmv_northup(core::Runtime& rt, const SpmvConfig& config) {
     dm.read_to_host(got.data(), b_y, a.rows * kF);
     stats.max_rel_err = max_rel_diff(expect, got);
     stats.verified = stats.max_rel_err < kVerifyTolerance;
+  }
+  if (config.hash_result) {
+    stats.result_hash = hash_buffer(rt, b_y, a.rows * kF);
   }
 
   dm.release(x_leaf);

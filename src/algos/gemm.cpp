@@ -259,6 +259,7 @@ RunStats gemm_inmemory(core::Runtime& rt, const GemmConfig& config) {
         return v;
       },
       config);
+  if (config.hash_result) stats.result_hash = hash_buffer(rt, c, n * n * kF);
 
   dm.release(a);
   dm.release(b);
@@ -388,6 +389,7 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
         return v;
       },
       config);
+  if (config.hash_result) stats.result_hash = hash_buffer(rt, c, n * n * kF);
 
   dm.release(a);
   dm.release(b);

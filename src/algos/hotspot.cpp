@@ -344,6 +344,9 @@ RunStats hotspot_inmemory(core::Runtime& rt, const HotspotConfig& config) {
     stats.max_rel_err = max_rel_diff(expect, got);
     stats.verified = stats.max_rel_err < kVerifyTolerance;
   }
+  if (config.hash_result) {
+    stats.result_hash = hash_buffer(rt, tin, n * n * kF);  // result after swap
+  }
 
   for (auto* b : {&tin, &pw, &hal, &tout}) dm.release(*b);
   return stats;
@@ -544,6 +547,9 @@ RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
     }
     stats.max_rel_err = max_rel_diff(expect, got);
     stats.verified = stats.max_rel_err < kVerifyTolerance;
+  }
+  if (config.hash_result) {
+    stats.result_hash = hash_buffer(rt, t_cur, n * n * kF);
   }
 
   for (auto* b : {&t_cur, &t_next, &pw_blocks, &h_cur, &h_next}) {

@@ -17,8 +17,11 @@ Runtime::Runtime(topo::TopoTree tree, RuntimeOptions options)
   spawn_counter_ = &metrics_.counter("runtime.spawns");
   spawn_depth_gauge_ = &metrics_.gauge("runtime.max_spawn_depth");
   if (options_.enable_sim) sim_ = std::make_unique<sim::EventSim>();
+  resil_ = std::make_unique<resil::ResilienceManager>(tree_,
+                                                      options_.resilience);
   dm_ = std::make_unique<data::DataManager>(tree_, sim_.get());
   dm_->attach_metrics(&metrics_);
+  dm_->set_resilience(resil_.get());
   queues_ = std::make_unique<sched::NodeQueueSet>(tree_);
   queues_->attach_metrics(metrics_);
   bind_all_storages();
@@ -39,22 +42,28 @@ void Runtime::bind_all_storages() {
   for (topo::NodeId id = 0; id < tree_.node_count(); ++id) {
     const auto& info = tree_.memory(id);
     const std::string name = tree_.node(id).name;
+    std::unique_ptr<mem::Storage> storage;
     if (mem::is_file_backed(info.storage_type)) {
       std::string dir = options_.file_dir;
       if (dir.empty()) {
         if (!temp_dir_) temp_dir_ = std::make_unique<io::TempDir>("northup-rt");
         dir = temp_dir_->path();
       }
-      auto storage = std::make_unique<mem::FileStorage>(
+      auto file = std::make_unique<mem::FileStorage>(
           name, info.storage_type, info.capacity, info.model, dir,
           options_.direct_io);
-      if (options_.trace_io) storage->set_trace_enabled(true);
-      dm_->bind_storage(id, std::move(storage));
+      if (options_.trace_io) file->set_trace_enabled(true);
+      storage = std::move(file);
     } else {
-      dm_->bind_storage(id, std::make_unique<mem::HostStorage>(
-                                name, info.storage_type, info.capacity,
-                                info.model));
+      storage = std::make_unique<mem::HostStorage>(
+          name, info.storage_type, info.capacity, info.model);
     }
+    if (options_.storage_decorator) {
+      storage = options_.storage_decorator(id, tree_, std::move(storage));
+      NU_CHECK(storage != nullptr, "storage_decorator returned null for '" +
+                                       name + "'");
+    }
+    dm_->bind_storage(id, std::move(storage));
   }
 }
 
@@ -150,6 +159,18 @@ void Runtime::write_metrics_json(const std::string& path) {
         .set(static_cast<double>(leaf_pool_->steal_count()));
   }
   metrics_.write_json(path);
+}
+
+topo::NodeId ExecContext::healthy_child() const {
+  const auto& kids = rt_.tree().get_children_list(node_);
+  NU_CHECK(!kids.empty(), "healthy_child at leaf node '" +
+                              rt_.tree().node(node_).name + "'");
+  if (auto* resil = rt_.dm().resilience()) {
+    for (topo::NodeId kid : kids) {
+      if (resil->breaker_state(kid) != resil::BreakerState::Open) return kid;
+    }
+  }
+  return kids.front();
 }
 
 topo::NodeId ExecContext::child(std::size_t index) const {

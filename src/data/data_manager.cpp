@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "northup/util/assert.hpp"
+#include "northup/util/crc32.hpp"
 
 namespace northup::data {
 
@@ -51,8 +52,31 @@ const mem::Storage& DataManager::storage(topo::NodeId node) const {
 
 void DataManager::attach_metrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
+  if (resil_ != nullptr) resil_->attach_metrics(registry);
   if (registry == nullptr) return;
   for (auto& [node, storage] : storages_) storage->attach_metrics(*registry);
+}
+
+void DataManager::set_resilience(resil::ResilienceManager* resil) {
+  resil_ = resil;
+  if (resil_ == nullptr) return;
+  if (metrics_ != nullptr) resil_->attach_metrics(metrics_);
+  resil_->set_event_hook([this](const std::string& label, topo::NodeId node) {
+    if (sim_ == nullptr || node >= tree_.node_count()) return;
+    // Zero-duration task: the TraceWriter renders it as an instant on
+    // the node's memory-engine track.
+    sim_->add_task(label, phase::kResil, resource_for(node), 0.0);
+  });
+}
+
+void DataManager::run_guarded(topo::NodeId src, topo::NodeId dst,
+                              const std::string& label,
+                              const std::function<void()>& op) {
+  if (resil_ != nullptr) {
+    resil_->run_op(src, dst, label, op);
+  } else {
+    op();
+  }
 }
 
 obs::Counter& DataManager::edge_counter(const std::string& src_name,
@@ -87,7 +111,11 @@ Buffer DataManager::alloc(std::uint64_t size, topo::NodeId tree_node) {
   Buffer buffer;
   buffer.node = tree_node;
   buffer.id = next_buffer_id_++;
-  buffer.allocation = st.alloc(size);
+  // Guarded: a transient allocation fault (flaky driver call) is retried
+  // like any other data-plane operation; CapacityError stays permanent.
+  run_guarded(tree_node, tree_node,
+              "alloc@" + tree_.node(tree_node).name,
+              [&] { buffer.allocation = st.alloc(size); });
   if (metrics_ != nullptr) metrics_->counter("dm.allocs").increment();
   if (backend_ != nullptr) backend_->note_alloc(tree_node);
   charge_setup(tree_node, setup_costs_.alloc_time(st.kind()),
@@ -147,9 +175,27 @@ void DataManager::charge_setup(topo::NodeId node, double seconds,
 void DataManager::copy_bytes(Buffer& dst, const Buffer& src,
                              std::uint64_t size, std::uint64_t dst_offset,
                              std::uint64_t src_offset) {
+  mem::Storage& s = storage(src.node);
+  mem::Storage& d = storage(dst.node);
   std::vector<std::byte> staging(size);
-  storage(src.node).read(staging.data(), src.allocation, src_offset, size);
-  storage(dst.node).write(dst.allocation, dst_offset, staging.data(), size);
+  s.read(staging.data(), src.allocation, src_offset, size);
+  if (!verify_enabled()) {
+    d.write(dst.allocation, dst_offset, staging.data(), size);
+    return;
+  }
+  const std::uint32_t expected = util::crc32(staging.data(), size);
+  std::vector<std::byte> check(size);
+  s.read(check.data(), src.allocation, src_offset, size);
+  if (util::crc32(check.data(), size) != expected) {
+    throw util::CorruptionError(
+        "read checksum mismatch on '" + s.name() + "'", s.name());
+  }
+  d.write(dst.allocation, dst_offset, staging.data(), size);
+  d.read(check.data(), dst.allocation, dst_offset, size);
+  if (util::crc32(check.data(), size) != expected) {
+    throw util::CorruptionError(
+        "write-back checksum mismatch on '" + d.name() + "'", d.name());
+  }
 }
 
 void DataManager::charge_move(Buffer& dst, const Buffer& src,
@@ -232,11 +278,12 @@ void DataManager::charge_move(Buffer& dst, const Buffer& src,
 void DataManager::move_data(Buffer& dst, const Buffer& src, CopySpec spec) {
   NU_CHECK(src.valid() && dst.valid(), "move_data with invalid buffer");
   NU_CHECK(&dst != &src, "move_data src and dst alias the same handle");
-  copy_bytes(dst, src, spec.size, spec.dst_offset, spec.src_offset);
-  charge_move(dst, src, spec.size, 1, 1,
-              "move " + tree_.node(src.node).name + "->" +
-                  tree_.node(dst.node).name,
-              std::move(spec.deps));
+  const std::string label = "move " + tree_.node(src.node).name + "->" +
+                            tree_.node(dst.node).name;
+  run_guarded(src.node, dst.node, label, [&] {
+    copy_bytes(dst, src, spec.size, spec.dst_offset, spec.src_offset);
+  });
+  charge_move(dst, src, spec.size, 1, 1, label, std::move(spec.deps));
   notify_written(dst, spec.dst_offset, spec.size);
 }
 
@@ -264,21 +311,55 @@ void DataManager::move_block_2d(Buffer& dst, const Buffer& src,
   NU_CHECK(src.valid() && dst.valid(), "move_block_2d with invalid buffer");
   NU_CHECK(src_pitch >= row_bytes && dst_pitch >= row_bytes,
            "move_block_2d pitch smaller than row");
-  std::vector<std::byte> staging(row_bytes);
   mem::Storage& s = storage(src.node);
   mem::Storage& d = storage(dst.node);
-  for (std::uint64_t r = 0; r < rows; ++r) {
-    s.read(staging.data(), src.allocation, src_offset + r * src_pitch,
-           row_bytes);
-    d.write(dst.allocation, dst_offset + r * dst_pitch, staging.data(),
-            row_bytes);
-  }
+  const std::string label = "block2d " + tree_.node(src.node).name + "->" +
+                            tree_.node(dst.node).name;
+  run_guarded(src.node, dst.node, label, [&] {
+    if (!verify_enabled()) {
+      std::vector<std::byte> staging(row_bytes);
+      for (std::uint64_t r = 0; r < rows; ++r) {
+        s.read(staging.data(), src.allocation, src_offset + r * src_pitch,
+               row_bytes);
+        d.write(dst.allocation, dst_offset + r * dst_pitch, staging.data(),
+                row_bytes);
+      }
+      return;
+    }
+    // Verified path: the whole block is one end-to-end unit. Densify the
+    // source, re-read to catch read-path corruption, write, read back.
+    const std::uint64_t total = rows * row_bytes;
+    auto read_region = [&](mem::Storage& st, const Buffer& b,
+                           std::uint64_t offset, std::uint64_t pitch,
+                           std::byte* out) {
+      for (std::uint64_t r = 0; r < rows; ++r) {
+        st.read(out + r * row_bytes, b.allocation, offset + r * pitch,
+                row_bytes);
+      }
+    };
+    std::vector<std::byte> staging(total);
+    read_region(s, src, src_offset, src_pitch, staging.data());
+    const std::uint32_t expected = util::crc32(staging.data(), total);
+    std::vector<std::byte> check(total);
+    read_region(s, src, src_offset, src_pitch, check.data());
+    if (util::crc32(check.data(), total) != expected) {
+      throw util::CorruptionError(
+          "read checksum mismatch on '" + s.name() + "'", s.name());
+    }
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      d.write(dst.allocation, dst_offset + r * dst_pitch,
+              staging.data() + r * row_bytes, row_bytes);
+    }
+    read_region(d, dst, dst_offset, dst_pitch, check.data());
+    if (util::crc32(check.data(), total) != expected) {
+      throw util::CorruptionError(
+          "write-back checksum mismatch on '" + d.name() + "'", d.name());
+    }
+  });
   // Per-side fragmentation: a dense side (pitch == row) is one request.
   const std::uint64_t src_acc = src_pitch == row_bytes ? 1 : rows;
   const std::uint64_t dst_acc = dst_pitch == row_bytes ? 1 : rows;
-  charge_move(dst, src, rows * row_bytes, src_acc, dst_acc,
-              "block2d " + tree_.node(src.node).name + "->" +
-                  tree_.node(dst.node).name,
+  charge_move(dst, src, rows * row_bytes, src_acc, dst_acc, label,
               std::move(extra_deps));
   // Conservative invalidation span: first to last byte touched.
   notify_written(dst, dst_offset, (rows - 1) * dst_pitch + row_bytes);
@@ -288,7 +369,18 @@ void DataManager::fill(Buffer& dst, std::byte value, std::uint64_t size,
                        std::uint64_t dst_offset) {
   NU_CHECK(dst.valid(), "fill of invalid buffer");
   std::vector<std::byte> staging(size, value);
-  storage(dst.node).write(dst.allocation, dst_offset, staging.data(), size);
+  mem::Storage& d = storage(dst.node);
+  run_guarded(dst.node, dst.node, "fill@" + tree_.node(dst.node).name, [&] {
+    d.write(dst.allocation, dst_offset, staging.data(), size);
+    if (!verify_enabled()) return;
+    const std::uint32_t expected = util::crc32(staging.data(), size);
+    std::vector<std::byte> check(size);
+    d.read(check.data(), dst.allocation, dst_offset, size);
+    if (util::crc32(check.data(), size) != expected) {
+      throw util::CorruptionError(
+          "fill checksum mismatch on '" + d.name() + "'", d.name());
+    }
+  });
   if (sim_ != nullptr) {
     std::vector<sim::TaskId> deps;
     if (dst.ready != sim::kInvalidTask) deps.push_back(dst.ready);
@@ -304,7 +396,19 @@ void DataManager::write_from_host(Buffer& dst, const void* src,
                                   std::uint64_t size,
                                   std::uint64_t dst_offset) {
   NU_CHECK(dst.valid(), "write_from_host to invalid buffer");
-  storage(dst.node).write(dst.allocation, dst_offset, src, size);
+  mem::Storage& d = storage(dst.node);
+  run_guarded(dst.node, dst.node,
+              "host->" + tree_.node(dst.node).name, [&] {
+    d.write(dst.allocation, dst_offset, src, size);
+    if (!verify_enabled()) return;
+    const std::uint32_t expected = util::crc32(src, size);
+    std::vector<std::byte> check(size);
+    d.read(check.data(), dst.allocation, dst_offset, size);
+    if (util::crc32(check.data(), size) != expected) {
+      throw util::CorruptionError(
+          "write-back checksum mismatch on '" + d.name() + "'", d.name());
+    }
+  });
   if (sim_ != nullptr) {
     const auto kind = tree_.fetch_node_type(dst.node);
     const char* ph = involves_file(kind) ? phase::kIo : phase::kTransfer;
@@ -324,7 +428,19 @@ void DataManager::write_from_host(Buffer& dst, const void* src,
 void DataManager::read_to_host(void* dst, const Buffer& src,
                                std::uint64_t size, std::uint64_t src_offset) {
   NU_CHECK(src.valid(), "read_to_host from invalid buffer");
-  storage(src.node).read(dst, src.allocation, src_offset, size);
+  mem::Storage& s = storage(src.node);
+  run_guarded(src.node, src.node,
+              tree_.node(src.node).name + "->host", [&] {
+    s.read(dst, src.allocation, src_offset, size);
+    if (!verify_enabled()) return;
+    const std::uint32_t expected = util::crc32(dst, size);
+    std::vector<std::byte> check(size);
+    s.read(check.data(), src.allocation, src_offset, size);
+    if (util::crc32(check.data(), size) != expected) {
+      throw util::CorruptionError(
+          "read checksum mismatch on '" + s.name() + "'", s.name());
+    }
+  });
   if (sim_ != nullptr) {
     const auto kind = tree_.fetch_node_type(src.node);
     const char* ph = involves_file(kind) ? phase::kIo : phase::kTransfer;

@@ -10,13 +10,18 @@
 #include <utility>
 
 #include "northup/util/assert.hpp"
+#include "northup/util/log.hpp"
 
 namespace northup::io {
 
 namespace {
+/// The errno is captured on the IoError so the resilience layer can
+/// classify the failure structurally (transient vs permanent) instead of
+/// parsing the message.
 [[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
-  throw util::IoError(what + " failed for '" + path +
-                      "': " + std::strerror(errno));
+  const int err = errno;
+  throw util::IoError(
+      what + " failed for '" + path + "': " + std::strerror(err), err);
 }
 }  // namespace
 
@@ -70,7 +75,13 @@ PosixFile::~PosixFile() { close(); }
 
 void PosixFile::close() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    // A failing close can mean lost writeback (NFS, some flash devices).
+    // This runs from destructors so it must not throw, but it must not
+    // go unnoticed either.
+    if (::close(fd_) != 0) {
+      NU_LOG_WARN << "close failed for '" << path_
+                  << "': " << std::strerror(errno);
+    }
     fd_ = -1;
   }
 }
@@ -93,9 +104,12 @@ void PosixFile::pread_exact(void* dst, std::size_t size,
       throw_errno("pread", path_);
     }
     if (n == 0) {
+      // Reading past EOF means the file is shorter than the allocation
+      // claims — a structural problem retrying will not fix.
       throw util::IoError("pread hit EOF at offset " +
-                          std::to_string(offset + done) + " in '" + path_ +
-                          "'");
+                              std::to_string(offset + done) + " in '" + path_ +
+                              "'",
+                          /*errno_value=*/0, /*transient=*/false);
     }
     done += static_cast<std::size_t>(n);
   }
@@ -153,7 +167,8 @@ TempDir::TempDir(const std::string& tag) {
   std::filesystem::create_directories(dir, ec);
   if (ec) {
     throw util::IoError("failed to create temp dir '" + dir.string() +
-                        "': " + ec.message());
+                            "': " + ec.message(),
+                        ec.value());
   }
   path_ = dir.string();
 }

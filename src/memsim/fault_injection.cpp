@@ -1,6 +1,39 @@
 #include "northup/memsim/fault_injection.hpp"
 
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
 namespace northup::mem {
+
+namespace {
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Read:
+      return "read";
+    case FaultKind::Write:
+      return "write";
+    case FaultKind::Alloc:
+      return "alloc";
+  }
+  return "?";
+}
+
+double rate_for(const FaultPlan& plan, FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Read:
+      return plan.read_fault_rate;
+    case FaultKind::Write:
+      return plan.write_fault_rate;
+    case FaultKind::Alloc:
+      return plan.alloc_fault_rate;
+  }
+  return 0.0;
+}
+
+}  // namespace
 
 FaultInjectingStorage::FaultInjectingStorage(std::unique_ptr<Storage> inner)
     : Storage(inner->name() + "+faults", inner->kind(), inner->capacity(),
@@ -9,28 +42,83 @@ FaultInjectingStorage::FaultInjectingStorage(std::unique_ptr<Storage> inner)
 
 void FaultInjectingStorage::arm(FaultKind kind, std::uint64_t countdown) {
   NU_CHECK(countdown > 0, "fault countdown must be positive");
+  std::lock_guard<std::mutex> lock(mu_);
   armed_ = true;
   kind_ = kind;
   countdown_ = countdown;
 }
 
-void FaultInjectingStorage::disarm() { armed_ = false; }
+void FaultInjectingStorage::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+}
 
-void FaultInjectingStorage::maybe_fire(FaultKind kind) {
-  if (!armed_ || kind != kind_) return;
-  if (--countdown_ == 0) {
+void FaultInjectingStorage::set_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  rng_ = util::Xoshiro256(plan.seed);
+  plan_fired_ = 0;
+  burst_remaining_ = 0;
+}
+
+void FaultInjectingStorage::throw_fault(FaultKind kind, bool permanent) {
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  // ENXIO ("no such device or address") is permanent-class per
+  // util::errno_transient; EIO is transient — the retry loop absorbs it.
+  const int err = permanent ? ENXIO : EIO;
+  throw util::IoError("injected " + std::string(kind_name(kind)) +
+                          " fault on '" + name() + "'",
+                      err);
+}
+
+void FaultInjectingStorage::maybe_fire_locked(FaultKind kind) {
+  // Legacy single-shot trigger: always permanent-class so failure
+  // propagation and whole-job retry tests see exactly one fault.
+  if (armed_ && kind == kind_ && --countdown_ == 0) {
     armed_ = false;
-    ++fired_;
-    throw util::IoError("injected " +
-                        std::string(kind == FaultKind::Read    ? "read"
-                                    : kind == FaultKind::Write ? "write"
-                                                               : "alloc") +
-                        " fault on '" + name() + "'");
+    throw_fault(kind, /*permanent=*/true);
+  }
+  if (!plan_.enabled()) return;
+  if (plan_.latency_spike_rate > 0.0 && kind != FaultKind::Alloc &&
+      rng_.uniform() < plan_.latency_spike_rate) {
+    spiked_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(plan_.latency_spike_s));
+  }
+  if (burst_remaining_ > 0 && kind == burst_kind_) {
+    --burst_remaining_;
+    throw_fault(kind, plan_.permanent);
+  }
+  if (plan_.max_faults != 0 && plan_fired_ >= plan_.max_faults) return;
+  const double rate = rate_for(plan_, kind);
+  if (rate > 0.0 && rng_.uniform() < rate) {
+    ++plan_fired_;
+    if (plan_.transient_ops > 1) {
+      burst_remaining_ = plan_.transient_ops - 1;
+      burst_kind_ = kind;
+    }
+    throw_fault(kind, plan_.permanent);
   }
 }
 
+bool FaultInjectingStorage::plan_corrupts_locked(double rate) {
+  if (!plan_.enabled() || rate <= 0.0) return false;
+  if (plan_.max_faults != 0 && plan_fired_ >= plan_.max_faults) return false;
+  if (rng_.uniform() >= rate) return false;
+  ++plan_fired_;
+  corrupted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjectingStorage::flip_bit_locked(std::byte* buf,
+                                            std::uint64_t size) {
+  const std::uint64_t bit = rng_.bounded(size * 8);
+  buf[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+}
+
 std::uint64_t FaultInjectingStorage::do_alloc(std::uint64_t size) {
-  maybe_fire(FaultKind::Alloc);
+  std::lock_guard<std::mutex> lock(mu_);
+  maybe_fire_locked(FaultKind::Alloc);
   // Drive the inner backend through its public API and remember the
   // resulting allocation keyed by its handle.
   const Allocation allocation = inner_->alloc(size);
@@ -39,6 +127,7 @@ std::uint64_t FaultInjectingStorage::do_alloc(std::uint64_t size) {
 }
 
 void FaultInjectingStorage::do_release(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = allocations_.find(handle);
   NU_CHECK(it != allocations_.end(), "unknown handle in fault wrapper");
   inner_->release(it->second);
@@ -48,18 +137,30 @@ void FaultInjectingStorage::do_release(std::uint64_t handle) {
 void FaultInjectingStorage::do_read(void* dst, std::uint64_t handle,
                                     std::uint64_t offset,
                                     std::uint64_t size) {
-  maybe_fire(FaultKind::Read);
+  std::lock_guard<std::mutex> lock(mu_);
+  maybe_fire_locked(FaultKind::Read);
   auto it = allocations_.find(handle);
   NU_CHECK(it != allocations_.end(), "unknown handle in fault wrapper");
   inner_->read(dst, it->second, offset, size);
+  if (size > 0 && plan_corrupts_locked(plan_.read_corrupt_rate)) {
+    flip_bit_locked(static_cast<std::byte*>(dst), size);
+  }
 }
 
 void FaultInjectingStorage::do_write(std::uint64_t handle,
                                      std::uint64_t offset, const void* src,
                                      std::uint64_t size) {
-  maybe_fire(FaultKind::Write);
+  std::lock_guard<std::mutex> lock(mu_);
+  maybe_fire_locked(FaultKind::Write);
   auto it = allocations_.find(handle);
   NU_CHECK(it != allocations_.end(), "unknown handle in fault wrapper");
+  if (size > 0 && plan_corrupts_locked(plan_.write_corrupt_rate)) {
+    std::vector<std::byte> tainted(size);
+    std::memcpy(tainted.data(), src, size);
+    flip_bit_locked(tainted.data(), size);
+    inner_->write(it->second, offset, tainted.data(), size);
+    return;
+  }
   inner_->write(it->second, offset, src, size);
 }
 

@@ -26,6 +26,23 @@ bool is_host_addressable(StorageKind kind) {
   return kind == StorageKind::Dram || kind == StorageKind::Nvm;
 }
 
+namespace {
+
+/// Stamps the failing backend's name on an escaping IoError (innermost
+/// origin wins — a decorator re-throwing keeps the real source) so the
+/// resilience layer can attribute the failure to a tree node.
+template <typename Fn>
+decltype(auto) with_origin(const std::string& name, Fn&& fn) {
+  try {
+    return fn();
+  } catch (util::IoError& e) {
+    if (e.origin().empty()) e.set_origin(name);
+    throw;
+  }
+}
+
+}  // namespace
+
 Storage::Storage(std::string name, StorageKind kind, std::uint64_t capacity,
                  sim::BandwidthModel model)
     : name_(std::move(name)), kind_(kind), capacity_(capacity),
@@ -52,7 +69,7 @@ Allocation Storage::alloc(std::uint64_t size) {
         "allocation of " + std::to_string(size) + " B exceeds capacity of '" +
         name_ + "' (" + std::to_string(available()) + " B available)");
   }
-  const std::uint64_t handle = do_alloc(size);
+  const std::uint64_t handle = with_origin(name_, [&] { return do_alloc(size); });
   used_ += size;
   ++stats_.num_allocs;
   stats_.peak_used = std::max(stats_.peak_used, used_);
@@ -79,7 +96,7 @@ void Storage::read(void* dst, const Allocation& src, std::uint64_t offset,
   NU_CHECK(src.valid, "read from invalid allocation on '" + name_ + "'");
   NU_CHECK(offset + size <= src.size,
            "read past end of allocation on '" + name_ + "'");
-  do_read(dst, src.handle, offset, size);
+  with_origin(name_, [&] { do_read(dst, src.handle, offset, size); });
   stats_.bytes_read += size;
   ++stats_.num_reads;
   if (metrics_.reads != nullptr) {
@@ -94,7 +111,7 @@ void Storage::write(Allocation& dst, std::uint64_t offset, const void* src,
   NU_CHECK(dst.valid, "write to invalid allocation on '" + name_ + "'");
   NU_CHECK(offset + size <= dst.size,
            "write past end of allocation on '" + name_ + "'");
-  do_write(dst.handle, offset, src, size);
+  with_origin(name_, [&] { do_write(dst.handle, offset, src, size); });
   stats_.bytes_written += size;
   ++stats_.num_writes;
   if (metrics_.writes != nullptr) {

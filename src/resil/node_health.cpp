@@ -1,0 +1,160 @@
+#include "northup/resil/node_health.hpp"
+
+#include <chrono>
+
+namespace northup::resil {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed:
+      return "closed";
+    case BreakerState::HalfOpen:
+      return "half-open";
+    case BreakerState::Open:
+      return "open";
+  }
+  return "unknown";
+}
+
+NodeHealth::NodeHealth(HealthOptions options) : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  window_.resize(options_.window);
+}
+
+void NodeHealth::set_observer(StateObserver observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = std::move(observer);
+}
+
+void NodeHealth::transition_locked(BreakerState next) {
+  state_ = next;
+  switch (next) {
+    case BreakerState::Open:
+      open_since_s_ = now_s();
+      ++trips_;
+      probe_successes_ = 0;
+      break;
+    case BreakerState::HalfOpen:
+    case BreakerState::Closed:
+      // The window restarts so probe-era outcomes are judged on their
+      // own, not against the failures that tripped the breaker.
+      probe_successes_ = 0;
+      next_ = 0;
+      filled_ = 0;
+      break;
+  }
+}
+
+double NodeHealth::failure_rate_locked() const {
+  if (filled_ == 0) return 0.0;
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    if (!window_[i].ok) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(filled_);
+}
+
+void NodeHealth::record_success(double latency_s) {
+  StateObserver notify;
+  BreakerState changed_to = BreakerState::Closed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window_[next_] = Outcome{true, latency_s};
+    next_ = (next_ + 1) % window_.size();
+    if (filled_ < window_.size()) ++filled_;
+    if (state_ == BreakerState::HalfOpen &&
+        ++probe_successes_ >= options_.half_open_probes) {
+      transition_locked(BreakerState::Closed);
+      notify = observer_;
+      changed_to = BreakerState::Closed;
+    }
+  }
+  if (notify) notify(changed_to);
+}
+
+void NodeHealth::record_failure() {
+  StateObserver notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window_[next_] = Outcome{false, 0.0};
+    next_ = (next_ + 1) % window_.size();
+    if (filled_ < window_.size()) ++filled_;
+    const bool reopen = state_ == BreakerState::HalfOpen;
+    const bool trip = state_ == BreakerState::Closed &&
+                      filled_ >= options_.min_samples &&
+                      failure_rate_locked() >= options_.failure_threshold;
+    if (reopen || trip) {
+      transition_locked(BreakerState::Open);
+      notify = observer_;
+    }
+  }
+  if (notify) notify(BreakerState::Open);
+}
+
+BreakerState NodeHealth::state() {
+  StateObserver notify;
+  BreakerState result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == BreakerState::Open &&
+        now_s() - open_since_s_ >= options_.open_cooldown_s) {
+      transition_locked(BreakerState::HalfOpen);
+      notify = observer_;
+    }
+    result = state_;
+  }
+  if (notify) notify(BreakerState::HalfOpen);
+  return result;
+}
+
+bool NodeHealth::allow() { return state() != BreakerState::Open; }
+
+double NodeHealth::capacity_scale() {
+  switch (state()) {
+    case BreakerState::Open:
+      return 0.0;
+    case BreakerState::HalfOpen:
+      return options_.degrade_factor;
+    case BreakerState::Closed:
+      break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return failure_rate_locked() > options_.failure_threshold * 0.5
+             ? options_.degrade_factor
+             : 1.0;
+}
+
+double NodeHealth::failure_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failure_rate_locked();
+}
+
+double NodeHealth::mean_latency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    if (window_[i].ok) {
+      sum += window_[i].latency_s;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::uint64_t NodeHealth::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+}  // namespace northup::resil

@@ -1,0 +1,222 @@
+#include "northup/resil/resilience.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "northup/util/assert.hpp"
+#include "northup/util/log.hpp"
+
+namespace northup::resil {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double seconds_until(Clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+/// Storage origin stamped on the error, empty when there is none.
+std::string origin_of(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const util::CorruptionError& e) {
+    return e.origin();
+  } catch (const util::IoError& e) {
+    return e.origin();
+  } catch (...) {
+    return {};
+  }
+}
+
+std::string message_of(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+}  // namespace
+
+ResilienceManager::ResilienceManager(const topo::TopoTree& tree,
+                                     ResilOptions options)
+    : tree_(tree), options_(options), rng_(options.seed) {}
+
+void ResilienceManager::attach_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+}
+
+obs::Counter* ResilienceManager::counter(const char* name) {
+  return metrics_ ? &metrics_->counter(name) : nullptr;
+}
+
+void ResilienceManager::emit_instant(const std::string& label,
+                                     topo::NodeId node) {
+  if (event_hook_) event_hook_(label, node);
+}
+
+topo::NodeId ResilienceManager::node_of_origin(
+    const std::string& origin) const {
+  if (origin.empty()) return topo::kInvalidNode;
+  const topo::NodeId exact = tree_.find(origin);
+  if (exact != topo::kInvalidNode) return exact;
+  // Decorators suffix the inner storage's name ("dram+faults"): strip
+  // the suffix and retry the lookup.
+  const auto plus = origin.find('+');
+  if (plus == std::string::npos) return topo::kInvalidNode;
+  return tree_.find(origin.substr(0, plus));
+}
+
+NodeHealth& ResilienceManager::health(topo::NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_locked(node);
+}
+
+NodeHealth& ResilienceManager::health_locked(topo::NodeId node) {
+  auto it = healths_.find(node);
+  if (it != healths_.end()) return *it->second;
+  auto created = std::make_unique<NodeHealth>(options_.health);
+  const std::string name = tree_.node(node).name;
+  created->set_observer([this, node, name](BreakerState next) {
+    if (metrics_) {
+      metrics_->gauge("resil.breaker_state." + name)
+          .set(static_cast<double>(next));
+    }
+    switch (next) {
+      case BreakerState::Open:
+        if (auto* c = counter("resil.breaker.trips")) c->increment();
+        NU_LOG_WARN << "resil: node '" << name
+                    << "' quarantined (breaker open)";
+        emit_instant("quarantine@" + name, node);
+        break;
+      case BreakerState::HalfOpen:
+        emit_instant("probe@" + name, node);
+        break;
+      case BreakerState::Closed:
+        if (auto* c = counter("resil.breaker.recoveries")) c->increment();
+        NU_LOG_WARN << "resil: node '" << name << "' restored (breaker closed)";
+        emit_instant("restore@" + name, node);
+        break;
+    }
+  });
+  auto [pos, inserted] = healths_.emplace(node, std::move(created));
+  NU_ASSERT(inserted);
+  return *pos->second;
+}
+
+void ResilienceManager::record_failure_at(topo::NodeId node) {
+  if (node == topo::kInvalidNode) return;
+  health(node).record_failure();
+}
+
+void ResilienceManager::sleep_with_abort(double seconds) {
+  if (seconds <= 0.0) return;
+  if (sleeper_) {
+    sleeper_(seconds);
+    return;
+  }
+  // Sleep in small slices so a job cancellation lands mid-backoff
+  // instead of after it.
+  constexpr double kSliceS = 1e-3;
+  const auto start = Clock::now();
+  while (true) {
+    const double remaining = seconds - seconds_since(start);
+    if (remaining <= 0.0) return;
+    if (abort_check_ && abort_check_()) return;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(std::min(remaining, kSliceS)));
+  }
+}
+
+void ResilienceManager::run_op(topo::NodeId src, topo::NodeId dst,
+                               const std::string& label,
+                               const std::function<void()>& op) {
+  const RetryPolicy& policy = options_.retry;
+  const auto op_start = Clock::now();
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    std::exception_ptr error;
+    const auto attempt_start = Clock::now();
+    try {
+      op();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    if (!error) {
+      const double latency = seconds_since(attempt_start);
+      health(src).record_success(latency);
+      if (dst != src) health(dst).record_success(latency);
+      return;
+    }
+
+    const ErrorClass cls = classify(error);
+    const topo::NodeId fail_node = node_of_origin(origin_of(error));
+    if (fail_node != topo::kInvalidNode) {
+      record_failure_at(fail_node);
+    } else {
+      // No storage attribution: blame both endpoints of the transfer.
+      record_failure_at(src);
+      if (dst != src) record_failure_at(dst);
+    }
+    const topo::NodeId blame = fail_node != topo::kInvalidNode ? fail_node
+                               : dst != topo::kInvalidNode     ? dst
+                                                               : src;
+    const std::string blame_name =
+        blame != topo::kInvalidNode ? tree_.node(blame).name : "?";
+    if (cls == ErrorClass::Corruption) {
+      ++corruption_detected_;
+      if (auto* c = counter("resil.corruption.detected")) c->increment();
+      emit_instant("corruption@" + blame_name, blame);
+    }
+
+    bool retry = cls != ErrorClass::Permanent && attempt < policy.max_attempts;
+    if (retry && policy.op_deadline_s > 0.0 &&
+        seconds_since(op_start) >= policy.op_deadline_s) {
+      if (auto* c = counter("resil.deadline_giveups")) c->increment();
+      retry = false;
+    }
+    if (retry && deadline_ && seconds_until(*deadline_) <= 0.0) {
+      if (auto* c = counter("resil.deadline_giveups")) c->increment();
+      retry = false;
+    }
+    if (retry && abort_check_ && abort_check_()) retry = false;
+    if (!retry) {
+      if (cls != ErrorClass::Permanent) {
+        if (auto* c = counter("resil.giveups")) c->increment();
+        NU_LOG_WARN << "resil: giving up on " << label << " after " << attempt
+                    << " attempt(s): " << message_of(error);
+      }
+      std::rethrow_exception(error);
+    }
+
+    ++retries_;
+    if (auto* c = counter(cls == ErrorClass::Corruption
+                              ? "resil.retries.corruption"
+                              : "resil.retries.io")) {
+      c->increment();
+    }
+    emit_instant("retry@" + blame_name, blame);
+
+    double sleep_s = policy.backoff_for(attempt);
+    if (policy.jitter > 0.0 && sleep_s > 0.0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      sleep_s *= rng_.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+    }
+    // Never sleep past either deadline: the retry should fire while
+    // there is still budget to run it.
+    if (policy.op_deadline_s > 0.0) {
+      sleep_s = std::min(
+          sleep_s, policy.op_deadline_s - seconds_since(op_start));
+    }
+    if (deadline_) sleep_s = std::min(sleep_s, seconds_until(*deadline_));
+    sleep_with_abort(sleep_s);
+  }
+}
+
+}  // namespace northup::resil

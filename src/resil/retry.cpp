@@ -1,0 +1,43 @@
+#include "northup/resil/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::resil {
+
+const char* to_string(ErrorClass cls) {
+  switch (cls) {
+    case ErrorClass::TransientIo:
+      return "transient-io";
+    case ErrorClass::Corruption:
+      return "corruption";
+    case ErrorClass::Permanent:
+      return "permanent";
+  }
+  return "unknown";
+}
+
+ErrorClass classify(const std::exception_ptr& error) {
+  if (!error) return ErrorClass::Permanent;
+  try {
+    std::rethrow_exception(error);
+  } catch (const util::CorruptionError&) {
+    return ErrorClass::Corruption;
+  } catch (const util::IoError& e) {
+    return e.transient() ? ErrorClass::TransientIo : ErrorClass::Permanent;
+  } catch (...) {
+    return ErrorClass::Permanent;
+  }
+}
+
+double RetryPolicy::backoff_for(std::uint32_t attempt) const {
+  if (attempt == 0) return 0.0;
+  const double raw =
+      base_backoff_s *
+      std::pow(backoff_multiplier, static_cast<double>(attempt - 1));
+  return std::clamp(raw, 0.0, max_backoff_s);
+}
+
+}  // namespace northup::resil

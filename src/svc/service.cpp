@@ -243,7 +243,23 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
   algos::RunStats stats;
   std::uint32_t attempt = 0;
   double exec_seconds = 0.0;
+  std::uint64_t chunk_retries = 0;
+  std::uint64_t corruptions = 0;
   const std::uint32_t max_attempts = 1 + job->request.max_retries;
+  const double deadline = job->request.deadline_s;
+
+  // Folds one attempt's resil.* counters into the machine metrics and the
+  // job's totals, then tears the attempt runtime down.
+  auto fold_resil = [&](std::unique_ptr<core::Runtime>& rt) {
+    if (!rt) return;
+    for (const auto& [cname, value] : rt->metrics().counter_values()) {
+      if (value == 0 || cname.rfind("resil.", 0) != 0) continue;
+      metrics.counter(cname).add(value);
+    }
+    chunk_retries += rt->resilience().retries();
+    corruptions += rt->resilience().corruption_detected();
+    rt.reset();
+  };
 
   while (attempt < max_attempts) {
     ++attempt;
@@ -256,38 +272,66 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
     }
     const double attempt_start = trace_.now();
     const auto attempt_timer = std::chrono::steady_clock::now();
+    std::unique_ptr<core::Runtime> rt;
     try {
-      core::Runtime rt(make_tree(job_preset),
-                       core::RuntimeOptions{
-                           .enable_sim = options_.enable_sim,
-                           .file_dir = options_.file_dir,
-                           .enable_shard_cache = options_.enable_shard_cache});
+      core::RuntimeOptions rt_options{
+          .enable_sim = options_.enable_sim,
+          .file_dir = options_.file_dir,
+          .enable_shard_cache = options_.enable_shard_cache,
+          .resilience = options_.resilience};
+      if (job->request.chaos.enabled()) {
+        // Seeded chaos on the deep-storage root of every attempt.
+        const mem::FaultPlan chaos = job->request.chaos;
+        rt_options.storage_decorator =
+            [chaos](topo::NodeId node, const topo::TopoTree& tree,
+                    std::unique_ptr<mem::Storage> storage)
+            -> std::unique_ptr<mem::Storage> {
+          if (node != tree.root()) return storage;
+          auto wrapped = std::make_unique<mem::FaultInjectingStorage>(
+              std::move(storage));
+          wrapped->set_plan(chaos);
+          return wrapped;
+        };
+      }
+      rt = std::make_unique<core::Runtime>(make_tree(job_preset), rt_options);
+      // Chunk retries stop promptly on cancellation (mid-backoff too) and
+      // never sleep past the job's deadline.
+      rt->resilience().set_abort_check([job] {
+        return job->cancel_requested.load(std::memory_order_relaxed);
+      });
+      if (deadline > 0.0) {
+        rt->resilience().set_deadline(
+            job->submit_time + std::chrono::duration_cast<
+                                   std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(deadline)));
+      }
       if (attempt <= job->request.fault.failing_attempts) {
         // Deterministic failure testing: wrap the DRAM staging node in a
         // faulting decorator armed per the job's plan.
-        const topo::NodeId dram = rt.tree().find("dram");
+        const topo::NodeId dram = rt->tree().find("dram");
         NU_CHECK(dram != topo::kInvalidNode,
                  "fault plan needs a 'dram' node in the job tree");
         auto wrapped = std::make_unique<mem::FaultInjectingStorage>(
             std::make_unique<mem::HostStorage>(
                 "dram", mem::StorageKind::Dram,
-                rt.tree().memory(dram).capacity, sim::ModelPresets::dram()));
+                rt->tree().memory(dram).capacity, sim::ModelPresets::dram()));
         wrapped->arm(job->request.fault.kind, job->request.fault.countdown);
-        rt.dm().bind_storage(dram, std::move(wrapped));
+        rt->dm().bind_storage(dram, std::move(wrapped));
       }
       stats = std::visit(
           [&rt](const auto& config) {
             using T = std::decay_t<decltype(config)>;
             if constexpr (std::is_same_v<T, algos::GemmConfig>) {
-              return algos::gemm_northup(rt, config);
+              return algos::gemm_northup(*rt, config);
             } else if constexpr (std::is_same_v<T, algos::HotspotConfig>) {
-              return algos::hotspot_northup(rt, config);
+              return algos::hotspot_northup(*rt, config);
             } else {
-              return algos::spmv_northup(rt, config);
+              return algos::spmv_northup(*rt, config);
             }
           },
           job->request.config);
       exec_seconds += seconds_since(attempt_timer);
+      fold_resil(rt);
       trace_.record_span(tenant, job->id, name,
                          "run#" + std::to_string(attempt), "run",
                          attempt_start, trace_.now());
@@ -296,11 +340,27 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
       break;
     } catch (const util::IoError& e) {
       exec_seconds += seconds_since(attempt_timer);
+      fold_resil(rt);
       trace_.record_span(tenant, job->id, name,
                          "run#" + std::to_string(attempt) + " (I/O fault)",
                          "run", attempt_start, trace_.now());
       metrics.counter("svc.jobs.io_faults").increment();
       error = e.what();
+      if (job->cancel_requested.load(std::memory_order_relaxed)) {
+        state = JobState::Cancelled;
+        error = "cancelled during attempt " + std::to_string(attempt);
+        metrics.counter("svc.jobs.cancelled").increment();
+        trace_.record_instant(tenant, job->id, name, "cancelled",
+                              trace_.now());
+        break;
+      }
+      if (deadline > 0.0 && seconds_since(job->submit_time) >= deadline) {
+        // Whole-job retries must not outlive the deadline either.
+        error = "deadline of " + std::to_string(deadline) +
+                " s passed during attempt " + std::to_string(attempt) + ": " +
+                error;
+        break;
+      }
       if (attempt < max_attempts) {
         metrics.counter("svc.jobs.retries").increment();
         trace_.record_instant(tenant, job->id, name, "retry", trace_.now());
@@ -311,6 +371,7 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
     } catch (const std::exception& e) {
       // Capacity and logic errors are not transient; fail immediately.
       exec_seconds += seconds_since(attempt_timer);
+      fold_resil(rt);
       trace_.record_span(tenant, job->id, name,
                          "run#" + std::to_string(attempt) + " (error)", "run",
                          attempt_start, trace_.now());
@@ -344,6 +405,8 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
       job->result.queue_wait_s = queue_wait;
       job->result.latency_s = latency;
       job->result.attempts = attempt;
+      job->result.chunk_retries = chunk_retries;
+      job->result.corruptions = corruptions;
       job->cv.notify_all();
     }
     drain_cv_.notify_all();

@@ -1,0 +1,55 @@
+#include "northup/util/crc32.hpp"
+
+#include <array>
+
+namespace northup::util {
+
+namespace {
+
+/// Four 256-entry tables: table[0] is the classic byte-at-a-time CRC32
+/// table, table[k] pre-folds k additional zero bytes so four input bytes
+/// fold in one step.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+
+  Tables() {
+    constexpr std::uint32_t kPoly = 0xEDB88320u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int b = 0; b < 8; ++b) c = (c >> 1) ^ ((c & 1u) ? kPoly : 0u);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (std::size_t k = 1; k < 4; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables instance;
+  return instance;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  while (size >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[3][crc & 0xFFu] ^ t[2][(crc >> 8) & 0xFFu] ^
+          t[1][(crc >> 16) & 0xFFu] ^ t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+  return ~crc;
+}
+
+}  // namespace northup::util

@@ -1,0 +1,244 @@
+// End-to-end chaos tests: seeded probabilistic faults on the deep
+// storage node must be absorbed by the chunk-level retry loop (and the
+// checksum re-transfer path) with bit-identical results, and a
+// permanently failing node must trip its circuit breaker so the planner
+// reroutes to a healthy sibling.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "northup/algos/csr_adaptive.hpp"
+#include "northup/algos/gemm.hpp"
+#include "northup/algos/hotspot.hpp"
+#include "northup/core/runtime.hpp"
+#include "northup/io/posix_file.hpp"
+#include "northup/memsim/fault_injection.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace na = northup::algos;
+namespace nc = northup::core;
+namespace nd = northup::data;
+namespace nm = northup::mem;
+namespace nr = northup::resil;
+namespace ns = northup::sim;
+namespace nt = northup::topo;
+namespace nu = northup::util;
+
+namespace {
+
+/// Runtime options that wrap the root (deep-storage) node in a
+/// FaultInjectingStorage running `plan`, with end-to-end checksums on.
+nc::RuntimeOptions chaos_options(const nm::FaultPlan& plan) {
+  nc::RuntimeOptions options;
+  options.resilience.verify_checksums = true;
+  options.storage_decorator =
+      [plan](nt::NodeId node, const nt::TopoTree& tree,
+             std::unique_ptr<nm::Storage> storage)
+      -> std::unique_ptr<nm::Storage> {
+    if (node != tree.root()) return storage;
+    auto wrapped =
+        std::make_unique<nm::FaultInjectingStorage>(std::move(storage));
+    wrapped->set_plan(plan);
+    return wrapped;
+  };
+  return options;
+}
+
+/// Transient read/write faults, occasional bit flips, small latency
+/// spikes — the "bad but recoverable device" mix.
+nm::FaultPlan mixed_plan(std::uint64_t seed) {
+  nm::FaultPlan plan;
+  plan.seed = seed;
+  plan.read_fault_rate = 0.03;
+  plan.write_fault_rate = 0.02;
+  plan.read_corrupt_rate = 0.01;
+  plan.write_corrupt_rate = 0.01;
+  plan.latency_spike_rate = 0.01;
+  plan.latency_spike_s = 1e-4;
+  return plan;
+}
+
+/// Small staging capacity forces a real multi-block decomposition, so
+/// the chaos plan sees many root-storage transfers.
+nt::PresetOptions small_staging(std::uint64_t staging_bytes) {
+  nt::PresetOptions preset;
+  preset.staging_capacity = staging_bytes;
+  return preset;
+}
+
+}  // namespace
+
+TEST(Chaos, GemmBitIdenticalUnderSeededFaults) {
+  const auto preset = small_staging(8ULL << 10);
+  na::GemmConfig config;
+  config.n = 64;
+  config.verify_samples = 16;
+  config.hash_result = true;
+
+  nc::Runtime clean(nt::apu_two_level(nm::StorageKind::Ssd, preset));
+  const na::RunStats baseline = na::gemm_northup(clean, config);
+  ASSERT_TRUE(baseline.verified);
+  ASSERT_NE(baseline.result_hash, 0u);
+
+  nc::Runtime chaotic(nt::apu_two_level(nm::StorageKind::Ssd, preset),
+                      chaos_options(mixed_plan(0xc4a05)));
+  const na::RunStats faulted = na::gemm_northup(chaotic, config);
+  EXPECT_TRUE(faulted.verified);
+  EXPECT_EQ(faulted.result_hash, baseline.result_hash);
+  EXPECT_GT(chaotic.resilience().retries(), 0u);
+}
+
+TEST(Chaos, HotspotBitIdenticalUnderSeededFaults) {
+  const auto preset = small_staging(16ULL << 10);
+  na::HotspotConfig config;
+  config.n = 64;
+  config.iterations = 2;
+  config.hash_result = true;
+
+  nc::Runtime clean(nt::apu_two_level(nm::StorageKind::Ssd, preset));
+  const na::RunStats baseline = na::hotspot_northup(clean, config);
+  ASSERT_TRUE(baseline.verified);
+
+  nc::Runtime chaotic(nt::apu_two_level(nm::StorageKind::Ssd, preset),
+                      chaos_options(mixed_plan(0x4075907)));
+  const na::RunStats faulted = na::hotspot_northup(chaotic, config);
+  EXPECT_TRUE(faulted.verified);
+  EXPECT_EQ(faulted.result_hash, baseline.result_hash);
+  EXPECT_GT(chaotic.resilience().retries(), 0u);
+}
+
+TEST(Chaos, SpmvBitIdenticalUnderSeededFaults) {
+  const auto preset = small_staging(16ULL << 10);
+  na::SpmvConfig config;
+  config.rows = 1024;
+  config.avg_nnz = 8;
+  config.hash_result = true;
+
+  nc::Runtime clean(nt::apu_two_level(nm::StorageKind::Ssd, preset));
+  const na::RunStats baseline = na::spmv_northup(clean, config);
+  ASSERT_TRUE(baseline.verified);
+
+  nc::Runtime chaotic(nt::apu_two_level(nm::StorageKind::Ssd, preset),
+                      chaos_options(mixed_plan(0x59a1e)));
+  const na::RunStats faulted = na::spmv_northup(chaotic, config);
+  EXPECT_TRUE(faulted.verified);
+  EXPECT_EQ(faulted.result_hash, baseline.result_hash);
+  EXPECT_GT(chaotic.resilience().retries(), 0u);
+}
+
+TEST(Chaos, ChecksumsCatchSilentCorruption) {
+  // Corruption only — no plain I/O faults — so every retry the run
+  // records is a checksum-detected mismatch being repaired.
+  const auto preset = small_staging(8ULL << 10);
+  na::GemmConfig config;
+  config.n = 64;
+  config.verify_samples = 16;
+  config.hash_result = true;
+
+  nc::Runtime clean(nt::apu_two_level(nm::StorageKind::Ssd, preset));
+  const na::RunStats baseline = na::gemm_northup(clean, config);
+
+  nm::FaultPlan plan;
+  plan.seed = 0xbadb17;
+  plan.read_corrupt_rate = 0.03;
+  plan.write_corrupt_rate = 0.03;
+  // A verified transfer rolls the corrupt rate several times (write +
+  // read-back), so give the retry loop more headroom than the default.
+  nc::RuntimeOptions options = chaos_options(plan);
+  options.resilience.retry.max_attempts = 8;
+  nc::Runtime chaotic(nt::apu_two_level(nm::StorageKind::Ssd, preset),
+                      options);
+  const na::RunStats faulted = na::gemm_northup(chaotic, config);
+  EXPECT_TRUE(faulted.verified);
+  EXPECT_EQ(faulted.result_hash, baseline.result_hash);
+  EXPECT_GT(chaotic.resilience().corruption_detected(), 0u);
+  EXPECT_GE(chaotic.metrics().counter("resil.corruption.detected").value(),
+            chaotic.resilience().corruption_detected());
+}
+
+TEST(Chaos, BreakerQuarantinesFaultyNodeAndPlannerReroutes) {
+  // Root DRAM with two DRAM children; "left" writes always fail with a
+  // permanent-class error (a dead device).
+  nt::TopoTree tree;
+  nt::MemoryInfo info;
+  info.storage_type = nm::StorageKind::Dram;
+  info.capacity = 1ULL << 20;
+  info.model = ns::ModelPresets::dram();
+  const nt::NodeId root = tree.add_root("root", info);
+  info.capacity = 256ULL << 10;
+  tree.add_child(root, "left", info);
+  tree.add_child(root, "right", info);
+
+  nm::FaultPlan dead;
+  dead.write_fault_rate = 1.0;
+  dead.permanent = true;
+
+  nc::RuntimeOptions options;
+  options.storage_decorator =
+      [dead](nt::NodeId node, const nt::TopoTree& t,
+             std::unique_ptr<nm::Storage> storage)
+      -> std::unique_ptr<nm::Storage> {
+    if (t.node(node).name != "left") return storage;
+    auto wrapped =
+        std::make_unique<nm::FaultInjectingStorage>(std::move(storage));
+    wrapped->set_plan(dead);
+    return wrapped;
+  };
+  nc::Runtime rt(tree, options);
+  auto& dm = rt.dm();
+  const nt::NodeId left = rt.tree().find("left");
+  const nt::NodeId right = rt.tree().find("right");
+
+  nd::Buffer src = dm.alloc(4096, rt.tree().root());
+  dm.fill(src, std::byte{0x5a}, 4096);
+
+  std::vector<nt::NodeId> landed;
+  rt.run([&](nc::ExecContext& ctx) {
+    for (int i = 0; i < 6; ++i) {
+      // The planner always asks for a healthy child; while "left" looks
+      // fine it keeps getting picked (and keeps failing).
+      const nt::NodeId target = ctx.healthy_child();
+      nd::Buffer b = dm.alloc(4096, target);
+      try {
+        dm.move_data(b, src, {.size = 4096});
+        landed.push_back(target);
+      } catch (const nu::IoError&) {
+        // Permanent fault: the chunk retry loop rethrew immediately.
+      }
+      dm.release(b);
+    }
+  });
+
+  // Each iteration records a successful alloc and a failed move at
+  // "left", so after two failed moves the window holds 4 samples at a
+  // 50% failure rate — enough to trip. The remaining four transfers
+  // landed on the healthy sibling.
+  EXPECT_EQ(rt.resilience().breaker_state(left), nr::BreakerState::Open);
+  ASSERT_EQ(landed.size(), 4u);
+  for (const nt::NodeId node : landed) EXPECT_EQ(node, right);
+
+  // Planner surface: a quarantined node advertises zero capacity.
+  EXPECT_DOUBLE_EQ(rt.resilience().capacity_scale(left), 0.0);
+  rt.run([&](nc::ExecContext& ctx) {
+    EXPECT_EQ(ctx.available_bytes(left), 0u);
+    EXPECT_GT(ctx.available_bytes(right), 0u);
+  });
+
+  // Observability: breaker gauge, trip counter, and the quarantine
+  // instant in the Chrome trace.
+  EXPECT_DOUBLE_EQ(rt.metrics().gauge("resil.breaker_state.left").value(),
+                   2.0);
+  EXPECT_GE(rt.metrics().counter("resil.breaker.trips").value(), 1u);
+
+  northup::io::TempDir dir("chaos-trace");
+  const std::string path = dir.file("trace.json");
+  rt.write_chrome_trace(path);
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("quarantine@left"), std::string::npos);
+
+  dm.release(src);
+}

@@ -1,0 +1,141 @@
+// NodeHealth unit tests: sliding-window failure accounting and the
+// Closed / Open / Half-Open circuit-breaker state machine.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "northup/resil/node_health.hpp"
+
+namespace nr = northup::resil;
+
+namespace {
+
+/// Short cooldown so Open -> Half-Open transitions are testable without
+/// slowing the suite down.
+nr::HealthOptions fast_options() {
+  nr::HealthOptions options;
+  options.window = 8;
+  options.min_samples = 4;
+  options.failure_threshold = 0.5;
+  options.open_cooldown_s = 0.01;
+  options.half_open_probes = 2;
+  options.degrade_factor = 0.5;
+  return options;
+}
+
+void trip(nr::NodeHealth& health, std::size_t failures = 4) {
+  for (std::size_t i = 0; i < failures; ++i) health.record_failure();
+}
+
+void wait_cooldown() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+}
+
+}  // namespace
+
+TEST(NodeHealth, StartsClosedAndHealthy) {
+  nr::NodeHealth health(fast_options());
+  EXPECT_EQ(health.state(), nr::BreakerState::Closed);
+  EXPECT_TRUE(health.allow());
+  EXPECT_DOUBLE_EQ(health.capacity_scale(), 1.0);
+  EXPECT_DOUBLE_EQ(health.failure_rate(), 0.0);
+  EXPECT_EQ(health.trips(), 0u);
+}
+
+TEST(NodeHealth, NoTripBeforeMinSamples) {
+  nr::NodeHealth health(fast_options());
+  trip(health, 3);  // min_samples is 4
+  EXPECT_EQ(health.state(), nr::BreakerState::Closed);
+}
+
+TEST(NodeHealth, TripsAtThresholdWithEnoughSamples) {
+  nr::NodeHealth health(fast_options());
+  // 2 successes + 2 failures = 4 samples at 50%: exactly at threshold.
+  health.record_success(1e-4);
+  health.record_success(1e-4);
+  health.record_failure();
+  health.record_failure();
+  EXPECT_EQ(health.state(), nr::BreakerState::Open);
+  EXPECT_FALSE(health.allow());
+  EXPECT_DOUBLE_EQ(health.capacity_scale(), 0.0);
+  EXPECT_EQ(health.trips(), 1u);
+}
+
+TEST(NodeHealth, CooldownAdmitsProbes) {
+  nr::NodeHealth health(fast_options());
+  trip(health);
+  EXPECT_FALSE(health.allow());
+  wait_cooldown();
+  EXPECT_EQ(health.state(), nr::BreakerState::HalfOpen);
+  EXPECT_TRUE(health.allow());  // probe traffic admitted
+  EXPECT_DOUBLE_EQ(health.capacity_scale(), fast_options().degrade_factor);
+}
+
+TEST(NodeHealth, ProbeSuccessesCloseTheBreaker) {
+  nr::NodeHealth health(fast_options());
+  trip(health);
+  wait_cooldown();
+  ASSERT_EQ(health.state(), nr::BreakerState::HalfOpen);
+  health.record_success(1e-4);
+  EXPECT_EQ(health.state(), nr::BreakerState::HalfOpen);  // 1 of 2 probes
+  health.record_success(1e-4);
+  EXPECT_EQ(health.state(), nr::BreakerState::Closed);
+  EXPECT_DOUBLE_EQ(health.capacity_scale(), 1.0);  // window was reset
+}
+
+TEST(NodeHealth, ProbeFailureReopens) {
+  nr::NodeHealth health(fast_options());
+  trip(health);
+  wait_cooldown();
+  ASSERT_EQ(health.state(), nr::BreakerState::HalfOpen);
+  health.record_failure();
+  EXPECT_EQ(health.state(), nr::BreakerState::Open);
+  EXPECT_EQ(health.trips(), 2u);
+}
+
+TEST(NodeHealth, DirtyWindowDegradesCapacityWhileClosed) {
+  auto options = fast_options();
+  options.failure_threshold = 0.6;
+  nr::NodeHealth health(options);
+  // 2 failures in 6 samples = 33% > threshold/2 (30%) but below the trip.
+  for (int i = 0; i < 4; ++i) health.record_success(1e-4);
+  health.record_failure();
+  health.record_failure();
+  EXPECT_EQ(health.state(), nr::BreakerState::Closed);
+  EXPECT_DOUBLE_EQ(health.capacity_scale(), options.degrade_factor);
+}
+
+TEST(NodeHealth, WindowSlidesOldOutcomesOut) {
+  nr::NodeHealth health(fast_options());
+  health.record_failure();
+  health.record_failure();
+  // 8 successes push both failures out of the window of 8.
+  for (int i = 0; i < 8; ++i) health.record_success(1e-4);
+  EXPECT_DOUBLE_EQ(health.failure_rate(), 0.0);
+  EXPECT_EQ(health.state(), nr::BreakerState::Closed);
+}
+
+TEST(NodeHealth, TracksMeanLatencyOfSuccesses) {
+  nr::NodeHealth health(fast_options());
+  health.record_success(0.010);
+  health.record_success(0.030);
+  health.record_failure();  // failures do not pollute the latency mean
+  EXPECT_NEAR(health.mean_latency(), 0.020, 1e-12);
+}
+
+TEST(NodeHealth, ObserverSeesEveryTransition) {
+  nr::NodeHealth health(fast_options());
+  std::vector<nr::BreakerState> seen;
+  health.set_observer([&](nr::BreakerState s) { seen.push_back(s); });
+  trip(health);
+  wait_cooldown();
+  (void)health.state();       // Open -> HalfOpen on read
+  health.record_success(1e-4);
+  health.record_success(1e-4);  // -> Closed
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], nr::BreakerState::Open);
+  EXPECT_EQ(seen[1], nr::BreakerState::HalfOpen);
+  EXPECT_EQ(seen[2], nr::BreakerState::Closed);
+}

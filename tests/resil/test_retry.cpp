@@ -1,0 +1,187 @@
+// RetryPolicy units (classification, backoff schedule) and the
+// ResilienceManager retry loop driven through fake operations.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <vector>
+
+#include "northup/resil/resilience.hpp"
+#include "northup/resil/retry.hpp"
+#include "northup/topo/presets.hpp"
+#include "northup/util/assert.hpp"
+
+namespace nr = northup::resil;
+namespace nt = northup::topo;
+namespace nu = northup::util;
+
+namespace {
+
+std::exception_ptr as_ptr(const auto& e) { return std::make_exception_ptr(e); }
+
+/// Manager over the APU preset tree with a no-op sleeper (tests drive
+/// many retries; real backoff sleeps would dominate the suite).
+struct Fixture {
+  explicit Fixture(nr::ResilOptions options = {})
+      : tree(nt::apu_two_level()), mgr(tree, options) {
+    mgr.set_sleeper([this](double s) { sleeps.push_back(s); });
+  }
+
+  nt::TopoTree tree;
+  nr::ResilienceManager mgr;
+  std::vector<double> sleeps;
+};
+
+}  // namespace
+
+TEST(RetryPolicy, ClassifiesStructurally) {
+  EXPECT_EQ(nr::classify(as_ptr(nu::IoError("flaky", EIO))),
+            nr::ErrorClass::TransientIo);
+  EXPECT_EQ(nr::classify(as_ptr(nu::IoError("interrupted", EINTR))),
+            nr::ErrorClass::TransientIo);
+  EXPECT_EQ(nr::classify(as_ptr(nu::IoError("gone", ENXIO))),
+            nr::ErrorClass::Permanent);
+  EXPECT_EQ(nr::classify(as_ptr(nu::IoError("eof", 0, /*transient=*/false))),
+            nr::ErrorClass::Permanent);
+  EXPECT_EQ(nr::classify(as_ptr(nu::CorruptionError("mismatch"))),
+            nr::ErrorClass::Corruption);
+  EXPECT_EQ(nr::classify(as_ptr(std::runtime_error("logic"))),
+            nr::ErrorClass::Permanent);
+}
+
+TEST(RetryPolicy, BackoffGrowsAndClamps) {
+  const nr::RetryPolicy policy{.max_attempts = 8,
+                               .base_backoff_s = 1e-3,
+                               .backoff_multiplier = 2.0,
+                               .max_backoff_s = 5e-3};
+  EXPECT_DOUBLE_EQ(policy.backoff_for(1), 1e-3);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(2), 2e-3);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(3), 4e-3);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(4), 5e-3);  // clamped
+  EXPECT_DOUBLE_EQ(policy.backoff_for(7), 5e-3);
+}
+
+TEST(ResilienceManager, SucceedsWithoutRetryNoise) {
+  Fixture f;
+  int calls = 0;
+  f.mgr.run_op(0, 1, "move", [&] { ++calls; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(f.mgr.retries(), 0u);
+  EXPECT_TRUE(f.sleeps.empty());
+}
+
+TEST(ResilienceManager, RetriesTransientUntilSuccess) {
+  Fixture f;
+  int calls = 0;
+  f.mgr.run_op(0, 1, "move", [&] {
+    if (++calls < 3) throw nu::IoError("flaky read", EIO);
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(f.mgr.retries(), 2u);
+  ASSERT_EQ(f.sleeps.size(), 2u);
+  // Jittered exponential: each sleep is backoff_for(k) * [1 +- jitter].
+  const nr::RetryPolicy policy;  // defaults
+  EXPECT_GE(f.sleeps[0], policy.base_backoff_s * (1.0 - policy.jitter));
+  EXPECT_LE(f.sleeps[0], policy.base_backoff_s * (1.0 + policy.jitter));
+  EXPECT_GE(f.sleeps[1], 2 * policy.base_backoff_s * (1.0 - policy.jitter));
+  EXPECT_LE(f.sleeps[1], 2 * policy.base_backoff_s * (1.0 + policy.jitter));
+}
+
+TEST(ResilienceManager, PermanentErrorsAreNotRetried) {
+  Fixture f;
+  int calls = 0;
+  EXPECT_THROW(f.mgr.run_op(0, 1, "move",
+                            [&] {
+                              ++calls;
+                              throw nu::IoError("dead device", ENXIO);
+                            }),
+               nu::IoError);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(f.mgr.retries(), 0u);
+}
+
+TEST(ResilienceManager, ExhaustsAttemptsThenRethrows) {
+  nr::ResilOptions options;
+  options.retry.max_attempts = 3;
+  Fixture f(options);
+  int calls = 0;
+  EXPECT_THROW(f.mgr.run_op(0, 1, "move",
+                            [&] {
+                              ++calls;
+                              throw nu::IoError("always flaky", EIO);
+                            }),
+               nu::IoError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(f.mgr.retries(), 2u);
+}
+
+TEST(ResilienceManager, CorruptionIsRetriedAndCountedSeparately) {
+  Fixture f;
+  int calls = 0;
+  f.mgr.run_op(0, 1, "move", [&] {
+    if (++calls < 2) throw nu::CorruptionError("checksum mismatch");
+  });
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(f.mgr.retries(), 1u);
+  EXPECT_EQ(f.mgr.corruption_detected(), 1u);
+}
+
+TEST(ResilienceManager, AbortCheckStopsRetrying) {
+  Fixture f;
+  f.mgr.set_abort_check([] { return true; });
+  int calls = 0;
+  EXPECT_THROW(f.mgr.run_op(0, 1, "move",
+                            [&] {
+                              ++calls;
+                              throw nu::IoError("flaky", EIO);
+                            }),
+               nu::IoError);
+  EXPECT_EQ(calls, 1);  // cancelled before the first retry
+  EXPECT_EQ(f.mgr.retries(), 0u);
+}
+
+TEST(ResilienceManager, OpDeadlineBoundsTheRetryLoop) {
+  nr::ResilOptions options;
+  options.retry.max_attempts = 100;
+  options.retry.op_deadline_s = 1e-9;  // already passed after one attempt
+  Fixture f(options);
+  int calls = 0;
+  EXPECT_THROW(f.mgr.run_op(0, 1, "move",
+                            [&] {
+                              ++calls;
+                              throw nu::IoError("flaky", EIO);
+                            }),
+               nu::IoError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ResilienceManager, ExternalDeadlineStopsRetrying) {
+  Fixture f;
+  f.mgr.set_deadline(std::chrono::steady_clock::now());  // already passed
+  int calls = 0;
+  EXPECT_THROW(f.mgr.run_op(0, 1, "move",
+                            [&] {
+                              ++calls;
+                              throw nu::IoError("flaky", EIO);
+                            }),
+               nu::IoError);
+  EXPECT_EQ(calls, 1);
+  f.mgr.clear_deadline();
+  calls = 0;
+  f.mgr.run_op(0, 1, "move", [&] {
+    if (++calls < 2) throw nu::IoError("flaky", EIO);
+  });
+  EXPECT_EQ(calls, 2);  // deadline cleared: retries resume
+}
+
+TEST(ResilienceManager, RepeatedFailuresTripTheEndpointBreaker) {
+  nr::ResilOptions options;
+  options.retry.max_attempts = 4;
+  Fixture f(options);
+  EXPECT_EQ(f.mgr.breaker_state(1), nr::BreakerState::Closed);
+  EXPECT_THROW(f.mgr.run_op(0, 1, "move",
+                            [&] { throw nu::IoError("always flaky", EIO); }),
+               nu::IoError);
+  // 4 failed attempts >= min_samples at 100% failure rate: Open.
+  EXPECT_EQ(f.mgr.breaker_state(1), nr::BreakerState::Open);
+  EXPECT_EQ(f.mgr.capacity_scale(1), 0.0);
+}

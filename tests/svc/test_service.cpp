@@ -241,3 +241,73 @@ TEST(JobService, ObservabilitySurfaceIsPopulated) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"svc.latency.e2e\""), std::string::npos);
 }
+
+TEST(JobService, CancellationInterruptsChunkRetryBackoff) {
+  // Every root read fails forever and the chunk retry policy sleeps long
+  // between attempts: without cancellation this job would spin in the
+  // data plane for minutes. Cancel must land mid-backoff.
+  auto opts = small_machine();
+  opts.workers = 1;
+  opts.resilience.retry.max_attempts = 1000;
+  opts.resilience.retry.base_backoff_s = 0.5;
+  opts.resilience.retry.max_backoff_s = 0.5;
+  nsv::JobService service(opts);
+
+  nsv::JobRequest request;
+  request.config = small_gemm();
+  request.chaos.seed = 3;
+  request.chaos.read_fault_rate = 1.0;
+
+  nsv::JobHandle handle = service.submit(request);
+  while (handle.state() == nsv::JobState::Queued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Let the job hit the failing read and enter retry/backoff.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto cancel_time = std::chrono::steady_clock::now();
+  handle.cancel();
+  const nsv::JobResult& result = handle.wait();
+  const double cancel_latency =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    cancel_time)
+          .count();
+
+  EXPECT_EQ(result.state, nsv::JobState::Cancelled);
+  EXPECT_GE(result.chunk_retries, 1u);
+  // The sliced backoff sleep re-checks the abort hook every millisecond;
+  // anything near the 0.5 s backoff (let alone 1000 of them) means the
+  // cancellation was not honored mid-sleep.
+  EXPECT_LT(cancel_latency, 2.0);
+}
+
+TEST(JobService, BackoffSleepsNeverOverrunTheJobDeadline) {
+  // The retry policy wants 5 s backoffs but the job's deadline is 0.4 s:
+  // sleeps must be clamped to the remaining budget and the job must fail
+  // with a deadline error shortly after it passes.
+  auto opts = small_machine();
+  opts.workers = 1;
+  opts.resilience.retry.max_attempts = 100;
+  opts.resilience.retry.base_backoff_s = 5.0;
+  opts.resilience.retry.max_backoff_s = 5.0;
+  nsv::JobService service(opts);
+
+  nsv::JobRequest request;
+  request.config = small_gemm();
+  request.deadline_s = 0.4;
+  request.chaos.seed = 3;
+  request.chaos.read_fault_rate = 1.0;
+
+  const auto submit_time = std::chrono::steady_clock::now();
+  nsv::JobHandle handle = service.submit(request);
+  const nsv::JobResult& result = handle.wait();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    submit_time)
+          .count();
+
+  EXPECT_EQ(result.state, nsv::JobState::Failed);
+  EXPECT_NE(result.error.find("deadline"), std::string::npos) << result.error;
+  EXPECT_GE(result.chunk_retries, 1u);
+  // One un-clamped 5 s backoff would already blow this bound.
+  EXPECT_LT(elapsed, 2.5);
+}
