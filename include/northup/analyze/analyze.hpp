@@ -1,0 +1,121 @@
+// northup-analyze — offline analysis of flight-recorder runs.
+//
+// Ingests an obs::RecordedRun (in-process snapshot or a .nulog file) and
+// derives the artifacts the virtual-time tooling produces for the
+// EventSim, but for *measured* executions:
+//   * chrome_trace_json(): a Perfetto-loadable Chrome trace with causal
+//     flow arrows along span parents and per-node bandwidth/occupancy
+//     counter tracks;
+//   * measured_critical_path(): the wall-clock critical path with
+//     per-phase attribution (the core::ScheduleReport idea generalized
+//     from simulated task graphs to recorded event streams);
+//   * whatif_storage(): the §V-D storage re-cost, feeding the measured
+//     kIo event stream through mem::project_storage.
+//
+// Lives in its own library (northup_analyze) rather than northup_obs
+// because the memsim layer already links obs — the projection dependency
+// must point this way.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "northup/memsim/projection.hpp"
+#include "northup/obs/event_log.hpp"
+#include "northup/sim/models.hpp"
+
+namespace northup::analyze {
+
+/// Aggregate counts of one recorded run.
+struct Summary {
+  std::uint64_t events = 0;
+  std::uint64_t spans = 0;  ///< kSpanBegin count
+  std::uint64_t moves = 0;
+  std::uint64_t ios = 0;
+  std::uint64_t computes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t breaker_transitions = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t bytes_moved = 0;  ///< sum of kMove values
+  double wall_seconds = 0.0;      ///< last event end - first event start
+  std::uint64_t dropped = 0;
+  std::uint32_t thread_count = 0;
+};
+Summary summarize(const obs::RecordedRun& run);
+
+/// Structural validation: every event's span chain must resolve, span
+/// begins must have matching ends.
+struct ValidationReport {
+  bool ok = true;
+  std::uint64_t orphan_parents = 0;   ///< SpanBegin whose parent is unknown
+  std::uint64_t orphan_events = 0;    ///< event whose owning span is unknown
+  std::uint64_t unclosed_spans = 0;   ///< kSpanBegin without kSpanEnd
+  std::vector<std::string> problems;  ///< human-readable details (bounded)
+};
+ValidationReport validate(const obs::RecordedRun& run);
+
+/// One segment of the measured critical path.
+struct PathSegment {
+  double begin_s = 0.0;  ///< seconds from the run's first event
+  double end_s = 0.0;
+  std::string name;   ///< span or event name carrying this segment
+  std::string phase;  ///< attribution key ("io", "cpu", "runtime", "idle"...)
+  std::uint32_t node = obs::kNoNode;
+};
+
+/// Measured critical path over the recorded window. The walk starts at
+/// the last event end and repeatedly descends into the latest-finishing
+/// child (sub-span or duration event) of the current span, attributing
+/// uncovered gaps to the enclosing span's phase; time outside any span is
+/// "idle". By construction attribution sums exactly to length_s, and
+/// length_s equals the recorded window, so it never exceeds the measured
+/// makespan.
+struct CriticalPath {
+  double length_s = 0.0;
+  std::vector<PathSegment> segments;          ///< in increasing time order
+  std::map<std::string, double> phase_seconds;  ///< sums to length_s
+};
+CriticalPath measured_critical_path(const obs::RecordedRun& run);
+
+/// Chrome trace-event JSON of the measured run: pid 1 carries the span
+/// tree (one track per recording thread, flow arrows parent -> child),
+/// pid 2 carries per-node move/IO events and cache/retry/breaker
+/// instants plus "C" counter tracks with windowed per-node bandwidth
+/// (MB/s) and occupancy.
+std::string chrome_trace_json(const obs::RecordedRun& run);
+
+/// Writes chrome_trace_json() to `path`; throws util::Error naming the
+/// path on failure.
+void write_chrome_trace(const obs::RecordedRun& run, const std::string& path);
+
+/// The measured I/O stream: one mem::IoRecord per kIo event, in
+/// timestamp order — the input §V-D's emulator expects.
+std::vector<mem::IoRecord> io_records(const obs::RecordedRun& run);
+
+/// Total measured wall seconds spent in file I/O (sum of kIo durations;
+/// concurrent I/O on different threads counts once per event).
+double measured_io_seconds(const obs::RecordedRun& run);
+
+/// The bandwidth model under which replaying io_records() reproduces the
+/// measured I/O time exactly: effective read/write bandwidths from the
+/// run's own totals, zero access latency. The sanity anchor of the
+/// what-if sweep.
+sim::BandwidthModel identity_model(const obs::RecordedRun& run);
+
+/// §V-D what-if storage re-cost of a measured run.
+struct WhatIf {
+  double measured_io_s = 0.0;
+  double measured_total_s = 0.0;  ///< max(recorded window, measured_io_s)
+  mem::ProjectionPoint identity;  ///< re-cost under identity_model()
+  std::vector<mem::ProjectionPoint> sweep;  ///< fig9_storage_sweep points
+};
+WhatIf whatif_storage(const obs::RecordedRun& run);
+
+/// Multi-line human-readable report (summary + critical path + what-if).
+std::string report(const obs::RecordedRun& run);
+
+}  // namespace northup::analyze

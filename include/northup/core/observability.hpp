@@ -1,8 +1,11 @@
 // Command-line plumbing for the observability artifacts.
 //
-// Every example and benchmark harness accepts the same flag pair:
+// Every example and benchmark harness accepts the same flag set:
 //   --trace-out=<file>     Chrome trace-event JSON of the EventSim graph
 //   --metrics-out=<file>   MetricsRegistry dump (counters + gauges)
+//   --eventlog-out=<file>  flight-recorder .nulog (see obs::EventLog;
+//                          feed it to tools/northup-analyze)
+//   --prom-out=<file>      Prometheus text exposition of the registry
 // dump_observability() reads them off an already-parsed Flags object and
 // writes whichever artifacts were requested, so harnesses stay one line.
 #pragma once
@@ -14,8 +17,8 @@
 
 namespace northup::core {
 
-/// Writes the trace/metrics artifacts requested via --trace-out /
-/// --metrics-out (no-op when neither flag is present). Harnesses that
+/// Writes the artifacts requested via --trace-out / --metrics-out /
+/// --eventlog-out / --prom-out (no-op when none is present). Harnesses that
 /// run several Runtimes pass a distinct `tag` per run; it is spliced in
 /// before the file extension ("out.json" + "ssd" -> "out.ssd.json") so
 /// successive dumps don't overwrite each other.

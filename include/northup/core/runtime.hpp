@@ -21,6 +21,7 @@
 #include "northup/data/data_manager.hpp"
 #include "northup/device/processor.hpp"
 #include "northup/io/posix_file.hpp"
+#include "northup/obs/event_log.hpp"
 #include "northup/obs/metrics.hpp"
 #include "northup/obs/trace_writer.hpp"
 #include "northup/resil/resilience.hpp"
@@ -65,6 +66,20 @@ struct RuntimeOptions {
   std::function<std::unique_ptr<mem::Storage>(
       topo::NodeId, const topo::TopoTree&, std::unique_ptr<mem::Storage>)>
       storage_decorator = {};
+  /// Always-on wall-clock flight recorder (obs::EventLog): every real
+  /// move, alloc, cache hit/miss, retry, breaker transition, kernel
+  /// launch, and spawn span is recorded with wall-clock timestamps and
+  /// causal span ids. Bounded memory (see event_log_capacity); the <1%
+  /// §V-B overhead bound is checked by bench/overhead_runtime.
+  bool enable_event_log = true;
+  /// Per-thread ring capacity of the owned EventLog, in events (64 B
+  /// each). The default (65536) holds ~4 MiB per recording thread.
+  std::size_t event_log_capacity = std::size_t{1} << 16;
+  /// Record into an external EventLog instead of owning one (the job
+  /// service points per-job runtimes at the machine-wide log so one
+  /// recording spans all tenants). Must outlive the runtime. When set,
+  /// enable_event_log is ignored.
+  obs::EventLog* external_event_log = nullptr;
 };
 
 /// Instantiated system: tree + storages + processors + queues + sim.
@@ -106,6 +121,20 @@ class Runtime {
   /// queue push/pop, and recursive spawn is counted here.
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The wall-clock flight recorder, or nullptr when disabled. Owned by
+  /// this runtime unless RuntimeOptions::external_event_log was set.
+  obs::EventLog* event_log() { return elog_; }
+
+  /// Binary flush of the flight recorder to `path` (.nulog — the input
+  /// of tools/northup-analyze). With the recorder disabled an empty log
+  /// is written so downstream tooling always has a file.
+  void write_event_log(const std::string& path);
+
+  /// Dumps the metrics registry in Prometheus text-exposition format at
+  /// `path`, after folding in the same point-in-time gauges as
+  /// write_metrics_json.
+  void write_prometheus(const std::string& path);
 
   /// Chrome-trace track layout for this runtime's EventSim: one pid per
   /// tree node (memory engine tid 0, attached processors tid 1..n).
@@ -158,9 +187,21 @@ class Runtime {
   void bind_all_storages();
   void create_processors();
 
+  /// Stamps point-in-time gauges (makespan, phase totals, eventlog drop
+  /// count, ...) before a metrics dump.
+  void stamp_gauges();
+
   topo::TopoTree tree_;
   RuntimeOptions options_;
   obs::MetricsRegistry metrics_;  ///< outlives everything hooked into it
+  /// Declared right after metrics_ (destroyed last but for it): every
+  /// subsystem below holds a raw pointer into the flight recorder.
+  std::unique_ptr<obs::EventLog> elog_owned_;
+  obs::EventLog* elog_ = nullptr;
+  std::uint32_t elog_runtime_phase_ = 0;  ///< interned "runtime"
+  std::uint32_t elog_run_name_ = 0;       ///< interned "run"
+  /// Interned "spawn-><node>" span names, indexed by NodeId (hot path).
+  std::vector<std::uint32_t> spawn_span_names_;
   obs::Counter* spawn_counter_ = nullptr;
   obs::Gauge* spawn_depth_gauge_ = nullptr;
   std::unique_ptr<sim::EventSim> sim_;

@@ -26,6 +26,7 @@
 #include "northup/data/buffer.hpp"
 #include "northup/data/cache_backend.hpp"
 #include "northup/memsim/storage.hpp"
+#include "northup/obs/event_log.hpp"
 #include "northup/obs/metrics.hpp"
 #include "northup/resil/resilience.hpp"
 #include "northup/sim/event_sim.hpp"
@@ -103,6 +104,14 @@ class DataManager {
   /// Pass nullptr to detach. The registry must outlive this manager.
   void attach_metrics(obs::MetricsRegistry* registry);
   obs::MetricsRegistry* metrics() { return metrics_; }
+
+  /// Installs (or detaches, with nullptr) the wall-clock flight recorder:
+  /// every Table-I move/alloc then also records a timestamped EventLog
+  /// event (kMove with src/dst nodes and bytes, kIo for each file-backed
+  /// leg, kAlloc) under the calling thread's current causal span. The log
+  /// must outlive this manager.
+  void set_event_log(obs::EventLog* log);
+  obs::EventLog* event_log() { return elog_; }
 
   /// EventSim resource representing a node's copy/I-O engine (created on
   /// demand). Exposed so the device layer can serialize against it.
@@ -276,6 +285,13 @@ class DataManager {
   obs::Counter& edge_counter(const std::string& src_name,
                              const std::string& dst_name);
 
+  /// Records the wall-clock kMove (+ per-file-side kIo) events for a move
+  /// that started at `t0_ns` and just finished. obs::kNoNode on either
+  /// side stands for host memory.
+  void log_move(topo::NodeId src_node, topo::NodeId dst_node,
+                std::uint64_t bytes, const std::string& label,
+                std::uint64_t t0_ns);
+
   const topo::TopoTree& tree_;
   sim::EventSim* sim_;
   SetupCostModel setup_costs_;
@@ -284,6 +300,9 @@ class DataManager {
   std::uint64_t bytes_moved_ = 0;
   std::uint64_t next_buffer_id_ = 1;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::EventLog* elog_ = nullptr;
+  std::uint32_t elog_io_phase_ = 0;        ///< interned "io"
+  std::uint32_t elog_transfer_phase_ = 0;  ///< interned "transfer"
   CacheBackend* backend_ = nullptr;
   resil::ResilienceManager* resil_ = nullptr;
 };

@@ -17,12 +17,16 @@
 #include <string>
 #include <vector>
 
+#include "northup/obs/event_log.hpp"
 #include "northup/sched/pool.hpp"
 #include "northup/sim/event_sim.hpp"
 #include "northup/topo/tree.hpp"
 #include "northup/util/aligned.hpp"
 
 namespace northup::device {
+
+/// The EventSim phase key for a processor type ("cpu"/"gpu").
+const char* phase_for(topo::ProcessorType type);
 
 /// Per-workgroup execution context. `local_mem` is a real scratchpad
 /// arena (the GPU's local / CUDA shared memory); contents are undefined
@@ -102,6 +106,18 @@ class Processor {
   void set_parallel_executor(sched::WorkStealingPool* pool) { pool_ = pool; }
   sched::WorkStealingPool* parallel_executor() const { return pool_; }
 
+  /// Wall-clock flight recorder (nullptr detaches): each launch()'s
+  /// functional pass is recorded as a kCompute event on `node` (the tree
+  /// node this processor is attached to) under the caller's span. The log
+  /// must outlive the processor.
+  void set_event_log(obs::EventLog* log, std::uint32_t node) {
+    elog_ = log;
+    elog_node_ = node;
+    if (elog_ != nullptr) {
+      elog_phase_ = elog_->intern(phase_for(info_.type));
+    }
+  }
+
  private:
   topo::ProcessorInfo info_;
   sim::EventSim* sim_;
@@ -109,9 +125,9 @@ class Processor {
   util::AlignedBuffer local_mem_;
   std::uint64_t launch_count_ = 0;
   sched::WorkStealingPool* pool_ = nullptr;
+  obs::EventLog* elog_ = nullptr;
+  std::uint32_t elog_node_ = obs::kNoNode;
+  std::uint32_t elog_phase_ = 0;
 };
-
-/// The EventSim phase key for a processor type ("cpu"/"gpu").
-const char* phase_for(topo::ProcessorType type);
 
 }  // namespace northup::device

@@ -1,0 +1,246 @@
+// Wall-clock flight recorder (ISSUE 5 tentpole).
+//
+// PR 1's TraceWriter serializes the *virtual-time* EventSim graph; real
+// multi-threaded executions (svc jobs on the work-stealing pool, resil
+// retries) were invisible except as aggregate counters. obs::EventLog is
+// the always-on counterpart for *measured* runs: a lock-free, per-thread
+// ring-buffer recorder with bounded memory, drop counters, and a compact
+// binary flush. Every real task, data move, cache hit/miss, retry, and
+// breaker transition is stamped with a wall-clock timestamp, a thread id,
+// and a causal span id propagated job -> phase -> chunk -> move.
+//
+// Concurrency model: each thread writes only to its own ring (a plain
+// store of the slot followed by a release store of the head index), so
+// recording is wait-free and allocation-free on the hot path after the
+// first event per thread. snapshot() is intended for quiescent logs —
+// call it after the run completes (every tier-1 test does); a snapshot
+// taken mid-run sees a consistent prefix of each ring but may miss the
+// newest events.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace northup::obs {
+
+/// Causal span identifier. Spans form a tree (job -> phase -> chunk ->
+/// move); id 0 means "no span" / root.
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+/// Sentinel for "no memory node" in Event::node / Event::node2.
+inline constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+enum class EventKind : std::uint8_t {
+  kSpanBegin = 0,  ///< span opened; `span` = the new span, `parent` set
+  kSpanEnd = 1,    ///< span closed; `span` = the closing span
+  kMove = 2,       ///< DataManager move; node -> node2, value = bytes
+  kIo = 3,         ///< file-backed leg of a move; aux 0 = read, 1 = write
+  kCompute = 4,    ///< processor launch (functional pass); node = device
+  kCacheHit = 5,   ///< shard-cache hit; value = bytes served
+  kCacheMiss = 6,  ///< shard-cache miss; value = bytes fetched
+  kRetry = 7,      ///< resil retry; aux 1 = corruption, 0 = io fault
+  kBreaker = 8,    ///< breaker transition; aux = new state (NodeHealth)
+  kAlloc = 9,      ///< DataManager::alloc; value = bytes
+  kInstant = 10,   ///< generic named point event
+};
+
+/// One fixed-size record. 64 bytes, trivially copyable — written to the
+/// per-thread ring by value and flushed to disk verbatim.
+struct Event {
+  std::uint64_t ts_ns = 0;   ///< start, ns since the log's steady epoch
+  std::uint64_t dur_ns = 0;  ///< duration (0 for instants)
+  SpanId span = kNoSpan;     ///< owning span (the span itself for begin/end)
+  SpanId parent = kNoSpan;   ///< parent span (kSpanBegin only)
+  std::uint64_t value = 0;   ///< payload (bytes moved/allocated/served)
+  std::uint32_t name = 0;    ///< interned string id (see intern())
+  std::uint32_t phase = 0;   ///< interned phase label ("io", "cpu", ...)
+  std::uint32_t node = kNoNode;   ///< primary tree node (src for moves)
+  std::uint32_t node2 = kNoNode;  ///< secondary tree node (dst for moves)
+  std::uint32_t tid = 0;          ///< recorder thread index (dense, per log)
+  EventKind kind = EventKind::kInstant;
+  std::uint8_t aux = 0;  ///< kind-specific detail (see EventKind)
+  std::uint8_t pad_[2] = {0, 0};
+};
+static_assert(sizeof(Event) == 64, "Event is flushed to disk verbatim");
+static_assert(std::is_trivially_copyable_v<Event>);
+
+/// Everything a snapshot/flush carries: the interned string table, the
+/// node-name map, and the events of all threads merged and sorted by
+/// start timestamp.
+struct RecordedRun {
+  std::vector<std::string> names;  ///< indexed by Event::name / ::phase
+  std::map<std::uint32_t, std::string> node_names;
+  std::vector<Event> events;       ///< sorted by (ts_ns, dur_ns desc)
+  std::uint64_t dropped = 0;       ///< ring overwrites across all threads
+  std::uint32_t thread_count = 0;
+
+  const std::string& name_of(std::uint32_t id) const {
+    static const std::string kUnknown = "?";
+    return id < names.size() ? names[id] : kUnknown;
+  }
+  std::string node_name(std::uint32_t node) const {
+    auto it = node_names.find(node);
+    return it != node_names.end() ? it->second
+                                  : "node" + std::to_string(node);
+  }
+};
+
+class EventLog {
+ public:
+  /// `capacity_per_thread` bounds memory: each recording thread owns a
+  /// ring of that many 64-byte events; older events are overwritten (and
+  /// counted in dropped()) once a ring wraps.
+  explicit EventLog(std::size_t capacity_per_thread = std::size_t{1} << 16);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Interns `s` into the string table, returning its stable id. Takes a
+  /// mutex — intern once at setup and cache the id on hot paths.
+  std::uint32_t intern(std::string_view s);
+
+  /// Registers a human-readable name for a tree node id.
+  void set_node_name(std::uint32_t node, std::string name);
+
+  /// Nanoseconds since this log's construction (steady clock).
+  std::uint64_t now_ns() const;
+
+  /// Records `e` into the calling thread's ring. Fills Event::tid. The
+  /// caller stamps ts_ns/dur_ns (use now_ns()). Wait-free after the
+  /// thread's first call.
+  void record(const Event& e);
+
+  /// Convenience: record an instant of `kind` now.
+  void instant(EventKind kind, std::uint32_t name_id, std::uint32_t node,
+               std::uint64_t value = 0, std::uint8_t aux = 0);
+
+  // --- Causal spans -------------------------------------------------------
+  // The current span is thread-local. begin_span records a kSpanBegin
+  // whose parent is the thread's current span (or an explicit parent for
+  // cross-thread adoption) and makes the new span current; end_span
+  // records kSpanEnd and restores the parent. Use the RAII helpers below.
+
+  /// Opens a span and makes it current on this thread. `name_id`/`phase_id`
+  /// are interned ids. Returns the new span id.
+  SpanId begin_span(std::uint32_t name_id, std::uint32_t phase_id,
+                    std::uint32_t node = kNoNode);
+  void end_span(SpanId span);
+
+  /// Span currently open on the calling thread (kNoSpan if none, or if
+  /// the thread's current span belongs to a different EventLog).
+  SpanId current_span() const;
+
+  /// The calling thread's (log, span) pair, capturable at task-submit
+  /// time and adopted on a worker thread via SpanAdopt. `log_uid`
+  /// disambiguates pointer reuse across EventLog lifetimes: an adopt
+  /// against a stale context is a safe no-op.
+  struct Context {
+    EventLog* log = nullptr;
+    std::uint64_t log_uid = 0;
+    SpanId span = kNoSpan;
+  };
+  static Context current_context();
+
+  // --- Draining -----------------------------------------------------------
+
+  /// Total events overwritten across all thread rings.
+  std::uint64_t dropped() const;
+
+  /// Merges every thread's ring (oldest first) into one timestamp-sorted
+  /// RecordedRun. Intended for quiescent logs; see the header comment.
+  RecordedRun snapshot() const;
+
+  /// Binary flush of snapshot() to `path` (.nulog format, version 1).
+  /// Throws util::Error naming the path on failure.
+  void write_file(const std::string& path) const;
+
+  /// Reads a .nulog file back. Throws util::Error naming the path on
+  /// open failure or malformed content.
+  static RecordedRun read_file(const std::string& path);
+
+  std::uint64_t uid() const { return uid_; }
+  std::size_t capacity_per_thread() const { return capacity_; }
+
+  /// Per-thread ring (opaque; defined in the implementation).
+  struct ThreadLog;
+
+ private:
+  ThreadLog& local();
+
+  const std::uint64_t uid_;
+  const std::size_t capacity_;
+  std::uint64_t epoch_ns_ = 0;  ///< steady-clock ns at construction
+
+  mutable std::mutex names_mu_;
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t, std::less<>> name_ids_;
+  std::map<std::uint32_t, std::string> node_names_;
+
+  mutable std::mutex threads_mu_;
+  std::vector<std::unique_ptr<ThreadLog>> threads_;
+
+  std::atomic<SpanId> next_span_{1};
+};
+
+/// RAII span: opens on construction (no-op when `log` is null), closes on
+/// destruction. The id-based overload is the hot path — intern the name
+/// and phase once at setup.
+class SpanScope {
+ public:
+  SpanScope() = default;
+  SpanScope(EventLog* log, std::uint32_t name_id, std::uint32_t phase_id,
+            std::uint32_t node = kNoNode)
+      : log_(log) {
+    if (log_) span_ = log_->begin_span(name_id, phase_id, node);
+  }
+  SpanScope(EventLog* log, std::string_view name, std::string_view phase,
+            std::uint32_t node = kNoNode)
+      : log_(log) {
+    if (log_) {
+      span_ = log_->begin_span(log_->intern(name), log_->intern(phase), node);
+    }
+  }
+  ~SpanScope() {
+    if (log_) log_->end_span(span_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  SpanId id() const { return span_; }
+
+ private:
+  EventLog* log_ = nullptr;
+  SpanId span_ = kNoSpan;
+};
+
+/// RAII cross-thread adoption: makes a captured Context's span current on
+/// this thread for the scope's lifetime (the submit -> worker handoff in
+/// sched::WorkStealingPool). Only the pointer+uid pair is compared before
+/// use, so adopting a context whose EventLog has since been destroyed and
+/// the address reused is a no-op rather than a dangling dereference.
+class SpanAdopt {
+ public:
+  SpanAdopt() = default;
+  explicit SpanAdopt(const EventLog::Context& ctx);
+  ~SpanAdopt();
+  SpanAdopt(const SpanAdopt&) = delete;
+  SpanAdopt& operator=(const SpanAdopt&) = delete;
+
+ private:
+  bool adopted_ = false;
+  EventLog* prev_log_ = nullptr;
+  std::uint64_t prev_uid_ = 0;
+  SpanId prev_span_ = kNoSpan;
+};
+
+}  // namespace northup::obs

@@ -144,11 +144,24 @@ class MetricsRegistry {
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}} — each
   /// histogram as {count, sum, min, max, p50, p90, p95, p99}. The
   /// histograms section is omitted while no histogram exists, keeping the
-  /// PR-1 golden metrics dumps byte-stable.
+  /// PR-1 golden metrics dumps byte-stable. Doubles are formatted with
+  /// std::to_chars (shortest round-trip), so dumps are locale-independent
+  /// and byte-stable across runs with identical values.
   std::string to_json() const;
 
-  /// Writes to_json() to `path`; throws util::Error on I/O failure.
+  /// Writes to_json() to `path`; throws util::Error naming the path on
+  /// I/O failure.
   void write_json(const std::string& path) const;
+
+  /// Prometheus text-exposition snapshot: counters as `counter`, gauges
+  /// as `gauge`, histograms as `summary` (quantile labels + _sum/_count).
+  /// Metric names are sanitized to [a-zA-Z0-9_:] per the exposition
+  /// format; doubles use std::to_chars like to_json().
+  std::string to_prometheus() const;
+
+  /// Writes to_prometheus() to `path`; throws util::Error naming the
+  /// path on I/O failure.
+  void write_prometheus(const std::string& path) const;
 
  private:
   mutable std::mutex mutex_;

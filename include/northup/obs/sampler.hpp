@@ -1,0 +1,82 @@
+// Periodic gauge sampler — turns MetricsRegistry point-in-time gauges
+// into bounded timeseries (ISSUE 5 tentpole, part d).
+//
+// A background thread wakes every `interval` and appends one Sample per
+// gauge; series are bounded at `max_samples` points (oldest dropped), so
+// a sampler left running costs fixed memory. sample_once() exists for
+// deterministic tests and for callers that drive their own cadence.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "northup/obs/metrics.hpp"
+
+namespace northup::obs {
+
+class MetricsSampler {
+ public:
+  struct Sample {
+    double t_seconds = 0.0;  ///< seconds since the sampler was created
+    double value = 0.0;
+  };
+  using Series = std::vector<Sample>;
+
+  explicit MetricsSampler(const MetricsRegistry& registry,
+                          std::chrono::milliseconds interval =
+                              std::chrono::milliseconds(50),
+                          std::size_t max_samples = 4096);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Starts the background thread (idempotent).
+  void start();
+
+  /// Stops and joins the background thread (idempotent; also run by the
+  /// destructor).
+  void stop();
+
+  /// Takes one sample of every gauge right now. Thread-safe; usable with
+  /// or without the background thread.
+  void sample_once();
+
+  /// Snapshot of all series collected so far (sorted by gauge name).
+  std::map<std::string, Series> series() const;
+
+  /// Total samples taken (across all gauges, counting sweep passes once).
+  std::uint64_t sweeps() const {
+    return sweeps_.load(std::memory_order_relaxed);
+  }
+
+  /// {"interval_ms": ..., "series": {"<gauge>": [[t, v], ...], ...}}.
+  /// Doubles via std::to_chars, matching MetricsRegistry::to_json.
+  std::string to_json() const;
+
+ private:
+  void run();
+
+  const MetricsRegistry& registry_;
+  const std::chrono::milliseconds interval_;
+  const std::size_t max_samples_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Series> series_;
+  std::atomic<std::uint64_t> sweeps_{0};
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace northup::obs

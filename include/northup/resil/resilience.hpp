@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "northup/obs/event_log.hpp"
 #include "northup/obs/metrics.hpp"
 #include "northup/resil/node_health.hpp"
 #include "northup/resil/retry.hpp"
@@ -59,6 +60,12 @@ class ResilienceManager {
   /// "resil"-phase task (rendered as an instant by the TraceWriter).
   using EventHook = std::function<void(const std::string&, topo::NodeId)>;
   void set_event_hook(EventHook hook) { event_hook_ = std::move(hook); }
+
+  /// Wall-clock flight recorder (nullptr detaches): every retry becomes a
+  /// kRetry event (aux 1 = corruption) and every breaker transition a
+  /// kBreaker event (aux = new BreakerState) under the calling thread's
+  /// current span. Must outlive the manager.
+  void set_event_log(obs::EventLog* log) { elog_ = log; }
 
   /// Abort predicate checked between attempts and during backoff sleeps
   /// (the job service wires job cancellation here). When it fires, the
@@ -117,6 +124,7 @@ class ResilienceManager {
   const topo::TopoTree& tree_;
   ResilOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::EventLog* elog_ = nullptr;
   EventHook event_hook_;
   std::function<bool()> abort_check_;
   std::optional<std::chrono::steady_clock::time_point> deadline_;

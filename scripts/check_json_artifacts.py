@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validate emitted observability artifacts.
+
+Loads every *.json artifact with the stock json parser (the same check
+CI ran by piping through `python3 -m json.tool`) and applies
+schema-level checks by flavor:
+
+* Chrome traces (virtual or measured): must be an object with a
+  "traceEvents" list and a "displayTimeUnit" key; every event needs a
+  "ph", and every "X" event needs pid/tid/ts/dur/name.
+* Metrics dumps: must have a "counters" object (gauges/histograms
+  optional); counter values must be non-negative integers.
+* Sampler dumps: "interval_ms" plus a "series" object of [t, v] pairs.
+
+Usage: check_json_artifacts.py FILE...
+Flavor is sniffed from the parsed structure, not the filename.
+Exits non-zero naming the first offending file.
+"""
+
+import json
+import sys
+
+
+def check_chrome_trace(path, doc):
+    if "displayTimeUnit" not in doc:
+        raise ValueError("chrome trace missing displayTimeUnit")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents is not a list")
+    for i, ev in enumerate(events):
+        if "ph" not in ev:
+            raise ValueError(f"traceEvents[{i}] missing ph")
+        if ev["ph"] == "X":
+            for key in ("pid", "tid", "ts", "dur", "name"):
+                if key not in ev:
+                    raise ValueError(f"traceEvents[{i}] X event missing {key}")
+            if ev["dur"] < 0:
+                raise ValueError(f"traceEvents[{i}] negative dur")
+    print(f"ok [chrome-trace] {path}: {len(events)} events")
+
+
+def check_metrics(path, doc):
+    counters = doc["counters"]
+    if not isinstance(counters, dict):
+        raise ValueError("counters is not an object")
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(f"counter {name} is not a non-negative int")
+    for section in ("gauges", "histograms"):
+        if section in doc and not isinstance(doc[section], dict):
+            raise ValueError(f"{section} is not an object")
+    print(f"ok [metrics] {path}: {len(counters)} counters")
+
+
+def check_sampler(path, doc):
+    series = doc["series"]
+    for name, points in series.items():
+        for p in points:
+            if not (isinstance(p, list) and len(p) == 2):
+                raise ValueError(f"series {name} has a non-[t, v] sample")
+    print(f"ok [sampler] {path}: {len(series)} series")
+
+
+def check(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError("top-level JSON is not an object")
+    if "traceEvents" in doc:
+        check_chrome_trace(path, doc)
+    elif "counters" in doc:
+        check_metrics(path, doc)
+    elif "series" in doc:
+        check_sampler(path, doc)
+    else:
+        raise ValueError("unrecognized artifact flavor "
+                         "(no traceEvents/counters/series key)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_json_artifacts.py FILE...", file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            check(path)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,588 @@
+#include "northup/analyze/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::analyze {
+
+namespace {
+
+constexpr double kNsPerS = 1e9;
+
+/// Span tree reconstructed from kSpanBegin/kSpanEnd events.
+struct SpanInfo {
+  obs::SpanId id = obs::kNoSpan;
+  obs::SpanId parent = obs::kNoSpan;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  bool closed = false;
+  std::uint32_t name = 0;
+  std::uint32_t phase = 0;
+  std::uint32_t node = obs::kNoNode;
+  std::uint32_t tid = 0;
+  std::vector<std::size_t> child_spans;   ///< indices into SpanForest::spans
+  std::vector<std::size_t> child_events;  ///< indices into run.events
+};
+
+struct SpanForest {
+  std::vector<SpanInfo> spans;
+  std::unordered_map<obs::SpanId, std::size_t> index;
+  std::vector<std::size_t> roots;        ///< spans with no (known) parent
+  std::vector<std::size_t> root_events;  ///< duration events outside spans
+  std::uint64_t t_min = 0;
+  std::uint64_t t_max = 0;
+};
+
+/// True for event kinds that represent measured work time on the
+/// critical path. kIo is excluded: each kIo mirrors a slice of its kMove,
+/// so counting both would double-charge the path.
+bool is_duration_kind(obs::EventKind kind) {
+  return kind == obs::EventKind::kMove || kind == obs::EventKind::kCompute;
+}
+
+SpanForest build_forest(const obs::RecordedRun& run) {
+  SpanForest f;
+  if (run.events.empty()) return f;
+  f.t_min = run.events.front().ts_ns;
+  f.t_max = f.t_min;
+  for (const obs::Event& e : run.events) {
+    f.t_min = std::min(f.t_min, e.ts_ns);
+    f.t_max = std::max(f.t_max, e.ts_ns + e.dur_ns);
+  }
+  for (const obs::Event& e : run.events) {
+    if (e.kind != obs::EventKind::kSpanBegin) continue;
+    SpanInfo s;
+    s.id = e.span;
+    s.parent = e.parent;
+    s.begin_ns = e.ts_ns;
+    s.end_ns = f.t_max;  // patched by the matching kSpanEnd
+    s.name = e.name;
+    s.phase = e.phase;
+    s.node = e.node;
+    s.tid = e.tid;
+    f.index.emplace(s.id, f.spans.size());
+    f.spans.push_back(s);
+  }
+  for (std::size_t i = 0; i < run.events.size(); ++i) {
+    const obs::Event& e = run.events[i];
+    if (e.kind == obs::EventKind::kSpanEnd) {
+      if (auto it = f.index.find(e.span); it != f.index.end()) {
+        f.spans[it->second].end_ns = e.ts_ns;
+        f.spans[it->second].closed = true;
+      }
+      continue;
+    }
+    if (e.kind == obs::EventKind::kSpanBegin || !is_duration_kind(e.kind) ||
+        e.dur_ns == 0) {
+      continue;
+    }
+    if (auto it = f.index.find(e.span); it != f.index.end()) {
+      f.spans[it->second].child_events.push_back(i);
+    } else {
+      f.root_events.push_back(i);
+    }
+  }
+  for (std::size_t i = 0; i < f.spans.size(); ++i) {
+    const SpanInfo& s = f.spans[i];
+    auto it = f.index.find(s.parent);
+    if (s.parent != obs::kNoSpan && it != f.index.end()) {
+      f.spans[it->second].child_spans.push_back(i);
+    } else {
+      f.roots.push_back(i);
+    }
+  }
+  return f;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microseconds with sub-ns kept (Chrome traces are microsecond-based).
+std::string fmt_us(std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+std::string fmt_g(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+Summary summarize(const obs::RecordedRun& run) {
+  Summary s;
+  s.events = run.events.size();
+  s.dropped = run.dropped;
+  s.thread_count = run.thread_count;
+  std::uint64_t t_min = 0;
+  std::uint64_t t_max = 0;
+  bool first = true;
+  for (const obs::Event& e : run.events) {
+    switch (e.kind) {
+      case obs::EventKind::kSpanBegin: ++s.spans; break;
+      case obs::EventKind::kSpanEnd: break;
+      case obs::EventKind::kMove:
+        ++s.moves;
+        s.bytes_moved += e.value;
+        break;
+      case obs::EventKind::kIo: ++s.ios; break;
+      case obs::EventKind::kCompute: ++s.computes; break;
+      case obs::EventKind::kCacheHit: ++s.cache_hits; break;
+      case obs::EventKind::kCacheMiss: ++s.cache_misses; break;
+      case obs::EventKind::kRetry: ++s.retries; break;
+      case obs::EventKind::kBreaker: ++s.breaker_transitions; break;
+      case obs::EventKind::kAlloc: ++s.allocs; break;
+      case obs::EventKind::kInstant: break;
+    }
+    if (first) {
+      t_min = e.ts_ns;
+      t_max = e.ts_ns + e.dur_ns;
+      first = false;
+    } else {
+      t_min = std::min(t_min, e.ts_ns);
+      t_max = std::max(t_max, e.ts_ns + e.dur_ns);
+    }
+  }
+  s.wall_seconds = static_cast<double>(t_max - t_min) / kNsPerS;
+  return s;
+}
+
+ValidationReport validate(const obs::RecordedRun& run) {
+  ValidationReport r;
+  std::unordered_map<obs::SpanId, bool> spans;  // id -> closed
+  for (const obs::Event& e : run.events) {
+    if (e.kind == obs::EventKind::kSpanBegin) spans.emplace(e.span, false);
+  }
+  constexpr std::size_t kMaxProblems = 32;
+  auto problem = [&](std::string text) {
+    if (r.problems.size() < kMaxProblems) r.problems.push_back(std::move(text));
+  };
+  for (const obs::Event& e : run.events) {
+    switch (e.kind) {
+      case obs::EventKind::kSpanBegin:
+        if (e.parent != obs::kNoSpan && spans.find(e.parent) == spans.end()) {
+          ++r.orphan_parents;
+          problem("span " + std::to_string(e.span) + " ('" +
+                  run.name_of(e.name) + "') has unknown parent " +
+                  std::to_string(e.parent));
+        }
+        break;
+      case obs::EventKind::kSpanEnd:
+        if (auto it = spans.find(e.span); it != spans.end()) {
+          it->second = true;
+        } else {
+          ++r.orphan_events;
+          problem("span end for unknown span " + std::to_string(e.span));
+        }
+        break;
+      default:
+        if (e.span != obs::kNoSpan && spans.find(e.span) == spans.end()) {
+          ++r.orphan_events;
+          problem("event '" + run.name_of(e.name) +
+                  "' owned by unknown span " + std::to_string(e.span));
+        }
+        break;
+    }
+  }
+  for (const auto& [id, closed] : spans) {
+    if (!closed) {
+      ++r.unclosed_spans;
+      problem("span " + std::to_string(id) + " never closed");
+    }
+  }
+  r.ok = r.orphan_parents == 0 && r.orphan_events == 0 &&
+         r.unclosed_spans == 0;
+  return r;
+}
+
+namespace {
+
+/// The backward greedy walk shared by every span level: cover
+/// [begin, end] with the latest-finishing children, attributing gaps to
+/// `own` (the enclosing span). Times in ns so the cover is exact.
+struct PathBuilder {
+  const obs::RecordedRun& run;
+  const SpanForest& f;
+  std::vector<PathSegment> segments;          // built back-to-front
+  std::map<std::string, std::uint64_t> phase_ns;
+
+  void emit(std::uint64_t b, std::uint64_t e, const std::string& name,
+            const std::string& phase, std::uint32_t node) {
+    if (e <= b) return;
+    PathSegment seg;
+    seg.begin_s = static_cast<double>(b - f.t_min) / kNsPerS;
+    seg.end_s = static_cast<double>(e - f.t_min) / kNsPerS;
+    seg.name = name;
+    seg.phase = phase;
+    seg.node = node;
+    segments.push_back(std::move(seg));
+    phase_ns[phase] += e - b;
+  }
+
+  /// One candidate child interval of the current window.
+  struct Child {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    bool is_span = false;
+    std::size_t index = 0;  ///< span index or event index
+  };
+
+  void walk(std::uint64_t begin, std::uint64_t end,
+            const std::vector<std::size_t>& child_spans,
+            const std::vector<std::size_t>& child_events,
+            const std::string& own_name, const std::string& own_phase,
+            std::uint32_t own_node) {
+    std::vector<Child> kids;
+    kids.reserve(child_spans.size() + child_events.size());
+    for (std::size_t si : child_spans) {
+      const SpanInfo& s = f.spans[si];
+      kids.push_back({s.begin_ns, s.end_ns, true, si});
+    }
+    for (std::size_t ei : child_events) {
+      const obs::Event& e = run.events[ei];
+      kids.push_back({e.ts_ns, e.ts_ns + e.dur_ns, false, ei});
+    }
+    std::uint64_t cursor = end;
+    while (cursor > begin) {
+      const Child* best = nullptr;
+      for (const Child& c : kids) {
+        if (c.begin >= cursor) continue;  // entirely after the cursor
+        if (best == nullptr || c.end > best->end ||
+            (c.end == best->end && c.begin > best->begin)) {
+          best = &c;
+        }
+      }
+      if (best == nullptr) {
+        emit(begin, cursor, own_name, own_phase, own_node);
+        return;
+      }
+      const std::uint64_t c_end = std::min(best->end, cursor);
+      const std::uint64_t c_begin = std::max(best->begin, begin);
+      // Gap after the child ends: the enclosing span's own time.
+      emit(c_end, cursor, own_name, own_phase, own_node);
+      if (best->is_span) {
+        const SpanInfo& s = f.spans[best->index];
+        walk(c_begin, c_end, s.child_spans, s.child_events,
+             run.name_of(s.name), run.name_of(s.phase), s.node);
+      } else {
+        const obs::Event& e = run.events[best->index];
+        emit(c_begin, c_end, run.name_of(e.name), run.name_of(e.phase),
+             e.node != obs::kNoNode ? e.node : e.node2);
+      }
+      cursor = c_begin;
+    }
+  }
+};
+
+}  // namespace
+
+CriticalPath measured_critical_path(const obs::RecordedRun& run) {
+  CriticalPath cp;
+  const SpanForest f = build_forest(run);
+  if (run.events.empty() || f.t_max <= f.t_min) return cp;
+  PathBuilder builder{run, f, {}, {}};
+  std::vector<std::size_t> root_spans = f.roots;
+  builder.walk(f.t_min, f.t_max, root_spans, f.root_events, "(idle)", "idle",
+               obs::kNoNode);
+  std::reverse(builder.segments.begin(), builder.segments.end());
+  cp.segments = std::move(builder.segments);
+  cp.length_s = static_cast<double>(f.t_max - f.t_min) / kNsPerS;
+  for (const auto& [phase, ns] : builder.phase_ns) {
+    cp.phase_seconds[phase] = static_cast<double>(ns) / kNsPerS;
+  }
+  return cp;
+}
+
+std::string chrome_trace_json(const obs::RecordedRun& run) {
+  const SpanForest f = build_forest(run);
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    os << (first ? "  " : ",\n  ") << line;
+    first = false;
+  };
+
+  // Metadata: pid 1 = span tree by recording thread, pid 2 = memory nodes.
+  emit("{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+       "\"args\": {\"name\": \"measured spans\"}}");
+  emit("{\"ph\": \"M\", \"pid\": 2, \"name\": \"process_name\", "
+       "\"args\": {\"name\": \"memory nodes\"}}");
+  std::uint32_t max_tid = 0;
+  for (const SpanInfo& s : f.spans) max_tid = std::max(max_tid, s.tid);
+  for (std::uint32_t t = 0; t <= max_tid && !f.spans.empty(); ++t) {
+    emit("{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(t) +
+         ", \"name\": \"thread_name\", \"args\": {\"name\": \"thread " +
+         std::to_string(t) + "\"}}");
+  }
+  for (const auto& [node, name] : run.node_names) {
+    emit("{\"ph\": \"M\", \"pid\": 2, \"tid\": " + std::to_string(node) +
+         ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
+         json_escape(name) + "\"}}");
+  }
+
+  // Span tree with flow arrows along parent links.
+  for (const SpanInfo& s : f.spans) {
+    emit("{\"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(s.tid) +
+         ", \"ts\": " + fmt_us(s.begin_ns - f.t_min) +
+         ", \"dur\": " + fmt_us(s.end_ns - s.begin_ns) + ", \"name\": \"" +
+         json_escape(run.name_of(s.name)) + "\", \"cat\": \"" +
+         json_escape(run.name_of(s.phase)) + "\", \"args\": {\"span\": " +
+         std::to_string(s.id) + ", \"parent\": " + std::to_string(s.parent) +
+         "}}");
+    auto pit = f.index.find(s.parent);
+    if (s.parent == obs::kNoSpan || pit == f.index.end()) continue;
+    const SpanInfo& p = f.spans[pit->second];
+    const std::string id = std::to_string(s.id);
+    emit("{\"ph\": \"s\", \"pid\": 1, \"tid\": " + std::to_string(p.tid) +
+         ", \"ts\": " + fmt_us(s.begin_ns - f.t_min) +
+         ", \"id\": " + id + ", \"name\": \"span\", \"cat\": \"span\"}");
+    emit("{\"ph\": \"f\", \"bp\": \"e\", \"pid\": 1, \"tid\": " +
+         std::to_string(s.tid) + ", \"ts\": " + fmt_us(s.begin_ns - f.t_min) +
+         ", \"id\": " + id + ", \"name\": \"span\", \"cat\": \"span\"}");
+  }
+
+  // Node activity: moves as X slices, the rest as instants.
+  for (const obs::Event& e : run.events) {
+    const std::uint32_t node = e.node != obs::kNoNode ? e.node : e.node2;
+    if (node == obs::kNoNode) continue;
+    const std::string tid = std::to_string(node);
+    const std::string ts = fmt_us(e.ts_ns - f.t_min);
+    switch (e.kind) {
+      case obs::EventKind::kMove:
+        emit("{\"ph\": \"X\", \"pid\": 2, \"tid\": " + tid +
+             ", \"ts\": " + ts + ", \"dur\": " + fmt_us(e.dur_ns) +
+             ", \"name\": \"" + json_escape(run.name_of(e.name)) +
+             "\", \"cat\": \"" + json_escape(run.name_of(e.phase)) +
+             "\", \"args\": {\"bytes\": " + std::to_string(e.value) + "}}");
+        break;
+      case obs::EventKind::kCacheHit:
+      case obs::EventKind::kCacheMiss:
+      case obs::EventKind::kRetry:
+      case obs::EventKind::kBreaker:
+      case obs::EventKind::kInstant:
+        emit("{\"ph\": \"i\", \"pid\": 2, \"tid\": " + tid +
+             ", \"ts\": " + ts + ", \"s\": \"t\", \"name\": \"" +
+             json_escape(run.name_of(e.name)) + "\"}");
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Windowed per-node counter tracks: incoming bandwidth + busy fraction.
+  constexpr std::uint64_t kBucketCount = 100;
+  const std::uint64_t window = f.t_max > f.t_min ? f.t_max - f.t_min : 0;
+  const std::uint64_t bucket_ns =
+      window > 0 ? std::max<std::uint64_t>(1, window / kBucketCount) : 0;
+  if (bucket_ns > 0) {
+    struct NodeBuckets {
+      std::vector<std::uint64_t> bytes;
+      std::vector<std::uint64_t> busy_ns;
+    };
+    std::map<std::uint32_t, NodeBuckets> per_node;
+    const std::size_t n_buckets =
+        static_cast<std::size_t>(window / bucket_ns) + 1;
+    for (const obs::Event& e : run.events) {
+      if (e.kind != obs::EventKind::kMove) continue;
+      const std::uint32_t node = e.node2 != obs::kNoNode ? e.node2 : e.node;
+      if (node == obs::kNoNode) continue;
+      NodeBuckets& nb = per_node[node];
+      if (nb.bytes.empty()) {
+        nb.bytes.assign(n_buckets, 0);
+        nb.busy_ns.assign(n_buckets, 0);
+      }
+      // Spread bytes and busy time across the buckets the move overlaps.
+      const std::uint64_t b0 = (e.ts_ns - f.t_min) / bucket_ns;
+      const std::uint64_t b1 = (e.ts_ns + e.dur_ns - f.t_min) / bucket_ns;
+      for (std::uint64_t b = b0; b <= b1 && b < n_buckets; ++b) {
+        const std::uint64_t lo = std::max(e.ts_ns - f.t_min, b * bucket_ns);
+        const std::uint64_t hi =
+            std::min(e.ts_ns + e.dur_ns - f.t_min, (b + 1) * bucket_ns);
+        const std::uint64_t overlap = hi > lo ? hi - lo : 0;
+        nb.busy_ns[b] += overlap;
+        if (e.dur_ns > 0) {
+          nb.bytes[b] += static_cast<std::uint64_t>(
+              static_cast<double>(e.value) * static_cast<double>(overlap) /
+              static_cast<double>(e.dur_ns));
+        } else if (b == b0) {
+          nb.bytes[b] += e.value;
+        }
+      }
+    }
+    for (const auto& [node, nb] : per_node) {
+      const std::string name = run.node_name(node);
+      for (std::size_t b = 0; b < nb.bytes.size(); ++b) {
+        const double secs = static_cast<double>(bucket_ns) / kNsPerS;
+        const double mbps =
+            static_cast<double>(nb.bytes[b]) / secs / (1024.0 * 1024.0);
+        const double occ = std::min(
+            1.0, static_cast<double>(nb.busy_ns[b]) /
+                     static_cast<double>(bucket_ns));
+        emit("{\"ph\": \"C\", \"pid\": 2, \"ts\": " +
+             fmt_us(b * bucket_ns) + ", \"name\": \"bw " +
+             json_escape(name) + "\", \"args\": {\"MB_per_s\": " +
+             fmt_g(mbps) + "}}");
+        emit("{\"ph\": \"C\", \"pid\": 2, \"ts\": " +
+             fmt_us(b * bucket_ns) + ", \"name\": \"occupancy " +
+             json_escape(name) + "\", \"args\": {\"busy\": " + fmt_g(occ) +
+             "}}");
+      }
+    }
+  }
+
+  os << "\n]}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const obs::RecordedRun& run,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    throw util::Error("cannot open trace output file '" + path + "'");
+  }
+  out << chrome_trace_json(run);
+  out.flush();
+  if (!out.good()) {
+    throw util::Error("failed writing trace to '" + path + "'");
+  }
+}
+
+std::vector<mem::IoRecord> io_records(const obs::RecordedRun& run) {
+  std::vector<mem::IoRecord> records;
+  for (const obs::Event& e : run.events) {
+    if (e.kind != obs::EventKind::kIo) continue;
+    records.push_back({e.aux == 1, e.value});
+  }
+  return records;
+}
+
+double measured_io_seconds(const obs::RecordedRun& run) {
+  std::uint64_t total_ns = 0;
+  for (const obs::Event& e : run.events) {
+    if (e.kind == obs::EventKind::kIo) total_ns += e.dur_ns;
+  }
+  return static_cast<double>(total_ns) / kNsPerS;
+}
+
+sim::BandwidthModel identity_model(const obs::RecordedRun& run) {
+  std::uint64_t read_bytes = 0;
+  std::uint64_t read_ns = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t write_ns = 0;
+  for (const obs::Event& e : run.events) {
+    if (e.kind != obs::EventKind::kIo) continue;
+    if (e.aux == 1) {
+      write_bytes += e.value;
+      write_ns += e.dur_ns;
+    } else {
+      read_bytes += e.value;
+      read_ns += e.dur_ns;
+    }
+  }
+  // bytes / (effective bandwidth) replays to exactly the measured wall
+  // time per class. Degenerate cases (no traffic, or traffic too fast to
+  // measure) pick a bandwidth that keeps the replay at ~zero cost.
+  auto effective = [](std::uint64_t bytes, std::uint64_t ns) {
+    if (ns == 0) return bytes > 0 ? 1e18 : 1.0;
+    return static_cast<double>(bytes) /
+           (static_cast<double>(ns) / kNsPerS);
+  };
+  sim::BandwidthModel model;
+  model.read_bytes_per_s = std::max(effective(read_bytes, read_ns), 1e-12);
+  model.write_bytes_per_s = std::max(effective(write_bytes, write_ns), 1e-12);
+  model.access_latency_s = 0.0;
+  return model;
+}
+
+WhatIf whatif_storage(const obs::RecordedRun& run) {
+  WhatIf w;
+  const std::vector<mem::IoRecord> trace = io_records(run);
+  w.measured_io_s = measured_io_seconds(run);
+  // Concurrent I/O on several threads can sum past the wall window, and
+  // project_storage requires total >= io; the serialized lower bound is
+  // the honest baseline then.
+  w.measured_total_s = std::max(summarize(run).wall_seconds, w.measured_io_s);
+  w.identity = mem::project_storage(trace, identity_model(run),
+                                    w.measured_io_s, w.measured_total_s,
+                                    "identity");
+  const auto models = mem::fig9_storage_sweep();
+  const auto labels = mem::fig9_storage_labels();
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    w.sweep.push_back(mem::project_storage(
+        trace, models[i], w.measured_io_s, w.measured_total_s,
+        i < labels.size() ? labels[i] : "sweep" + std::to_string(i)));
+  }
+  return w;
+}
+
+std::string report(const obs::RecordedRun& run) {
+  std::ostringstream os;
+  const Summary s = summarize(run);
+  os << "recorded run: " << s.events << " events, " << s.spans << " spans, "
+     << s.thread_count << " thread(s), " << fmt_g(s.wall_seconds)
+     << " s wall, " << s.dropped << " dropped\n";
+  os << "  moves " << s.moves << " (" << s.bytes_moved << " B), io " << s.ios
+     << ", compute " << s.computes << ", cache " << s.cache_hits << "/"
+     << s.cache_misses << " hit/miss, retries " << s.retries
+     << ", breaker transitions " << s.breaker_transitions << ", allocs "
+     << s.allocs << "\n";
+
+  const ValidationReport v = validate(run);
+  os << "validation: " << (v.ok ? "ok" : "PROBLEMS") << " ("
+     << v.orphan_parents << " orphan parents, " << v.orphan_events
+     << " orphan events, " << v.unclosed_spans << " unclosed spans)\n";
+  for (const std::string& p : v.problems) os << "  ! " << p << "\n";
+
+  const CriticalPath cp = measured_critical_path(run);
+  os << "critical path: " << fmt_g(cp.length_s) << " s over "
+     << cp.segments.size() << " segment(s)\n";
+  for (const auto& [phase, secs] : cp.phase_seconds) {
+    os << "  " << phase << ": " << fmt_g(secs) << " s ("
+       << fmt_g(cp.length_s > 0 ? 100.0 * secs / cp.length_s : 0.0)
+       << "%)\n";
+  }
+
+  const WhatIf w = whatif_storage(run);
+  os << "what-if storage re-cost (measured io " << fmt_g(w.measured_io_s)
+     << " s of " << fmt_g(w.measured_total_s) << " s total):\n";
+  os << "  identity: io " << fmt_g(w.identity.io_time) << " s, overall "
+     << fmt_g(w.identity.overall_time) << " s\n";
+  for (const auto& p : w.sweep) {
+    os << "  " << p.label << " MB/s: io " << fmt_g(p.io_time)
+       << " s, overall " << fmt_g(p.overall_time) << " s\n";
+  }
+  return os.str();
+}
+
+}  // namespace northup::analyze

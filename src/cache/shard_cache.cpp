@@ -72,6 +72,11 @@ data::Buffer* ShardCache::acquire(const data::Buffer& src, std::uint64_t rows,
     if (e.pins++ == 0) pool_.pin(e.buf.size());
     ++hits_;
     if (hit_counter_ != nullptr) hit_counter_->increment();
+    if (auto* elog = dm_.event_log()) {
+      elog->instant(obs::EventKind::kCacheHit,
+                    elog->intern("cache hit@" + dm_.tree().node(node_).name),
+                    node_, rows * row_bytes);
+    }
     charge_cache_task("cache hit " + dm_.tree().node(src.node).name + "->" +
                           dm_.tree().node(node_).name,
                       e);
@@ -96,6 +101,11 @@ data::Buffer* ShardCache::acquire(const data::Buffer& src, std::uint64_t rows,
   pool_.pin(entry->buf.size());
   ++misses_;
   if (miss_counter_ != nullptr) miss_counter_->increment();
+  if (auto* elog = dm_.event_log()) {
+    elog->instant(obs::EventKind::kCacheMiss,
+                  elog->intern("cache miss@" + dm_.tree().node(node_).name),
+                  node_, rows * row_bytes);
+  }
 
   Entry* raw = entry.get();
   index_[key] = raw;

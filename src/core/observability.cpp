@@ -37,6 +37,10 @@ void dump_observability(Runtime& rt, const util::Flags& flags,
   if (!trace.empty()) rt.write_chrome_trace(with_tag(trace, tag));
   const std::string metrics = flags.get("metrics-out");
   if (!metrics.empty()) rt.write_metrics_json(with_tag(metrics, tag));
+  const std::string eventlog = flags.get("eventlog-out");
+  if (!eventlog.empty()) rt.write_event_log(with_tag(eventlog, tag));
+  const std::string prom = flags.get("prom-out");
+  if (!prom.empty()) rt.write_prometheus(with_tag(prom, tag));
 }
 
 }  // namespace northup::core

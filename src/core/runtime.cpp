@@ -22,6 +22,23 @@ Runtime::Runtime(topo::TopoTree tree, RuntimeOptions options)
   dm_ = std::make_unique<data::DataManager>(tree_, sim_.get());
   dm_->attach_metrics(&metrics_);
   dm_->set_resilience(resil_.get());
+  if (options_.external_event_log != nullptr) {
+    elog_ = options_.external_event_log;
+  } else if (options_.enable_event_log) {
+    elog_owned_ = std::make_unique<obs::EventLog>(options_.event_log_capacity);
+    elog_ = elog_owned_.get();
+  }
+  if (elog_ != nullptr) {
+    elog_runtime_phase_ = elog_->intern(kRuntimePhase);
+    elog_run_name_ = elog_->intern("run");
+    spawn_span_names_.resize(tree_.node_count());
+    for (topo::NodeId id = 0; id < tree_.node_count(); ++id) {
+      elog_->set_node_name(id, tree_.node(id).name);
+      spawn_span_names_[id] = elog_->intern("spawn->" + tree_.node(id).name);
+    }
+    dm_->set_event_log(elog_);
+    resil_->set_event_log(elog_);
+  }
   queues_ = std::make_unique<sched::NodeQueueSet>(tree_);
   queues_->attach_metrics(metrics_);
   bind_all_storages();
@@ -76,6 +93,7 @@ void Runtime::create_processors() {
     for (const auto& pinfo : tree_.processors(id)) {
       auto proc = std::make_unique<device::Processor>(pinfo, sim_.get());
       if (leaf_pool_) proc->set_parallel_executor(leaf_pool_.get());
+      if (elog_ != nullptr) proc->set_event_log(elog_, id);
       processors_[id].push_back(std::move(proc));
     }
   }
@@ -113,6 +131,9 @@ void Runtime::run(const std::function<void(ExecContext&)>& fn) {
 void Runtime::run_from(topo::NodeId node,
                        const std::function<void(ExecContext&)>& fn) {
   NU_CHECK(node < tree_.node_count(), "run_from: unknown node");
+  // Root causal span of the whole program: every spawn/move/kernel event
+  // below chains back here through its parent span.
+  obs::SpanScope run_span(elog_, elog_run_name_, elog_runtime_phase_, node);
   ExecContext ctx(*this, node);
   fn(ctx);
 }
@@ -144,7 +165,7 @@ void Runtime::write_chrome_trace(const std::string& path) {
   }
 }
 
-void Runtime::write_metrics_json(const std::string& path) {
+void Runtime::stamp_gauges() {
   metrics_.gauge("sim.makespan_seconds").set(makespan());
   if (sim_) {
     metrics_.gauge("sim.tasks").set(static_cast<double>(sim_->task_count()));
@@ -158,7 +179,29 @@ void Runtime::write_metrics_json(const std::string& path) {
     metrics_.gauge("pool.steals")
         .set(static_cast<double>(leaf_pool_->steal_count()));
   }
+  if (elog_ != nullptr) {
+    metrics_.gauge("eventlog.dropped")
+        .set(static_cast<double>(elog_->dropped()));
+  }
+}
+
+void Runtime::write_metrics_json(const std::string& path) {
+  stamp_gauges();
   metrics_.write_json(path);
+}
+
+void Runtime::write_prometheus(const std::string& path) {
+  stamp_gauges();
+  metrics_.write_prometheus(path);
+}
+
+void Runtime::write_event_log(const std::string& path) {
+  if (elog_ != nullptr) {
+    elog_->write_file(path);
+  } else {
+    const obs::EventLog empty(1);
+    empty.write_file(path);
+  }
 }
 
 topo::NodeId ExecContext::healthy_child() const {
@@ -184,6 +227,14 @@ void ExecContext::northup_spawn(topo::NodeId child_node,
                                 const std::function<void(ExecContext&)>& fn) {
   NU_CHECK(rt_.tree().get_parent(child_node) == node_,
            "northup_spawn target must be a child of the current node");
+
+  // Flight-recorder span for the whole spawned chunk: nested under the
+  // caller's span (run -> spawn -> spawn -> ... mirrors the recursive
+  // descent), so every move/kernel below attributes to this chunk.
+  obs::SpanScope spawn_span(
+      rt_.elog_,
+      rt_.elog_ != nullptr ? rt_.spawn_span_names_[child_node] : 0,
+      rt_.elog_runtime_phase_, child_node);
 
   // Bookkeeping: the recursive task goes through the child node's work
   // queue (push, then pop-and-run). We time the real cost of this

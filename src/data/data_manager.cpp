@@ -57,6 +57,61 @@ void DataManager::attach_metrics(obs::MetricsRegistry* registry) {
   for (auto& [node, storage] : storages_) storage->attach_metrics(*registry);
 }
 
+void DataManager::set_event_log(obs::EventLog* log) {
+  elog_ = log;
+  if (elog_ != nullptr) {
+    elog_io_phase_ = elog_->intern(phase::kIo);
+    elog_transfer_phase_ = elog_->intern(phase::kTransfer);
+  }
+}
+
+void DataManager::log_move(topo::NodeId src_node, topo::NodeId dst_node,
+                           std::uint64_t bytes, const std::string& label,
+                           std::uint64_t t0_ns) {
+  if (elog_ == nullptr) return;
+  const std::uint64_t t1 = elog_->now_ns();
+  const std::uint64_t dur = t1 > t0_ns ? t1 - t0_ns : 0;
+  const bool src_file = src_node != obs::kNoNode &&
+                        involves_file(tree_.fetch_node_type(src_node));
+  const bool dst_file = dst_node != obs::kNoNode &&
+                        involves_file(tree_.fetch_node_type(dst_node));
+  obs::Event e;
+  e.ts_ns = t0_ns;
+  e.dur_ns = dur;
+  e.kind = obs::EventKind::kMove;
+  e.value = bytes;
+  e.node = src_node;
+  e.node2 = dst_node;
+  e.name = elog_->intern(label);
+  e.phase = (src_file || dst_file) ? elog_io_phase_ : elog_transfer_phase_;
+  e.span = elog_->current_span();
+  elog_->record(e);
+  if (!src_file && !dst_file) return;
+  // Each file-backed side is a kIo event: the measured IoRecord stream
+  // the what-if re-cost replays through mem::project_storage. When both
+  // sides hit files the wall time is split evenly — the staging copy
+  // reads fully before writing, so halves are the honest attribution.
+  obs::Event io = e;
+  io.kind = obs::EventKind::kIo;
+  if (src_file && dst_file) {
+    io.node = src_node;
+    io.node2 = obs::kNoNode;
+    io.dur_ns = dur / 2;
+    io.aux = 0;
+    elog_->record(io);
+    io.ts_ns = t0_ns + dur / 2;
+    io.dur_ns = dur - dur / 2;
+    io.node = dst_node;
+    io.aux = 1;
+    elog_->record(io);
+  } else {
+    io.node = src_file ? src_node : dst_node;
+    io.node2 = obs::kNoNode;
+    io.aux = src_file ? 0 : 1;
+    elog_->record(io);
+  }
+}
+
 void DataManager::set_resilience(resil::ResilienceManager* resil) {
   resil_ = resil;
   if (resil_ == nullptr) return;
@@ -117,6 +172,11 @@ Buffer DataManager::alloc(std::uint64_t size, topo::NodeId tree_node) {
               "alloc@" + tree_.node(tree_node).name,
               [&] { buffer.allocation = st.alloc(size); });
   if (metrics_ != nullptr) metrics_->counter("dm.allocs").increment();
+  if (elog_ != nullptr) {
+    elog_->instant(obs::EventKind::kAlloc,
+                   elog_->intern("alloc@" + tree_.node(tree_node).name),
+                   tree_node, size);
+  }
   if (backend_ != nullptr) backend_->note_alloc(tree_node);
   charge_setup(tree_node, setup_costs_.alloc_time(st.kind()),
                "alloc@" + tree_.node(tree_node).name, &buffer);
@@ -280,9 +340,11 @@ void DataManager::move_data(Buffer& dst, const Buffer& src, CopySpec spec) {
   NU_CHECK(&dst != &src, "move_data src and dst alias the same handle");
   const std::string label = "move " + tree_.node(src.node).name + "->" +
                             tree_.node(dst.node).name;
+  const std::uint64_t t0 = elog_ != nullptr ? elog_->now_ns() : 0;
   run_guarded(src.node, dst.node, label, [&] {
     copy_bytes(dst, src, spec.size, spec.dst_offset, spec.src_offset);
   });
+  log_move(src.node, dst.node, spec.size, label, t0);
   charge_move(dst, src, spec.size, 1, 1, label, std::move(spec.deps));
   notify_written(dst, spec.dst_offset, spec.size);
 }
@@ -315,6 +377,7 @@ void DataManager::move_block_2d(Buffer& dst, const Buffer& src,
   mem::Storage& d = storage(dst.node);
   const std::string label = "block2d " + tree_.node(src.node).name + "->" +
                             tree_.node(dst.node).name;
+  const std::uint64_t t0 = elog_ != nullptr ? elog_->now_ns() : 0;
   run_guarded(src.node, dst.node, label, [&] {
     if (!verify_enabled()) {
       std::vector<std::byte> staging(row_bytes);
@@ -356,6 +419,7 @@ void DataManager::move_block_2d(Buffer& dst, const Buffer& src,
           "write-back checksum mismatch on '" + d.name() + "'", d.name());
     }
   });
+  log_move(src.node, dst.node, rows * row_bytes, label, t0);
   // Per-side fragmentation: a dense side (pitch == row) is one request.
   const std::uint64_t src_acc = src_pitch == row_bytes ? 1 : rows;
   const std::uint64_t dst_acc = dst_pitch == row_bytes ? 1 : rows;
@@ -370,6 +434,7 @@ void DataManager::fill(Buffer& dst, std::byte value, std::uint64_t size,
   NU_CHECK(dst.valid(), "fill of invalid buffer");
   std::vector<std::byte> staging(size, value);
   mem::Storage& d = storage(dst.node);
+  const std::uint64_t t0 = elog_ != nullptr ? elog_->now_ns() : 0;
   run_guarded(dst.node, dst.node, "fill@" + tree_.node(dst.node).name, [&] {
     d.write(dst.allocation, dst_offset, staging.data(), size);
     if (!verify_enabled()) return;
@@ -381,6 +446,8 @@ void DataManager::fill(Buffer& dst, std::byte value, std::uint64_t size,
           "fill checksum mismatch on '" + d.name() + "'", d.name());
     }
   });
+  log_move(obs::kNoNode, dst.node, size,
+           "fill@" + tree_.node(dst.node).name, t0);
   if (sim_ != nullptr) {
     std::vector<sim::TaskId> deps;
     if (dst.ready != sim::kInvalidTask) deps.push_back(dst.ready);
@@ -397,6 +464,7 @@ void DataManager::write_from_host(Buffer& dst, const void* src,
                                   std::uint64_t dst_offset) {
   NU_CHECK(dst.valid(), "write_from_host to invalid buffer");
   mem::Storage& d = storage(dst.node);
+  const std::uint64_t t0 = elog_ != nullptr ? elog_->now_ns() : 0;
   run_guarded(dst.node, dst.node,
               "host->" + tree_.node(dst.node).name, [&] {
     d.write(dst.allocation, dst_offset, src, size);
@@ -409,6 +477,8 @@ void DataManager::write_from_host(Buffer& dst, const void* src,
           "write-back checksum mismatch on '" + d.name() + "'", d.name());
     }
   });
+  log_move(obs::kNoNode, dst.node, size,
+           "host->" + tree_.node(dst.node).name, t0);
   if (sim_ != nullptr) {
     const auto kind = tree_.fetch_node_type(dst.node);
     const char* ph = involves_file(kind) ? phase::kIo : phase::kTransfer;
@@ -429,6 +499,7 @@ void DataManager::read_to_host(void* dst, const Buffer& src,
                                std::uint64_t size, std::uint64_t src_offset) {
   NU_CHECK(src.valid(), "read_to_host from invalid buffer");
   mem::Storage& s = storage(src.node);
+  const std::uint64_t t0 = elog_ != nullptr ? elog_->now_ns() : 0;
   run_guarded(src.node, src.node,
               tree_.node(src.node).name + "->host", [&] {
     s.read(dst, src.allocation, src_offset, size);
@@ -441,6 +512,8 @@ void DataManager::read_to_host(void* dst, const Buffer& src,
           "read checksum mismatch on '" + s.name() + "'", s.name());
     }
   });
+  log_move(src.node, obs::kNoNode, size,
+           tree_.node(src.node).name + "->host", t0);
   if (sim_ != nullptr) {
     const auto kind = tree_.fetch_node_type(src.node);
     const char* ph = involves_file(kind) ? phase::kIo : phase::kTransfer;

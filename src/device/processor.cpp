@@ -50,6 +50,7 @@ LaunchResult Processor::launch(const std::string& label,
                                const KernelFn& kernel, const KernelCost& cost,
                                std::vector<sim::TaskId> deps) {
   NU_CHECK(num_groups > 0, "kernel launch with zero workgroups");
+  const std::uint64_t t0 = elog_ != nullptr ? elog_->now_ns() : 0;
   if (pool_ != nullptr && num_groups > 1) {
     // Parallel functional pass: every workgroup becomes a pool task with
     // its own local-memory arena (concurrent groups cannot share one, as
@@ -89,6 +90,19 @@ LaunchResult Processor::launch(const std::string& label,
       ctx.local_mem_bytes = local_mem_.size();
       kernel(ctx);
     }
+  }
+  if (elog_ != nullptr) {
+    const std::uint64_t t1 = elog_->now_ns();
+    obs::Event e;
+    e.ts_ns = t0;
+    e.dur_ns = t1 > t0 ? t1 - t0 : 0;
+    e.kind = obs::EventKind::kCompute;
+    e.name = elog_->intern(label);
+    e.phase = elog_phase_;
+    e.node = elog_node_;
+    e.value = num_groups;
+    e.span = elog_->current_span();
+    elog_->record(e);
   }
   return launch_costed(label, num_groups, cost, std::move(deps));
 }

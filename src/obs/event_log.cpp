@@ -1,0 +1,338 @@
+#include "northup/obs/event_log.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t next_log_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Thread-local span state. Tracks which log the current span belongs to
+/// (pointer + uid) so a span from a destroyed log is never re-entered.
+/// begin_span pushes the previous frame; end_span pops it — spans nest
+/// strictly on a thread (SpanScope enforces this).
+struct TlsFrame {
+  EventLog* log = nullptr;
+  std::uint64_t uid = 0;
+  SpanId span = kNoSpan;
+};
+thread_local TlsFrame tls_span;
+thread_local std::vector<TlsFrame> tls_span_stack;
+
+}  // namespace
+
+/// One recording thread's ring. Only its owner thread writes; snapshot()
+/// reads `head` with acquire and copies the stable prefix.
+struct EventLog::ThreadLog {
+  explicit ThreadLog(std::size_t capacity, std::uint32_t tid)
+      : ring(capacity), tid(tid) {}
+
+  std::vector<Event> ring;
+  std::atomic<std::uint64_t> head{0};  ///< total events ever written
+  const std::uint32_t tid;
+};
+
+namespace {
+
+/// Per-thread cache of (log uid -> ThreadLog*). A thread may record into
+/// several EventLogs over its lifetime (svc spins up per-job runtimes);
+/// the list stays tiny, and uids never repeat, so a stale entry can never
+/// be confused with a live log.
+struct TlsRings {
+  struct Entry {
+    std::uint64_t uid;
+    EventLog::ThreadLog* ring;
+  };
+  std::vector<Entry> entries;
+};
+thread_local TlsRings tls_rings;
+
+}  // namespace
+
+EventLog::EventLog(std::size_t capacity_per_thread)
+    : uid_(next_log_uid()),
+      capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread),
+      epoch_ns_(steady_ns()) {
+  // Id 0 is reserved so that a zero-initialized Event prints as "".
+  names_.emplace_back("");
+  name_ids_.emplace("", 0);
+}
+
+EventLog::~EventLog() = default;
+
+std::uint32_t EventLog::intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(names_mu_);
+  auto it = name_ids_.find(s);
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(s);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+void EventLog::set_node_name(std::uint32_t node, std::string name) {
+  std::lock_guard<std::mutex> lock(names_mu_);
+  node_names_[node] = std::move(name);
+}
+
+std::uint64_t EventLog::now_ns() const { return steady_ns() - epoch_ns_; }
+
+EventLog::ThreadLog& EventLog::local() {
+  for (const auto& e : tls_rings.entries) {
+    if (e.uid == uid_) return *e.ring;
+  }
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  const auto tid = static_cast<std::uint32_t>(threads_.size());
+  threads_.push_back(std::make_unique<ThreadLog>(capacity_, tid));
+  ThreadLog* ring = threads_.back().get();
+  tls_rings.entries.push_back({uid_, ring});
+  return *ring;
+}
+
+void EventLog::record(const Event& e) {
+  ThreadLog& t = local();
+  const std::uint64_t h = t.head.load(std::memory_order_relaxed);
+  Event& slot = t.ring[h % t.ring.size()];
+  slot = e;
+  slot.tid = t.tid;
+  t.head.store(h + 1, std::memory_order_release);
+}
+
+void EventLog::instant(EventKind kind, std::uint32_t name_id,
+                       std::uint32_t node, std::uint64_t value,
+                       std::uint8_t aux) {
+  Event e;
+  e.ts_ns = now_ns();
+  e.kind = kind;
+  e.name = name_id;
+  e.node = node;
+  e.value = value;
+  e.aux = aux;
+  e.span = current_span();
+  record(e);
+}
+
+SpanId EventLog::begin_span(std::uint32_t name_id, std::uint32_t phase_id,
+                            std::uint32_t node) {
+  const SpanId parent =
+      (tls_span.log == this && tls_span.uid == uid_) ? tls_span.span : kNoSpan;
+  const SpanId id = next_span_.fetch_add(1, std::memory_order_relaxed);
+  Event e;
+  e.ts_ns = now_ns();
+  e.kind = EventKind::kSpanBegin;
+  e.span = id;
+  e.parent = parent;
+  e.name = name_id;
+  e.phase = phase_id;
+  e.node = node;
+  record(e);
+  tls_span_stack.push_back(tls_span);
+  tls_span = {this, uid_, id};
+  return id;
+}
+
+void EventLog::end_span(SpanId span) {
+  Event e;
+  e.ts_ns = now_ns();
+  e.kind = EventKind::kSpanEnd;
+  e.span = span;
+  record(e);
+  if (tls_span.log == this && tls_span.uid == uid_ && tls_span.span == span &&
+      !tls_span_stack.empty()) {
+    tls_span = tls_span_stack.back();
+    tls_span_stack.pop_back();
+  }
+}
+
+SpanId EventLog::current_span() const {
+  return (tls_span.log == this && tls_span.uid == uid_) ? tls_span.span
+                                                        : kNoSpan;
+}
+
+EventLog::Context EventLog::current_context() {
+  return {tls_span.log, tls_span.uid, tls_span.span};
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  std::uint64_t total = 0;
+  for (const auto& t : threads_) {
+    const std::uint64_t h = t->head.load(std::memory_order_acquire);
+    if (h > t->ring.size()) total += h - t->ring.size();
+  }
+  return total;
+}
+
+RecordedRun EventLog::snapshot() const {
+  RecordedRun run;
+  {
+    std::lock_guard<std::mutex> lock(names_mu_);
+    run.names = names_;
+    run.node_names = node_names_;
+  }
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  run.thread_count = static_cast<std::uint32_t>(threads_.size());
+  for (const auto& t : threads_) {
+    const std::uint64_t h = t->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = t->ring.size();
+    if (h > cap) run.dropped += h - cap;
+    const std::uint64_t count = std::min(h, cap);
+    // Oldest surviving event first.
+    for (std::uint64_t i = h - count; i < h; ++i) {
+      run.events.push_back(t->ring[i % cap]);
+    }
+  }
+  std::stable_sort(run.events.begin(), run.events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     return a.dur_ns > b.dur_ns;  // enclosing spans first
+                   });
+  return run;
+}
+
+// --- Binary .nulog format v1 ------------------------------------------------
+//
+//   magic "NULG" | u32 version=1 | u64 dropped | u32 thread_count
+//   u32 name_count     | per name:  u32 len, bytes
+//   u32 node_count     | per node:  u32 node id, u32 len, bytes
+//   u64 event_count    | event_count * sizeof(Event) raw records
+//
+// Fixed little-endian-ish host layout: the reader checks magic+version and
+// sizeof(Event), which is enough for the single-machine record->analyze
+// round trip this format exists for.
+
+namespace {
+
+template <typename T>
+void put(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& in, const std::string& path) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in.good()) {
+    throw util::Error("truncated event log '" + path + "'");
+  }
+  return v;
+}
+
+std::string get_string(std::ifstream& in, const std::string& path) {
+  const auto len = get<std::uint32_t>(in, path);
+  if (len > (std::uint32_t{1} << 24)) {
+    throw util::Error("corrupt string length in event log '" + path + "'");
+  }
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in.good()) {
+    throw util::Error("truncated event log '" + path + "'");
+  }
+  return s;
+}
+
+constexpr char kMagic[4] = {'N', 'U', 'L', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void EventLog::write_file(const std::string& path) const {
+  const RecordedRun run = snapshot();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    throw util::Error("cannot open event log output file '" + path + "'");
+  }
+  out.write(kMagic, sizeof(kMagic));
+  put(out, kVersion);
+  put(out, run.dropped);
+  put(out, run.thread_count);
+  put(out, static_cast<std::uint32_t>(run.names.size()));
+  for (const auto& name : run.names) {
+    put(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  put(out, static_cast<std::uint32_t>(run.node_names.size()));
+  for (const auto& [node, name] : run.node_names) {
+    put(out, node);
+    put(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  put(out, static_cast<std::uint64_t>(run.events.size()));
+  out.write(reinterpret_cast<const char*>(run.events.data()),
+            static_cast<std::streamsize>(run.events.size() * sizeof(Event)));
+  out.flush();
+  if (!out.good()) {
+    throw util::Error("failed writing event log file '" + path + "'");
+  }
+}
+
+RecordedRun EventLog::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw util::Error("cannot open event log file '" + path + "'");
+  }
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw util::Error("not a .nulog event log: '" + path + "'");
+  }
+  const auto version = get<std::uint32_t>(in, path);
+  if (version != kVersion) {
+    throw util::Error("unsupported event log version " +
+                      std::to_string(version) + " in '" + path + "'");
+  }
+  RecordedRun run;
+  run.dropped = get<std::uint64_t>(in, path);
+  run.thread_count = get<std::uint32_t>(in, path);
+  const auto name_count = get<std::uint32_t>(in, path);
+  run.names.reserve(name_count);
+  for (std::uint32_t i = 0; i < name_count; ++i) {
+    run.names.push_back(get_string(in, path));
+  }
+  const auto node_count = get<std::uint32_t>(in, path);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    const auto node = get<std::uint32_t>(in, path);
+    run.node_names[node] = get_string(in, path);
+  }
+  const auto event_count = get<std::uint64_t>(in, path);
+  run.events.resize(event_count);
+  in.read(reinterpret_cast<char*>(run.events.data()),
+          static_cast<std::streamsize>(event_count * sizeof(Event)));
+  if (!in.good()) {
+    throw util::Error("truncated event log '" + path + "'");
+  }
+  return run;
+}
+
+// --- SpanAdopt --------------------------------------------------------------
+
+SpanAdopt::SpanAdopt(const EventLog::Context& ctx) {
+  if (ctx.log == nullptr || ctx.span == kNoSpan) return;
+  adopted_ = true;
+  prev_log_ = tls_span.log;
+  prev_uid_ = tls_span.uid;
+  prev_span_ = tls_span.span;
+  tls_span = {ctx.log, ctx.log_uid, ctx.span};
+}
+
+SpanAdopt::~SpanAdopt() {
+  if (adopted_) tls_span = {prev_log_, prev_uid_, prev_span_};
+}
+
+}  // namespace northup::obs

@@ -1,6 +1,7 @@
 #include "northup/obs/metrics.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -35,6 +36,17 @@ std::string json_escape(const std::string& s) {
     }
   }
   return out;
+}
+
+/// Shortest round-trip double formatting via std::to_chars: locale
+/// independent (no LC_NUMERIC decimal commas) and byte-stable for equal
+/// values. Non-finite values (never expected from well-behaved metrics)
+/// are clamped to 0 so the JSON stays parseable.
+std::string fmt_double(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
 }
 
 /// Relaxed atomic-double accumulate / min / max via CAS loops.
@@ -199,10 +211,8 @@ std::string MetricsRegistry::to_json() const {
   os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
   first = true;
   for (const auto& [name, value] : gauges) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
     os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
-       << "\": " << buf;
+       << "\": " << fmt_double(value);
     first = false;
   }
   os << (first ? "" : "\n  ") << "}";
@@ -211,15 +221,14 @@ std::string MetricsRegistry::to_json() const {
     os << ",\n  \"histograms\": {";
     first = true;
     for (const auto& [name, s] : histograms) {
-      char buf[256];
-      std::snprintf(buf, sizeof(buf),
-                    "{\"count\": %llu, \"sum\": %.17g, \"min\": %.17g, "
-                    "\"max\": %.17g, \"p50\": %.17g, \"p90\": %.17g, "
-                    "\"p95\": %.17g, \"p99\": %.17g}",
-                    static_cast<unsigned long long>(s.count), s.sum, s.min,
-                    s.max, s.p50, s.p90, s.p95, s.p99);
       os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
-         << "\": " << buf;
+         << "\": {\"count\": " << s.count << ", \"sum\": " << fmt_double(s.sum)
+         << ", \"min\": " << fmt_double(s.min)
+         << ", \"max\": " << fmt_double(s.max)
+         << ", \"p50\": " << fmt_double(s.p50)
+         << ", \"p90\": " << fmt_double(s.p90)
+         << ", \"p95\": " << fmt_double(s.p95)
+         << ", \"p99\": " << fmt_double(s.p99) << "}";
       first = false;
     }
     os << (first ? "" : "\n  ") << "}";
@@ -230,9 +239,70 @@ std::string MetricsRegistry::to_json() const {
 
 void MetricsRegistry::write_json(const std::string& path) const {
   std::ofstream out(path, std::ios::trunc);
-  NU_CHECK(out.good(), "cannot open metrics output file '" + path + "'");
+  if (!out.good()) {
+    throw util::Error("cannot open metrics output file '" + path + "'");
+  }
   out << to_json();
-  NU_CHECK(out.good(), "failed writing metrics to '" + path + "'");
+  out.flush();
+  if (!out.good()) {
+    throw util::Error("failed writing metrics to '" + path + "'");
+  }
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
+/// names ("svc.latency.e2e", "bytes_moved.Dram->Ssd") collapse every
+/// other byte to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9' && !out.empty()) || c == '_' ||
+                    c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counter_values()) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : gauge_values()) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << fmt_double(value)
+       << '\n';
+  }
+  for (const auto& [name, s] : histogram_values()) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " summary\n";
+    os << n << "{quantile=\"0.5\"} " << fmt_double(s.p50) << '\n';
+    os << n << "{quantile=\"0.9\"} " << fmt_double(s.p90) << '\n';
+    os << n << "{quantile=\"0.95\"} " << fmt_double(s.p95) << '\n';
+    os << n << "{quantile=\"0.99\"} " << fmt_double(s.p99) << '\n';
+    os << n << "_sum " << fmt_double(s.sum) << '\n';
+    os << n << "_count " << s.count << '\n';
+  }
+  return os.str();
+}
+
+void MetricsRegistry::write_prometheus(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    throw util::Error("cannot open prometheus output file '" + path + "'");
+  }
+  out << to_prometheus();
+  out.flush();
+  if (!out.good()) {
+    throw util::Error("failed writing prometheus text to '" + path + "'");
+  }
 }
 
 }  // namespace northup::obs

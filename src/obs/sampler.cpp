@@ -1,0 +1,104 @@
+#include "northup/obs/sampler.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace northup::obs {
+
+namespace {
+
+std::string fmt_double(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsSampler::MetricsSampler(const MetricsRegistry& registry,
+                               std::chrono::milliseconds interval,
+                               std::size_t max_samples)
+    : registry_(registry),
+      interval_(interval.count() > 0 ? interval
+                                     : std::chrono::milliseconds(1)),
+      max_samples_(max_samples == 0 ? 1 : max_samples),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::start() {
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void MetricsSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsSampler::sample_once() {
+  const double t = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - epoch_)
+                       .count();
+  const auto gauges = registry_.gauge_values();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : gauges) {
+    Series& s = series_[name];
+    s.push_back({t, value});
+    if (s.size() > max_samples_) s.erase(s.begin());
+  }
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsSampler::run() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stopping_) {
+    lock.unlock();
+    sample_once();
+    lock.lock();
+    wake_.wait_for(lock, interval_, [this] { return stopping_; });
+  }
+}
+
+std::map<std::string, MetricsSampler::Series> MetricsSampler::series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
+std::string MetricsSampler::to_json() const {
+  const auto all = series();
+  std::ostringstream os;
+  os << "{\n  \"interval_ms\": " << interval_.count() << ",\n  \"series\": {";
+  bool first = true;
+  for (const auto& [name, samples] : all) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": [";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      os << (i ? ", " : "") << '[' << fmt_double(samples[i].t_seconds) << ", "
+         << fmt_double(samples[i].value) << ']';
+    }
+    os << ']';
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace northup::obs

@@ -174,9 +174,14 @@ std::string TraceWriter::to_json() const {
 
 void TraceWriter::write_file(const std::string& path) const {
   std::ofstream out(path, std::ios::trunc);
-  NU_CHECK(out.good(), "cannot open trace output file '" + path + "'");
+  if (!out.good()) {
+    throw util::Error("cannot open trace output file '" + path + "'");
+  }
   write(out);
-  NU_CHECK(out.good(), "failed writing trace to '" + path + "'");
+  out.flush();
+  if (!out.good()) {
+    throw util::Error("failed writing trace to '" + path + "'");
+  }
 }
 
 }  // namespace northup::obs

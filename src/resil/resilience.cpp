@@ -89,6 +89,11 @@ NodeHealth& ResilienceManager::health_locked(topo::NodeId node) {
       metrics_->gauge("resil.breaker_state." + name)
           .set(static_cast<double>(next));
     }
+    if (elog_ != nullptr) {
+      elog_->instant(obs::EventKind::kBreaker,
+                     elog_->intern("breaker@" + name), node, 0,
+                     static_cast<std::uint8_t>(next));
+    }
     switch (next) {
       case BreakerState::Open:
         if (auto* c = counter("resil.breaker.trips")) c->increment();
@@ -202,6 +207,12 @@ void ResilienceManager::run_op(topo::NodeId src, topo::NodeId dst,
       c->increment();
     }
     emit_instant("retry@" + blame_name, blame);
+    if (elog_ != nullptr) {
+      elog_->instant(obs::EventKind::kRetry,
+                     elog_->intern("retry@" + blame_name),
+                     blame != topo::kInvalidNode ? blame : obs::kNoNode, 0,
+                     cls == ErrorClass::Corruption ? 1 : 0);
+    }
 
     double sleep_s = policy.backoff_for(attempt);
     if (policy.jitter > 0.0 && sleep_s > 0.0) {

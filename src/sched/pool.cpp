@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "northup/obs/event_log.hpp"
+
 namespace northup::sched {
 
 thread_local std::size_t WorkStealingPool::tls_worker_index_ = 0;
@@ -28,6 +30,17 @@ WorkStealingPool::~WorkStealingPool() {
 }
 
 void WorkStealingPool::submit(std::function<void()> fn) {
+  // Causal-span propagation: a task inherits the submitter's current
+  // EventLog span, so flight-recorder events emitted on the worker attach
+  // to the same job -> phase -> chunk chain. No-span submitters skip the
+  // extra indirection entirely.
+  if (const obs::EventLog::Context ctx = obs::EventLog::current_context();
+      ctx.log != nullptr && ctx.span != obs::kNoSpan) {
+    fn = [ctx, inner = std::move(fn)] {
+      obs::SpanAdopt adopt(ctx);
+      inner();
+    };
+  }
   auto* task = new std::function<void()>(std::move(fn));
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (tls_pool_ == this) {

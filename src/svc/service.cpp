@@ -225,6 +225,12 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
   const std::string& tenant = job->request.tenant;
   const std::string& name = job->request.name;
 
+  // Machine-wide flight-recorder span for the whole job: per-attempt
+  // runtimes record into the same log (external_event_log below), so
+  // every chunk/move event chains job -> run -> spawn -> move.
+  obs::SpanScope job_span(machine_->event_log(),
+                          "job:" + tenant + "/" + name, "job");
+
   const double queue_wait = seconds_since(job->submit_time);
   metrics.histogram("svc.latency.queue_wait").record(queue_wait);
   const double dispatch_ts = trace_.now();
@@ -278,7 +284,8 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
           .enable_sim = options_.enable_sim,
           .file_dir = options_.file_dir,
           .enable_shard_cache = options_.enable_shard_cache,
-          .resilience = options_.resilience};
+          .resilience = options_.resilience,
+          .external_event_log = machine_->event_log()};
       if (job->request.chaos.enabled()) {
         // Seeded chaos on the deep-storage root of every attempt.
         const mem::FaultPlan chaos = job->request.chaos;

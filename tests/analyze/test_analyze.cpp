@@ -1,0 +1,302 @@
+// northup-analyze golden tests.
+//
+// Two layers: a hand-built RecordedRun with nanosecond-exact expectations
+// for the critical-path walk, and a real (small, deterministic) Runtime
+// run asserting the ISSUE-5 acceptance criteria — critical path bounded
+// by the makespan, per-phase attribution summing to the path length,
+// every event's span parent resolving, the identity-model what-if
+// reproducing the measured I/O time, and the emitted trace being valid
+// Chrome-trace JSON.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "northup/analyze/analyze.hpp"
+#include "northup/core/runtime.hpp"
+#include "northup/data/scoped_buffer.hpp"
+#include "northup/io/posix_file.hpp"
+#include "northup/topo/presets.hpp"
+#include "support/minijson.hpp"
+
+namespace na = northup::analyze;
+namespace nc = northup::core;
+namespace nd = northup::data;
+namespace ni = northup::io;
+namespace no = northup::obs;
+namespace nt = northup::topo;
+
+using northup::testjson::Json;
+using northup::testjson::JsonParser;
+
+namespace {
+
+/// run[0,100] (runtime) > {move[10,60] (io), B[70,90] (runtime) >
+/// compute[75,85] (cpu)}. Times in ns. The kIo event mirrors the move
+/// and must NOT appear on the critical path (it would double-charge it).
+no::RecordedRun synthetic_run() {
+  no::RecordedRun run;
+  run.names = {"", "run", "runtime", "move", "io", "B", "compute", "cpu"};
+  run.node_names[0] = "storage";
+  run.node_names[1] = "dram";
+  run.thread_count = 1;
+
+  auto ev = [](std::uint64_t ts, std::uint64_t dur, no::EventKind kind,
+               no::SpanId span, no::SpanId parent, std::uint32_t name,
+               std::uint32_t phase) {
+    no::Event e;
+    e.ts_ns = ts;
+    e.dur_ns = dur;
+    e.kind = kind;
+    e.span = span;
+    e.parent = parent;
+    e.name = name;
+    e.phase = phase;
+    return e;
+  };
+
+  no::Event begin_run = ev(0, 0, no::EventKind::kSpanBegin, 1, 0, 1, 2);
+  no::Event move = ev(10, 50, no::EventKind::kMove, 1, 0, 3, 4);
+  move.value = 1000;
+  move.node = 0;
+  move.node2 = 1;
+  no::Event io = ev(10, 50, no::EventKind::kIo, 1, 0, 3, 4);
+  io.value = 1000;
+  io.node = 0;
+  io.aux = 0;  // read
+  no::Event begin_b = ev(70, 0, no::EventKind::kSpanBegin, 2, 1, 5, 2);
+  no::Event compute = ev(75, 10, no::EventKind::kCompute, 2, 0, 6, 7);
+  compute.node = 1;
+  no::Event end_b = ev(90, 0, no::EventKind::kSpanEnd, 2, 0, 5, 2);
+  no::Event end_run = ev(100, 0, no::EventKind::kSpanEnd, 1, 0, 1, 2);
+
+  run.events = {begin_run, move, io, begin_b, compute, end_b, end_run};
+  return run;
+}
+
+/// Chrome-trace structural checks shared with the real-run test: top
+/// keys, every s-flow has a matching f-flow, X events are well-formed.
+void check_chrome_trace(const std::string& json) {
+  const Json root = JsonParser(json).parse();
+  ASSERT_TRUE(root.has("traceEvents"));
+  ASSERT_TRUE(root.has("displayTimeUnit"));
+  std::set<double> flow_starts;
+  std::set<double> flow_ends;
+  std::size_t x_events = 0;
+  for (const Json& e : root.at("traceEvents").array) {
+    ASSERT_TRUE(e.has("ph"));
+    const std::string ph = e.at("ph").string;
+    if (ph == "X") {
+      ++x_events;
+      EXPECT_TRUE(e.has("pid"));
+      EXPECT_TRUE(e.has("tid"));
+      EXPECT_TRUE(e.has("ts"));
+      EXPECT_TRUE(e.has("dur"));
+      EXPECT_TRUE(e.has("name"));
+      EXPECT_GE(e.at("dur").number, 0.0);
+    } else if (ph == "s") {
+      flow_starts.insert(e.at("id").number);
+    } else if (ph == "f") {
+      EXPECT_EQ(e.at("bp").string, "e");
+      flow_ends.insert(e.at("id").number);
+    }
+  }
+  EXPECT_GT(x_events, 0u);
+  EXPECT_EQ(flow_starts, flow_ends);  // every flow resolves
+}
+
+}  // namespace
+
+TEST(Analyze, SummarizeCountsSyntheticRun) {
+  const no::RecordedRun run = synthetic_run();
+  const na::Summary s = na::summarize(run);
+  EXPECT_EQ(s.events, 7u);
+  EXPECT_EQ(s.spans, 2u);
+  EXPECT_EQ(s.moves, 1u);
+  EXPECT_EQ(s.ios, 1u);
+  EXPECT_EQ(s.computes, 1u);
+  EXPECT_EQ(s.bytes_moved, 1000u);
+  EXPECT_NEAR(s.wall_seconds, 100e-9, 1e-15);
+}
+
+TEST(Analyze, ValidateAcceptsWellFormedAndFlagsOrphans) {
+  no::RecordedRun run = synthetic_run();
+  EXPECT_TRUE(na::validate(run).ok);
+
+  // Orphan parent: a span whose parent id was never begun.
+  no::Event bad;
+  bad.ts_ns = 5;
+  bad.kind = no::EventKind::kSpanBegin;
+  bad.span = 99;
+  bad.parent = 12345;
+  run.events.push_back(bad);
+  const na::ValidationReport r = na::validate(run);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.orphan_parents, 1u);
+  EXPECT_EQ(r.unclosed_spans, 1u);  // span 99 never ends either
+  EXPECT_FALSE(r.problems.empty());
+}
+
+TEST(Analyze, CriticalPathAttributionIsExactOnSyntheticRun) {
+  const no::RecordedRun run = synthetic_run();
+  const na::CriticalPath cp = na::measured_critical_path(run);
+  EXPECT_NEAR(cp.length_s, 100e-9, 1e-15);
+
+  // io: the move [10,60]; cpu: the compute [75,85]; runtime: the two
+  // spans' own gaps [0,10]+[60,70]+[70,75]+[85,90]+[90,100] = 40 ns.
+  ASSERT_EQ(cp.phase_seconds.count("io"), 1u);
+  ASSERT_EQ(cp.phase_seconds.count("cpu"), 1u);
+  ASSERT_EQ(cp.phase_seconds.count("runtime"), 1u);
+  EXPECT_NEAR(cp.phase_seconds.at("io"), 50e-9, 1e-15);
+  EXPECT_NEAR(cp.phase_seconds.at("cpu"), 10e-9, 1e-15);
+  EXPECT_NEAR(cp.phase_seconds.at("runtime"), 40e-9, 1e-15);
+
+  // Attribution must sum exactly to the path length, and segments must
+  // tile the window in increasing time order.
+  double total = 0.0;
+  for (const auto& [phase, secs] : cp.phase_seconds) total += secs;
+  EXPECT_NEAR(total, cp.length_s, 1e-12);
+  double cursor = 0.0;
+  for (const na::PathSegment& seg : cp.segments) {
+    EXPECT_NEAR(seg.begin_s, cursor, 1e-15);
+    EXPECT_GT(seg.end_s, seg.begin_s);
+    cursor = seg.end_s;
+  }
+  EXPECT_NEAR(cursor, cp.length_s, 1e-15);
+}
+
+TEST(Analyze, IdentityWhatIfReproducesMeasuredIoOnSyntheticRun) {
+  const no::RecordedRun run = synthetic_run();
+  EXPECT_NEAR(na::measured_io_seconds(run), 50e-9, 1e-15);
+  const auto records = na::io_records(run);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].is_write);
+  EXPECT_EQ(records[0].bytes, 1000u);
+
+  const na::WhatIf w = na::whatif_storage(run);
+  EXPECT_NEAR(w.identity.io_time, w.measured_io_s,
+              w.measured_io_s * 1e-9 + 1e-15);
+  EXPECT_FALSE(w.sweep.empty());
+}
+
+TEST(Analyze, ChromeTraceOfSyntheticRunIsValid) {
+  const std::string json = na::chrome_trace_json(synthetic_run());
+  check_chrome_trace(json);
+  // Node tracks are named after the recorded node names.
+  EXPECT_NE(json.find("\"storage\""), std::string::npos);
+  EXPECT_NE(json.find("\"dram\""), std::string::npos);
+  // Counter tracks exist for the destination node of the move.
+  EXPECT_NE(json.find("\"bw dram\""), std::string::npos);
+  EXPECT_NE(json.find("\"occupancy dram\""), std::string::npos);
+}
+
+TEST(Analyze, EmptyRunProducesEmptyButValidOutputs) {
+  const no::RecordedRun empty;
+  EXPECT_EQ(na::summarize(empty).events, 0u);
+  EXPECT_TRUE(na::validate(empty).ok);
+  const na::CriticalPath cp = na::measured_critical_path(empty);
+  EXPECT_DOUBLE_EQ(cp.length_s, 0.0);
+  EXPECT_TRUE(cp.segments.empty());
+  const Json root = JsonParser(na::chrome_trace_json(empty)).parse();
+  EXPECT_TRUE(root.has("traceEvents"));
+}
+
+namespace {
+
+/// A small deterministic out-of-core run: chunked staging descent over a
+/// file-backed root, one spawn per chunk. Produces moves, I/O legs,
+/// allocs, and a three-deep span chain (run -> spawn -> moves).
+void golden_run(nc::Runtime& rt) {
+  auto& dm = rt.dm();
+  const auto root = rt.tree().root();
+  constexpr std::uint64_t kBytes = 32 << 10;
+  constexpr std::uint64_t kChunk = 16 << 10;
+  nd::ScopedBuffer in_root(dm, kBytes, root);
+  nd::ScopedBuffer out_root(dm, kBytes, root);
+  std::vector<float> host(kBytes / sizeof(float), 2.0f);
+  dm.write_from_host(*in_root, host.data(), kBytes);
+
+  rt.run([&](nc::ExecContext& ctx) {
+    const auto child = ctx.child(0);
+    for (std::uint64_t off = 0; off < kBytes; off += kChunk) {
+      ctx.northup_spawn(child, [&, off](nc::ExecContext&) {
+        nd::ScopedBuffer stage(dm, kChunk, child);
+        dm.move_data_down(*stage, *in_root,
+                          {.size = kChunk, .src_offset = off});
+        dm.move_data_up(*out_root, *stage,
+                        {.size = kChunk, .dst_offset = off});
+      });
+    }
+  });
+  dm.read_to_host(host.data(), *out_root, kBytes);
+}
+
+}  // namespace
+
+TEST(AnalyzeGolden, RealRunSatisfiesAcceptanceCriteria) {
+  nt::PresetOptions opts;
+  opts.root_capacity = 1ULL << 20;
+  opts.staging_capacity = 64ULL << 10;
+  nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd, opts));
+  golden_run(rt);
+
+  ASSERT_NE(rt.event_log(), nullptr);
+  EXPECT_EQ(rt.event_log()->dropped(), 0u);
+  const no::RecordedRun run = rt.event_log()->snapshot();
+
+  // Every event's span chain resolves; spans all close.
+  const na::ValidationReport v = na::validate(run);
+  EXPECT_TRUE(v.ok) << (v.problems.empty() ? "" : v.problems.front());
+
+  const na::Summary s = na::summarize(run);
+  EXPECT_GE(s.spans, 3u);   // run + 2 spawns
+  EXPECT_GE(s.moves, 5u);   // host in + 2x(down+up) + host out
+  EXPECT_GT(s.ios, 0u);     // the preset root is file-backed
+  EXPECT_GE(s.allocs, 4u);
+  EXPECT_EQ(s.dropped, 0u);
+
+  // The flight-recorder span chain: every spawn span's parent is the run
+  // span, and moves inside chunks attribute to the spawn spans.
+  std::set<no::SpanId> span_ids;
+  for (const no::Event& e : run.events) {
+    if (e.kind == no::EventKind::kSpanBegin) span_ids.insert(e.span);
+  }
+  for (const no::Event& e : run.events) {
+    if (e.kind == no::EventKind::kSpanBegin && e.parent != no::kNoSpan) {
+      EXPECT_EQ(span_ids.count(e.parent), 1u);
+    }
+  }
+
+  // Critical path: bounded by the measured makespan (== recorded
+  // window), attribution sums to the length.
+  const na::CriticalPath cp = na::measured_critical_path(run);
+  EXPECT_GT(cp.length_s, 0.0);
+  EXPECT_LE(cp.length_s, s.wall_seconds + 1e-12);
+  double total = 0.0;
+  for (const auto& [phase, secs] : cp.phase_seconds) total += secs;
+  EXPECT_NEAR(total, cp.length_s, cp.length_s * 1e-9 + 1e-12);
+
+  // Identity what-if reproduces the measured I/O time.
+  const na::WhatIf w = na::whatif_storage(run);
+  EXPECT_GT(w.measured_io_s, 0.0);
+  EXPECT_NEAR(w.identity.io_time, w.measured_io_s, w.measured_io_s * 1e-6);
+  EXPECT_GE(w.measured_total_s, w.measured_io_s);
+  EXPECT_FALSE(w.sweep.empty());
+
+  // The emitted trace is valid Chrome-trace JSON.
+  check_chrome_trace(na::chrome_trace_json(run));
+
+  // The report renders without blowing up and mentions the validation.
+  const std::string rep = na::report(run);
+  EXPECT_NE(rep.find("validation: ok"), std::string::npos) << rep;
+
+  // .nulog round trip feeds the same analysis.
+  ni::TempDir dir("analyze-golden");
+  const std::string path = dir.path() + "/run.nulog";
+  rt.write_event_log(path);
+  const no::RecordedRun back = no::EventLog::read_file(path);
+  EXPECT_EQ(back.events.size(), run.events.size());
+  EXPECT_TRUE(na::validate(back).ok);
+}

@@ -1,0 +1,261 @@
+// obs::EventLog flight-recorder unit tests: interning, span nesting and
+// cross-thread adoption, ring-buffer drop accounting, snapshot ordering,
+// and the .nulog binary round-trip (including failure paths that must
+// name the file).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "northup/io/posix_file.hpp"
+#include "northup/obs/event_log.hpp"
+#include "northup/util/assert.hpp"
+
+namespace ni = northup::io;
+namespace no = northup::obs;
+namespace nu = northup::util;
+
+namespace {
+
+no::Event make_event(std::uint64_t ts, no::EventKind kind,
+                     std::uint32_t name = 0, std::uint64_t value = 0) {
+  no::Event e;
+  e.ts_ns = ts;
+  e.kind = kind;
+  e.name = name;
+  e.value = value;
+  return e;
+}
+
+}  // namespace
+
+TEST(EventLog, InternReturnsStableIdsAndRoundTrips) {
+  no::EventLog log;
+  const std::uint32_t a = log.intern("io");
+  const std::uint32_t b = log.intern("cpu");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(log.intern("io"), a);  // idempotent
+  const no::RecordedRun run = log.snapshot();
+  EXPECT_EQ(run.name_of(a), "io");
+  EXPECT_EQ(run.name_of(b), "cpu");
+  EXPECT_EQ(run.name_of(0xdeadu), "?");  // unknown ids stay printable
+}
+
+TEST(EventLog, SnapshotMergesSortedByTimestamp) {
+  no::EventLog log;
+  const std::uint32_t n = log.intern("ev");
+  log.record(make_event(30, no::EventKind::kInstant, n));
+  log.record(make_event(10, no::EventKind::kInstant, n));
+  log.record(make_event(20, no::EventKind::kInstant, n));
+  const no::RecordedRun run = log.snapshot();
+  ASSERT_EQ(run.events.size(), 3u);
+  EXPECT_EQ(run.events[0].ts_ns, 10u);
+  EXPECT_EQ(run.events[1].ts_ns, 20u);
+  EXPECT_EQ(run.events[2].ts_ns, 30u);
+  EXPECT_EQ(run.dropped, 0u);
+  EXPECT_EQ(run.thread_count, 1u);
+}
+
+TEST(EventLog, RingOverwritesOldestAndCountsDrops) {
+  no::EventLog log(4);
+  const std::uint32_t n = log.intern("ev");
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    log.record(make_event(i, no::EventKind::kInstant, n, i));
+  }
+  EXPECT_EQ(log.dropped(), 6u);
+  const no::RecordedRun run = log.snapshot();
+  ASSERT_EQ(run.events.size(), 4u);  // only the newest `capacity` survive
+  EXPECT_EQ(run.dropped, 6u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(run.events[i].value, i + 6);
+  }
+}
+
+TEST(EventLog, SpanNestingPropagatesParents) {
+  no::EventLog log;
+  const std::uint32_t name = log.intern("s");
+  const std::uint32_t phase = log.intern("p");
+  EXPECT_EQ(log.current_span(), no::kNoSpan);
+  const no::SpanId outer = log.begin_span(name, phase, 1);
+  EXPECT_EQ(log.current_span(), outer);
+  const no::SpanId inner = log.begin_span(name, phase, 2);
+  EXPECT_EQ(log.current_span(), inner);
+  log.instant(no::EventKind::kInstant, name, 2);
+  log.end_span(inner);
+  EXPECT_EQ(log.current_span(), outer);
+  log.end_span(outer);
+  EXPECT_EQ(log.current_span(), no::kNoSpan);
+
+  const no::RecordedRun run = log.snapshot();
+  ASSERT_EQ(run.events.size(), 5u);  // 2 begins + instant + 2 ends
+  const no::Event& b_outer = run.events[0];
+  const no::Event& b_inner = run.events[1];
+  const no::Event& mid = run.events[2];
+  EXPECT_EQ(b_outer.kind, no::EventKind::kSpanBegin);
+  EXPECT_EQ(b_outer.parent, no::kNoSpan);
+  EXPECT_EQ(b_inner.parent, outer);
+  EXPECT_EQ(mid.span, inner);  // events attribute to the innermost span
+}
+
+TEST(EventLog, SpanScopeRestoresOnExitAndIgnoresNullLog) {
+  no::EventLog log;
+  {
+    no::SpanScope outer(&log, "outer", "phase");
+    EXPECT_EQ(log.current_span(), outer.id());
+    {
+      no::SpanScope inner(&log, "inner", "phase", 3);
+      EXPECT_EQ(log.current_span(), inner.id());
+    }
+    EXPECT_EQ(log.current_span(), outer.id());
+  }
+  EXPECT_EQ(log.current_span(), no::kNoSpan);
+  // Null-log scope must be a safe no-op (disabled-recorder path).
+  no::SpanScope none(nullptr, "x", "y");
+  EXPECT_EQ(none.id(), no::kNoSpan);
+}
+
+TEST(EventLog, SpanAdoptCarriesSpanAcrossThreads) {
+  no::EventLog log;
+  const std::uint32_t name = log.intern("work");
+  const no::SpanId parent = log.begin_span(name, name, no::kNoNode);
+  const no::EventLog::Context ctx = no::EventLog::current_context();
+  EXPECT_EQ(ctx.log, &log);
+  EXPECT_EQ(ctx.span, parent);
+
+  std::thread worker([&] {
+    EXPECT_EQ(log.current_span(), no::kNoSpan);  // fresh thread: no span
+    {
+      no::SpanAdopt adopt(ctx);
+      EXPECT_EQ(log.current_span(), parent);
+      log.instant(no::EventKind::kInstant, name, no::kNoNode);
+    }
+    EXPECT_EQ(log.current_span(), no::kNoSpan);  // restored after adopt
+  });
+  worker.join();
+  log.end_span(parent);
+
+  const no::RecordedRun run = log.snapshot();
+  EXPECT_EQ(run.thread_count, 2u);
+  bool found = false;
+  for (const no::Event& e : run.events) {
+    if (e.kind == no::EventKind::kInstant) {
+      EXPECT_EQ(e.span, parent);
+      EXPECT_NE(e.tid, run.events[0].tid);  // recorded on the worker thread
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EventLog, StaleContextAdoptIsNoOp) {
+  no::EventLog::Context stale;
+  stale.log = reinterpret_cast<no::EventLog*>(0x1234);  // never dereferenced
+  stale.log_uid = 0xffffffffu;  // uid that no live log has
+  stale.span = 42;
+  no::SpanAdopt adopt(stale);  // must not crash or adopt
+  no::EventLog log;
+  EXPECT_EQ(log.current_span(), no::kNoSpan);
+}
+
+TEST(EventLog, ConcurrentRecordFromManyThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  no::EventLog log(1 << 14);
+  const std::uint32_t n = log.intern("ev");
+  std::vector<std::thread> threads;
+  std::atomic<int> start{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.fetch_add(1);
+      while (start.load() < kThreads) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        log.record(make_event(static_cast<std::uint64_t>(i),
+                              no::EventKind::kInstant, n,
+                              static_cast<std::uint64_t>(t)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const no::RecordedRun run = log.snapshot();
+  EXPECT_EQ(run.thread_count, kThreads);
+  EXPECT_EQ(run.dropped, 0u);
+  EXPECT_EQ(run.events.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(EventLog, BinaryRoundTripPreservesEverything) {
+  no::EventLog log(4);  // small ring: drops must survive the round trip
+  log.set_node_name(0, "storage");
+  log.set_node_name(1, "dram");
+  const std::uint32_t n = log.intern("move");
+  const std::uint32_t p = log.intern("io");
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    no::Event e = make_event(i * 10, no::EventKind::kMove, n, 4096);
+    e.dur_ns = 5;
+    e.phase = p;
+    e.node = 0;
+    e.node2 = 1;
+    e.aux = 1;
+    log.record(e);
+  }
+
+  ni::TempDir dir("nulog-test");
+  const std::string path = dir.path() + "/run.nulog";
+  log.write_file(path);
+  const no::RecordedRun back = no::EventLog::read_file(path);
+  const no::RecordedRun orig = log.snapshot();
+
+  EXPECT_EQ(back.names, orig.names);
+  EXPECT_EQ(back.node_names, orig.node_names);
+  EXPECT_EQ(back.dropped, orig.dropped);
+  EXPECT_EQ(back.thread_count, orig.thread_count);
+  ASSERT_EQ(back.events.size(), orig.events.size());
+  for (std::size_t i = 0; i < back.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].ts_ns, orig.events[i].ts_ns);
+    EXPECT_EQ(back.events[i].dur_ns, orig.events[i].dur_ns);
+    EXPECT_EQ(back.events[i].value, orig.events[i].value);
+    EXPECT_EQ(back.events[i].name, orig.events[i].name);
+    EXPECT_EQ(back.events[i].kind, orig.events[i].kind);
+    EXPECT_EQ(back.events[i].node, orig.events[i].node);
+    EXPECT_EQ(back.events[i].node2, orig.events[i].node2);
+    EXPECT_EQ(back.events[i].aux, orig.events[i].aux);
+  }
+  EXPECT_EQ(back.node_name(0), "storage");
+  EXPECT_EQ(back.node_name(7), "node7");  // unknown nodes stay printable
+}
+
+TEST(EventLog, WriteFileReportsTargetPathOnFailure) {
+  no::EventLog log;
+  ni::TempDir dir("nulog-unwritable");
+  const std::string path = dir.path() + "/missing/sub/run.nulog";
+  try {
+    log.write_file(path);
+    FAIL() << "expected util::Error";
+  } catch (const nu::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error must name the target path: " << e.what();
+  }
+}
+
+TEST(EventLog, ReadFileRejectsMissingAndMalformedInput) {
+  ni::TempDir dir("nulog-bad");
+  const std::string missing = dir.path() + "/nope.nulog";
+  try {
+    no::EventLog::read_file(missing);
+    FAIL() << "expected util::Error";
+  } catch (const nu::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos);
+  }
+
+  const std::string garbage = dir.path() + "/garbage.nulog";
+  {
+    std::ofstream out(garbage);
+    out << "this is not a nulog file";
+  }
+  EXPECT_THROW(no::EventLog::read_file(garbage), nu::Error);
+}

@@ -2,15 +2,20 @@
 // the per-edge bytes_moved.* counters sum to DataManager::bytes_moved().
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "northup/core/runtime.hpp"
 #include "northup/data/scoped_buffer.hpp"
 #include "northup/io/posix_file.hpp"
 #include "northup/obs/metrics.hpp"
+#include "northup/obs/sampler.hpp"
 #include "northup/topo/presets.hpp"
+#include "northup/util/assert.hpp"
+#include "support/minijson.hpp"
 
 namespace nc = northup::core;
 namespace nd = northup::data;
@@ -120,6 +125,66 @@ TEST(Histogram, NonPositiveValuesStillCount) {
   EXPECT_DOUBLE_EQ(h.max(), 0.0);
 }
 
+TEST(Histogram, ValuesBelowLowestBucketStillQuantile) {
+  no::Histogram h;
+  // Far below kLowest (1e-9): everything lands in the bottom bucket, but
+  // the exact min/max envelope keeps quantiles honest.
+  for (int i = 0; i < 10; ++i) h.record(1e-15);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-15);
+  EXPECT_DOUBLE_EQ(h.max(), 1e-15);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1e-15);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1e-15);
+}
+
+TEST(Histogram, TopBucketSaturationKeepsQuantilesInEnvelope) {
+  no::Histogram h;
+  // Far above the highest finite bucket boundary: saturates the top
+  // bucket without overflow, quantiles clamp to the exact max.
+  h.record(1e30);
+  h.record(2e30);
+  h.record(1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max(), 2e30);
+  EXPECT_LE(h.quantile(1.0), h.max());
+  EXPECT_GE(h.quantile(0.9), 1.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 3e30 + 1.0);
+}
+
+TEST(Histogram, ZeroAndNegativeMixWithPositives) {
+  no::Histogram h;
+  h.record(0.0);
+  h.record(-5.0);
+  h.record(1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  EXPECT_NEAR(h.sum(), -4.0, 1e-12);
+  // Quantiles stay inside the exact envelope even though non-positive
+  // values share the lowest bucket.
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(Histogram, ConcurrentRecordKeepsExactCountAndSum) {
+  no::Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 1; i <= kPerThread; ++i) h.record(1e-6 * i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const double expected_sum =
+      kThreads * (1e-6 * kPerThread * (kPerThread + 1) / 2.0);
+  EXPECT_NEAR(h.sum(), expected_sum, expected_sum * 1e-9);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 1e-6 * kPerThread);
+}
+
 TEST(MetricsRegistry, HistogramJsonSectionOnlyWhenPresent) {
   no::MetricsRegistry reg;
   reg.counter("c").add(1);
@@ -156,6 +221,110 @@ TEST(MetricsRegistry, WriteJsonMatchesToJson) {
   std::stringstream buf;
   buf << in.rdbuf();
   EXPECT_EQ(buf.str(), reg.to_json());
+}
+
+TEST(MetricsRegistry, JsonDoublesAreShortestRoundTrip) {
+  no::MetricsRegistry reg;
+  reg.gauge("tenth").set(0.1);
+  reg.gauge("third").set(1.0 / 3.0);
+  const std::string json = reg.to_json();
+  // std::to_chars shortest form: "0.1", not "0.1000000000000000055511...".
+  EXPECT_NE(json.find("\"tenth\": 0.1"), std::string::npos) << json;
+  EXPECT_EQ(json.find("0.10000000000000000"), std::string::npos) << json;
+  // Round-trip: the emitted text parses back to the exact double.
+  const auto root = northup::testjson::JsonParser(json).parse();
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("third").number, 1.0 / 3.0);
+}
+
+TEST(MetricsRegistry, PrometheusExportTypesAndSanitizesNames) {
+  no::MetricsRegistry reg;
+  reg.counter("bytes_moved.storage->dram").add(42);
+  reg.gauge("sim.makespan_seconds").set(0.5);
+  reg.histogram("svc.latency.e2e").record(0.25);
+  const std::string text = reg.to_prometheus();
+  // "->" and "." are outside [a-zA-Z0-9_:] and must be sanitized.
+  EXPECT_EQ(text.find("->"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE bytes_moved_storage__dram counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("bytes_moved_storage__dram 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sim_makespan_seconds gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("sim_makespan_seconds 0.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE svc_latency_e2e summary"), std::string::npos);
+  EXPECT_NE(text.find("svc_latency_e2e{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("svc_latency_e2e_count 1"), std::string::npos);
+  EXPECT_NE(text.find("svc_latency_e2e_sum 0.25"), std::string::npos);
+}
+
+TEST(MetricsRegistry, WriteJsonReportsTargetPathOnFailure) {
+  no::MetricsRegistry reg;
+  ni::TempDir dir("metrics-unwritable");
+  const std::string path = dir.path() + "/missing/sub/m.json";
+  try {
+    reg.write_json(path);
+    FAIL() << "expected util::Error";
+  } catch (const northup::util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error must name the target path: " << e.what();
+  }
+}
+
+TEST(MetricsRegistry, WritePrometheusReportsTargetPathOnFailure) {
+  no::MetricsRegistry reg;
+  ni::TempDir dir("prom-unwritable");
+  const std::string path = dir.path() + "/missing/sub/m.prom";
+  try {
+    reg.write_prometheus(path);
+    FAIL() << "expected util::Error";
+  } catch (const northup::util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(MetricsSampler, SampleOnceBuildsBoundedSeries) {
+  no::MetricsRegistry reg;
+  no::Gauge& g = reg.gauge("g");
+  no::MetricsSampler sampler(reg, std::chrono::milliseconds(50),
+                             /*max_samples=*/3);
+  for (int i = 1; i <= 5; ++i) {
+    g.set(static_cast<double>(i));
+    sampler.sample_once();
+  }
+  EXPECT_EQ(sampler.sweeps(), 5u);
+  const auto series = sampler.series();
+  ASSERT_EQ(series.count("g"), 1u);
+  const auto& s = series.at("g");
+  ASSERT_EQ(s.size(), 3u);  // bounded: oldest two dropped
+  EXPECT_DOUBLE_EQ(s[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(s[2].value, 5.0);
+  EXPECT_LE(s[0].t_seconds, s[2].t_seconds);
+
+  // to_json parses and carries the series as [t, v] pairs.
+  const auto root = northup::testjson::JsonParser(sampler.to_json()).parse();
+  EXPECT_TRUE(root.has("interval_ms"));
+  const auto& arr = root.at("series").at("g").array;
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[2].array[1].number, 5.0);
+}
+
+TEST(MetricsSampler, BackgroundThreadSamplesAndStops) {
+  no::MetricsRegistry reg;
+  reg.gauge("g").set(1.0);
+  no::MetricsSampler sampler(reg, std::chrono::milliseconds(1));
+  sampler.start();
+  sampler.start();  // idempotent
+  // The run loop samples immediately, then every interval.
+  for (int spin = 0; spin < 200 && sampler.sweeps() < 3; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.stop();
+  sampler.stop();  // idempotent
+  const std::uint64_t after_stop = sampler.sweeps();
+  EXPECT_GE(after_stop, 3u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(sampler.sweeps(), after_stop);  // no samples after stop
 }
 
 namespace {

@@ -1,0 +1,96 @@
+// northup-analyze — offline what-if profiler for flight-recorder runs.
+//
+// Usage:
+//   northup-analyze <run.nulog>                  summary + validation
+//   northup-analyze <run.nulog> --report         full report (critical
+//                                                path + what-if re-cost)
+//   northup-analyze <run.nulog> --trace-out=f    Perfetto-loadable Chrome
+//                                                trace of the measured run
+//   northup-analyze <run.nulog> --whatif         §V-D storage sweep only
+//
+// Produce a .nulog with Runtime::write_event_log(), the --eventlog-out
+// flag on any example/benchmark harness, or EventLog::write_file().
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "northup/analyze/analyze.hpp"
+#include "northup/util/flags.hpp"
+
+namespace na = northup::analyze;
+namespace no = northup::obs;
+namespace nu = northup::util;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <run.nulog> [--report] [--whatif] "
+               "[--trace-out=<file>]\n",
+               prog);
+  return 2;
+}
+
+void print_summary(const no::RecordedRun& run) {
+  const na::Summary s = na::summarize(run);
+  std::printf("events %llu  spans %llu  threads %u  wall %.6f s  dropped %llu\n",
+              static_cast<unsigned long long>(s.events),
+              static_cast<unsigned long long>(s.spans), s.thread_count,
+              s.wall_seconds, static_cast<unsigned long long>(s.dropped));
+  std::printf(
+      "moves %llu (%llu B)  io %llu  compute %llu  cache %llu/%llu  "
+      "retries %llu  breaker %llu  allocs %llu\n",
+      static_cast<unsigned long long>(s.moves),
+      static_cast<unsigned long long>(s.bytes_moved),
+      static_cast<unsigned long long>(s.ios),
+      static_cast<unsigned long long>(s.computes),
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.cache_misses),
+      static_cast<unsigned long long>(s.retries),
+      static_cast<unsigned long long>(s.breaker_transitions),
+      static_cast<unsigned long long>(s.allocs));
+  const na::ValidationReport v = na::validate(run);
+  std::printf("validation: %s\n", v.ok ? "ok" : "PROBLEMS");
+  for (const std::string& p : v.problems) {
+    std::printf("  ! %s\n", p.c_str());
+  }
+}
+
+void print_whatif(const no::RecordedRun& run) {
+  const na::WhatIf w = na::whatif_storage(run);
+  std::printf("what-if storage re-cost: measured io %.6f s of %.6f s total\n",
+              w.measured_io_s, w.measured_total_s);
+  std::printf("  %-16s io %.6f s  overall %.6f s\n", w.identity.label.c_str(),
+              w.identity.io_time, w.identity.overall_time);
+  for (const auto& p : w.sweep) {
+    std::printf("  %-16s io %.6f s  overall %.6f s\n", p.label.c_str(),
+                p.io_time, p.overall_time);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const nu::Flags flags(argc, argv);
+    if (flags.positional().size() != 1) return usage(argv[0]);
+    const no::RecordedRun run = no::EventLog::read_file(flags.positional()[0]);
+
+    if (flags.get_bool("report")) {
+      std::printf("%s", na::report(run).c_str());
+    } else {
+      print_summary(run);
+      if (flags.get_bool("whatif")) print_whatif(run);
+    }
+
+    const std::string trace = flags.get("trace-out");
+    if (!trace.empty()) {
+      na::write_chrome_trace(run, trace);
+      std::printf("wrote Chrome trace to %s\n", trace.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "northup-analyze: %s\n", e.what());
+    return 1;
+  }
+}
