@@ -13,8 +13,11 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <memory>
 
 #include "bench_common.hpp"
+#include "northup/algos/plan.hpp"
+#include "northup/analyze/analyze.hpp"
 
 namespace nb = northup::bench;
 namespace na = northup::algos;
@@ -72,6 +75,43 @@ void report_recorder(nu::TextTable& table, const char* app,
                  nu::TextTable::num(pct, 3) + "%", std::to_string(dropped)});
 }
 
+/// Best-of-`reps` measured critical path (wall clock, from the flight
+/// recorder) of one plan under `threads` pipeline workers. Storage is
+/// paced: reads/writes sleep out their modeled bandwidth cost, so the
+/// recorder sees the simulated storage tier and overlap is measurable.
+double best_critical_path(const nt::PresetOptions& popts,
+                          const na::Plan& plan, std::size_t threads,
+                          int reps = 3) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    nc::RuntimeOptions ropts;
+    ropts.pipeline_threads = threads;
+    ropts.paced_storage = true;
+    nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, popts),
+                   std::move(ropts));
+    plan.run(rt);
+    const double len =
+        northup::analyze::measured_critical_path(rt.event_log()->snapshot())
+            .length_s;
+    if (r == 0 || len < best) best = len;
+  }
+  return best;
+}
+
+/// One row of the pipelining table; returns the pipelined / fork-join
+/// critical-path ratio.
+double report_pipelining(nu::TextTable& table, const char* app,
+                         const nt::PresetOptions& popts,
+                         const na::Plan& plan) {
+  const double fork_join = best_critical_path(popts, plan, 0);
+  const double pipelined = best_critical_path(popts, plan, 3);
+  const double ratio = fork_join > 0.0 ? pipelined / fork_join : 1.0;
+  table.add_row({app, nu::TextTable::num(fork_join * 1e3, 2) + " ms",
+                 nu::TextTable::num(pipelined * 1e3, 2) + " ms",
+                 nu::TextTable::num(ratio, 3) + "x"});
+  return ratio;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,27 +121,18 @@ int main(int argc, char** argv) {
   nu::TextTable table;
   table.set_header(
       {"app", "spawns", "modeled overhead", "real bookkeeping/spawn"});
-  {
-    nc::Runtime rt(nt::apu_two_level(
-        nm::StorageKind::Ssd,
-        nb::gemm_outofcore_options(nm::StorageKind::Ssd)));
-    report(table, nb::kAppNames[0], rt, na::gemm_northup(rt, nb::fig_gemm()));
-    nb::dump_observability(rt, flags, nb::kAppNames[0]);
-  }
-  {
-    nc::Runtime rt(nt::apu_two_level(
-        nm::StorageKind::Ssd,
-        nb::hotspot_outofcore_options(nm::StorageKind::Ssd)));
-    report(table, nb::kAppNames[1], rt,
-           na::hotspot_northup(rt, nb::fig_hotspot()));
-    nb::dump_observability(rt, flags, nb::kAppNames[1]);
-  }
-  {
-    nc::Runtime rt(nt::apu_two_level(
-        nm::StorageKind::Ssd,
-        nb::spmv_outofcore_options(nm::StorageKind::Ssd)));
-    report(table, nb::kAppNames[2], rt, na::spmv_northup(rt, nb::fig_spmv()));
-    nb::dump_observability(rt, flags, nb::kAppNames[2]);
+  // One dispatch signature over the three planners (algos::Plan).
+  const std::unique_ptr<na::Plan> plans[3] = {
+      na::make_plan(nb::fig_gemm()), na::make_plan(nb::fig_hotspot()),
+      na::make_plan(nb::fig_spmv())};
+  const nt::PresetOptions app_options[3] = {
+      nb::gemm_outofcore_options(nm::StorageKind::Ssd),
+      nb::hotspot_outofcore_options(nm::StorageKind::Ssd),
+      nb::spmv_outofcore_options(nm::StorageKind::Ssd)};
+  for (int i = 0; i < 3; ++i) {
+    nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, app_options[i]));
+    report(table, nb::kAppNames[i], rt, plans[i]->run(rt));
+    nb::dump_observability(rt, flags, nb::kAppNames[i]);
   }
   std::printf("%s", table.render().c_str());
   std::printf("\npaper claim: modeled overhead < 1%% for every app\n");
@@ -109,16 +140,49 @@ int main(int argc, char** argv) {
   nb::print_header("Flight-recorder overhead (obs::EventLog on vs off)");
   nu::TextTable rec;
   rec.set_header({"app", "recorder off", "recorder on", "overhead", "dropped"});
-  report_recorder(rec, nb::kAppNames[0],
-                  nb::gemm_outofcore_options(nm::StorageKind::Ssd),
-                  [](nc::Runtime& rt) { na::gemm_northup(rt, nb::fig_gemm()); });
-  report_recorder(
-      rec, nb::kAppNames[1], nb::hotspot_outofcore_options(nm::StorageKind::Ssd),
-      [](nc::Runtime& rt) { na::hotspot_northup(rt, nb::fig_hotspot()); });
-  report_recorder(
-      rec, nb::kAppNames[2], nb::spmv_outofcore_options(nm::StorageKind::Ssd),
-      [](nc::Runtime& rt) { na::spmv_northup(rt, nb::fig_spmv()); });
+  for (int i = 0; i < 3; ++i) {
+    report_recorder(rec, nb::kAppNames[i], app_options[i],
+                    [&](nc::Runtime& rt) { plans[i]->run(rt); });
+  }
   std::printf("%s", rec.render().c_str());
   std::printf("\nclaim: recording stays < 1%% of wall time, zero drops\n");
+
+  nb::print_header(
+      "Pipelined vs fork-join (exec::TaskGraph measured critical path)");
+  nu::TextTable pipe;
+  pipe.set_header({"app", "fork-join", "pipelined", "ratio"});
+  double worst_ratio = 0.0;
+  for (int i = 0; i < 2; ++i) {  // GEMM + HotSpot carry the overlap claim
+    // Throughput-bound paced storage. The paper's testbed ran inputs an
+    // order of magnitude larger, where storage time is a comparable share
+    // of compute; the shrunk functional inputs keep that ratio in virtual
+    // time (proc_flops_scale), and pacing this model restores it on the
+    // wall clock so the overlap win is physically measurable.
+    nt::PresetOptions paced = app_options[i];
+    paced.storage_model = {80e6, 75e6, 100e-6};
+    // Pipelining double-buffers the next window's blocks, so the planners
+    // halve their staging budget under pipeline_threads > 0. Doubling the
+    // staging tier here makes both modes pick the *same* block size — the
+    // row then isolates overlap instead of comparing different chunkings.
+    paced.staging_capacity *= 2;
+    worst_ratio = std::max(
+        worst_ratio,
+        report_pipelining(pipe, nb::kAppNames[i], paced, *plans[i]));
+  }
+  std::printf("%s", pipe.render().c_str());
+  std::printf(
+      "\nclaim: pipelining shrinks the measured critical path toward "
+      "max(compute, transfer)\n");
+  if (flags.has("pipeline-check")) {
+    // CI smoke gate: the async path must not regress past fork-join.
+    if (worst_ratio >= 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: pipelined critical path regressed past the "
+                   "fork-join baseline (worst ratio %.3f >= 1.0)\n",
+                   worst_ratio);
+      return 1;
+    }
+    std::printf("pipeline-check OK: worst ratio %.3f < 1.0\n", worst_ratio);
+  }
   return 0;
 }

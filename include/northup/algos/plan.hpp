@@ -1,0 +1,52 @@
+// algos::Plan — one dispatch signature over the case-study planners.
+//
+// Every out-of-core program (GEMM, HotSpot, SpMV) used to be its own
+// ad-hoc `*_northup(Runtime&, Config)` free function, so each caller — the
+// job service, the benches — grew a per-algorithm dispatch switch. A Plan
+// captures the configuration once; `run()` executes the full program
+// (input setup, the measured continuation-DAG run, verification) and
+// `build()` exposes the same program as a node of a caller-owned
+// exec::TaskGraph whose completion future carries the RunStats, so whole
+// programs compose with the same dependency machinery their chunks use.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "northup/algos/csr_adaptive.hpp"
+#include "northup/algos/gemm.hpp"
+#include "northup/algos/hotspot.hpp"
+#include "northup/core/runtime.hpp"
+#include "northup/exec/future.hpp"
+#include "northup/exec/task_graph.hpp"
+
+namespace northup::algos {
+
+class Plan {
+ public:
+  virtual ~Plan() = default;
+
+  /// Planner name ("gemm", "hotspot", "spmv") for logs and reports.
+  virtual std::string name() const = 0;
+
+  /// Runs the full program on `rt`: input allocation and §V-B
+  /// preprocessing, the measured run (a continuation DAG — pipelined when
+  /// the runtime has pipeline threads, inline otherwise), verification.
+  virtual RunStats run(core::Runtime& rt) const = 0;
+
+  /// Futures-based dispatch: schedules run() as one node of `graph`
+  /// (caller-owned, e.g. a service draining a queue of plans) behind
+  /// `deps`, and returns the stats future. Cancellation and upstream
+  /// failure complete the future with CancelledError / DependencyError.
+  /// The plan and `rt` must outlive the graph.
+  exec::Future<RunStats> build(core::Runtime& rt, exec::TaskGraph& graph,
+                               std::vector<exec::TaskHandle> deps = {}) const;
+};
+
+/// Concrete plans bind one config each.
+std::unique_ptr<Plan> make_plan(GemmConfig config);
+std::unique_ptr<Plan> make_plan(HotspotConfig config);
+std::unique_ptr<Plan> make_plan(SpmvConfig config);
+
+}  // namespace northup::algos

@@ -8,6 +8,7 @@
 // sheds LRU cached shards instead of throwing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -45,8 +46,12 @@ class BufferPool {
 
   std::uint64_t bytes_in_use() const;
   std::uint64_t capacity() const;
-  std::uint64_t pinned_bytes() const { return pinned_bytes_; }
-  std::uint64_t high_water() const { return high_water_; }
+  std::uint64_t pinned_bytes() const {
+    return pinned_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
 
   /// Folds the node's current usage into the high-water mark; called by
   /// the cache manager after every allocation on this node.
@@ -56,8 +61,10 @@ class BufferPool {
   data::DataManager& dm_;
   topo::NodeId node_;
   std::function<bool()> evict_one_;
-  std::uint64_t pinned_bytes_ = 0;
-  std::uint64_t high_water_ = 0;
+  // Atomic so planner threads can poll usage while the cache manager's
+  // lock serializes mutation paths.
+  std::atomic<std::uint64_t> pinned_bytes_{0};
+  std::atomic<std::uint64_t> high_water_{0};
   obs::Gauge* high_water_gauge_ = nullptr;
 };
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "northup/cache/buffer_pool.hpp"
 #include "northup/cache/shard_cache.hpp"
@@ -19,6 +20,12 @@ struct CacheOptions {
   double hit_time_s = 0.0;  ///< modeled lookup cost per cache hit
 };
 
+/// Thread-safe: one coarse recursive lock serializes every cache-layer
+/// operation (acquire/release/coherence/eviction). Recursive because an
+/// acquire's miss path re-enters make_room via DataManager::alloc, and
+/// its fill copy re-enters on_written via notify_written. Same-node cache
+/// traffic serializes; the overlap that matters (download vs compute vs
+/// upload, which run outside this lock) is unaffected.
 class CacheManager final : public data::CacheBackend {
  public:
   using Options = CacheOptions;
@@ -53,6 +60,7 @@ class CacheManager final : public data::CacheBackend {
   void note_alloc(topo::NodeId node) override;
 
  private:
+  mutable std::recursive_mutex mu_;
   data::DataManager& dm_;
   Options options_;
   std::map<topo::NodeId, std::unique_ptr<BufferPool>> pools_;

@@ -9,17 +9,21 @@
 // preset, or parsed from a config file).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "northup/cache/cache_manager.hpp"
 #include "northup/data/data_manager.hpp"
+#include "northup/data/scoped_buffer.hpp"
 #include "northup/device/processor.hpp"
+#include "northup/exec/task_graph.hpp"
 #include "northup/io/posix_file.hpp"
 #include "northup/obs/event_log.hpp"
 #include "northup/obs/metrics.hpp"
@@ -47,6 +51,24 @@ struct RuntimeOptions {
   /// pool with this many threads (functional parallelism on the host;
   /// virtual timing is unchanged). 0 = serial, deterministic default.
   std::size_t parallel_leaf_threads = 0;
+  /// When > 0, each run()'s task DAG executes on a dedicated
+  /// work-stealing pool with this many threads: independent moves,
+  /// kernel launches, and cache ops overlap on the wall clock, which is
+  /// what lets a planner pipeline chunk k+1's download under chunk k's
+  /// compute. 0 = inline mode: every DAG node runs synchronously at
+  /// submission, in program order — the deterministic legacy fork-join
+  /// behavior (results are bit-identical to the blocking API).
+  std::size_t pipeline_threads = 0;
+  /// Pace file-backed storage on the wall clock: every pread/pwrite
+  /// sleeps out whatever remains of its modeled bandwidth cost
+  /// (mem::Storage::set_paced), so the flight recorder measures the
+  /// *simulated* storage tier instead of the host filesystem. This is
+  /// what makes transfer/compute overlap physically observable — the
+  /// pipelining benchmarks enable it so the measured critical path of a
+  /// pipelined run can actually shrink below the fork-join baseline.
+  /// Virtual timing (EventSim) is unchanged. Off by default: functional
+  /// tests should run at host speed.
+  bool paced_storage = false;
   /// Attach a cache::CacheManager: per-node BufferPools with LRU eviction
   /// plus content-keyed ShardCaches behind move_data_down_cached. Off means
   /// the cached download API is unavailable (has_shard_cache == false) and
@@ -169,11 +191,20 @@ class Runtime {
   /// instead of at the storage root (§V-B).
   void run_from(topo::NodeId node, const std::function<void(ExecContext&)>& fn);
 
+  /// The task DAG of the run currently executing (null outside run()).
+  /// Planners normally reach it through ExecContext::graph().
+  exec::TaskGraph* current_graph() { return graph_; }
+
+  /// The pool behind pipelined runs, or null when pipeline_threads == 0.
+  sched::WorkStealingPool* exec_pool() { return exec_pool_.get(); }
+
   /// Virtual makespan accumulated so far (0 when sim is disabled).
   double makespan() const;
 
   /// Total recursive spawns executed (runtime-overhead accounting, §V-B).
-  std::uint64_t spawn_count() const { return spawn_count_; }
+  std::uint64_t spawn_count() const {
+    return spawn_count_.load(std::memory_order_relaxed);
+  }
 
   /// Wall-clock seconds this process actually spent inside runtime
   /// bookkeeping (queue ops, tree lookups around spawns).
@@ -217,7 +248,14 @@ class Runtime {
   std::map<topo::NodeId, std::vector<std::unique_ptr<device::Processor>>>
       processors_;
   std::unique_ptr<sched::WorkStealingPool> leaf_pool_;
-  std::uint64_t spawn_count_ = 0;
+  /// Workers behind pipelined runs (null when pipeline_threads == 0);
+  /// every run()'s TaskGraph dispatches onto this pool.
+  std::unique_ptr<sched::WorkStealingPool> exec_pool_;
+  /// The DAG of the run in flight; set/cleared by run_from (runs are not
+  /// reentrant). The graph itself lives on run_from's stack.
+  exec::TaskGraph* graph_ = nullptr;
+  std::mutex spawn_mu_;  ///< serializes spawn bookkeeping (queue + timer)
+  std::atomic<std::uint64_t> spawn_count_{0};
   util::AccumulatingTimer bookkeeping_;
 };
 
@@ -290,6 +328,101 @@ class ExecContext {
   /// its bookkeeping cost, and execution is synchronous and deterministic.
   void northup_spawn(topo::NodeId child_node,
                      const std::function<void(ExecContext&)>& fn);
+
+  // --- Asynchronous continuation-DAG API (northup::exec). -----------------
+  //
+  // Each call adds one node to the run's TaskGraph and returns a future
+  // whose task() handle feeds later calls' dependency lists. With
+  // RuntimeOptions::pipeline_threads == 0 nodes execute inline at
+  // submission (program order, bit-identical to the blocking calls); with
+  // a pool, independent nodes overlap — downloads, kernels, and uploads
+  // of different chunks pipeline. Node bodies run on worker threads, so
+  // anything they reference by pointer/reference (the run lambda's
+  // buffers, the runtime) must stay alive until the future completes;
+  // Runtime::run joins the whole graph before returning.
+
+  /// This run's task DAG. Only valid inside Runtime::run/run_from.
+  exec::TaskGraph& graph();
+
+  /// True when this run's DAG executes on a worker pool
+  /// (RuntimeOptions::pipeline_threads > 0), i.e. submitted nodes overlap.
+  bool pipelined() const;
+
+  /// Generic DAG node: runs `fn` after `deps` complete.
+  exec::Future<exec::Unit> submit(std::function<void()> fn,
+                                  std::vector<exec::TaskHandle> deps = {});
+
+  /// Async move_data_down: claims a staging buffer of
+  /// spec.dst_offset + spec.size bytes on `dst_node` NOW (capacity
+  /// decisions and buffer identity stay deterministic on the submitting
+  /// thread — a full child level throws CapacityError here, where the
+  /// planner can shrink its chunks), then copies in the DAG node. The
+  /// future carries ownership of the staged buffer; a dependent node that
+  /// lists task() in its deps may get() it without blocking.
+  exec::Future<data::ScopedBuffer> move_down_async(
+      const data::Buffer& src, topo::NodeId dst_node, data::CopySpec spec,
+      std::vector<exec::TaskHandle> deps = {});
+
+  /// Async content-keyed download (DataManager::move_data_down_cached).
+  /// Unlike move_down_async the acquisition runs inside the node — a hit
+  /// pins the resident shard, a miss fills it — under the cache lock.
+  exec::Future<data::ScopedShard> move_down_cached_async(
+      const data::Buffer& src, topo::NodeId child, std::uint64_t size,
+      std::uint64_t src_offset = 0, std::vector<exec::TaskHandle> deps = {});
+
+  /// Async move_data_up: takes ownership of the staged source at
+  /// submission and releases it the moment the upload lands, so the
+  /// staging slot frees exactly when a blocking planner would free it.
+  /// `dst` is captured by reference and must outlive the run.
+  /// spec.size == 0 means "the whole source buffer".
+  exec::Future<exec::Unit> move_up_async(data::Buffer& dst,
+                                         data::ScopedBuffer src,
+                                         data::CopySpec spec,
+                                         std::vector<exec::TaskHandle> deps = {});
+
+  /// Async recursive descent: a DAG node that northup_spawns `fn` onto
+  /// `child_node` (same queue bookkeeping and spawn span as the blocking
+  /// form). The chunk body runs on a worker thread; blocking DataManager
+  /// calls inside it are fine — that is how compute overlaps the
+  /// top-level pipeline's moves.
+  exec::Future<exec::Unit> run_async(topo::NodeId child_node,
+                                     std::function<void(ExecContext&)> fn,
+                                     std::vector<exec::TaskHandle> deps = {});
+
+  /// Async kernel launch on `proc` after `deps` (plus any EventSim-level
+  /// `sim_deps`, e.g. the ready tasks of buffers the kernel reads).
+  exec::Future<exec::Unit> launch_async(device::Processor& proc,
+                                        std::string label,
+                                        std::uint32_t num_groups,
+                                        device::KernelFn kernel,
+                                        device::KernelCost cost,
+                                        std::vector<sim::TaskId> sim_deps = {},
+                                        std::vector<exec::TaskHandle> deps = {});
+
+  // --- Blocking wrappers (deprecated migration shims). --------------------
+  //
+  // Each builds one DAG node and waits on it — exactly the async call
+  // followed by get(). They exist so call sites can move to the exec
+  // surface one line at a time; new code should use the *_async forms and
+  // chain dependencies instead of blocking between operations.
+
+  [[deprecated(
+      "blocking shim over a one-node graph; use move_down_async and pass "
+      "the future's task() into the consumer's dependency list")]]
+  data::ScopedBuffer move_down(const data::Buffer& src, topo::NodeId dst_node,
+                               data::CopySpec spec);
+
+  [[deprecated(
+      "blocking shim over a one-node graph; use move_up_async and chain "
+      "the next download on the returned future's task()")]]
+  void move_up(data::Buffer& dst, data::ScopedBuffer src, data::CopySpec spec);
+
+  [[deprecated(
+      "blocking shim over a one-node graph; use launch_async with the "
+      "input buffers' tasks as dependencies")]]
+  void launch(device::Processor& proc, const std::string& label,
+              std::uint32_t num_groups, const device::KernelFn& kernel,
+              const device::KernelCost& cost);
 
  private:
   friend class Runtime;

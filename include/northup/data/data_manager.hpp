@@ -17,9 +17,11 @@
 // the intermediate level exactly as hardware would.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -237,7 +239,9 @@ class DataManager {
   void set_setup_costs(const SetupCostModel& costs) { setup_costs_ = costs; }
 
   /// Total bytes moved through move_data*/move_block_2d since construction.
-  std::uint64_t bytes_moved() const { return bytes_moved_; }
+  std::uint64_t bytes_moved() const {
+    return bytes_moved_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Leg {
@@ -296,9 +300,10 @@ class DataManager {
   sim::EventSim* sim_;
   SetupCostModel setup_costs_;
   std::map<topo::NodeId, std::unique_ptr<mem::Storage>> storages_;
+  mutable std::mutex resources_mu_;  ///< lazy resource_for registration
   std::map<topo::NodeId, sim::ResourceId> resources_;
-  std::uint64_t bytes_moved_ = 0;
-  std::uint64_t next_buffer_id_ = 1;
+  std::atomic<std::uint64_t> bytes_moved_{0};
+  std::atomic<std::uint64_t> next_buffer_id_{1};
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::EventLog* elog_ = nullptr;
   std::uint32_t elog_io_phase_ = 0;        ///< interned "io"

@@ -80,4 +80,62 @@ class ScopedBuffer {
   Buffer buffer_;
 };
 
+/// Move-only owner of a pinned shard from a cached download
+/// (DataManager::move_data_down_cached); unpins via release_cached on
+/// destruction. The shard's storage stays owned by the cache — this type
+/// only scopes the pin. Call set_dirty() before release to request
+/// writeback of the shard to its source region.
+class ScopedShard {
+ public:
+  ScopedShard() = default;
+
+  /// Adopts a pinned shard returned by a cached download.
+  ScopedShard(DataManager& dm, Buffer* shard) : dm_(&dm), shard_(shard) {}
+
+  ScopedShard(ScopedShard&& other) noexcept
+      : dm_(std::exchange(other.dm_, nullptr)),
+        shard_(std::exchange(other.shard_, nullptr)),
+        dirty_(std::exchange(other.dirty_, false)) {}
+
+  ScopedShard& operator=(ScopedShard&& other) noexcept {
+    if (this != &other) {
+      reset();
+      dm_ = std::exchange(other.dm_, nullptr);
+      shard_ = std::exchange(other.shard_, nullptr);
+      dirty_ = std::exchange(other.dirty_, false);
+    }
+    return *this;
+  }
+
+  ScopedShard(const ScopedShard&) = delete;
+  ScopedShard& operator=(const ScopedShard&) = delete;
+
+  ~ScopedShard() { reset(); }
+
+  /// Unpins the shard now (idempotent), honoring set_dirty().
+  void reset() {
+    if (dm_ != nullptr && shard_ != nullptr) dm_->release_cached(shard_, dirty_);
+    dm_ = nullptr;
+    shard_ = nullptr;
+    dirty_ = false;
+  }
+
+  /// Requests writeback of the shard on release/eviction.
+  void set_dirty(bool dirty = true) { dirty_ = dirty; }
+
+  Buffer* get() { return shard_; }
+  const Buffer* get() const { return shard_; }
+  Buffer& operator*() { return *shard_; }
+  const Buffer& operator*() const { return *shard_; }
+  Buffer* operator->() { return shard_; }
+  const Buffer* operator->() const { return shard_; }
+
+  bool valid() const { return shard_ != nullptr; }
+
+ private:
+  DataManager* dm_ = nullptr;
+  Buffer* shard_ = nullptr;
+  bool dirty_ = false;
+};
+
 }  // namespace northup::data

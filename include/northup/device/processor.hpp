@@ -12,8 +12,10 @@
 // hardware utilization" (§V-B).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -95,7 +97,9 @@ class Processor {
                         const KernelCost& cost) const;
 
   /// Number of kernels launched so far (for the <1% overhead accounting).
-  std::uint64_t launch_count() const { return launch_count_; }
+  std::uint64_t launch_count() const {
+    return launch_count_.load(std::memory_order_relaxed);
+  }
 
   /// Executes workgroups on `pool` instead of serially on the calling
   /// thread. Workgroups are independent on real hardware, so kernels must
@@ -123,7 +127,11 @@ class Processor {
   sim::EventSim* sim_;
   sim::ResourceId resource_ = 0;
   util::AlignedBuffer local_mem_;
-  std::uint64_t launch_count_ = 0;
+  /// One kernel at a time per processor, as on hardware: concurrent
+  /// launch() calls from exec::TaskGraph workers serialize here (the
+  /// serial functional pass shares the local_mem_ arena).
+  std::mutex launch_mu_;
+  std::atomic<std::uint64_t> launch_count_{0};
   sched::WorkStealingPool* pool_ = nullptr;
   obs::EventLog* elog_ = nullptr;
   std::uint32_t elog_node_ = obs::kNoNode;

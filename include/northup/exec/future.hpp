@@ -1,0 +1,232 @@
+// Futures for the asynchronous continuation-DAG executor (northup::exec).
+//
+// A Future<T> is the completion handle of one exec::TaskGraph node (or of
+// a continuation chained with then()). Unlike std::future it carries the
+// producing node's TaskHandle, so planners can feed one operation's
+// completion into another operation's dependency list without touching
+// the value — that is how "chunk k+1's download depends on chunk k-1's
+// compute having vacated the staging slot" is expressed.
+//
+// Completion model: a Promise<T> fulfills the shared state exactly once
+// (value or exception); continuations registered with then() run inline
+// on the completing thread, with upstream errors propagated past the
+// continuation body (the body is skipped, its future carries the error).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::exec {
+
+class TaskGraph;
+
+inline constexpr std::uint32_t kInvalidTaskNode = 0xffffffffu;
+
+/// Identifies one node of one TaskGraph. Used in dependency lists; an
+/// invalid handle in a dependency list is ignored (convenient for "the
+/// previous iteration's task" on the first iteration).
+struct TaskHandle {
+  TaskGraph* graph = nullptr;
+  std::uint32_t node = kInvalidTaskNode;
+
+  bool valid() const { return graph != nullptr && node != kInvalidTaskNode; }
+};
+
+/// Value type of futures that carry completion only (move_up, launches).
+struct Unit {};
+
+/// Raised through a Future when its producing task was cancelled before
+/// it ran (TaskGraph::cancel, e.g. on job cancellation).
+class CancelledError : public util::Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised through a Future when an upstream dependency failed, poisoning
+/// this task before it could run. The root cause travels through the
+/// failing task's own future.
+class DependencyError : public util::Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+/// Shared completion state of one Future/Promise pair.
+template <typename T>
+struct SharedState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::optional<T> value;
+  std::exception_ptr error;
+  /// Run exactly once, after done flips, outside the lock.
+  std::vector<std::function<void(SharedState&)>> continuations;
+
+  void complete_value(T v) {
+    std::vector<std::function<void(SharedState&)>> conts;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      NU_CHECK(!done, "exec::Promise fulfilled twice");
+      value.emplace(std::move(v));
+      done = true;
+      conts.swap(continuations);
+      cv.notify_all();
+    }
+    for (auto& c : conts) c(*this);
+  }
+
+  void complete_error(std::exception_ptr e) {
+    std::vector<std::function<void(SharedState&)>> conts;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      NU_CHECK(!done, "exec::Promise fulfilled twice");
+      error = std::move(e);
+      done = true;
+      conts.swap(continuations);
+      cv.notify_all();
+    }
+    for (auto& c : conts) c(*this);
+  }
+
+  /// Registers `c`, or runs it inline when already complete.
+  void add_continuation(std::function<void(SharedState&)> c) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!done) {
+        continuations.push_back(std::move(c));
+        return;
+      }
+    }
+    c(*this);
+  }
+};
+
+}  // namespace detail
+
+template <typename T>
+class Future;
+
+/// Producer side: fulfills the shared state exactly once. Copyable so a
+/// task body (std::function requires copyability) can own it.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<detail::SharedState<T>>()) {}
+
+  Future<T> future(TaskHandle task = {}) const;
+
+  void set_value(T value) const { state_->complete_value(std::move(value)); }
+  void set_exception(std::exception_ptr e) const {
+    state_->complete_error(std::move(e));
+  }
+  bool fulfilled() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+/// Consumer side. Copyable (shared state); get() consumes the value (one
+/// consumer moves it out — later get() calls on a moved-from value are a
+/// checked error), wait()/ready() are free for any holder.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// The producing TaskGraph node (invalid for then()-continuations and
+  /// default-constructed futures). Feed this into dependency lists.
+  TaskHandle task() const { return task_; }
+
+  bool ready() const {
+    NU_CHECK(valid(), "ready() on an empty exec::Future");
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+  void wait() const {
+    NU_CHECK(valid(), "wait() on an empty exec::Future");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+
+  /// Waits, rethrows the task's error if it failed, and moves the value
+  /// out (single consumption).
+  T get() {
+    NU_CHECK(valid(), "get() on an empty exec::Future");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    if (state_->error) std::rethrow_exception(state_->error);
+    NU_CHECK(state_->value.has_value(),
+             "exec::Future value already consumed");
+    T out = std::move(*state_->value);
+    state_->value.reset();
+    return out;
+  }
+
+  /// Requests cancellation of the producing task (no-op if it already
+  /// started, or for continuation futures). Defined in task_graph.hpp.
+  void cancel();
+
+  /// Chains `fn` to run inline on the completing thread with the value.
+  /// Upstream errors skip `fn` and propagate into the returned future;
+  /// an exception thrown by `fn` is captured the same way. `fn` takes
+  /// `T&` (the upstream value stays owned by the upstream state unless
+  /// `fn` moves from it).
+  template <typename Fn>
+  auto then(Fn fn) -> Future<std::conditional_t<
+      std::is_void_v<std::invoke_result_t<Fn, T&>>, Unit,
+      std::invoke_result_t<Fn, T&>>> {
+    NU_CHECK(valid(), "then() on an empty exec::Future");
+    using R = std::invoke_result_t<Fn, T&>;
+    using U = std::conditional_t<std::is_void_v<R>, Unit, R>;
+    Promise<U> next;
+    state_->add_continuation(
+        [next, fn = std::move(fn)](detail::SharedState<T>& s) mutable {
+          if (s.error) {
+            next.set_exception(s.error);
+            return;
+          }
+          try {
+            if constexpr (std::is_void_v<R>) {
+              fn(*s.value);
+              next.set_value(Unit{});
+            } else {
+              next.set_value(fn(*s.value));
+            }
+          } catch (...) {
+            next.set_exception(std::current_exception());
+          }
+        });
+    return next.future();
+  }
+
+ private:
+  friend class Promise<T>;
+  Future(std::shared_ptr<detail::SharedState<T>> state, TaskHandle task)
+      : state_(std::move(state)), task_(task) {}
+
+  std::shared_ptr<detail::SharedState<T>> state_;
+  TaskHandle task_;
+};
+
+template <typename T>
+Future<T> Promise<T>::future(TaskHandle task) const {
+  return Future<T>(state_, task);
+}
+
+}  // namespace northup::exec

@@ -1,0 +1,42 @@
+// In-order task stream over an exec::TaskGraph (CUDA-stream-style
+// convenience): every submitted body depends on the previously submitted
+// one, so a Stream serializes its own work while still overlapping with
+// other streams and loose nodes of the same graph.
+#pragma once
+
+#include <utility>
+
+#include "northup/exec/task_graph.hpp"
+
+namespace northup::exec {
+
+class Stream {
+ public:
+  /// The graph must outlive the stream.
+  explicit Stream(TaskGraph& graph) : graph_(&graph) {}
+
+  /// Adds `body` behind everything previously submitted to this stream
+  /// (plus `extra_deps`, e.g. a node from another stream to rendezvous
+  /// with). Returns the new node's handle.
+  TaskHandle submit(TaskGraph::Body body,
+                    std::vector<TaskHandle> extra_deps = {}) {
+    extra_deps.push_back(last_);  // invalid on the first submit; skipped
+    last_ = graph_->add(std::move(body), std::move(extra_deps));
+    return last_;
+  }
+
+  /// Handle of the most recently submitted node (invalid when empty);
+  /// use as a dependency to order other work behind this stream.
+  TaskHandle last() const { return last_; }
+
+  /// Waits until everything submitted so far has finished.
+  void wait() {
+    if (last_.valid()) graph_->wait(last_);
+  }
+
+ private:
+  TaskGraph* graph_;
+  TaskHandle last_{};
+};
+
+}  // namespace northup::exec

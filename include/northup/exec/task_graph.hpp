@@ -1,0 +1,200 @@
+// Asynchronous continuation DAG over the work-stealing pool (the exec
+// subsystem's engine, ISSUE 6 tentpole).
+//
+// Nodes are data moves, kernel launches, and cache ops; edges are data
+// dependencies. Submission is eager and acyclic by construction — a
+// dependency must name an already-added node, mirroring sim::EventSim's
+// single-pass discipline — and a completed node schedules its ready
+// dependents onto the sched::WorkStealingPool.
+//
+// Two execution modes, chosen by the pool pointer:
+//   * pool == nullptr (inline): a node runs synchronously on the thread
+//     that made it ready — add() of a node with satisfied dependencies
+//     executes it before returning. This is the deterministic mode behind
+//     the blocking one-node-graph wrappers: program order is preserved
+//     exactly, so legacy fork-join behavior is unchanged.
+//   * pool != nullptr (async): ready nodes are submitted to the pool and
+//     run concurrently; wait()/wait_all() join.
+//
+// Failure model: a body that throws marks its node failed, and every
+// transitive dependent runs with RunStatus::kDepFailed (bodies typically
+// complete their exec::Promise with the matching error and return).
+// cancel() makes every not-yet-started node run with kCancelled.
+//
+// Observability: each node captures the submitting thread's causal span
+// (obs::EventLog::Context) at add() time and, when it has dependencies,
+// adopts the span of its last-finishing dependency instead — span parents
+// follow DAG edges, so northup-analyze's critical-path walk descends
+// through the actual dependency chain of a pipelined run.
+//
+// Retry backoff: a body may throw BackoffYield (the resil layer does this
+// when it would otherwise sleep a worker thread mid-backoff). The node is
+// then re-armed on a timer and re-runs after the delay; per-node resume
+// state (current_resume_slot) lets the retry loop continue from the
+// attempt it yielded at.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "northup/exec/future.hpp"
+#include "northup/obs/event_log.hpp"
+#include "northup/sched/pool.hpp"
+
+namespace northup::exec {
+
+/// Why a node's body is being invoked.
+enum class RunStatus : std::uint8_t {
+  kOk = 0,         ///< all dependencies succeeded
+  kDepFailed = 1,  ///< an upstream task failed; complete promises with errors
+  kCancelled = 2,  ///< the graph (or this node) was cancelled before it ran
+};
+
+/// Thrown out of a task body to release the worker during a retry
+/// backoff; the graph re-arms the same node `delay_s` later instead of
+/// letting the thread sleep. Only meaningful under a pool-backed graph —
+/// check TaskGraph::current_can_yield() before throwing.
+struct BackoffYield {
+  double delay_s = 0.0;
+};
+
+class TaskGraph {
+ public:
+  /// Body of one node. Must not block on futures of later-added nodes.
+  /// A body observing a non-kOk status should complete its promises with
+  /// the matching error and return; the node still poisons dependents.
+  using Body = std::function<void(RunStatus)>;
+
+  /// `pool` may be null (inline mode, see header comment). The pool must
+  /// outlive the graph.
+  explicit TaskGraph(sched::WorkStealingPool* pool = nullptr);
+
+  /// Waits for every outstanding node (including timer-armed retries).
+  ~TaskGraph();
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  sched::WorkStealingPool* pool() const { return pool_; }
+
+  /// True when nodes run on pool workers (overlap possible); false in
+  /// the deterministic inline mode.
+  bool is_async() const { return pool_ != nullptr; }
+
+  /// Adds a node depending on `deps` (invalid handles and handles into
+  /// other graphs are rejected; invalid == default TaskHandle is skipped,
+  /// so "previous iteration" handles need no first-iteration special
+  /// case). In inline mode the node executes before add() returns.
+  TaskHandle add(Body body, std::vector<TaskHandle> deps = {});
+
+  /// Waits until `task` has finished (done, failed, or cancelled).
+  void wait(TaskHandle task);
+
+  /// Waits until every added node has finished.
+  void wait_all();
+
+  /// Marks every not-yet-started node cancelled: each still runs (so its
+  /// promises complete), but with RunStatus::kCancelled.
+  void cancel();
+
+  /// Cancels one not-yet-started node (Future<T>::cancel routes here).
+  void cancel_node(std::uint32_t node);
+
+  std::size_t task_count() const;
+
+  /// First genuine body failure of the run (nullptr when none): a node
+  /// whose dependencies were satisfied yet whose body threw. Dependency
+  /// poisoning and cancellations are downstream symptoms and are not
+  /// recorded — only the root cause. Runtime::run_from rethrows this
+  /// after the graph drains, so a failed node fails the run just as a
+  /// throwing blocking call failed the legacy run.
+  std::exception_ptr first_error() const;
+
+  // --- Worker-context queries (resil BackoffYield support) ---------------
+
+  /// Keyed state a node body parks across BackoffYield re-arms: a body
+  /// re-executes from its start after the delay, and each resumable step
+  /// inside it (keyed by its op label) finds its progress here.
+  struct ResumeState {
+    std::map<std::string, std::shared_ptr<void>> slots;
+  };
+
+  /// True when the calling thread is inside a node body of a pool-backed
+  /// graph, i.e. throwing BackoffYield will re-arm instead of crash.
+  static bool current_can_yield();
+
+  /// The running node's resume state, created on first use (the resil
+  /// retry loop parks its attempt counter here). Null when the calling
+  /// thread is not running a node.
+  static ResumeState* current_resume();
+
+ private:
+  struct Node {
+    Body body;
+    std::vector<std::uint32_t> dependents;
+    std::uint32_t pending = 0;
+    bool started = false;
+    bool done = false;
+    bool failed = false;
+    bool poisoned = false;   ///< an upstream node failed
+    bool cancelled = false;
+    obs::EventLog::Context build_ctx;  ///< submitting thread's span
+    obs::EventLog::Context ready_ctx;  ///< last-finishing dependency's span
+    bool has_ready_ctx = false;
+    std::shared_ptr<ResumeState> resume_state;  ///< survives BackoffYield
+  };
+
+  void run_node(std::uint32_t idx);
+  /// Marks `idx` finished and collects newly ready dependents.
+  void finish_node(std::uint32_t idx, bool failed,
+                   const obs::EventLog::Context& ran_under);
+  void dispatch(const std::vector<std::uint32_t>& ready);
+  void arm_timer(std::uint32_t idx, double delay_s);
+  void timer_loop();
+
+  sched::WorkStealingPool* pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Node> nodes_;  ///< deque: stable addresses while growing
+  std::size_t outstanding_ = 0;
+  bool cancelled_ = false;
+  std::exception_ptr first_error_;
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::multimap<std::chrono::steady_clock::time_point, std::uint32_t> timed_;
+  std::thread timer_thread_;  ///< lazily started on the first arm
+  bool timer_stop_ = false;
+};
+
+/// Disables BackoffYield for the current thread while in scope. Node
+/// bodies that are not safe to re-run from the top (a spawned chunk would
+/// re-spawn; a cache acquisition would re-acquire mid-fill) wrap their
+/// work in this so a retry backoff inside them sleeps instead of
+/// yielding the worker.
+class YieldInhibitScope {
+ public:
+  YieldInhibitScope();
+  ~YieldInhibitScope();
+  YieldInhibitScope(const YieldInhibitScope&) = delete;
+  YieldInhibitScope& operator=(const YieldInhibitScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+template <typename T>
+inline void Future<T>::cancel() {
+  if (task_.valid()) task_.graph->cancel_node(task_.node);
+}
+
+}  // namespace northup::exec

@@ -12,9 +12,12 @@
 // chunk sizes that fit the child level (§III-C).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -72,6 +75,13 @@ struct StorageStats {
 };
 
 /// Abstract storage node backend.
+///
+/// Thread-safe: accounting (capacity, stats, trace) is guarded by an
+/// internal mutex and alloc/release serialize, but the byte copies behind
+/// read()/write() run outside that lock — concurrent accesses to one node
+/// overlap on the wall clock (each node models an engine with real
+/// parallel channels; the EventSim still serializes its *virtual* time
+/// per resource). trace() is only safe to read when the node is quiescent.
 class Storage {
  public:
   Storage(std::string name, StorageKind kind, std::uint64_t capacity,
@@ -83,10 +93,25 @@ class Storage {
   const std::string& name() const { return name_; }
   StorageKind kind() const { return kind_; }
   std::uint64_t capacity() const { return capacity_; }
-  std::uint64_t used() const { return used_; }
-  std::uint64_t available() const { return capacity_ - used_; }
+  std::uint64_t used() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t available() const { return capacity_ - used(); }
   const sim::BandwidthModel& model() const { return model_; }
   void set_model(const sim::BandwidthModel& model) { model_ = model; }
+
+  /// Paced mode emulates the bandwidth model on the wall clock: every
+  /// read()/write() sleeps out whatever remains of the modeled access
+  /// cost after the real copy. With pacing on, the flight recorder (and
+  /// the measured critical path) reflect the *simulated* machine, so
+  /// transfer/compute overlap is physically observable instead of only
+  /// appearing in virtual time. Set before the node is accessed
+  /// concurrently; each access paces independently (the node models an
+  /// engine with parallel channels, same as the locking contract above).
+  void set_paced(bool paced) {
+    paced_.store(paced, std::memory_order_relaxed);
+  }
+  bool paced() const { return paced_.load(std::memory_order_relaxed); }
 
   /// Allocates `size` bytes; throws util::CapacityError when the node is
   /// full (callers use this to size their chunking).
@@ -111,8 +136,15 @@ class Storage {
     return model_.write_time(bytes);
   }
 
-  const StorageStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; trace_.clear(); }
+  StorageStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void reset_stats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = {};
+    trace_.clear();
+  }
 
   /// When enabled, every read/write is appended to trace() — the input to
   /// the §V-D faster-storage projection.
@@ -134,11 +166,17 @@ class Storage {
                         const void* src, std::uint64_t size) = 0;
 
  private:
+  /// Sleeps until `deadline` when pacing is enabled and the real access
+  /// finished early. No-op otherwise.
+  void pace_until(std::chrono::steady_clock::time_point deadline) const;
+
   std::string name_;
   StorageKind kind_;
   std::uint64_t capacity_;
-  std::uint64_t used_ = 0;
+  std::atomic<std::uint64_t> used_{0};
+  std::atomic<bool> paced_{false};
   sim::BandwidthModel model_;
+  mutable std::mutex mu_;  ///< guards stats_, trace_, metrics_, alloc/release
   StorageStats stats_;
   bool trace_enabled_ = false;
   std::vector<IoRecord> trace_;
@@ -178,8 +216,12 @@ class HostStorage final : public Storage {
                 std::uint64_t size) override;
 
  private:
-  util::AlignedBuffer& buffer_for(std::uint64_t handle);
+  /// Resolves the handle's backing bytes under the map lock; the pointer
+  /// stays valid afterwards (map nodes are stable and live allocations
+  /// are never released concurrently with an access to them).
+  std::byte* bytes_for(std::uint64_t handle);
 
+  std::mutex map_mu_;
   std::uint64_t next_handle_ = 1;
   std::map<std::uint64_t, util::AlignedBuffer> buffers_;
 };
@@ -202,8 +244,12 @@ class FileStorage final : public Storage {
                 std::uint64_t size) override;
 
  private:
+  /// Resolves the handle's file under the map lock; the reference stays
+  /// valid afterwards (map nodes are stable and live allocations are
+  /// never released concurrently with an access to them).
   io::PosixFile& file_for(std::uint64_t handle);
 
+  std::mutex map_mu_;
   std::string dir_;
   bool direct_io_;
   std::uint64_t next_handle_ = 1;

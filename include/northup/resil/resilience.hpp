@@ -93,6 +93,13 @@ class ResilienceManager {
   /// failures carrying a storage origin are attributed to that node
   /// alone. Rethrows the final error when attempts, deadline, or the
   /// abort hook end the retry loop.
+  ///
+  /// Backoff: called from a pool-backed exec::TaskGraph node (and with no
+  /// custom sleeper), a backoff does not sleep the worker — the loop
+  /// parks its attempt count in the node's resume state and throws
+  /// exec::BackoffYield, so the graph re-arms the node on a timer and the
+  /// worker runs other tasks meanwhile. Everywhere else (legacy inline
+  /// runs, callers outside a graph) it sleeps in place as before.
   void run_op(topo::NodeId src, topo::NodeId dst, const std::string& label,
               const std::function<void()>& op);
 

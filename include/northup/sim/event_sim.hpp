@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,11 @@ struct TaskTiming {
 /// previously submitted task on the same resource). Dependencies must refer
 /// to already-submitted tasks, which both makes scheduling single-pass and
 /// rules out cycles by construction.
+///
+/// Thread-safe: concurrent submissions from exec::TaskGraph workers are
+/// serialized internally. Under a pipelined run the submission order (and
+/// so the virtual schedule) follows actual execution order; the inline
+/// execution mode keeps the legacy deterministic order.
 class EventSim {
  public:
   /// Registers a resource (an engine that executes one task at a time).
@@ -59,15 +66,24 @@ class EventSim {
   TaskId add_task(std::string label, std::string phase, ResourceId resource,
                   double duration, std::vector<TaskId> deps = {});
 
-  std::size_t task_count() const { return tasks_.size(); }
-  std::size_t resource_count() const { return resource_names_.size(); }
+  std::size_t task_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+  std::size_t resource_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return resource_names_.size();
+  }
 
   const TaskSpec& task(TaskId id) const;
   TaskTiming timing(TaskId id) const;
   const std::string& resource_name(ResourceId id) const;
 
   /// Finish time of the latest-finishing task (0 when empty).
-  double makespan() const { return makespan_; }
+  double makespan() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return makespan_;
+  }
 
   /// Total busy time of a resource (sum of its task durations).
   double resource_busy(ResourceId id) const;
@@ -85,10 +101,13 @@ class EventSim {
   void reset_tasks();
 
  private:
-  std::vector<std::string> resource_names_;
+  mutable std::mutex mu_;
+  // deques: stable element addresses, so the references task() and
+  // resource_name() hand out stay valid while other threads submit.
+  std::deque<std::string> resource_names_;
   std::vector<double> resource_available_;   ///< next free time per resource
   std::vector<TaskId> resource_last_task_;   ///< last task submitted per resource
-  std::vector<TaskSpec> tasks_;
+  std::deque<TaskSpec> tasks_;
   std::vector<TaskTiming> timings_;
   std::vector<TaskId> start_determiner_;     ///< which predecessor set our start
   double makespan_ = 0.0;

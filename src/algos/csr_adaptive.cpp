@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "northup/util/timer.hpp"
@@ -402,10 +403,149 @@ RunStats spmv_northup(core::Runtime& rt, const SpmvConfig& config) {
   data::Buffer x_leaf;
   rt.run([&](core::ExecContext& ctx) {
     x_leaf = stage_x_to_leaf(rt, root, b_x, a.cols * kF);
-    SpmvShard shard{&b_rp, &b_ci, &b_va, &x_leaf, &b_y, a.rows, 0};
+    // Top-level split loop of spmv_recurse, expressed as a continuation
+    // DAG (deeper recursion levels inside the compute nodes stay
+    // blocking). Per sub-shard the CSR slice downloads feed one compute
+    // node and one upload node; uploads chain on each other — disjoint y
+    // slices, but a shared root buffer — and computes chain because there
+    // is one leaf device. Pipelined, shard k+1's downloads overlap shard
+    // k's compute and shard k-1's upload; the planner keeps at most
+    // kWindow shards in flight, which the halved split budget accounts
+    // for. Repeats need no extra barrier: the CSR inputs are read-only
+    // and the repeated y writes serialize through the upload chain.
+    const topo::NodeId l1 = ctx.child(0);
+    const bool cached = dm.has_shard_cache(l1);
+    constexpr std::size_t kWindow = 2;
+    std::vector<exec::TaskHandle> posts;
+    exec::TaskHandle up_chain{};
+    exec::TaskHandle compute_chain{};
+    data::Buffer* x_ptr = &x_leaf;
+    data::Buffer* y_root = &b_y;
     for (std::uint32_t rep = 0;
          rep < std::max<std::uint32_t>(1, config.repeats); ++rep) {
-      spmv_recurse(ctx, shard, config);
+      // Split planning reads the row_ptr slice back to the host, exactly
+      // as the recursive planner's fetch_row_ptr does.
+      std::vector<std::uint32_t> rp(a.rows + 1);
+      dm.read_to_host(rp.data(), b_rp, rp.size() * kU);
+      double budget = static_cast<double>(ctx.available_bytes(l1)) *
+                      config.capacity_safety;
+      if (ctx.pipelined()) budget *= 0.5;
+
+      std::uint32_t first = 0;
+      while (first < a.rows) {
+        // Greedy nnz-aware split: extend the sub-shard while its arrays
+        // fit (same rule as spmv_recurse).
+        std::uint32_t last = first;
+        while (last < a.rows) {
+          const std::uint64_t nnz_w = rp[last + 1] - rp[first];
+          const std::uint64_t rows_w = last + 1 - first;
+          const double bytes = static_cast<double>(
+              (rows_w + 1) * kU + nnz_w * (kU + kF) + rows_w * kF);
+          if (bytes > budget && last > first) break;
+          NU_CHECK(bytes <= budget || last == first,
+                   "single row exceeds child capacity");
+          ++last;
+        }
+        const std::uint32_t rows_s = last - first;
+        const std::uint32_t nnz_s = rp[last] - rp[first];
+
+        if (posts.size() >= kWindow) {
+          ctx.graph().wait(posts[posts.size() - kWindow]);
+        }
+
+        // The read-only CSR slices ride the shard cache when one is
+        // attached (repeats hit); the y slice is a plain allocation.
+        exec::Future<data::ScopedShard> rp_sh, ci_sh, va_sh;
+        exec::Future<data::ScopedBuffer> rp_pl, ci_pl, va_pl;
+        std::shared_ptr<data::ScopedBuffer> ci_stub, va_stub;
+        std::vector<exec::TaskHandle> deps;
+        if (cached) {
+          rp_sh = ctx.move_down_cached_async(b_rp, l1, (rows_s + 1) * kU,
+                                             first * kU);
+          deps.push_back(rp_sh.task());
+        } else {
+          rp_pl = ctx.move_down_async(
+              b_rp, l1,
+              {.size = (rows_s + 1) * kU, .src_offset = first * kU});
+          deps.push_back(rp_pl.task());
+        }
+        if (nnz_s > 0 && cached) {
+          ci_sh = ctx.move_down_cached_async(b_ci, l1, nnz_s * kU,
+                                             rp[first] * kU);
+          va_sh = ctx.move_down_cached_async(b_va, l1, nnz_s * kF,
+                                             rp[first] * kF);
+          deps.push_back(ci_sh.task());
+          deps.push_back(va_sh.task());
+        } else if (nnz_s > 0) {
+          ci_pl = ctx.move_down_async(
+              b_ci, l1, {.size = nnz_s * kU, .src_offset = rp[first] * kU});
+          va_pl = ctx.move_down_async(
+              b_va, l1, {.size = nnz_s * kF, .src_offset = rp[first] * kF});
+          deps.push_back(ci_pl.task());
+          deps.push_back(va_pl.task());
+        } else {
+          // Degenerate empty shard: 1-element placeholders so the leaf
+          // still has valid buffers.
+          ci_stub = std::make_shared<data::ScopedBuffer>(dm, kU, l1);
+          va_stub = std::make_shared<data::ScopedBuffer>(dm, kF, l1);
+        }
+        auto c_y = std::make_shared<data::ScopedBuffer>(
+            dm, std::max<std::uint64_t>(rows_s, 1) * kF, l1);
+
+        deps.push_back(compute_chain);
+        const auto compute = ctx.run_async(
+            l1,
+            [rp_sh, ci_sh, va_sh, rp_pl, ci_pl, va_pl, ci_stub, va_stub,
+             c_y, x_ptr, rows_s, nnz_base = rp[first],
+             &config](core::ExecContext& cctx) mutable {
+              data::ScopedShard rp_s, ci_s, va_s;
+              data::ScopedBuffer rp_b, ci_b, va_b;
+              data::Buffer* c_rp = nullptr;
+              data::Buffer* c_ci = nullptr;
+              data::Buffer* c_va = nullptr;
+              if (rp_sh.valid()) {
+                rp_s = rp_sh.get();
+                c_rp = rp_s.get();
+              } else {
+                rp_b = rp_pl.get();
+                c_rp = &rp_b.get();
+              }
+              if (ci_sh.valid()) {
+                ci_s = ci_sh.get();
+                va_s = va_sh.get();
+                c_ci = ci_s.get();
+                c_va = va_s.get();
+              } else if (ci_pl.valid()) {
+                ci_b = ci_pl.get();
+                va_b = va_pl.get();
+                c_ci = &ci_b.get();
+                c_va = &va_b.get();
+              } else {
+                c_ci = &ci_stub->get();
+                c_va = &va_stub->get();
+              }
+              SpmvShard sub{c_rp, c_ci, c_va, x_ptr, &c_y->get(), rows_s,
+                            nnz_base};
+              spmv_recurse(cctx, sub, config);
+              // Staging slices drop here, right after this shard's
+              // compute as in the blocking schedule.
+            },
+            deps);
+        compute_chain = compute.task();
+
+        const std::uint64_t y_off = std::uint64_t{first} * kF;
+        const auto post = ctx.submit(
+            [&dm, c_y, y_root, rows_s, y_off] {
+              dm.move_data_up(*y_root, c_y->get(),
+                              {.size = rows_s * kF, .dst_offset = y_off});
+              c_y->reset();
+            },
+            {compute.task(), up_chain});
+        up_chain = post.task();
+        posts.push_back(post.task());
+
+        first = last;
+      }
     }
   });
   RunStats stats = collect(rt, wall.seconds());

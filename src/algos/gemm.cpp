@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "northup/core/chunking.hpp"
@@ -277,10 +278,15 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
 
   // Level-1 block size decides both the recursion grid and the
   // preprocessed block-major layout on the root storage (§V-B).
-  const std::uint64_t blk = choose_gemm_block(
-      n, config.leaf_tile,
-      dm.storage(l1).available() + dm.reclaimable_bytes(l1),
-      config.shard_reuse, config.capacity_safety);
+  std::uint64_t l1_avail =
+      dm.storage(l1).available() + dm.reclaimable_bytes(l1);
+  // A pipelined run stages up to two chunks ahead of the compute chain:
+  // plan against half the child level so the in-flight staging of
+  // neighbouring steps fits beside the current working set.
+  if (rt.options().pipeline_threads > 0) l1_avail /= 2;
+  const std::uint64_t blk =
+      choose_gemm_block(n, config.leaf_tile, l1_avail, config.shard_reuse,
+                        config.capacity_safety);
   const std::uint64_t g = n / blk;
   const std::uint64_t blk_bytes = blk * blk * kF;
   const std::uint64_t row_bytes = blk * kF;
@@ -330,48 +336,93 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
     // (i,kk) of A is downloaded through the runtime ShardCache, so it is
     // fetched once per i (at j == 0) and served as a hit for every later
     // j; the pool evicts the previous row's strip as capacity demands.
+    //
+    // Expressed as a continuation DAG: every download, chunk compute, and
+    // block upload is a graph node. Computes chain on each other — float
+    // accumulation order into each C block is fixed, and there is one
+    // leaf device anyway — so in a pipelined run the overlap comes from
+    // step kk+1's downloads and block (i,j-1)'s upload riding alongside
+    // step kk's compute. The planner throttles itself to kWindow chunks
+    // of staging in flight, which the halved planning budget above
+    // accounts for. In an inline (non-pipelined) run each node executes
+    // at submission, reproducing the blocking schedule exactly.
     const bool cached = config.shard_reuse && dm.has_shard_cache(l1);
+    constexpr std::size_t kWindow = 2;
+    std::vector<exec::TaskHandle> computes;
+    computes.reserve(static_cast<std::size_t>(g * g * g));
     for (std::uint64_t i = 0; i < g; ++i) {
       for (std::uint64_t j = 0; j < g; ++j) {
-        data::Buffer cb = dm.alloc(blk_bytes, l1);
-        dm.fill(cb, std::byte{0}, blk_bytes);
+        auto cb = std::make_shared<data::ScopedBuffer>(dm, blk_bytes, l1);
+        exec::TaskHandle chain =
+            ctx.submit([&dm, cb, blk_bytes] {
+                 dm.fill(cb->get(), std::byte{0}, blk_bytes);
+               })
+                .task();
         for (std::uint64_t kk = 0; kk < g; ++kk) {
-          data::Buffer ab_local;
-          data::Buffer* ab = nullptr;
-          if (cached) {
-            ab = dm.move_data_down_cached(a, l1, blk_bytes,
-                                          (i * g + kk) * blk_bytes);
-          } else {
-            ab_local = dm.alloc(blk_bytes, l1);
-            dm.move_data_down(
-                ab_local, a,
-                {.size = blk_bytes, .src_offset = (i * g + kk) * blk_bytes});
-            ab = &ab_local;
+          if (computes.size() >= kWindow) {
+            ctx.graph().wait(computes[computes.size() - kWindow]);
           }
-          data::Buffer bb = dm.alloc(blk_bytes, l1);
-          dm.move_data_down(
-              bb, b,
-              {.size = blk_bytes, .src_offset = (kk * g + j) * blk_bytes});
-
-          ctx.northup_spawn(l1, [&](core::ExecContext& child_ctx) {
-            gemm_recurse(child_ctx, MatView{ab, 0, row_bytes},
-                         MatView{&bb, 0, row_bytes},
-                         MatView{&cb, 0, row_bytes}, blk, blk, blk, config);
-          });
-
-          dm.release(bb);
+          const std::uint64_t a_off = (i * g + kk) * blk_bytes;
+          const std::uint64_t b_off = (kk * g + j) * blk_bytes;
+          const exec::TaskHandle prev =
+              computes.empty() ? exec::TaskHandle{} : computes.back();
+          exec::TaskHandle compute;
           if (cached) {
-            dm.release_cached(ab);
+            auto ab_fut = ctx.move_down_cached_async(a, l1, blk_bytes, a_off);
+            auto bb_fut = ctx.move_down_async(
+                b, l1, {.size = blk_bytes, .src_offset = b_off});
+            compute =
+                ctx.run_async(
+                       l1,
+                       [ab_fut, bb_fut, cb, row_bytes, blk,
+                        &config](core::ExecContext& cctx) mutable {
+                         data::ScopedShard ab = ab_fut.get();
+                         data::ScopedBuffer bb = bb_fut.get();
+                         gemm_recurse(cctx, MatView{ab.get(), 0, row_bytes},
+                                      MatView{&bb.get(), 0, row_bytes},
+                                      MatView{&cb->get(), 0, row_bytes}, blk,
+                                      blk, blk, config);
+                         // bb then ab drop here, freeing the staging right
+                         // after this chunk's compute as the blocking
+                         // schedule did.
+                       },
+                       {ab_fut.task(), bb_fut.task(), chain, prev})
+                    .task();
           } else {
-            dm.release(ab_local);
+            auto ab_fut = ctx.move_down_async(
+                a, l1, {.size = blk_bytes, .src_offset = a_off});
+            auto bb_fut = ctx.move_down_async(
+                b, l1, {.size = blk_bytes, .src_offset = b_off});
+            compute =
+                ctx.run_async(
+                       l1,
+                       [ab_fut, bb_fut, cb, row_bytes, blk,
+                        &config](core::ExecContext& cctx) mutable {
+                         data::ScopedBuffer ab = ab_fut.get();
+                         data::ScopedBuffer bb = bb_fut.get();
+                         gemm_recurse(cctx, MatView{&ab.get(), 0, row_bytes},
+                                      MatView{&bb.get(), 0, row_bytes},
+                                      MatView{&cb->get(), 0, row_bytes}, blk,
+                                      blk, blk, config);
+                       },
+                       {ab_fut.task(), bb_fut.task(), chain, prev})
+                    .task();
           }
+          chain = compute;
+          computes.push_back(compute);
         }
-        // Result block back up to storage (Fig 3's data_up).
-        data::Buffer& croot = *block_view(c, i, j).buf;
-        dm.move_data_up(
-            croot, cb,
-            {.size = blk_bytes, .dst_offset = block_view(c, i, j).offset});
-        dm.release(cb);
+        // Result block back up to storage (Fig 3's data_up), then the
+        // staging slot frees. Behind the block's compute chain, so C's
+        // root extent is written in the legacy order.
+        const std::uint64_t c_off = block_view(c, i, j).offset;
+        data::Buffer* croot = block_view(c, i, j).buf;
+        ctx.submit(
+            [&dm, cb, croot, blk_bytes, c_off] {
+              dm.move_data_up(*croot, cb->get(),
+                              {.size = blk_bytes, .dst_offset = c_off});
+              cb->reset();
+            },
+            {chain});
       }
     }
   });

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "northup/core/chunking.hpp"
@@ -360,10 +361,15 @@ RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
            "out-of-core HotSpot needs at least two tree levels");
   const topo::NodeId l1 = rt.tree().get_children_list(root)[0];
 
-  const std::uint64_t bd = choose_hotspot_block(
-      n, config.leaf_tile,
-      dm.storage(l1).available() + dm.reclaimable_bytes(l1),
-      config.capacity_safety);
+  std::uint64_t l1_avail =
+      dm.storage(l1).available() + dm.reclaimable_bytes(l1);
+  // A pipelined run stages up to two blocks ahead of the compute chain:
+  // plan against half the child level so neighbouring blocks' in-flight
+  // staging fits beside the current working set.
+  if (rt.options().pipeline_threads > 0) l1_avail /= 2;
+  const std::uint64_t bd =
+      choose_hotspot_block(n, config.leaf_tile, l1_avail,
+                           config.capacity_safety);
   const std::uint64_t g = n / bd;
   const std::uint64_t blk_bytes = bd * bd * kF;
   const std::uint64_t halo_bytes = 4 * bd * kF;
@@ -442,94 +448,149 @@ RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
     // first sweep is free. Temperature and halo blocks are re-keyed each
     // sweep by the double-buffer swap, and writes through move_data_up /
     // move_data invalidate the stale generation's entries.
+    //
+    // Expressed as a continuation DAG: per block, three downloads feed a
+    // compute node, whose output feeds one "post" node doing the t_next
+    // upload and the four halo publishes. Post nodes chain on each other
+    // (they write shared root extents — neighbouring blocks publish into
+    // the same halo buffer) and the next sweep's downloads wait on the
+    // previous sweep's final post, so the data the cache re-keys on is
+    // settled. Within a sweep block k+1's downloads overlap block k's
+    // compute in a pipelined run; the planner keeps at most kWindow
+    // blocks in flight, which the halved planning budget above accounts
+    // for. Node bodies capture the current/next buffer roles by pointer
+    // value at submission, so the planner-side role flip between sweeps
+    // never retargets an already-submitted node; the structs themselves
+    // are swapped after the run when the iteration count is odd.
     const bool cached = dm.has_shard_cache(l1);
+    constexpr std::size_t kWindow = 2;
+    data::Buffer* tc = &t_cur;
+    data::Buffer* tn = &t_next;
+    data::Buffer* hc = &h_cur;
+    data::Buffer* hn = &h_next;
+    std::vector<exec::TaskHandle> posts;
+    posts.reserve(static_cast<std::size_t>(config.iterations * g * g));
+    exec::TaskHandle up_chain{};       // serializes root-extent writers
+    exec::TaskHandle compute_chain{};  // one leaf device: computes chain
+    exec::TaskHandle sweep_barrier{};  // previous sweep's final post
     for (std::uint64_t it = 0; it < config.iterations; ++it) {
       for (std::uint64_t bi = 0; bi < g; ++bi) {
         for (std::uint64_t bj = 0; bj < g; ++bj) {
-          data::Buffer tin_local, pw_local, hal_local;
-          data::Buffer* tin = nullptr;
-          data::Buffer* pw = nullptr;
-          data::Buffer* hal = nullptr;
-          if (cached) {
-            tin = dm.move_data_down_cached(t_cur, l1, blk_bytes,
-                                           block_off(bi, bj));
-            pw = dm.move_data_down_cached(pw_blocks, l1, blk_bytes,
-                                          block_off(bi, bj));
-            hal = dm.move_data_down_cached(h_cur, l1, halo_bytes,
-                                           halo_off(bi, bj));
-          } else {
-            tin_local = dm.alloc(blk_bytes, l1);
-            pw_local = dm.alloc(blk_bytes, l1);
-            hal_local = dm.alloc(halo_bytes, l1);
-            dm.move_data_down(
-                tin_local, t_cur,
-                {.size = blk_bytes, .src_offset = block_off(bi, bj)});
-            dm.move_data_down(
-                pw_local, pw_blocks,
-                {.size = blk_bytes, .src_offset = block_off(bi, bj)});
-            dm.move_data_down(
-                hal_local, h_cur,
-                {.size = halo_bytes, .src_offset = halo_off(bi, bj)});
-            tin = &tin_local;
-            pw = &pw_local;
-            hal = &hal_local;
+          if (posts.size() >= kWindow) {
+            ctx.graph().wait(posts[posts.size() - kWindow]);
           }
-          data::Buffer tout = dm.alloc(blk_bytes, l1);
+          const std::uint64_t boff = block_off(bi, bj);
+          const std::uint64_t hoff = halo_off(bi, bj);
+          const std::vector<exec::TaskHandle> dl_deps = {sweep_barrier};
+          std::shared_ptr<data::ScopedBuffer> tout;
+          exec::TaskHandle compute;
+          if (cached) {
+            auto tin_fut =
+                ctx.move_down_cached_async(*tc, l1, blk_bytes, boff, dl_deps);
+            auto pw_fut = ctx.move_down_cached_async(pw_blocks, l1, blk_bytes,
+                                                     boff, dl_deps);
+            auto hal_fut =
+                ctx.move_down_cached_async(*hc, l1, halo_bytes, hoff, dl_deps);
+            tout = std::make_shared<data::ScopedBuffer>(dm, blk_bytes, l1);
+            compute =
+                ctx.run_async(
+                       l1,
+                       [tin_fut, pw_fut, hal_fut, tout, bd,
+                        &config](core::ExecContext& cctx) mutable {
+                         data::ScopedShard tin = tin_fut.get();
+                         data::ScopedShard pw = pw_fut.get();
+                         data::ScopedShard hal = hal_fut.get();
+                         StencilBlock blk{tin.get(), pw.get(), hal.get(),
+                                          &tout->get(), bd};
+                         hotspot_recurse(cctx, blk, config);
+                         // The pinned shards drop here, right after this
+                         // block's compute as in the blocking schedule.
+                       },
+                       {tin_fut.task(), pw_fut.task(), hal_fut.task(),
+                        compute_chain})
+                    .task();
+          } else {
+            auto tin_fut = ctx.move_down_async(
+                *tc, l1, {.size = blk_bytes, .src_offset = boff}, dl_deps);
+            auto pw_fut = ctx.move_down_async(
+                pw_blocks, l1, {.size = blk_bytes, .src_offset = boff},
+                dl_deps);
+            auto hal_fut = ctx.move_down_async(
+                *hc, l1, {.size = halo_bytes, .src_offset = hoff}, dl_deps);
+            tout = std::make_shared<data::ScopedBuffer>(dm, blk_bytes, l1);
+            compute =
+                ctx.run_async(
+                       l1,
+                       [tin_fut, pw_fut, hal_fut, tout, bd,
+                        &config](core::ExecContext& cctx) mutable {
+                         data::ScopedBuffer tin = tin_fut.get();
+                         data::ScopedBuffer pw = pw_fut.get();
+                         data::ScopedBuffer hal = hal_fut.get();
+                         StencilBlock blk{&tin.get(), &pw.get(), &hal.get(),
+                                          &tout->get(), bd};
+                         hotspot_recurse(cctx, blk, config);
+                       },
+                       {tin_fut.task(), pw_fut.task(), hal_fut.task(),
+                        compute_chain})
+                    .task();
+          }
+          compute_chain = compute;
 
-          ctx.northup_spawn(l1, [&](core::ExecContext& cctx) {
-            StencilBlock blk{tin, pw, hal, &tout, bd};
-            hotspot_recurse(cctx, blk, config);
-          });
-
-          dm.move_data_up(
-              t_next, tout,
-              {.size = blk_bytes, .dst_offset = block_off(bi, bj)});
-
-          // Publish this block's edges into the next-sweep halo slots
-          // (clamped blocks feed their own slot at the grid boundary).
-          // Rows are contiguous; columns are packed in DRAM first.
+          // Post: t_next upload plus the four halo publishes into the
+          // next-sweep slots (clamped blocks feed their own slot at the
+          // grid boundary). Rows are contiguous; columns are packed in
+          // DRAM first. Chained behind the previous post because the
+          // publishes of neighbouring blocks write the same root buffer.
           const std::uint64_t top_dst =
               bi > 0 ? halo_off(bi - 1, bj) + halo_s(bd) * kF
                      : halo_off(bi, bj) + halo_n(bd) * kF;
-          dm.move_data(h_next, tout,
-                       {.size = bd * kF, .dst_offset = top_dst});
           const std::uint64_t bot_dst =
               bi + 1 < g ? halo_off(bi + 1, bj) + halo_n(bd) * kF
                          : halo_off(bi, bj) + halo_s(bd) * kF;
-          dm.move_data(h_next, tout,
-                       {.size = bd * kF,
-                        .dst_offset = bot_dst,
-                        .src_offset = (bd - 1) * bd * kF});
-
-          data::Buffer packed = dm.alloc(bd * kF, l1);
-          pack_column(dm, packed, 0, tout, bd, 0);
           const std::uint64_t left_dst =
               bj > 0 ? halo_off(bi, bj - 1) + halo_e(bd) * kF
                      : halo_off(bi, bj) + halo_w(bd) * kF;
-          dm.move_data(h_next, packed,
-                       {.size = bd * kF, .dst_offset = left_dst});
-          pack_column(dm, packed, 0, tout, bd, bd - 1);
           const std::uint64_t right_dst =
               bj + 1 < g ? halo_off(bi, bj + 1) + halo_w(bd) * kF
                          : halo_off(bi, bj) + halo_e(bd) * kF;
-          dm.move_data(h_next, packed,
-                       {.size = bd * kF, .dst_offset = right_dst});
-          dm.release(packed);
-
-          if (cached) {
-            for (auto* b : {tin, pw, hal}) dm.release_cached(b);
-          } else {
-            for (auto* b : {&tin_local, &pw_local, &hal_local}) {
-              dm.release(*b);
-            }
-          }
-          dm.release(tout);
+          const auto post = ctx.submit(
+              [&dm, tout, tn, hn, bd, blk_bytes, boff, top_dst, bot_dst,
+               left_dst, right_dst, l1] {
+                dm.move_data_up(*tn, tout->get(),
+                                {.size = blk_bytes, .dst_offset = boff});
+                dm.move_data(*hn, tout->get(),
+                             {.size = bd * kF, .dst_offset = top_dst});
+                dm.move_data(*hn, tout->get(),
+                             {.size = bd * kF,
+                              .dst_offset = bot_dst,
+                              .src_offset = (bd - 1) * bd * kF});
+                data::ScopedBuffer packed(dm, bd * kF, l1);
+                pack_column(dm, packed.get(), 0, tout->get(), bd, 0);
+                dm.move_data(*hn, packed.get(),
+                             {.size = bd * kF, .dst_offset = left_dst});
+                pack_column(dm, packed.get(), 0, tout->get(), bd, bd - 1);
+                dm.move_data(*hn, packed.get(),
+                             {.size = bd * kF, .dst_offset = right_dst});
+                tout->reset();
+              },
+              {compute, up_chain});
+          up_chain = post.task();
+          posts.push_back(post.task());
         }
       }
-      std::swap(t_cur, t_next);
-      std::swap(h_cur, h_next);
+      std::swap(tc, tn);
+      std::swap(hc, hn);
+      sweep_barrier = up_chain;
     }
   });
+  // The node bodies flipped pointer roles, not the structs: with an odd
+  // iteration count the final temperatures sit in t_next's storage, so
+  // swap the structs to keep the t_cur-reads below (and the caller-visible
+  // layout) identical to the blocking version.
+  if (config.iterations % 2 == 1) {
+    std::swap(t_cur, t_next);
+    std::swap(h_cur, h_next);
+  }
   RunStats stats = collect(rt, wall.seconds());
 
   if (config.verify) {

@@ -1,0 +1,79 @@
+#include "northup/algos/plan.hpp"
+
+namespace northup::algos {
+
+namespace {
+
+class GemmPlan final : public Plan {
+ public:
+  explicit GemmPlan(GemmConfig config) : config_(std::move(config)) {}
+  std::string name() const override { return "gemm"; }
+  RunStats run(core::Runtime& rt) const override {
+    return gemm_northup(rt, config_);
+  }
+
+ private:
+  GemmConfig config_;
+};
+
+class HotspotPlan final : public Plan {
+ public:
+  explicit HotspotPlan(HotspotConfig config) : config_(std::move(config)) {}
+  std::string name() const override { return "hotspot"; }
+  RunStats run(core::Runtime& rt) const override {
+    return hotspot_northup(rt, config_);
+  }
+
+ private:
+  HotspotConfig config_;
+};
+
+class SpmvPlan final : public Plan {
+ public:
+  explicit SpmvPlan(SpmvConfig config) : config_(std::move(config)) {}
+  std::string name() const override { return "spmv"; }
+  RunStats run(core::Runtime& rt) const override {
+    return spmv_northup(rt, config_);
+  }
+
+ private:
+  SpmvConfig config_;
+};
+
+}  // namespace
+
+exec::Future<RunStats> Plan::build(core::Runtime& rt, exec::TaskGraph& graph,
+                                   std::vector<exec::TaskHandle> deps) const {
+  exec::Promise<RunStats> promise;
+  const auto task = graph.add(
+      [this, &rt, promise](exec::RunStatus status) {
+        try {
+          if (status == exec::RunStatus::kCancelled) {
+            throw exec::CancelledError("plan '" + name() +
+                                       "' cancelled before it ran");
+          }
+          if (status != exec::RunStatus::kOk) {
+            throw exec::DependencyError("plan '" + name() +
+                                        "' dependency failed");
+          }
+          promise.set_value(run(rt));
+        } catch (...) {
+          promise.set_exception(std::current_exception());
+          throw;  // poison dependent plans
+        }
+      },
+      std::move(deps));
+  return promise.future(task);
+}
+
+std::unique_ptr<Plan> make_plan(GemmConfig config) {
+  return std::make_unique<GemmPlan>(std::move(config));
+}
+std::unique_ptr<Plan> make_plan(HotspotConfig config) {
+  return std::make_unique<HotspotPlan>(std::move(config));
+}
+std::unique_ptr<Plan> make_plan(SpmvConfig config) {
+  return std::make_unique<SpmvPlan>(std::move(config));
+}
+
+}  // namespace northup::algos

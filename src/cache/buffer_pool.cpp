@@ -34,11 +34,14 @@ void BufferPool::release(data::Buffer& buffer) {
   dm_.release(buffer);
 }
 
-void BufferPool::pin(std::uint64_t bytes) { pinned_bytes_ += bytes; }
+void BufferPool::pin(std::uint64_t bytes) {
+  pinned_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
 
 void BufferPool::unpin(std::uint64_t bytes) {
-  NU_CHECK(bytes <= pinned_bytes_, "pool unpin without matching pin");
-  pinned_bytes_ -= bytes;
+  NU_CHECK(bytes <= pinned_bytes_.load(std::memory_order_relaxed),
+           "pool unpin without matching pin");
+  pinned_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
 }
 
 std::uint64_t BufferPool::bytes_in_use() const {
@@ -51,7 +54,11 @@ std::uint64_t BufferPool::capacity() const {
 
 void BufferPool::note_usage() {
   const std::uint64_t used = bytes_in_use();
-  if (used > high_water_) high_water_ = used;
+  std::uint64_t seen = high_water_.load(std::memory_order_relaxed);
+  while (used > seen &&
+         !high_water_.compare_exchange_weak(seen, used,
+                                            std::memory_order_relaxed)) {
+  }
   if (high_water_gauge_ != nullptr) {
     high_water_gauge_->record_max(static_cast<double>(used));
   }

@@ -32,16 +32,19 @@ CacheManager::~CacheManager() {
 }
 
 BufferPool* CacheManager::pool(topo::NodeId node) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = pools_.find(node);
   return it != pools_.end() ? it->second.get() : nullptr;
 }
 
 ShardCache* CacheManager::shard_cache(topo::NodeId node) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = caches_.find(node);
   return it != caches_.end() ? it->second.get() : nullptr;
 }
 
 void CacheManager::flush() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // Deepest caches first: a child's dirty writeback lands in its parent's
   // buffer before that buffer is itself dropped.
   for (auto it = caches_.rbegin(); it != caches_.rend(); ++it) {
@@ -50,19 +53,23 @@ void CacheManager::flush() {
 }
 
 bool CacheManager::manages(topo::NodeId node) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   return pools_.count(node) != 0;
 }
 
 bool CacheManager::caches(topo::NodeId node) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   return caches_.count(node) != 0;
 }
 
 bool CacheManager::make_room(topo::NodeId node, std::uint64_t bytes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = pools_.find(node);
   return it != pools_.end() && it->second->make_room(bytes);
 }
 
 std::uint64_t CacheManager::evictable_bytes(topo::NodeId node) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = caches_.find(node);
   return it != caches_.end() ? it->second->evictable_bytes() : 0;
 }
@@ -72,12 +79,14 @@ data::Buffer* CacheManager::acquire(const data::Buffer& src,
                                     std::uint64_t row_bytes,
                                     std::uint64_t src_offset,
                                     std::uint64_t src_pitch) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = caches_.find(child);
   NU_CHECK(it != caches_.end(), "no shard cache at the requested node");
   return it->second->acquire(src, rows, row_bytes, src_offset, src_pitch);
 }
 
 void CacheManager::release_shard(data::Buffer* shard, bool dirty) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   NU_CHECK(shard != nullptr && shard->valid(),
            "release of a null or invalid cached shard");
   auto it = caches_.find(shard->node);
@@ -88,6 +97,7 @@ void CacheManager::release_shard(data::Buffer* shard, bool dirty) {
 
 void CacheManager::on_written(const data::Buffer& dst, std::uint64_t offset,
                               std::uint64_t size) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // Only caches on dst's children can hold shards sourced from it.
   for (const topo::NodeId child : dm_.tree().get_children_list(dst.node)) {
     if (auto* cache = shard_cache(child)) {
@@ -97,6 +107,7 @@ void CacheManager::on_written(const data::Buffer& dst, std::uint64_t offset,
 }
 
 void CacheManager::on_released(const data::Buffer& buffer) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (const topo::NodeId child : dm_.tree().get_children_list(buffer.node)) {
     if (auto* cache = shard_cache(child)) {
       cache->invalidate_source(buffer.id);
@@ -105,6 +116,7 @@ void CacheManager::on_released(const data::Buffer& buffer) {
 }
 
 void CacheManager::note_alloc(topo::NodeId node) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (auto* p = pool(node)) p->note_usage();
 }
 

@@ -47,6 +47,10 @@ Runtime::Runtime(topo::TopoTree tree, RuntimeOptions options)
         *dm_, cache::CacheManager::Options{options_.cache_hit_time_s});
   }
   create_processors();
+  if (options_.pipeline_threads > 0) {
+    exec_pool_ =
+        std::make_unique<sched::WorkStealingPool>(options_.pipeline_threads);
+  }
   // One default work queue per memory node (Listing 1's work_queue links).
   for (topo::NodeId id = 0; id < tree_.node_count(); ++id) {
     queues_->create_queues(id, 1);
@@ -70,6 +74,7 @@ void Runtime::bind_all_storages() {
           name, info.storage_type, info.capacity, info.model, dir,
           options_.direct_io);
       if (options_.trace_io) file->set_trace_enabled(true);
+      if (options_.paced_storage) file->set_paced(true);
       storage = std::move(file);
     } else {
       storage = std::make_unique<mem::HostStorage>(
@@ -133,9 +138,28 @@ void Runtime::run_from(topo::NodeId node,
   NU_CHECK(node < tree_.node_count(), "run_from: unknown node");
   // Root causal span of the whole program: every spawn/move/kernel event
   // below chains back here through its parent span.
+  NU_CHECK(graph_ == nullptr, "Runtime::run is not reentrant");
   obs::SpanScope run_span(elog_, elog_run_name_, elog_runtime_phase_, node);
+  // The run's continuation DAG lives on this frame; with pipeline_threads
+  // set its nodes execute on exec_pool_, otherwise inline at submission.
+  exec::TaskGraph graph(exec_pool_.get());
+  graph_ = &graph;
   ExecContext ctx(*this, node);
-  fn(ctx);
+  try {
+    fn(ctx);
+  } catch (...) {
+    // Abandon what has not started and join what has, so no node body
+    // outlives the program lambda's frame it may reference.
+    graph.cancel();
+    graph.wait_all();
+    graph_ = nullptr;
+    throw;
+  }
+  graph.wait_all();
+  graph_ = nullptr;
+  // A failed node fails the run: rethrow the root-cause error exactly as
+  // the blocking call it replaced would have thrown from the planner.
+  if (auto error = graph.first_error()) std::rethrow_exception(error);
 }
 
 double Runtime::makespan() const { return sim_ ? sim_->makespan() : 0.0; }
@@ -239,15 +263,19 @@ void ExecContext::northup_spawn(topo::NodeId child_node,
   // Bookkeeping: the recursive task goes through the child node's work
   // queue (push, then pop-and-run). We time the real cost of this
   // machinery and also charge the modeled cost into the sim so the
-  // <1%-overhead claim is visible in virtual time too (§V-B).
+  // <1%-overhead claim is visible in virtual time too (§V-B). The spawn
+  // lock keeps the push/pop pair atomic when pipelined DAG workers spawn
+  // concurrently (and guards the shared bookkeeping timer); the spawned
+  // body itself runs outside the lock so chunks still overlap.
+  sched::QueueTask task;
   {
+    std::lock_guard<std::mutex> spawn_lock(rt_.spawn_mu_);
     util::ScopedTimer timed(rt_.bookkeeping_);
     sched::WorkQueue& queue = rt_.queues().queue(child_node, 0);
     ExecContext child_ctx(rt_, child_node);
     queue.push(sched::QueueTask{
-        rt_.spawn_count_,
+        rt_.spawn_count_.fetch_add(1, std::memory_order_relaxed),
         [&fn, child_ctx]() mutable { fn(child_ctx); }});
-    ++rt_.spawn_count_;
     rt_.spawn_counter_->increment();
     rt_.spawn_depth_gauge_->record_max(
         static_cast<double>(rt_.tree().get_level(child_node)));
@@ -256,15 +284,226 @@ void ExecContext::northup_spawn(topo::NodeId child_node,
                    kRuntimePhase, rt_.dm().resource_for(child_node),
                    rt_.options().spawn_overhead_s);
     }
-  }
 
-  // Drain the queue entry synchronously (deterministic depth-first
-  // execution; §III-C notes chunks may execute sequentially due to
-  // limited lower-level capacity).
-  sched::QueueTask task;
-  const bool popped = rt_.queues().queue(child_node, 0).pop(task);
-  NU_CHECK(popped, "work queue lost a task");
+    // Drain the queue entry (deterministic depth-first execution; §III-C
+    // notes chunks may execute sequentially due to limited lower-level
+    // capacity). Popping under the lock pairs each pop with its push.
+    const bool popped = queue.pop(task);
+    NU_CHECK(popped, "work queue lost a task");
+  }
   task.body();
 }
+
+// --- ExecContext async DAG API ---------------------------------------------
+
+namespace {
+
+/// Converts a non-kOk run status into the exception its futures carry.
+[[noreturn]] void rethrow_status(exec::RunStatus status) {
+  if (status == exec::RunStatus::kCancelled) {
+    throw exec::CancelledError("exec task cancelled before it ran");
+  }
+  throw exec::DependencyError("an upstream exec task failed");
+}
+
+/// Canonical node-body shape: run `work` and fulfill `promise` with its
+/// result, or on any failure (bad status, thrown error) run `cleanup`,
+/// complete the promise with the error, and rethrow so the graph marks
+/// the node failed and poisons dependents. BackoffYield passes through
+/// untouched — the promise stays pending across the re-arm.
+template <typename T, typename Work, typename Cleanup>
+void complete_node(const exec::Promise<T>& promise, exec::RunStatus status,
+                   Work&& work, Cleanup&& cleanup) {
+  try {
+    if (status != exec::RunStatus::kOk) rethrow_status(status);
+    promise.set_value(work());
+  } catch (const exec::BackoffYield&) {
+    throw;  // the timer re-runs this body; nothing is complete yet
+  } catch (...) {
+    cleanup();
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+}  // namespace
+
+exec::TaskGraph& ExecContext::graph() {
+  NU_CHECK(rt_.graph_ != nullptr,
+           "ExecContext DAG API used outside Runtime::run");
+  return *rt_.graph_;
+}
+
+bool ExecContext::pipelined() const {
+  return rt_.graph_ != nullptr && rt_.graph_->is_async();
+}
+
+exec::Future<exec::Unit> ExecContext::submit(
+    std::function<void()> fn, std::vector<exec::TaskHandle> deps) {
+  NU_CHECK(fn != nullptr, "submit requires a body");
+  exec::Promise<exec::Unit> promise;
+  exec::TaskHandle task = graph().add(
+      [promise, fn = std::move(fn)](exec::RunStatus status) {
+        complete_node(
+            promise, status,
+            [&] {
+              // An arbitrary body is not safe to re-run from the top, so
+              // retries inside it must sleep rather than yield.
+              exec::YieldInhibitScope no_yield;
+              fn();
+              return exec::Unit{};
+            },
+            [] {});
+      },
+      std::move(deps));
+  return promise.future(task);
+}
+
+exec::Future<data::ScopedBuffer> ExecContext::move_down_async(
+    const data::Buffer& src, topo::NodeId dst_node, data::CopySpec spec,
+    std::vector<exec::TaskHandle> deps) {
+  NU_CHECK(spec.size > 0, "move_down_async requires spec.size");
+  data::DataManager& dm = rt_.dm();
+  // Claim the staging space on the submitting thread (see header): the
+  // node performs only the copy. The shared_ptr keeps the buffer alive
+  // through a BackoffYield re-arm; ownership moves out through the
+  // promise on success.
+  auto staged = std::make_shared<data::ScopedBuffer>(
+      dm, spec.dst_offset + spec.size, dst_node);
+  exec::Promise<data::ScopedBuffer> promise;
+  exec::TaskHandle task = graph().add(
+      [promise, staged, &dm, src, spec](exec::RunStatus status) {
+        complete_node(
+            promise, status,
+            [&] {
+              dm.move_data_down(staged->get(), src, spec);
+              return std::move(*staged);
+            },
+            [&] { staged->reset(); });
+      },
+      std::move(deps));
+  return promise.future(task);
+}
+
+exec::Future<data::ScopedShard> ExecContext::move_down_cached_async(
+    const data::Buffer& src, topo::NodeId child, std::uint64_t size,
+    std::uint64_t src_offset, std::vector<exec::TaskHandle> deps) {
+  data::DataManager& dm = rt_.dm();
+  exec::Promise<data::ScopedShard> promise;
+  exec::TaskHandle task = graph().add(
+      [promise, &dm, src, child, size, src_offset](exec::RunStatus status) {
+        complete_node(
+            promise, status,
+            [&] {
+              // A cache acquisition is not re-runnable mid-fill, so
+              // retries inside it must sleep rather than yield.
+              exec::YieldInhibitScope no_yield;
+              data::Buffer* shard =
+                  dm.move_data_down_cached(src, child, size, src_offset);
+              return data::ScopedShard(dm, shard);
+            },
+            [] {});
+      },
+      std::move(deps));
+  return promise.future(task);
+}
+
+exec::Future<exec::Unit> ExecContext::move_up_async(
+    data::Buffer& dst, data::ScopedBuffer src, data::CopySpec spec,
+    std::vector<exec::TaskHandle> deps) {
+  NU_CHECK(src.valid(), "move_up_async requires a valid source buffer");
+  if (spec.size == 0) spec.size = src.size() - spec.src_offset;
+  data::DataManager& dm = rt_.dm();
+  auto held = std::make_shared<data::ScopedBuffer>(std::move(src));
+  data::Buffer* dst_ptr = &dst;  // the caller keeps dst alive across the run
+  exec::Promise<exec::Unit> promise;
+  exec::TaskHandle task = graph().add(
+      [promise, held, &dm, dst_ptr, spec](exec::RunStatus status) {
+        complete_node(
+            promise, status,
+            [&] {
+              dm.move_data_up(*dst_ptr, held->get(), spec);
+              held->reset();  // staging slot freed the moment the copy lands
+              return exec::Unit{};
+            },
+            [&] { held->reset(); });
+      },
+      std::move(deps));
+  return promise.future(task);
+}
+
+exec::Future<exec::Unit> ExecContext::run_async(
+    topo::NodeId child_node, std::function<void(ExecContext&)> fn,
+    std::vector<exec::TaskHandle> deps) {
+  NU_CHECK(fn != nullptr, "run_async requires a body");
+  Runtime* rt = &rt_;
+  const topo::NodeId node = node_;
+  exec::Promise<exec::Unit> promise;
+  exec::TaskHandle task = graph().add(
+      [promise, rt, node, child_node,
+       fn = std::move(fn)](exec::RunStatus status) {
+        complete_node(
+            promise, status,
+            [&] {
+              // The spawned chunk is one unit of work: re-running the
+              // body would re-spawn it, so retries inside must sleep
+              // rather than yield the worker.
+              exec::YieldInhibitScope no_yield;
+              ExecContext parent(*rt, node);
+              parent.northup_spawn(child_node, fn);
+              return exec::Unit{};
+            },
+            [] {});
+      },
+      std::move(deps));
+  return promise.future(task);
+}
+
+exec::Future<exec::Unit> ExecContext::launch_async(
+    device::Processor& proc, std::string label, std::uint32_t num_groups,
+    device::KernelFn kernel, device::KernelCost cost,
+    std::vector<sim::TaskId> sim_deps, std::vector<exec::TaskHandle> deps) {
+  exec::Promise<exec::Unit> promise;
+  exec::TaskHandle task = graph().add(
+      [promise, &proc, label = std::move(label), num_groups,
+       kernel = std::move(kernel), cost,
+       sim_deps = std::move(sim_deps)](exec::RunStatus status) {
+        complete_node(
+            promise, status,
+            [&] {
+              exec::YieldInhibitScope no_yield;
+              proc.launch(label, num_groups, kernel, cost, sim_deps);
+              return exec::Unit{};
+            },
+            [] {});
+      },
+      std::move(deps));
+  return promise.future(task);
+}
+
+// Definitions of the deprecated shims; the attribute warns at call sites,
+// and some compilers also flag the out-of-line definitions themselves.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+data::ScopedBuffer ExecContext::move_down(const data::Buffer& src,
+                                          topo::NodeId dst_node,
+                                          data::CopySpec spec) {
+  return move_down_async(src, dst_node, std::move(spec)).get();
+}
+
+void ExecContext::move_up(data::Buffer& dst, data::ScopedBuffer src,
+                          data::CopySpec spec) {
+  move_up_async(dst, std::move(src), std::move(spec)).get();
+}
+
+void ExecContext::launch(device::Processor& proc, const std::string& label,
+                         std::uint32_t num_groups,
+                         const device::KernelFn& kernel,
+                         const device::KernelCost& cost) {
+  launch_async(proc, label, num_groups, kernel, cost).get();
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace northup::core

@@ -141,6 +141,7 @@ obs::Counter& DataManager::edge_counter(const std::string& src_name,
 
 sim::ResourceId DataManager::resource_for(topo::NodeId node) {
   NU_CHECK(sim_ != nullptr, "resource_for requires an EventSim");
+  std::lock_guard<std::mutex> lock(resources_mu_);
   auto it = resources_.find(node);
   if (it != resources_.end()) return it->second;
   const auto id = sim_->add_resource("mem:" + tree_.node(node).name);
@@ -165,7 +166,7 @@ Buffer DataManager::alloc(std::uint64_t size, topo::NodeId tree_node) {
   }
   Buffer buffer;
   buffer.node = tree_node;
-  buffer.id = next_buffer_id_++;
+  buffer.id = next_buffer_id_.fetch_add(1, std::memory_order_relaxed);
   // Guarded: a transient allocation fault (flaky driver call) is retried
   // like any other data-plane operation; CapacityError stays permanent.
   run_guarded(tree_node, tree_node,
@@ -264,7 +265,7 @@ void DataManager::charge_move(Buffer& dst, const Buffer& src,
                               std::uint64_t dst_accesses,
                               const std::string& label,
                               std::vector<sim::TaskId> extra_deps) {
-  bytes_moved_ += bytes;
+  bytes_moved_.fetch_add(bytes, std::memory_order_relaxed);
   if (metrics_ != nullptr) {
     edge_counter(tree_.node(src.node).name, tree_.node(dst.node).name)
         .add(bytes);
@@ -488,7 +489,7 @@ void DataManager::write_from_host(Buffer& dst, const void* src,
         "host->" + tree_.node(dst.node).name, ph, resource_for(dst.node),
         storage(dst.node).model().write_time(size), std::move(deps));
   }
-  bytes_moved_ += size;
+  bytes_moved_.fetch_add(size, std::memory_order_relaxed);
   if (metrics_ != nullptr) {
     edge_counter("host", tree_.node(dst.node).name).add(size);
   }
@@ -523,7 +524,7 @@ void DataManager::read_to_host(void* dst, const Buffer& src,
                    resource_for(src.node),
                    storage(src.node).model().read_time(size), std::move(deps));
   }
-  bytes_moved_ += size;
+  bytes_moved_.fetch_add(size, std::memory_order_relaxed);
   if (metrics_ != nullptr) {
     edge_counter(tree_.node(src.node).name, "host").add(size);
   }

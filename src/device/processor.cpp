@@ -50,6 +50,9 @@ LaunchResult Processor::launch(const std::string& label,
                                const KernelFn& kernel, const KernelCost& cost,
                                std::vector<sim::TaskId> deps) {
   NU_CHECK(num_groups > 0, "kernel launch with zero workgroups");
+  // One kernel at a time per processor (the serial path shares the
+  // local-memory arena, and real devices run one grid per queue anyway).
+  std::lock_guard<std::mutex> launch_lock(launch_mu_);
   const std::uint64_t t0 = elog_ != nullptr ? elog_->now_ns() : 0;
   if (pool_ != nullptr && num_groups > 1) {
     // Parallel functional pass: every workgroup becomes a pool task with
@@ -111,7 +114,7 @@ LaunchResult Processor::launch_costed(const std::string& label,
                                       std::uint32_t num_groups,
                                       const KernelCost& cost,
                                       std::vector<sim::TaskId> deps) {
-  ++launch_count_;
+  launch_count_.fetch_add(1, std::memory_order_relaxed);
   LaunchResult result;
   result.sim_seconds = kernel_seconds(num_groups, cost);
   if (sim_ != nullptr) {

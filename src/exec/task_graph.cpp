@@ -1,0 +1,274 @@
+#include "northup/exec/task_graph.hpp"
+
+#include <algorithm>
+
+namespace northup::exec {
+
+namespace {
+
+/// Thread-local identity of the node body currently executing on this
+/// thread (BackoffYield / resume-state support).
+struct RunningNode {
+  TaskGraph* graph = nullptr;
+  std::shared_ptr<TaskGraph::ResumeState>* resume_slot = nullptr;
+  bool can_yield = false;
+};
+
+thread_local RunningNode tls_running;
+
+/// RAII installer for tls_running around a body invocation.
+class RunningScope {
+ public:
+  RunningScope(TaskGraph* graph, std::shared_ptr<TaskGraph::ResumeState>* slot,
+               bool can_yield) {
+    prev_ = tls_running;
+    tls_running = RunningNode{graph, slot, can_yield};
+  }
+  ~RunningScope() { tls_running = prev_; }
+  RunningScope(const RunningScope&) = delete;
+  RunningScope& operator=(const RunningScope&) = delete;
+
+ private:
+  RunningNode prev_;
+};
+
+}  // namespace
+
+YieldInhibitScope::YieldInhibitScope() : prev_(tls_running.can_yield) {
+  tls_running.can_yield = false;
+}
+
+YieldInhibitScope::~YieldInhibitScope() { tls_running.can_yield = prev_; }
+
+TaskGraph::TaskGraph(sched::WorkStealingPool* pool) : pool_(pool) {}
+
+TaskGraph::~TaskGraph() {
+  wait_all();
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timer_stop_ = true;
+    timer_cv_.notify_all();
+  }
+  if (timer_thread_.joinable()) timer_thread_.join();
+}
+
+bool TaskGraph::current_can_yield() { return tls_running.can_yield; }
+
+TaskGraph::ResumeState* TaskGraph::current_resume() {
+  if (tls_running.resume_slot == nullptr) return nullptr;
+  if (!*tls_running.resume_slot) {
+    *tls_running.resume_slot = std::make_shared<ResumeState>();
+  }
+  return tls_running.resume_slot->get();
+}
+
+std::size_t TaskGraph::task_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+std::exception_ptr TaskGraph::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+TaskHandle TaskGraph::add(Body body, std::vector<TaskHandle> deps) {
+  NU_CHECK(body != nullptr, "exec::TaskGraph::add requires a body");
+  std::uint32_t idx = 0;
+  bool ready = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    Node& n = nodes_.back();
+    n.body = std::move(body);
+    n.build_ctx = obs::EventLog::current_context();
+    if (cancelled_) n.cancelled = true;
+    for (const TaskHandle& d : deps) {
+      if (!d.valid()) continue;  // "previous iteration" sentinel
+      NU_CHECK(d.graph == this,
+               "exec dependency handle belongs to another TaskGraph");
+      NU_CHECK(d.node < idx, "exec dependency on a later node");
+      Node& dep = nodes_[d.node];
+      if (dep.done) {
+        if (dep.failed) n.poisoned = true;
+      } else {
+        ++n.pending;
+        dep.dependents.push_back(idx);
+      }
+    }
+    ready = n.pending == 0;
+    ++outstanding_;
+  }
+  if (ready) dispatch({idx});
+  return TaskHandle{this, idx};
+}
+
+void TaskGraph::dispatch(const std::vector<std::uint32_t>& ready) {
+  std::exception_ptr pending_throw;
+  for (std::uint32_t idx : ready) {
+    if (pool_ != nullptr) {
+      pool_->submit([this, idx] { run_node(idx); });
+    } else {
+      // Inline mode: run on the thread that made the node ready. A chain
+      // of dependents unwinds recursively through finish_node/dispatch,
+      // preserving program order exactly. A genuine body failure rethrows
+      // out of run_node so the submitting caller aborts at the submission
+      // site, like the blocking call it replaced — but only after every
+      // already-ready sibling has drained (their state must settle before
+      // the error unwinds).
+      try {
+        run_node(idx);
+      } catch (...) {
+        if (!pending_throw) pending_throw = std::current_exception();
+      }
+    }
+  }
+  if (pending_throw) std::rethrow_exception(pending_throw);
+}
+
+void TaskGraph::run_node(std::uint32_t idx) {
+  RunStatus status = RunStatus::kOk;
+  obs::EventLog::Context ctx;
+  Node* n = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n = &nodes_[idx];
+    n->started = true;
+    if (n->cancelled || cancelled_) {
+      status = RunStatus::kCancelled;
+    } else if (n->poisoned) {
+      status = RunStatus::kDepFailed;
+    }
+    ctx = n->has_ready_ctx ? n->ready_ctx : n->build_ctx;
+  }
+  bool failed = status != RunStatus::kOk;
+  std::exception_ptr own_error;
+  {
+    // Span parents follow DAG edges: run under the last-finishing
+    // dependency's span (falling back to the submit-site span).
+    obs::SpanAdopt adopt(ctx);
+    RunningScope running(this, &n->resume_state, pool_ != nullptr);
+    try {
+      n->body(status);
+    } catch (const BackoffYield& yield) {
+      arm_timer(idx, yield.delay_s);
+      return;  // node not finished; the timer re-runs it
+    } catch (...) {
+      failed = true;
+      // Only a body that failed with satisfied dependencies is a root
+      // cause; poisoned/cancelled bodies rethrow their status and are
+      // downstream symptoms.
+      if (status == RunStatus::kOk) own_error = std::current_exception();
+    }
+  }
+  if (own_error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = own_error;
+  }
+  finish_node(idx, failed, ctx);
+  // Inline mode keeps blocking-call failure semantics: the error unwinds
+  // through add() to the submitting caller (dependents were poisoned and
+  // drained by finish_node above).
+  if (own_error && pool_ == nullptr) std::rethrow_exception(own_error);
+}
+
+void TaskGraph::finish_node(std::uint32_t idx, bool failed,
+                            const obs::EventLog::Context& ran_under) {
+  std::vector<std::uint32_t> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Node& n = nodes_[idx];
+    n.done = true;
+    n.failed = failed;
+    n.body = nullptr;  // release captures (buffers, promises) promptly
+    n.resume_state.reset();
+    for (std::uint32_t d : n.dependents) {
+      Node& dn = nodes_[d];
+      if (failed) dn.poisoned = true;
+      // Last-finishing dependency wins: by the time the dependent is
+      // ready this field holds the span that actually gated its start.
+      dn.ready_ctx = ran_under;
+      dn.has_ready_ctx = true;
+      NU_ASSERT(dn.pending > 0);
+      if (--dn.pending == 0) ready.push_back(d);
+    }
+    NU_ASSERT(outstanding_ > 0);
+    --outstanding_;
+    cv_.notify_all();
+  }
+  dispatch(ready);
+}
+
+void TaskGraph::wait(TaskHandle task) {
+  NU_CHECK(task.graph == this && task.node != kInvalidTaskNode,
+           "exec::TaskGraph::wait on a foreign or invalid handle");
+  std::unique_lock<std::mutex> lock(mu_);
+  NU_CHECK(task.node < nodes_.size(), "exec wait on an unknown node");
+  cv_.wait(lock, [&] { return nodes_[task.node].done; });
+}
+
+void TaskGraph::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void TaskGraph::cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_ = true;
+  for (Node& n : nodes_) {
+    if (!n.started) n.cancelled = true;
+  }
+}
+
+void TaskGraph::cancel_node(std::uint32_t node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NU_CHECK(node < nodes_.size(), "exec cancel of an unknown node");
+  if (!nodes_[node].started) nodes_[node].cancelled = true;
+}
+
+void TaskGraph::arm_timer(std::uint32_t idx, double delay_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(delay_s, 0.0)));
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  timed_.emplace(deadline, idx);
+  if (!timer_thread_.joinable()) {
+    timer_thread_ = std::thread([this] { timer_loop(); });
+  }
+  timer_cv_.notify_all();
+}
+
+void TaskGraph::timer_loop() {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  while (true) {
+    if (timer_stop_ && timed_.empty()) return;
+    if (timed_.empty()) {
+      timer_cv_.wait(lock, [&] { return timer_stop_ || !timed_.empty(); });
+      continue;
+    }
+    const auto deadline = timed_.begin()->first;
+    if (timer_cv_.wait_until(lock, deadline, [&] {
+          return timed_.empty() || timed_.begin()->first < deadline;
+        })) {
+      continue;  // earlier deadline arrived (or everything drained)
+    }
+    std::vector<std::uint32_t> due;
+    const auto now = std::chrono::steady_clock::now();
+    while (!timed_.empty() && timed_.begin()->first <= now) {
+      due.push_back(timed_.begin()->second);
+      timed_.erase(timed_.begin());
+    }
+    lock.unlock();
+    try {
+      dispatch(due);
+    } catch (...) {
+      // Inline re-dispatch off the timer thread has no caller to unwind
+      // to; the failure is already recorded as the run's first_error_.
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace northup::exec

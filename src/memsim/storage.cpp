@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
 namespace northup::mem {
 
@@ -51,6 +52,7 @@ Storage::Storage(std::string name, StorageKind kind, std::uint64_t capacity,
 }
 
 void Storage::attach_metrics(obs::MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::string prefix = "storage." + name_ + ".";
   metrics_.bytes_read = &registry.counter(prefix + "bytes_read");
   metrics_.bytes_written = &registry.counter(prefix + "bytes_written");
@@ -64,15 +66,17 @@ void Storage::attach_metrics(obs::MetricsRegistry& registry) {
 
 Allocation Storage::alloc(std::uint64_t size) {
   NU_CHECK(size > 0, "zero-byte allocation on '" + name_ + "'");
-  if (used_ + size > capacity_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t in_use = used_.load(std::memory_order_relaxed);
+  if (in_use + size > capacity_) {
     throw util::CapacityError(
         "allocation of " + std::to_string(size) + " B exceeds capacity of '" +
-        name_ + "' (" + std::to_string(available()) + " B available)");
+        name_ + "' (" + std::to_string(capacity_ - in_use) + " B available)");
   }
   const std::uint64_t handle = with_origin(name_, [&] { return do_alloc(size); });
-  used_ += size;
+  used_.store(in_use + size, std::memory_order_relaxed);
   ++stats_.num_allocs;
-  stats_.peak_used = std::max(stats_.peak_used, used_);
+  stats_.peak_used = std::max(stats_.peak_used, in_use + size);
   if (metrics_.allocs != nullptr) {
     metrics_.allocs->increment();
     metrics_.peak_used->record_max(static_cast<double>(stats_.peak_used));
@@ -83,12 +87,17 @@ Allocation Storage::alloc(std::uint64_t size) {
 void Storage::release(Allocation& allocation) {
   NU_CHECK(allocation.valid, "release of invalid allocation on '" + name_ +
                                  "'");
+  std::lock_guard<std::mutex> lock(mu_);
   do_release(allocation.handle);
-  NU_ASSERT(used_ >= allocation.size);
-  used_ -= allocation.size;
+  NU_ASSERT(used_.load(std::memory_order_relaxed) >= allocation.size);
+  used_.fetch_sub(allocation.size, std::memory_order_relaxed);
   ++stats_.num_releases;
   if (metrics_.releases != nullptr) metrics_.releases->increment();
   allocation = {};
+}
+
+void Storage::pace_until(std::chrono::steady_clock::time_point deadline) const {
+  std::this_thread::sleep_until(deadline);  // past deadlines return at once
 }
 
 void Storage::read(void* dst, const Allocation& src, std::uint64_t offset,
@@ -96,7 +105,17 @@ void Storage::read(void* dst, const Allocation& src, std::uint64_t offset,
   NU_CHECK(src.valid, "read from invalid allocation on '" + name_ + "'");
   NU_CHECK(offset + size <= src.size,
            "read past end of allocation on '" + name_ + "'");
+  const bool paced = this->paced();
+  const auto deadline =
+      paced ? std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(model_.read_time(size)))
+            : std::chrono::steady_clock::time_point{};
+  // The actual copy runs unlocked so concurrent accesses overlap; only
+  // the accounting below serializes.
   with_origin(name_, [&] { do_read(dst, src.handle, offset, size); });
+  if (paced) pace_until(deadline);
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.bytes_read += size;
   ++stats_.num_reads;
   if (metrics_.reads != nullptr) {
@@ -111,7 +130,15 @@ void Storage::write(Allocation& dst, std::uint64_t offset, const void* src,
   NU_CHECK(dst.valid, "write to invalid allocation on '" + name_ + "'");
   NU_CHECK(offset + size <= dst.size,
            "write past end of allocation on '" + name_ + "'");
+  const bool paced = this->paced();
+  const auto deadline =
+      paced ? std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(model_.write_time(size)))
+            : std::chrono::steady_clock::time_point{};
   with_origin(name_, [&] { do_write(dst.handle, offset, src, size); });
+  if (paced) pace_until(deadline);
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.bytes_written += size;
   ++stats_.num_writes;
   if (metrics_.writes != nullptr) {
@@ -130,37 +157,41 @@ HostStorage::HostStorage(std::string name, StorageKind kind,
            "HostStorage cannot back a file-based kind");
 }
 
-util::AlignedBuffer& HostStorage::buffer_for(std::uint64_t handle) {
+std::byte* HostStorage::bytes_for(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(map_mu_);
   auto it = buffers_.find(handle);
   NU_CHECK(it != buffers_.end(), "unknown allocation handle on '" + name() +
                                      "'");
-  return it->second;
+  return it->second.data();
 }
 
 std::byte* HostStorage::raw(const Allocation& allocation) {
   NU_CHECK(allocation.valid, "raw() on invalid allocation");
-  return buffer_for(allocation.handle).data();
+  return bytes_for(allocation.handle);
 }
 
 std::uint64_t HostStorage::do_alloc(std::uint64_t size) {
+  util::AlignedBuffer buffer(size);
+  std::lock_guard<std::mutex> lock(map_mu_);
   const std::uint64_t handle = next_handle_++;
-  buffers_.emplace(handle, util::AlignedBuffer(size));
+  buffers_.emplace(handle, std::move(buffer));
   return handle;
 }
 
 void HostStorage::do_release(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(map_mu_);
   const auto erased = buffers_.erase(handle);
   NU_CHECK(erased == 1, "double release on '" + name() + "'");
 }
 
 void HostStorage::do_read(void* dst, std::uint64_t handle,
                           std::uint64_t offset, std::uint64_t size) {
-  std::memcpy(dst, buffer_for(handle).data() + offset, size);
+  std::memcpy(dst, bytes_for(handle) + offset, size);
 }
 
 void HostStorage::do_write(std::uint64_t handle, std::uint64_t offset,
                            const void* src, std::uint64_t size) {
-  std::memcpy(buffer_for(handle).data() + offset, src, size);
+  std::memcpy(bytes_for(handle) + offset, src, size);
 }
 
 // --- FileStorage -----------------------------------------------------------
@@ -176,6 +207,7 @@ FileStorage::FileStorage(std::string name, StorageKind kind,
 }
 
 io::PosixFile& FileStorage::file_for(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(map_mu_);
   auto it = files_.find(handle);
   NU_CHECK(it != files_.end(), "unknown allocation handle on '" + name() +
                                    "'");
@@ -183,22 +215,27 @@ io::PosixFile& FileStorage::file_for(std::uint64_t handle) {
 }
 
 std::uint64_t FileStorage::do_alloc(std::uint64_t size) {
+  std::unique_lock<std::mutex> lock(map_mu_);
   const std::uint64_t handle = next_handle_++;
+  lock.unlock();
   const auto path = (std::filesystem::path(dir_) /
                      (name() + "_alloc_" + std::to_string(handle) + ".bin"))
                         .string();
   io::PosixFile file(path,
                      {.create = true, .truncate = true, .direct = direct_io_});
   file.truncate(size);
+  lock.lock();
   files_.emplace(handle, std::move(file));
   return handle;
 }
 
 void FileStorage::do_release(std::uint64_t handle) {
+  std::unique_lock<std::mutex> lock(map_mu_);
   auto it = files_.find(handle);
   NU_CHECK(it != files_.end(), "double release on '" + name() + "'");
   const std::string path = it->second.path();
   files_.erase(it);
+  lock.unlock();
   std::error_code ec;
   std::filesystem::remove(path, ec);
 }

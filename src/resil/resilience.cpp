@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "northup/exec/task_graph.hpp"
 #include "northup/util/assert.hpp"
 #include "northup/util/log.hpp"
 
@@ -42,6 +43,15 @@ std::string message_of(const std::exception_ptr& error) {
     return "unknown error";
   }
 }
+
+/// Attempt-loop progress parked across an exec::BackoffYield re-arm: the
+/// node body re-runs from its start after the backoff delay, and the
+/// retry loop resumes at the attempt it yielded after instead of getting
+/// a fresh budget.
+struct RetryResume {
+  std::uint32_t attempts_done = 0;
+  double elapsed_s = 0.0;  ///< op wall time consumed before the yield
+};
 
 }  // namespace
 
@@ -144,8 +154,28 @@ void ResilienceManager::run_op(topo::NodeId src, topo::NodeId dst,
                                const std::string& label,
                                const std::function<void()>& op) {
   const RetryPolicy& policy = options_.retry;
-  const auto op_start = Clock::now();
-  for (std::uint32_t attempt = 1;; ++attempt) {
+  // Inside a pool-backed DAG node a backoff must not sleep the worker:
+  // the loop parks its progress in the node's resume state and throws
+  // exec::BackoffYield, and the graph re-arms the node after the delay.
+  // A custom sleeper (tests) keeps the in-place behavior.
+  const bool yield_backoff = !sleeper_ && exec::TaskGraph::current_can_yield();
+  const std::string resume_key = "resil:" + label;
+  auto op_start = Clock::now();
+  std::uint32_t attempt = 1;
+  if (yield_backoff) {
+    if (auto* rs = exec::TaskGraph::current_resume()) {
+      const auto it = rs->slots.find(resume_key);
+      if (it != rs->slots.end()) {
+        const auto* parked = static_cast<const RetryResume*>(it->second.get());
+        attempt = parked->attempts_done + 1;
+        op_start = Clock::now() -
+                   std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(parked->elapsed_s));
+        rs->slots.erase(it);
+      }
+    }
+  }
+  for (;; ++attempt) {
     std::exception_ptr error;
     const auto attempt_start = Clock::now();
     try {
@@ -226,6 +256,15 @@ void ResilienceManager::run_op(topo::NodeId src, topo::NodeId dst,
           sleep_s, policy.op_deadline_s - seconds_since(op_start));
     }
     if (deadline_) sleep_s = std::min(sleep_s, seconds_until(*deadline_));
+    if (sleep_s > 0.0 && yield_backoff) {
+      if (auto* rs = exec::TaskGraph::current_resume()) {
+        auto parked = std::make_shared<RetryResume>();
+        parked->attempts_done = attempt;
+        parked->elapsed_s = seconds_since(op_start);
+        rs->slots[resume_key] = std::move(parked);
+        throw exec::BackoffYield{sleep_s};
+      }
+    }
     sleep_with_abort(sleep_s);
   }
 }

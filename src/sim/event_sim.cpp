@@ -5,6 +5,7 @@
 namespace northup::sim {
 
 ResourceId EventSim::add_resource(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
   resource_names_.push_back(std::move(name));
   resource_available_.push_back(0.0);
   resource_last_task_.push_back(kInvalidTask);
@@ -12,6 +13,7 @@ ResourceId EventSim::add_resource(std::string name) {
 }
 
 TaskId EventSim::add_task(TaskSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
   NU_CHECK(spec.resource < resource_names_.size(),
            "task references unknown resource");
   NU_CHECK(spec.duration >= 0.0, "task duration must be non-negative");
@@ -46,21 +48,25 @@ TaskId EventSim::add_task(std::string label, std::string phase,
 }
 
 const TaskSpec& EventSim::task(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   NU_CHECK(id < tasks_.size(), "unknown task id");
   return tasks_[id];
 }
 
 TaskTiming EventSim::timing(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   NU_CHECK(id < timings_.size(), "unknown task id");
   return timings_[id];
 }
 
 const std::string& EventSim::resource_name(ResourceId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   NU_CHECK(id < resource_names_.size(), "unknown resource id");
   return resource_names_[id];
 }
 
 double EventSim::resource_busy(ResourceId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   NU_CHECK(id < resource_names_.size(), "unknown resource id");
   double busy = 0.0;
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
@@ -70,12 +76,14 @@ double EventSim::resource_busy(ResourceId id) const {
 }
 
 std::map<std::string, double> EventSim::phase_totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, double> totals;
   for (const auto& t : tasks_) totals[t.phase] += t.duration;
   return totals;
 }
 
 std::vector<TaskId> EventSim::critical_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tasks_.empty()) return {};
   // Start from the latest-finishing task and walk start-determiners back.
   TaskId cur = 0;
@@ -94,6 +102,7 @@ std::vector<TaskId> EventSim::critical_path() const {
 }
 
 void EventSim::reset_tasks() {
+  std::lock_guard<std::mutex> lock(mu_);
   tasks_.clear();
   timings_.clear();
   start_determiner_.clear();

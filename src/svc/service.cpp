@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "northup/algos/plan.hpp"
 #include "northup/sim/models.hpp"
 #include "northup/util/assert.hpp"
 #include "northup/util/log.hpp"
@@ -325,18 +326,11 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
         wrapped->arm(job->request.fault.kind, job->request.fault.countdown);
         rt->dm().bind_storage(dram, std::move(wrapped));
       }
-      stats = std::visit(
-          [&rt](const auto& config) {
-            using T = std::decay_t<decltype(config)>;
-            if constexpr (std::is_same_v<T, algos::GemmConfig>) {
-              return algos::gemm_northup(*rt, config);
-            } else if constexpr (std::is_same_v<T, algos::HotspotConfig>) {
-              return algos::hotspot_northup(*rt, config);
-            } else {
-              return algos::spmv_northup(*rt, config);
-            }
-          },
+      // One dispatch signature for every planner (algos::Plan).
+      const auto plan = std::visit(
+          [](const auto& config) { return algos::make_plan(config); },
           job->request.config);
+      stats = plan->run(*rt);
       exec_seconds += seconds_since(attempt_timer);
       fold_resil(rt);
       trace_.record_span(tenant, job->id, name,

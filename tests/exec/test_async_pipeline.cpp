@@ -1,0 +1,163 @@
+// End-to-end tests of the pipelined execution mode: the same planner
+// submissions, run on a pool-backed TaskGraph, must produce bit-identical
+// results to the deterministic inline mode.
+//
+// Capacity pinning: a pipelined planner halves the child budget (it keeps
+// up to a window of staging in flight), which would normally shrink the
+// chosen block size and change GEMM's accumulation grouping. The presets
+// here pick a staging capacity whose full and halved budgets select the
+// same block, so the decompositions — and hence the result hashes — are
+// directly comparable.
+#include <gtest/gtest.h>
+
+#include "northup/algos/csr_adaptive.hpp"
+#include "northup/algos/gemm.hpp"
+#include "northup/algos/hotspot.hpp"
+#include "northup/topo/presets.hpp"
+
+namespace na = northup::algos;
+namespace nt = northup::topo;
+namespace nc = northup::core;
+
+namespace {
+
+nt::PresetOptions pinned_options() {
+  nt::PresetOptions opts;
+  opts.root_capacity = 64ULL << 20;
+  // 160 KiB: for n=128 / no reuse the block budget (x0.85) is ~136 KiB
+  // and its pipelined half ~68 KiB — both in [48 KiB, 196 KiB), so both
+  // modes pick block 64 and a 2x2 level-1 grid.
+  opts.staging_capacity = 160ULL << 10;
+  opts.device_capacity = 128ULL << 10;
+  return opts;
+}
+
+nc::RuntimeOptions pipelined(std::size_t threads) {
+  nc::RuntimeOptions opts;
+  opts.pipeline_threads = threads;
+  return opts;
+}
+
+na::GemmConfig gemm_config() {
+  na::GemmConfig cfg;
+  cfg.n = 128;
+  cfg.verify_samples = 32;
+  cfg.hash_result = true;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(AsyncPipeline, GemmHashMatchesForkJoin) {
+  auto cfg = gemm_config();
+  cfg.shard_reuse = false;  // resident set 3b^2: block pinning is simplest
+
+  nc::Runtime inline_rt(
+      nt::apu_two_level(northup::mem::StorageKind::Ssd, pinned_options()));
+  const auto fork_join = na::gemm_northup(inline_rt, cfg);
+  ASSERT_TRUE(fork_join.verified);
+
+  nc::Runtime async_rt(
+      nt::apu_two_level(northup::mem::StorageKind::Ssd, pinned_options()),
+      pipelined(3));
+  const auto pipelined_stats = na::gemm_northup(async_rt, cfg);
+  ASSERT_TRUE(pipelined_stats.verified);
+
+  EXPECT_EQ(fork_join.result_hash, pipelined_stats.result_hash);
+  EXPECT_NE(fork_join.result_hash, 0u);
+}
+
+TEST(AsyncPipeline, GemmShardReuseHashMatchesForkJoin) {
+  auto cfg = gemm_config();
+  cfg.shard_reuse = true;
+
+  nc::Runtime inline_rt(
+      nt::apu_two_level(northup::mem::StorageKind::Ssd, pinned_options()));
+  const auto fork_join = na::gemm_northup(inline_rt, cfg);
+  ASSERT_TRUE(fork_join.verified);
+
+  nc::Runtime async_rt(
+      nt::apu_two_level(northup::mem::StorageKind::Ssd, pinned_options()),
+      pipelined(3));
+  const auto pipelined_stats = na::gemm_northup(async_rt, cfg);
+  ASSERT_TRUE(pipelined_stats.verified);
+
+  EXPECT_EQ(fork_join.result_hash, pipelined_stats.result_hash);
+}
+
+TEST(AsyncPipeline, GemmSingleWorkerStillCorrect) {
+  // One pipeline worker: everything serializes but through the pool, so
+  // every cross-thread completion path still runs.
+  auto cfg = gemm_config();
+  cfg.shard_reuse = false;
+  nc::Runtime rt(
+      nt::apu_two_level(northup::mem::StorageKind::Ssd, pinned_options()),
+      pipelined(1));
+  const auto stats = na::gemm_northup(rt, cfg);
+  EXPECT_TRUE(stats.verified) << "max rel err " << stats.max_rel_err;
+}
+
+TEST(AsyncPipeline, HotspotHashMatchesForkJoin) {
+  na::HotspotConfig cfg;
+  cfg.n = 128;
+  cfg.iterations = 3;  // odd: exercises the post-run buffer-role swap
+  cfg.hash_result = true;
+
+  nc::Runtime inline_rt(
+      nt::apu_two_level(northup::mem::StorageKind::Ssd, pinned_options()));
+  const auto fork_join = na::hotspot_northup(inline_rt, cfg);
+  ASSERT_TRUE(fork_join.verified);
+
+  nc::Runtime async_rt(
+      nt::apu_two_level(northup::mem::StorageKind::Ssd, pinned_options()),
+      pipelined(3));
+  const auto pipelined_stats = na::hotspot_northup(async_rt, cfg);
+  ASSERT_TRUE(pipelined_stats.verified);
+
+  // The stencil update of a cell is blocking-independent, so the hash
+  // must match even if the two modes picked different block sizes.
+  EXPECT_EQ(fork_join.result_hash, pipelined_stats.result_hash);
+  EXPECT_NE(fork_join.result_hash, 0u);
+}
+
+TEST(AsyncPipeline, HotspotEvenIterationsMatch) {
+  na::HotspotConfig cfg;
+  cfg.n = 128;
+  cfg.iterations = 4;
+  cfg.hash_result = true;
+
+  nc::Runtime inline_rt(
+      nt::apu_two_level(northup::mem::StorageKind::Ssd, pinned_options()));
+  const auto fork_join = na::hotspot_northup(inline_rt, cfg);
+
+  nc::Runtime async_rt(
+      nt::apu_two_level(northup::mem::StorageKind::Ssd, pinned_options()),
+      pipelined(3));
+  const auto pipelined_stats = na::hotspot_northup(async_rt, cfg);
+
+  EXPECT_EQ(fork_join.result_hash, pipelined_stats.result_hash);
+}
+
+TEST(AsyncPipeline, SpmvHashMatchesForkJoin) {
+  na::SpmvConfig cfg;
+  cfg.rows = 2048;
+  cfg.verify = true;
+  cfg.hash_result = true;
+  cfg.repeats = 2;  // exercises the cross-repeat upload serialization
+
+  nc::Runtime inline_rt(
+      nt::apu_two_level(northup::mem::StorageKind::Ssd, pinned_options()));
+  const auto fork_join = na::spmv_northup(inline_rt, cfg);
+  ASSERT_TRUE(fork_join.verified);
+
+  nc::Runtime async_rt(
+      nt::apu_two_level(northup::mem::StorageKind::Ssd, pinned_options()),
+      pipelined(3));
+  const auto pipelined_stats = na::spmv_northup(async_rt, cfg);
+  ASSERT_TRUE(pipelined_stats.verified);
+
+  // Each y row's reduction is shard-independent: the hash must match
+  // regardless of how the two modes split rows.
+  EXPECT_EQ(fork_join.result_hash, pipelined_stats.result_hash);
+  EXPECT_NE(fork_join.result_hash, 0u);
+}

@@ -1,0 +1,332 @@
+// Unit tests of the continuation-DAG executor: ordering through diamond
+// and fan-in shapes, failure poisoning, cancellation, future/promise
+// error propagation, BackoffYield re-arming, streams, and the inline
+// mode's blocking-call failure semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "northup/exec/stream.hpp"
+#include "northup/exec/task_graph.hpp"
+#include "northup/sched/pool.hpp"
+
+namespace ne = northup::exec;
+namespace ns = northup::sched;
+
+namespace {
+
+/// Thread-safe append-only trace of node executions.
+class Trace {
+ public:
+  void record(std::string label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(std::move(label));
+  }
+  std::vector<std::string> entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_;
+  }
+  std::size_t index_of(const std::string& label) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i] == label) return i;
+    }
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> entries_;
+};
+
+}  // namespace
+
+TEST(TaskGraphInline, RunsAtSubmissionInProgramOrder) {
+  ne::TaskGraph graph;  // no pool: inline mode
+  EXPECT_FALSE(graph.is_async());
+  Trace trace;
+  const auto a = graph.add([&](ne::RunStatus) { trace.record("a"); });
+  // The node already ran inside add().
+  EXPECT_EQ(trace.entries().size(), 1u);
+  const auto b = graph.add([&](ne::RunStatus) { trace.record("b"); }, {a});
+  graph.add([&](ne::RunStatus) { trace.record("c"); }, {a, b});
+  graph.wait_all();
+  EXPECT_EQ(trace.entries(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TaskGraphAsync, DiamondRespectsDependencies) {
+  ns::WorkStealingPool pool(3);
+  ne::TaskGraph graph(&pool);
+  EXPECT_TRUE(graph.is_async());
+  Trace trace;
+  const auto top = graph.add([&](ne::RunStatus) { trace.record("top"); });
+  const auto left = graph.add(
+      [&](ne::RunStatus) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        trace.record("left");
+      },
+      {top});
+  const auto right = graph.add([&](ne::RunStatus) { trace.record("right"); },
+                               {top});
+  graph.add([&](ne::RunStatus) { trace.record("bottom"); }, {left, right});
+  graph.wait_all();
+
+  EXPECT_EQ(trace.entries().size(), 4u);
+  EXPECT_EQ(trace.index_of("top"), 0u);
+  EXPECT_EQ(trace.index_of("bottom"), 3u);
+}
+
+TEST(TaskGraphAsync, FanInWaitsForAllProducers) {
+  ns::WorkStealingPool pool(4);
+  ne::TaskGraph graph(&pool);
+  std::atomic<int> produced{0};
+  int seen_at_sink = -1;
+  std::vector<ne::TaskHandle> producers;
+  for (int i = 0; i < 8; ++i) {
+    producers.push_back(graph.add([&](ne::RunStatus) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100 * (8 - 1)));
+      produced.fetch_add(1);
+    }));
+  }
+  graph.add([&](ne::RunStatus) { seen_at_sink = produced.load(); },
+            producers);
+  graph.wait_all();
+  EXPECT_EQ(seen_at_sink, 8);
+}
+
+TEST(TaskGraphAsync, FailurePoisonsTransitiveDependents) {
+  ns::WorkStealingPool pool(2);
+  ne::TaskGraph graph(&pool);
+  std::atomic<bool> mid_ok{false};
+  std::atomic<bool> leaf_ok{false};
+  ne::RunStatus mid_status{};
+  ne::RunStatus leaf_status{};
+
+  const auto bad = graph.add([&](ne::RunStatus) {
+    throw std::runtime_error("injected failure");
+  });
+  const auto mid = graph.add(
+      [&](ne::RunStatus s) {
+        mid_status = s;
+        if (s == ne::RunStatus::kOk) mid_ok = true;
+      },
+      {bad});
+  graph.add(
+      [&](ne::RunStatus s) {
+        leaf_status = s;
+        if (s == ne::RunStatus::kOk) leaf_ok = true;
+      },
+      {mid});
+  graph.wait_all();
+
+  EXPECT_EQ(mid_status, ne::RunStatus::kDepFailed);
+  EXPECT_EQ(leaf_status, ne::RunStatus::kDepFailed);
+  EXPECT_FALSE(mid_ok.load());
+  EXPECT_FALSE(leaf_ok.load());
+  // The root cause is recorded for the run to rethrow.
+  ASSERT_TRUE(graph.first_error() != nullptr);
+  EXPECT_THROW(std::rethrow_exception(graph.first_error()),
+               std::runtime_error);
+}
+
+TEST(TaskGraphAsync, CancelSkipsUnstartedNodes) {
+  ns::WorkStealingPool pool(1);
+  ne::TaskGraph graph(&pool);
+  std::atomic<bool> gate{false};
+  std::atomic<int> ran{0};
+  ne::RunStatus tail_status = ne::RunStatus::kOk;
+
+  const auto head = graph.add([&](ne::RunStatus) {
+    while (!gate.load()) std::this_thread::yield();
+    ran.fetch_add(1);
+  });
+  graph.add(
+      [&](ne::RunStatus s) {
+        tail_status = s;
+        if (s == ne::RunStatus::kOk) ran.fetch_add(1);
+      },
+      {head});
+  graph.cancel();
+  gate = true;
+  graph.wait_all();
+
+  // The running head completed; the unstarted tail ran as cancelled.
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(tail_status, ne::RunStatus::kCancelled);
+  // Cancellation is not a root-cause failure.
+  EXPECT_TRUE(graph.first_error() == nullptr);
+}
+
+TEST(TaskGraphInline, GenuineFailureThrowsAtSubmission) {
+  // Inline mode keeps blocking-call semantics: the error propagates out
+  // of add() at the submission site.
+  ne::TaskGraph graph;
+  EXPECT_THROW(graph.add([](ne::RunStatus) {
+                 throw std::runtime_error("inline body failure");
+               }),
+               std::runtime_error);
+  // Dependents submitted afterwards are poisoned, not thrown through.
+  bool ok = false;
+  ne::RunStatus status{};
+  // The failed node is node 0.
+  graph.add(
+      [&](ne::RunStatus s) {
+        status = s;
+        if (s == ne::RunStatus::kOk) ok = true;
+      },
+      {ne::TaskHandle{&graph, 0}});
+  EXPECT_EQ(status, ne::RunStatus::kDepFailed);
+  EXPECT_FALSE(ok);
+}
+
+TEST(FutureTest, ValueFlowsThroughPromise) {
+  ne::Promise<int> promise;
+  auto fut = promise.future();
+  EXPECT_FALSE(fut.ready());
+  promise.set_value(42);
+  EXPECT_TRUE(fut.ready());
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(FutureTest, ThenChainsAndPropagatesErrors) {
+  ne::Promise<int> promise;
+  auto doubled = promise.future().then([](int& v) { return v * 2; });
+  auto failed = doubled.then([](int&) -> int {
+    throw std::logic_error("continuation failure");
+  });
+  auto after_failed = failed.then([](int& v) { return v + 1; });
+  promise.set_value(21);
+  EXPECT_EQ(doubled.get(), 42);
+  EXPECT_THROW(failed.get(), std::logic_error);
+  // The error skips downstream bodies and reaches the tail future.
+  EXPECT_THROW(after_failed.get(), std::logic_error);
+}
+
+TEST(FutureTest, CancelPreventsUnstartedProducer) {
+  ns::WorkStealingPool pool(1);
+  ne::TaskGraph graph(&pool);
+  std::atomic<bool> gate{false};
+
+  graph.add([&](ne::RunStatus) {
+    while (!gate.load()) std::this_thread::yield();
+  });
+
+  ne::Promise<int> promise;
+  std::atomic<bool> body_computed{false};
+  const auto task = graph.add(
+      [&, promise](ne::RunStatus s) {
+        if (s != ne::RunStatus::kOk) {
+          promise.set_exception(std::make_exception_ptr(
+              ne::CancelledError("task cancelled before start")));
+          return;
+        }
+        body_computed = true;
+        promise.set_value(7);
+      },
+      {ne::TaskHandle{&graph, 0}});
+  auto fut = promise.future(task);
+
+  fut.cancel();
+  gate = true;
+  graph.wait_all();
+
+  EXPECT_FALSE(body_computed.load());
+  EXPECT_THROW(fut.get(), ne::CancelledError);
+}
+
+TEST(TaskGraphAsync, BackoffYieldReArmsWithResumeState) {
+  ns::WorkStealingPool pool(1);
+  ne::TaskGraph graph(&pool);
+  std::atomic<int> entries{0};
+  std::atomic<int> resumed_at{0};
+
+  graph.add([&](ne::RunStatus) {
+    entries.fetch_add(1);
+    ASSERT_TRUE(ne::TaskGraph::current_can_yield());
+    auto* rs = ne::TaskGraph::current_resume();
+    ASSERT_NE(rs, nullptr);
+    auto it = rs->slots.find("step");
+    if (it == rs->slots.end()) {
+      rs->slots["step"] = std::make_shared<int>(1);
+      throw ne::BackoffYield{0.005};
+    }
+    resumed_at = *static_cast<int*>(it->second.get());
+  });
+  graph.wait_all();
+
+  EXPECT_EQ(entries.load(), 2);  // original run + timer re-arm
+  EXPECT_EQ(resumed_at.load(), 1);
+}
+
+TEST(TaskGraphAsync, YieldInhibitScopeBlocksYielding) {
+  ns::WorkStealingPool pool(1);
+  ne::TaskGraph graph(&pool);
+  bool yieldable_outside = false;
+  bool yieldable_inside = true;
+  graph.add([&](ne::RunStatus) {
+    yieldable_outside = ne::TaskGraph::current_can_yield();
+    ne::YieldInhibitScope inhibit;
+    yieldable_inside = ne::TaskGraph::current_can_yield();
+  });
+  graph.wait_all();
+  EXPECT_TRUE(yieldable_outside);
+  EXPECT_FALSE(yieldable_inside);
+}
+
+TEST(TaskGraphInline, NeverYieldable) {
+  ne::TaskGraph graph;
+  bool yieldable = true;
+  graph.add([&](ne::RunStatus) {
+    yieldable = ne::TaskGraph::current_can_yield();
+  });
+  EXPECT_FALSE(yieldable);
+  // Outside any node body there is nothing to yield either.
+  EXPECT_FALSE(ne::TaskGraph::current_can_yield());
+}
+
+TEST(StreamTest, SerializesItsOwnWorkAgainstOtherStreams) {
+  ns::WorkStealingPool pool(4);
+  ne::TaskGraph graph(&pool);
+  ne::Stream s1(graph);
+  ne::Stream s2(graph);
+  Trace trace;
+  for (int i = 0; i < 4; ++i) {
+    s1.submit([&trace, i](ne::RunStatus) {
+      trace.record("s1:" + std::to_string(i));
+    });
+    s2.submit([&trace, i](ne::RunStatus) {
+      trace.record("s2:" + std::to_string(i));
+    });
+  }
+  // Rendezvous: behind both streams.
+  Trace* tp = &trace;
+  graph.add([tp](ne::RunStatus) { tp->record("joined"); },
+            {s1.last(), s2.last()});
+  graph.wait_all();
+
+  const auto entries = trace.entries();
+  EXPECT_EQ(entries.size(), 9u);
+  EXPECT_EQ(entries.back(), "joined");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_LT(trace.index_of("s1:" + std::to_string(i)),
+              trace.index_of("s1:" + std::to_string(i + 1)));
+    EXPECT_LT(trace.index_of("s2:" + std::to_string(i)),
+              trace.index_of("s2:" + std::to_string(i + 1)));
+  }
+}
+
+TEST(TaskGraphTest, InvalidDependencyHandlesAreSkipped) {
+  ne::TaskGraph graph;
+  ne::TaskHandle previous;  // "previous iteration" sentinel, invalid
+  int runs = 0;
+  for (int i = 0; i < 3; ++i) {
+    previous = graph.add([&](ne::RunStatus) { ++runs; }, {previous});
+  }
+  graph.wait_all();
+  EXPECT_EQ(runs, 3);
+}

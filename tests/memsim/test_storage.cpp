@@ -2,6 +2,7 @@
 // behaviour must be identical (round trips, capacity accounting, stats).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <numeric>
@@ -172,6 +173,36 @@ TEST(FileStorage, PersistsDataAcrossAllocations) {
   EXPECT_STREQ(got, "beta");
   fs.release(a);
   fs.release(b);
+}
+
+// --- Paced mode (wall-clock bandwidth emulation). ---
+
+TEST(PacedStorage, OffByDefaultAndTogglable) {
+  nm::HostStorage s("dram", nm::StorageKind::Dram, 1 << 20,
+                    nsim::ModelPresets::dram());
+  EXPECT_FALSE(s.paced());
+  s.set_paced(true);
+  EXPECT_TRUE(s.paced());
+}
+
+TEST(PacedStorage, AccessSleepsOutModeledCost) {
+  // 10 MB/s, zero latency: a 256 KiB access models ~25 ms. The paced
+  // read/write must take at least that on the wall clock; a generous
+  // upper bound guards against pacing the wrong duration.
+  nm::HostStorage s("slow", nm::StorageKind::Dram, 1 << 20,
+                    nsim::BandwidthModel{10e6, 10e6, 0.0});
+  s.set_paced(true);
+  auto a = s.alloc(256 << 10);
+  std::vector<char> buf(256 << 10, 'x');
+  const auto t0 = std::chrono::steady_clock::now();
+  s.write(a, 0, buf.data(), buf.size());
+  s.read(buf.data(), a, 0, buf.size());
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(secs, 0.050);  // two modeled 25 ms accesses
+  EXPECT_LT(secs, 2.0);
+  s.release(a);
 }
 
 // --- §V-D projection. ---

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "northup/sim/event_sim.hpp"
@@ -14,7 +15,10 @@ namespace nu = northup::util;
 namespace {
 
 struct RandomSchedule {
-  ns::EventSim sim;
+  // unique_ptr: EventSim is pinned (internal mutex), but the builder
+  // returns the schedule by value.
+  std::unique_ptr<ns::EventSim> sim_ptr = std::make_unique<ns::EventSim>();
+  ns::EventSim& sim = *sim_ptr;
   std::vector<ns::TaskId> tasks;
 };
 
