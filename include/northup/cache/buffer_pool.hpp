@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "northup/data/data_manager.hpp"
 #include "northup/topo/tree.hpp"
@@ -44,6 +45,22 @@ class BufferPool {
   void pin(std::uint64_t bytes);
   void unpin(std::uint64_t bytes);
 
+  /// Zero-copy view of `buffer` with its bytes pinned for the view's
+  /// lifetime: evicting (or releasing) storage under a live mapping would
+  /// invalidate the pointer mid-kernel. Throws like
+  /// DataManager::host_view when the node's backend has no mapping; pair
+  /// with unpin_view. Pinned view bytes are tracked separately
+  /// (view_bytes, "pool.view_bytes.<node>" gauge) so capacity planning
+  /// can see how much of the node is held by mappings rather than cache
+  /// pins.
+  std::byte* pin_view(const data::Buffer& buffer);
+  void unpin_view(const data::Buffer& buffer);
+
+  /// Bytes currently pinned by live views (subset of pinned_bytes).
+  std::uint64_t view_bytes() const {
+    return view_bytes_.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t bytes_in_use() const;
   std::uint64_t capacity() const;
   std::uint64_t pinned_bytes() const {
@@ -64,8 +81,55 @@ class BufferPool {
   // Atomic so planner threads can poll usage while the cache manager's
   // lock serializes mutation paths.
   std::atomic<std::uint64_t> pinned_bytes_{0};
+  std::atomic<std::uint64_t> view_bytes_{0};
   std::atomic<std::uint64_t> high_water_{0};
   obs::Gauge* high_water_gauge_ = nullptr;
+  obs::Gauge* view_bytes_gauge_ = nullptr;
+};
+
+/// RAII pin_view/unpin_view pair: holds a zero-copy view of one buffer
+/// with its bytes pinned in the pool until the guard dies.
+class ScopedView {
+ public:
+  ScopedView() = default;
+  ScopedView(BufferPool& pool, const data::Buffer& buffer)
+      : pool_(&pool), buffer_(&buffer), data_(pool.pin_view(buffer)) {}
+
+  ScopedView(ScopedView&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        buffer_(std::exchange(other.buffer_, nullptr)),
+        data_(std::exchange(other.data_, nullptr)) {}
+
+  ScopedView& operator=(ScopedView&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = std::exchange(other.pool_, nullptr);
+      buffer_ = std::exchange(other.buffer_, nullptr);
+      data_ = std::exchange(other.data_, nullptr);
+    }
+    return *this;
+  }
+
+  ScopedView(const ScopedView&) = delete;
+  ScopedView& operator=(const ScopedView&) = delete;
+
+  ~ScopedView() { reset(); }
+
+  void reset() {
+    if (pool_ != nullptr) pool_->unpin_view(*buffer_);
+    pool_ = nullptr;
+    buffer_ = nullptr;
+    data_ = nullptr;
+  }
+
+  bool valid() const { return data_ != nullptr; }
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  const data::Buffer* buffer_ = nullptr;
+  std::byte* data_ = nullptr;
 };
 
 }  // namespace northup::cache

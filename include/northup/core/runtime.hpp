@@ -24,6 +24,7 @@
 #include "northup/data/scoped_buffer.hpp"
 #include "northup/device/processor.hpp"
 #include "northup/exec/task_graph.hpp"
+#include "northup/io/async_pool.hpp"
 #include "northup/io/posix_file.hpp"
 #include "northup/obs/event_log.hpp"
 #include "northup/obs/metrics.hpp"
@@ -69,6 +70,20 @@ struct RuntimeOptions {
   /// Virtual timing (EventSim) is unchanged. Off by default: functional
   /// tests should run at host speed.
   bool paced_storage = false;
+  /// Back file-backed nodes (Ssd/Hdd) with mem::MmapStorage instead of
+  /// the copying FileStorage: allocations become MAP_SHARED mappings, the
+  /// data plane's staging copies collapse into zero-copy views/memcpys,
+  /// and planners can take host_view() of file-resident buffers. Modeled
+  /// costs (and paced_storage pacing) are charged identically through
+  /// Storage::note_access, so virtual timing and the §V-D projection are
+  /// unchanged — only the real transport differs.
+  bool mmap_storage = false;
+  /// When > 0, an io::AsyncIoPool with this many workers is attached to
+  /// every copying FileStorage node: large pread/pwrite calls are striped
+  /// across the pool (or submitted as one io_uring batch where the
+  /// kernel allows it) instead of draining one syscall on the calling
+  /// exec worker. Ignored for mmap_storage nodes (no syscalls to stripe).
+  std::size_t io_threads = 0;
   /// Attach a cache::CacheManager: per-node BufferPools with LRU eviction
   /// plus content-keyed ShardCaches behind move_data_down_cached. Off means
   /// the cached download API is unavailable (has_shard_cache == false) and
@@ -198,6 +213,10 @@ class Runtime {
   /// The pool behind pipelined runs, or null when pipeline_threads == 0.
   sched::WorkStealingPool* exec_pool() { return exec_pool_.get(); }
 
+  /// The async file-I/O workers behind copying file-backed nodes, or
+  /// null when io_threads == 0.
+  io::AsyncIoPool* io_pool() { return io_pool_.get(); }
+
   /// Virtual makespan accumulated so far (0 when sim is disabled).
   double makespan() const;
 
@@ -236,6 +255,10 @@ class Runtime {
   obs::Counter* spawn_counter_ = nullptr;
   obs::Gauge* spawn_depth_gauge_ = nullptr;
   std::unique_ptr<sim::EventSim> sim_;
+  /// Declared before dm_: FileStorage backends bound into the
+  /// DataManager hold a raw pointer to the pool, so it must be destroyed
+  /// after them (null when io_threads == 0).
+  std::unique_ptr<io::AsyncIoPool> io_pool_;
   /// Declared before dm_: the DataManager holds a raw pointer to it, so
   /// it must be destroyed after the DataManager.
   std::unique_ptr<resil::ResilienceManager> resil_;
@@ -398,31 +421,6 @@ class ExecContext {
                                         device::KernelCost cost,
                                         std::vector<sim::TaskId> sim_deps = {},
                                         std::vector<exec::TaskHandle> deps = {});
-
-  // --- Blocking wrappers (deprecated migration shims). --------------------
-  //
-  // Each builds one DAG node and waits on it — exactly the async call
-  // followed by get(). They exist so call sites can move to the exec
-  // surface one line at a time; new code should use the *_async forms and
-  // chain dependencies instead of blocking between operations.
-
-  [[deprecated(
-      "blocking shim over a one-node graph; use move_down_async and pass "
-      "the future's task() into the consumer's dependency list")]]
-  data::ScopedBuffer move_down(const data::Buffer& src, topo::NodeId dst_node,
-                               data::CopySpec spec);
-
-  [[deprecated(
-      "blocking shim over a one-node graph; use move_up_async and chain "
-      "the next download on the returned future's task()")]]
-  void move_up(data::Buffer& dst, data::ScopedBuffer src, data::CopySpec spec);
-
-  [[deprecated(
-      "blocking shim over a one-node graph; use launch_async with the "
-      "input buffers' tasks as dependencies")]]
-  void launch(device::Processor& proc, const std::string& label,
-              std::uint32_t num_groups, const device::KernelFn& kernel,
-              const device::KernelCost& cost);
 
  private:
   friend class Runtime;

@@ -229,11 +229,19 @@ class DataManager {
   void read_to_host(void* dst, const Buffer& src, std::uint64_t size,
                     std::uint64_t src_offset = 0);
 
-  /// Zero-copy host view of a buffer whose node is backed by HostStorage
-  /// (DRAM/NVM always; device memory is also HostStorage-backed in the
-  /// simulator and the view models the device-side mapping used by
-  /// kernels). Throws for file-backed nodes.
+  /// Zero-copy host view of a buffer whose backend exposes its bytes
+  /// directly: HostStorage (DRAM/NVM always; device memory is also
+  /// HostStorage-backed in the simulator and the view models the
+  /// device-side mapping used by kernels) and MmapStorage (the view is
+  /// the file's own mapped pages). Throws for copying file-backed nodes.
+  /// In-place accesses through the view bypass read()/write(): call
+  /// storage(node).note_access() when they should carry modeled cost.
   std::byte* host_view(const Buffer& buffer);
+
+  /// Non-throwing host_view: nullptr when the buffer's backend cannot
+  /// expose its bytes (copying FileStorage, fault-injection decorators).
+  /// Lets planners choose a view leg over a staged copy per node.
+  std::byte* try_host_view(const Buffer& buffer);
 
   const SetupCostModel& setup_costs() const { return setup_costs_; }
   void set_setup_costs(const SetupCostModel& costs) { setup_costs_ = costs; }
@@ -275,6 +283,13 @@ class DataManager {
 
   bool verify_enabled() const {
     return resil_ != nullptr && resil_->verify_checksums();
+  }
+
+  /// Counts a move that skipped the staging copy ("dm.zero_copy_moves").
+  void note_zero_copy() {
+    if (metrics_ != nullptr) {
+      metrics_->counter("dm.zero_copy_moves").increment();
+    }
   }
 
   void charge_setup(topo::NodeId node, double seconds,

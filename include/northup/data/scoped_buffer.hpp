@@ -75,6 +75,18 @@ class ScopedBuffer {
   std::uint64_t size() const { return buffer_.size(); }
   topo::NodeId node() const { return buffer_.node; }
 
+  /// Zero-copy view of the buffer's bytes (DataManager::host_view):
+  /// HostStorage heap memory or MmapStorage's mapped file pages. Throws
+  /// for copying file-backed nodes; valid until reset()/destruction.
+  std::byte* view() { return dm_->host_view(buffer_); }
+
+  /// Non-throwing view: nullptr when the node's backend cannot expose
+  /// its bytes directly.
+  std::byte* try_view() {
+    return dm_ != nullptr && buffer_.valid() ? dm_->try_host_view(buffer_)
+                                             : nullptr;
+  }
+
  private:
   DataManager* dm_ = nullptr;
   Buffer buffer_;

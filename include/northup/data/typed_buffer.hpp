@@ -10,6 +10,7 @@
 // that may legally cross storage levels byte-wise.
 #pragma once
 
+#include <span>
 #include <type_traits>
 #include <utility>
 
@@ -93,8 +94,17 @@ class TypedBuffer {
                     .src_offset = src_elem_offset * sizeof(T)});
   }
 
-  /// Host view (byte-addressable nodes only), element-typed.
+  /// Host view (byte-addressable or mmap-backed nodes), element-typed.
   T* host_ptr() { return reinterpret_cast<T*>(dm_->host_view(buffer_)); }
+
+  /// Non-throwing host_ptr: nullptr when the node has no host mapping.
+  T* try_host_ptr() {
+    return reinterpret_cast<T*>(dm_->try_host_view(buffer_));
+  }
+
+  /// The whole buffer as a typed span over its host view (throws like
+  /// host_ptr when the node has no mapping).
+  std::span<T> span() { return std::span<T>(host_ptr(), count_); }
 
  private:
   DataManager* dm_ = nullptr;

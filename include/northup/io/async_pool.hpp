@@ -1,0 +1,180 @@
+// Asynchronous file I/O workers — the copy engine of northup::mmapio.
+//
+// Storage kinds that still copy (mem::FileStorage's pread/pwrite path)
+// serialize every move through one syscall on the calling thread. The
+// AsyncIoPool gives them real I/O parallelism:
+//
+//   * submit_read/submit_write enqueue one positional operation and return
+//     an IoFuture; the caller overlaps other work and joins later. An
+//     exec::TaskGraph move node that dispatches here parks on a condition
+//     variable instead of sitting inside the syscall, the same
+//     don't-block-the-worker discipline exec::BackoffYield applies to
+//     retry sleeps.
+//   * pread_parallel/pwrite_parallel stripe one large transfer across the
+//     workers (or, when the kernel supports it, submit the whole stripe
+//     batch through io_uring in a single io_uring_enter), so a multi-MB
+//     chunk move saturates the device queue instead of draining one
+//     sequential syscall at a time.
+//
+// io_uring is a build-time feature (linux/io_uring.h present) *and* a
+// runtime one (seccomp sandboxes commonly reject io_uring_setup); both
+// probes degrade gracefully to the plain worker-thread backend, so the
+// pool works — just without batched submission — everywhere POSIX does.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "northup/io/posix_file.hpp"
+#include "northup/obs/metrics.hpp"
+
+namespace northup::io {
+
+/// Completion handle of one asynchronous I/O operation. Copyable (shared
+/// state); get() rethrows the operation's util::IoError, if any.
+class IoFuture {
+ public:
+  IoFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const;
+
+  /// Blocks until the operation finished (successfully or not).
+  void wait() const;
+
+  /// wait(), then rethrows the operation's error if it failed.
+  void get() const;
+
+ private:
+  friend class AsyncIoPool;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;
+  };
+  explicit IoFuture(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Fixed pool of I/O worker threads with an optional io_uring fast path
+/// for striped batch transfers. Thread-safe; one pool is shared by every
+/// file-backed storage node of a runtime.
+class AsyncIoPool {
+ public:
+  struct Options {
+    /// Worker threads. 0 = no workers: submissions run inline on the
+    /// calling thread (still correct, never concurrent).
+    std::size_t threads = 2;
+    /// Striping granularity of the parallel helpers; transfers below one
+    /// stripe run as a single operation.
+    std::size_t stripe_bytes = std::size_t{1} << 20;
+    /// Attempt the io_uring backend (compile- and runtime-detected).
+    bool try_io_uring = true;
+    /// Submission-queue depth requested from io_uring_setup.
+    unsigned uring_entries = 64;
+  };
+
+  AsyncIoPool() : AsyncIoPool(Options()) {}
+  explicit AsyncIoPool(Options options);
+  ~AsyncIoPool();
+
+  AsyncIoPool(const AsyncIoPool&) = delete;
+  AsyncIoPool& operator=(const AsyncIoPool&) = delete;
+
+  std::size_t threads() const { return workers_.size(); }
+  std::size_t stripe_bytes() const { return options_.stripe_bytes; }
+
+  /// True when striped transfers go through the io_uring backend.
+  bool using_io_uring() const { return uring_ != nullptr; }
+
+  /// Runtime probe: can this process create an io_uring at all? (False
+  /// under seccomp policies that reject the syscall, or on old kernels.)
+  static bool io_uring_supported();
+
+  /// Enqueues one positional read of `bytes` at `offset`. The file must
+  /// stay open and `dst` valid until the future completes.
+  IoFuture submit_read(const PosixFile& file, void* dst, std::size_t bytes,
+                       std::uint64_t offset);
+
+  /// Enqueues one positional write (same lifetime rules).
+  IoFuture submit_write(PosixFile& file, const void* src, std::size_t bytes,
+                        std::uint64_t offset);
+
+  /// Reads `bytes` at `offset`, striped across the workers (or one
+  /// io_uring batch); returns when every stripe has landed. Throws the
+  /// first stripe's error.
+  void pread_parallel(const PosixFile& file, void* dst, std::size_t bytes,
+                      std::uint64_t offset);
+
+  /// Striped positional write; same contract as pread_parallel.
+  void pwrite_parallel(PosixFile& file, const void* src, std::size_t bytes,
+                       std::uint64_t offset);
+
+  /// Mirrors activity into `registry` under "io.async.*" (requests,
+  /// bytes_read, bytes_written, uring_batches, plus a queue high-water
+  /// gauge). The registry must outlive this pool.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
+ private:
+  struct Request {
+    bool write = false;
+    int fd = -1;
+    void* dst = nullptr;        // read target
+    const void* src = nullptr;  // write source
+    std::size_t bytes = 0;
+    std::uint64_t offset = 0;
+    std::string path;  // for error messages
+    std::shared_ptr<IoFuture::State> state;
+  };
+
+  class Uring;  // raw-syscall io_uring ring (defined in async_pool.cpp)
+
+  void worker_loop();
+  /// Runs one request on the calling thread and completes its future.
+  static void perform(const Request& request);
+  static void complete(const std::shared_ptr<IoFuture::State>& state,
+                       std::exception_ptr error);
+  IoFuture enqueue(Request request);
+  /// Splits [offset, offset+bytes) into stripe-sized slices; always at
+  /// least one slice.
+  std::vector<Request> make_stripes(bool write, const PosixFile& file,
+                                    void* dst, const void* src,
+                                    std::size_t bytes,
+                                    std::uint64_t offset) const;
+  /// Waits on every slice, rethrowing the first failure after all land.
+  static void join_all(const std::vector<IoFuture>& futures);
+  /// Batch path; returns false when the ring is unavailable and the
+  /// caller should stripe through the workers instead.
+  bool run_uring_batch(std::vector<Request>& stripes);
+
+  Options options_;
+  std::unique_ptr<Uring> uring_;
+  std::mutex uring_mu_;  ///< one batch owns the ring at a time
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  struct MetricSet {
+    obs::Counter* requests = nullptr;
+    obs::Counter* bytes_read = nullptr;
+    obs::Counter* bytes_written = nullptr;
+    obs::Counter* uring_batches = nullptr;
+    obs::Counter* inline_ops = nullptr;
+    obs::Gauge* queue_high_water = nullptr;
+  };
+  MetricSet metrics_;
+};
+
+}  // namespace northup::io

@@ -19,7 +19,9 @@ namespace northup::io {
 /// Directory of numbered chunk files with exact-size read/write.
 class ChunkedFileStore {
  public:
-  /// `dir` must already exist; chunk files are created inside it.
+  /// `dir` must already exist; chunk files are created inside it. Any
+  /// `chunk_<id>.bin` files already present are adopted, so a store can
+  /// be reopened over a previous run's preprocessing output.
   explicit ChunkedFileStore(std::string dir);
 
   /// Writes (creating or replacing) chunk `id`.

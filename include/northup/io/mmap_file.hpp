@@ -1,0 +1,101 @@
+// Memory-mapped file — the zero-copy storage primitive of northup::mmapio.
+//
+// A MmapFile owns a PosixFile plus one MAP_SHARED mapping of its contents:
+// the mapped bytes *are* the file, so a buffer backed by one crosses the
+// DRAM/storage boundary by page fault instead of by pread/pwrite into a
+// staging copy. Modeled on the MemoryMapped::Vector of Shasta /
+// ExpressionMatrix2, which keep multi-GB working sets mapped and process
+// them multithreaded; here the mapping backs mem::MmapStorage allocations
+// and the data plane's zero-copy views.
+//
+// All operations throw util::IoError on failure. Advice and prefetch are
+// best-effort hints: where madvise (or a specific advice value) is
+// unavailable they degrade to no-ops rather than failing, so callers never
+// need to feature-test the platform themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "northup/io/posix_file.hpp"
+
+namespace northup::io {
+
+/// Move-only owner of a file plus a shared writable mapping of it.
+/// Advice values (io::Advice, shared with PosixFile::fadvise) are
+/// forwarded to madvise here.
+class MmapFile {
+ public:
+  MmapFile() = default;
+
+  /// Opens (and by default creates) `path`, grows it to `size` bytes if
+  /// shorter, and maps [0, size). `size` must be positive.
+  MmapFile(const std::string& path, std::uint64_t size,
+           OpenOptions options = {});
+
+  /// Adopts an already-open file and maps [0, size).
+  MmapFile(PosixFile file, std::uint64_t size);
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Unmaps and closes. Dirty pages are left to the kernel's writeback
+  /// (call sync() first when durability matters before close).
+  ~MmapFile();
+
+  bool is_mapped() const { return data_ != nullptr; }
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  std::uint64_t size() const { return size_; }
+  const std::string& path() const { return file_.path(); }
+  PosixFile& file() { return file_; }
+
+  /// Grows (or shrinks) the file and remaps it. Existing pointers into
+  /// the mapping are invalidated.
+  void resize(std::uint64_t new_size);
+
+  /// msync of [offset, offset+len) — len 0 means "to the end of the
+  /// mapping". `wait` selects MS_SYNC (block until the pages are on
+  /// stable storage) vs MS_ASYNC (schedule writeback).
+  void sync(std::uint64_t offset = 0, std::uint64_t len = 0,
+            bool wait = true);
+
+  /// madvise over [offset, offset+len) (len 0 = whole mapping).
+  /// Unsupported advice values degrade to a no-op; returns whether the
+  /// kernel accepted the hint.
+  bool advise(Advice advice, std::uint64_t offset = 0, std::uint64_t len = 0);
+
+  /// Touch-ahead prefetch: an madvise(WILLNEED) over the range followed
+  /// by reading one byte per page, so the page-fault cost is paid here —
+  /// off the consumer's critical path — instead of at first access.
+  /// Returns the number of bytes walked.
+  std::uint64_t prefetch(std::uint64_t offset = 0, std::uint64_t len = 0);
+
+  /// Unmaps without closing the file (idempotent).
+  void unmap();
+
+  /// Unmaps and closes the file (idempotent).
+  void close();
+
+  /// The system page size (cached).
+  static std::uint64_t page_size();
+
+ private:
+  void map_now();
+  /// Clamps an (offset, len-0-means-rest) request to the mapping and
+  /// aligns the start down to a page boundary, as msync/madvise require.
+  struct Range {
+    std::byte* addr;
+    std::size_t len;
+  };
+  Range page_range(std::uint64_t offset, std::uint64_t len) const;
+
+  PosixFile file_;
+  std::byte* data_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace northup::io

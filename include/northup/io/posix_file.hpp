@@ -21,6 +21,18 @@ struct OpenOptions {
   bool direct = false;  ///< O_DIRECT | O_SYNC, per the paper's setup
 };
 
+/// Access-pattern hints forwarded to posix_fadvise / madvise. Values the
+/// platform does not support are silently ignored.
+enum class Advice {
+  kNormal,      ///< no special treatment
+  kSequential,  ///< aggressive readahead, drop pages behind the cursor
+  kRandom,      ///< disable readahead
+  kWillNeed,    ///< fault pages in ahead of first use
+  kDontNeed,    ///< drop clean pages; the working set has moved on
+};
+
+const char* to_string(Advice advice);
+
 /// Move-only owning file descriptor with positional I/O helpers.
 /// All operations throw util::IoError on failure.
 class PosixFile {
@@ -54,6 +66,18 @@ class PosixFile {
 
   /// Flushes file data to stable storage.
   void fsync_file();
+
+  /// posix_fadvise over [offset, offset+len) (len 0 = to end of file).
+  /// Best-effort like madvise: returns whether the kernel accepted the
+  /// hint; platforms without posix_fadvise degrade to a no-op.
+  bool fadvise(Advice advice, std::uint64_t offset = 0,
+               std::uint64_t len = 0);
+
+  /// Reserves backing blocks for [0, size) via posix_fallocate so later
+  /// writes cannot fail with ENOSPC mid-stream. Filesystems that cannot
+  /// preallocate (EOPNOTSUPP/EINVAL) degrade to extending the file with
+  /// truncate; returns whether blocks were really reserved.
+  bool preallocate(std::uint64_t size);
 
   void close();
 

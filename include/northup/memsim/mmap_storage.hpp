@@ -1,0 +1,102 @@
+// Memory-mapped file storage tier — the core of northup::mmapio.
+//
+// FileStorage (Listing 4's path) round-trips every DRAM↔file move through
+// pread/pwrite into a staging buffer, so the slowest tier pays one extra
+// copy on top of the modeled bandwidth cost. MmapStorage keeps the same
+// one-file-per-allocation layout but exposes each allocation as a
+// MAP_SHARED mapping: mapped() hands the data layer the file's own pages,
+// boundary moves become page-fault-driven memcpys straight into the
+// mapping (or no copy at all when both sides are mapped), and madvise
+// hints shape the kernel's paging. The StorageKind stays Ssd/Hdd, so
+// planners, log_move's kIo phase attribution, and the §V-D storage
+// projection all treat an mmap node exactly like the copying tier it
+// replaces — only the transport changes.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "northup/io/mmap_file.hpp"
+#include "northup/memsim/storage.hpp"
+
+namespace northup::mem {
+
+/// File-backed storage whose allocations are live mmap regions.
+class MmapStorage final : public Storage {
+ public:
+  struct Options {
+    /// Advice applied to every fresh mapping (kNormal = leave the
+    /// kernel's default readahead in place).
+    io::Advice default_advice = io::Advice::kNormal;
+    /// Run a touch-ahead prefetch over a mapping right after allocation,
+    /// paying the page-fault cost off the consumer's critical path.
+    bool prefetch_on_alloc = false;
+    /// madvise(DONTNEED) a mapping's pages on release so a long-running
+    /// process hands cold file cache back to the kernel eagerly.
+    bool drop_on_release = true;
+  };
+
+  /// `dir` must exist; one `<name>_map_<handle>.bin` file per allocation.
+  MmapStorage(std::string name, StorageKind kind, std::uint64_t capacity,
+              sim::BandwidthModel model, std::string dir)
+      : MmapStorage(std::move(name), kind, capacity, model, std::move(dir),
+                    Options()) {}
+  MmapStorage(std::string name, StorageKind kind, std::uint64_t capacity,
+              sim::BandwidthModel model, std::string dir, Options options);
+
+  /// The mapping's bytes — allocations are always mapped, never nullptr.
+  std::byte* mapped(const Allocation& allocation) override;
+
+  /// Forwards an madvise hint for (a range of) one allocation; returns
+  /// whether the kernel accepted it.
+  bool advise(const Allocation& allocation, io::Advice advice,
+              std::uint64_t offset = 0, std::uint64_t len = 0);
+
+  /// Touch-ahead prefetch of one allocation (see MmapFile::prefetch);
+  /// returns the number of bytes walked.
+  std::uint64_t prefetch(const Allocation& allocation,
+                         std::uint64_t offset = 0, std::uint64_t len = 0);
+
+  /// msync of one allocation's dirty pages (wait = MS_SYNC).
+  void sync(const Allocation& allocation, bool wait = true);
+
+  /// Base "storage.<name>.*" set plus "io.mmap.*" (maps, unmaps,
+  /// prefetches, prefetched_bytes, advices, syncs, and a mapped_bytes
+  /// gauge shared by every MmapStorage attached to the registry).
+  void attach_metrics(obs::MetricsRegistry& registry) override;
+
+ protected:
+  std::uint64_t do_alloc(std::uint64_t size) override;
+  void do_release(std::uint64_t handle) override;
+  void do_read(void* dst, std::uint64_t handle, std::uint64_t offset,
+               std::uint64_t size) override;
+  void do_write(std::uint64_t handle, std::uint64_t offset, const void* src,
+                std::uint64_t size) override;
+
+ private:
+  /// Resolves the handle's mapping under the map lock; the reference
+  /// stays valid afterwards (map nodes are stable and live allocations
+  /// are never released concurrently with an access to them).
+  io::MmapFile& map_for(std::uint64_t handle);
+
+  std::mutex map_mu_;
+  std::string dir_;
+  Options options_;
+  std::uint64_t next_handle_ = 1;
+  std::uint64_t mapped_bytes_ = 0;  ///< guarded by map_mu_
+  std::map<std::uint64_t, io::MmapFile> maps_;
+
+  struct MetricSet {
+    obs::Counter* maps = nullptr;
+    obs::Counter* unmaps = nullptr;
+    obs::Counter* prefetches = nullptr;
+    obs::Counter* prefetched_bytes = nullptr;
+    obs::Counter* advices = nullptr;
+    obs::Counter* syncs = nullptr;
+    obs::Gauge* mapped_bytes = nullptr;
+  };
+  MetricSet mmap_metrics_;  ///< guarded by map_mu_
+};
+
+}  // namespace northup::mem

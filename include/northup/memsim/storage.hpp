@@ -27,6 +27,10 @@
 #include "northup/util/aligned.hpp"
 #include "northup/util/assert.hpp"
 
+namespace northup::io {
+class AsyncIoPool;
+}  // namespace northup::io
+
 namespace northup::mem {
 
 /// Physical kind of a memory/storage node. Determines which copy mechanism
@@ -128,6 +132,22 @@ class Storage {
   void write(Allocation& dst, std::uint64_t offset, const void* src,
              std::uint64_t size);
 
+  /// Direct pointer to an allocation's bytes when this backend can expose
+  /// one (HostStorage heap buffers, MmapStorage file mappings); nullptr
+  /// otherwise. A non-null result lets the data layer hand out zero-copy
+  /// views and skip the staging copy; callers that bypass read()/write()
+  /// through it must charge the modeled cost via note_access(). Decorators
+  /// (fault injection) keep the nullptr default so their intercepted
+  /// read()/write() path stays authoritative.
+  virtual std::byte* mapped(const Allocation& allocation);
+
+  /// Accounting-only access: charges stats, metrics, the §V-D replay
+  /// trace, and — when paced — sleeps out the full modeled access cost,
+  /// exactly as read()/write() would, without copying any bytes. Used for
+  /// in-place accesses through mapped(), so zero-copy moves cost the same
+  /// as staged ones in every model-facing channel.
+  void note_access(bool is_write, std::uint64_t bytes);
+
   /// Model-derived access costs (seconds), charged by the runtime.
   double sim_read_time(std::uint64_t bytes) const {
     return model_.read_time(bytes);
@@ -154,8 +174,9 @@ class Storage {
   /// Mirrors every access/alloc into `registry` under
   /// "storage.<name>.*" (bytes_read, bytes_written, reads, writes,
   /// allocs, releases, plus a peak_used_bytes gauge). The registry must
-  /// outlive this storage.
-  void attach_metrics(obs::MetricsRegistry& registry);
+  /// outlive this storage. Subclasses with extra telemetry (MmapStorage's
+  /// "io.mmap.*") override and call the base first.
+  virtual void attach_metrics(obs::MetricsRegistry& registry);
 
  protected:
   virtual std::uint64_t do_alloc(std::uint64_t size) = 0;
@@ -207,6 +228,9 @@ class HostStorage final : public Storage {
   /// host-addressable kinds; the data layer uses this for zero-copy views.
   std::byte* raw(const Allocation& allocation);
 
+  /// HostStorage is always mappable: mapped() is raw().
+  std::byte* mapped(const Allocation& allocation) override;
+
  protected:
   std::uint64_t do_alloc(std::uint64_t size) override;
   void do_release(std::uint64_t handle) override;
@@ -235,6 +259,14 @@ class FileStorage final : public Storage {
               sim::BandwidthModel model, std::string dir,
               bool direct_io = false);
 
+  /// Routes accesses of at least `min_bytes` through `pool`
+  /// (striped/io_uring instead of one blocking pread/pwrite on the
+  /// calling thread). nullptr restores the plain syscall path. The pool
+  /// must outlive this storage; ignored while direct I/O is active (the
+  /// pool's raw descriptors bypass PosixFile's O_DIRECT degrade logic).
+  void set_async_pool(io::AsyncIoPool* pool,
+                      std::uint64_t min_bytes = std::uint64_t{1} << 16);
+
  protected:
   std::uint64_t do_alloc(std::uint64_t size) override;
   void do_release(std::uint64_t handle) override;
@@ -252,6 +284,8 @@ class FileStorage final : public Storage {
   std::mutex map_mu_;
   std::string dir_;
   bool direct_io_;
+  std::atomic<io::AsyncIoPool*> pool_{nullptr};
+  std::uint64_t pool_min_bytes_ = 0;
   std::uint64_t next_handle_ = 1;
   std::map<std::uint64_t, io::PosixFile> files_;
 };

@@ -11,6 +11,8 @@ BufferPool::BufferPool(data::DataManager& dm, topo::NodeId node)
   if (auto* reg = dm_.metrics()) {
     high_water_gauge_ =
         &reg->gauge("pool.high_water." + dm_.tree().node(node_).name);
+    view_bytes_gauge_ =
+        &reg->gauge("pool.view_bytes." + dm_.tree().node(node_).name);
   }
   note_usage();
 }
@@ -42,6 +44,32 @@ void BufferPool::unpin(std::uint64_t bytes) {
   NU_CHECK(bytes <= pinned_bytes_.load(std::memory_order_relaxed),
            "pool unpin without matching pin");
   pinned_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::byte* BufferPool::pin_view(const data::Buffer& buffer) {
+  NU_CHECK(buffer.node == node_, "pool view of a foreign buffer");
+  std::byte* const view = dm_.host_view(buffer);  // throws when unmappable
+  pin(buffer.size());
+  const std::uint64_t live =
+      view_bytes_.fetch_add(buffer.size(), std::memory_order_relaxed) +
+      buffer.size();
+  if (view_bytes_gauge_ != nullptr) {
+    view_bytes_gauge_->set(static_cast<double>(live));
+  }
+  return view;
+}
+
+void BufferPool::unpin_view(const data::Buffer& buffer) {
+  NU_CHECK(buffer.node == node_, "pool view unpin of a foreign buffer");
+  NU_CHECK(buffer.size() <= view_bytes_.load(std::memory_order_relaxed),
+           "pool unpin_view without matching pin_view");
+  const std::uint64_t live =
+      view_bytes_.fetch_sub(buffer.size(), std::memory_order_relaxed) -
+      buffer.size();
+  unpin(buffer.size());
+  if (view_bytes_gauge_ != nullptr) {
+    view_bytes_gauge_->set(static_cast<double>(live));
+  }
 }
 
 std::uint64_t BufferPool::bytes_in_use() const {

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "northup/memsim/mmap_storage.hpp"
 #include "northup/util/log.hpp"
 
 namespace northup::core {
@@ -60,6 +61,12 @@ Runtime::Runtime(topo::TopoTree tree, RuntimeOptions options)
 Runtime::~Runtime() = default;
 
 void Runtime::bind_all_storages() {
+  if (options_.io_threads > 0 && !options_.mmap_storage) {
+    io::AsyncIoPool::Options popts;
+    popts.threads = options_.io_threads;
+    io_pool_ = std::make_unique<io::AsyncIoPool>(popts);
+    io_pool_->attach_metrics(metrics_);
+  }
   for (topo::NodeId id = 0; id < tree_.node_count(); ++id) {
     const auto& info = tree_.memory(id);
     const std::string name = tree_.node(id).name;
@@ -70,12 +77,21 @@ void Runtime::bind_all_storages() {
         if (!temp_dir_) temp_dir_ = std::make_unique<io::TempDir>("northup-rt");
         dir = temp_dir_->path();
       }
-      auto file = std::make_unique<mem::FileStorage>(
-          name, info.storage_type, info.capacity, info.model, dir,
-          options_.direct_io);
-      if (options_.trace_io) file->set_trace_enabled(true);
-      if (options_.paced_storage) file->set_paced(true);
-      storage = std::move(file);
+      if (options_.mmap_storage) {
+        auto mapped = std::make_unique<mem::MmapStorage>(
+            name, info.storage_type, info.capacity, info.model, dir);
+        if (options_.trace_io) mapped->set_trace_enabled(true);
+        if (options_.paced_storage) mapped->set_paced(true);
+        storage = std::move(mapped);
+      } else {
+        auto file = std::make_unique<mem::FileStorage>(
+            name, info.storage_type, info.capacity, info.model, dir,
+            options_.direct_io);
+        if (options_.trace_io) file->set_trace_enabled(true);
+        if (options_.paced_storage) file->set_paced(true);
+        if (io_pool_ != nullptr) file->set_async_pool(io_pool_.get());
+        storage = std::move(file);
+      }
     } else {
       storage = std::make_unique<mem::HostStorage>(
           name, info.storage_type, info.capacity, info.model);
@@ -480,30 +496,5 @@ exec::Future<exec::Unit> ExecContext::launch_async(
       std::move(deps));
   return promise.future(task);
 }
-
-// Definitions of the deprecated shims; the attribute warns at call sites,
-// and some compilers also flag the out-of-line definitions themselves.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-data::ScopedBuffer ExecContext::move_down(const data::Buffer& src,
-                                          topo::NodeId dst_node,
-                                          data::CopySpec spec) {
-  return move_down_async(src, dst_node, std::move(spec)).get();
-}
-
-void ExecContext::move_up(data::Buffer& dst, data::ScopedBuffer src,
-                          data::CopySpec spec) {
-  move_up_async(dst, std::move(src), std::move(spec)).get();
-}
-
-void ExecContext::launch(device::Processor& proc, const std::string& label,
-                         std::uint32_t num_groups,
-                         const device::KernelFn& kernel,
-                         const device::KernelCost& cost) {
-  launch_async(proc, label, num_groups, kernel, cost).get();
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace northup::core

@@ -1,6 +1,7 @@
 #include "northup/data/data_manager.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "northup/util/assert.hpp"
@@ -238,12 +239,41 @@ void DataManager::copy_bytes(Buffer& dst, const Buffer& src,
                              std::uint64_t src_offset) {
   mem::Storage& s = storage(src.node);
   mem::Storage& d = storage(dst.node);
-  std::vector<std::byte> staging(size);
-  s.read(staging.data(), src.allocation, src_offset, size);
   if (!verify_enabled()) {
+    // Zero-copy fast paths: when a side exposes its bytes directly
+    // (HostStorage heap, MmapStorage file mapping), skip the staging
+    // vector and copy straight across; note_access keeps stats, metrics,
+    // the §V-D replay trace, and pacing identical to the staged path.
+    // The verified path below stays on staging on purpose — its double
+    // reads are how read-path corruption is caught.
+    std::byte* const smap = s.mapped(src.allocation);
+    std::byte* const dmap = d.mapped(dst.allocation);
+    if (smap != nullptr && dmap != nullptr) {
+      std::memcpy(dmap + dst_offset, smap + src_offset, size);
+      s.note_access(/*is_write=*/false, size);
+      d.note_access(/*is_write=*/true, size);
+      note_zero_copy();
+      return;
+    }
+    if (smap != nullptr) {
+      d.write(dst.allocation, dst_offset, smap + src_offset, size);
+      s.note_access(/*is_write=*/false, size);
+      note_zero_copy();
+      return;
+    }
+    if (dmap != nullptr) {
+      s.read(dmap + dst_offset, src.allocation, src_offset, size);
+      d.note_access(/*is_write=*/true, size);
+      note_zero_copy();
+      return;
+    }
+    std::vector<std::byte> staging(size);
+    s.read(staging.data(), src.allocation, src_offset, size);
     d.write(dst.allocation, dst_offset, staging.data(), size);
     return;
   }
+  std::vector<std::byte> staging(size);
+  s.read(staging.data(), src.allocation, src_offset, size);
   const std::uint32_t expected = util::crc32(staging.data(), size);
   std::vector<std::byte> check(size);
   s.read(check.data(), src.allocation, src_offset, size);
@@ -381,6 +411,39 @@ void DataManager::move_block_2d(Buffer& dst, const Buffer& src,
   const std::uint64_t t0 = elog_ != nullptr ? elog_->now_ns() : 0;
   run_guarded(src.node, dst.node, label, [&] {
     if (!verify_enabled()) {
+      // Same zero-copy dispatch as copy_bytes, kept row-granular so the
+      // per-row IoRecord stream (the fragmentation signal the §V-B
+      // analysis depends on) matches the staged path exactly.
+      std::byte* const smap = s.mapped(src.allocation);
+      std::byte* const dmap = d.mapped(dst.allocation);
+      if (smap != nullptr && dmap != nullptr) {
+        for (std::uint64_t r = 0; r < rows; ++r) {
+          std::memcpy(dmap + dst_offset + r * dst_pitch,
+                      smap + src_offset + r * src_pitch, row_bytes);
+          s.note_access(/*is_write=*/false, row_bytes);
+          d.note_access(/*is_write=*/true, row_bytes);
+        }
+        note_zero_copy();
+        return;
+      }
+      if (smap != nullptr) {
+        for (std::uint64_t r = 0; r < rows; ++r) {
+          d.write(dst.allocation, dst_offset + r * dst_pitch,
+                  smap + src_offset + r * src_pitch, row_bytes);
+          s.note_access(/*is_write=*/false, row_bytes);
+        }
+        note_zero_copy();
+        return;
+      }
+      if (dmap != nullptr) {
+        for (std::uint64_t r = 0; r < rows; ++r) {
+          s.read(dmap + dst_offset + r * dst_pitch, src.allocation,
+                 src_offset + r * src_pitch, row_bytes);
+          d.note_access(/*is_write=*/true, row_bytes);
+        }
+        note_zero_copy();
+        return;
+      }
       std::vector<std::byte> staging(row_bytes);
       for (std::uint64_t r = 0; r < rows; ++r) {
         s.read(staging.data(), src.allocation, src_offset + r * src_pitch,
@@ -433,12 +496,37 @@ void DataManager::move_block_2d(Buffer& dst, const Buffer& src,
 void DataManager::fill(Buffer& dst, std::byte value, std::uint64_t size,
                        std::uint64_t dst_offset) {
   NU_CHECK(dst.valid(), "fill of invalid buffer");
-  std::vector<std::byte> staging(size, value);
   mem::Storage& d = storage(dst.node);
   const std::uint64_t t0 = elog_ != nullptr ? elog_->now_ns() : 0;
+  if (!verify_enabled()) {
+    if (std::byte* const dmap = d.mapped(dst.allocation); dmap != nullptr) {
+      // In-place memset into the mapping: no staging vector at all.
+      std::memset(dmap + dst_offset, static_cast<int>(value), size);
+      d.note_access(/*is_write=*/true, size);
+      note_zero_copy();
+    } else {
+      std::vector<std::byte> staging(size, value);
+      run_guarded(dst.node, dst.node,
+                  "fill@" + tree_.node(dst.node).name, [&] {
+        d.write(dst.allocation, dst_offset, staging.data(), size);
+      });
+    }
+    log_move(obs::kNoNode, dst.node, size,
+             "fill@" + tree_.node(dst.node).name, t0);
+    if (sim_ != nullptr) {
+      std::vector<sim::TaskId> deps;
+      if (dst.ready != sim::kInvalidTask) deps.push_back(dst.ready);
+      dst.ready = sim_->add_task(
+          "fill@" + tree_.node(dst.node).name, phase::kTransfer,
+          resource_for(dst.node), storage(dst.node).model().write_time(size),
+          std::move(deps));
+    }
+    notify_written(dst, dst_offset, size);
+    return;
+  }
+  std::vector<std::byte> staging(size, value);
   run_guarded(dst.node, dst.node, "fill@" + tree_.node(dst.node).name, [&] {
     d.write(dst.allocation, dst_offset, staging.data(), size);
-    if (!verify_enabled()) return;
     const std::uint32_t expected = util::crc32(staging.data(), size);
     std::vector<std::byte> check(size);
     d.read(check.data(), dst.allocation, dst_offset, size);
@@ -530,13 +618,18 @@ void DataManager::read_to_host(void* dst, const Buffer& src,
   }
 }
 
-std::byte* DataManager::host_view(const Buffer& buffer) {
+std::byte* DataManager::try_host_view(const Buffer& buffer) {
   NU_CHECK(buffer.valid(), "host_view of invalid buffer");
-  auto* host = dynamic_cast<mem::HostStorage*>(&storage(buffer.node));
-  NU_CHECK(host != nullptr,
-           "host_view requires a byte-addressable (HostStorage) node; '" +
-               tree_.node(buffer.node).name + "' is file-backed");
-  return host->raw(buffer.allocation);
+  return storage(buffer.node).mapped(buffer.allocation);
+}
+
+std::byte* DataManager::host_view(const Buffer& buffer) {
+  std::byte* const view = try_host_view(buffer);
+  NU_CHECK(view != nullptr,
+           "host_view requires a byte-addressable or mmap-backed node; '" +
+               tree_.node(buffer.node).name +
+               "' copies through staged I/O and has no host mapping");
+  return view;
 }
 
 }  // namespace northup::data

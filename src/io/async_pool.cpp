@@ -1,0 +1,566 @@
+#include "northup/io/async_pool.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#ifdef NORTHUP_HAVE_IO_URING
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#endif
+
+namespace northup::io {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path,
+                              int err) {
+  throw util::IoError(what + " failed for '" + path + "': " +
+                          std::strerror(err),
+                      err);
+}
+
+/// Exact positional read/write loops over a raw descriptor — the worker
+/// backend and the io_uring short-op fallback share them. EOF on a read
+/// is a structural (non-transient) error, mirroring PosixFile.
+void pread_fd(int fd, void* dst, std::size_t bytes, std::uint64_t offset,
+              const std::string& path) {
+  auto* out = static_cast<char*>(dst);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::pread(fd, out + done, bytes - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("async pread", path, errno);
+    }
+    if (n == 0) {
+      throw util::IoError("async pread hit EOF at offset " +
+                              std::to_string(offset + done) + " (requested " +
+                              std::to_string(bytes) + " B, got " +
+                              std::to_string(done) + " B) in '" + path + "'",
+                          /*errno_value=*/0, /*transient=*/false);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void pwrite_fd(int fd, const void* src, std::size_t bytes,
+               std::uint64_t offset, const std::string& path) {
+  const auto* in = static_cast<const char*>(src);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::pwrite(fd, in + done, bytes - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("async pwrite", path, errno);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+// --- IoFuture --------------------------------------------------------------
+
+bool IoFuture::ready() const {
+  NU_CHECK(valid(), "ready() on an empty IoFuture");
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+void IoFuture::wait() const {
+  NU_CHECK(valid(), "wait() on an empty IoFuture");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+void IoFuture::get() const {
+  wait();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->error) std::rethrow_exception(state_->error);
+}
+
+// --- io_uring backend ------------------------------------------------------
+
+#ifdef NORTHUP_HAVE_IO_URING
+
+/// Minimal raw-syscall io_uring wrapper (no liburing dependency): one
+/// ring, used for synchronous batches — fill sqes for every stripe of a
+/// transfer, one io_uring_enter submits and waits for all completions.
+/// Callers serialize on AsyncIoPool::uring_mu_, so the ring sees a single
+/// thread at a time; the kernel-shared indices still need atomic access
+/// (the kernel side updates them concurrently).
+class AsyncIoPool::Uring {
+ public:
+  struct Op {
+    bool write = false;
+    int fd = -1;
+    void* addr = nullptr;
+    std::size_t len = 0;
+    std::uint64_t offset = 0;
+    std::size_t done = 0;  ///< bytes completed so far (short-op resume)
+    int error = 0;         ///< first errno seen (0 = ok)
+  };
+
+  static std::unique_ptr<Uring> create(unsigned entries) {
+    auto ring = std::unique_ptr<Uring>(new Uring());
+    if (!ring->init(entries)) return nullptr;
+    return ring;
+  }
+
+  ~Uring() {
+    if (sq_ring_ != MAP_FAILED) ::munmap(sq_ring_, sq_ring_bytes_);
+    if (cq_ring_ != MAP_FAILED && cq_ring_ != sq_ring_) {
+      ::munmap(cq_ring_, cq_ring_bytes_);
+    }
+    if (sqes_ != MAP_FAILED) ::munmap(sqes_, sqe_bytes_);
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  unsigned entries() const { return params_.sq_entries; }
+
+  /// Drives every op to completion (submitting in ring-sized rounds,
+  /// resuming short reads/writes). Ops that still fail carry their errno
+  /// in Op::error; the caller turns those into IoErrors with file names.
+  void run_batch(std::vector<Op>& ops) {
+    std::vector<std::size_t> pending;
+    pending.reserve(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) pending.push_back(i);
+    while (!pending.empty()) {
+      const unsigned round = static_cast<unsigned>(
+          std::min<std::size_t>(pending.size(), entries()));
+      submit_round(ops, pending, round);
+      // Ops past `round` didn't fit this ring-full; they go first in the
+      // next one, followed by any short/retryable ops the reap re-queues.
+      std::vector<std::size_t> next(pending.begin() + round, pending.end());
+      reap_round(ops, round, next, pending);
+      pending = std::move(next);
+    }
+  }
+
+ private:
+  Uring() = default;
+
+  bool init(unsigned entries) {
+    std::memset(&params_, 0, sizeof(params_));
+    const long fd = ::syscall(__NR_io_uring_setup, entries, &params_);
+    if (fd < 0) return false;  // EPERM/ENOSYS: sandboxed or old kernel
+    fd_ = static_cast<int>(fd);
+
+    sq_ring_bytes_ =
+        params_.sq_off.array + params_.sq_entries * sizeof(unsigned);
+    cq_ring_bytes_ =
+        params_.cq_off.cqes + params_.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap =
+        (params_.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) {
+      sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+    }
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) return false;
+    cq_ring_ = single_mmap
+                   ? sq_ring_
+                   : ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, fd_,
+                            IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) return false;
+    sqe_bytes_ = params_.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = ::mmap(nullptr, sqe_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_SQES);
+    if (sqes_ == MAP_FAILED) return false;
+
+    auto* sq = static_cast<char*>(sq_ring_);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + params_.sq_off.tail);
+    sq_mask_ = reinterpret_cast<unsigned*>(sq + params_.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + params_.sq_off.array);
+    auto* cq = static_cast<char*>(cq_ring_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + params_.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + params_.cq_off.tail);
+    cq_mask_ = reinterpret_cast<unsigned*>(cq + params_.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params_.cq_off.cqes);
+    return true;
+  }
+
+  /// Queues sqes for the first `round` pending ops and submits them with
+  /// one io_uring_enter that also waits for all their completions.
+  void submit_round(std::vector<Op>& ops,
+                    const std::vector<std::size_t>& pending, unsigned round) {
+    const unsigned mask = *sq_mask_;
+    unsigned tail = std::atomic_ref<unsigned>(*sq_tail_).load(
+        std::memory_order_relaxed);
+    for (unsigned i = 0; i < round; ++i) {
+      Op& op = ops[pending[i]];
+      const unsigned idx = tail & mask;
+      auto* sqe = static_cast<io_uring_sqe*>(sqes_) + idx;
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = op.write ? IORING_OP_WRITE : IORING_OP_READ;
+      sqe->fd = op.fd;
+      sqe->addr = reinterpret_cast<std::uint64_t>(
+          static_cast<char*>(op.addr) + op.done);
+      sqe->len = static_cast<unsigned>(op.len - op.done);
+      sqe->off = op.offset + op.done;
+      sqe->user_data = pending[i];
+      sq_array_[idx] = idx;
+      ++tail;
+    }
+    std::atomic_ref<unsigned>(*sq_tail_).store(tail,
+                                               std::memory_order_release);
+    unsigned submitted = 0;
+    while (submitted < round) {
+      const long n = ::syscall(__NR_io_uring_enter, fd_, round - submitted,
+                               round - submitted, IORING_ENTER_GETEVENTS,
+                               nullptr, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("io_uring_enter", "<ring>", errno);
+      }
+      submitted += static_cast<unsigned>(n);
+    }
+  }
+
+  /// Consumes exactly `round` completions, scheduling short ops for
+  /// another round and recording errors.
+  void reap_round(std::vector<Op>& ops, unsigned round,
+                  std::vector<std::size_t>& next,
+                  const std::vector<std::size_t>& pending) {
+    const unsigned mask = *cq_mask_;
+    unsigned seen = 0;
+    unsigned head =
+        std::atomic_ref<unsigned>(*cq_head_).load(std::memory_order_relaxed);
+    while (seen < round) {
+      const unsigned tail = std::atomic_ref<unsigned>(*cq_tail_).load(
+          std::memory_order_acquire);
+      while (head != tail && seen < round) {
+        const io_uring_cqe& cqe = cqes_[head & mask];
+        Op& op = ops[cqe.user_data];
+        if (cqe.res < 0) {
+          if (cqe.res == -EINTR || cqe.res == -EAGAIN) {
+            next.push_back(cqe.user_data);  // retryable: resubmit as-is
+          } else if (op.error == 0) {
+            op.error = -cqe.res;
+          }
+        } else if (cqe.res == 0 && !op.write) {
+          op.error = op.error != 0 ? op.error : -1;  // EOF sentinel
+        } else {
+          op.done += static_cast<std::size_t>(cqe.res);
+          if (op.done < op.len) next.push_back(cqe.user_data);
+        }
+        ++head;
+        ++seen;
+      }
+      std::atomic_ref<unsigned>(*cq_head_).store(head,
+                                                 std::memory_order_release);
+      if (seen < round) {
+        const long n = ::syscall(__NR_io_uring_enter, fd_, 0, 1,
+                                 IORING_ENTER_GETEVENTS, nullptr, 0);
+        if (n < 0 && errno != EINTR) {
+          throw_errno("io_uring_enter", "<ring>", errno);
+        }
+        head = std::atomic_ref<unsigned>(*cq_head_).load(
+            std::memory_order_relaxed);
+      }
+    }
+    (void)pending;
+  }
+
+  int fd_ = -1;
+  io_uring_params params_{};
+  void* sq_ring_ = MAP_FAILED;
+  void* cq_ring_ = MAP_FAILED;
+  void* sqes_ = MAP_FAILED;
+  std::size_t sq_ring_bytes_ = 0;
+  std::size_t cq_ring_bytes_ = 0;
+  std::size_t sqe_bytes_ = 0;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_mask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned* cq_mask_ = nullptr;
+  io_uring_cqe* cqes_ = nullptr;
+};
+
+bool AsyncIoPool::io_uring_supported() {
+  static const bool supported = [] {
+    auto probe = Uring::create(4);
+    return probe != nullptr;
+  }();
+  return supported;
+}
+
+bool AsyncIoPool::run_uring_batch(std::vector<Request>& stripes) {
+  if (uring_ == nullptr) return false;
+  std::vector<Uring::Op> ops;
+  ops.reserve(stripes.size());
+  for (const Request& r : stripes) {
+    ops.push_back({r.write, r.fd,
+                   r.write ? const_cast<void*>(r.src) : r.dst, r.bytes,
+                   r.offset, 0, 0});
+  }
+  {
+    std::lock_guard<std::mutex> lock(uring_mu_);
+    uring_->run_batch(ops);
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Uring::Op& op = ops[i];
+    if (op.error == -1) {
+      throw util::IoError("io_uring read hit EOF at offset " +
+                              std::to_string(op.offset + op.done) +
+                              " (requested " + std::to_string(op.len) +
+                              " B, got " + std::to_string(op.done) +
+                              " B) in '" + stripes[i].path + "'",
+                          /*errno_value=*/0, /*transient=*/false);
+    }
+    if (op.error != 0) {
+      throw_errno(op.write ? "io_uring write" : "io_uring read",
+                  stripes[i].path, op.error);
+    }
+  }
+  if (metrics_.uring_batches != nullptr) metrics_.uring_batches->increment();
+  return true;
+}
+
+#else  // !NORTHUP_HAVE_IO_URING
+
+class AsyncIoPool::Uring {};
+
+bool AsyncIoPool::io_uring_supported() { return false; }
+
+bool AsyncIoPool::run_uring_batch(std::vector<Request>&) { return false; }
+
+#endif  // NORTHUP_HAVE_IO_URING
+
+// --- AsyncIoPool -----------------------------------------------------------
+
+AsyncIoPool::AsyncIoPool(Options options) : options_(options) {
+  NU_CHECK(options_.stripe_bytes > 0, "stripe_bytes must be positive");
+#ifdef NORTHUP_HAVE_IO_URING
+  if (options_.try_io_uring) {
+    uring_ = Uring::create(std::max(1u, options_.uring_entries));
+  }
+#endif
+  workers_.reserve(options_.threads);
+  for (std::size_t i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AsyncIoPool::~AsyncIoPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Workers drain the queue before exiting, so no future is left pending.
+}
+
+void AsyncIoPool::attach_metrics(obs::MetricsRegistry& registry) {
+  metrics_.requests = &registry.counter("io.async.requests");
+  metrics_.bytes_read = &registry.counter("io.async.bytes_read");
+  metrics_.bytes_written = &registry.counter("io.async.bytes_written");
+  metrics_.uring_batches = &registry.counter("io.async.uring_batches");
+  metrics_.inline_ops = &registry.counter("io.async.inline_ops");
+  metrics_.queue_high_water = &registry.gauge("io.async.queue_high_water");
+}
+
+void AsyncIoPool::complete(const std::shared_ptr<IoFuture::State>& state,
+                           std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->done = true;
+    state->error = std::move(error);
+  }
+  state->cv.notify_all();
+}
+
+void AsyncIoPool::perform(const Request& request) {
+  std::exception_ptr error;
+  try {
+    if (request.write) {
+      pwrite_fd(request.fd, request.src, request.bytes, request.offset,
+                request.path);
+    } else {
+      pread_fd(request.fd, request.dst, request.bytes, request.offset,
+               request.path);
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  complete(request.state, std::move(error));
+}
+
+void AsyncIoPool::worker_loop() {
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    perform(request);
+  }
+}
+
+IoFuture AsyncIoPool::enqueue(Request request) {
+  request.state = std::make_shared<IoFuture::State>();
+  IoFuture future(request.state);
+  if (metrics_.requests != nullptr) {
+    metrics_.requests->increment();
+    (request.write ? metrics_.bytes_written : metrics_.bytes_read)
+        ->add(request.bytes);
+  }
+  if (workers_.empty()) {
+    if (metrics_.inline_ops != nullptr) metrics_.inline_ops->increment();
+    perform(request);
+    return future;
+  }
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    NU_CHECK(!stopping_, "submit on a stopping AsyncIoPool");
+    queue_.push_back(std::move(request));
+    depth = queue_.size();
+  }
+  queue_cv_.notify_one();
+  if (metrics_.queue_high_water != nullptr) {
+    metrics_.queue_high_water->record_max(static_cast<double>(depth));
+  }
+  return future;
+}
+
+IoFuture AsyncIoPool::submit_read(const PosixFile& file, void* dst,
+                                  std::size_t bytes, std::uint64_t offset) {
+  NU_CHECK(file.is_open(), "submit_read on a closed file");
+  Request r;
+  r.write = false;
+  r.fd = file.fd();
+  r.dst = dst;
+  r.bytes = bytes;
+  r.offset = offset;
+  r.path = file.path();
+  return enqueue(std::move(r));
+}
+
+IoFuture AsyncIoPool::submit_write(PosixFile& file, const void* src,
+                                   std::size_t bytes, std::uint64_t offset) {
+  NU_CHECK(file.is_open(), "submit_write on a closed file");
+  Request r;
+  r.write = true;
+  r.fd = file.fd();
+  r.src = src;
+  r.bytes = bytes;
+  r.offset = offset;
+  r.path = file.path();
+  return enqueue(std::move(r));
+}
+
+std::vector<AsyncIoPool::Request> AsyncIoPool::make_stripes(
+    bool write, const PosixFile& file, void* dst, const void* src,
+    std::size_t bytes, std::uint64_t offset) const {
+  std::vector<Request> stripes;
+  const std::size_t stripe = options_.stripe_bytes;
+  std::size_t at = 0;
+  do {
+    const std::size_t len = std::min(stripe, bytes - at);
+    Request r;
+    r.write = write;
+    r.fd = file.fd();
+    r.dst = dst != nullptr ? static_cast<char*>(dst) + at : nullptr;
+    r.src = src != nullptr ? static_cast<const char*>(src) + at : nullptr;
+    r.bytes = len;
+    r.offset = offset + at;
+    r.path = file.path();
+    stripes.push_back(std::move(r));
+    at += len;
+  } while (at < bytes);
+  return stripes;
+}
+
+void AsyncIoPool::join_all(const std::vector<IoFuture>& futures) {
+  // Wait for every stripe before rethrowing: the buffers they target go
+  // out of scope when this frame unwinds.
+  for (const IoFuture& f : futures) f.wait();
+  for (const IoFuture& f : futures) f.get();
+}
+
+void AsyncIoPool::pread_parallel(const PosixFile& file, void* dst,
+                                 std::size_t bytes, std::uint64_t offset) {
+  NU_CHECK(file.is_open(), "pread_parallel on a closed file");
+  if (bytes == 0) return;
+  std::vector<Request> stripes =
+      make_stripes(false, file, dst, nullptr, bytes, offset);
+  if (metrics_.requests != nullptr) {
+    metrics_.requests->add(stripes.size());
+    metrics_.bytes_read->add(bytes);
+  }
+  if (run_uring_batch(stripes)) return;
+  if (workers_.empty() || stripes.size() == 1) {
+    if (metrics_.inline_ops != nullptr) metrics_.inline_ops->increment();
+    pread_fd(file.fd(), dst, bytes, offset, file.path());
+    return;
+  }
+  std::vector<IoFuture> futures;
+  futures.reserve(stripes.size());
+  for (Request& r : stripes) {
+    r.state = std::make_shared<IoFuture::State>();
+    futures.emplace_back(IoFuture(r.state));
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    NU_CHECK(!stopping_, "pread_parallel on a stopping AsyncIoPool");
+    for (Request& r : stripes) queue_.push_back(std::move(r));
+    if (metrics_.queue_high_water != nullptr) {
+      metrics_.queue_high_water->record_max(
+          static_cast<double>(queue_.size()));
+    }
+  }
+  queue_cv_.notify_all();
+  join_all(futures);
+}
+
+void AsyncIoPool::pwrite_parallel(PosixFile& file, const void* src,
+                                  std::size_t bytes, std::uint64_t offset) {
+  NU_CHECK(file.is_open(), "pwrite_parallel on a closed file");
+  if (bytes == 0) return;
+  std::vector<Request> stripes =
+      make_stripes(true, file, nullptr, src, bytes, offset);
+  if (metrics_.requests != nullptr) {
+    metrics_.requests->add(stripes.size());
+    metrics_.bytes_written->add(bytes);
+  }
+  if (run_uring_batch(stripes)) return;
+  if (workers_.empty() || stripes.size() == 1) {
+    if (metrics_.inline_ops != nullptr) metrics_.inline_ops->increment();
+    pwrite_fd(file.fd(), src, bytes, offset, file.path());
+    return;
+  }
+  std::vector<IoFuture> futures;
+  futures.reserve(stripes.size());
+  for (Request& r : stripes) {
+    r.state = std::make_shared<IoFuture::State>();
+    futures.emplace_back(IoFuture(r.state));
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    NU_CHECK(!stopping_, "pwrite_parallel on a stopping AsyncIoPool");
+    for (Request& r : stripes) queue_.push_back(std::move(r));
+    if (metrics_.queue_high_water != nullptr) {
+      metrics_.queue_high_water->record_max(
+          static_cast<double>(queue_.size()));
+    }
+  }
+  queue_cv_.notify_all();
+  join_all(futures);
+}
+
+}  // namespace northup::io

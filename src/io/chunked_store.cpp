@@ -1,6 +1,8 @@
 #include "northup/io/chunked_store.hpp"
 
+#include <charconv>
 #include <filesystem>
+#include <string_view>
 #include <vector>
 
 #include "northup/util/assert.hpp"
@@ -10,6 +12,27 @@ namespace northup::io {
 ChunkedFileStore::ChunkedFileStore(std::string dir) : dir_(std::move(dir)) {
   NU_CHECK(std::filesystem::is_directory(dir_),
            "chunk store directory does not exist: '" + dir_ + "'");
+  // Reopening an existing store: adopt every chunk_<id>.bin already in the
+  // directory (preprocessing runs once; later runs reuse its output).
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string fname = entry.path().filename().string();
+    constexpr std::string_view kPrefix = "chunk_";
+    constexpr std::string_view kSuffix = ".bin";
+    if (!entry.is_regular_file() || fname.size() <= kPrefix.size() + kSuffix.size() ||
+        fname.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        fname.compare(fname.size() - kSuffix.size(), kSuffix.size(),
+                      kSuffix) != 0) {
+      continue;
+    }
+    const std::string digits = fname.substr(
+        kPrefix.size(), fname.size() - kPrefix.size() - kSuffix.size());
+    std::uint64_t id = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), id);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size()) continue;
+    files_.emplace(id, PosixFile(entry.path().string(),
+                                 {.create = false, .truncate = false}));
+  }
 }
 
 PosixFile& ChunkedFileStore::open_chunk(std::uint64_t id, bool create) const {

@@ -1,0 +1,153 @@
+#include "northup/io/mmap_file.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace northup::io {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  const int err = errno;
+  throw util::IoError(what + " failed for '" + path + "': " +
+                          std::strerror(err),
+                      err);
+}
+
+/// Maps `advice` to the platform's madvise constant, or -1 when the
+/// platform does not define it (the caller then no-ops).
+int madvise_value(Advice advice) {
+  switch (advice) {
+    case Advice::kNormal: return MADV_NORMAL;
+    case Advice::kSequential: return MADV_SEQUENTIAL;
+    case Advice::kRandom: return MADV_RANDOM;
+#ifdef MADV_WILLNEED
+    case Advice::kWillNeed: return MADV_WILLNEED;
+#endif
+#ifdef MADV_DONTNEED
+    case Advice::kDontNeed: return MADV_DONTNEED;
+#endif
+    default: return -1;
+  }
+}
+
+}  // namespace
+
+std::uint64_t MmapFile::page_size() {
+  static const std::uint64_t page =
+      static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+MmapFile::MmapFile(const std::string& path, std::uint64_t size,
+                   OpenOptions options)
+    : file_(path, options), size_(size) {
+  NU_CHECK(size > 0, "MmapFile requires a positive size");
+  if (file_.size() < size) file_.truncate(size);
+  map_now();
+}
+
+MmapFile::MmapFile(PosixFile file, std::uint64_t size)
+    : file_(std::move(file)), size_(size) {
+  NU_CHECK(size > 0, "MmapFile requires a positive size");
+  NU_CHECK(file_.is_open(), "MmapFile requires an open file");
+  if (file_.size() < size) file_.truncate(size);
+  map_now();
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : file_(std::move(other.file_)),
+      data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    file_ = std::move(other.file_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MmapFile::~MmapFile() { close(); }
+
+void MmapFile::map_now() {
+  void* addr = ::mmap(nullptr, static_cast<std::size_t>(size_),
+                      PROT_READ | PROT_WRITE, MAP_SHARED, file_.fd(), 0);
+  if (addr == MAP_FAILED) throw_errno("mmap", file_.path());
+  data_ = static_cast<std::byte*>(addr);
+}
+
+void MmapFile::resize(std::uint64_t new_size) {
+  NU_CHECK(new_size > 0, "MmapFile resize to zero");
+  NU_CHECK(file_.is_open(), "resize of a closed MmapFile");
+  unmap();
+  file_.truncate(new_size);
+  size_ = new_size;
+  map_now();
+}
+
+MmapFile::Range MmapFile::page_range(std::uint64_t offset,
+                                     std::uint64_t len) const {
+  NU_CHECK(is_mapped(), "page range on an unmapped MmapFile");
+  NU_CHECK(offset <= size_, "range start past the end of '" + path() + "'");
+  if (len == 0) len = size_ - offset;
+  NU_CHECK(offset + len <= size_, "range past the end of '" + path() + "'");
+  const std::uint64_t mask = page_size() - 1;
+  const std::uint64_t start = offset & ~mask;
+  return {data_ + start, static_cast<std::size_t>(len + (offset - start))};
+}
+
+void MmapFile::sync(std::uint64_t offset, std::uint64_t len, bool wait) {
+  const Range r = page_range(offset, len);
+  if (::msync(r.addr, r.len, wait ? MS_SYNC : MS_ASYNC) != 0) {
+    throw_errno("msync", file_.path());
+  }
+}
+
+bool MmapFile::advise(Advice advice, std::uint64_t offset, std::uint64_t len) {
+  const int value = madvise_value(advice);
+  if (value < 0) return false;  // platform lacks this advice: hint dropped
+  const Range r = page_range(offset, len);
+  // Advice is an optimization, never a correctness requirement: a kernel
+  // that rejects the hint (EINVAL on exotic mappings, ENOMEM on partial
+  // unmap races) leaves the data intact, so failure only means "not
+  // accepted".
+  return ::madvise(r.addr, r.len, value) == 0;
+}
+
+std::uint64_t MmapFile::prefetch(std::uint64_t offset, std::uint64_t len) {
+  advise(Advice::kWillNeed, offset, len);
+  const Range r = page_range(offset, len);
+  const std::uint64_t page = page_size();
+  // Touch one byte per page so the faults happen now. The volatile sink
+  // keeps the loop from being optimized away; reads are enough — pages
+  // arrive resident and clean.
+  volatile std::byte sink{};
+  for (std::size_t i = 0; i < r.len; i += page) sink = r.addr[i];
+  (void)sink;
+  return r.len;
+}
+
+void MmapFile::unmap() {
+  if (data_ != nullptr) {
+    // munmap failure leaks address space but the destructor path must not
+    // throw; mirror PosixFile::close and carry on.
+    ::munmap(data_, static_cast<std::size_t>(size_));
+    data_ = nullptr;
+  }
+}
+
+void MmapFile::close() {
+  unmap();
+  size_ = 0;
+  file_.close();
+}
+
+}  // namespace northup::io

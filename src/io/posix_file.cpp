@@ -25,6 +25,17 @@ namespace {
 }
 }  // namespace
 
+const char* to_string(Advice advice) {
+  switch (advice) {
+    case Advice::kNormal: return "normal";
+    case Advice::kSequential: return "sequential";
+    case Advice::kRandom: return "random";
+    case Advice::kWillNeed: return "willneed";
+    case Advice::kDontNeed: return "dontneed";
+  }
+  return "?";
+}
+
 PosixFile::PosixFile(const std::string& path, OpenOptions options)
     : path_(path) {
   int flags = O_RDWR;
@@ -107,8 +118,9 @@ void PosixFile::pread_exact(void* dst, std::size_t size,
       // Reading past EOF means the file is shorter than the allocation
       // claims — a structural problem retrying will not fix.
       throw util::IoError("pread hit EOF at offset " +
-                              std::to_string(offset + done) + " in '" + path_ +
-                              "'",
+                              std::to_string(offset + done) + " (requested " +
+                              std::to_string(size) + " B, got " +
+                              std::to_string(done) + " B) in '" + path_ + "'",
                           /*errno_value=*/0, /*transient=*/false);
     }
     done += static_cast<std::size_t>(n);
@@ -153,6 +165,47 @@ std::uint64_t PosixFile::size() const {
 void PosixFile::fsync_file() {
   NU_CHECK(is_open(), "fsync on closed file");
   if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+}
+
+bool PosixFile::fadvise(Advice advice, std::uint64_t offset,
+                        std::uint64_t len) {
+  NU_CHECK(is_open(), "fadvise on closed file");
+#ifdef POSIX_FADV_NORMAL
+  int value = POSIX_FADV_NORMAL;
+  switch (advice) {
+    case Advice::kNormal: value = POSIX_FADV_NORMAL; break;
+    case Advice::kSequential: value = POSIX_FADV_SEQUENTIAL; break;
+    case Advice::kRandom: value = POSIX_FADV_RANDOM; break;
+    case Advice::kWillNeed: value = POSIX_FADV_WILLNEED; break;
+    case Advice::kDontNeed: value = POSIX_FADV_DONTNEED; break;
+  }
+  // posix_fadvise returns the error directly (not via errno). Hints are
+  // never a correctness requirement, so rejection only means "dropped".
+  return ::posix_fadvise(fd_, static_cast<off_t>(offset),
+                         static_cast<off_t>(len), value) == 0;
+#else
+  (void)advice;
+  (void)offset;
+  (void)len;
+  return false;  // platform lacks posix_fadvise: hint dropped
+#endif
+}
+
+bool PosixFile::preallocate(std::uint64_t size) {
+  NU_CHECK(is_open(), "preallocate on closed file");
+#ifdef POSIX_FADV_NORMAL  // same feature generation as posix_fallocate
+  const int err = ::posix_fallocate(fd_, 0, static_cast<off_t>(size));
+  if (err == 0) return true;
+  if (err != EOPNOTSUPP && err != EINVAL) {
+    throw util::IoError("posix_fallocate failed for '" + path_ +
+                            "': " + std::strerror(err),
+                        err);
+  }
+#endif
+  // No real block reservation available: at least extend the logical size
+  // so later positional writes stay within the file.
+  if (this->size() < size) truncate(size);
+  return false;
 }
 
 TempDir::TempDir(const std::string& tag) {

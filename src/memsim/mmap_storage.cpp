@@ -1,0 +1,133 @@
+#include "northup/memsim/mmap_storage.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+namespace northup::mem {
+
+MmapStorage::MmapStorage(std::string name, StorageKind kind,
+                         std::uint64_t capacity, sim::BandwidthModel model,
+                         std::string dir, Options options)
+    : Storage(std::move(name), kind, capacity, model), dir_(std::move(dir)),
+      options_(options) {
+  NU_CHECK(is_file_backed(kind), "MmapStorage requires a file-backed kind");
+  NU_CHECK(std::filesystem::is_directory(dir_),
+           "MmapStorage directory does not exist: '" + dir_ + "'");
+}
+
+void MmapStorage::attach_metrics(obs::MetricsRegistry& registry) {
+  Storage::attach_metrics(registry);
+  std::lock_guard<std::mutex> lock(map_mu_);
+  mmap_metrics_.maps = &registry.counter("io.mmap.maps");
+  mmap_metrics_.unmaps = &registry.counter("io.mmap.unmaps");
+  mmap_metrics_.prefetches = &registry.counter("io.mmap.prefetches");
+  mmap_metrics_.prefetched_bytes =
+      &registry.counter("io.mmap.prefetched_bytes");
+  mmap_metrics_.advices = &registry.counter("io.mmap.advices");
+  mmap_metrics_.syncs = &registry.counter("io.mmap.syncs");
+  mmap_metrics_.mapped_bytes = &registry.gauge("io.mmap.mapped_bytes");
+  mmap_metrics_.mapped_bytes->set(static_cast<double>(mapped_bytes_));
+}
+
+io::MmapFile& MmapStorage::map_for(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  auto it = maps_.find(handle);
+  NU_CHECK(it != maps_.end(), "unknown allocation handle on '" + name() +
+                                  "'");
+  return it->second;
+}
+
+std::byte* MmapStorage::mapped(const Allocation& allocation) {
+  NU_CHECK(allocation.valid, "mapped() on invalid allocation");
+  return map_for(allocation.handle).data();
+}
+
+bool MmapStorage::advise(const Allocation& allocation, io::Advice advice,
+                         std::uint64_t offset, std::uint64_t len) {
+  NU_CHECK(allocation.valid, "advise() on invalid allocation");
+  const bool accepted = map_for(allocation.handle).advise(advice, offset, len);
+  std::lock_guard<std::mutex> lock(map_mu_);
+  if (mmap_metrics_.advices != nullptr) mmap_metrics_.advices->increment();
+  return accepted;
+}
+
+std::uint64_t MmapStorage::prefetch(const Allocation& allocation,
+                                    std::uint64_t offset, std::uint64_t len) {
+  NU_CHECK(allocation.valid, "prefetch() on invalid allocation");
+  const std::uint64_t walked =
+      map_for(allocation.handle).prefetch(offset, len);
+  std::lock_guard<std::mutex> lock(map_mu_);
+  if (mmap_metrics_.prefetches != nullptr) {
+    mmap_metrics_.prefetches->increment();
+    mmap_metrics_.prefetched_bytes->add(walked);
+  }
+  return walked;
+}
+
+void MmapStorage::sync(const Allocation& allocation, bool wait) {
+  NU_CHECK(allocation.valid, "sync() on invalid allocation");
+  map_for(allocation.handle).sync(0, 0, wait);
+  std::lock_guard<std::mutex> lock(map_mu_);
+  if (mmap_metrics_.syncs != nullptr) mmap_metrics_.syncs->increment();
+}
+
+std::uint64_t MmapStorage::do_alloc(std::uint64_t size) {
+  std::unique_lock<std::mutex> lock(map_mu_);
+  const std::uint64_t handle = next_handle_++;
+  lock.unlock();
+  const auto path = (std::filesystem::path(dir_) /
+                     (name() + "_map_" + std::to_string(handle) + ".bin"))
+                        .string();
+  io::MmapFile map(path, size, {.create = true, .truncate = true});
+  if (options_.default_advice != io::Advice::kNormal) {
+    map.advise(options_.default_advice);
+  }
+  if (options_.prefetch_on_alloc) map.prefetch();
+  lock.lock();
+  maps_.emplace(handle, std::move(map));
+  mapped_bytes_ += size;
+  if (mmap_metrics_.maps != nullptr) {
+    mmap_metrics_.maps->increment();
+    mmap_metrics_.mapped_bytes->set(static_cast<double>(mapped_bytes_));
+    if (options_.prefetch_on_alloc) {
+      mmap_metrics_.prefetches->increment();
+      mmap_metrics_.prefetched_bytes->add(size);
+    }
+    if (options_.default_advice != io::Advice::kNormal) {
+      mmap_metrics_.advices->increment();
+    }
+  }
+  return handle;
+}
+
+void MmapStorage::do_release(std::uint64_t handle) {
+  std::unique_lock<std::mutex> lock(map_mu_);
+  auto it = maps_.find(handle);
+  NU_CHECK(it != maps_.end(), "double release on '" + name() + "'");
+  io::MmapFile map = std::move(it->second);
+  maps_.erase(it);
+  NU_ASSERT(mapped_bytes_ >= map.size());
+  mapped_bytes_ -= map.size();
+  if (mmap_metrics_.unmaps != nullptr) {
+    mmap_metrics_.unmaps->increment();
+    mmap_metrics_.mapped_bytes->set(static_cast<double>(mapped_bytes_));
+  }
+  lock.unlock();
+  if (options_.drop_on_release) map.advise(io::Advice::kDontNeed);
+  const std::string path = map.path();
+  map.close();
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+void MmapStorage::do_read(void* dst, std::uint64_t handle,
+                          std::uint64_t offset, std::uint64_t size) {
+  std::memcpy(dst, map_for(handle).data() + offset, size);
+}
+
+void MmapStorage::do_write(std::uint64_t handle, std::uint64_t offset,
+                           const void* src, std::uint64_t size) {
+  std::memcpy(map_for(handle).data() + offset, src, size);
+}
+
+}  // namespace northup::mem

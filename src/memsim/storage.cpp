@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <thread>
 
+#include "northup/io/async_pool.hpp"
+
 namespace northup::mem {
 
 const char* to_string(StorageKind kind) {
@@ -100,6 +102,35 @@ void Storage::pace_until(std::chrono::steady_clock::time_point deadline) const {
   std::this_thread::sleep_until(deadline);  // past deadlines return at once
 }
 
+std::byte* Storage::mapped(const Allocation&) { return nullptr; }
+
+void Storage::note_access(bool is_write, std::uint64_t bytes) {
+  if (paced()) {
+    const double cost =
+        is_write ? model_.write_time(bytes) : model_.read_time(bytes);
+    pace_until(std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(cost)));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (is_write) {
+    stats_.bytes_written += bytes;
+    ++stats_.num_writes;
+    if (metrics_.writes != nullptr) {
+      metrics_.writes->increment();
+      metrics_.bytes_written->add(bytes);
+    }
+  } else {
+    stats_.bytes_read += bytes;
+    ++stats_.num_reads;
+    if (metrics_.reads != nullptr) {
+      metrics_.reads->increment();
+      metrics_.bytes_read->add(bytes);
+    }
+  }
+  if (trace_enabled_) trace_.push_back({is_write, bytes});
+}
+
 void Storage::read(void* dst, const Allocation& src, std::uint64_t offset,
                    std::uint64_t size) {
   NU_CHECK(src.valid, "read from invalid allocation on '" + name_ + "'");
@@ -168,6 +199,10 @@ std::byte* HostStorage::bytes_for(std::uint64_t handle) {
 std::byte* HostStorage::raw(const Allocation& allocation) {
   NU_CHECK(allocation.valid, "raw() on invalid allocation");
   return bytes_for(allocation.handle);
+}
+
+std::byte* HostStorage::mapped(const Allocation& allocation) {
+  return raw(allocation);
 }
 
 std::uint64_t HostStorage::do_alloc(std::uint64_t size) {
@@ -240,14 +275,32 @@ void FileStorage::do_release(std::uint64_t handle) {
   std::filesystem::remove(path, ec);
 }
 
+void FileStorage::set_async_pool(io::AsyncIoPool* pool,
+                                 std::uint64_t min_bytes) {
+  pool_min_bytes_ = min_bytes;
+  pool_.store(pool, std::memory_order_release);
+}
+
 void FileStorage::do_read(void* dst, std::uint64_t handle,
                           std::uint64_t offset, std::uint64_t size) {
-  file_for(handle).pread_exact(dst, size, offset);
+  io::PosixFile& file = file_for(handle);
+  io::AsyncIoPool* pool = pool_.load(std::memory_order_acquire);
+  if (pool != nullptr && !file.is_direct() && size >= pool_min_bytes_) {
+    pool->pread_parallel(file, dst, size, offset);
+    return;
+  }
+  file.pread_exact(dst, size, offset);
 }
 
 void FileStorage::do_write(std::uint64_t handle, std::uint64_t offset,
                            const void* src, std::uint64_t size) {
-  file_for(handle).pwrite_exact(src, size, offset);
+  io::PosixFile& file = file_for(handle);
+  io::AsyncIoPool* pool = pool_.load(std::memory_order_acquire);
+  if (pool != nullptr && !file.is_direct() && size >= pool_min_bytes_) {
+    pool->pwrite_parallel(file, src, size, offset);
+    return;
+  }
+  file.pwrite_exact(src, size, offset);
 }
 
 }  // namespace northup::mem

@@ -179,3 +179,111 @@ TEST(PosixFile, DirectIoRequestFallsBackGracefully) {
   EXPECT_STREQ(got, "direct-io");
   f.fsync_file();
 }
+
+TEST(PosixFile, EofErrorNamesRequestedAndGotSizes) {
+  ni::TempDir dir("posix");
+  ni::PosixFile f(dir.file("eof.bin"));
+  f.truncate(10);
+  char buf[32];
+  try {
+    f.pread_exact(buf, 32, 0);
+    FAIL() << "expected IoError";
+  } catch (const northup::util::IoError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("requested 32 B"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("got 10 B"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("eof.bin"), std::string::npos) << msg;
+  }
+}
+
+TEST(PosixFile, FadviseIsBestEffort) {
+  ni::TempDir dir("posix");
+  ni::PosixFile f(dir.file("adv.bin"));
+  f.truncate(1 << 16);
+  // Whatever the platform supports, fadvise must not throw; the bool is
+  // advisory just like MmapFile::advise.
+  f.fadvise(ni::Advice::kSequential);
+  f.fadvise(ni::Advice::kWillNeed, 0, 4096);
+  f.fadvise(ni::Advice::kDontNeed);
+  f.fadvise(ni::Advice::kNormal);
+}
+
+TEST(PosixFile, PreallocateExtendsFile) {
+  ni::TempDir dir("posix");
+  ni::PosixFile f(dir.file("pre.bin"));
+  f.preallocate(1 << 16);
+  EXPECT_EQ(f.size(), std::uint64_t{1} << 16);
+  // Idempotent on an already-large file: never shrinks.
+  f.preallocate(4096);
+  EXPECT_EQ(f.size(), std::uint64_t{1} << 16);
+}
+
+TEST(ChunkedStore, ZeroSizeChunk) {
+  ni::TempDir dir("chunks");
+  ni::ChunkedFileStore store(dir.path());
+  store.write_chunk(3, nullptr, 0);
+  EXPECT_TRUE(store.has_chunk(3));
+  EXPECT_EQ(store.chunk_bytes(3), 0u);
+  // Zero-byte reads succeed; reading actual bytes past EOF throws.
+  store.read_chunk(3, nullptr, 0);
+  char c;
+  EXPECT_THROW(store.read_chunk(3, &c, 1), northup::util::IoError);
+  store.erase_chunk(3);
+  EXPECT_FALSE(store.has_chunk(3));
+}
+
+TEST(ChunkedStore, ReopensExistingStore) {
+  ni::TempDir dir("chunks");
+  std::vector<std::uint8_t> data(128);
+  std::iota(data.begin(), data.end(), 1);
+  {
+    ni::ChunkedFileStore store(dir.path());
+    store.write_chunk(0, data.data(), data.size());
+    store.write_chunk(12, data.data(), 64);
+  }
+  // A second store over the same directory adopts the chunk files left by
+  // the first — the §V-B preprocessing output is reusable across runs.
+  ni::ChunkedFileStore store(dir.path());
+  EXPECT_EQ(store.chunk_count(), 2u);
+  ASSERT_TRUE(store.has_chunk(0));
+  ASSERT_TRUE(store.has_chunk(12));
+  EXPECT_EQ(store.chunk_bytes(0), 128u);
+  EXPECT_EQ(store.chunk_bytes(12), 64u);
+  std::vector<std::uint8_t> got(128);
+  store.read_chunk(0, got.data(), got.size());
+  EXPECT_EQ(got, data);
+}
+
+TEST(ChunkedStore, ReopenIgnoresForeignFiles) {
+  ni::TempDir dir("chunks");
+  {
+    ni::ChunkedFileStore store(dir.path());
+    const int x = 42;
+    store.write_chunk(5, &x, sizeof(x));
+  }
+  // Stray files that don't match chunk_<id>.bin must not be adopted.
+  ni::PosixFile(dir.file("notes.txt")).pwrite_exact("hi", 2, 0);
+  ni::PosixFile(dir.file("chunk_abc.bin")).pwrite_exact("hi", 2, 0);
+  ni::ChunkedFileStore store(dir.path());
+  EXPECT_EQ(store.chunk_count(), 1u);
+  EXPECT_TRUE(store.has_chunk(5));
+}
+
+TEST(ChunkedStore, ChunkFilesOutliveTheStore) {
+  // The TempDir (and the chunk files in it) outlive the store object:
+  // dropping the store must only close descriptors, never delete data.
+  ni::TempDir dir("chunks");
+  const double pi = 3.14159;
+  {
+    ni::ChunkedFileStore store(dir.path());
+    store.write_chunk(9, &pi, sizeof(pi));
+  }
+  EXPECT_TRUE(fs::exists(fs::path(dir.path()) / "chunk_9.bin"));
+  {
+    ni::ChunkedFileStore store(dir.path());
+    double got = 0.0;
+    store.read_chunk(9, &got, sizeof(got));
+    EXPECT_EQ(got, pi);
+  }
+  EXPECT_TRUE(fs::exists(fs::path(dir.path()) / "chunk_9.bin"));
+}

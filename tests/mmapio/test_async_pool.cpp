@@ -1,0 +1,126 @@
+// AsyncIoPool tests: future-based submissions, striped parallel
+// transfers, inline (zero-worker) mode, EOF propagation, the io_uring
+// runtime probe, and metrics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "northup/io/async_pool.hpp"
+#include "northup/io/posix_file.hpp"
+#include "northup/obs/metrics.hpp"
+
+namespace ni = northup::io;
+namespace nobs = northup::obs;
+
+namespace {
+
+std::vector<char> pattern(std::size_t n) {
+  std::vector<char> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<char>(i * 31 + 7);
+  return v;
+}
+
+}  // namespace
+
+TEST(AsyncIoPool, SubmitReadWriteFutures) {
+  ni::TempDir dir("aio");
+  ni::PosixFile f(dir.file("a.bin"));
+  ni::AsyncIoPool pool;
+  const auto payload = pattern(1 << 12);
+  auto wf = pool.submit_write(f, payload.data(), payload.size(), 64);
+  wf.get();
+  EXPECT_TRUE(wf.ready());
+  std::vector<char> got(payload.size());
+  auto rf = pool.submit_read(f, got.data(), got.size(), 64);
+  rf.get();
+  EXPECT_EQ(got, payload);
+}
+
+TEST(AsyncIoPool, ParallelRoundTripStriped) {
+  ni::TempDir dir("aio");
+  ni::PosixFile f(dir.file("b.bin"));
+  ni::AsyncIoPool::Options opts;
+  opts.threads = 3;
+  opts.stripe_bytes = 4096;  // force many stripes
+  ni::AsyncIoPool pool(opts);
+  const auto payload = pattern(100 * 1024 + 123);  // not stripe-aligned
+  pool.pwrite_parallel(f, payload.data(), payload.size(), 512);
+  std::vector<char> got(payload.size());
+  pool.pread_parallel(f, got.data(), got.size(), 512);
+  EXPECT_EQ(got, payload);
+}
+
+TEST(AsyncIoPool, InlineModeWithZeroWorkers) {
+  ni::TempDir dir("aio");
+  ni::PosixFile f(dir.file("c.bin"));
+  ni::AsyncIoPool::Options opts;
+  opts.threads = 0;
+  opts.try_io_uring = false;
+  ni::AsyncIoPool pool(opts);
+  EXPECT_EQ(pool.threads(), 0u);
+  EXPECT_FALSE(pool.using_io_uring());
+  const auto payload = pattern(3 << 20);
+  pool.pwrite_parallel(f, payload.data(), payload.size(), 0);
+  std::vector<char> got(payload.size());
+  pool.pread_parallel(f, got.data(), got.size(), 0);
+  EXPECT_EQ(got, payload);
+}
+
+TEST(AsyncIoPool, UringBackendRoundTripWhenAvailable) {
+  if (!ni::AsyncIoPool::io_uring_supported()) {
+    GTEST_SKIP() << "io_uring unavailable (kernel or seccomp); worker "
+                    "fallback is covered by the other tests";
+  }
+  ni::TempDir dir("aio");
+  ni::PosixFile f(dir.file("d.bin"));
+  ni::AsyncIoPool::Options opts;
+  opts.threads = 2;
+  opts.stripe_bytes = 1 << 16;
+  opts.uring_entries = 4;  // force multiple submission rounds
+  ni::AsyncIoPool pool(opts);
+  ASSERT_TRUE(pool.using_io_uring());
+  const auto payload = pattern(2 * 1024 * 1024 + 77);
+  pool.pwrite_parallel(f, payload.data(), payload.size(), 128);
+  std::vector<char> got(payload.size());
+  pool.pread_parallel(f, got.data(), got.size(), 128);
+  EXPECT_EQ(got, payload);
+}
+
+TEST(AsyncIoPool, ReadPastEofFails) {
+  ni::TempDir dir("aio");
+  ni::PosixFile f(dir.file("e.bin"));
+  f.truncate(100);
+  ni::AsyncIoPool pool;
+  std::vector<char> got(4096);
+  auto rf = pool.submit_read(f, got.data(), got.size(), 0);
+  EXPECT_THROW(rf.get(), northup::util::IoError);
+  EXPECT_THROW(pool.pread_parallel(f, got.data(), got.size(), 0),
+               northup::util::IoError);
+}
+
+TEST(AsyncIoPool, ZeroByteTransfersAreNoOps) {
+  ni::TempDir dir("aio");
+  ni::PosixFile f(dir.file("f.bin"));
+  ni::AsyncIoPool pool;
+  pool.pwrite_parallel(f, nullptr, 0, 0);
+  pool.pread_parallel(f, nullptr, 0, 0);
+}
+
+TEST(AsyncIoPool, MetricsCountTraffic) {
+  ni::TempDir dir("aio");
+  ni::PosixFile f(dir.file("g.bin"));
+  nobs::MetricsRegistry reg;
+  ni::AsyncIoPool::Options opts;
+  opts.stripe_bytes = 1 << 12;
+  ni::AsyncIoPool pool(opts);
+  pool.attach_metrics(reg);
+  const auto payload = pattern(64 * 1024);
+  pool.pwrite_parallel(f, payload.data(), payload.size(), 0);
+  std::vector<char> got(payload.size());
+  pool.pread_parallel(f, got.data(), got.size(), 0);
+  EXPECT_EQ(reg.counter("io.async.bytes_written").value(), payload.size());
+  EXPECT_EQ(reg.counter("io.async.bytes_read").value(), payload.size());
+  EXPECT_GE(reg.counter("io.async.requests").value(), 2u);
+}

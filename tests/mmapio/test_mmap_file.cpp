@@ -1,0 +1,116 @@
+// MmapFile tests: mapping lifecycle, persistence through the mapping,
+// resize/remap, sync, best-effort advice, and touch-ahead prefetch.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "northup/io/mmap_file.hpp"
+#include "northup/io/posix_file.hpp"
+
+namespace ni = northup::io;
+
+TEST(MmapFile, MapsAndPersistsThroughTheMapping) {
+  ni::TempDir dir("mmap");
+  const std::string path = dir.file("a.bin");
+  {
+    ni::MmapFile m(path, 4096);
+    ASSERT_TRUE(m.is_mapped());
+    EXPECT_EQ(m.size(), 4096u);
+    std::memcpy(m.data(), "northup", 7);
+    m.sync();
+  }
+  // The mapping *is* the file: bytes written through it survive close.
+  ni::PosixFile f(path, {.create = false});
+  char got[8] = {};
+  f.pread_exact(got, 7, 0);
+  EXPECT_STREQ(got, "northup");
+}
+
+TEST(MmapFile, SeesWritesMadeThroughTheFile) {
+  ni::TempDir dir("mmap");
+  const std::string path = dir.file("b.bin");
+  ni::MmapFile m(path, 4096);
+  m.file().pwrite_exact("xyz", 3, 100);
+  EXPECT_EQ(std::memcmp(m.data() + 100, "xyz", 3), 0);
+}
+
+TEST(MmapFile, ResizeRemapsAndKeepsPrefix) {
+  ni::TempDir dir("mmap");
+  ni::MmapFile m(dir.file("c.bin"), 4096);
+  std::memset(m.data(), 0x5a, 4096);
+  m.resize(2 * 4096);
+  EXPECT_EQ(m.size(), 2 * 4096u);
+  EXPECT_EQ(static_cast<unsigned char>(m.data()[4095]), 0x5au);
+  std::memset(m.data() + 4096, 0x33, 4096);
+  m.resize(4096);  // shrink
+  EXPECT_EQ(m.size(), 4096u);
+  EXPECT_EQ(static_cast<unsigned char>(m.data()[0]), 0x5au);
+}
+
+TEST(MmapFile, AdviceIsBestEffort) {
+  ni::TempDir dir("mmap");
+  ni::MmapFile m(dir.file("d.bin"), 4096);
+  // Whatever the platform supports, advise must not throw.
+  m.advise(ni::Advice::kSequential);
+  m.advise(ni::Advice::kRandom, 0, 4096);
+  m.advise(ni::Advice::kWillNeed);
+  m.advise(ni::Advice::kNormal);
+}
+
+TEST(MmapFile, PrefetchWalksTheRange) {
+  ni::TempDir dir("mmap");
+  const std::uint64_t size = 8 * ni::MmapFile::page_size();
+  ni::MmapFile m(dir.file("e.bin"), size);
+  EXPECT_EQ(m.prefetch(), size);
+  // Sub-range: clamped to the mapping, page-aligned walk.
+  EXPECT_GT(m.prefetch(ni::MmapFile::page_size(), 10), 0u);
+}
+
+TEST(MmapFile, SyncSubRangeAndAsync) {
+  ni::TempDir dir("mmap");
+  ni::MmapFile m(dir.file("f.bin"), 4 * ni::MmapFile::page_size());
+  std::memset(m.data(), 1, m.size());
+  m.sync(ni::MmapFile::page_size(), ni::MmapFile::page_size(), true);
+  m.sync(0, 0, /*wait=*/false);
+}
+
+TEST(MmapFile, MoveTransfersMapping) {
+  ni::TempDir dir("mmap");
+  ni::MmapFile a(dir.file("g.bin"), 4096);
+  std::byte* const data = a.data();
+  ni::MmapFile b(std::move(a));
+  EXPECT_EQ(b.data(), data);
+  EXPECT_FALSE(a.is_mapped());  // NOLINT(bugprone-use-after-move)
+  std::memset(b.data(), 2, 4096);
+}
+
+TEST(MmapFile, UnmapAndCloseAreIdempotent) {
+  ni::TempDir dir("mmap");
+  ni::MmapFile m(dir.file("h.bin"), 4096);
+  m.unmap();
+  m.unmap();
+  EXPECT_FALSE(m.is_mapped());
+  EXPECT_TRUE(m.file().is_open());
+  m.close();
+  m.close();
+  EXPECT_FALSE(m.file().is_open());
+}
+
+TEST(MmapFile, AdoptsOpenFile) {
+  ni::TempDir dir("mmap");
+  ni::PosixFile f(dir.file("i.bin"));
+  f.truncate(4096);
+  std::vector<char> payload(4096);
+  std::iota(payload.begin(), payload.end(), 0);
+  f.pwrite_exact(payload.data(), payload.size(), 0);
+  ni::MmapFile m(std::move(f), 4096);
+  EXPECT_EQ(std::memcmp(m.data(), payload.data(), payload.size()), 0);
+}
+
+TEST(MmapFile, RejectsZeroSize) {
+  ni::TempDir dir("mmap");
+  EXPECT_THROW(ni::MmapFile(dir.file("j.bin"), 0), northup::util::Error);
+}

@@ -1,0 +1,136 @@
+// MmapStorage tests: mapped allocations, staged read/write equivalence,
+// note_access accounting, advice/prefetch/sync, release cleanup, and the
+// io.mmap.* metric set.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "northup/io/posix_file.hpp"
+#include "northup/memsim/mmap_storage.hpp"
+#include "northup/obs/metrics.hpp"
+#include "northup/sim/models.hpp"
+
+namespace nm = northup::mem;
+namespace ni = northup::io;
+namespace nobs = northup::obs;
+namespace nsim = northup::sim;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::unique_ptr<nm::MmapStorage> make_storage(
+    const ni::TempDir& dir, nm::MmapStorage::Options options = {}) {
+  return std::make_unique<nm::MmapStorage>(
+      "ssd", nm::StorageKind::Ssd, 1 << 20, nsim::ModelPresets::ssd(),
+      dir.path(), options);
+}
+
+}  // namespace
+
+TEST(MmapStorage, RejectsByteAddressableKinds) {
+  ni::TempDir dir("mmapstore");
+  EXPECT_THROW(nm::MmapStorage("x", nm::StorageKind::Dram, 1024,
+                               nsim::ModelPresets::ssd(), dir.path()),
+               northup::util::Error);
+}
+
+TEST(MmapStorage, MappedAllocationRoundTrips) {
+  ni::TempDir dir("mmapstore");
+  auto st = make_storage(dir);
+  auto alloc = st->alloc(4096);
+  std::byte* const view = st->mapped(alloc);
+  ASSERT_NE(view, nullptr);
+
+  // write() must land in the mapping; mapping writes must be read()able.
+  std::vector<char> payload(4096, 'q');
+  st->write(alloc, 0, payload.data(), payload.size());
+  EXPECT_EQ(std::memcmp(view, payload.data(), payload.size()), 0);
+  view[10] = std::byte{0x7f};
+  char got = 0;
+  st->read(&got, alloc, 10, 1);
+  EXPECT_EQ(got, 0x7f);
+  st->release(alloc);
+}
+
+TEST(MmapStorage, ReleaseRemovesBackingFile) {
+  ni::TempDir dir("mmapstore");
+  auto st = make_storage(dir);
+  auto alloc = st->alloc(4096);
+  ASSERT_EQ(std::distance(fs::directory_iterator(dir.path()),
+                          fs::directory_iterator()),
+            1);
+  st->release(alloc);
+  EXPECT_EQ(std::distance(fs::directory_iterator(dir.path()),
+                          fs::directory_iterator()),
+            0);
+}
+
+TEST(MmapStorage, NoteAccessMirrorsReadWriteAccounting) {
+  ni::TempDir dir("mmapstore");
+  auto st = make_storage(dir);
+  auto alloc = st->alloc(4096);
+  st->note_access(/*is_write=*/true, 1000);
+  st->note_access(/*is_write=*/false, 500);
+  const auto stats = st->stats();
+  EXPECT_EQ(stats.bytes_written, 1000u);
+  EXPECT_EQ(stats.bytes_read, 500u);
+  EXPECT_EQ(stats.num_writes, 1u);
+  EXPECT_EQ(stats.num_reads, 1u);
+  st->release(alloc);
+}
+
+TEST(MmapStorage, AdvisePrefetchSync) {
+  ni::TempDir dir("mmapstore");
+  nm::MmapStorage::Options opts;
+  opts.prefetch_on_alloc = true;
+  auto st = make_storage(dir, opts);
+  auto alloc = st->alloc(8 * 4096);
+  st->advise(alloc, ni::Advice::kSequential);
+  EXPECT_EQ(st->prefetch(alloc), alloc.size);
+  std::memset(st->mapped(alloc), 3, alloc.size);
+  st->sync(alloc, /*wait=*/true);
+  st->sync(alloc, /*wait=*/false);
+  st->release(alloc);
+}
+
+TEST(MmapStorage, MetricsTrackMappingLifecycle) {
+  ni::TempDir dir("mmapstore");
+  nobs::MetricsRegistry reg;
+  auto st = make_storage(dir);
+  st->attach_metrics(reg);
+  auto a = st->alloc(4096);
+  auto b = st->alloc(8192);
+  EXPECT_EQ(reg.counter("io.mmap.maps").value(), 2u);
+  EXPECT_EQ(reg.gauge("io.mmap.mapped_bytes").value(), 4096.0 + 8192.0);
+  st->prefetch(a);
+  EXPECT_EQ(reg.counter("io.mmap.prefetches").value(), 1u);
+  EXPECT_EQ(reg.counter("io.mmap.prefetched_bytes").value(), 4096u);
+  st->advise(a, ni::Advice::kRandom);
+  EXPECT_EQ(reg.counter("io.mmap.advices").value(), 1u);
+  st->sync(a);
+  EXPECT_EQ(reg.counter("io.mmap.syncs").value(), 1u);
+  st->release(a);
+  st->release(b);
+  EXPECT_EQ(reg.counter("io.mmap.unmaps").value(), 2u);
+  EXPECT_EQ(reg.gauge("io.mmap.mapped_bytes").value(), 0.0);
+}
+
+TEST(MmapStorage, PersistsDataAcrossAllocations) {
+  // Same contract FileStorage honors: content survives while allocated,
+  // and a fresh allocation never leaks a previous allocation's bytes
+  // beyond what a fresh file would.
+  ni::TempDir dir("mmapstore");
+  auto st = make_storage(dir);
+  auto a = st->alloc(4096);
+  std::vector<char> payload(4096, 'z');
+  st->write(a, 0, payload.data(), payload.size());
+  auto b = st->alloc(4096);
+  std::vector<char> got(4096);
+  st->read(got.data(), a, 0, got.size());
+  EXPECT_EQ(got, payload);
+  st->release(a);
+  st->release(b);
+}
