@@ -1,0 +1,203 @@
+// Ablation for the northup::plan self-tuning loop (ISSUE 8): on every
+// machine preset, run each application once with the hand-configured
+// planner (recording the flight log), calibrate a plan::MachineProfile
+// from that recording, round-trip it through JSON, and re-run with the
+// plan::AutoTuner driving chunk sizes, execution mode, CSR cutoffs, and
+// child ranking. Reports tuned-vs-hand virtual makespan and wall clock,
+// and verifies the tuned result hash is bit-identical to the hand run's.
+//
+// Gates (exit 1 on violation):
+//   * tuned makespan must stay within 1.05x of hand on EVERY cell, and
+//   * every tuned result hash must equal the hand hash.
+// --tune-check additionally requires at least one cell where the tuned
+// plan is strictly faster (the skewed slow-storage presets are where the
+// serial fat-chunk plan beats always-double-buffering).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "northup/io/posix_file.hpp"
+#include "northup/plan/auto_tuner.hpp"
+#include "northup/plan/calibrator.hpp"
+#include "northup/plan/machine_profile.hpp"
+#include "northup/util/timer.hpp"
+
+namespace nb = northup::bench;
+namespace na = northup::algos;
+namespace nt = northup::topo;
+namespace nc = northup::core;
+namespace nm = northup::mem;
+namespace np = northup::plan;
+namespace nu = northup::util;
+namespace nio = northup::io;
+
+namespace {
+
+struct RunOutcome {
+  na::RunStats stats;
+  double wall_s = 0.0;
+};
+
+nt::TopoTree make_tree(const nb::AutotuneMachine& machine, int app) {
+  const nt::PresetOptions opts =
+      app == 0   ? nb::autotune_gemm_options(machine.kind)
+      : app == 1 ? nb::hotspot_outofcore_options(machine.kind)
+                 : nb::spmv_outofcore_options(machine.kind);
+  return machine.three_level ? nt::dgpu_three_level(machine.kind, opts)
+                             : nt::apu_two_level(machine.kind, opts);
+}
+
+RunOutcome run_app(nc::Runtime& rt, int app) {
+  RunOutcome out;
+  nu::Timer wall;
+  switch (app) {
+    case 0: {
+      auto config = nb::fig_gemm();
+      config.verify_samples = 0;  // hashes compare the full output instead
+      config.hash_result = true;
+      out.stats = na::gemm_northup(rt, config);
+      break;
+    }
+    case 1: {
+      auto config = nb::fig_hotspot();
+      config.hash_result = true;
+      out.stats = na::hotspot_northup(rt, config);
+      break;
+    }
+    default: {
+      auto config = nb::fig_spmv();
+      config.hash_result = true;
+      out.stats = na::spmv_northup(rt, config);
+      break;
+    }
+  }
+  out.wall_s = wall.seconds();
+  return out;
+}
+
+std::string hash_str(std::uint64_t h) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
+  const bool tune_check = flags.get_bool("tune-check");
+  const bool breakdown = flags.get_bool("breakdown");
+  const std::string only = flags.get("only");  // substring cell filter
+  const auto pipeline_threads =
+      static_cast<std::size_t>(flags.get_int("pipeline-threads", 2));
+
+  nb::print_header(
+      "Ablation: calibrate -> tune -> execute (northup::plan AutoTuner)");
+  std::printf("pipeline threads=%zu%s\n\n", pipeline_threads,
+              tune_check ? " (--tune-check: requiring a strict win)" : "");
+
+  nio::TempDir scratch("autotune");
+
+  nu::TextTable table;
+  table.set_header({"machine", "app", "hand (ms)", "tuned (ms)", "ratio",
+                    "hand wall (ms)", "tuned wall (ms)", "hash"});
+
+  bool ok = true;
+  bool any_strict_win = false;
+  for (const auto& machine : nb::kAutotuneMachines) {
+    for (int app = 0; app < 3; ++app) {
+      const std::string cell =
+          std::string(machine.name) + "/" + nb::kAppNames[app];
+      if (!only.empty() && cell.find(only) == std::string::npos) continue;
+      // Hand-configured run doubles as the calibration run: the flight
+      // recorder is on by default, so its kMove/kCompute evidence is the
+      // profile's input.
+      nc::RuntimeOptions ropts;
+      ropts.pipeline_threads = pipeline_threads;
+      // Pace file storage on the wall clock so the flight recorder (and
+      // therefore the calibrated profile) measures the *modeled* storage
+      // tier, not the host filesystem — otherwise an HDD preset
+      // calibrates as NVMe-fast and the mode decision cannot see the
+      // real transfer cost.
+      ropts.paced_storage = true;
+      RunOutcome hand;
+      np::MachineProfile profile;
+      {
+        nc::Runtime rt(make_tree(machine, app), ropts);
+        hand = run_app(rt, app);
+        np::Calibrator calibrator;
+        calibrator.observe_topology(rt.tree());
+        calibrator.ingest(rt.event_log()->snapshot());
+        profile = calibrator.finish();
+      }
+
+      // Round-trip the profile through its JSON serialization — the same
+      // path a cross-process calibrate-once/tune-many deployment takes.
+      const std::string profile_path = scratch.file(
+          std::string(machine.name) + "-" + nb::kAppNames[app] + ".json");
+      profile.write_json(profile_path);
+      const np::AutoTuner tuner(np::MachineProfile::load(profile_path));
+
+      nc::RuntimeOptions tuned_opts = ropts;
+      tuned_opts.auto_tune = &tuner;
+      nc::Runtime tuned_rt(make_tree(machine, app), tuned_opts);
+      const RunOutcome tuned = run_app(tuned_rt, app);
+      nb::dump_observability(tuned_rt, flags,
+                             std::string(machine.name) + "-" +
+                                 nb::kAppNames[app] + "-tuned");
+
+      if (breakdown) {
+        const auto& h = hand.stats.breakdown;
+        const auto& t = tuned.stats.breakdown;
+        std::printf(
+            "%s breakdown (ms): hand io %.2f xfer %.2f cpu %.2f gpu %.2f "
+            "| tuned io %.2f xfer %.2f cpu %.2f gpu %.2f\n",
+            cell.c_str(), h.io * 1e3, h.transfer * 1e3, h.cpu * 1e3,
+            h.gpu * 1e3, t.io * 1e3, t.transfer * 1e3, t.cpu * 1e3,
+            t.gpu * 1e3);
+      }
+      const double ratio = hand.stats.makespan > 0
+                               ? tuned.stats.makespan / hand.stats.makespan
+                               : 1.0;
+      const bool hash_ok =
+          tuned.stats.result_hash == hand.stats.result_hash;
+      if (ratio < 0.999) any_strict_win = true;
+      if (ratio > 1.05) {
+        std::printf("FAIL %s/%s: tuned makespan %.3f ms vs hand %.3f ms "
+                    "(ratio %.3f > 1.05)\n",
+                    machine.name, nb::kAppNames[app],
+                    tuned.stats.makespan * 1e3, hand.stats.makespan * 1e3,
+                    ratio);
+        ok = false;
+      }
+      if (!hash_ok) {
+        std::printf("FAIL %s/%s: tuned hash %s != hand hash %s\n",
+                    machine.name, nb::kAppNames[app],
+                    hash_str(tuned.stats.result_hash).c_str(),
+                    hash_str(hand.stats.result_hash).c_str());
+        ok = false;
+      }
+      table.add_row({machine.name, nb::kAppNames[app],
+                     nu::TextTable::num(hand.stats.makespan * 1e3, 2),
+                     nu::TextTable::num(tuned.stats.makespan * 1e3, 2),
+                     nu::TextTable::num(ratio, 3),
+                     nu::TextTable::num(hand.wall_s * 1e3, 1),
+                     nu::TextTable::num(tuned.wall_s * 1e3, 1),
+                     hash_ok ? "match" : "MISMATCH"});
+    }
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected: tuned within 1.05x of hand everywhere, identical "
+      "hashes, and strictly faster on the skewed (slow-storage) "
+      "presets where serial fat chunks beat double-buffering\n");
+
+  if (tune_check && !any_strict_win) {
+    std::printf("FAIL --tune-check: no cell with a strict tuned win\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

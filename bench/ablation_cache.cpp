@@ -59,10 +59,9 @@ int main(int argc, char** argv) {
   // GEMM: the §IV-A row-strip reuse now rides the runtime cache; off
   // means every (i, j, kk) product re-reads its A block from storage.
   for (const char* mode : {"off", "on", "constrained"}) {
-    auto opts = nb::gemm_outofcore_options(nm::StorageKind::Ssd);
-    if (std::string(mode) == "constrained") {
-      opts.staging_capacity = 1ULL << 20;  // halves the level-1 block
-    }
+    const auto opts = std::string(mode) == "constrained"
+                          ? nb::gemm_constrained_options(nm::StorageKind::Ssd)
+                          : nb::gemm_outofcore_options(nm::StorageKind::Ssd);
     nc::RuntimeOptions ropts;
     ropts.enable_shard_cache = std::string(mode) != "off";
     nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, opts), ropts);
@@ -75,9 +74,7 @@ int main(int argc, char** argv) {
   // re-download after the first sweep hits when the staging level can
   // retain them.
   for (const char* mode : {"off", "on"}) {
-    auto opts = nb::hotspot_outofcore_options(nm::StorageKind::Ssd);
-    opts.staging_capacity = 40ULL << 20;  // retains the working set
-    opts.device_capacity = 8ULL << 20;
+    const auto opts = nb::hotspot_resident_options(nm::StorageKind::Ssd);
     nc::RuntimeOptions ropts;
     ropts.enable_shard_cache = std::string(mode) != "off";
     nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, opts), ropts);

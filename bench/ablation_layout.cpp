@@ -51,8 +51,9 @@ double run_strided(std::uint64_t passes, const nu::Flags& flags) {
 
 /// Transform once while staging, then stream contiguous panels.
 double run_transformed(std::uint64_t passes, const nu::Flags& flags) {
-  auto opts = nb::gemm_outofcore_options(nm::StorageKind::Ssd);
-  opts.staging_capacity = 2 * kBytes;  // room for the transposed image
+  const auto opts = nb::with_staging(
+      nb::gemm_outofcore_options(nm::StorageKind::Ssd),
+      2 * kBytes);  // room for the transposed image
   nc::Runtime rt(nt::apu_two_level(nm::StorageKind::Ssd, opts));
   auto& dm = rt.dm();
   auto src = dm.alloc(kBytes, rt.tree().root());

@@ -92,6 +92,71 @@ inline topo::PresetOptions inmemory_options(topo::PresetOptions o) {
   return o;
 }
 
+/// A preset with its staging level resized — shared helper for the
+/// experiment variants below and for size-derived capacities (e.g. the
+/// layout ablation's "room for the transposed image").
+inline topo::PresetOptions with_staging(topo::PresetOptions o,
+                                        std::uint64_t bytes) {
+  o.staging_capacity = bytes;
+  return o;
+}
+
+/// ablation_cache's constrained GEMM cell: 1 MiB staging halves the
+/// level-1 block, forcing nonzero evictions.
+inline topo::PresetOptions gemm_constrained_options(mem::StorageKind kind) {
+  return with_staging(gemm_outofcore_options(kind), 1ULL << 20);
+}
+
+/// ablation_cache's HotSpot cell: staging retains the cross-sweep
+/// working set so unchanged power blocks hit on re-descent.
+inline topo::PresetOptions hotspot_resident_options(mem::StorageKind kind) {
+  topo::PresetOptions o = with_staging(hotspot_outofcore_options(kind),
+                                       40ULL << 20);
+  o.device_capacity = 8ULL << 20;
+  return o;
+}
+
+/// Roomy default-topology staging for microbenchmarks that measure the
+/// substrate (move paths, leaf kernels) rather than planner decisions.
+inline topo::PresetOptions substrate_options() {
+  return with_staging(topo::PresetOptions{}, 64ULL << 20);
+}
+
+/// The job service's machine: root big enough for every tenant's data,
+/// staging tight enough that a high offered load queues on admission
+/// (the SpMV jobs reserve ~1 MiB of staging each).
+inline topo::PresetOptions service_machine_options() {
+  topo::PresetOptions o;
+  o.root_capacity = 512ULL << 20;
+  o.staging_capacity = 4ULL << 20;
+  return o;
+}
+
+/// Service job-mix workloads (svc_throughput): small enough that many
+/// jobs interleave, defined once beside the figure-scale configs.
+inline algos::GemmConfig svc_gemm() {
+  algos::GemmConfig c;
+  c.n = 64;
+  c.verify_samples = 0;  // measured loop, not a correctness test
+  return c;
+}
+
+inline algos::HotspotConfig svc_hotspot() {
+  algos::HotspotConfig c;
+  c.n = 64;
+  c.iterations = 1;
+  c.verify = false;
+  return c;
+}
+
+inline algos::SpmvConfig svc_spmv() {
+  algos::SpmvConfig c;
+  c.rows = 20000;
+  c.avg_nnz = 8;
+  c.verify = false;
+  return c;
+}
+
 /// Figure-scale workloads (paper: 16k dense, 16M-row sparse; scaled per
 /// DESIGN.md §2 — shapes depend on ratios, which are preserved).
 inline algos::GemmConfig fig_gemm() {
@@ -120,6 +185,32 @@ inline algos::SpmvConfig fig_spmv() {
 
 /// The three applications in the paper's Fig 6/7/8 order.
 inline const char* kAppNames[3] = {"dense-mm", "hotspot2d", "csr-adaptive"};
+
+/// GEMM preset for the autotune ablation: the stock out-of-core options
+/// with the GPU level pinned to 512 KiB so *both* candidate level-1
+/// blockings (serial 256, double-buffered 128) decompose to the same
+/// 128-element leaf block — the condition under which the tuner is
+/// allowed to pick the fat serial block with a bit-identical result.
+inline topo::PresetOptions autotune_gemm_options(mem::StorageKind kind) {
+  topo::PresetOptions o = gemm_outofcore_options(kind);
+  o.device_capacity = 512ULL << 10;
+  return o;
+}
+
+/// The machine presets the autotune ablation calibrates and tunes
+/// across: the two dGPU storage tiers plus the APU, i.e. the same
+/// machines the figure harnesses use.
+struct AutotuneMachine {
+  const char* name;
+  bool three_level;  ///< dgpu_three_level vs apu_two_level
+  mem::StorageKind kind;
+};
+
+inline constexpr AutotuneMachine kAutotuneMachines[] = {
+    {"dgpu-ssd", true, mem::StorageKind::Ssd},
+    {"dgpu-hdd", true, mem::StorageKind::Hdd},  // the skewed slow-storage tier
+    {"apu-ssd", false, mem::StorageKind::Ssd},
+};
 
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "northup/algos/dense.hpp"
 #include "northup/algos/gemm.hpp"
 #include "northup/core/runtime.hpp"
@@ -70,8 +71,7 @@ BENCHMARK(BM_ChaseLevSteal);
 
 static void BM_MoveDramToDram(benchmark::State& state) {
   const auto bytes = static_cast<std::uint64_t>(state.range(0));
-  nt::PresetOptions opts;
-  opts.staging_capacity = 64ULL << 20;
+  const auto opts = northup::bench::substrate_options();
   nc::RuntimeOptions ropts;
   ropts.enable_sim = false;  // functional cost only
   nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd, opts),
@@ -110,8 +110,7 @@ BENCHMARK(BM_MoveFileToDram)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
 
 static void BM_GemmLeafKernel(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
-  nt::PresetOptions opts;
-  opts.staging_capacity = 64ULL << 20;
+  const auto opts = northup::bench::substrate_options();
   nc::RuntimeOptions ropts;
   ropts.enable_sim = false;
   nc::Runtime rt(nt::apu_two_level(northup::mem::StorageKind::Ssd, opts),

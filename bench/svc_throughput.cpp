@@ -56,29 +56,15 @@ nsv::JobRequest make_request(int client, int index) {
   nsv::JobRequest request;
   request.tenant = "client-" + std::to_string(client);
   switch ((client + index) % 3) {
-    case 0: {
-      na::GemmConfig config;
-      config.n = 64;
-      config.verify_samples = 0;  // measured loop, not a correctness test
-      request.config = config;
+    case 0:
+      request.config = nb::svc_gemm();
       break;
-    }
-    case 1: {
-      na::HotspotConfig config;
-      config.n = 64;
-      config.iterations = 1;
-      config.verify = false;
-      request.config = config;
+    case 1:
+      request.config = nb::svc_hotspot();
       break;
-    }
-    default: {
-      na::SpmvConfig config;
-      config.rows = 20000;
-      config.avg_nnz = 8;
-      config.verify = false;
-      request.config = config;
+    default:
+      request.config = nb::svc_spmv();
       break;
-    }
   }
   return request;
 }
@@ -88,10 +74,7 @@ LoadResult run_load(const LoadPoint& point, int jobs_per_client,
                     std::unique_ptr<nsv::JobService>* keep_service) {
   nsv::ServiceOptions opts;
   opts.machine_levels = 2;  // APU preset: storage -> DRAM leaf
-  opts.machine.root_capacity = 512ULL << 20;
-  // Tight enough that a high offered load queues on admission (the SpMV
-  // jobs reserve ~1 MiB of staging each), loose enough for >= 2 jobs.
-  opts.machine.staging_capacity = 4ULL << 20;
+  opts.machine = nb::service_machine_options();
   opts.workers = workers;
   opts.max_queue_depth = 64;
   opts.policy = point.policy;

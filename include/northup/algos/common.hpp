@@ -45,12 +45,42 @@ using data::move_submatrix;
 /// any, else the CPU attached to it, else the nearest GPU above it.
 device::Processor* leaf_processor(core::Runtime& rt, topo::NodeId node);
 
+/// The AutoTuner the runtime was configured with
+/// (RuntimeOptions::auto_tune); nullptr for hand-configured runs.
+const plan::AutoTuner* auto_tuner(core::Runtime& rt);
+
+/// The child a planner descends into from `node`: with a tuner, the
+/// first child in observed-bandwidth order whose circuit breaker still
+/// admits traffic (online re-ranking); without one, the declared first
+/// child. Falls back to the declared first child when every child is
+/// quarantined.
+topo::NodeId planned_child(core::Runtime& rt, topo::NodeId node);
+
+/// End of the planner descent chain from `node` under planned_child —
+/// the node whose attached processor runs leaf kernels.
+topo::NodeId planned_leaf(core::Runtime& rt, topo::NodeId node);
+
+/// Plan-time mirror of ExecContext::available_bytes: free + reclaimable
+/// capacity at `node`, derated by the resilience breaker's health scale
+/// when it is below 1 so a degraded node is planned with smaller chunks.
+std::uint64_t planned_available(core::Runtime& rt, topo::NodeId node);
+
 /// CRC32 over `bytes` of `buf` read back through the data plane in
 /// staging-sized chunks. Hashing the bytes as laid out on the node makes
-/// the value layout-dependent but deterministic for a fixed config —
-/// exactly what the chaos tests need.
+/// the value layout-dependent but deterministic for a fixed config.
+/// Matrices stored block-major should hash through hash_blocked_matrix
+/// instead so the value is comparable across block sizes.
 std::uint64_t hash_buffer(core::Runtime& rt, data::Buffer& buf,
                           std::uint64_t bytes);
+
+/// CRC32 of an n x n float matrix stored block-major in `buf` (block
+/// (bi, bj) of dimension `blk` occupies the contiguous range
+/// [(bi*g + bj) * blk*blk*4, ...) with g = n / blk), hashed in *logical
+/// row-major order*. Two runs that block the same matrix differently
+/// produce the same hash iff the element values match bit-for-bit — the
+/// invariant the autotuning ablation gates on. `blk` must divide `n`.
+std::uint64_t hash_blocked_matrix(core::Runtime& rt, data::Buffer& buf,
+                                  std::uint64_t n, std::uint64_t blk);
 
 /// Starts the measured phase of a run: clears the EventSim trace, every
 /// storage node's stats and I/O trace (so the §V-B preprocessing is

@@ -118,4 +118,55 @@ WhatIf whatif_storage(const obs::RecordedRun& run);
 /// Multi-line human-readable report (summary + critical path + what-if).
 std::string report(const obs::RecordedRun& run);
 
+// --- Calibration extraction (shared with northup::plan) --------------------
+
+/// Measured transfer statistics of one directed src→dst edge, with the
+/// least-squares accumulators of a duration = latency + bytes/bandwidth
+/// fit over the edge's kMove samples.
+struct EdgeMoveStats {
+  std::uint32_t src = obs::kNoNode;
+  std::uint32_t dst = obs::kNoNode;
+  std::string src_name;
+  std::string dst_name;
+  std::uint64_t samples = 0;
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+  // Least-squares accumulators over (x = bytes, y = duration seconds).
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+
+  /// Fitted effective bandwidth: 1 / slope when the regression is well
+  /// conditioned and positive, else the aggregate bytes/seconds ratio.
+  double fitted_bytes_per_s() const;
+  /// Fitted per-transfer latency: the regression intercept clamped at 0
+  /// (0 whenever fitted_bytes_per_s fell back to the aggregate ratio).
+  double fitted_latency_s() const;
+};
+
+/// Per-edge kMove aggregation of a recorded run, sorted by (src, dst).
+std::vector<EdgeMoveStats> edge_move_stats(const obs::RecordedRun& run);
+
+/// Measured kernel-launch statistics of one processor-carrying node.
+struct ComputeStats {
+  std::uint32_t node = obs::kNoNode;
+  std::string node_name;
+  std::uint64_t launches = 0;
+  std::uint64_t groups = 0;  ///< sum of per-launch workgroup counts
+  double seconds = 0.0;
+};
+
+/// Per-node kCompute aggregation of a recorded run, sorted by node.
+std::vector<ComputeStats> compute_stats(const obs::RecordedRun& run);
+
+/// Machine-readable run summary (versioned: `"northup_summary": 1`):
+/// per-phase critical-path attribution, per-node measured in/out
+/// bandwidths, fitted per-edge bandwidth/latency (the plan::Calibrator
+/// input contract), I/O totals, and per-node compute statistics.
+std::string summary_json(const obs::RecordedRun& run);
+
+/// Writes summary_json() to `path`; throws util::Error naming the path.
+void write_summary_json(const obs::RecordedRun& run, const std::string& path);
+
 }  // namespace northup::analyze

@@ -35,6 +35,10 @@
 #include "northup/topo/tree.hpp"
 #include "northup/util/timer.hpp"
 
+namespace northup::plan {
+class AutoTuner;
+}  // namespace northup::plan
+
 namespace northup::core {
 
 class ExecContext;
@@ -117,6 +121,15 @@ struct RuntimeOptions {
   /// recording spans all tenants). Must outlive the runtime. When set,
   /// enable_event_log is ignored.
   obs::EventLog* external_event_log = nullptr;
+  /// Trace-calibrated self-tuning (ISSUE 8): when set, the planners take
+  /// chunk sizes, execution mode (serial fat chunks vs window-2 double
+  /// buffering), CSR workgroup cutoffs, and child ranking from this
+  /// plan::AutoTuner instead of their hand-configured defaults,
+  /// re-querying it between tree levels (a breaker-degraded node's
+  /// shrunken budget and observed bandwidths flow into the re-plan).
+  /// Must outlive the runtime; the core layer never dereferences it —
+  /// only planners (northup::algos) do.
+  const plan::AutoTuner* auto_tune = nullptr;
 };
 
 /// Instantiated system: tree + storages + processors + queues + sim.

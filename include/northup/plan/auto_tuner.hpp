@@ -1,0 +1,133 @@
+// Profile-driven plan tuning (ISSUE 8 tentpole).
+//
+// plan::AutoTuner answers the sizing questions the hand-written planners
+// hard-code, using a calibrated MachineProfile instead of static config:
+//
+//   * choose_mode(): serial-with-fat-chunks vs window-2 double-buffering.
+//     The hand planners always halve the staging budget to double-buffer;
+//     on a slow edge (HDD-class storage) that *doubles* the total traffic
+//     of a divide-and-conquer plan whose volume scales as 1/chunk, and
+//     overlap cannot win back a 2x transfer inflation. The tuner compares
+//     modeled makespans of both candidates and keeps the fat-chunk serial
+//     plan when transfer dominates.
+//   * tune_chunk_bytes(): per-edge chunk size — the full staging budget
+//     on blocking levels, bounded on pipelined levels so enough chunks
+//     exist to hide fill/drain, floored at the latency-amortization
+//     point of the edge. Monotone in the edge's calibrated bandwidth
+//     (halving the bandwidth never *increases* the chunk — the
+//     satellite-3 invariant) and capped by the level's staging budget,
+//     which planners already scale by resil::NodeHealth degradation.
+//   * tune_nnz_cutoff(): CSR-Adaptive workgroup cutoff per tree level —
+//     shrunk below the hand default until a shard yields enough
+//     workgroups to occupy the leaf device, floored to keep rows
+//     local-memory-resident.
+//   * rank_children(): children ordered by *observed* parent→child
+//     bandwidth (declared model as fallback), so planners prefer the
+//     sibling that actually moved bytes fastest — including a node whose
+//     breaker-degraded path measured slower than declared.
+//
+// The tuner is pure and stateless over a const profile: planners hold a
+// `const AutoTuner*` through RuntimeOptions::auto_tune and re-query it
+// between tree levels (the online adaptation hook).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "northup/plan/machine_profile.hpp"
+
+namespace northup::plan {
+
+/// What one tree level of a divide-and-conquer plan is about to do, in
+/// aggregate over the whole level. Planners fill this from their own
+/// loop structure for each candidate chunking.
+struct Workload {
+  std::uint64_t down_bytes = 0;  ///< total parent→child bytes
+  std::uint64_t up_bytes = 0;    ///< total child→parent bytes
+  std::uint64_t chunks = 1;      ///< chunk iterations at this level
+  double down_accesses_per_chunk = 1.0;  ///< discrete transfers per chunk
+  double up_accesses_per_chunk = 0.0;
+  double compute_flops = 0.0;   ///< total device flops at this level
+  double compute_bytes = 0.0;   ///< total device memory traffic
+  std::uint64_t launches = 1;   ///< kernel launches at this level
+  double groups_per_launch = 0.0;  ///< 0 = assume full occupancy
+  /// Node whose attached processor runs the kernels (the leaves of this
+  /// subtree may sit below `child`). kNoNode = use the fastest declared
+  /// processor in the profile.
+  std::uint32_t compute_node = kNoNode;
+};
+
+/// Execution mode for one level: process chunks serially (each chunk as
+/// large as the full staging budget allows) or double-buffer with a
+/// window of 2 in-flight chunks (half-budget chunks, transfer/compute
+/// overlapped).
+enum class Mode { kSerial, kDoubleBuffer };
+
+class AutoTuner {
+ public:
+  explicit AutoTuner(MachineProfile profile);
+
+  const MachineProfile& profile() const { return profile_; }
+
+  /// Effective transfer parameters of the directed src→dst edge:
+  /// calibrated when the profile observed moves there, else the declared
+  /// storage models of the endpoints (bottleneck bandwidth, worst-case
+  /// access latency).
+  struct EdgeEstimate {
+    double bytes_per_s = 0.0;
+    double latency_s = 0.0;
+    bool measured = false;
+  };
+  EdgeEstimate edge(std::uint32_t src, std::uint32_t dst) const;
+
+  /// Modeled seconds for workload `w` on the parent↔child edge pair.
+  /// `overlapped` models window-2 double-buffering: max(transfer,
+  /// compute) plus one chunk's pipeline-fill compute; serial is the plain
+  /// sum.
+  double modeled_seconds(std::uint32_t parent, std::uint32_t child,
+                         const Workload& w, bool overlapped) const;
+
+  /// Picks the cheaper modeled candidate. `serial_w` describes the level
+  /// with full-budget chunks, `pipe_w` with half-budget double-buffered
+  /// chunks. `can_pipeline` is false when the runtime has no async pool
+  /// (then kSerial is the only option).
+  Mode choose_mode(std::uint32_t parent, std::uint32_t child,
+                   const Workload& serial_w, const Workload& pipe_w,
+                   bool can_pipeline) const;
+
+  /// Chunk size on the src→dst edge. A blocking level takes the full
+  /// budget (fewer per-chunk accesses, nothing to overlap); an
+  /// `overlapped` level is additionally bounded so the workload splits
+  /// into enough chunks to hide pipeline fill/drain — but never below
+  /// the point where per-chunk transfer dwarfs the edge's calibrated
+  /// access latency. Clamped to [floor_bytes, budget_bytes] and
+  /// monotone non-decreasing in the edge's calibrated bandwidth under a
+  /// fixed budget (halving the bandwidth never grows the chunk).
+  std::uint64_t tune_chunk_bytes(std::uint32_t src, std::uint32_t dst,
+                                 const Workload& w,
+                                 std::uint64_t budget_bytes,
+                                 std::uint64_t floor_bytes,
+                                 bool overlapped) const;
+
+  /// CSR-Adaptive nnz-per-workgroup cutoff for a shard of `shard_nnz`
+  /// nonzeros executing on the processor at `leaf_node`: the largest
+  /// power of two at most `hand_cutoff` that still yields >= 2 workgroups
+  /// per compute unit (full occupancy), floored at 64 and capped so a
+  /// workgroup's rows fit the device's local memory.
+  std::uint64_t tune_nnz_cutoff(std::uint32_t leaf_node,
+                                std::uint64_t shard_nnz,
+                                std::uint64_t hand_cutoff) const;
+
+  /// `children` reordered by decreasing observed parent→child bandwidth;
+  /// unmeasured edges fall back to the declared estimate and ties keep
+  /// the declared order.
+  std::vector<std::uint32_t> rank_children(
+      std::uint32_t parent, const std::vector<std::uint32_t>& children) const;
+
+ private:
+  double compute_seconds(const Workload& w) const;
+
+  MachineProfile profile_;
+};
+
+}  // namespace northup::plan

@@ -1,0 +1,56 @@
+// Trace→profile calibration (ISSUE 8 tentpole).
+//
+// plan::Calibrator turns recorded obs::EventLog runs into a
+// plan::MachineProfile. It reuses the analyze library's extraction
+// (analyze::edge_move_stats / compute_stats) so the numbers the profile
+// carries are byte-identical to what `northup-analyze --summary-json`
+// reports, then fits per-directed-edge effective bandwidth and setup
+// latency with a least-squares regression of duration over bytes.
+//
+// Roofline flops/s cannot be measured from the flight recorder (kCompute
+// events carry launch counts and durations, not flop counts), so
+// observe_topology() captures the declared processor rooflines and
+// per-node storage models; ingest() then attaches the *measured* launch
+// evidence and edge fits on top. An edge that was never exercised in any
+// ingested run simply has no EdgeProfile — the AutoTuner falls back to
+// the declared node model there.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "northup/analyze/analyze.hpp"
+#include "northup/obs/event_log.hpp"
+#include "northup/plan/machine_profile.hpp"
+#include "northup/topo/tree.hpp"
+
+namespace northup::plan {
+
+class Calibrator {
+ public:
+  /// Records the declared machine: storage model per memory node and one
+  /// ProcProfile per attached processor (roofline, CUs, local memory).
+  /// Call once per machine; repeated calls reset the declared state.
+  void observe_topology(const topo::TopoTree& tree);
+
+  /// Accumulates one recorded run's kMove/kCompute evidence. May be
+  /// called many times; edges merge across runs.
+  void ingest(const obs::RecordedRun& run);
+
+  /// Number of runs ingested so far.
+  std::size_t runs() const { return runs_; }
+
+  /// Fits and assembles the profile from everything seen so far.
+  MachineProfile finish() const;
+
+ private:
+  std::vector<NodeProfile> nodes_;
+  std::vector<ProcProfile> procs_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, analyze::EdgeMoveStats>
+      edges_;
+  std::map<std::uint32_t, analyze::ComputeStats> computes_;
+  std::size_t runs_ = 0;
+};
+
+}  // namespace northup::plan

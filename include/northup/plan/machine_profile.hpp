@@ -1,0 +1,89 @@
+// Serializable machine calibration (ISSUE 8 tentpole).
+//
+// A MachineProfile is what plan::Calibrator distills out of recorded
+// obs::EventLog runs: per-directed-edge effective bandwidth/latency
+// fitted from measured kMove events, per-processor roofline numbers, and
+// the declared per-node storage models for fallback when an edge was
+// never exercised. It round-trips through JSON (write_json/load throw
+// util::Error naming the path, like the rest of the obs artifact
+// writers) so a calibration run on one invocation can tune every later
+// one — the profile file *is* the profiler→planner interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace northup::plan {
+
+/// Sentinel matching obs::kNoNode: "no tree node".
+inline constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+/// One directed parent↔child transfer edge, fitted from measured moves.
+/// `bytes_per_s`/`latency_s` come from a least-squares fit of
+/// duration = latency + bytes / bandwidth over the edge's kMove samples;
+/// the raw accumulation (samples/bytes/seconds) is kept alongside so a
+/// consumer can judge how much evidence backs the fit.
+struct EdgeProfile {
+  std::uint32_t src = kNoNode;
+  std::uint32_t dst = kNoNode;
+  std::string src_name;
+  std::string dst_name;
+  double bytes_per_s = 0.0;  ///< fitted effective bandwidth
+  double latency_s = 0.0;    ///< fitted per-transfer setup latency
+  std::uint64_t samples = 0; ///< kMove events backing the fit
+  std::uint64_t bytes = 0;   ///< total bytes observed on this edge
+  double seconds = 0.0;      ///< total measured transfer seconds
+};
+
+/// One processor: declared roofline (kCompute events carry launch counts
+/// and durations but not flop counts, so flops_per_s is taken from the
+/// topology) plus the measured launch evidence.
+struct ProcProfile {
+  std::uint32_t node = kNoNode;  ///< memory node the processor attaches to
+  std::string name;
+  double flops_per_s = 0.0;
+  double mem_bytes_per_s = 0.0;
+  double launch_latency_s = 0.0;
+  std::uint32_t compute_units = 0;
+  std::uint64_t local_mem_bytes = 0;
+  std::uint64_t launches = 0;  ///< measured kCompute events
+  std::uint64_t groups = 0;    ///< total workgroups across launches
+  double seconds = 0.0;        ///< total measured kernel seconds
+};
+
+/// Declared storage model of one memory node — the fallback the tuner
+/// uses for an edge with no measured moves.
+struct NodeProfile {
+  std::uint32_t node = kNoNode;
+  std::string name;
+  std::string kind;  ///< mem::to_string(StorageKind)
+  double read_bytes_per_s = 0.0;
+  double write_bytes_per_s = 0.0;
+  double access_latency_s = 0.0;
+};
+
+struct MachineProfile {
+  std::vector<NodeProfile> nodes;
+  std::vector<EdgeProfile> edges;
+  std::vector<ProcProfile> procs;
+
+  /// Lookups; nullptr when absent.
+  const EdgeProfile* find_edge(std::uint32_t src, std::uint32_t dst) const;
+  const ProcProfile* find_proc(std::uint32_t node) const;
+  const NodeProfile* find_node(std::uint32_t node) const;
+
+  /// JSON serialization (versioned: `"northup_machine_profile": 1`).
+  std::string to_json() const;
+  /// Writes to_json() to `path`; throws util::Error naming the path.
+  void write_json(const std::string& path) const;
+  /// Parses a profile; throws util::Error naming `origin` on malformed
+  /// content or a version/flavor mismatch.
+  static MachineProfile from_json(const std::string& text,
+                                  const std::string& origin = "<string>");
+  /// Reads and parses `path`; throws util::Error naming the path on open
+  /// failure or malformed content.
+  static MachineProfile load(const std::string& path);
+};
+
+}  // namespace northup::plan

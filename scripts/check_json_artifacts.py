@@ -11,6 +11,13 @@ schema-level checks by flavor:
 * Metrics dumps: must have a "counters" object (gauges/histograms
   optional); counter values must be non-negative integers.
 * Sampler dumps: "interval_ms" plus a "series" object of [t, v] pairs.
+* Analyzer summaries (northup-analyze --summary-json): a
+  "northup_summary" version marker, per-phase critical-path
+  attribution, and per-node/per-edge measured bandwidths — the
+  plan::Calibrator's input contract.
+* Machine profiles (plan::MachineProfile::write_json): a
+  "northup_machine_profile" version marker plus nodes/edges/procs
+  tables with non-negative rates.
 
 Usage: check_json_artifacts.py FILE...
 Flavor is sniffed from the parsed structure, not the filename.
@@ -61,6 +68,70 @@ def check_sampler(path, doc):
     print(f"ok [sampler] {path}: {len(series)} series")
 
 
+def _require_number(obj, key, what, allow_negative=False):
+    value = obj.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValueError(f"{what} {key} is not a number")
+    if not allow_negative and value < 0:
+        raise ValueError(f"{what} {key} is negative")
+
+
+def check_summary(path, doc):
+    if doc["northup_summary"] != 1:
+        raise ValueError("unsupported northup_summary version")
+    _require_number(doc, "wall_seconds", "summary")
+    cp = doc["critical_path"]
+    _require_number(cp, "length_s", "critical_path")
+    phases = cp["phases"]
+    if not isinstance(phases, dict):
+        raise ValueError("critical_path.phases is not an object")
+    for phase in phases:
+        _require_number(phases, phase, "critical_path phase")
+    for section, keys in (
+        ("nodes", ("in_bytes", "in_bytes_per_s", "out_bytes",
+                   "out_bytes_per_s")),
+        ("edges", ("samples", "bytes", "seconds", "bytes_per_s",
+                   "latency_s")),
+        ("computes", ("launches", "groups", "seconds")),
+    ):
+        rows = doc[section]
+        if not isinstance(rows, list):
+            raise ValueError(f"{section} is not a list")
+        for i, row in enumerate(rows):
+            if "name" not in row and "src_name" not in row:
+                raise ValueError(f"{section}[{i}] missing name")
+            for key in keys:
+                _require_number(row, key, f"{section}[{i}]")
+    for key in ("read_bytes", "read_seconds", "write_bytes",
+                "write_seconds"):
+        _require_number(doc["io"], key, "io")
+    print(f"ok [northup-summary] {path}: {len(doc['edges'])} edges, "
+          f"{len(doc['critical_path']['phases'])} phases")
+
+
+def check_machine_profile(path, doc):
+    if doc["northup_machine_profile"] != 1:
+        raise ValueError("unsupported northup_machine_profile version")
+    for section, keys in (
+        ("nodes", ("read_bytes_per_s", "write_bytes_per_s",
+                   "access_latency_s")),
+        ("edges", ("bytes_per_s", "latency_s", "samples", "bytes",
+                   "seconds")),
+        ("procs", ("flops_per_s", "mem_bytes_per_s", "launch_latency_s",
+                   "compute_units", "local_mem_bytes")),
+    ):
+        rows = doc[section]
+        if not isinstance(rows, list):
+            raise ValueError(f"{section} is not a list")
+        for i, row in enumerate(rows):
+            if not isinstance(row.get("name", row.get("src_name")), str):
+                raise ValueError(f"{section}[{i}] missing name")
+            for key in keys:
+                _require_number(row, key, f"{section}[{i}]")
+    print(f"ok [machine-profile] {path}: {len(doc['nodes'])} nodes, "
+          f"{len(doc['edges'])} edges, {len(doc['procs'])} procs")
+
+
 def check(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -72,9 +143,14 @@ def check(path):
         check_metrics(path, doc)
     elif "series" in doc:
         check_sampler(path, doc)
+    elif "northup_summary" in doc:
+        check_summary(path, doc)
+    elif "northup_machine_profile" in doc:
+        check_machine_profile(path, doc)
     else:
-        raise ValueError("unrecognized artifact flavor "
-                         "(no traceEvents/counters/series key)")
+        raise ValueError("unrecognized artifact flavor (no traceEvents/"
+                         "counters/series/northup_summary/"
+                         "northup_machine_profile key)")
 
 
 def main(argv):

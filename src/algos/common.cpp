@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "northup/plan/auto_tuner.hpp"
 #include "northup/util/crc32.hpp"
 
 namespace northup::algos {
@@ -16,6 +17,26 @@ std::uint64_t hash_buffer(core::Runtime& rt, data::Buffer& buf,
     const std::uint64_t len = std::min(kChunk, bytes - off);
     rt.dm().read_to_host(staging.data(), buf, len, off);
     crc = util::crc32(staging.data(), len, crc);
+  }
+  return crc;
+}
+
+std::uint64_t hash_blocked_matrix(core::Runtime& rt, data::Buffer& buf,
+                                  std::uint64_t n, std::uint64_t blk) {
+  const std::uint64_t g = n / blk;
+  const std::uint64_t blk_bytes = blk * blk * 4;
+  // One block row (g blocks = n * blk floats) staged host-side at a time.
+  std::vector<std::byte> staging(g * blk_bytes);
+  std::uint32_t crc = 0;
+  for (std::uint64_t bi = 0; bi < g; ++bi) {
+    rt.dm().read_to_host(staging.data(), buf, g * blk_bytes,
+                         bi * g * blk_bytes);
+    for (std::uint64_t r = 0; r < blk; ++r) {
+      for (std::uint64_t bj = 0; bj < g; ++bj) {
+        crc = util::crc32(staging.data() + bj * blk_bytes + r * blk * 4,
+                          blk * 4, crc);
+      }
+    }
   }
   return crc;
 }
@@ -51,6 +72,39 @@ device::Processor* leaf_processor(core::Runtime& rt, topo::NodeId node) {
   }
   throw util::TopologyError("no processor available for leaf node '" +
                             rt.tree().node(node).name + "'");
+}
+
+const plan::AutoTuner* auto_tuner(core::Runtime& rt) {
+  return rt.options().auto_tune;
+}
+
+topo::NodeId planned_child(core::Runtime& rt, topo::NodeId node) {
+  const std::vector<topo::NodeId>& children =
+      rt.tree().get_children_list(node);
+  if (children.empty()) return topo::kInvalidNode;
+  const plan::AutoTuner* tuner = auto_tuner(rt);
+  if (tuner == nullptr) return children[0];
+  const std::vector<std::uint32_t> ranked =
+      tuner->rank_children(node, children);
+  for (topo::NodeId child : ranked) {
+    if (rt.dm().health_scale(child) > 0.0) return child;
+  }
+  return children[0];
+}
+
+topo::NodeId planned_leaf(core::Runtime& rt, topo::NodeId node) {
+  while (!rt.tree().is_leaf(node)) node = planned_child(rt, node);
+  return node;
+}
+
+std::uint64_t planned_available(core::Runtime& rt, topo::NodeId node) {
+  auto& dm = rt.dm();
+  const std::uint64_t raw =
+      dm.storage(node).available() + dm.reclaimable_bytes(node);
+  const double scale = dm.health_scale(node);
+  return scale >= 1.0
+             ? raw
+             : static_cast<std::uint64_t>(static_cast<double>(raw) * scale);
 }
 
 void reset_measurement(core::Runtime& rt,

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "northup/plan/auto_tuner.hpp"
 #include "northup/util/timer.hpp"
 
 namespace northup::algos {
@@ -182,6 +183,60 @@ std::vector<std::uint32_t> fetch_row_ptr(data::DataManager& dm,
   return rp;
 }
 
+/// Aggregate transfer/compute of one split level over `rows` rows and
+/// `nnz` nonzeros, for the tuner's chunk-size model. Chunk count and
+/// occupancy are left at defaults: tune_chunk_bytes only consumes the
+/// edge estimate and the level's total compute time.
+plan::Workload spmv_level_workload(core::Runtime& rt, std::uint64_t rows,
+                                   std::uint64_t nnz,
+                                   const SpmvConfig& config,
+                                   topo::NodeId child_node) {
+  plan::Workload w;
+  w.down_bytes = (rows + 1) * kU + nnz * (kU + kF);
+  w.up_bytes = rows * kF;
+  w.down_accesses_per_chunk = 3.0;  // row_ptr + col_id + data slices
+  w.up_accesses_per_chunk = 1.0;    // y slice
+  w.compute_flops = 2.0 * static_cast<double>(nnz);
+  w.compute_bytes = (static_cast<double>(nnz) * 12.0 +
+                     static_cast<double>(rows) * 8.0) *
+                    config.device_traffic_factor;
+  w.compute_node = planned_leaf(rt, child_node);
+  return w;
+}
+
+/// The tuned byte cap for one split level: the hand plan packs shards up
+/// to the full staging budget; the tuner may cut that down to the
+/// latency-amortization point of the parent→child edge (never below
+/// `floor`, never above the budget).
+double tuned_split_cap(core::Runtime& rt, topo::NodeId parent,
+                       topo::NodeId child, std::uint64_t rows,
+                       std::uint64_t nnz, const SpmvConfig& config,
+                       double budget, bool overlapped) {
+  const plan::AutoTuner* tuner = auto_tuner(rt);
+  if (tuner == nullptr || budget <= 0.0) return budget;
+  constexpr std::uint64_t kFloor = 1ULL << 12;
+  const std::uint64_t cap = tuner->tune_chunk_bytes(
+      parent, child, spmv_level_workload(rt, rows, nnz, config, child),
+      static_cast<std::uint64_t>(budget), kFloor, overlapped);
+  return std::min(budget, static_cast<double>(cap));
+}
+
+/// Per-shard leaf config: with a tuner, the CSR-Adaptive cutoff is
+/// re-tuned for the sub-shard about to descend (smaller shards get a
+/// smaller cutoff so they still fill the leaf device with workgroups —
+/// bit-identical y either way, since each row reduces in row order).
+SpmvConfig tuned_child_config(core::Runtime& rt, topo::NodeId child_node,
+                              std::uint64_t nnz_s,
+                              const SpmvConfig& config) {
+  const plan::AutoTuner* tuner = auto_tuner(rt);
+  if (tuner == nullptr) return config;
+  SpmvConfig tuned = config;
+  tuned.nnz_per_workgroup = static_cast<std::uint32_t>(
+      tuner->tune_nnz_cutoff(planned_leaf(rt, child_node), nnz_s,
+                             config.nnz_per_workgroup));
+  return tuned;
+}
+
 }  // namespace
 
 void spmv_recurse(core::ExecContext& ctx, const SpmvShard& shard,
@@ -191,11 +246,21 @@ void spmv_recurse(core::ExecContext& ctx, const SpmvShard& shard,
     return;
   }
   auto& dm = ctx.dm();
-  const topo::NodeId child_node = ctx.child(0);
+  // Online adaptation: with a tuner the descent re-ranks children by
+  // observed bandwidth at every level (planned_child); the hand path
+  // keeps the declared first child.
+  const topo::NodeId child_node =
+      planned_child(ctx.runtime(), ctx.get_cur_treenode());
 
   const std::vector<std::uint32_t> rp = fetch_row_ptr(dm, shard);
   const double budget = static_cast<double>(ctx.available_bytes(child_node)) *
                         config.capacity_safety;
+  // Tuned shard-byte cap for this level (== budget without a tuner). A
+  // single row larger than the cap still forms its own shard, checked
+  // against the real capacity budget below.
+  const double cap = tuned_split_cap(
+      ctx.runtime(), ctx.get_cur_treenode(), child_node, shard.rows,
+      rp[shard.rows] - rp[0], config, budget, /*overlapped=*/false);
 
   std::uint32_t first = 0;
   while (first < shard.rows) {
@@ -207,7 +272,7 @@ void spmv_recurse(core::ExecContext& ctx, const SpmvShard& shard,
       const double bytes =
           static_cast<double>((rows_s + 1) * kU + nnz_s * (kU + kF) +
                               rows_s * kF);
-      if (bytes > budget && last > first) break;
+      if (bytes > cap && last > first) break;
       NU_CHECK(bytes <= budget || last == first,
                "single row exceeds child capacity");
       ++last;
@@ -262,9 +327,11 @@ void spmv_recurse(core::ExecContext& ctx, const SpmvShard& shard,
     data::Buffer c_y = dm.alloc(std::max<std::uint64_t>(rows_s, 1) * kF,
                                 child_node);
 
+    const SpmvConfig child_config =
+        tuned_child_config(ctx.runtime(), child_node, nnz_s, config);
     ctx.northup_spawn(child_node, [&](core::ExecContext& cctx) {
       SpmvShard sub{c_rp, c_ci, c_va, shard.x, &c_y, rows_s, rp[first]};
-      spmv_recurse(cctx, sub, config);
+      spmv_recurse(cctx, sub, child_config);
     });
 
     dm.move_data_up(*shard.y, c_y,
@@ -312,7 +379,7 @@ data::Buffer stage_x_to_leaf(core::Runtime& rt, topo::NodeId from,
   data::Buffer cur;  // invalid: x_at_from owned by caller
   data::Buffer* src = &x_at_from;
   while (!tree.is_leaf(node)) {
-    const topo::NodeId child = tree.get_children_list(node)[0];
+    const topo::NodeId child = planned_child(rt, node);
     data::Buffer next = dm.alloc(bytes, child);
     dm.move_data_down(next, *src, {.size = bytes});
     if (cur.valid()) dm.release(cur);
@@ -413,7 +480,7 @@ RunStats spmv_northup(core::Runtime& rt, const SpmvConfig& config) {
     // kWindow shards in flight, which the halved split budget accounts
     // for. Repeats need no extra barrier: the CSR inputs are read-only
     // and the repeated y writes serialize through the upload chain.
-    const topo::NodeId l1 = ctx.child(0);
+    const topo::NodeId l1 = planned_child(rt, ctx.get_cur_treenode());
     const bool cached = dm.has_shard_cache(l1);
     constexpr std::size_t kWindow = 2;
     std::vector<exec::TaskHandle> posts;
@@ -430,6 +497,14 @@ RunStats spmv_northup(core::Runtime& rt, const SpmvConfig& config) {
       double budget = static_cast<double>(ctx.available_bytes(l1)) *
                       config.capacity_safety;
       if (ctx.pipelined()) budget *= 0.5;
+      // Tuned shard-byte cap (== budget without a tuner); re-queried
+      // every repeat so a mid-run breaker degradation shrinks the next
+      // sweep's shards. Oversized single rows still check against the
+      // real capacity budget.
+      const double cap =
+          tuned_split_cap(rt, ctx.get_cur_treenode(), l1, a.rows,
+                          rp[a.rows] - rp[0], config, budget,
+                          ctx.pipelined());
 
       std::uint32_t first = 0;
       while (first < a.rows) {
@@ -441,7 +516,7 @@ RunStats spmv_northup(core::Runtime& rt, const SpmvConfig& config) {
           const std::uint64_t rows_w = last + 1 - first;
           const double bytes = static_cast<double>(
               (rows_w + 1) * kU + nnz_w * (kU + kF) + rows_w * kF);
-          if (bytes > budget && last > first) break;
+          if (bytes > cap && last > first) break;
           NU_CHECK(bytes <= budget || last == first,
                    "single row exceeds child capacity");
           ++last;
@@ -493,11 +568,15 @@ RunStats spmv_northup(core::Runtime& rt, const SpmvConfig& config) {
             dm, std::max<std::uint64_t>(rows_s, 1) * kF, l1);
 
         deps.push_back(compute_chain);
+        // Per-shard leaf config: the CSR-Adaptive cutoff re-tuned for
+        // this shard's nnz (a no-op without a tuner).
+        const SpmvConfig shard_config =
+            tuned_child_config(rt, l1, nnz_s, config);
         const auto compute = ctx.run_async(
             l1,
             [rp_sh, ci_sh, va_sh, rp_pl, ci_pl, va_pl, ci_stub, va_stub,
              c_y, x_ptr, rows_s, nnz_base = rp[first],
-             &config](core::ExecContext& cctx) mutable {
+             shard_config](core::ExecContext& cctx) mutable {
               data::ScopedShard rp_s, ci_s, va_s;
               data::ScopedBuffer rp_b, ci_b, va_b;
               data::Buffer* c_rp = nullptr;
@@ -526,7 +605,7 @@ RunStats spmv_northup(core::Runtime& rt, const SpmvConfig& config) {
               }
               SpmvShard sub{c_rp, c_ci, c_va, x_ptr, &c_y->get(), rows_s,
                             nnz_base};
-              spmv_recurse(cctx, sub, config);
+              spmv_recurse(cctx, sub, shard_config);
               // Staging slices drop here, right after this shard's
               // compute as in the blocking schedule.
             },

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "northup/core/chunking.hpp"
+#include "northup/plan/auto_tuner.hpp"
 #include "northup/util/timer.hpp"
 
 namespace northup::algos {
@@ -19,6 +20,53 @@ constexpr std::uint64_t kF = sizeof(float);
 /// Pointer to a view's (0,0) on a host-addressable node.
 float* view_ptr(data::DataManager& dm, const MatView& v) {
   return reinterpret_cast<float*>(dm.host_view(*v.buf) + v.offset);
+}
+
+/// The leaf-level block size a level-1 block of `b` decomposes into,
+/// simulating gemm_recurse's per-level choose_gemm_block down the
+/// planned child chain. The k-segmentation at the *leaves* decides the
+/// float accumulation order into C, so the tuned planner only diverges
+/// from the hand block size when both candidates provably land on the
+/// same leaf block (bit-identical results).
+std::uint64_t gemm_leaf_block(core::Runtime& rt, topo::NodeId node,
+                              std::uint64_t b, const GemmConfig& config) {
+  while (!rt.tree().is_leaf(node)) {
+    const topo::NodeId child = planned_child(rt, node);
+    b = choose_gemm_block(b, config.leaf_tile, planned_available(rt, child),
+                          config.shard_reuse, config.capacity_safety);
+    node = child;
+  }
+  return b;
+}
+
+/// What the level-0 GEMM loop moves and computes with level-1 block `b`:
+/// A misses once per (i, kk) through the shard cache, B streams once per
+/// (i, j, kk), one C block uploads per (i, j); compute is the full 2n^3
+/// at the leaf device's roofline.
+plan::Workload gemm_level_workload(core::Runtime& rt, std::uint64_t n,
+                                   std::uint64_t b, const GemmConfig& config,
+                                   topo::NodeId l1) {
+  const std::uint64_t g = n / b;
+  const std::uint64_t leaf_b = gemm_leaf_block(rt, l1, b, config);
+  const std::uint64_t gx = leaf_b / config.leaf_tile;
+  plan::Workload w;
+  w.down_bytes = (g * g + g * g * g) * b * b * kF;
+  w.up_bytes = g * g * b * b * kF;
+  w.chunks = g * g * g;
+  w.down_accesses_per_chunk =
+      static_cast<double>(g * g + g * g * g) / static_cast<double>(w.chunks);
+  w.up_accesses_per_chunk =
+      static_cast<double>(g * g) / static_cast<double>(w.chunks);
+  w.compute_flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                    static_cast<double>(n);
+  w.launches = (n / leaf_b) * (n / leaf_b) * (n / leaf_b);
+  w.compute_bytes =
+      static_cast<double>(w.launches) * static_cast<double>(kF) *
+      (2.0 * static_cast<double>(leaf_b * leaf_b) * static_cast<double>(gx) +
+       2.0 * static_cast<double>(leaf_b * leaf_b));
+  w.groups_per_launch = static_cast<double>(gx * gx);
+  w.compute_node = planned_leaf(rt, l1);
+  return w;
 }
 
 }  // namespace
@@ -128,7 +176,11 @@ void gemm_recurse(core::ExecContext& ctx, const MatView& a, const MatView& b,
   NU_CHECK(m == n && n == k, "gemm_recurse handles square blocks");
 
   auto& dm = ctx.dm();
-  const topo::NodeId child_node = ctx.child(0);
+  // Online adaptation: with a tuner the descent re-ranks children by
+  // observed bandwidth at every level (planned_child); the hand path
+  // keeps the declared first child.
+  const topo::NodeId child_node =
+      planned_child(ctx.runtime(), ctx.get_cur_treenode());
   const std::uint64_t blk =
       choose_gemm_block(m, config.leaf_tile, ctx.available_bytes(child_node),
                         config.shard_reuse, config.capacity_safety);
@@ -274,19 +326,53 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
   const topo::NodeId root = rt.tree().root();
   NU_CHECK(!rt.tree().get_children_list(root).empty(),
            "out-of-core GEMM needs at least two tree levels");
-  const topo::NodeId l1 = rt.tree().get_children_list(root)[0];
+  const topo::NodeId l1 = planned_child(rt, root);
 
   // Level-1 block size decides both the recursion grid and the
   // preprocessed block-major layout on the root storage (§V-B).
-  std::uint64_t l1_avail =
+  const std::uint64_t l1_avail =
       dm.storage(l1).available() + dm.reclaimable_bytes(l1);
+  const bool can_pipeline = rt.options().pipeline_threads > 0;
   // A pipelined run stages up to two chunks ahead of the compute chain:
-  // plan against half the child level so the in-flight staging of
-  // neighbouring steps fits beside the current working set.
-  if (rt.options().pipeline_threads > 0) l1_avail /= 2;
-  const std::uint64_t blk =
-      choose_gemm_block(n, config.leaf_tile, l1_avail, config.shard_reuse,
-                        config.capacity_safety);
+  // the hand plan always halves the child budget so the in-flight
+  // staging of neighbouring steps fits beside the current working set.
+  // With a tuner, that halving becomes a *choice*: on a slow edge the
+  // fat serial block moves strictly fewer bytes (GEMM traffic scales as
+  // 1/blk) and the tuner keeps the serial plan when its modeled makespan
+  // beats the overlapped one — but only when both candidates decompose
+  // to the same leaf block, which fixes the float accumulation order and
+  // keeps the result bit-identical to the hand plan's.
+  const plan::AutoTuner* tuner = auto_tuner(rt);
+  bool dbuf = can_pipeline;  // window-2 double buffering in the run loop
+  std::uint64_t blk;
+  if (tuner == nullptr) {
+    blk = choose_gemm_block(n, config.leaf_tile,
+                            can_pipeline ? l1_avail / 2 : l1_avail,
+                            config.shard_reuse, config.capacity_safety);
+  } else {
+    const std::uint64_t b_serial =
+        choose_gemm_block(n, config.leaf_tile, l1_avail, config.shard_reuse,
+                          config.capacity_safety);
+    if (!can_pipeline) {
+      blk = b_serial;
+    } else {
+      const std::uint64_t b_pipe =
+          choose_gemm_block(n, config.leaf_tile, l1_avail / 2,
+                            config.shard_reuse, config.capacity_safety);
+      blk = b_pipe;
+      if (b_serial != b_pipe &&
+          gemm_leaf_block(rt, l1, b_serial, config) ==
+              gemm_leaf_block(rt, l1, b_pipe, config)) {
+        const plan::Mode mode = tuner->choose_mode(
+            root, l1, gemm_level_workload(rt, n, b_serial, config, l1),
+            gemm_level_workload(rt, n, b_pipe, config, l1), true);
+        if (mode == plan::Mode::kSerial) {
+          blk = b_serial;
+          dbuf = false;
+        }
+      }
+    }
+  }
   const std::uint64_t g = n / blk;
   const std::uint64_t blk_bytes = blk * blk * kF;
   const std::uint64_t row_bytes = blk * kF;
@@ -347,7 +433,10 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
     // accounts for. In an inline (non-pipelined) run each node executes
     // at submission, reproducing the blocking schedule exactly.
     const bool cached = config.shard_reuse && dm.has_shard_cache(l1);
-    constexpr std::size_t kWindow = 2;
+    // Double-buffered plans keep two chunks in flight; a tuner-chosen
+    // serial plan throttles to one (its fat blocks already fill the
+    // staging level, so overlapped staging would overrun capacity).
+    const std::size_t window = dbuf ? 2 : 1;
     std::vector<exec::TaskHandle> computes;
     computes.reserve(static_cast<std::size_t>(g * g * g));
     for (std::uint64_t i = 0; i < g; ++i) {
@@ -359,8 +448,8 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
                })
                 .task();
         for (std::uint64_t kk = 0; kk < g; ++kk) {
-          if (computes.size() >= kWindow) {
-            ctx.graph().wait(computes[computes.size() - kWindow]);
+          if (computes.size() >= window) {
+            ctx.graph().wait(computes[computes.size() - window]);
           }
           const std::uint64_t a_off = (i * g + kk) * blk_bytes;
           const std::uint64_t b_off = (kk * g + j) * blk_bytes;
@@ -416,13 +505,16 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
         // root extent is written in the legacy order.
         const std::uint64_t c_off = block_view(c, i, j).offset;
         data::Buffer* croot = block_view(c, i, j).buf;
-        ctx.submit(
+        auto upload = ctx.submit(
             [&dm, cb, croot, blk_bytes, c_off] {
               dm.move_data_up(*croot, cb->get(),
                               {.size = blk_bytes, .dst_offset = c_off});
               cb->reset();
             },
             {chain});
+        // Serial mode allocates the next block's staging at submission,
+        // so the upload must land (freeing this block's slot) first.
+        if (!dbuf) ctx.graph().wait(upload.task());
       }
     }
   });
@@ -440,7 +532,11 @@ RunStats gemm_northup(core::Runtime& rt, const GemmConfig& config) {
         return v;
       },
       config);
-  if (config.hash_result) stats.result_hash = hash_buffer(rt, c, n * n * kF);
+  // Hash in logical row-major order so runs that picked different
+  // level-1 blockings (hand vs tuned) compare bit-for-bit.
+  if (config.hash_result) {
+    stats.result_hash = hash_blocked_matrix(rt, c, n, blk);
+  }
 
   dm.release(a);
   dm.release(b);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "northup/core/chunking.hpp"
+#include "northup/plan/auto_tuner.hpp"
 #include "northup/util/timer.hpp"
 
 namespace northup::algos {
@@ -146,6 +147,53 @@ void pack_column(data::DataManager& dm, data::Buffer& dst,
                    dim * kF);
 }
 
+/// The leaf-level block dimension a level-1 block of `b` decomposes
+/// into, simulating hotspot_recurse's per-level choose_hotspot_block
+/// down the planned child chain (used to model leaf launch counts).
+std::uint64_t hotspot_leaf_block(core::Runtime& rt, topo::NodeId node,
+                                 std::uint64_t b,
+                                 const HotspotConfig& config) {
+  while (!rt.tree().is_leaf(node)) {
+    const topo::NodeId child = planned_child(rt, node);
+    b = choose_hotspot_block(b, config.leaf_tile,
+                             planned_available(rt, child),
+                             config.capacity_safety);
+    node = child;
+  }
+  return b;
+}
+
+/// What the level-0 sweep loop moves and computes with level-1 block
+/// `bd`: per block per sweep, three downloads (temperature, power, halo
+/// extent) and five uploads (the t_next block plus four halo publishes);
+/// compute is the leaf kernel's declared roofline cost over the grid.
+plan::Workload hotspot_level_workload(core::Runtime& rt, std::uint64_t n,
+                                      std::uint64_t bd,
+                                      const HotspotConfig& config,
+                                      topo::NodeId l1) {
+  const std::uint64_t g = n / bd;
+  const std::uint64_t blk_bytes = bd * bd * kF;
+  const std::uint64_t halo_bytes = 4 * bd * kF;
+  const std::uint64_t leaf_bd = hotspot_leaf_block(rt, l1, bd, config);
+  const std::uint64_t gx = core::ceil_div(leaf_bd, config.leaf_tile);
+  plan::Workload w;
+  w.chunks = config.iterations * g * g;
+  w.down_bytes = w.chunks * (2 * blk_bytes + halo_bytes);
+  w.up_bytes = w.chunks * (blk_bytes + halo_bytes);
+  w.down_accesses_per_chunk = 3.0;
+  w.up_accesses_per_chunk = 5.0;
+  const double cells = static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(config.iterations);
+  w.compute_flops = 12.0 * cells;
+  w.compute_bytes =
+      static_cast<double>(kF) * cells * 3.2 * config.device_traffic_factor;
+  w.launches =
+      config.iterations * (n / leaf_bd) * (n / leaf_bd);
+  w.groups_per_launch = static_cast<double>(gx * gx);
+  w.compute_node = planned_leaf(rt, l1);
+  return w;
+}
+
 }  // namespace
 
 void hotspot_recurse(core::ExecContext& ctx, const StencilBlock& block,
@@ -155,7 +203,11 @@ void hotspot_recurse(core::ExecContext& ctx, const StencilBlock& block,
     return;
   }
   auto& dm = ctx.dm();
-  const topo::NodeId child_node = ctx.child(0);
+  // Online adaptation: with a tuner the descent re-ranks children by
+  // observed bandwidth at every level (planned_child); the hand path
+  // keeps the declared first child.
+  const topo::NodeId child_node =
+      planned_child(ctx.runtime(), ctx.get_cur_treenode());
   const std::uint64_t d = block.dim;
   const std::uint64_t sd = choose_hotspot_block(
       d, config.leaf_tile, ctx.available_bytes(child_node),
@@ -359,17 +411,47 @@ RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
   const topo::NodeId root = rt.tree().root();
   NU_CHECK(!rt.tree().get_children_list(root).empty(),
            "out-of-core HotSpot needs at least two tree levels");
-  const topo::NodeId l1 = rt.tree().get_children_list(root)[0];
+  const topo::NodeId l1 = planned_child(rt, root);
 
-  std::uint64_t l1_avail =
+  const std::uint64_t l1_avail =
       dm.storage(l1).available() + dm.reclaimable_bytes(l1);
+  const bool can_pipeline = rt.options().pipeline_threads > 0;
   // A pipelined run stages up to two blocks ahead of the compute chain:
-  // plan against half the child level so neighbouring blocks' in-flight
-  // staging fits beside the current working set.
-  if (rt.options().pipeline_threads > 0) l1_avail /= 2;
-  const std::uint64_t bd =
-      choose_hotspot_block(n, config.leaf_tile, l1_avail,
-                           config.capacity_safety);
+  // the hand plan always halves the child budget so neighbouring blocks'
+  // in-flight staging fits beside the current working set. With a tuner
+  // the halving becomes a *choice*: on a slow, high-latency root edge
+  // the fat serial block issues far fewer per-block halo publishes, and
+  // the tuner keeps the serial plan when its modeled makespan beats the
+  // overlapped one. The stencil produces bit-identical cell values under
+  // any blocking (halos are exact copies, no accumulation-order change),
+  // so the block size is free to diverge from the hand plan's.
+  const plan::AutoTuner* tuner = auto_tuner(rt);
+  bool dbuf = can_pipeline;  // window-2 double buffering in the run loop
+  std::uint64_t bd;
+  if (tuner == nullptr) {
+    bd = choose_hotspot_block(n, config.leaf_tile,
+                              can_pipeline ? l1_avail / 2 : l1_avail,
+                              config.capacity_safety);
+  } else {
+    const std::uint64_t b_serial = choose_hotspot_block(
+        n, config.leaf_tile, l1_avail, config.capacity_safety);
+    if (!can_pipeline) {
+      bd = b_serial;
+    } else {
+      const std::uint64_t b_pipe = choose_hotspot_block(
+          n, config.leaf_tile, l1_avail / 2, config.capacity_safety);
+      bd = b_pipe;
+      if (b_serial != b_pipe) {
+        const plan::Mode mode = tuner->choose_mode(
+            root, l1, hotspot_level_workload(rt, n, b_serial, config, l1),
+            hotspot_level_workload(rt, n, b_pipe, config, l1), true);
+        if (mode == plan::Mode::kSerial) {
+          bd = b_serial;
+          dbuf = false;
+        }
+      }
+    }
+  }
   const std::uint64_t g = n / bd;
   const std::uint64_t blk_bytes = bd * bd * kF;
   const std::uint64_t halo_bytes = 4 * bd * kF;
@@ -456,14 +538,17 @@ RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
     // the same halo buffer) and the next sweep's downloads wait on the
     // previous sweep's final post, so the data the cache re-keys on is
     // settled. Within a sweep block k+1's downloads overlap block k's
-    // compute in a pipelined run; the planner keeps at most kWindow
-    // blocks in flight, which the halved planning budget above accounts
+    // compute in a pipelined run; the planner keeps at most `window`
+    // blocks in flight, which the planning budget above accounts
     // for. Node bodies capture the current/next buffer roles by pointer
     // value at submission, so the planner-side role flip between sweeps
     // never retargets an already-submitted node; the structs themselves
     // are swapped after the run when the iteration count is odd.
     const bool cached = dm.has_shard_cache(l1);
-    constexpr std::size_t kWindow = 2;
+    // Double-buffered plans keep two blocks in flight; a tuner-chosen
+    // serial plan throttles to one (its fat blocks already fill the
+    // staging level, so overlapped staging would overrun capacity).
+    const std::size_t window = dbuf ? 2 : 1;
     data::Buffer* tc = &t_cur;
     data::Buffer* tn = &t_next;
     data::Buffer* hc = &h_cur;
@@ -476,8 +561,8 @@ RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
     for (std::uint64_t it = 0; it < config.iterations; ++it) {
       for (std::uint64_t bi = 0; bi < g; ++bi) {
         for (std::uint64_t bj = 0; bj < g; ++bj) {
-          if (posts.size() >= kWindow) {
-            ctx.graph().wait(posts[posts.size() - kWindow]);
+          if (posts.size() >= window) {
+            ctx.graph().wait(posts[posts.size() - window]);
           }
           const std::uint64_t boff = block_off(bi, bj);
           const std::uint64_t hoff = halo_off(bi, bj);
@@ -609,8 +694,10 @@ RunStats hotspot_northup(core::Runtime& rt, const HotspotConfig& config) {
     stats.max_rel_err = max_rel_diff(expect, got);
     stats.verified = stats.max_rel_err < kVerifyTolerance;
   }
+  // Hash in logical row-major order so runs that picked different
+  // level-1 blockings (hand vs tuned) compare bit-for-bit.
   if (config.hash_result) {
-    stats.result_hash = hash_buffer(rt, t_cur, n * n * kF);
+    stats.result_hash = hash_blocked_matrix(rt, t_cur, n, bd);
   }
 
   for (auto* b : {&t_cur, &t_next, &pw_blocks, &h_cur, &h_next}) {

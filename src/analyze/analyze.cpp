@@ -585,4 +585,186 @@ std::string report(const obs::RecordedRun& run) {
   return os.str();
 }
 
+double EdgeMoveStats::fitted_bytes_per_s() const {
+  const double n = static_cast<double>(samples);
+  const double det = n * sum_xx - sum_x * sum_x;
+  if (samples >= 2 && det > 0.0) {
+    const double slope = (n * sum_xy - sum_x * sum_y) / det;
+    if (slope > 0.0) return 1.0 / slope;
+  }
+  // Degenerate fit (single sample, identical sizes, or a non-positive
+  // slope from timer noise): fall back to the aggregate ratio.
+  if (seconds > 0.0) return static_cast<double>(bytes) / seconds;
+  return bytes > 0 ? 1e18 : 0.0;
+}
+
+double EdgeMoveStats::fitted_latency_s() const {
+  const double n = static_cast<double>(samples);
+  const double det = n * sum_xx - sum_x * sum_x;
+  if (samples >= 2 && det > 0.0) {
+    const double slope = (n * sum_xy - sum_x * sum_y) / det;
+    if (slope > 0.0) {
+      const double intercept = (sum_y - slope * sum_x) / n;
+      return std::max(intercept, 0.0);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<EdgeMoveStats> edge_move_stats(const obs::RecordedRun& run) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, EdgeMoveStats> by_edge;
+  for (const obs::Event& e : run.events) {
+    if (e.kind != obs::EventKind::kMove) continue;
+    const std::uint32_t src = e.node;
+    const std::uint32_t dst = e.node2;
+    EdgeMoveStats& s = by_edge[{src, dst}];
+    if (s.samples == 0) {
+      s.src = src;
+      s.dst = dst;
+      s.src_name = run.node_name(src);
+      s.dst_name = run.node_name(dst);
+    }
+    const double x = static_cast<double>(e.value);
+    const double y = static_cast<double>(e.dur_ns) / kNsPerS;
+    s.samples += 1;
+    s.bytes += e.value;
+    s.seconds += y;
+    s.sum_x += x;
+    s.sum_y += y;
+    s.sum_xx += x * x;
+    s.sum_xy += x * y;
+  }
+  std::vector<EdgeMoveStats> out;
+  out.reserve(by_edge.size());
+  for (auto& [key, stats] : by_edge) out.push_back(std::move(stats));
+  return out;
+}
+
+std::vector<ComputeStats> compute_stats(const obs::RecordedRun& run) {
+  std::map<std::uint32_t, ComputeStats> by_node;
+  for (const obs::Event& e : run.events) {
+    if (e.kind != obs::EventKind::kCompute) continue;
+    ComputeStats& s = by_node[e.node];
+    if (s.launches == 0) {
+      s.node = e.node;
+      s.node_name = run.node_name(e.node);
+    }
+    s.launches += 1;
+    s.groups += e.value;
+    s.seconds += static_cast<double>(e.dur_ns) / kNsPerS;
+  }
+  std::vector<ComputeStats> out;
+  out.reserve(by_node.size());
+  for (auto& [node, stats] : by_node) out.push_back(std::move(stats));
+  return out;
+}
+
+std::string summary_json(const obs::RecordedRun& run) {
+  const Summary s = summarize(run);
+  const CriticalPath cp = measured_critical_path(run);
+  const std::vector<EdgeMoveStats> edges = edge_move_stats(run);
+  const std::vector<ComputeStats> computes = compute_stats(run);
+
+  // Per-node traffic: bytes/seconds into (as kMove destination) and out
+  // of (as source) each tree node.
+  struct NodeTraffic {
+    std::uint64_t in_bytes = 0, out_bytes = 0;
+    double in_seconds = 0.0, out_seconds = 0.0;
+  };
+  std::map<std::uint32_t, NodeTraffic> traffic;
+  for (const EdgeMoveStats& e : edges) {
+    if (e.src != obs::kNoNode) {
+      traffic[e.src].out_bytes += e.bytes;
+      traffic[e.src].out_seconds += e.seconds;
+    }
+    if (e.dst != obs::kNoNode) {
+      traffic[e.dst].in_bytes += e.bytes;
+      traffic[e.dst].in_seconds += e.seconds;
+    }
+  }
+
+  std::uint64_t read_bytes = 0, write_bytes = 0;
+  std::uint64_t read_ns = 0, write_ns = 0;
+  for (const obs::Event& e : run.events) {
+    if (e.kind != obs::EventKind::kIo) continue;
+    (e.aux == 1 ? write_bytes : read_bytes) += e.value;
+    (e.aux == 1 ? write_ns : read_ns) += e.dur_ns;
+  }
+
+  std::ostringstream os;
+  os << "{\n  \"northup_summary\": 1,\n";
+  os << "  \"wall_seconds\": " << fmt_g(s.wall_seconds) << ",\n";
+  os << "  \"events\": " << s.events << ",\n  \"dropped\": " << s.dropped
+     << ",\n  \"thread_count\": " << s.thread_count << ",\n";
+  os << "  \"critical_path\": {\n    \"length_s\": " << fmt_g(cp.length_s)
+     << ",\n    \"phases\": {";
+  bool first = true;
+  for (const auto& [phase, secs] : cp.phase_seconds) {
+    os << (first ? "" : ",") << "\n      \"" << json_escape(phase)
+       << "\": " << fmt_g(secs);
+    first = false;
+  }
+  os << "\n    }\n  },\n  \"nodes\": [";
+  first = true;
+  for (const auto& [node, t] : traffic) {
+    auto rate = [](std::uint64_t bytes, double secs) {
+      return secs > 0.0 ? static_cast<double>(bytes) / secs : 0.0;
+    };
+    os << (first ? "" : ",") << "\n    {\"node\": " << node
+       << ", \"name\": \"" << json_escape(run.node_name(node))
+       << "\", \"in_bytes\": " << t.in_bytes
+       << ", \"in_seconds\": " << fmt_g(t.in_seconds)
+       << ", \"in_bytes_per_s\": " << fmt_g(rate(t.in_bytes, t.in_seconds))
+       << ", \"out_bytes\": " << t.out_bytes
+       << ", \"out_seconds\": " << fmt_g(t.out_seconds)
+       << ", \"out_bytes_per_s\": " << fmt_g(rate(t.out_bytes, t.out_seconds))
+       << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"edges\": [";
+  first = true;
+  for (const EdgeMoveStats& e : edges) {
+    os << (first ? "" : ",") << "\n    {\"src\": "
+       << (e.src == obs::kNoNode ? -1 : static_cast<std::int64_t>(e.src))
+       << ", \"dst\": "
+       << (e.dst == obs::kNoNode ? -1 : static_cast<std::int64_t>(e.dst))
+       << ", \"src_name\": \"" << json_escape(e.src_name)
+       << "\", \"dst_name\": \"" << json_escape(e.dst_name)
+       << "\", \"samples\": " << e.samples << ", \"bytes\": " << e.bytes
+       << ", \"seconds\": " << fmt_g(e.seconds)
+       << ", \"bytes_per_s\": " << fmt_g(e.fitted_bytes_per_s())
+       << ", \"latency_s\": " << fmt_g(e.fitted_latency_s()) << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"io\": {\"read_bytes\": " << read_bytes
+     << ", \"read_seconds\": "
+     << fmt_g(static_cast<double>(read_ns) / kNsPerS)
+     << ", \"write_bytes\": " << write_bytes << ", \"write_seconds\": "
+     << fmt_g(static_cast<double>(write_ns) / kNsPerS) << "},\n";
+  os << "  \"computes\": [";
+  first = true;
+  for (const ComputeStats& c : computes) {
+    os << (first ? "" : ",") << "\n    {\"node\": " << c.node
+       << ", \"name\": \"" << json_escape(c.node_name)
+       << "\", \"launches\": " << c.launches << ", \"groups\": " << c.groups
+       << ", \"seconds\": " << fmt_g(c.seconds) << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+void write_summary_json(const obs::RecordedRun& run,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    throw util::Error("cannot open summary output file '" + path + "'");
+  }
+  out << summary_json(run);
+  out.flush();
+  if (!out.good()) {
+    throw util::Error("failed writing summary to '" + path + "'");
+  }
+}
+
 }  // namespace northup::analyze

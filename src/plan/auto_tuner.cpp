@@ -1,0 +1,177 @@
+#include "northup/plan/auto_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace northup::plan {
+
+namespace {
+
+/// Chunk transfer should outweigh access latency by this factor before
+/// the tuner stops growing a chunk for latency's sake alone.
+constexpr double kLatencyAmortization = 100.0;
+
+/// A pipelined level wants at least this many chunks so fill/drain of
+/// the transfer/compute overlap stays a small fraction of the level.
+constexpr double kOverlapChunks = 8.0;
+
+/// Occupancy saturates at 2 resident workgroups per compute unit (the
+/// EventSim device model's knee).
+constexpr double kGroupsPerCu = 2.0;
+
+}  // namespace
+
+AutoTuner::AutoTuner(MachineProfile profile) : profile_(std::move(profile)) {}
+
+AutoTuner::EdgeEstimate AutoTuner::edge(std::uint32_t src,
+                                        std::uint32_t dst) const {
+  EdgeEstimate est;
+  if (const EdgeProfile* e = profile_.find_edge(src, dst);
+      e != nullptr && e->samples > 0 && e->bytes_per_s > 0.0) {
+    est.bytes_per_s = e->bytes_per_s;
+    est.latency_s = e->latency_s;
+    est.measured = true;
+    return est;
+  }
+  // Unobserved edge: bottleneck of the declared endpoint models (reading
+  // from src, writing into dst), worst-case access latency.
+  const NodeProfile* s = profile_.find_node(src);
+  const NodeProfile* d = profile_.find_node(dst);
+  double bw = 0.0;
+  if (s != nullptr && s->read_bytes_per_s > 0.0) bw = s->read_bytes_per_s;
+  if (d != nullptr && d->write_bytes_per_s > 0.0) {
+    bw = bw > 0.0 ? std::min(bw, d->write_bytes_per_s)
+                  : d->write_bytes_per_s;
+  }
+  est.bytes_per_s = bw > 0.0 ? bw : 1e9;
+  est.latency_s = std::max(s != nullptr ? s->access_latency_s : 0.0,
+                           d != nullptr ? d->access_latency_s : 0.0);
+  return est;
+}
+
+double AutoTuner::compute_seconds(const Workload& w) const {
+  if (w.compute_flops <= 0.0 && w.compute_bytes <= 0.0) return 0.0;
+  const ProcProfile* proc = profile_.find_proc(w.compute_node);
+  if (proc == nullptr) {
+    for (const ProcProfile& p : profile_.procs) {
+      if (proc == nullptr || p.flops_per_s > proc->flops_per_s) proc = &p;
+    }
+  }
+  if (proc == nullptr) return 0.0;
+  const double flops_s =
+      w.compute_flops / std::max(proc->flops_per_s, 1.0);
+  const double bytes_s =
+      w.compute_bytes / std::max(proc->mem_bytes_per_s, 1.0);
+  double occupancy = 1.0;
+  if (w.groups_per_launch > 0.0 && proc->compute_units > 0) {
+    occupancy = std::min(
+        1.0, w.groups_per_launch / (kGroupsPerCu * proc->compute_units));
+    occupancy = std::max(occupancy, 1e-3);
+  }
+  return std::max(flops_s, bytes_s) / occupancy +
+         static_cast<double>(w.launches) * proc->launch_latency_s;
+}
+
+double AutoTuner::modeled_seconds(std::uint32_t parent, std::uint32_t child,
+                                  const Workload& w, bool overlapped) const {
+  const EdgeEstimate down = edge(parent, child);
+  const EdgeEstimate up = edge(child, parent);
+  const double chunks = static_cast<double>(std::max<std::uint64_t>(w.chunks, 1));
+  double transfer = 0.0;
+  if (w.down_bytes > 0) {
+    transfer += w.down_accesses_per_chunk * chunks * down.latency_s +
+                static_cast<double>(w.down_bytes) / down.bytes_per_s;
+  }
+  if (w.up_bytes > 0) {
+    transfer += w.up_accesses_per_chunk * chunks * up.latency_s +
+                static_cast<double>(w.up_bytes) / up.bytes_per_s;
+  }
+  const double compute = compute_seconds(w);
+  if (!overlapped) return transfer + compute;
+  // Window-2 double buffering: steady state is bounded by the slower of
+  // the two streams; one chunk's compute fills the pipeline.
+  return std::max(transfer, compute) + compute / chunks;
+}
+
+Mode AutoTuner::choose_mode(std::uint32_t parent, std::uint32_t child,
+                            const Workload& serial_w, const Workload& pipe_w,
+                            bool can_pipeline) const {
+  if (!can_pipeline) return Mode::kSerial;
+  const double serial = modeled_seconds(parent, child, serial_w, false);
+  const double pipe = modeled_seconds(parent, child, pipe_w, true);
+  // Ties keep the hand-configured double-buffered plan; only a modeled
+  // strict improvement justifies diverging from it.
+  return serial < pipe ? Mode::kSerial : Mode::kDoubleBuffer;
+}
+
+std::uint64_t AutoTuner::tune_chunk_bytes(std::uint32_t src,
+                                          std::uint32_t dst,
+                                          const Workload& w,
+                                          std::uint64_t budget_bytes,
+                                          std::uint64_t floor_bytes,
+                                          bool overlapped) const {
+  const EdgeEstimate e = edge(src, dst);
+  // A blocking level has nothing to overlap: the full budget minimizes
+  // per-chunk access latencies. A pipelined level wants enough chunks
+  // that fill/drain is a small fraction of the level...
+  double ideal = static_cast<double>(budget_bytes);
+  const double total =
+      static_cast<double>(w.down_bytes) + static_cast<double>(w.up_bytes);
+  if (overlapped && total > 0.0) {
+    ideal = std::min(ideal, total / kOverlapChunks);
+  }
+  // ... but never chunks so fine that the edge's per-access latency
+  // stops being amortized. Linear in bandwidth, so a slower calibrated
+  // edge can only shrink the chunk (never grow it) under a fixed budget.
+  ideal = std::max(ideal,
+                   e.bytes_per_s * kLatencyAmortization * e.latency_s);
+  std::uint64_t chunk =
+      ideal >= static_cast<double>(budget_bytes)
+          ? budget_bytes
+          : static_cast<std::uint64_t>(ideal);
+  chunk = std::max(chunk, floor_bytes);
+  chunk = std::min(chunk, budget_bytes);
+  return chunk;
+}
+
+std::uint64_t AutoTuner::tune_nnz_cutoff(std::uint32_t leaf_node,
+                                         std::uint64_t shard_nnz,
+                                         std::uint64_t hand_cutoff) const {
+  constexpr std::uint64_t kMinCutoff = 64;
+  // Round the hand default down to a power of two.
+  std::uint64_t cutoff = kMinCutoff;
+  while (cutoff * 2 <= hand_cutoff) cutoff *= 2;
+  const ProcProfile* proc = profile_.find_proc(leaf_node);
+  if (proc == nullptr || shard_nnz == 0) return cutoff;
+  // A CSR-stream workgroup stages its rows' nonzeros in local memory.
+  if (proc->local_mem_bytes > 0) {
+    const std::uint64_t max_floats = proc->local_mem_bytes / sizeof(float);
+    while (cutoff > kMinCutoff && cutoff > max_floats) cutoff /= 2;
+  }
+  // Shrink until the shard yields enough workgroups to occupy the device.
+  const std::uint64_t want_groups =
+      static_cast<std::uint64_t>(kGroupsPerCu) *
+      std::max<std::uint64_t>(proc->compute_units, 1);
+  while (cutoff > kMinCutoff && shard_nnz / cutoff < want_groups) cutoff /= 2;
+  return cutoff;
+}
+
+std::vector<std::uint32_t> AutoTuner::rank_children(
+    std::uint32_t parent, const std::vector<std::uint32_t>& children) const {
+  std::vector<std::pair<double, std::uint32_t>> scored;
+  scored.reserve(children.size());
+  for (std::uint32_t child : children) {
+    scored.emplace_back(edge(parent, child).bytes_per_s, child);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  std::vector<std::uint32_t> out;
+  out.reserve(scored.size());
+  for (const auto& [bw, child] : scored) out.push_back(child);
+  return out;
+}
+
+}  // namespace northup::plan

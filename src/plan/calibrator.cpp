@@ -1,0 +1,103 @@
+#include "northup/plan/calibrator.hpp"
+
+#include <algorithm>
+
+namespace northup::plan {
+
+void Calibrator::observe_topology(const topo::TopoTree& tree) {
+  nodes_.clear();
+  procs_.clear();
+  for (topo::NodeId id : tree.preorder()) {
+    const topo::Node& n = tree.node(id);
+    NodeProfile np;
+    np.node = id;
+    np.name = n.name;
+    np.kind = mem::to_string(n.memory.storage_type);
+    np.read_bytes_per_s = n.memory.model.read_bytes_per_s;
+    np.write_bytes_per_s = n.memory.model.write_bytes_per_s;
+    np.access_latency_s = n.memory.model.access_latency_s;
+    nodes_.push_back(std::move(np));
+    for (const topo::ProcessorInfo& proc : n.processors) {
+      ProcProfile pp;
+      pp.node = id;
+      pp.name = proc.name;
+      pp.flops_per_s = proc.model.flops_per_s;
+      pp.mem_bytes_per_s = proc.model.mem_bytes_per_s;
+      pp.launch_latency_s = proc.model.launch_latency_s;
+      pp.compute_units = static_cast<std::uint32_t>(
+          proc.compute_units > 0 ? proc.compute_units : 1);
+      pp.local_mem_bytes = proc.local_mem_bytes;
+      procs_.push_back(std::move(pp));
+    }
+  }
+}
+
+void Calibrator::ingest(const obs::RecordedRun& run) {
+  for (const analyze::EdgeMoveStats& e : analyze::edge_move_stats(run)) {
+    auto [it, inserted] = edges_.try_emplace({e.src, e.dst}, e);
+    if (inserted) continue;
+    analyze::EdgeMoveStats& acc = it->second;
+    acc.samples += e.samples;
+    acc.bytes += e.bytes;
+    acc.seconds += e.seconds;
+    acc.sum_x += e.sum_x;
+    acc.sum_y += e.sum_y;
+    acc.sum_xx += e.sum_xx;
+    acc.sum_xy += e.sum_xy;
+  }
+  for (const analyze::ComputeStats& c : analyze::compute_stats(run)) {
+    auto [it, inserted] = computes_.try_emplace(c.node, c);
+    if (inserted) continue;
+    it->second.launches += c.launches;
+    it->second.groups += c.groups;
+    it->second.seconds += c.seconds;
+  }
+  ++runs_;
+}
+
+MachineProfile Calibrator::finish() const {
+  MachineProfile profile;
+  profile.nodes = nodes_;
+  profile.procs = procs_;
+  for (const auto& [key, stats] : edges_) {
+    EdgeProfile e;
+    e.src = stats.src;
+    e.dst = stats.dst;
+    e.src_name = stats.src_name;
+    e.dst_name = stats.dst_name;
+    e.bytes_per_s = stats.fitted_bytes_per_s();
+    e.latency_s = stats.fitted_latency_s();
+    // The intercept of a wall-clock fit absorbs host overhead (syscall,
+    // instrumentation) that the runtime's cost model does not price per
+    // access. Clamp the per-access latency to the declared worst-case of
+    // the endpoints so plans optimized against this profile agree with
+    // the makespan currency the runtime reports.
+    double declared = 0.0;
+    for (const NodeProfile& n : profile.nodes) {
+      if (n.node == e.src || n.node == e.dst) {
+        declared = std::max(declared, n.access_latency_s);
+      }
+    }
+    e.latency_s = std::min(std::max(e.latency_s, 0.0), declared);
+    e.samples = stats.samples;
+    e.bytes = stats.bytes;
+    e.seconds = stats.seconds;
+    profile.edges.push_back(std::move(e));
+  }
+  // Attach measured launch evidence to the declared processor entries.
+  // kCompute events carry the memory node the processor hangs off, so a
+  // node with several processors (the APU leaf) credits the first entry —
+  // fine for the tuner, which reasons per node.
+  std::map<std::uint32_t, bool> credited;
+  for (ProcProfile& p : profile.procs) {
+    auto it = computes_.find(p.node);
+    if (it == computes_.end() || credited[p.node]) continue;
+    credited[p.node] = true;
+    p.launches = it->second.launches;
+    p.groups = it->second.groups;
+    p.seconds = it->second.seconds;
+  }
+  return profile;
+}
+
+}  // namespace northup::plan

@@ -1,0 +1,395 @@
+#include "northup/plan/machine_profile.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::plan {
+
+namespace {
+
+// --- JSON writing -----------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s(buf);
+  // JSON has no inf/nan; clamp to 0 (a profile should never contain them).
+  if (s.find("inf") != std::string::npos || s.find("nan") != std::string::npos)
+    return "0";
+  return s;
+}
+
+// --- JSON reading -----------------------------------------------------------
+// The test-support minijson parser lives under tests/ and cannot be
+// included from the library, so the profile carries its own minimal
+// recursive-descent reader: objects, arrays, strings, numbers — the full
+// subset to_json() emits.
+
+struct Value {
+  enum class Kind { Null, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool has(const std::string& key) const {
+    return kind == Kind::Object && object.count(key) > 0;
+  }
+  double num(const std::string& key, double fallback = 0.0) const {
+    auto it = object.find(key);
+    return it != object.end() && it->second.kind == Kind::Number
+               ? it->second.number
+               : fallback;
+  }
+  std::string str(const std::string& key) const {
+    auto it = object.find(key);
+    return it != object.end() ? it->second.string : std::string();
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text, const std::string& origin)
+      : text_(text), origin_(origin) {}
+
+  Value parse() {
+    Value v = value();
+    ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw util::Error("malformed machine profile '" + origin_ + "': " + why +
+                      " at byte " + std::to_string(pos_));
+  }
+
+  void ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value value() {
+    ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::String;
+        v.string = string();
+        return v;
+      }
+      case 'n':
+        if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+        pos_ += 4;
+        return Value{};
+      case 't':
+        if (text_.compare(pos_, 4, "true") != 0) fail("bad literal");
+        pos_ += 4;
+        return Value{};
+      case 'f':
+        if (text_.compare(pos_, 5, "false") != 0) fail("bad literal");
+        pos_ += 5;
+        return Value{};
+      default: return number();
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::Number;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) fail("short \\u escape");
+            pos_ += 4;
+            out.push_back('?');
+            break;
+          default: out.push_back(esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::Array;
+    ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::Object;
+    ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      ws();
+      std::string key = string();
+      ws();
+      expect(':');
+      v.object[std::move(key)] = value();
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  const std::string& origin_;
+  std::size_t pos_ = 0;
+};
+
+std::uint32_t as_node(const Value& obj, const std::string& key) {
+  const double d = obj.num(key, static_cast<double>(kNoNode));
+  return d < 0 ? kNoNode : static_cast<std::uint32_t>(d);
+}
+
+std::uint64_t as_u64(const Value& obj, const std::string& key) {
+  const double d = obj.num(key, 0.0);
+  return d < 0 ? 0 : static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+const EdgeProfile* MachineProfile::find_edge(std::uint32_t src,
+                                             std::uint32_t dst) const {
+  for (const EdgeProfile& e : edges)
+    if (e.src == src && e.dst == dst) return &e;
+  return nullptr;
+}
+
+const ProcProfile* MachineProfile::find_proc(std::uint32_t node) const {
+  // A node carrying several processors (the APU leaf) answers with the
+  // fastest — matching algos::leaf_processor, which prefers the GPU.
+  const ProcProfile* best = nullptr;
+  for (const ProcProfile& p : procs) {
+    if (p.node != node) continue;
+    if (best == nullptr || p.flops_per_s > best->flops_per_s) best = &p;
+  }
+  return best;
+}
+
+const NodeProfile* MachineProfile::find_node(std::uint32_t node) const {
+  for (const NodeProfile& n : nodes)
+    if (n.node == node) return &n;
+  return nullptr;
+}
+
+std::string MachineProfile::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"northup_machine_profile\": 1,\n  \"nodes\": [";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeProfile& n = nodes[i];
+    os << (i ? "," : "") << "\n    {\"node\": " << n.node << ", \"name\": \""
+       << json_escape(n.name) << "\", \"kind\": \"" << json_escape(n.kind)
+       << "\", \"read_bytes_per_s\": " << fmt_num(n.read_bytes_per_s)
+       << ", \"write_bytes_per_s\": " << fmt_num(n.write_bytes_per_s)
+       << ", \"access_latency_s\": " << fmt_num(n.access_latency_s) << "}";
+  }
+  os << "\n  ],\n  \"edges\": [";
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const EdgeProfile& e = edges[i];
+    os << (i ? "," : "") << "\n    {\"src\": " << e.src << ", \"dst\": "
+       << e.dst << ", \"src_name\": \"" << json_escape(e.src_name)
+       << "\", \"dst_name\": \"" << json_escape(e.dst_name)
+       << "\", \"bytes_per_s\": " << fmt_num(e.bytes_per_s)
+       << ", \"latency_s\": " << fmt_num(e.latency_s)
+       << ", \"samples\": " << e.samples << ", \"bytes\": " << e.bytes
+       << ", \"seconds\": " << fmt_num(e.seconds) << "}";
+  }
+  os << "\n  ],\n  \"procs\": [";
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const ProcProfile& p = procs[i];
+    os << (i ? "," : "") << "\n    {\"node\": " << p.node << ", \"name\": \""
+       << json_escape(p.name)
+       << "\", \"flops_per_s\": " << fmt_num(p.flops_per_s)
+       << ", \"mem_bytes_per_s\": " << fmt_num(p.mem_bytes_per_s)
+       << ", \"launch_latency_s\": " << fmt_num(p.launch_latency_s)
+       << ", \"compute_units\": " << p.compute_units
+       << ", \"local_mem_bytes\": " << p.local_mem_bytes
+       << ", \"launches\": " << p.launches << ", \"groups\": " << p.groups
+       << ", \"seconds\": " << fmt_num(p.seconds) << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+void MachineProfile::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw util::Error("cannot open machine profile output file '" + path +
+                      "'");
+  }
+  out << to_json();
+  out.flush();
+  if (!out) {
+    throw util::Error("failed writing machine profile file '" + path + "'");
+  }
+}
+
+MachineProfile MachineProfile::from_json(const std::string& text,
+                                         const std::string& origin) {
+  Parser parser(text, origin);
+  const Value root = parser.parse();
+  if (root.kind != Value::Kind::Object ||
+      !root.has("northup_machine_profile")) {
+    throw util::Error("malformed machine profile '" + origin +
+                      "': missing \"northup_machine_profile\" marker");
+  }
+  if (root.num("northup_machine_profile") != 1.0) {
+    throw util::Error("unsupported machine profile version in '" + origin +
+                      "'");
+  }
+  MachineProfile profile;
+  if (root.has("nodes")) {
+    for (const Value& v : root.object.at("nodes").array) {
+      NodeProfile n;
+      n.node = as_node(v, "node");
+      n.name = v.str("name");
+      n.kind = v.str("kind");
+      n.read_bytes_per_s = v.num("read_bytes_per_s");
+      n.write_bytes_per_s = v.num("write_bytes_per_s");
+      n.access_latency_s = v.num("access_latency_s");
+      profile.nodes.push_back(std::move(n));
+    }
+  }
+  if (root.has("edges")) {
+    for (const Value& v : root.object.at("edges").array) {
+      EdgeProfile e;
+      e.src = as_node(v, "src");
+      e.dst = as_node(v, "dst");
+      e.src_name = v.str("src_name");
+      e.dst_name = v.str("dst_name");
+      e.bytes_per_s = v.num("bytes_per_s");
+      e.latency_s = v.num("latency_s");
+      e.samples = as_u64(v, "samples");
+      e.bytes = as_u64(v, "bytes");
+      e.seconds = v.num("seconds");
+      profile.edges.push_back(std::move(e));
+    }
+  }
+  if (root.has("procs")) {
+    for (const Value& v : root.object.at("procs").array) {
+      ProcProfile p;
+      p.node = as_node(v, "node");
+      p.name = v.str("name");
+      p.flops_per_s = v.num("flops_per_s");
+      p.mem_bytes_per_s = v.num("mem_bytes_per_s");
+      p.launch_latency_s = v.num("launch_latency_s");
+      p.compute_units = static_cast<std::uint32_t>(as_u64(v, "compute_units"));
+      p.local_mem_bytes = as_u64(v, "local_mem_bytes");
+      p.launches = as_u64(v, "launches");
+      p.groups = as_u64(v, "groups");
+      p.seconds = v.num("seconds");
+      profile.procs.push_back(std::move(p));
+    }
+  }
+  return profile;
+}
+
+MachineProfile MachineProfile::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw util::Error("cannot open machine profile file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    throw util::Error("failed reading machine profile file '" + path + "'");
+  }
+  return from_json(buf.str(), path);
+}
+
+}  // namespace northup::plan

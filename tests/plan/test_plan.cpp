@@ -1,0 +1,377 @@
+// northup::plan unit tests (ISSUE 8 satellite).
+//
+// Three layers: MachineProfile JSON round-trip fidelity plus the load
+// error contract (every failure names the offending path), the AutoTuner
+// sizing invariants — most importantly the monotonicity guarantee that
+// halving an edge's calibrated bandwidth never *increases* the tuned
+// chunk size — and Calibrator fit recovery from a synthetic RecordedRun,
+// including the clamp that keeps a wall-clock-fitted access latency
+// inside the declared storage model.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "northup/io/posix_file.hpp"
+#include "northup/obs/event_log.hpp"
+#include "northup/plan/auto_tuner.hpp"
+#include "northup/plan/calibrator.hpp"
+#include "northup/plan/machine_profile.hpp"
+#include "northup/topo/presets.hpp"
+#include "northup/util/assert.hpp"
+
+namespace nio = northup::io;
+namespace nm = northup::mem;
+namespace no = northup::obs;
+namespace np = northup::plan;
+namespace nt = northup::topo;
+namespace nu = northup::util;
+
+namespace {
+
+np::MachineProfile sample_profile() {
+  np::MachineProfile p;
+  np::NodeProfile storage;
+  storage.node = 0;
+  storage.name = "storage";
+  storage.kind = "ssd";
+  storage.read_bytes_per_s = 3.5e9;
+  storage.write_bytes_per_s = 2.0e9;
+  storage.access_latency_s = 60e-6;
+  np::NodeProfile dram;
+  dram.node = 1;
+  dram.name = "dram \"fast\"";  // exercises string escaping
+  dram.kind = "dram";
+  dram.read_bytes_per_s = 40e9;
+  dram.write_bytes_per_s = 40e9;
+  dram.access_latency_s = 1e-7;
+  p.nodes = {storage, dram};
+
+  np::EdgeProfile e;
+  e.src = 0;
+  e.dst = 1;
+  e.src_name = "storage";
+  e.dst_name = "dram \"fast\"";
+  e.bytes_per_s = 3.1e9;
+  e.latency_s = 42e-6;
+  e.samples = 17;
+  e.bytes = 123456789;
+  e.seconds = 0.0403125;
+  p.edges = {e};
+
+  np::ProcProfile proc;
+  proc.node = 1;
+  proc.name = "cpu";
+  proc.flops_per_s = 5e10;
+  proc.mem_bytes_per_s = 2.5e10;
+  proc.launch_latency_s = 3e-6;
+  proc.compute_units = 8;
+  proc.local_mem_bytes = 32768;
+  proc.launches = 9;
+  proc.groups = 1024;
+  proc.seconds = 0.25;
+  p.procs = {proc};
+  return p;
+}
+
+}  // namespace
+
+TEST(MachineProfile, JsonRoundTripPreservesEveryField) {
+  const np::MachineProfile p = sample_profile();
+  const np::MachineProfile q = np::MachineProfile::from_json(p.to_json());
+
+  ASSERT_EQ(q.nodes.size(), 2u);
+  EXPECT_EQ(q.nodes[0].node, 0u);
+  EXPECT_EQ(q.nodes[0].name, "storage");
+  EXPECT_EQ(q.nodes[0].kind, "ssd");
+  EXPECT_DOUBLE_EQ(q.nodes[0].read_bytes_per_s, 3.5e9);
+  EXPECT_DOUBLE_EQ(q.nodes[0].write_bytes_per_s, 2.0e9);
+  EXPECT_DOUBLE_EQ(q.nodes[0].access_latency_s, 60e-6);
+  EXPECT_EQ(q.nodes[1].name, "dram \"fast\"");
+
+  ASSERT_EQ(q.edges.size(), 1u);
+  EXPECT_EQ(q.edges[0].src, 0u);
+  EXPECT_EQ(q.edges[0].dst, 1u);
+  EXPECT_EQ(q.edges[0].src_name, "storage");
+  EXPECT_EQ(q.edges[0].dst_name, "dram \"fast\"");
+  EXPECT_DOUBLE_EQ(q.edges[0].bytes_per_s, 3.1e9);
+  EXPECT_DOUBLE_EQ(q.edges[0].latency_s, 42e-6);
+  EXPECT_EQ(q.edges[0].samples, 17u);
+  EXPECT_EQ(q.edges[0].bytes, 123456789u);
+  EXPECT_DOUBLE_EQ(q.edges[0].seconds, 0.0403125);
+
+  ASSERT_EQ(q.procs.size(), 1u);
+  EXPECT_EQ(q.procs[0].node, 1u);
+  EXPECT_EQ(q.procs[0].name, "cpu");
+  EXPECT_DOUBLE_EQ(q.procs[0].flops_per_s, 5e10);
+  EXPECT_DOUBLE_EQ(q.procs[0].mem_bytes_per_s, 2.5e10);
+  EXPECT_DOUBLE_EQ(q.procs[0].launch_latency_s, 3e-6);
+  EXPECT_EQ(q.procs[0].compute_units, 8u);
+  EXPECT_EQ(q.procs[0].local_mem_bytes, 32768u);
+  EXPECT_EQ(q.procs[0].launches, 9u);
+  EXPECT_EQ(q.procs[0].groups, 1024u);
+  EXPECT_DOUBLE_EQ(q.procs[0].seconds, 0.25);
+}
+
+TEST(MachineProfile, FileRoundTripThroughWriteAndLoad) {
+  nio::TempDir scratch("plan_test");
+  const std::string path = scratch.file("profile.json");
+  const np::MachineProfile p = sample_profile();
+  p.write_json(path);
+  const np::MachineProfile q = np::MachineProfile::load(path);
+  EXPECT_EQ(q.to_json(), p.to_json());
+}
+
+TEST(MachineProfile, LoadErrorsNameThePath) {
+  nio::TempDir scratch("plan_test");
+
+  const std::string missing = scratch.file("no_such_profile.json");
+  try {
+    np::MachineProfile::load(missing);
+    FAIL() << "load of a missing file must throw";
+  } catch (const nu::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("cannot open machine profile"),
+              std::string::npos)
+        << e.what();
+  }
+
+  const std::string corrupt = scratch.file("corrupt.json");
+  std::ofstream(corrupt) << "{\"northup_machine_profile\": 1, \"nodes\": [";
+  try {
+    np::MachineProfile::load(corrupt);
+    FAIL() << "load of truncated JSON must throw";
+  } catch (const nu::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(corrupt), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("malformed machine profile"),
+              std::string::npos)
+        << e.what();
+  }
+
+  const std::string wrong_kind = scratch.file("wrong_kind.json");
+  std::ofstream(wrong_kind) << "{\"traceEvents\": []}";
+  EXPECT_THROW(np::MachineProfile::load(wrong_kind), nu::Error);
+
+  const std::string future = scratch.file("future.json");
+  std::ofstream(future) << "{\"northup_machine_profile\": 99}";
+  try {
+    np::MachineProfile::load(future);
+    FAIL() << "load of a future version must throw";
+  } catch (const nu::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(future), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("unsupported machine profile"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+namespace {
+
+/// Two-node profile with one measured 0→1 edge; the access latency is
+/// deliberately large so the latency-amortization term is what binds the
+/// tuned chunk size (the regime the monotonicity invariant is about).
+np::MachineProfile tuning_profile(double bytes_per_s, double latency_s) {
+  np::MachineProfile p = sample_profile();
+  p.edges[0].bytes_per_s = bytes_per_s;
+  p.edges[0].latency_s = latency_s;
+  return p;
+}
+
+}  // namespace
+
+TEST(AutoTuner, ChunkSizeMonotoneInBandwidth) {
+  np::Workload w;
+  w.down_bytes = 256ULL << 20;
+  const std::uint64_t budget = 8ULL << 20;
+  const std::uint64_t floor = 4096;
+
+  for (const bool overlapped : {false, true}) {
+    std::uint64_t prev = UINT64_MAX;
+    // Sweep bandwidth downward by halving: the tuned chunk must never
+    // grow. The 1 ms latency keeps the amortization term the active
+    // bound across most of the sweep.
+    for (double bw = 1e12; bw >= 1e3; bw /= 2.0) {
+      const np::AutoTuner tuner(tuning_profile(bw, 1e-3));
+      const std::uint64_t chunk =
+          tuner.tune_chunk_bytes(0, 1, w, budget, floor, overlapped);
+      EXPECT_LE(chunk, prev) << "bw=" << bw << " overlapped=" << overlapped;
+      EXPECT_GE(chunk, floor);
+      EXPECT_LE(chunk, budget);
+      prev = chunk;
+    }
+  }
+}
+
+TEST(AutoTuner, BlockingLevelTakesTheFullBudget) {
+  // Nothing to overlap: finer chunks only multiply access latencies, so
+  // a blocking level always gets the whole budget regardless of edge.
+  np::Workload w;
+  w.down_bytes = 256ULL << 20;
+  const std::uint64_t budget = 8ULL << 20;
+  for (double bw : {1e6, 1e9, 1e12}) {
+    const np::AutoTuner tuner(tuning_profile(bw, 1e-9));
+    EXPECT_EQ(tuner.tune_chunk_bytes(0, 1, w, budget, 4096, false), budget);
+  }
+}
+
+TEST(AutoTuner, OverlappedLevelSplitsIntoMultipleChunks) {
+  // Fast edge, negligible latency: an overlapped level is bounded so the
+  // workload yields enough chunks to hide pipeline fill/drain.
+  np::Workload w;
+  w.down_bytes = 64ULL << 20;
+  const std::uint64_t budget = 32ULL << 20;
+  const np::AutoTuner tuner(tuning_profile(1e12, 1e-9));
+  const std::uint64_t chunk = tuner.tune_chunk_bytes(0, 1, w, budget, 4096, true);
+  EXPECT_LT(chunk, budget);
+  EXPECT_GE(w.down_bytes / chunk, 8u);
+}
+
+TEST(AutoTuner, UnmeasuredEdgeFallsBackToDeclaredModel) {
+  const np::AutoTuner tuner(sample_profile());
+  // 1→0 was never measured: bottleneck of dram read (40e9) and storage
+  // write (2e9), worst-case declared access latency.
+  const auto est = tuner.edge(1, 0);
+  EXPECT_FALSE(est.measured);
+  EXPECT_DOUBLE_EQ(est.bytes_per_s, 2.0e9);
+  EXPECT_DOUBLE_EQ(est.latency_s, 60e-6);
+  EXPECT_TRUE(tuner.edge(0, 1).measured);
+}
+
+TEST(AutoTuner, NnzCutoffFillsTheDeviceAndRespectsLocalMemory) {
+  np::MachineProfile p = sample_profile();
+  p.procs[0].compute_units = 8;
+  p.procs[0].local_mem_bytes = 16384;  // 4096 floats
+  const np::AutoTuner tuner(p);
+  // Hand default 1000 rounds down to 512; a 2048-nnz shard only fills
+  // 2*8 = 16 workgroups at cutoff 128.
+  EXPECT_EQ(tuner.tune_nnz_cutoff(1, 2048, 1000), 128u);
+  // Large shard: the pow2-rounded hand default stands.
+  EXPECT_EQ(tuner.tune_nnz_cutoff(1, 1ULL << 24, 1000), 512u);
+  // Tiny local memory caps the cutoff at the 64-row floor.
+  p.procs[0].local_mem_bytes = 256;  // 64 floats
+  const np::AutoTuner small(p);
+  EXPECT_EQ(small.tune_nnz_cutoff(1, 1ULL << 24, 1000), 64u);
+}
+
+TEST(AutoTuner, RankChildrenPrefersObservedBandwidth) {
+  np::MachineProfile p = sample_profile();
+  np::NodeProfile slow;
+  slow.node = 2;
+  slow.name = "dram2";
+  slow.kind = "dram";
+  slow.read_bytes_per_s = 40e9;
+  slow.write_bytes_per_s = 40e9;
+  p.nodes.push_back(slow);
+  // Child 2's measured edge is faster than child 1's.
+  np::EdgeProfile fast = p.edges[0];
+  fast.dst = 2;
+  fast.bytes_per_s = 9e9;
+  p.edges.push_back(fast);
+  const np::AutoTuner tuner(p);
+  const std::vector<std::uint32_t> ranked = tuner.rank_children(0, {1, 2});
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], 2u);
+  EXPECT_EQ(ranked[1], 1u);
+}
+
+TEST(AutoTuner, ChooseModeKeepsSerialWhenTransferDominates) {
+  // HDD-class edge: double-buffering halves the chunk, doubling the
+  // per-chunk access count of a 1/chunk-volume plan; the serial
+  // fat-chunk candidate models strictly cheaper.
+  np::Workload serial_w;
+  serial_w.down_bytes = 64ULL << 20;
+  serial_w.chunks = 8;
+  np::Workload pipe_w = serial_w;
+  pipe_w.chunks = 16;
+  pipe_w.down_bytes = 2 * serial_w.down_bytes;  // 1/chunk traffic inflation
+  const np::AutoTuner tuner(tuning_profile(80e6, 5e-3));
+  EXPECT_EQ(tuner.choose_mode(0, 1, serial_w, pipe_w, true),
+            np::Mode::kSerial);
+  EXPECT_EQ(tuner.choose_mode(0, 1, serial_w, pipe_w, false),
+            np::Mode::kSerial);
+  // Transfer and compute comparable (~1 s each at 67 MB/s and 5e10
+  // flops on the 5e10 flops/s proc): hiding one behind the other nearly
+  // halves the level, so overlap wins.
+  np::Workload light = serial_w;
+  light.compute_flops = 5e10;
+  light.compute_node = 1;
+  np::Workload light_pipe = light;
+  const np::AutoTuner balanced(tuning_profile(67e6, 1e-9));
+  EXPECT_EQ(balanced.choose_mode(0, 1, light, light_pipe, true),
+            np::Mode::kDoubleBuffer);
+}
+
+namespace {
+
+/// A RecordedRun whose 0→1 moves follow duration = latency + bytes/bw
+/// exactly, for fit-recovery checks. Times in ns.
+no::RecordedRun synthetic_moves(double bytes_per_s, double latency_s) {
+  no::RecordedRun run;
+  run.names = {"", "move"};
+  run.node_names[0] = "storage";
+  run.node_names[1] = "dram";
+  run.thread_count = 1;
+  std::uint64_t ts = 0;
+  for (std::uint64_t bytes : {1ULL << 16, 1ULL << 18, 1ULL << 20}) {
+    no::Event e;
+    e.kind = no::EventKind::kMove;
+    e.name = 1;
+    e.node = 0;
+    e.node2 = 1;
+    e.value = bytes;
+    e.ts_ns = ts;
+    e.dur_ns = static_cast<std::uint64_t>(
+        (latency_s + static_cast<double>(bytes) / bytes_per_s) * 1e9);
+    ts += e.dur_ns + 1000;
+    run.events.push_back(e);
+  }
+  return run;
+}
+
+}  // namespace
+
+TEST(Calibrator, RecoversBandwidthAndClampsLatencyToDeclaredModel) {
+  nt::TopoTree tree = nt::apu_two_level(nm::StorageKind::Ssd);
+  const double declared_latency =
+      tree.node(0).memory.model.access_latency_s;
+
+  // The synthetic intercept (2 ms) models host overhead far above the
+  // declared SSD access latency — exactly what a wall-clock fit absorbs.
+  np::Calibrator calibrator;
+  calibrator.observe_topology(tree);
+  calibrator.ingest(synthetic_moves(1e9, 2e-3));
+  EXPECT_EQ(calibrator.runs(), 1u);
+  const np::MachineProfile profile = calibrator.finish();
+
+  const np::EdgeProfile* e = profile.find_edge(0, 1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->samples, 3u);
+  EXPECT_NEAR(e->bytes_per_s, 1e9, 1e9 * 0.01);
+  // Clamped into [0, declared]: the 2 ms intercept must not leak into
+  // the profile, or plans tuned against it would disagree with the
+  // runtime's virtual makespan.
+  EXPECT_LE(e->latency_s, declared_latency);
+  EXPECT_GE(e->latency_s, 0.0);
+
+  // Declared state came from the topology walk.
+  EXPECT_EQ(profile.nodes.size(), tree.preorder().size());
+  EXPECT_FALSE(profile.procs.empty());
+}
+
+TEST(Calibrator, MergesEvidenceAcrossRuns) {
+  np::Calibrator calibrator;
+  calibrator.observe_topology(nt::apu_two_level(nm::StorageKind::Ssd));
+  calibrator.ingest(synthetic_moves(1e9, 0.0));
+  calibrator.ingest(synthetic_moves(1e9, 0.0));
+  EXPECT_EQ(calibrator.runs(), 2u);
+  const np::MachineProfile profile = calibrator.finish();
+  const np::EdgeProfile* e = profile.find_edge(0, 1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->samples, 6u);
+  EXPECT_NEAR(e->bytes_per_s, 1e9, 1e9 * 0.01);
+}

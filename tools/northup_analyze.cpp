@@ -6,6 +6,11 @@
 //                                                path + what-if re-cost)
 //   northup-analyze <run.nulog> --trace-out=f    Perfetto-loadable Chrome
 //                                                trace of the measured run
+//   northup-analyze <run.nulog> --summary-json=f machine-readable per-phase
+//                                                critical-path attribution +
+//                                                per-edge measured bandwidths
+//                                                (the plan::Calibrator's
+//                                                input contract)
 //   northup-analyze <run.nulog> --whatif         §V-D storage sweep only
 //
 // Produce a .nulog with Runtime::write_event_log(), the --eventlog-out
@@ -26,7 +31,7 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <run.nulog> [--report] [--whatif] "
-               "[--trace-out=<file>]\n",
+               "[--trace-out=<file>] [--summary-json=<file>]\n",
                prog);
   return 2;
 }
@@ -87,6 +92,12 @@ int main(int argc, char** argv) {
     if (!trace.empty()) {
       na::write_chrome_trace(run, trace);
       std::printf("wrote Chrome trace to %s\n", trace.c_str());
+    }
+
+    const std::string summary = flags.get("summary-json");
+    if (!summary.empty()) {
+      na::write_summary_json(run, summary);
+      std::printf("wrote summary JSON to %s\n", summary.c_str());
     }
     return 0;
   } catch (const std::exception& e) {
