@@ -186,6 +186,47 @@ inline algos::SpmvConfig fig_spmv() {
 /// The three applications in the paper's Fig 6/7/8 order.
 inline const char* kAppNames[3] = {"dense-mm", "hotspot2d", "csr-adaptive"};
 
+/// Load-pattern and overload-control literals for the svc_overload
+/// harness (ISSUE 9), hoisted here so the CI smoke leg, the check gates,
+/// and local runs agree on one configuration.
+struct OverloadPreset {
+  /// Open-loop offered-load multipliers, × the measured saturation rate.
+  double multipliers[4] = {0.5, 1.0, 2.0, 4.0};
+  double phase_seconds = 3.0;   ///< open-loop duration per multiplier
+  double job_deadline_s = 0.5;  ///< per-job deadline during load phases
+  int calibration_jobs = 30;    ///< closed-loop jobs sizing the saturation rate
+  std::size_t workers = 4;
+
+  // Overload-control knobs the phases run under.
+  double target_queue_delay_s = 0.1;  ///< CoDel target sojourn
+  double shed_interval_s = 0.02;      ///< initial shed spacing
+  /// Per-tenant sustained rate as a fraction of the measured saturation
+  /// byte rate: generous below 1x offered load, binding at 4x.
+  double tenant_rate_fraction = 0.6;
+  /// Burst: this many seconds of a tenant's sustained rate.
+  double burst_seconds = 1.0;
+
+  // --overload-check gates (graceful degradation, not collapse).
+  double goodput_floor = 0.8;  ///< goodput@4x >= floor × best phase goodput
+  double p99_bound_s = 2.5;    ///< p99 end-to-end at 4x offered load
+  /// Mean admission-time rejection latency for infeasible deadlines —
+  /// the "rejected in microseconds" claim, with CI-noise headroom.
+  double infeasible_reject_bound_s = 2e-3;
+
+  std::uint64_t seed = 42;  ///< Poisson arrival stream seed
+};
+
+inline OverloadPreset overload_default_preset() { return {}; }
+
+/// CI smoke variant: shorter phases, fewer workers, same gates.
+inline OverloadPreset overload_quick_preset() {
+  OverloadPreset p;
+  p.phase_seconds = 1.0;
+  p.calibration_jobs = 12;
+  p.workers = 2;
+  return p;
+}
+
 /// GEMM preset for the autotune ablation: the stock out-of-core options
 /// with the GPU level pinned to 512 KiB so *both* candidate level-1
 /// blockings (serial 256, double-buffered 128) decompose to the same

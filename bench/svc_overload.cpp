@@ -1,0 +1,423 @@
+// Open-loop overload harness for the northup::svc job service (ISSUE 9).
+//
+// Phase 0 runs each job kind once on an idle one-worker service and
+// records its result hash — the bit-identical reference. Phase 1
+// saturates the service closed-loop to measure its peak service rate.
+// Phase 2 then offers open-loop Poisson arrivals at 0.5x / 1x / 2x / 4x
+// that saturation rate against a fresh service with the overload layer
+// armed (per-tenant token buckets, deadline-feasibility rejection,
+// CoDel shedding, brownout), every job carrying a deadline. Phase 3
+// times the admission-path rejection of hopeless deadlines.
+//
+// The claim under test is *graceful degradation*: past saturation the
+// service should convert excess offered load into cheap typed
+// rejections while goodput holds near peak and p99 stays bounded —
+// instead of collapsing under queue churn. --overload-check turns the
+// claim into exit-code gates (the CI smoke leg):
+//
+//   * goodput at 4x >= goodput_floor × the best phase goodput,
+//   * p99 end-to-end at 4x <= p99_bound_s,
+//   * per-reason svc.rejected.* counters exactly account for every
+//     rejected handle, and submitted == admitted + submit-path
+//     rejections, in every phase,
+//   * every completed job's result hash equals the serial reference
+//     (admitted work is never silently degraded — grants are pinned),
+//   * infeasible deadlines are rejected in microseconds (mean under
+//     infeasible_reject_bound_s).
+//
+// --json-out writes a northup_svc_overload summary consumed by
+// scripts/check_json_artifacts.py; --trace-out / --metrics-out dump the
+// 4x phase's job trace and metrics.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "northup/svc/service.hpp"
+#include "northup/util/flags.hpp"
+#include "northup/util/rng.hpp"
+#include "northup/util/table.hpp"
+#include "northup/util/timer.hpp"
+
+namespace nb = northup::bench;
+namespace na = northup::algos;
+namespace nsv = northup::svc;
+namespace nu = northup::util;
+
+namespace {
+
+constexpr int kKinds = 3;
+const char* kTenants[kKinds] = {"alice", "bob", "carol"};
+const double kWeights[kKinds] = {1.0, 2.0, 4.0};
+
+/// Pinned per-job reservation: preferred == floor, so the admission
+/// grant — and with it the decomposition and the result hash — is
+/// identical at every brownout level and concurrency. Staging at 1 MiB
+/// lets four jobs partition the 4 MiB machine staging.
+nsv::JobFootprint pinned_footprint() {
+  return {.root_bytes = 8ULL << 20,
+          .staging_bytes = 1ULL << 20,
+          .device_bytes = 0};
+}
+
+nsv::JobRequest make_request(int index, double deadline_s) {
+  nsv::JobRequest request;
+  const int kind = index % kKinds;
+  switch (kind) {
+    case 0: {
+      na::GemmConfig c = nb::svc_gemm();
+      c.hash_result = true;
+      request.config = c;
+      break;
+    }
+    case 1: {
+      na::HotspotConfig c = nb::svc_hotspot();
+      c.hash_result = true;
+      request.config = c;
+      break;
+    }
+    default: {
+      na::SpmvConfig c = nb::svc_spmv();
+      c.hash_result = true;
+      request.config = c;
+      break;
+    }
+  }
+  request.tenant = kTenants[kind];
+  request.weight = kWeights[kind];
+  request.deadline_s = deadline_s;
+  request.footprint = pinned_footprint();
+  return request;
+}
+
+nsv::ServiceOptions base_options(const nb::OverloadPreset& preset) {
+  nsv::ServiceOptions opts;
+  opts.machine_levels = 2;  // APU preset: storage -> DRAM leaf
+  opts.machine = nb::service_machine_options();
+  opts.workers = preset.workers;
+  opts.max_queue_depth = 64;
+  opts.policy = nsv::SchedulingPolicy::WeightedFair;
+  return opts;
+}
+
+std::uint64_t counter_or_zero(
+    const std::map<std::string, std::uint64_t>& counters,
+    const std::string& name) {
+  const auto it = counters.find(name);
+  return it != counters.end() ? it->second : 0;
+}
+
+struct PhaseResult {
+  double multiplier = 0.0;
+  double wall_s = 0.0;
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t done = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t queue_full = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t failed = 0;
+  double goodput = 0.0;  ///< completed jobs per wall second
+  double p99_e2e = 0.0;
+  std::uint64_t brownout_transitions = 0;
+  bool accounting_ok = true;
+  bool hashes_ok = true;
+};
+
+/// One open-loop phase: Poisson arrivals at `rate_jobs_per_s` for
+/// `preset.phase_seconds` against a fresh overload-armed service.
+PhaseResult run_phase(const nb::OverloadPreset& preset, double multiplier,
+                      double saturation_jobs_per_s, double mean_job_bytes,
+                      const std::uint64_t (&reference_hash)[kKinds],
+                      std::unique_ptr<nsv::JobService>* keep_service) {
+  nsv::ServiceOptions opts = base_options(preset);
+  opts.overload.enable = true;
+  opts.overload.target_queue_delay_s = preset.target_queue_delay_s;
+  opts.overload.shed_interval_s = preset.shed_interval_s;
+  const double tenant_rate = preset.tenant_rate_fraction *
+                             saturation_jobs_per_s * mean_job_bytes;
+  opts.overload.default_rate_bytes_per_s = tenant_rate;
+  opts.overload.default_burst_bytes =
+      std::max(tenant_rate * preset.burst_seconds, 8.0 * mean_job_bytes);
+  auto service = std::make_unique<nsv::JobService>(opts);
+
+  const double rate = multiplier * saturation_jobs_per_s;
+  const int total = std::max(1, static_cast<int>(
+                                    std::ceil(rate * preset.phase_seconds)));
+  nu::Xoshiro256 rng(preset.seed + static_cast<std::uint64_t>(
+                                       multiplier * 1000.0));
+
+  std::vector<nsv::JobHandle> handles;
+  handles.reserve(static_cast<std::size_t>(total));
+  nu::Timer wall;
+  const auto start = std::chrono::steady_clock::now();
+  double next_arrival_s = 0.0;
+  for (int i = 0; i < total; ++i) {
+    // Exponential interarrivals on an absolute schedule: if the
+    // submitter falls behind it bursts to catch up (open loop — the
+    // arrival process never waits for the service).
+    next_arrival_s += -std::log(1.0 - rng.uniform()) / rate;
+    const auto due = start + std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(next_arrival_s));
+    std::this_thread::sleep_until(due);
+    handles.push_back(
+        service->try_submit(make_request(i, preset.job_deadline_s)));
+  }
+  service->wait_all();
+
+  PhaseResult r;
+  r.multiplier = multiplier;
+  r.wall_s = wall.seconds();
+  r.offered = handles.size();
+
+  std::uint64_t rejected_handles = 0;
+  std::uint64_t cancelled = 0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const nsv::JobResult& result = handles[i].wait();
+    switch (result.state) {
+      case nsv::JobState::Done:
+        ++r.done;
+        if (result.stats.result_hash !=
+            reference_hash[static_cast<int>(i) % kKinds]) {
+          r.hashes_ok = false;
+        }
+        break;
+      case nsv::JobState::Expired: ++r.expired; break;
+      case nsv::JobState::Failed: ++r.failed; break;
+      case nsv::JobState::Cancelled: ++cancelled; break;
+      case nsv::JobState::Rejected: ++rejected_handles; break;
+      default: break;
+    }
+  }
+  r.goodput = r.wall_s > 0 ? static_cast<double>(r.done) / r.wall_s : 0.0;
+
+  const auto counters = service->metrics().counter_values();
+  r.admitted = counter_or_zero(counters, "svc.jobs.admitted");
+  r.shed = counter_or_zero(counters, "svc.rejected.shed");
+  r.rate_limited = counter_or_zero(counters, "svc.rejected.rate_limited");
+  r.queue_full = counter_or_zero(counters, "svc.rejected.queue_full");
+  r.infeasible = counter_or_zero(counters, "svc.rejected.infeasible_deadline");
+  r.brownout_transitions =
+      counter_or_zero(counters, "svc.brownout.transitions");
+
+  // Accounting identities: every rejected handle maps to exactly one
+  // svc.rejected.* increment, submit-path rejections explain the
+  // submitted/admitted gap, and every handle reached a terminal state.
+  const std::uint64_t per_reason =
+      r.shed + r.rate_limited + r.queue_full + r.infeasible +
+      counter_or_zero(counters, "svc.rejected.footprint_too_large");
+  const std::uint64_t submitted =
+      counter_or_zero(counters, "svc.jobs.submitted");
+  r.accounting_ok =
+      per_reason == rejected_handles && submitted == r.offered &&
+      submitted == r.admitted + (per_reason - r.shed) &&
+      r.offered ==
+          r.done + r.expired + r.failed + cancelled + rejected_handles;
+
+  const auto histograms = service->metrics().histogram_values();
+  if (histograms.count("svc.latency.e2e")) {
+    r.p99_e2e = histograms.at("svc.latency.e2e").p99;
+  }
+
+  if (keep_service) *keep_service = std::move(service);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nu::Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick");
+  const bool check = flags.get_bool("overload-check");
+  const nb::OverloadPreset preset =
+      quick ? nb::overload_quick_preset() : nb::overload_default_preset();
+
+  nb::print_header("svc_overload: open-loop overload on the job service");
+  std::printf("phase=%.1fs deadline=%.2fs workers=%zu %s%s\n\n",
+              preset.phase_seconds, preset.job_deadline_s, preset.workers,
+              quick ? "(quick) " : "", check ? "(check gates on)" : "");
+
+  // Phase 0: serial reference hashes, one worker, overload off.
+  std::uint64_t reference_hash[kKinds] = {0, 0, 0};
+  {
+    nsv::ServiceOptions opts = base_options(preset);
+    opts.workers = 1;
+    nsv::JobService service(opts);
+    for (int kind = 0; kind < kKinds; ++kind) {
+      const nsv::JobResult& result =
+          service.submit(make_request(kind, /*deadline_s=*/0.0)).wait();
+      if (result.state != nsv::JobState::Done) {
+        std::fprintf(stderr, "reference job %d failed: %s\n", kind,
+                     result.error.c_str());
+        return 1;
+      }
+      reference_hash[kind] = result.stats.result_hash;
+    }
+  }
+
+  // Phase 1: closed-loop saturation rate (overload off, no deadlines).
+  double saturation_jobs_per_s = 0.0;
+  double mean_job_bytes = 0.0;
+  {
+    nsv::JobService service(base_options(preset));
+    nu::Timer wall;
+    std::vector<nsv::JobHandle> handles;
+    for (int i = 0; i < preset.calibration_jobs; ++i) {
+      handles.push_back(service.submit(make_request(i, 0.0)));
+    }
+    service.wait_all();
+    const double seconds = wall.seconds();
+    std::uint64_t done = 0;
+    for (auto& handle : handles) {
+      if (handle.wait().state == nsv::JobState::Done) ++done;
+    }
+    saturation_jobs_per_s =
+        seconds > 0 ? static_cast<double>(done) / seconds : 1.0;
+    for (int kind = 0; kind < kKinds; ++kind) {
+      mean_job_bytes +=
+          nsv::work_estimate(make_request(kind, 0.0)).total_bytes() / kKinds;
+    }
+    std::printf("saturation: %.1f jobs/s (%llu/%d in %.2fs), "
+                "mean job bytes %.0f\n\n",
+                saturation_jobs_per_s, static_cast<unsigned long long>(done),
+                preset.calibration_jobs, seconds, mean_job_bytes);
+  }
+
+  // Phase 2: the offered-load ladder.
+  std::vector<PhaseResult> phases;
+  std::unique_ptr<nsv::JobService> top_service;
+  for (const double multiplier : preset.multipliers) {
+    const bool top = multiplier == preset.multipliers[3];
+    phases.push_back(run_phase(preset, multiplier, saturation_jobs_per_s,
+                               mean_job_bytes, reference_hash,
+                               top ? &top_service : nullptr));
+  }
+
+  nu::TextTable table;
+  table.set_header({"offered", "jobs", "done", "goodput/s", "expired", "shed",
+                    "ratelim", "qfull", "p99 (ms)", "brownout", "ok"});
+  for (const PhaseResult& r : phases) {
+    table.add_row({nu::TextTable::num(r.multiplier, 1) + "x",
+                   std::to_string(r.offered), std::to_string(r.done),
+                   nu::TextTable::num(r.goodput, 1),
+                   std::to_string(r.expired), std::to_string(r.shed),
+                   std::to_string(r.rate_limited),
+                   std::to_string(r.queue_full),
+                   nu::TextTable::num(r.p99_e2e * 1e3, 1),
+                   std::to_string(r.brownout_transitions),
+                   (r.accounting_ok && r.hashes_ok) ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Phase 3: admission-time rejection latency for hopeless deadlines.
+  double infeasible_mean_s = 0.0;
+  bool infeasible_all_typed = true;
+  {
+    nsv::ServiceOptions opts = base_options(preset);
+    opts.overload.enable = true;
+    nsv::JobService service(opts);
+    const int probes = 50;
+    nu::Timer timer;
+    for (int i = 0; i < probes; ++i) {
+      nsv::JobHandle handle = service.try_submit(make_request(i, 1e-7));
+      if (!handle.done() ||
+          handle.result().reject != nsv::RejectReason::InfeasibleDeadline) {
+        infeasible_all_typed = false;
+      }
+    }
+    infeasible_mean_s = timer.seconds() / probes;
+    std::printf("infeasible-deadline rejection: %.1f us mean over %d probes "
+                "(%s)\n",
+                infeasible_mean_s * 1e6, probes,
+                infeasible_all_typed ? "all typed" : "UNTYPED REJECTS");
+  }
+
+  double peak_goodput = 0.0;
+  for (const PhaseResult& r : phases) {
+    peak_goodput = std::max(peak_goodput, r.goodput);
+  }
+  const PhaseResult& at4x = phases.back();
+  const double retention =
+      peak_goodput > 0 ? at4x.goodput / peak_goodput : 0.0;
+  std::printf("goodput at 4x: %.1f/s = %.0f%% of peak %.1f/s %s\n",
+              at4x.goodput, retention * 100.0, peak_goodput,
+              retention >= preset.goodput_floor ? "(graceful)"
+                                                : "(COLLAPSED)");
+
+  bool pass = true;
+  if (check) {
+    auto gate = [&pass](bool ok, const char* what) {
+      if (!ok) {
+        std::fprintf(stderr, "GATE FAILED: %s\n", what);
+        pass = false;
+      }
+    };
+    gate(retention >= preset.goodput_floor,
+         "goodput at 4x under the graceful-degradation floor");
+    gate(at4x.p99_e2e <= preset.p99_bound_s, "p99 e2e at 4x over bound");
+    for (const PhaseResult& r : phases) {
+      gate(r.accounting_ok, "rejection counters do not account for handles");
+      gate(r.hashes_ok, "a completed job's hash differs from serial");
+    }
+    gate(infeasible_mean_s <= preset.infeasible_reject_bound_s,
+         "infeasible-deadline rejection too slow");
+    gate(infeasible_all_typed, "infeasible probes not all typed rejections");
+    std::printf("overload-check: %s\n", pass ? "PASS" : "FAIL");
+  }
+
+  const std::string json_out = flags.get("json-out");
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << "{\n  \"northup_svc_overload\": 1,\n";
+    out << "  \"saturation_jobs_per_s\": " << saturation_jobs_per_s << ",\n";
+    out << "  \"peak_goodput_jobs_per_s\": " << peak_goodput << ",\n";
+    out << "  \"goodput_retention_at_4x\": " << retention << ",\n";
+    out << "  \"infeasible_reject_mean_s\": " << infeasible_mean_s << ",\n";
+    out << "  \"phases\": [\n";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const PhaseResult& r = phases[i];
+      out << "    {\"multiplier\": " << r.multiplier
+          << ", \"offered\": " << r.offered << ", \"admitted\": " << r.admitted
+          << ", \"done\": " << r.done << ", \"expired\": " << r.expired
+          << ", \"shed\": " << r.shed
+          << ", \"rate_limited\": " << r.rate_limited
+          << ", \"queue_full\": " << r.queue_full
+          << ", \"infeasible_deadline\": " << r.infeasible
+          << ", \"failed\": " << r.failed
+          << ", \"goodput_jobs_per_s\": " << r.goodput
+          << ", \"p99_e2e_s\": " << r.p99_e2e
+          << ", \"brownout_transitions\": " << r.brownout_transitions
+          << ", \"accounting_ok\": " << (r.accounting_ok ? "true" : "false")
+          << ", \"hashes_ok\": " << (r.hashes_ok ? "true" : "false") << "}"
+          << (i + 1 < phases.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"check\": " << (check ? (pass ? "\"pass\"" : "\"fail\"")
+                                     : "\"off\"")
+        << "\n}\n";
+    std::printf("summary json -> %s\n", json_out.c_str());
+  }
+
+  if (top_service) {
+    const std::string trace_out = flags.get("trace-out");
+    if (!trace_out.empty()) {
+      top_service->write_job_trace(trace_out);
+      std::printf("job trace    -> %s\n", trace_out.c_str());
+    }
+    const std::string metrics_out = flags.get("metrics-out");
+    if (!metrics_out.empty()) {
+      top_service->write_metrics_json(metrics_out);
+      std::printf("metrics json -> %s\n", metrics_out.c_str());
+    }
+  }
+  return check && !pass ? 1 : 0;
+}

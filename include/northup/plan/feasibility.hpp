@@ -1,0 +1,86 @@
+// Admission-time cost estimation over a MachineProfile (ISSUE 9).
+//
+// The job service must decide in microseconds whether a job with a
+// deadline has any chance of meeting it — *before* the job queues, not
+// after it expired at the head of the line. plan::FeasibilityEstimator
+// answers that from the same MachineProfile the AutoTuner plans with:
+// calibrated edge bandwidths where a recorded run exercised the edge,
+// declared storage models everywhere else, and the profiled processor
+// rooflines for the compute side. The estimate is deliberately a *lower
+// bound* (perfect overlap, no queueing, no re-reads), so a job it calls
+// infeasible is certainly infeasible; feasible jobs still face admission
+// and deadline expiry downstream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "northup/plan/auto_tuner.hpp"
+#include "northup/plan/machine_profile.hpp"
+#include "northup/topo/tree.hpp"
+
+namespace northup::plan {
+
+/// Aggregate work one job pushes through the hierarchy, as the admission
+/// layer estimates it from the request alone (exact input/output bytes
+/// and kernel flops — no decomposition knowledge).
+struct WorkEstimate {
+  double down_bytes = 0.0;     ///< input bytes entering root -> leaf
+  double up_bytes = 0.0;       ///< result bytes returning leaf -> root
+  double flops = 0.0;          ///< leaf kernel floating-point operations
+  double compute_bytes = 0.0;  ///< leaf kernel memory traffic (roofline)
+
+  double total_bytes() const { return down_bytes + up_bytes; }
+};
+
+/// Decomposed lower-bound cost of a WorkEstimate on one machine.
+struct CostEstimate {
+  double transfer_s = 0.0;  ///< chain transfer time, all edges summed
+  double compute_s = 0.0;   ///< roofline kernel time on the best processor
+  /// Ideal-pipelining bound: transfers and compute fully overlapped.
+  double total_s() const {
+    return transfer_s > compute_s ? transfer_s : compute_s;
+  }
+};
+
+/// Stateless estimator over a profile and the machine's root-to-leaf
+/// chain. Cheap to query (a handful of divisions) — safe on the submit
+/// path under the service lock.
+class FeasibilityEstimator {
+ public:
+  /// `chain` is the root-to-leaf node-id path the work traverses (the
+  /// admission controller's first-child chain). Must have >= 1 node;
+  /// a single-node chain has no transfer cost.
+  FeasibilityEstimator(MachineProfile profile,
+                       std::vector<std::uint32_t> chain);
+
+  /// Declared-model estimator for `tree`: profiles the topology's
+  /// storage models and processor rooflines (no measured edges) and
+  /// walks the first-child chain root -> leaf. The zero-calibration
+  /// fallback the service starts from; swap in a calibrated profile
+  /// (same chain) once a recorded run exists.
+  static FeasibilityEstimator from_tree(const topo::TopoTree& tree);
+
+  const MachineProfile& profile() const { return tuner_.profile(); }
+  const std::vector<std::uint32_t>& chain() const { return chain_; }
+
+  /// Lower-bound cost of `w`: down_bytes cross every parent->child edge
+  /// of the chain and up_bytes every child->parent edge (calibrated
+  /// bandwidth when measured, declared bottleneck otherwise, one access
+  /// latency charge per edge), while flops/compute_bytes burn on the
+  /// fastest profiled processor (preferring one attached to the leaf).
+  CostEstimate estimate(const WorkEstimate& w) const;
+
+  /// True when `w` can possibly finish within `deadline_s`.
+  /// `margin` scales the estimate (values > 1 reject earlier);
+  /// `queue_delay_s` adds the expected wait before execution starts.
+  /// Non-positive deadlines mean "no deadline" and are always feasible.
+  bool feasible(const WorkEstimate& w, double deadline_s, double margin = 1.0,
+                double queue_delay_s = 0.0) const;
+
+ private:
+  AutoTuner tuner_;  ///< shared edge-estimate logic (measured + fallback)
+  std::vector<std::uint32_t> chain_;
+};
+
+}  // namespace northup::plan

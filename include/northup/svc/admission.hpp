@@ -55,6 +55,10 @@ class AdmissionController {
   std::uint64_t level_capacity(std::size_t level) const;
   std::uint64_t reserved_bytes(std::size_t level) const;
 
+  /// Ledger pressure: the max over levels of pinned/capacity, in [0, 1].
+  /// One of the two signals driving the overload brownout ladder.
+  double reserved_fraction() const;
+
  private:
   std::uint64_t footprint_at(const JobFootprint& fp, std::size_t level) const;
   void refresh_gauges_locked();

@@ -20,6 +20,7 @@
 #include "northup/algos/gemm.hpp"
 #include "northup/algos/hotspot.hpp"
 #include "northup/memsim/fault_injection.hpp"
+#include "northup/plan/feasibility.hpp"
 
 namespace northup::svc {
 
@@ -92,5 +93,13 @@ JobFootprint estimate_footprint(const JobRequest& request);
 /// blocks; for SpMV the resident dense vector). Jobs whose floor exceeds
 /// a node's total capacity are fast-rejected at submission.
 JobFootprint min_footprint(const JobRequest& request);
+
+/// Lower-bound work of `request` for the overload layer: exact input
+/// bytes down, result bytes up, kernel flops and leaf memory traffic —
+/// no decomposition overheads (re-reads, halos), so feasibility verdicts
+/// built on it only reject jobs that certainly cannot finish in time.
+/// Its total_bytes() is also the cost the per-tenant rate limiter
+/// charges.
+plan::WorkEstimate work_estimate(const JobRequest& request);
 
 }  // namespace northup::svc

@@ -1,0 +1,207 @@
+// Overload control for the job service (ISSUE 9 tentpole).
+//
+// The admission controller (PR 3) protects *capacity*: a job only runs
+// when its footprint fits the ledger. Nothing protected the service from
+// *sustained overload* — a burst past saturation just fills the bounded
+// queue, blocks producers, blows deadlines, and collapses goodput. This
+// layer sits between submission and admission and steers demand to fit
+// observed capacity, the service-plane analogue of capacity-aware
+// placement across memory tiers (arXiv:2110.02150):
+//
+//   * Per-tenant token-bucket rate limiting, cost charged in estimated
+//     job bytes (the bytes the job will pull through the hierarchy), so
+//     one tenant's burst cannot monopolize the queue. Typed rejection:
+//     RejectReason::RateLimited.
+//   * CoDel-style load shedding: when the *oldest pending job's wait*
+//     stays above the target queue delay for a full interval, the
+//     service sheds the least-preferred pending work (lowest priority,
+//     then the most over-quota tenant by weighted-fair virtual time)
+//     at an interval that shrinks with sqrt(shed count) — the classic
+//     CoDel control law — instead of blocking or delaying everyone.
+//   * Brownout degradation ladder, driven by the same pressure signal
+//     plus reserved-byte pressure on the admission ledger: before any
+//     paid traffic is shed, grants shrink toward floor footprints
+//     (level 1) and then optional end-to-end checksums are disabled
+//     (level 2); shedding is reserved for level 3. Pressure clearing
+//     steps the ladder back down after a dwell time.
+//
+// Deadline-feasibility rejection (the fourth leg) lives in the
+// JobService itself on top of plan::FeasibilityEstimator; this header
+// only carries its knobs. All OverloadController methods are called
+// under the service's dispatch lock — the class is not internally
+// synchronized (the token buckets and CoDel state are plain members).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "northup/obs/metrics.hpp"
+#include "northup/plan/machine_profile.hpp"
+
+namespace northup::svc {
+
+/// Per-tenant rate-limit override (zero fields inherit the defaults).
+struct TenantLimit {
+  double rate_bytes_per_s = 0.0;  ///< sustained admission rate in job bytes
+  double burst_bytes = 0.0;       ///< bucket capacity (max burst)
+};
+
+/// Knobs of the overload-control layer. Defaults keep every behavior off
+/// (`enable = false`) so existing services are untouched.
+struct OverloadOptions {
+  bool enable = false;
+
+  // --- Rate limiting (token bucket per tenant, cost in job bytes). ---
+  /// Sustained per-tenant rate; 0 = unlimited (buckets never reject).
+  double default_rate_bytes_per_s = 0.0;
+  /// Bucket capacity. A single job costing more than its tenant's burst
+  /// can never pass the limiter and is rejected with that detail.
+  double default_burst_bytes = 64.0 * (1 << 20);
+  std::map<std::string, TenantLimit> tenant_limits;
+
+  // --- Deadline feasibility (JobService + plan::FeasibilityEstimator). ---
+  /// Reject a job whose deadline is below the lower-bound exec estimate.
+  bool reject_infeasible_deadlines = true;
+  /// Scales the estimate before comparing (> 1 rejects earlier).
+  double feasibility_margin = 1.0;
+  /// Add the observed queue delay (EWMA of recent dispatch waits) to the
+  /// estimate — a job that would only meet its deadline on an idle
+  /// machine is rejected while the queue is long.
+  bool feasibility_includes_queue_delay = true;
+  /// Calibrated profile for the estimator (e.g. plan::Calibrator output
+  /// or MachineProfile::load). Null = declared models of the machine
+  /// tree.
+  std::shared_ptr<const plan::MachineProfile> machine_profile;
+
+  // --- CoDel-style shedding. ---
+  /// Target sojourn: the oldest pending job staying above this for a
+  /// full interval arms the shedder. <= 0 disables shedding.
+  double target_queue_delay_s = 0.5;
+  /// Initial spacing between sheds; shrinks by 1/sqrt(count) while
+  /// pressure persists.
+  double shed_interval_s = 0.1;
+
+  // --- Brownout ladder. ---
+  bool enable_brownout = true;
+  /// Reserved-byte pressure (max over ledger levels of pinned/capacity)
+  /// that counts as "full" for the ladder, symmetric with the delay
+  /// target.
+  double reserved_pressure_watermark = 0.85;
+  /// Dwell before stepping the ladder *down* one level after pressure
+  /// clears (steps up are immediate).
+  double brownout_hold_s = 0.25;
+};
+
+/// Classic token bucket over a wall-clock time base, denominated in
+/// bytes. Refills continuously at `rate`, caps at `burst`.
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TokenBucket(double rate_bytes_per_s, double burst_bytes,
+              Clock::time_point now);
+
+  /// Charges `cost_bytes` if available after refilling to `now`.
+  /// Unlimited buckets (rate <= 0) always succeed.
+  bool try_charge(double cost_bytes, Clock::time_point now);
+
+  /// Tokens available at `now` (refills as a side effect).
+  double available(Clock::time_point now);
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(Clock::time_point now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+/// Brownout ladder position (see file comment). Exposed as the
+/// `svc.brownout` gauge.
+enum class BrownoutLevel : int {
+  kNormal = 0,        ///< preferred grants, checksums per config
+  kShrunkGrants = 1,  ///< grants halfway between preferred and floor
+  kFloorGrants = 2,   ///< floor grants, optional checksums disabled
+  kShedding = 3,      ///< additionally shedding per the CoDel law
+};
+
+/// The service-lock-driven overload brain: rate limiter + pressure
+/// tracker + brownout ladder + CoDel shed law. `metrics` may be null
+/// (unit tests); all time is passed in explicitly so tests are
+/// deterministic.
+class OverloadController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  OverloadController(OverloadOptions options, obs::MetricsRegistry* metrics);
+
+  const OverloadOptions& options() const { return options_; }
+  bool enabled() const { return options_.enable; }
+
+  /// Rate-limit check: charges `cost_bytes` against `tenant`'s bucket.
+  /// False = reject (RejectReason::RateLimited). Increments
+  /// svc.ratelimit.charged_bytes or svc.ratelimit.rejected.<tenant>.
+  bool try_charge(const std::string& tenant, double cost_bytes,
+                  Clock::time_point now);
+
+  /// Effective limit of `tenant` (override or defaults).
+  TenantLimit limit_for(const std::string& tenant) const;
+
+  /// Feeds the pressure signals from a dispatch point: the oldest
+  /// pending job's current wait (0 when the queue is empty) and the
+  /// ledger's reserved-byte fraction. Advances the brownout ladder and
+  /// arms/disarms the CoDel shedder.
+  void update(Clock::time_point now, double oldest_wait_s,
+              double reserved_fraction);
+
+  /// True when the CoDel law says to shed one more pending job *now*.
+  /// Call repeatedly from a dispatch point until it returns false;
+  /// every true advances the law (next shed comes sooner while pressure
+  /// persists).
+  void note_shed();  ///< account one shed job (svc.shed.jobs)
+  bool take_shed(Clock::time_point now);
+
+  BrownoutLevel brownout_level() const { return level_; }
+  /// Preferred-grant scale for admission: 1 at kNormal, 0.5 at
+  /// kShrunkGrants, 0 (floor) at kFloorGrants and above.
+  double grant_scale() const;
+  /// True when the ladder says to skip optional end-to-end checksums.
+  bool checksums_disabled() const;
+
+  /// EWMA of dispatched jobs' queue waits — the feasibility estimator's
+  /// expected-queue-delay term.
+  void observe_queue_wait(double seconds);
+  double expected_queue_delay() const { return queue_delay_ewma_; }
+
+ private:
+  void set_level(BrownoutLevel level, Clock::time_point now);
+
+  OverloadOptions options_;
+  obs::MetricsRegistry* metrics_;
+
+  // Rate limiting.
+  std::map<std::string, TokenBucket> buckets_;
+
+  // Brownout ladder.
+  BrownoutLevel level_ = BrownoutLevel::kNormal;
+  Clock::time_point level_since_{};
+  double pressure_ = 0.0;  ///< last max(delay/target, reserved/watermark)
+
+  // CoDel shed law.
+  std::optional<Clock::time_point> first_above_;  ///< delay > target since
+  bool shedding_ = false;
+  std::uint64_t shed_count_ = 0;
+  Clock::time_point next_shed_{};
+
+  double queue_delay_ewma_ = 0.0;
+};
+
+}  // namespace northup::svc

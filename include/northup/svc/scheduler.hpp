@@ -38,15 +38,30 @@ enum class JobState {
   Running,    ///< dispatched onto the worker pool
   Done,       ///< completed successfully
   Failed,     ///< ran and raised a non-retryable (or retry-exhausted) error
-  Rejected,   ///< never queued: impossible footprint or queue full
+  Rejected,   ///< refused: see JobResult::reject for the typed reason
   Cancelled,  ///< cancelled while queued (or between retry attempts)
   Expired,    ///< deadline passed while still queued
 };
 
 const char* state_name(JobState state);
 
+/// Why a job ended Rejected. Every rejection increments the matching
+/// `svc.rejected.<reason>` counter, so per-reason counters always sum to
+/// submitted − admitted-to-run jobs.
+enum class RejectReason {
+  None,                ///< the job was not rejected
+  QueueFull,           ///< bounded queue at max_queue_depth (try_submit)
+  RateLimited,         ///< tenant token bucket out of byte tokens
+  InfeasibleDeadline,  ///< deadline_s < lower-bound exec estimate
+  Shed,                ///< load shedding dropped it from the queue
+  FootprintTooLarge,   ///< floor footprint exceeds a node's total capacity
+};
+
+const char* reason_name(RejectReason reason);
+
 struct JobResult {
   JobState state = JobState::Queued;
+  RejectReason reject = RejectReason::None;  ///< set when state == Rejected
   std::string error;        ///< for Failed / Rejected / Expired
   algos::RunStats stats;    ///< valid when state == Done
   double queue_wait_s = 0.0;
@@ -71,6 +86,7 @@ struct JobControl {
   std::uint64_t seq = 0;  ///< arrival order (FIFO key)
   JobFootprint preferred;
   JobFootprint floor;
+  plan::WorkEstimate work;  ///< rate-limit cost + feasibility input
   std::chrono::steady_clock::time_point submit_time;
   std::atomic<bool> cancel_requested{false};
 

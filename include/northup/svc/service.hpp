@@ -32,10 +32,12 @@
 #include <string>
 
 #include "northup/core/runtime.hpp"
+#include "northup/plan/feasibility.hpp"
 #include "northup/sched/pool.hpp"
 #include "northup/svc/admission.hpp"
 #include "northup/svc/job.hpp"
 #include "northup/svc/job_trace.hpp"
+#include "northup/svc/overload.hpp"
 #include "northup/svc/scheduler.hpp"
 #include "northup/topo/presets.hpp"
 
@@ -65,6 +67,16 @@ struct ServiceOptions {
   /// policy, end-to-end checksums, breaker tuning. Per-attempt resil
   /// counters are folded into the machine metrics and the JobResult.
   resil::ResilOptions resilience;
+  /// Overload control between submission and admission: per-tenant
+  /// token-bucket rate limiting, deadline-feasibility rejection,
+  /// CoDel-style load shedding, and the brownout degradation ladder.
+  /// Disabled by default (overload.enable = false).
+  OverloadOptions overload;
+  /// Pace the per-job runtimes' file-backed storage on the wall clock
+  /// (core::RuntimeOptions::paced_storage): job execution time then
+  /// tracks the *modeled* storage tier, which is what the overload
+  /// bench and the deadline-race tests need to be measurable.
+  bool paced_storage = false;
 };
 
 class JobService;
@@ -140,6 +152,13 @@ class JobService {
   core::Runtime& machine() { return *machine_; }
   obs::MetricsRegistry& metrics() { return machine_->metrics(); }
   AdmissionController& admission() { return admission_; }
+  /// Overload-control state (brownout level, rate limiter). Reads are
+  /// racy by nature; tests drive it via kick() dispatch points.
+  const OverloadController& overload() const { return overload_; }
+  /// Admission-time cost estimator over the machine profile.
+  const plan::FeasibilityEstimator& feasibility() const {
+    return feasibility_;
+  }
 
   /// Chrome trace of the real-time job interleaving (one pid per tenant,
   /// one tid per job). See JobTraceRecorder.
@@ -155,11 +174,27 @@ class JobService {
   topo::TopoTree make_tree(const topo::PresetOptions& preset) const;
   JobHandle submit_impl(JobRequest request, bool blocking);
 
+  /// Builds the feasibility estimator from the overload options'
+  /// profile (or the machine tree's declared models).
+  plan::FeasibilityEstimator make_feasibility() const;
+
+  /// Publishes a typed rejection (state = Rejected, reason + counters).
+  /// The job must not be in the pending set.
+  JobHandle reject(std::shared_ptr<JobControl> job, RejectReason reason,
+                   const std::string& error);
+
   /// Scans the pending set in policy order from a dispatch point
-  /// (submission / completion / cancellation): expires deadline-passed
-  /// jobs, drops cancelled ones, reserves capacity and dispatches what
-  /// fits. Under FIFO a non-fitting head blocks everything behind it.
+  /// (submission / completion / cancellation): updates overload
+  /// pressure, sheds per the CoDel law (least-preferred first), expires
+  /// deadline-passed jobs, drops cancelled ones, reserves capacity
+  /// (brownout-scaled preferred) and dispatches what fits. Under FIFO a
+  /// non-fitting head blocks everything behind it.
   void dispatch_locked();
+
+  /// Sheds pending jobs while the overload controller's CoDel law says
+  /// so, least-preferred first (lowest priority, most over-quota
+  /// tenant). Requires mu_.
+  void shed_locked();
 
   /// Executes one admitted job on a worker thread: attempt loop with a
   /// fresh grant-sized Runtime per attempt, fault-plan arming, IoError
@@ -175,6 +210,8 @@ class JobService {
   ServiceOptions options_;
   std::unique_ptr<core::Runtime> machine_;
   AdmissionController admission_;
+  plan::FeasibilityEstimator feasibility_;
+  OverloadController overload_;
   JobTraceRecorder trace_;
   sched::WorkStealingPool pool_;
 

@@ -18,6 +18,10 @@ schema-level checks by flavor:
 * Machine profiles (plan::MachineProfile::write_json): a
   "northup_machine_profile" version marker plus nodes/edges/procs
   tables with non-negative rates.
+* Overload summaries (bench/svc_overload --json-out): a
+  "northup_svc_overload" version marker, per-phase offered/admitted/
+  rejection accounting with accounting_ok/hashes_ok true, and a
+  check verdict that is not "fail".
 
 Usage: check_json_artifacts.py FILE...
 Flavor is sniffed from the parsed structure, not the filename.
@@ -132,6 +136,40 @@ def check_machine_profile(path, doc):
           f"{len(doc['edges'])} edges, {len(doc['procs'])} procs")
 
 
+def check_svc_overload(path, doc):
+    if doc["northup_svc_overload"] != 1:
+        raise ValueError("unsupported northup_svc_overload version")
+    for key in ("saturation_jobs_per_s", "peak_goodput_jobs_per_s",
+                "goodput_retention_at_4x", "infeasible_reject_mean_s"):
+        _require_number(doc, key, "svc-overload")
+    phases = doc["phases"]
+    if not isinstance(phases, list) or not phases:
+        raise ValueError("phases is not a non-empty list")
+    for i, phase in enumerate(phases):
+        what = f"phases[{i}]"
+        for key in ("multiplier", "offered", "admitted", "done", "expired",
+                    "shed", "rate_limited", "queue_full",
+                    "infeasible_deadline", "failed", "goodput_jobs_per_s",
+                    "p99_e2e_s", "brownout_transitions"):
+            _require_number(phase, key, what)
+        for key in ("accounting_ok", "hashes_ok"):
+            if not isinstance(phase.get(key), bool):
+                raise ValueError(f"{what} {key} is not a bool")
+            if phase[key] is not True:
+                raise ValueError(f"{what} {key} is false")
+        rejected = (phase["shed"] + phase["rate_limited"] +
+                    phase["queue_full"] + phase["infeasible_deadline"])
+        if phase["done"] + rejected > phase["offered"]:
+            raise ValueError(f"{what} done+rejected exceeds offered")
+    if doc.get("check") not in ("pass", "fail", "off"):
+        raise ValueError("check is not pass/fail/off")
+    if doc["check"] == "fail":
+        raise ValueError("overload-check gates reported FAIL")
+    print(f"ok [svc-overload] {path}: {len(phases)} phases, "
+          f"retention {doc['goodput_retention_at_4x']:.2f}, "
+          f"check {doc['check']}")
+
+
 def check(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -147,10 +185,12 @@ def check(path):
         check_summary(path, doc)
     elif "northup_machine_profile" in doc:
         check_machine_profile(path, doc)
+    elif "northup_svc_overload" in doc:
+        check_svc_overload(path, doc)
     else:
         raise ValueError("unrecognized artifact flavor (no traceEvents/"
                          "counters/series/northup_summary/"
-                         "northup_machine_profile key)")
+                         "northup_machine_profile/northup_svc_overload key)")
 
 
 def main(argv):

@@ -1,0 +1,78 @@
+#include "northup/plan/feasibility.hpp"
+
+#include <utility>
+
+#include "northup/plan/calibrator.hpp"
+#include "northup/util/assert.hpp"
+
+namespace northup::plan {
+
+FeasibilityEstimator::FeasibilityEstimator(MachineProfile profile,
+                                           std::vector<std::uint32_t> chain)
+    : tuner_(std::move(profile)), chain_(std::move(chain)) {
+  NU_CHECK(!chain_.empty(), "feasibility chain must have at least one node");
+}
+
+FeasibilityEstimator FeasibilityEstimator::from_tree(
+    const topo::TopoTree& tree) {
+  Calibrator calibrator;
+  calibrator.observe_topology(tree);
+  std::vector<std::uint32_t> chain;
+  topo::NodeId node = tree.root();
+  chain.push_back(node);
+  while (!tree.is_leaf(node)) {
+    node = tree.get_children_list(node)[0];
+    chain.push_back(node);
+  }
+  return FeasibilityEstimator(calibrator.finish(), std::move(chain));
+}
+
+CostEstimate FeasibilityEstimator::estimate(const WorkEstimate& w) const {
+  CostEstimate cost;
+  for (std::size_t level = 0; level + 1 < chain_.size(); ++level) {
+    const std::uint32_t parent = chain_[level];
+    const std::uint32_t child = chain_[level + 1];
+    if (w.down_bytes > 0.0) {
+      const AutoTuner::EdgeEstimate down = tuner_.edge(parent, child);
+      if (down.bytes_per_s > 0.0) {
+        cost.transfer_s += w.down_bytes / down.bytes_per_s + down.latency_s;
+      }
+    }
+    if (w.up_bytes > 0.0) {
+      const AutoTuner::EdgeEstimate up = tuner_.edge(child, parent);
+      if (up.bytes_per_s > 0.0) {
+        cost.transfer_s += w.up_bytes / up.bytes_per_s + up.latency_s;
+      }
+    }
+  }
+
+  if (w.flops > 0.0 || w.compute_bytes > 0.0) {
+    // Prefer the processor at the chain's leaf; fall back to the fastest
+    // declared roofline anywhere in the profile.
+    const ProcProfile* proc = profile().find_proc(chain_.back());
+    if (proc == nullptr) {
+      for (const ProcProfile& p : profile().procs) {
+        if (proc == nullptr || p.flops_per_s > proc->flops_per_s) proc = &p;
+      }
+    }
+    if (proc != nullptr) {
+      double seconds = 0.0;
+      if (proc->flops_per_s > 0.0) seconds = w.flops / proc->flops_per_s;
+      if (proc->mem_bytes_per_s > 0.0) {
+        const double mem_s = w.compute_bytes / proc->mem_bytes_per_s;
+        if (mem_s > seconds) seconds = mem_s;
+      }
+      cost.compute_s = seconds;
+    }
+  }
+  return cost;
+}
+
+bool FeasibilityEstimator::feasible(const WorkEstimate& w, double deadline_s,
+                                    double margin,
+                                    double queue_delay_s) const {
+  if (deadline_s <= 0.0) return true;
+  return estimate(w).total_s() * margin + queue_delay_s <= deadline_s;
+}
+
+}  // namespace northup::plan

@@ -1,5 +1,7 @@
 #include "northup/svc/admission.hpp"
 
+#include <algorithm>
+
 #include "northup/util/assert.hpp"
 
 namespace northup::svc {
@@ -35,6 +37,18 @@ std::uint64_t AdmissionController::level_capacity(std::size_t level) const {
 std::uint64_t AdmissionController::reserved_bytes(std::size_t level) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return machine_.pool_at(chain_[level])->pinned_bytes();
+}
+
+double AdmissionController::reserved_fraction() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double fraction = 0.0;
+  for (const topo::NodeId node : chain_) {
+    const cache::BufferPool& pool = *machine_.pool_at(node);
+    if (pool.capacity() == 0) continue;
+    fraction = std::max(fraction, static_cast<double>(pool.pinned_bytes()) /
+                                      static_cast<double>(pool.capacity()));
+  }
+  return fraction;
 }
 
 std::string AdmissionController::impossible_reason(

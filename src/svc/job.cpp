@@ -162,4 +162,36 @@ JobFootprint min_footprint(const JobRequest& request) {
   return footprint_for(request, /*preferred=*/false);
 }
 
+plan::WorkEstimate work_estimate(const JobRequest& request) {
+  plan::WorkEstimate w;
+  std::visit(
+      [&](const auto& config) {
+        using T = std::decay_t<decltype(config)>;
+        if constexpr (std::is_same_v<T, algos::GemmConfig>) {
+          const double n = static_cast<double>(config.n);
+          w.down_bytes = 2.0 * n * n * kF;  // A and B enter once
+          w.up_bytes = n * n * kF;          // C returns
+          w.flops = 2.0 * n * n * n;
+          w.compute_bytes = 3.0 * n * n * kF;
+        } else if constexpr (std::is_same_v<T, algos::HotspotConfig>) {
+          const double n = static_cast<double>(config.n);
+          const double sweeps = static_cast<double>(config.iterations);
+          w.down_bytes = 2.0 * n * n * kF * sweeps;  // temp + power per sweep
+          w.up_bytes = n * n * kF * sweeps;          // next temp per sweep
+          w.flops = 10.0 * n * n * sweeps;           // 5-point stencil + scale
+          w.compute_bytes = 3.0 * n * n * kF * sweeps;
+        } else {
+          const double rows = static_cast<double>(config.rows);
+          const double nnz = rows * static_cast<double>(config.avg_nnz);
+          const double csr_bytes = (rows + 1.0) * 4.0 + nnz * 8.0 + rows * kF;
+          w.down_bytes = csr_bytes + rows * kF;  // matrix shards + x
+          w.up_bytes = rows * kF;                // y
+          w.flops = 2.0 * nnz;
+          w.compute_bytes = csr_bytes + 2.0 * rows * kF;
+        }
+      },
+      request.config);
+  return w;
+}
+
 }  // namespace northup::svc

@@ -1,0 +1,206 @@
+#include "northup/svc/overload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::svc {
+
+// --------------------------------------------------------------- TokenBucket
+
+TokenBucket::TokenBucket(double rate_bytes_per_s, double burst_bytes,
+                         Clock::time_point now)
+    : rate_(rate_bytes_per_s),
+      burst_(burst_bytes),
+      tokens_(burst_bytes),  // buckets start full: an idle tenant may burst
+      last_(now) {}
+
+void TokenBucket::refill(Clock::time_point now) {
+  if (now <= last_) return;
+  const double elapsed = std::chrono::duration<double>(now - last_).count();
+  tokens_ = std::min(burst_, tokens_ + rate_ * elapsed);
+  last_ = now;
+}
+
+double TokenBucket::available(Clock::time_point now) {
+  refill(now);
+  return tokens_;
+}
+
+bool TokenBucket::try_charge(double cost_bytes, Clock::time_point now) {
+  if (rate_ <= 0.0) return true;  // unlimited
+  refill(now);
+  if (tokens_ < cost_bytes) return false;
+  tokens_ -= cost_bytes;
+  return true;
+}
+
+// ------------------------------------------------------- OverloadController
+
+OverloadController::OverloadController(OverloadOptions options,
+                                       obs::MetricsRegistry* metrics)
+    : options_(std::move(options)), metrics_(metrics) {
+  NU_CHECK(options_.feasibility_margin > 0.0,
+           "feasibility_margin must be positive");
+  if (metrics_ != nullptr && options_.enable) {
+    metrics_->gauge("svc.brownout").set(0.0);
+  }
+}
+
+TenantLimit OverloadController::limit_for(const std::string& tenant) const {
+  TenantLimit limit{options_.default_rate_bytes_per_s,
+                    options_.default_burst_bytes};
+  const auto it = options_.tenant_limits.find(tenant);
+  if (it != options_.tenant_limits.end()) {
+    if (it->second.rate_bytes_per_s != 0.0) {
+      limit.rate_bytes_per_s = it->second.rate_bytes_per_s;
+    }
+    if (it->second.burst_bytes != 0.0) {
+      limit.burst_bytes = it->second.burst_bytes;
+    }
+  }
+  return limit;
+}
+
+bool OverloadController::try_charge(const std::string& tenant,
+                                    double cost_bytes,
+                                    Clock::time_point now) {
+  if (!options_.enable) return true;
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    const TenantLimit limit = limit_for(tenant);
+    it = buckets_
+             .emplace(tenant, TokenBucket(limit.rate_bytes_per_s,
+                                          limit.burst_bytes, now))
+             .first;
+  }
+  const bool ok = it->second.try_charge(cost_bytes, now);
+  if (metrics_ != nullptr) {
+    if (ok) {
+      metrics_->counter("svc.ratelimit.charged_bytes")
+          .add(static_cast<std::uint64_t>(std::max(0.0, cost_bytes)));
+    } else {
+      metrics_->counter("svc.ratelimit.rejected." + tenant).increment();
+    }
+  }
+  return ok;
+}
+
+void OverloadController::set_level(BrownoutLevel level,
+                                   Clock::time_point now) {
+  if (level == level_) return;
+  level_ = level;
+  level_since_ = now;
+  if (metrics_ != nullptr) {
+    metrics_->gauge("svc.brownout").set(static_cast<double>(level_));
+    metrics_->counter("svc.brownout.transitions").increment();
+  }
+}
+
+void OverloadController::update(Clock::time_point now, double oldest_wait_s,
+                                double reserved_fraction) {
+  if (!options_.enable) return;
+
+  const double target = options_.target_queue_delay_s;
+  const double watermark = options_.reserved_pressure_watermark;
+  double pressure = 0.0;
+  if (target > 0.0) pressure = oldest_wait_s / target;
+  if (watermark > 0.0) {
+    pressure = std::max(pressure, reserved_fraction / watermark);
+  }
+  pressure_ = pressure;
+  if (metrics_ != nullptr) {
+    metrics_->gauge("svc.queue.oldest_wait").set(oldest_wait_s);
+  }
+
+  // CoDel arming: the sojourn must stay above target for a full interval
+  // before the first shed; dipping below target disarms and resets the
+  // control law.
+  if (target > 0.0) {
+    if (oldest_wait_s < target) {
+      first_above_.reset();
+      shedding_ = false;
+      shed_count_ = 0;
+    } else if (!first_above_) {
+      first_above_ = now + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   options_.shed_interval_s));
+    }
+  }
+
+  // Ladder target from instantaneous pressure. Steps up are immediate;
+  // steps down wait out the dwell and descend one level at a time so a
+  // noisy signal cannot flap grants.
+  int target_level = 0;
+  if (pressure >= 1.0) {
+    target_level = 3;
+  } else if (pressure >= 0.75) {
+    target_level = 2;
+  } else if (pressure >= 0.5) {
+    target_level = 1;
+  }
+  if (!options_.enable_brownout && target_level < 3) {
+    target_level = 0;  // no degraded grades, only normal vs shedding
+  }
+  const int current = static_cast<int>(level_);
+  if (target_level > current) {
+    set_level(static_cast<BrownoutLevel>(target_level), now);
+  } else if (target_level < current &&
+             now - level_since_ >=
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(options_.brownout_hold_s))) {
+    set_level(static_cast<BrownoutLevel>(current - 1), now);
+  }
+}
+
+bool OverloadController::take_shed(Clock::time_point now) {
+  if (!options_.enable || options_.target_queue_delay_s <= 0.0) return false;
+  if (!first_above_ || now < *first_above_) return false;
+  if (!shedding_) {
+    shedding_ = true;
+    shed_count_ = 0;
+    next_shed_ = now;  // first shed fires as soon as the interval elapsed
+  }
+  if (now < next_shed_) return false;
+  ++shed_count_;
+  // The CoDel control law: persistent pressure sheds at an accelerating
+  // cadence, interval / sqrt(drop count).
+  next_shed_ =
+      now + std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(
+                    options_.shed_interval_s /
+                    std::sqrt(static_cast<double>(shed_count_))));
+  return true;
+}
+
+void OverloadController::note_shed() {
+  if (metrics_ != nullptr) metrics_->counter("svc.shed.jobs").increment();
+}
+
+double OverloadController::grant_scale() const {
+  switch (level_) {
+    case BrownoutLevel::kNormal: return 1.0;
+    case BrownoutLevel::kShrunkGrants: return 0.5;
+    case BrownoutLevel::kFloorGrants:
+    case BrownoutLevel::kShedding: return 0.0;
+  }
+  return 1.0;
+}
+
+bool OverloadController::checksums_disabled() const {
+  return options_.enable && options_.enable_brownout &&
+         static_cast<int>(level_) >= static_cast<int>(
+                                         BrownoutLevel::kFloorGrants);
+}
+
+void OverloadController::observe_queue_wait(double seconds) {
+  constexpr double kAlpha = 0.2;  // ~5-sample memory
+  queue_delay_ewma_ = queue_delay_ewma_ == 0.0
+                          ? seconds
+                          : (1.0 - kAlpha) * queue_delay_ewma_ +
+                                kAlpha * seconds;
+}
+
+}  // namespace northup::svc

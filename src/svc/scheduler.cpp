@@ -19,6 +19,18 @@ const char* state_name(JobState state) {
   return "?";
 }
 
+const char* reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::None: return "none";
+    case RejectReason::QueueFull: return "queue_full";
+    case RejectReason::RateLimited: return "rate_limited";
+    case RejectReason::InfeasibleDeadline: return "infeasible_deadline";
+    case RejectReason::Shed: return "shed";
+    case RejectReason::FootprintTooLarge: return "footprint_too_large";
+  }
+  return "?";
+}
+
 const char* policy_name(SchedulingPolicy policy) {
   return policy == SchedulingPolicy::Fifo ? "fifo" : "fair";
 }

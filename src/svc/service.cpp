@@ -64,6 +64,8 @@ JobService::JobService(ServiceOptions options)
                                // The ledger needs the BufferPools.
                                .enable_shard_cache = true})),
       admission_(*machine_),
+      feasibility_(make_feasibility()),
+      overload_(options_.overload, &machine_->metrics()),
       pool_(std::max<std::size_t>(1, options_.workers)),
       scheduler_(options_.policy) {
   NU_CHECK(options_.machine_levels == 2 || options_.machine_levels == 3,
@@ -81,6 +83,25 @@ topo::TopoTree JobService::make_tree(const topo::PresetOptions& preset) const {
   return options_.machine_levels == 2
              ? topo::apu_two_level(options_.file_kind, preset)
              : topo::dgpu_three_level(options_.file_kind, preset);
+}
+
+plan::FeasibilityEstimator JobService::make_feasibility() const {
+  if (options_.overload.machine_profile != nullptr) {
+    // Calibrated profile (e.g. a plan::Calibrator run over recorded
+    // .nulogs of this machine): measured edge bandwidths sharpen the
+    // estimate; the chain stays the machine ledger's.
+    std::vector<std::uint32_t> chain;
+    const auto& tree = machine_->tree();
+    topo::NodeId node = tree.root();
+    chain.push_back(node);
+    while (!tree.is_leaf(node)) {
+      node = tree.get_children_list(node)[0];
+      chain.push_back(node);
+    }
+    return plan::FeasibilityEstimator(*options_.overload.machine_profile,
+                                      std::move(chain));
+  }
+  return plan::FeasibilityEstimator::from_tree(machine_->tree());
 }
 
 std::size_t JobService::queue_depth() const {
@@ -101,6 +122,22 @@ JobHandle JobService::try_submit(JobRequest request) {
   return submit_impl(std::move(request), /*blocking=*/false);
 }
 
+JobHandle JobService::reject(std::shared_ptr<JobControl> job,
+                             RejectReason reason, const std::string& error) {
+  auto& metrics = machine_->metrics();
+  metrics.counter(std::string("svc.rejected.") + reason_name(reason))
+      .increment();
+  {
+    std::lock_guard<std::mutex> job_lock(job->mu);
+    job->done = true;
+    job->result.state = JobState::Rejected;
+    job->result.reject = reason;
+    job->result.error = error;
+    job->cv.notify_all();
+  }
+  return JobHandle(std::move(job), this);
+}
+
 JobHandle JobService::submit_impl(JobRequest request, bool blocking) {
   auto& metrics = machine_->metrics();
   metrics.counter("svc.jobs.submitted").increment();
@@ -109,6 +146,7 @@ JobHandle JobService::submit_impl(JobRequest request, bool blocking) {
   job->kind = kind_of(request);
   job->preferred = estimate_footprint(request);
   job->floor = min_footprint(request);
+  job->work = work_estimate(request);
   job->request = std::move(request);
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -122,13 +160,44 @@ JobHandle JobService::submit_impl(JobRequest request, bool blocking) {
   // never be admitted, full stop.
   const std::string impossible = admission_.impossible_reason(job->floor);
   if (!impossible.empty()) {
-    metrics.counter("svc.jobs.rejected.capacity").increment();
-    std::lock_guard<std::mutex> job_lock(job->mu);
-    job->done = true;
-    job->result.state = JobState::Rejected;
-    job->result.error = impossible;
-    job->cv.notify_all();
-    return JobHandle(std::move(job), this);
+    return reject(std::move(job), RejectReason::FootprintTooLarge, impossible);
+  }
+
+  if (overload_.enabled()) {
+    // Deadline feasibility: a job that cannot meet its deadline even on
+    // an otherwise idle machine (lower-bound estimate) is rejected here,
+    // in microseconds, instead of expiring after queueing.
+    const auto& oo = overload_.options();
+    const double deadline = job->request.deadline_s;
+    if (oo.reject_infeasible_deadlines && deadline > 0.0) {
+      const double queue_delay = oo.feasibility_includes_queue_delay
+                                     ? overload_.expected_queue_delay()
+                                     : 0.0;
+      if (!feasibility_.feasible(job->work, deadline, oo.feasibility_margin,
+                                 queue_delay)) {
+        const plan::CostEstimate cost = feasibility_.estimate(job->work);
+        return reject(
+            std::move(job), RejectReason::InfeasibleDeadline,
+            "deadline of " + std::to_string(deadline) +
+                " s is infeasible: estimated " + std::to_string(cost.total_s()) +
+                " s execution (transfer " + std::to_string(cost.transfer_s) +
+                " s, compute " + std::to_string(cost.compute_s) +
+                " s) plus " + std::to_string(queue_delay) +
+                " s expected queue delay");
+      }
+    }
+
+    // Per-tenant token bucket, cost charged in estimated job bytes.
+    if (!overload_.try_charge(job->request.tenant, job->work.total_bytes(),
+                              std::chrono::steady_clock::now())) {
+      const TenantLimit limit = overload_.limit_for(job->request.tenant);
+      return reject(
+          std::move(job), RejectReason::RateLimited,
+          "tenant '" + job->request.tenant + "' is over its admission rate (" +
+              std::to_string(job->work.total_bytes()) + " job bytes against " +
+              std::to_string(limit.rate_bytes_per_s) + " B/s, burst " +
+              std::to_string(limit.burst_bytes) + " B)");
+    }
   }
 
   // Bounded queue: block (submit) or reject (try_submit) when full.
@@ -136,15 +205,9 @@ JobHandle JobService::submit_impl(JobRequest request, bool blocking) {
     queue_space_cv_.wait(
         lock, [this] { return scheduler_.depth() < options_.max_queue_depth; });
   } else if (scheduler_.depth() >= options_.max_queue_depth) {
-    metrics.counter("svc.jobs.rejected.queue_full").increment();
-    std::lock_guard<std::mutex> job_lock(job->mu);
-    job->done = true;
-    job->result.state = JobState::Rejected;
-    job->result.error = "queue full (" +
-                        std::to_string(options_.max_queue_depth) +
-                        " jobs already waiting)";
-    job->cv.notify_all();
-    return JobHandle(std::move(job), this);
+    return reject(std::move(job), RejectReason::QueueFull,
+                  "queue full (" + std::to_string(options_.max_queue_depth) +
+                      " jobs already waiting)");
   }
 
   job->seq = next_seq_++;
@@ -181,8 +244,46 @@ void JobService::finalize_unrun_locked(const std::shared_ptr<JobControl>& job,
   drain_cv_.notify_all();
 }
 
+void JobService::shed_locked() {
+  if (!overload_.enabled()) return;
+  auto& metrics = machine_->metrics();
+  const auto now = std::chrono::steady_clock::now();
+  while (scheduler_.depth() > 0 && overload_.take_shed(now)) {
+    // Shed from the tail of dispatch-preference order: the job the
+    // policy wants least (lowest priority, most over-quota tenant).
+    const auto ordered = scheduler_.ordered();
+    const auto& victim = ordered.back();
+    scheduler_.erase(victim.get());
+    overload_.note_shed();
+    metrics.counter("svc.rejected.shed").increment();
+    metrics.counter("svc.shed.bytes")
+        .add(static_cast<std::uint64_t>(victim->work.total_bytes()));
+    {
+      std::lock_guard<std::mutex> job_lock(victim->mu);
+      victim->result.reject = RejectReason::Shed;
+    }
+    finalize_unrun_locked(
+        victim, JobState::Rejected,
+        "shed under overload (queue delay above " +
+            std::to_string(overload_.options().target_queue_delay_s) +
+            " s target)");
+  }
+}
+
 void JobService::dispatch_locked() {
   auto& metrics = machine_->metrics();
+  if (overload_.enabled()) {
+    // Refresh the two pressure signals at every dispatch point, then
+    // let the CoDel law decide whether (and how fast) to shed.
+    double oldest_wait = 0.0;
+    for (const auto& job : scheduler_.ordered()) {
+      oldest_wait = std::max(oldest_wait, seconds_since(job->submit_time));
+    }
+    overload_.update(std::chrono::steady_clock::now(), oldest_wait,
+                     admission_.reserved_fraction());
+    shed_locked();
+  }
+  const double grant_scale = overload_.grant_scale();
   for (const auto& job : scheduler_.ordered()) {
     if (job->cancel_requested.load(std::memory_order_relaxed)) {
       scheduler_.erase(job.get());
@@ -199,8 +300,24 @@ void JobService::dispatch_locked() {
                                 " s passed while queued");
       continue;
     }
+    // Brownout: shrink grants toward the floor before shedding anything
+    // — degraded (smaller-block, more-I/O) service beats no service.
+    JobFootprint preferred = job->preferred;
+    if (grant_scale < 1.0) {
+      auto scale = [&](std::uint64_t want, std::uint64_t need) {
+        if (want <= need) return want;
+        return need + static_cast<std::uint64_t>(
+                          static_cast<double>(want - need) * grant_scale);
+      };
+      preferred.root_bytes = scale(job->preferred.root_bytes,
+                                   job->floor.root_bytes);
+      preferred.staging_bytes = scale(job->preferred.staging_bytes,
+                                      job->floor.staging_bytes);
+      preferred.device_bytes = scale(job->preferred.device_bytes,
+                                     job->floor.device_bytes);
+    }
     JobFootprint granted;
-    if (admission_.try_reserve(job->preferred, job->floor, granted)) {
+    if (admission_.try_reserve(preferred, job->floor, granted)) {
       scheduler_.erase(job.get());
       {
         std::lock_guard<std::mutex> job_lock(job->mu);
@@ -226,6 +343,35 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
   const std::string& tenant = job->request.tenant;
   const std::string& name = job->request.name;
 
+  // Close the dequeue-to-dispatch race: the deadline may pass while this
+  // pool task waits behind other jobs for a worker thread. Running such a
+  // job to completion wastes the machine on work nobody will consume —
+  // finish it Expired before building a runtime.
+  {
+    const double deadline = job->request.deadline_s;
+    if (deadline > 0.0 && seconds_since(job->submit_time) > deadline) {
+      metrics.counter("svc.jobs.expired").increment();
+      admission_.release(granted);
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      metrics.gauge("svc.running").set(static_cast<double>(running_));
+      {
+        std::lock_guard<std::mutex> job_lock(job->mu);
+        job->done = true;
+        job->result.state = JobState::Expired;
+        job->result.error = "deadline of " + std::to_string(deadline) +
+                            " s passed between dequeue and dispatch";
+        job->result.latency_s = seconds_since(job->submit_time);
+        job->result.queue_wait_s = job->result.latency_s;
+        job->cv.notify_all();
+      }
+      trace_.record_instant(tenant, job->id, name, "expired", trace_.now());
+      drain_cv_.notify_all();
+      dispatch_locked();
+      return;
+    }
+  }
+
   // Machine-wide flight-recorder span for the whole job: per-attempt
   // runtimes record into the same log (external_event_log below), so
   // every chunk/move event chains job -> run -> spawn -> move.
@@ -234,6 +380,11 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
 
   const double queue_wait = seconds_since(job->submit_time);
   metrics.histogram("svc.latency.queue_wait").record(queue_wait);
+  metrics.counter("svc.tenant." + tenant + ".dispatched").increment();
+  if (overload_.enabled()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    overload_.observe_queue_wait(queue_wait);
+  }
   const double dispatch_ts = trace_.now();
   trace_.record_span(tenant, job->id, name, "queue", "queue",
                      std::max(0.0, dispatch_ts - queue_wait), dispatch_ts);
@@ -284,9 +435,17 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
       core::RuntimeOptions rt_options{
           .enable_sim = options_.enable_sim,
           .file_dir = options_.file_dir,
+          .paced_storage = options_.paced_storage,
           .enable_shard_cache = options_.enable_shard_cache,
           .resilience = options_.resilience,
           .external_event_log = machine_->event_log()};
+      if (overload_.checksums_disabled() &&
+          rt_options.resilience.verify_checksums) {
+        // Brownout level >= 2: trade end-to-end integrity checks for
+        // throughput before resorting to shedding.
+        rt_options.resilience.verify_checksums = false;
+        metrics.counter("svc.brownout.checksums_skipped").increment();
+      }
       if (job->request.chaos.enabled()) {
         // Seeded chaos on the deep-storage root of every attempt.
         const mem::FaultPlan chaos = job->request.chaos;
@@ -390,6 +549,10 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
   const double latency = seconds_since(job->submit_time);
   metrics.histogram("svc.latency.e2e").record(latency);
   metrics.histogram("svc.latency.exec").record(exec_seconds);
+  metrics.histogram("svc.tenant." + tenant + ".e2e").record(latency);
+  if (state == JobState::Done) {
+    metrics.counter("svc.tenant." + tenant + ".completed").increment();
+  }
 
   admission_.release(granted);
   {

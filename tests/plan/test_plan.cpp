@@ -18,6 +18,7 @@
 #include "northup/obs/event_log.hpp"
 #include "northup/plan/auto_tuner.hpp"
 #include "northup/plan/calibrator.hpp"
+#include "northup/plan/feasibility.hpp"
 #include "northup/plan/machine_profile.hpp"
 #include "northup/topo/presets.hpp"
 #include "northup/util/assert.hpp"
@@ -374,4 +375,61 @@ TEST(Calibrator, MergesEvidenceAcrossRuns) {
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->samples, 6u);
   EXPECT_NEAR(e->bytes_per_s, 1e9, 1e9 * 0.01);
+}
+
+TEST(Feasibility, EstimateUsesMeasuredEdgeAndProcessorRoofline) {
+  const np::FeasibilityEstimator est(sample_profile(), {0, 1});
+
+  // Down bytes cross the measured 3.1 GB/s edge plus one latency charge.
+  np::WorkEstimate transfer_bound;
+  transfer_bound.down_bytes = 3.1e9;
+  const np::CostEstimate t = est.estimate(transfer_bound);
+  EXPECT_NEAR(t.transfer_s, 1.0 + 42e-6, 1e-9);
+  EXPECT_DOUBLE_EQ(t.compute_s, 0.0);
+  EXPECT_DOUBLE_EQ(t.total_s(), t.transfer_s);
+
+  // Flops burn on the 5e10 flops/s roofline; ideal overlap means the
+  // slower of the two sides is the total.
+  np::WorkEstimate compute_bound = transfer_bound;
+  compute_bound.flops = 1e11;  // 2 s of compute vs ~1 s of transfer
+  const np::CostEstimate c = est.estimate(compute_bound);
+  EXPECT_DOUBLE_EQ(c.compute_s, 2.0);
+  EXPECT_DOUBLE_EQ(c.total_s(), 2.0);
+
+  // Memory-bound kernels hit the roofline's bandwidth leg instead.
+  np::WorkEstimate mem_bound;
+  mem_bound.compute_bytes = 5e10;  // 2 s at 2.5e10 B/s
+  EXPECT_DOUBLE_EQ(est.estimate(mem_bound).compute_s, 2.0);
+}
+
+TEST(Feasibility, FeasibleHonorsMarginAndQueueDelay) {
+  const np::FeasibilityEstimator est(sample_profile(), {0, 1});
+  np::WorkEstimate w;
+  w.down_bytes = 3.1e9;  // ~1 s lower bound
+
+  EXPECT_TRUE(est.feasible(w, 10.0));
+  EXPECT_FALSE(est.feasible(w, 0.5));
+  EXPECT_FALSE(est.feasible(w, 2.5, /*margin=*/3.0));
+  EXPECT_TRUE(est.feasible(w, 3.5, /*margin=*/3.0));
+  EXPECT_FALSE(est.feasible(w, 1.5, 1.0, /*queue_delay_s=*/1.0));
+  EXPECT_TRUE(est.feasible(w, 2.5, 1.0, /*queue_delay_s=*/1.0));
+  // Non-positive deadlines mean "no deadline".
+  EXPECT_TRUE(est.feasible(w, 0.0));
+  EXPECT_TRUE(est.feasible(w, -1.0));
+}
+
+TEST(Feasibility, FromTreeWalksRootToLeafWithDeclaredModels) {
+  const nt::TopoTree tree = nt::apu_two_level(nm::StorageKind::Ssd);
+  const np::FeasibilityEstimator est = np::FeasibilityEstimator::from_tree(tree);
+  ASSERT_EQ(est.chain().size(), 2u);
+  EXPECT_EQ(est.chain().front(), tree.root());
+
+  np::WorkEstimate w;
+  w.down_bytes = 1e6;
+  w.up_bytes = 1e6;
+  const np::CostEstimate cost = est.estimate(w);
+  EXPECT_GT(cost.transfer_s, 0.0);
+  // Any real storage round-trip dwarfs a 1 microsecond deadline.
+  EXPECT_FALSE(est.feasible(w, 1e-6));
+  EXPECT_TRUE(est.feasible(w, 60.0));
 }

@@ -59,7 +59,9 @@ TEST(JobService, RejectsImpossibleJobWithNodeAndByteDetail) {
   EXPECT_NE(result.error.find("storage"), std::string::npos) << result.error;
   EXPECT_NE(result.error.find("can never be admitted"), std::string::npos);
   EXPECT_NE(result.error.find("B"), std::string::npos);  // byte counts
-  EXPECT_EQ(service.metrics().counter_values().at("svc.jobs.rejected.capacity"),
+  EXPECT_EQ(result.reject, nsv::RejectReason::FootprintTooLarge);
+  EXPECT_EQ(service.metrics().counter_values().at(
+                "svc.rejected.footprint_too_large"),
             1u);
   EXPECT_EQ(service.queue_depth(), 0u);
 }
@@ -83,9 +85,9 @@ TEST(JobService, BoundedQueueAppliesBackpressure) {
   const nsv::JobResult& rejected = c.wait();
   EXPECT_EQ(rejected.state, nsv::JobState::Rejected);
   EXPECT_NE(rejected.error.find("queue full"), std::string::npos);
-  EXPECT_EQ(
-      service.metrics().counter_values().at("svc.jobs.rejected.queue_full"),
-      1u);
+  EXPECT_EQ(rejected.reject, nsv::RejectReason::QueueFull);
+  EXPECT_EQ(service.metrics().counter_values().at("svc.rejected.queue_full"),
+            1u);
 
   service.admission().release(blocker);
   service.kick();
