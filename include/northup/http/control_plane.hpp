@@ -1,0 +1,87 @@
+// The observability + job control plane mounted on HttpServer
+// (ISSUE 10 tentpole): everything the system already measures, scraped
+// live instead of written to files and inspected after the fact.
+//
+// Endpoints (full request/response contracts in docs/http.md):
+//   GET    /metrics          Prometheus text, straight from the
+//                            machine's MetricsRegistry (no file round
+//                            trip; parses while jobs execute)
+//   GET    /healthz          JSON: brownout level, breaker-state
+//                            gauges, queue depth, active jobs/tenants
+//   POST   /jobs             submit one JSON JobRequest or a batched
+//                            {"jobs": [...]} array (admission amortized
+//                            over the batch: one service lock pass)
+//   GET    /jobs             ids of every registered job
+//   GET    /jobs/{id}        status/result snapshot (result_hash as a
+//                            hex string once done)
+//   DELETE /jobs/{id}        cancel; queued jobs terminate immediately
+//   GET    /jobs/{id}/events Server-Sent Events stream of state
+//                            transitions, final event carries the full
+//                            result (typed rejection reasons included)
+//   GET    /timeseries       {"northup_serve": 1, ...} MetricsSampler
+//                            ring-buffer series (bounded history)
+//   GET    /trace            live Chrome trace of the job interleaving
+//                            (open in Perfetto; linked from the
+//                            dashboard for any completed job)
+//   GET    /dashboard        self-contained HTML page polling
+//                            /timeseries + /healthz, sparkline render
+//   GET    /                 302 -> /dashboard
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "northup/http/server.hpp"
+#include "northup/obs/sampler.hpp"
+#include "northup/svc/service.hpp"
+#include "northup/util/json.hpp"
+
+namespace northup::http {
+
+struct ControlPlaneOptions {
+  /// Granularity at which an SSE stream re-checks for state changes /
+  /// client disconnect when no transition wakes it.
+  int sse_poll_ms = 100;
+  /// An SSE stream of a job that never finishes ends after this long
+  /// (the client reconnects); keeps stuck watchers from pinning server
+  /// workers forever.
+  double sse_max_seconds = 60.0;
+  bool enable_dashboard = true;
+};
+
+/// Binds a JobService (+ optional MetricsSampler for /timeseries) to an
+/// HttpServer. The ControlPlane must outlive the server.
+class ControlPlane {
+ public:
+  ControlPlane(svc::JobService& service, obs::MetricsSampler* sampler,
+               ControlPlaneOptions options = {});
+
+  /// Registers every endpoint. Call before server.start().
+  void mount(HttpServer& server);
+
+  /// Parses one job object ({"kind": "gemm", "config": {...}, ...}).
+  /// Throws util::Error on unknown kinds or malformed fields — the same
+  /// path `northup-serve --run-once` uses, so an HTTP submission and an
+  /// in-process run of the same spec are bit-identical by construction.
+  static svc::JobRequest parse_job_request(const util::json::Value& spec);
+
+  /// One job's status/result snapshot as JSON (see docs/http.md).
+  static std::string job_json(std::uint64_t id, const svc::JobHandle& handle);
+
+  std::string healthz_json() const;
+  std::string timeseries_json() const;
+
+ private:
+  void handle_submit(const Request& request, ResponseWriter& w);
+  void handle_job_events(const Request& request, ResponseWriter& w);
+
+  svc::JobService& service_;
+  obs::MetricsSampler* sampler_;
+  ControlPlaneOptions options_;
+};
+
+/// The embedded dashboard page (no external assets; see
+/// src/http/dashboard.cpp).
+const char* dashboard_html();
+
+}  // namespace northup::http

@@ -1,0 +1,182 @@
+// northup::http — a small dependency-free embedded HTTP/1.1 server
+// (ISSUE 10 tentpole): the system's first network-facing surface,
+// carrying the observability + job control plane.
+//
+// Shape (the ExpressionMatrix2 lesson: a tiny in-tree HttpServer is
+// enough to build a whole live UI on):
+//   * one blocking accept-loop thread owns the listening socket;
+//   * each accepted connection becomes a task on a
+//     sched::WorkStealingPool — the same substrate every other
+//     concurrent component of the runtime runs on — which serves
+//     keep-alive requests in a poll()-bounded loop;
+//   * handlers are registered per (method, path pattern); patterns may
+//     capture segments: "/jobs/{id}" binds request.params["id"];
+//   * a handler either fills in a buffered response (status + headers +
+//     body, Content-Length framing) or calls begin_stream() and writes
+//     raw chunks — the Server-Sent-Events path (Connection: close
+//     framing, flushed per write so watchers see events live);
+//   * stop() is graceful: the listener closes, in-flight connections are
+//     shut down, and the worker pool drains before stop() returns.
+//
+// Security posture: binds 127.0.0.1 by default, no TLS, no auth — an
+// operator-local observability port, not an internet-facing one. See
+// docs/http.md before changing bind_address.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "northup/obs/metrics.hpp"
+#include "northup/sched/pool.hpp"
+
+namespace northup::http {
+
+struct Request {
+  std::string method;  ///< upper-case ("GET", "POST", "DELETE", ...)
+  std::string target;  ///< raw request-target as received
+  std::string path;    ///< percent-decoded path, query stripped
+  std::map<std::string, std::string> query;    ///< decoded query pairs
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  std::map<std::string, std::string> params;   ///< route {name} captures
+  std::string body;
+};
+
+/// One response, buffered by default. Streaming (SSE) responses call
+/// begin_stream() once and then write_chunk() per event.
+class ResponseWriter {
+ public:
+  /// Buffered mode: status + headers + body are sent (with a computed
+  /// Content-Length) after the handler returns.
+  void set_status(int code) { status_ = code; }
+  void set_header(const std::string& name, const std::string& value);
+  void write(std::string body) { body_ = std::move(body); }
+
+  /// Convenience: status + Content-Type + body in one call.
+  void reply(int code, const std::string& content_type, std::string body);
+
+  /// Switches to streaming: sends the status line and headers now
+  /// (Connection: close framing) and returns true when the peer is still
+  /// there. Headers set before the call are included.
+  bool begin_stream();
+
+  /// Streaming mode only: writes `data` straight to the socket. Returns
+  /// false once the peer has gone away (handlers should stop).
+  bool write_chunk(const std::string& data);
+
+  bool streaming() const { return streaming_; }
+  int status() const { return status_; }
+
+ private:
+  friend class HttpServer;
+  explicit ResponseWriter(int fd) : fd_(fd) {}
+
+  bool send_all(const char* data, std::size_t len);
+
+  int fd_ = -1;
+  int status_ = 200;
+  std::vector<std::pair<std::string, std::string>> headers_;
+  std::string body_;
+  bool streaming_ = false;
+  bool peer_gone_ = false;
+};
+
+using Handler = std::function<void(const Request&, ResponseWriter&)>;
+
+struct ServerOptions {
+  /// Local-only by default (see the security note in docs/http.md).
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read the choice back via port().
+  std::uint16_t port = 0;
+  /// Connection-serving pool threads = max concurrently served
+  /// connections (an SSE stream holds one for its lifetime).
+  std::size_t workers = 4;
+  /// Requests larger than this (headers + body) get 413 and the
+  /// connection closed.
+  std::size_t max_request_bytes = 1 << 20;
+  /// Keep-alive connections idle longer than this are closed; also the
+  /// granularity at which blocked connections notice stop().
+  int idle_timeout_ms = 5000;
+  /// Requests served per connection before an orderly close.
+  int max_keepalive_requests = 1000;
+};
+
+class HttpServer {
+ public:
+  /// `metrics` (optional) receives http.* counters/gauges: requests,
+  /// responses by class, active connections, bytes out, SSE streams.
+  explicit HttpServer(ServerOptions options = {},
+                      obs::MetricsRegistry* metrics = nullptr);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for `method` + `pattern`. Patterns are literal
+  /// paths whose "{name}" segments capture into Request::params. Call
+  /// before start().
+  void handle(const std::string& method, const std::string& pattern,
+              Handler handler);
+
+  /// Binds, listens, and starts the accept loop. Throws util::Error
+  /// naming address and port when the bind fails.
+  void start();
+
+  /// Graceful shutdown: stops accepting, shuts down open connections,
+  /// drains the worker pool. Idempotent; also run by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (the ephemeral choice when options.port was 0).
+  /// Valid after start().
+  std::uint16_t port() const { return port_; }
+  const ServerOptions& options() const { return options_; }
+  /// "http://<bind_address>:<port>".
+  std::string url() const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  ///< "{name}" entries capture
+    Handler handler;
+  };
+
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Reads one request off `fd`. Returns 0 on success, -1 on EOF/error
+  /// (close silently), or an HTTP status code to reply with.
+  int read_request(int fd, Request& out);
+  const Route* match(const Request& request, bool& path_seen,
+                     std::map<std::string, std::string>& params) const;
+  void finish_response(const Request& request, ResponseWriter& w);
+  void note_response(int status);
+
+  ServerOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::vector<Route> routes_;
+
+  // Written by start()/stop() while accept_loop() reads it for accept().
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::unique_ptr<sched::WorkStealingPool> pool_;
+
+  std::mutex conns_mu_;
+  std::set<int> conns_;
+};
+
+/// Percent-decodes `s` ("%2F" -> '/', '+' -> ' '); malformed escapes
+/// pass through literally.
+std::string url_decode(const std::string& s);
+
+}  // namespace northup::http

@@ -155,8 +155,19 @@ class MetricsRegistry {
 
   /// Prometheus text-exposition snapshot: counters as `counter`, gauges
   /// as `gauge`, histograms as `summary` (quantile labels + _sum/_count).
-  /// Metric names are sanitized to [a-zA-Z0-9_:] per the exposition
-  /// format; doubles use std::to_chars like to_json().
+  ///
+  /// Name mapping (the one documented contract, applied everywhere):
+  ///   * A registered name may carry a label block: `base{key=value,...}`
+  ///     — raw, unquoted values (e.g. `svc.tenant.e2e{tenant=acme}`).
+  ///   * The base and every label *key* are sanitized byte-for-byte:
+  ///     anything outside [a-zA-Z0-9_:] becomes '_' (so '.' -> '_' and
+  ///     "->" -> "__"), and a leading digit gets a '_' prefix (the digit
+  ///     itself is kept: "9x" -> "_9x").
+  ///   * Label *values* pass through with exposition-format escaping:
+  ///     '\' -> "\\", '"' -> "\"", newline -> "\n" (prom_escape_label_value).
+  ///   * Series sharing a base (same family, different labels) share one
+  ///     TYPE line; histograms merge the quantile label into the block.
+  /// Doubles use std::to_chars like to_json().
   std::string to_prometheus() const;
 
   /// Writes to_prometheus() to `path`; throws util::Error naming the
@@ -169,5 +180,14 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// The exposition-format name mapping documented on to_prometheus():
+/// bytes outside [a-zA-Z0-9_:] -> '_', leading digit prefixed with '_'.
+std::string prom_sanitize_name(const std::string& name);
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// '\' -> "\\", '"' -> "\"", newline -> "\n". Everything else (including
+/// other control bytes and UTF-8) passes through untouched.
+std::string prom_escape_label_value(const std::string& value);
 
 }  // namespace northup::obs

@@ -1,9 +1,14 @@
-// Periodic gauge sampler — turns MetricsRegistry point-in-time gauges
-// into bounded timeseries (ISSUE 5 tentpole, part d).
+// Periodic metrics sampler — turns MetricsRegistry point-in-time values
+// into bounded timeseries (ISSUE 5 tentpole, part d; the `/timeseries`
+// endpoint of the HTTP observability plane is served straight from it).
 //
 // A background thread wakes every `interval` and appends one Sample per
-// gauge; series are bounded at `max_samples` points (oldest dropped), so
-// a sampler left running costs fixed memory. sample_once() exists for
+// gauge (and, when enabled, per counter — cumulative values; consumers
+// diff adjacent points for rates). Retention is a fixed-size ring per
+// series: once a series holds `max_samples` points the oldest is
+// overwritten in place (O(1), no reallocation on the steady-state path),
+// so a sampler left running for days costs fixed memory and serves "the
+// last N minutes" without unbounded growth. sample_once() exists for
 // deterministic tests and for callers that drive their own cadence.
 #pragma once
 
@@ -32,7 +37,8 @@ class MetricsSampler {
   explicit MetricsSampler(const MetricsRegistry& registry,
                           std::chrono::milliseconds interval =
                               std::chrono::milliseconds(50),
-                          std::size_t max_samples = 4096);
+                          std::size_t max_samples = 4096,
+                          bool include_counters = false);
   ~MetricsSampler();
 
   MetricsSampler(const MetricsSampler&) = delete;
@@ -45,14 +51,23 @@ class MetricsSampler {
   /// destructor).
   void stop();
 
-  /// Takes one sample of every gauge right now. Thread-safe; usable with
-  /// or without the background thread.
+  /// Takes one sample of every gauge (and counter when enabled) right
+  /// now. Thread-safe; usable with or without the background thread.
   void sample_once();
 
-  /// Snapshot of all series collected so far (sorted by gauge name).
+  /// Snapshot of all series collected so far (sorted by metric name,
+  /// each series oldest-first). Counter series appear under the plain
+  /// counter name with cumulative values.
   std::map<std::string, Series> series() const;
 
-  /// Total samples taken (across all gauges, counting sweep passes once).
+  /// Seconds since the sampler epoch right now (the time base of every
+  /// Sample::t_seconds).
+  double now_seconds() const;
+
+  std::chrono::milliseconds interval() const { return interval_; }
+  std::size_t max_samples() const { return max_samples_; }
+
+  /// Total samples taken (across all series, counting sweep passes once).
   std::uint64_t sweeps() const {
     return sweeps_.load(std::memory_order_relaxed);
   }
@@ -62,15 +77,26 @@ class MetricsSampler {
   std::string to_json() const;
 
  private:
+  /// Fixed-capacity ring: `buf` grows until max_samples_, then `head`
+  /// walks and overwrites in place. unroll() yields oldest-first order.
+  struct Ring {
+    std::vector<Sample> buf;
+    std::size_t head = 0;  ///< index of the oldest sample once full
+
+    void push(const Sample& s, std::size_t cap);
+    Series unroll() const;
+  };
+
   void run();
 
   const MetricsRegistry& registry_;
   const std::chrono::milliseconds interval_;
   const std::size_t max_samples_;
+  const bool include_counters_;
   const std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mu_;
-  std::map<std::string, Series> series_;
+  std::map<std::string, Ring> series_;
   std::atomic<std::uint64_t> sweeps_{0};
 
   std::mutex wake_mu_;

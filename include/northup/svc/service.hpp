@@ -25,11 +25,14 @@
 // a JobTraceRecorder Chrome trace.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "northup/core/runtime.hpp"
 #include "northup/plan/feasibility.hpp"
@@ -77,6 +80,10 @@ struct ServiceOptions {
   /// tracks the *modeled* storage tier, which is what the overload
   /// bench and the deadline-race tests need to be measurable.
   bool paced_storage = false;
+  /// Terminal jobs kept findable by id (find_job) after completion, so
+  /// an HTTP client can fetch the result of a job it polled. Oldest
+  /// finished jobs are evicted past this bound; live jobs never are.
+  std::size_t max_finished_jobs = 1024;
 };
 
 class JobService;
@@ -94,6 +101,18 @@ class JobHandle {
   /// Current state (racy by nature; stable once done()).
   JobState state() const;
   bool done() const;
+  const JobRequest& request() const { return control_->request; }
+
+  /// Point-in-time copy of the result so far: state (+ granted footprint
+  /// once Running, everything once terminal). Safe while the job runs —
+  /// unlike result(), which requires done().
+  JobResult snapshot() const;
+
+  /// Blocks until the state differs from `last` (or the job is done, or
+  /// `timeout` elapses) and returns the current state. The long-poll
+  /// primitive behind the SSE job-event stream.
+  JobState wait_for_change(JobState last,
+                           std::chrono::milliseconds timeout) const;
 
   /// Blocks until the job reaches a terminal state, then returns the
   /// result (also available via result() afterwards).
@@ -133,6 +152,12 @@ class JobService {
   /// "queue full" error instead of blocking.
   JobHandle try_submit(JobRequest request);
 
+  /// Non-blocking batch submit: every request is admitted (or rejected)
+  /// under ONE service-lock acquisition followed by ONE dispatch scan,
+  /// amortizing admission cost across the batch — the path behind
+  /// batched `POST /jobs` arrays. Handles come back in request order.
+  std::vector<JobHandle> try_submit_batch(std::vector<JobRequest> requests);
+
   /// Blocks until no job is queued or running.
   void wait_all();
 
@@ -144,6 +169,20 @@ class JobService {
 
   std::size_t queue_depth() const;
   std::size_t running_count() const;
+
+  /// Active (queued + running) jobs — the `svc.jobs.active` gauge's
+  /// value, maintained incrementally so callers (and `/healthz`) don't
+  /// have to diff cumulative counters.
+  std::size_t job_count() const;
+  /// Distinct tenants with at least one active job.
+  std::size_t active_tenants() const;
+
+  /// The job with id `id`, or an invalid handle when the id was never
+  /// issued or the finished job aged out of the retention window
+  /// (ServiceOptions::max_finished_jobs).
+  JobHandle find_job(std::uint64_t id);
+  /// Ids of every registered job, ascending (active + retained finished).
+  std::vector<std::uint64_t> job_ids() const;
 
   SchedulingPolicy policy() const { return scheduler_.policy(); }
   const ServiceOptions& options() const { return options_; }
@@ -173,6 +212,17 @@ class JobService {
 
   topo::TopoTree make_tree(const topo::PresetOptions& preset) const;
   JobHandle submit_impl(JobRequest request, bool blocking);
+
+  /// Lock-free prologue of submission: metrics + footprint/work
+  /// estimation, shared by the single and batch paths.
+  std::shared_ptr<JobControl> make_control(JobRequest request);
+
+  /// Admission-checks and enqueues one prepared job under `lock` (which
+  /// must hold mu_ and is released/reacquired only by the blocking
+  /// backpressure wait). Does NOT dispatch — callers batch the
+  /// dispatch_locked() scan.
+  JobHandle enqueue_impl(std::shared_ptr<JobControl> job, bool blocking,
+                         std::unique_lock<std::mutex>& lock);
 
   /// Builds the feasibility estimator from the overload options'
   /// profile (or the machine tree's declared models).
@@ -215,6 +265,19 @@ class JobService {
   JobTraceRecorder trace_;
   sched::WorkStealingPool pool_;
 
+  /// Registers the job in the id index (and, when already terminal,
+  /// the finished-retention queue). Requires mu_.
+  void register_job_locked(const std::shared_ptr<JobControl>& job);
+
+  /// Accounting when an *enqueued* job reaches a terminal state: active
+  /// count/tenant map, svc.jobs.active gauge, finished retention.
+  /// Requires mu_. Idempotence is the caller's responsibility — each
+  /// terminal publication path runs exactly once per job.
+  void note_terminal_locked(const std::shared_ptr<JobControl>& job);
+
+  /// Updates the svc.jobs.active gauge from active_jobs_. Requires mu_.
+  void update_active_gauge_locked();
+
   mutable std::mutex mu_;  ///< guards scheduler_, counters below
   JobScheduler scheduler_;
   std::condition_variable queue_space_cv_;  ///< signalled when depth drops
@@ -223,6 +286,13 @@ class JobService {
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   double queue_high_water_ = 0.0;
+
+  /// Id-keyed registry: every submitted job (including rejected ones)
+  /// until terminal jobs age out of the retention bound.
+  std::map<std::uint64_t, std::shared_ptr<JobControl>> jobs_;
+  std::vector<std::uint64_t> finished_order_;  ///< eviction order (FIFO)
+  std::size_t active_jobs_ = 0;                ///< queued + running
+  std::map<std::string, std::size_t> active_by_tenant_;
 };
 
 }  // namespace northup::svc

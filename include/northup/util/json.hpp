@@ -1,0 +1,67 @@
+// Minimal shared JSON reading/writing for library code.
+//
+// The test-support minijson parser lives under tests/ and cannot be
+// included from the library; plan::MachineProfile carries a private
+// reader for exactly the subset its own writer emits. The HTTP control
+// plane is different: request bodies arrive from *clients*, so the
+// parser here accepts the full JSON grammar (objects, arrays, strings
+// with escapes, numbers, booleans, null) and reports malformed input
+// with a byte offset instead of asserting.
+//
+// Writing goes through the same conventions the rest of the codebase
+// settled on: std::to_chars shortest-round-trip doubles (locale
+// independent, byte-stable) and the obs-style string escaping.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace northup::util::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /// Key order preserved as parsed? No — std::map keeps keys sorted,
+  /// which is what every serializer in this codebase emits anyway.
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+
+  bool has(const std::string& key) const {
+    return kind == Kind::Object && object.count(key) > 0;
+  }
+
+  /// Typed member lookups with fallbacks (missing key or wrong kind
+  /// yields the fallback — the tolerant-read style HTTP bodies need).
+  double num(const std::string& key, double fallback = 0.0) const;
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback = 0) const;
+  bool boolean_or(const std::string& key, bool fallback) const;
+  std::string str(const std::string& key,
+                  const std::string& fallback = "") const;
+  /// Member access; returns a shared Null value when absent.
+  const Value& at(const std::string& key) const;
+};
+
+/// Parses `text` as one JSON document. Throws util::Error naming
+/// `origin` (e.g. the endpoint or file) and the byte offset on
+/// malformed input.
+Value parse(const std::string& text, const std::string& origin);
+
+/// JSON string escaping (quotes, backslashes, control characters) —
+/// the exact style MetricsRegistry::to_json uses.
+std::string escape(const std::string& s);
+
+/// Shortest-round-trip double via std::to_chars; non-finite values
+/// become 0 so emitted documents always parse.
+std::string format_double(double value);
+
+}  // namespace northup::util::json

@@ -11,6 +11,8 @@ schema-level checks by flavor:
 * Metrics dumps: must have a "counters" object (gauges/histograms
   optional); counter values must be non-negative integers.
 * Sampler dumps: "interval_ms" plus a "series" object of [t, v] pairs.
+* /timeseries responses (northup-serve): a "northup_serve" version
+  marker, now_s/interval_ms, and monotonic [t, v] ring-buffer series.
 * Analyzer summaries (northup-analyze --summary-json): a
   "northup_summary" version marker, per-phase critical-path
   attribution, and per-node/per-edge measured bandwidths — the
@@ -61,6 +63,35 @@ def check_metrics(path, doc):
         if section in doc and not isinstance(doc[section], dict):
             raise ValueError(f"{section} is not an object")
     print(f"ok [metrics] {path}: {len(counters)} counters")
+
+
+def check_northup_serve(path, doc):
+    if doc["northup_serve"] != 1:
+        raise ValueError("unsupported northup_serve version")
+    _require_number(doc, "now_s", "timeseries")
+    _require_number(doc, "interval_ms", "timeseries")
+    series = doc["series"]
+    if not isinstance(series, dict):
+        raise ValueError("series is not an object")
+    points_total = 0
+    for name, points in series.items():
+        if not isinstance(points, list):
+            raise ValueError(f"series {name} is not a list")
+        last_t = -1.0
+        for p in points:
+            if not (isinstance(p, list) and len(p) == 2
+                    and all(isinstance(x, (int, float))
+                            and not isinstance(x, bool) for x in p)):
+                raise ValueError(f"series {name} has a non-[t, v] sample")
+            t = p[0]
+            if t < last_t:
+                raise ValueError(f"series {name} timestamps not monotonic")
+            if t > doc["now_s"] + 1.0:
+                raise ValueError(f"series {name} sample is from the future")
+            last_t = t
+        points_total += len(points)
+    print(f"ok [northup-serve] {path}: {len(series)} series, "
+          f"{points_total} samples")
 
 
 def check_sampler(path, doc):
@@ -179,6 +210,8 @@ def check(path):
         check_chrome_trace(path, doc)
     elif "counters" in doc:
         check_metrics(path, doc)
+    elif "northup_serve" in doc:
+        check_northup_serve(path, doc)
     elif "series" in doc:
         check_sampler(path, doc)
     elif "northup_summary" in doc:

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-exposition output (/metrics, *.prom).
+
+A strict-enough parser for the subset northup's
+obs::MetricsRegistry::to_prometheus emits, catching the bugs a real
+scraper would choke on:
+
+* metric and label names must match the Prometheus grammar
+  ([a-zA-Z_:][a-zA-Z0-9_:]*, labels without the colon);
+* label values must use only the three legal escapes (\\\\, \\", \\n)
+  and close their quotes;
+* sample values must parse as floats (including +Inf/-Inf/NaN);
+* a # TYPE line must name a valid type, no base name may be TYPE'd
+  twice, and every sample must belong to a TYPE'd family (its exact
+  base name, or a _sum/_count child of one — the summary shape the
+  registry's histograms emit alongside their quantile series);
+* no duplicate sample line for the same name+labels.
+
+Usage: check_prom.py FILE   (or `-` for stdin)
+Exits non-zero with the offending line on the first violation.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class PromError(ValueError):
+    def __init__(self, lineno, line, why):
+        super().__init__(f"line {lineno}: {why}\n  {line}")
+
+
+def parse_labels(lineno, line, block):
+    """Parses the inside of a {...} label block, validating escapes."""
+    labels = {}
+    i = 0
+    while i < len(block):
+        m = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", block[i:])
+        if not m:
+            raise PromError(lineno, line, f"bad label name at {block[i:]!r}")
+        name = m.group(0)
+        i += len(name)
+        if not block[i:].startswith('="'):
+            raise PromError(lineno, line, f'label {name} missing ="')
+        i += 2
+        value = []
+        while True:
+            if i >= len(block):
+                raise PromError(lineno, line, f"label {name} unclosed quote")
+            c = block[i]
+            if c == "\\":
+                if i + 1 >= len(block) or block[i + 1] not in ('\\', '"', "n"):
+                    raise PromError(lineno, line,
+                                    f"label {name} has an illegal escape")
+                value.append(block[i:i + 2])
+                i += 2
+                continue
+            if c == "\n":
+                raise PromError(lineno, line, f"label {name} has a raw newline")
+            if c == '"':
+                i += 1
+                break
+            value.append(c)
+            i += 1
+        if name in labels:
+            raise PromError(lineno, line, f"duplicate label {name}")
+        labels[name] = "".join(value)
+        if i < len(block):
+            if block[i] != ",":
+                raise PromError(lineno, line,
+                                f"expected , or end after label {name}")
+            i += 1
+    return labels
+
+
+def check_text(text):
+    typed = {}        # base name -> type
+    seen_samples = set()
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise PromError(lineno, line, "malformed TYPE line")
+                _, _, name, kind = parts
+                if not NAME_RE.match(name):
+                    raise PromError(lineno, line, f"bad metric name {name}")
+                if kind not in TYPES:
+                    raise PromError(lineno, line, f"bad metric type {kind}")
+                if name in typed:
+                    raise PromError(lineno, line, f"{name} TYPE'd twice")
+                typed[name] = kind
+            continue
+
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)"
+                     r"(\s+-?\d+)?$", line)
+        if not m:
+            raise PromError(lineno, line, "unparseable sample line")
+        name, _, block, value = m.group(1), m.group(2), m.group(3), m.group(4)
+        labels = parse_labels(lineno, line, block) if block else {}
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                raise PromError(lineno, line, f"bad sample value {value}")
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            raise PromError(lineno, line, "duplicate sample (name+labels)")
+        seen_samples.add(key)
+
+        # Every sample must belong to a TYPE'd family: the exact name, or
+        # a _sum/_count/histogram-quantile child of one.
+        base = name
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+        if base not in typed:
+            raise PromError(lineno, line, f"sample of un-TYPE'd metric {name}")
+        samples += 1
+    if samples == 0:
+        raise PromError(0, "", "no samples at all")
+    return len(typed), samples
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: check_prom.py FILE|-", file=sys.stderr)
+        return 2
+    if argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            text = f.read()
+    try:
+        families, samples = check_text(text)
+    except PromError as e:
+        print(f"check_prom: {argv[1]}: {e}", file=sys.stderr)
+        return 1
+    print(f"ok [prometheus] {argv[1]}: {families} families, "
+          f"{samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the northup-serve HTTP plane (CI leg).
+
+Starts northup-serve on an ephemeral port and drives the whole
+observability plane from the outside, stdlib only:
+
+1. /healthz answers with a sane JSON document;
+2. /metrics parses as valid Prometheus text (check_prom) *while a job
+   executes*, and again afterwards;
+3. a GEMM job POSTed over HTTP completes with a result_hash that is
+   bit-identical to `northup-serve --run-once` on the same spec — the
+   HTTP path adds transport, not arithmetic;
+4. a batched {"jobs": [...]} POST is admitted in request order;
+5. DELETE of a still-queued job yields state "cancelled", and the SSE
+   /events stream of that job reports the terminal state with its
+   typed result event;
+6. /timeseries validates against the northup_serve artifact schema
+   (check_json_artifacts);
+7. SIGTERM shuts the server down cleanly (exit code 0).
+
+Usage: serve_smoke.py /path/to/northup-serve
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_json_artifacts  # noqa: E402
+import check_prom  # noqa: E402
+
+GEMM_SPEC = {
+    "kind": "gemm",
+    "name": "smoke-gemm",
+    "config": {"n": 128, "seed": 42, "verify_samples": 16},
+}
+SLOW_SPEC = {"kind": "gemm", "config": {"n": 512}}
+
+
+def fetch(url, method="GET", body=None, timeout=10):
+    req = urllib.request.Request(url, method=method,
+                                 data=body.encode() if body else None)
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.read().decode()
+
+
+def fetch_json(url, method="GET", body=None):
+    return json.loads(fetch(url, method, body))
+
+
+def wait_state(base, job_id, states, deadline_s=30):
+    end = time.monotonic() + deadline_s
+    while time.monotonic() < end:
+        doc = fetch_json(f"{base}/jobs/{job_id}")
+        if doc["state"] in states:
+            return doc
+        time.sleep(0.05)
+    raise TimeoutError(f"job {job_id} never reached {states}")
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: serve_smoke.py /path/to/northup-serve",
+              file=sys.stderr)
+        return 2
+
+    serve = argv[1]
+    proc = subprocess.Popen(
+        [serve, "--port=0", "--svc-workers=1", "--sample-ms=100"],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        return run(serve, proc)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+def run(serve, proc):
+    # The first stdout line carries the ephemeral port (the documented
+    # contract of northup-serve).
+    line = proc.stdout.readline()
+    assert "listening on http://" in line, f"unexpected banner: {line!r}"
+    base = line.split("listening on ")[1].strip()
+    print(f"serve_smoke: server at {base}")
+
+    health = fetch_json(f"{base}/healthz")
+    assert health["status"] in ("ok", "degraded"), health
+    assert health["queue_depth"] >= 0, health
+
+    # Submit the hash job plus enough work that a scrape overlaps
+    # execution, then lint /metrics WHILE jobs run.
+    posted = fetch_json(f"{base}/jobs", "POST", json.dumps(GEMM_SPEC))
+    job_id = posted["jobs"][0]["id"]
+    check_prom.check_text(fetch(f"{base}/metrics"))
+    print("serve_smoke: /metrics parses during execution")
+
+    done = wait_state(base, job_id, ("done",))
+    http_hash = done["stats"]["result_hash"]
+    assert done["stats"]["verified"] is True, done
+
+    # The same spec through --run-once (same parse path, no HTTP) must
+    # produce the identical CRC32 of the output matrix.
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as f:
+        json.dump(GEMM_SPEC, f)
+        spec_path = f.name
+    try:
+        out = subprocess.run([serve, f"--run-once={spec_path}"],
+                             capture_output=True, text=True, check=True)
+        local_hash = json.loads(out.stdout)["stats"]["result_hash"]
+    finally:
+        os.unlink(spec_path)
+    assert http_hash == local_hash, (
+        f"HTTP hash {http_hash} != in-process hash {local_hash}")
+    print(f"serve_smoke: result_hash {http_hash} bit-identical to "
+          "--run-once")
+
+    # Batch admission: one slow job per worker plus victims that stay
+    # queued behind them (svc-workers=1).
+    batch = {"jobs": [SLOW_SPEC, SLOW_SPEC, GEMM_SPEC]}
+    docs = fetch_json(f"{base}/jobs", "POST", json.dumps(batch))["jobs"]
+    assert len(docs) == 3, docs
+    ids = [d["id"] for d in docs]
+    assert ids == sorted(ids), f"batch ids out of request order: {ids}"
+    victim = ids[-1]
+
+    # Watch the victim over SSE from a thread, then cancel it; the
+    # stream must carry the terminal state and a typed result event.
+    events = []
+    def watch():
+        req = urllib.request.Request(f"{base}/jobs/{victim}/events")
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            events.append(resp.read().decode())
+    watcher = threading.Thread(target=watch)
+    watcher.start()
+    time.sleep(0.3)  # let the stream attach before the state changes
+    cancel = fetch_json(f"{base}/jobs/{victim}", "DELETE")
+    assert cancel["cancelled"] is True, cancel
+    final = wait_state(base, victim, ("cancelled", "done"))
+    watcher.join(timeout=30)
+    assert not watcher.is_alive(), "SSE stream never terminated"
+    stream = events[0]
+    assert "event: state" in stream and "event: result" in stream, stream
+    assert f'"state": "{final["state"]}"' in stream, stream
+    print(f"serve_smoke: SSE delivered terminal state "
+          f"'{final['state']}' for cancelled job {victim}")
+
+    for jid in ids[:-1]:
+        wait_state(base, jid, ("done",), deadline_s=60)
+
+    # /timeseries validates against the artifact schema, /metrics still
+    # lints after the dust settles.
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as f:
+        f.write(fetch(f"{base}/timeseries"))
+        ts_path = f.name
+    try:
+        check_json_artifacts.check(ts_path)
+    finally:
+        os.unlink(ts_path)
+    check_prom.check_text(fetch(f"{base}/metrics"))
+
+    proc.send_signal(signal.SIGTERM)
+    rc = proc.wait(timeout=30)
+    assert rc == 0, f"northup-serve exited {rc}"
+    print("serve_smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

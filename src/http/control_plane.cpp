@@ -1,0 +1,452 @@
+#include "northup/http/control_plane.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "northup/svc/overload.hpp"
+#include "northup/util/assert.hpp"
+
+namespace northup::http {
+
+namespace json = util::json;
+
+namespace {
+
+const char* brownout_name(svc::BrownoutLevel level) {
+  switch (level) {
+    case svc::BrownoutLevel::kNormal: return "normal";
+    case svc::BrownoutLevel::kShrunkGrants: return "shrunk_grants";
+    case svc::BrownoutLevel::kFloorGrants: return "floor_grants";
+    case svc::BrownoutLevel::kShedding: return "shedding";
+  }
+  return "unknown";
+}
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Route-param job id. Returns false (and replies 400) on non-numeric.
+bool parse_id(const Request& request, ResponseWriter& w, std::uint64_t& id) {
+  const std::string& raw = request.params.at("id");
+  id = 0;
+  if (raw.empty() || raw.size() > 19) {
+    w.reply(400, "application/json",
+            "{\"error\": \"malformed job id: " + json::escape(raw) + "\"}\n");
+    return false;
+  }
+  for (char c : raw) {
+    if (c < '0' || c > '9') {
+      w.reply(400, "application/json",
+              "{\"error\": \"malformed job id: " + json::escape(raw) + "\"}\n");
+      return false;
+    }
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+void reply_job_not_found(ResponseWriter& w, std::uint64_t id) {
+  w.reply(404, "application/json",
+          "{\"error\": \"no job with id " + std::to_string(id) +
+              " (never issued, or aged out of the finished-job retention "
+              "window)\"}\n");
+}
+
+algos::GemmConfig parse_gemm(const json::Value& config) {
+  algos::GemmConfig c;
+  c.n = config.u64("n", c.n);
+  c.leaf_tile = config.u64("leaf_tile", c.leaf_tile);
+  c.shard_reuse = config.boolean_or("shard_reuse", c.shard_reuse);
+  c.capacity_safety = config.num("capacity_safety", c.capacity_safety);
+  c.seed = config.u64("seed", c.seed);
+  c.verify_samples = config.u64("verify_samples", c.verify_samples);
+  // hash_result defaults ON over HTTP: the hash in the response is what
+  // lets a client compare against an in-process run bit-for-bit.
+  c.hash_result = config.boolean_or("hash_result", true);
+  return c;
+}
+
+algos::HotspotConfig parse_hotspot(const json::Value& config) {
+  algos::HotspotConfig c;
+  c.n = config.u64("n", c.n);
+  c.leaf_tile = config.u64("leaf_tile", c.leaf_tile);
+  c.iterations = config.u64("iterations", c.iterations);
+  c.capacity_safety = config.num("capacity_safety", c.capacity_safety);
+  c.seed = config.u64("seed", c.seed);
+  c.verify = config.boolean_or("verify", c.verify);
+  c.hash_result = config.boolean_or("hash_result", true);
+  c.device_traffic_factor =
+      config.num("device_traffic_factor", c.device_traffic_factor);
+  return c;
+}
+
+algos::SpmvConfig parse_spmv(const json::Value& config) {
+  algos::SpmvConfig c;
+  c.rows = static_cast<std::uint32_t>(config.u64("rows", c.rows));
+  c.avg_nnz = static_cast<std::uint32_t>(config.u64("avg_nnz", c.avg_nnz));
+  const std::string pattern = config.str("pattern", "uniform");
+  if (pattern == "banded") {
+    c.pattern = algos::SpmvConfig::Pattern::Banded;
+  } else if (pattern == "uniform") {
+    c.pattern = algos::SpmvConfig::Pattern::Uniform;
+  } else if (pattern == "powerlaw") {
+    c.pattern = algos::SpmvConfig::Pattern::PowerLaw;
+  } else if (pattern == "dense_rows") {
+    c.pattern = algos::SpmvConfig::Pattern::DenseRows;
+  } else {
+    throw util::Error("unknown spmv pattern '" + pattern +
+                      "' (expected banded|uniform|powerlaw|dense_rows)");
+  }
+  c.seed = config.u64("seed", c.seed);
+  c.nnz_per_workgroup = static_cast<std::uint32_t>(
+      config.u64("nnz_per_workgroup", c.nnz_per_workgroup));
+  c.capacity_safety = config.num("capacity_safety", c.capacity_safety);
+  c.verify = config.boolean_or("verify", c.verify);
+  c.hash_result = config.boolean_or("hash_result", true);
+  c.device_traffic_factor =
+      config.num("device_traffic_factor", c.device_traffic_factor);
+  c.cpu_binning_factor =
+      config.num("cpu_binning_factor", c.cpu_binning_factor);
+  c.count_binning = config.boolean_or("count_binning", c.count_binning);
+  c.repeats = static_cast<std::uint32_t>(config.u64("repeats", c.repeats));
+  return c;
+}
+
+}  // namespace
+
+ControlPlane::ControlPlane(svc::JobService& service,
+                           obs::MetricsSampler* sampler,
+                           ControlPlaneOptions options)
+    : service_(service), sampler_(sampler), options_(options) {}
+
+svc::JobRequest ControlPlane::parse_job_request(const json::Value& spec) {
+  if (!spec.is_object()) {
+    throw util::Error("job spec must be a JSON object");
+  }
+  const std::string kind = spec.str("kind");
+  if (kind.empty()) {
+    throw util::Error("job spec is missing the required \"kind\" field "
+                      "(gemm|hotspot|spmv)");
+  }
+
+  svc::JobRequest request;
+  const json::Value& config = spec.at("config");
+  if (kind == "gemm") {
+    request.config = parse_gemm(config);
+  } else if (kind == "hotspot") {
+    request.config = parse_hotspot(config);
+  } else if (kind == "spmv") {
+    request.config = parse_spmv(config);
+  } else {
+    throw util::Error("unknown job kind '" + kind +
+                      "' (expected gemm|hotspot|spmv)");
+  }
+
+  request.name = spec.str("name");
+  request.tenant = spec.str("tenant", request.tenant);
+  if (request.name.size() > 128) {
+    throw util::Error("job name exceeds 128 characters");
+  }
+  if (request.tenant.empty() || request.tenant.size() > 64) {
+    throw util::Error("tenant must be 1..64 characters");
+  }
+  request.priority = static_cast<int>(spec.num("priority", 0.0));
+  request.weight = spec.num("weight", request.weight);
+  if (!(request.weight > 0.0)) {
+    throw util::Error("weight must be > 0");
+  }
+  request.deadline_s = spec.num("deadline_s", 0.0);
+  request.max_retries =
+      static_cast<std::uint32_t>(spec.u64("max_retries", 0));
+
+  if (spec.has("footprint")) {
+    const json::Value& fp = spec.at("footprint");
+    request.footprint.root_bytes = fp.u64("root_bytes", 0);
+    request.footprint.staging_bytes = fp.u64("staging_bytes", 0);
+    request.footprint.device_bytes = fp.u64("device_bytes", 0);
+  }
+  return request;
+}
+
+std::string ControlPlane::job_json(std::uint64_t id,
+                                   const svc::JobHandle& handle) {
+  const svc::JobResult r = handle.snapshot();
+  const svc::JobRequest& request = handle.request();
+  std::string out = "{";
+  out += "\"id\": " + std::to_string(id);
+  out += ", \"name\": \"" + json::escape(request.name) + "\"";
+  out += ", \"tenant\": \"" + json::escape(request.tenant) + "\"";
+  out += ", \"kind\": \"" + std::string(svc::kind_name(svc::kind_of(request))) +
+         "\"";
+  out += ", \"state\": \"" + std::string(svc::state_name(r.state)) + "\"";
+  if (r.state == svc::JobState::Rejected) {
+    out += ", \"reject\": \"" + std::string(svc::reason_name(r.reject)) + "\"";
+  }
+  if (!r.error.empty()) {
+    out += ", \"error\": \"" + json::escape(r.error) + "\"";
+  }
+  out += ", \"queue_wait_s\": " + json::format_double(r.queue_wait_s);
+  out += ", \"latency_s\": " + json::format_double(r.latency_s);
+  out += ", \"attempts\": " + std::to_string(r.attempts);
+  out += ", \"granted\": {\"root_bytes\": " +
+         std::to_string(r.granted.root_bytes) +
+         ", \"staging_bytes\": " + std::to_string(r.granted.staging_bytes) +
+         ", \"device_bytes\": " + std::to_string(r.granted.device_bytes) + "}";
+  if (r.state == svc::JobState::Done) {
+    // result_hash as a hex *string*: JSON numbers are doubles and would
+    // silently drop bits of a 64-bit hash.
+    out += ", \"stats\": {\"makespan_s\": " + json::format_double(r.stats.makespan) +
+           ", \"wall_seconds\": " + json::format_double(r.stats.wall_seconds) +
+           ", \"bytes_moved\": " + std::to_string(r.stats.bytes_moved) +
+           ", \"spawns\": " + std::to_string(r.stats.spawns) +
+           ", \"verified\": " + (r.stats.verified ? "true" : "false") +
+           ", \"max_rel_err\": " + json::format_double(r.stats.max_rel_err) +
+           ", \"result_hash\": \"" + hex_u64(r.stats.result_hash) + "\"" +
+           ", \"chunk_retries\": " + std::to_string(r.chunk_retries) +
+           ", \"corruptions\": " + std::to_string(r.corruptions) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string ControlPlane::healthz_json() const {
+  obs::MetricsRegistry& metrics = service_.metrics();
+  const svc::BrownoutLevel level = service_.overload().brownout_level();
+  const bool overloaded = level != svc::BrownoutLevel::kNormal;
+
+  std::string out = "{";
+  out += std::string("\"status\": \"") + (overloaded ? "degraded" : "ok") +
+         "\"";
+  out += ", \"brownout_level\": " + std::to_string(static_cast<int>(level));
+  out += std::string(", \"brownout\": \"") + brownout_name(level) + "\"";
+  out += ", \"queue_depth\": " + std::to_string(service_.queue_depth());
+  out += ", \"running\": " + std::to_string(service_.running_count());
+  out += ", \"jobs_active\": " + std::to_string(service_.job_count());
+  out += ", \"active_tenants\": " + std::to_string(service_.active_tenants());
+  out += std::string(", \"policy\": \"") +
+         svc::policy_name(service_.policy()) + "\"";
+
+  // Circuit-breaker states, scraped from the resil gauges the per-job
+  // runtimes fold into the machine registry (0 closed, 1 open, 2
+  // half-open).
+  out += ", \"breakers\": {";
+  bool first = true;
+  const std::string prefix = "resil.breaker_state.";
+  for (const auto& [name, value] : metrics.gauge_values()) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + json::escape(name.substr(prefix.size())) +
+           "\": " + json::format_double(value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ControlPlane::timeseries_json() const {
+  std::string out = "{\"northup_serve\": 1";
+  if (sampler_ == nullptr) {
+    out += ", \"now_s\": 0, \"interval_ms\": 0, \"series\": {}}";
+    return out;
+  }
+  out += ", \"now_s\": " + json::format_double(sampler_->now_seconds());
+  out += ", \"interval_ms\": " +
+         std::to_string(sampler_->interval().count());
+  out += ", \"series\": {";
+  bool first_series = true;
+  for (const auto& [name, series] : sampler_->series()) {
+    if (!first_series) out += ", ";
+    first_series = false;
+    out += "\"" + json::escape(name) + "\": [";
+    bool first_sample = true;
+    for (const auto& sample : series) {
+      if (!first_sample) out += ", ";
+      first_sample = false;
+      out += "[" + json::format_double(sample.t_seconds) + ", " +
+             json::format_double(sample.value) + "]";
+    }
+    out += "]";
+  }
+  out += "}}";
+  return out;
+}
+
+void ControlPlane::mount(HttpServer& server) {
+  server.handle("GET", "/metrics", [this](const Request&, ResponseWriter& w) {
+    w.reply(200, "text/plain; version=0.0.4; charset=utf-8",
+            service_.metrics().to_prometheus());
+  });
+
+  server.handle("GET", "/healthz", [this](const Request&, ResponseWriter& w) {
+    w.reply(200, "application/json", healthz_json() + "\n");
+  });
+
+  server.handle("GET", "/timeseries",
+                [this](const Request&, ResponseWriter& w) {
+                  w.reply(200, "application/json", timeseries_json() + "\n");
+                });
+
+  server.handle("GET", "/trace", [this](const Request&, ResponseWriter& w) {
+    w.set_header("Content-Disposition",
+                 "attachment; filename=\"northup_jobs.trace.json\"");
+    w.reply(200, "application/json", service_.job_trace().to_json());
+  });
+
+  server.handle("POST", "/jobs", [this](const Request& r, ResponseWriter& w) {
+    handle_submit(r, w);
+  });
+
+  server.handle("GET", "/jobs", [this](const Request&, ResponseWriter& w) {
+    std::string out = "{\"jobs\": [";
+    bool first = true;
+    for (std::uint64_t id : service_.job_ids()) {
+      if (!first) out += ", ";
+      first = false;
+      out += std::to_string(id);
+    }
+    out += "]}\n";
+    w.reply(200, "application/json", out);
+  });
+
+  server.handle("GET", "/jobs/{id}",
+                [this](const Request& r, ResponseWriter& w) {
+                  std::uint64_t id = 0;
+                  if (!parse_id(r, w, id)) return;
+                  svc::JobHandle handle = service_.find_job(id);
+                  if (!handle.valid()) return reply_job_not_found(w, id);
+                  w.reply(200, "application/json", job_json(id, handle) + "\n");
+                });
+
+  server.handle("DELETE", "/jobs/{id}",
+                [this](const Request& r, ResponseWriter& w) {
+                  std::uint64_t id = 0;
+                  if (!parse_id(r, w, id)) return;
+                  svc::JobHandle handle = service_.find_job(id);
+                  if (!handle.valid()) return reply_job_not_found(w, id);
+                  const bool cancelled = handle.cancel();
+                  w.reply(200, "application/json",
+                          "{\"id\": " + std::to_string(id) +
+                              ", \"cancelled\": " +
+                              (cancelled ? "true" : "false") +
+                              ", \"state\": \"" +
+                              svc::state_name(handle.state()) + "\"}\n");
+                });
+
+  server.handle("GET", "/jobs/{id}/events",
+                [this](const Request& r, ResponseWriter& w) {
+                  handle_job_events(r, w);
+                });
+
+  if (options_.enable_dashboard) {
+    server.handle("GET", "/dashboard",
+                  [](const Request&, ResponseWriter& w) {
+                    w.reply(200, "text/html; charset=utf-8",
+                            dashboard_html());
+                  });
+    server.handle("GET", "/", [](const Request&, ResponseWriter& w) {
+      w.set_status(302);
+      w.set_header("Location", "/dashboard");
+      w.reply(302, "text/plain", "see /dashboard\n");
+    });
+  }
+}
+
+void ControlPlane::handle_submit(const Request& request, ResponseWriter& w) {
+  json::Value body;
+  try {
+    body = json::parse(request.body, "POST /jobs");
+  } catch (const util::Error& e) {
+    w.reply(400, "application/json",
+            "{\"error\": \"" + json::escape(e.what()) + "\"}\n");
+    return;
+  }
+
+  // One object = one job; {"jobs": [...]} = a batch admitted under a
+  // single service-lock pass (JobService::try_submit_batch).
+  std::vector<svc::JobRequest> requests;
+  const bool batch = body.has("jobs");
+  try {
+    if (batch) {
+      const json::Value& jobs = body.at("jobs");
+      if (!jobs.is_array() || jobs.array.empty()) {
+        throw util::Error("\"jobs\" must be a non-empty array");
+      }
+      requests.reserve(jobs.array.size());
+      for (const json::Value& spec : jobs.array) {
+        requests.push_back(parse_job_request(spec));
+      }
+    } else {
+      requests.push_back(parse_job_request(body));
+    }
+  } catch (const util::Error& e) {
+    w.reply(400, "application/json",
+            "{\"error\": \"" + json::escape(e.what()) + "\"}\n");
+    return;
+  }
+
+  std::vector<svc::JobHandle> handles =
+      batch ? service_.try_submit_batch(std::move(requests))
+            : std::vector<svc::JobHandle>{
+                  service_.try_submit(std::move(requests.front()))};
+
+  // 200 even when individual jobs were rejected: the submission itself
+  // succeeded and each entry carries its own typed state.
+  std::string out = "{\"jobs\": [";
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += job_json(handles[i].id(), handles[i]);
+  }
+  out += "]}\n";
+  w.reply(200, "application/json", out);
+}
+
+void ControlPlane::handle_job_events(const Request& request,
+                                     ResponseWriter& w) {
+  std::uint64_t id = 0;
+  if (!parse_id(request, w, id)) return;
+  svc::JobHandle handle = service_.find_job(id);
+  if (!handle.valid()) return reply_job_not_found(w, id);
+
+  if (!w.begin_stream()) return;
+
+  // Event grammar (docs/http.md): every state transition is
+  //   event: state\ndata: {"id": N, "state": "..."}\n\n
+  // and the terminal event is
+  //   event: result\ndata: <full job JSON>\n\n
+  // so a watcher of a rejected/cancelled job sees the typed reason.
+  auto emit_state = [&](svc::JobState state) {
+    return w.write_chunk("event: state\ndata: {\"id\": " + std::to_string(id) +
+                         ", \"state\": \"" +
+                         std::string(svc::state_name(state)) + "\"}\n\n");
+  };
+
+  svc::JobState last = handle.state();
+  if (!emit_state(last)) return;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto budget = std::chrono::duration<double>(options_.sse_max_seconds);
+  while (!handle.done()) {
+    if (std::chrono::steady_clock::now() - start > budget) {
+      w.write_chunk("event: timeout\ndata: {\"id\": " + std::to_string(id) +
+                    "}\n\n");
+      return;
+    }
+    const svc::JobState now = handle.wait_for_change(
+        last, std::chrono::milliseconds(options_.sse_poll_ms));
+    if (now != last) {
+      last = now;
+      if (!emit_state(last)) return;
+    }
+  }
+  if (handle.state() != last && !emit_state(handle.state())) return;
+  w.write_chunk("event: result\ndata: " + job_json(id, handle) + "\n\n");
+}
+
+}  // namespace northup::http

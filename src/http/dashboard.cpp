@@ -1,0 +1,205 @@
+// The embedded dashboard page: one self-contained HTML string (no
+// external assets, so it works on an air-gapped box and never mixes
+// versions with a CDN). It polls /healthz + /timeseries (+ /jobs for
+// the table) and renders canvas sparklines over the MetricsSampler
+// ring buffers — the last N minutes of queue wait, brownout level,
+// pool high-water, and cache hit rate, exactly what an operator wants
+// at a glance when deciding whether the service is browning out.
+#include "northup/http/control_plane.hpp"
+
+namespace northup::http {
+
+const char* dashboard_html() {
+  return R"html(<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>northup-serve</title>
+<style>
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 1.2rem 1.6rem; background: #10141a; color: #dce4ee;
+    font: 14px/1.45 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace;
+  }
+  h1 { font-size: 1.1rem; margin: 0 0 .2rem; font-weight: 600; }
+  h1 .status { padding: .1rem .55rem; border-radius: .6rem; font-size: .85rem; }
+  h1 .ok { background: #14432a; color: #6ee7a0; }
+  h1 .degraded { background: #4a3210; color: #f3c969; }
+  h1 .down { background: #4a1a1a; color: #f08080; }
+  #meta { color: #8a96a6; margin-bottom: 1rem; }
+  #meta a { color: #6ab0f3; }
+  .grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(260px, 1fr));
+          gap: .8rem; margin-bottom: 1.2rem; }
+  .card { background: #1a212b; border: 1px solid #2a3442; border-radius: .5rem;
+          padding: .6rem .8rem; }
+  .card .label { color: #8a96a6; font-size: .8rem; }
+  .card .value { font-size: 1.3rem; margin: .15rem 0 .3rem; }
+  .card canvas { width: 100%; height: 46px; display: block; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: .28rem .6rem; border-bottom: 1px solid #2a3442; }
+  th { color: #8a96a6; font-weight: 500; font-size: .8rem; }
+  td.state-done { color: #6ee7a0; }
+  td.state-running { color: #6ab0f3; }
+  td.state-queued { color: #8a96a6; }
+  td.state-failed, td.state-rejected, td.state-expired { color: #f08080; }
+  td.state-cancelled { color: #f3c969; }
+</style>
+</head>
+<body>
+<h1>northup-serve <span id="status" class="status down">connecting…</span></h1>
+<div id="meta">
+  brownout <span id="brownout">?</span> · queue <span id="queue">?</span> ·
+  running <span id="running">?</span> · active jobs <span id="active">?</span> ·
+  tenants <span id="tenants">?</span> · policy <span id="policy">?</span> ·
+  <a href="/trace" download>download Chrome trace</a> ·
+  <a href="/metrics">raw metrics</a>
+</div>
+<div class="grid" id="cards"></div>
+<h1>jobs</h1>
+<table>
+  <thead><tr><th>id</th><th>name</th><th>tenant</th><th>kind</th><th>state</th>
+             <th>wait s</th><th>latency s</th><th>result hash</th></tr></thead>
+  <tbody id="jobs"></tbody>
+</table>
+<script>
+"use strict";
+// Sparkline cards. `series` picks ring-buffer series from /timeseries by
+// exact name or prefix; `derive` computes a synthetic series instead
+// (used for the cache hit rate, a ratio of two cumulative counters).
+const CARDS = [
+  { label: "queue oldest wait (s)", series: "svc.queue.oldest_wait" },
+  { label: "brownout level", series: "svc.brownout", max: 3 },
+  { label: "queue depth", series: "svc.queue.depth" },
+  { label: "active jobs", series: "svc.jobs.active" },
+  { label: "pool high-water", prefix: "pool.high_water." },
+  { label: "cache hit rate", derive: hitRate, max: 1 },
+];
+
+function hitRate(all) {
+  // hits/(hits+misses) per sample over the summed cache.* counters
+  // (cumulative; a flat line at 1 is a fully warm cache).
+  const hits = sumSeries(all, "cache.hits.");
+  const misses = sumSeries(all, "cache.misses.");
+  return hits.map(([t, h], i) => {
+    const m = misses[i] ? misses[i][1] : 0;
+    return [t, h + m > 0 ? h / (h + m) : 0];
+  });
+}
+
+function sumSeries(all, prefix) {
+  const parts = Object.keys(all).filter(k => k.startsWith(prefix));
+  if (!parts.length) return [];
+  const base = all[parts[0]].map(([t]) => [t, 0]);
+  for (const k of parts) {
+    all[k].forEach(([, v], i) => { if (base[i]) base[i][1] += v; });
+  }
+  return base;
+}
+
+const cardsEl = document.getElementById("cards");
+for (const card of CARDS) {
+  const div = document.createElement("div");
+  div.className = "card";
+  div.innerHTML = '<div class="label"></div><div class="value">–</div><canvas></canvas>';
+  div.querySelector(".label").textContent = card.label;
+  cardsEl.appendChild(div);
+  card.valueEl = div.querySelector(".value");
+  card.canvas = div.querySelector("canvas");
+}
+
+function drawSpark(canvas, points, max) {
+  const dpr = window.devicePixelRatio || 1;
+  const w = canvas.clientWidth, h = canvas.clientHeight;
+  canvas.width = w * dpr; canvas.height = h * dpr;
+  const ctx = canvas.getContext("2d");
+  ctx.scale(dpr, dpr);
+  ctx.clearRect(0, 0, w, h);
+  if (points.length < 2) return;
+  const t0 = points[0][0], t1 = points[points.length - 1][0] || t0 + 1;
+  const top = max !== undefined ? max : Math.max(...points.map(p => p[1]), 1e-9);
+  ctx.beginPath();
+  for (let i = 0; i < points.length; i++) {
+    const x = ((points[i][0] - t0) / (t1 - t0 || 1)) * (w - 2) + 1;
+    const y = h - 2 - Math.min(points[i][1] / top, 1) * (h - 4);
+    i ? ctx.lineTo(x, y) : ctx.moveTo(x, y);
+  }
+  ctx.strokeStyle = "#6ab0f3"; ctx.lineWidth = 1.5; ctx.stroke();
+  ctx.lineTo(w - 1, h - 1); ctx.lineTo(1, h - 1); ctx.closePath();
+  ctx.fillStyle = "rgba(106,176,243,0.15)"; ctx.fill();
+}
+
+function fmt(v) {
+  if (!isFinite(v)) return "–";
+  if (Math.abs(v) >= 100 || v === Math.round(v)) return String(Math.round(v));
+  return v.toFixed(Math.abs(v) < 1 ? 3 : 2);
+}
+
+async function pollSeries() {
+  const r = await fetch("/timeseries"); const body = await r.json();
+  const all = body.series || {};
+  for (const card of CARDS) {
+    let pts = [];
+    if (card.derive) pts = card.derive(all);
+    else if (card.prefix) pts = sumSeries(all, card.prefix);
+    else pts = all[card.series] || [];
+    drawSpark(card.canvas, pts, card.max);
+    card.valueEl.textContent = pts.length ? fmt(pts[pts.length - 1][1]) : "–";
+  }
+}
+
+async function pollHealth() {
+  const statusEl = document.getElementById("status");
+  try {
+    const r = await fetch("/healthz"); const h = await r.json();
+    statusEl.textContent = h.status;
+    statusEl.className = "status " + (h.status === "ok" ? "ok" : "degraded");
+    document.getElementById("brownout").textContent = h.brownout;
+    document.getElementById("queue").textContent = h.queue_depth;
+    document.getElementById("running").textContent = h.running;
+    document.getElementById("active").textContent = h.jobs_active;
+    document.getElementById("tenants").textContent = h.active_tenants;
+    document.getElementById("policy").textContent = h.policy;
+  } catch (e) {
+    statusEl.textContent = "unreachable";
+    statusEl.className = "status down";
+  }
+}
+
+async function pollJobs() {
+  const r = await fetch("/jobs"); const body = await r.json();
+  const ids = (body.jobs || []).slice(-20).reverse();
+  const rows = await Promise.all(ids.map(async id => {
+    try { return await (await fetch("/jobs/" + id)).json(); }
+    catch (e) { return null; }
+  }));
+  const tbody = document.getElementById("jobs");
+  tbody.replaceChildren();
+  for (const j of rows) {
+    if (!j) continue;
+    const tr = document.createElement("tr");
+    const cells = [j.id, j.name, j.tenant, j.kind, j.state,
+                   fmt(j.queue_wait_s), fmt(j.latency_s),
+                   j.stats ? j.stats.result_hash : (j.reject || "")];
+    for (let i = 0; i < cells.length; i++) {
+      const td = document.createElement("td");
+      td.textContent = cells[i];
+      if (i === 4) td.className = "state-" + j.state;
+      tr.appendChild(td);
+    }
+    tbody.appendChild(tr);
+  }
+}
+
+async function tick() {
+  try { await Promise.all([pollHealth(), pollSeries(), pollJobs()]); }
+  catch (e) { /* transient; next tick retries */ }
+}
+tick();
+setInterval(tick, 1000);
+</script>
+</body>
+</html>
+)html";
+}
+
+}  // namespace northup::http

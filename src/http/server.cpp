@@ -1,0 +1,459 @@
+#include "northup/http/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "northup/util/assert.hpp"
+#include "northup/util/log.hpp"
+
+namespace northup::http {
+
+namespace {
+
+const char* reason_phrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    if (path[pos] == '/') {
+      ++pos;
+      continue;
+    }
+    std::size_t next = path.find('/', pos);
+    if (next == std::string::npos) next = path.size();
+    out.push_back(path.substr(pos, next - pos));
+    pos = next;
+  }
+  return out;
+}
+
+/// Blocks until `fd` is readable, the peer hangs up, or `timeout_ms`
+/// passes. Returns true when readable.
+bool wait_readable(int fd, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0;
+}
+
+}  // namespace
+
+std::string url_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) != 0 &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2])) != 0) {
+      const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return c - 'A' + 10;
+      };
+      out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- ResponseWriter
+
+void ResponseWriter::set_header(const std::string& name,
+                                const std::string& value) {
+  headers_.emplace_back(name, value);
+}
+
+void ResponseWriter::reply(int code, const std::string& content_type,
+                           std::string body) {
+  set_status(code);
+  set_header("Content-Type", content_type);
+  write(std::move(body));
+}
+
+bool ResponseWriter::send_all(const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      peer_gone_ = true;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ResponseWriter::begin_stream() {
+  if (streaming_) return !peer_gone_;
+  streaming_ = true;
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status_ << ' ' << reason_phrase(status_) << "\r\n";
+  bool have_type = false;
+  for (const auto& [name, value] : headers_) {
+    if (lower(name) == "content-type") have_type = true;
+    os << name << ": " << value << "\r\n";
+  }
+  if (!have_type) os << "Content-Type: text/event-stream\r\n";
+  os << "Cache-Control: no-cache\r\nConnection: close\r\n\r\n";
+  const std::string head = os.str();
+  return send_all(head.data(), head.size());
+}
+
+bool ResponseWriter::write_chunk(const std::string& data) {
+  NU_CHECK(streaming_, "write_chunk() before begin_stream()");
+  if (peer_gone_) return false;
+  return send_all(data.data(), data.size());
+}
+
+// --------------------------------------------------------------- HttpServer
+
+HttpServer::HttpServer(ServerOptions options, obs::MetricsRegistry* metrics)
+    : options_(std::move(options)), metrics_(metrics) {
+  NU_CHECK(options_.workers > 0, "HttpServer needs at least one worker");
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(const std::string& method, const std::string& pattern,
+                        Handler handler) {
+  NU_CHECK(!running(), "register routes before start()");
+  Route route;
+  route.method = method;
+  route.segments = split_path(pattern);
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+void HttpServer::start() {
+  NU_CHECK(!running(), "start() called twice");
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    throw util::Error(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd);
+    throw util::Error("invalid bind address '" + options_.bind_address + "'");
+  }
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd);
+    throw util::Error("cannot listen on " + options_.bind_address + ":" +
+                      std::to_string(options_.port) + ": " + why);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(listen_fd, std::memory_order_release);
+
+  pool_ = std::make_unique<sched::WorkStealingPool>(options_.workers);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Closing the listener breaks the blocking accept().
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // In-flight connections see EOF immediately instead of waiting out
+    // their poll timeout.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const int fd : conns_) ::shutdown(fd, SHUT_RDWR);
+  }
+  pool_.reset();  // drains and joins the connection workers
+}
+
+std::string HttpServer::url() const {
+  return "http://" + options_.bind_address + ":" + std::to_string(port_);
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd =
+        ::accept(listen_fd_.load(std::memory_order_acquire), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (stop) or fatal error
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::size_t open = 0;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.insert(fd);
+      open = conns_.size();
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("http.connections").increment();
+      metrics_->gauge("http.active_connections")
+          .set(static_cast<double>(open));
+    }
+    pool_->submit([this, fd] { serve_connection(fd); });
+  }
+}
+
+int HttpServer::read_request(int fd, Request& out) {
+  std::string buf;
+  std::size_t header_end = std::string::npos;
+  while (true) {
+    header_end = buf.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buf.size() > options_.max_request_bytes) return 413;
+    if (!wait_readable(fd, options_.idle_timeout_ms)) {
+      return buf.empty() ? -1 : 408;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return -1;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::size_t line_end = buf.find("\r\n");
+  {
+    std::istringstream line(buf.substr(0, line_end));
+    std::string version;
+    if (!(line >> out.method >> out.target >> version) ||
+        version.rfind("HTTP/1.", 0) != 0) {
+      return 400;
+    }
+  }
+  // Headers, keys lower-cased.
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = buf.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string line = buf.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string key = lower(line.substr(0, colon));
+      std::size_t vstart = colon + 1;
+      while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+      out.headers[key] = line.substr(vstart);
+    }
+    pos = eol + 2;
+  }
+
+  if (out.headers.count("transfer-encoding") > 0) return 501;
+  std::size_t content_length = 0;
+  if (auto it = out.headers.find("content-length"); it != out.headers.end()) {
+    try {
+      content_length = static_cast<std::size_t>(std::stoull(it->second));
+    } catch (...) {
+      return 400;
+    }
+  }
+  if (content_length > options_.max_request_bytes) return 413;
+
+  std::string body = buf.substr(header_end + 4);
+  while (body.size() < content_length) {
+    if (!wait_readable(fd, options_.idle_timeout_ms)) return 408;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return -1;
+    body.append(chunk, static_cast<std::size_t>(n));
+  }
+  out.body = body.substr(0, content_length);
+
+  // Split the target into decoded path + query pairs.
+  const std::size_t qmark = out.target.find('?');
+  out.path = url_decode(out.target.substr(0, qmark));
+  if (qmark != std::string::npos) {
+    const std::string qs = out.target.substr(qmark + 1);
+    std::size_t qpos = 0;
+    while (qpos < qs.size()) {
+      std::size_t amp = qs.find('&', qpos);
+      if (amp == std::string::npos) amp = qs.size();
+      const std::string pair = qs.substr(qpos, amp - qpos);
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        out.query[url_decode(pair)] = "";
+      } else {
+        out.query[url_decode(pair.substr(0, eq))] =
+            url_decode(pair.substr(eq + 1));
+      }
+      qpos = amp + 1;
+    }
+  }
+  return 0;
+}
+
+const HttpServer::Route* HttpServer::match(
+    const Request& request, bool& path_seen,
+    std::map<std::string, std::string>& params) const {
+  path_seen = false;
+  // Split the RAW path and decode per segment: an encoded slash inside
+  // a capture ("/jobs/a%2Fb") must not change the route shape.
+  std::vector<std::string> segments =
+      split_path(request.target.substr(0, request.target.find('?')));
+  for (std::string& segment : segments) segment = url_decode(segment);
+  for (const Route& route : routes_) {
+    if (route.segments.size() != segments.size()) continue;
+    std::map<std::string, std::string> captured;
+    bool ok = true;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const std::string& pat = route.segments[i];
+      if (pat.size() >= 2 && pat.front() == '{' && pat.back() == '}') {
+        captured[pat.substr(1, pat.size() - 2)] = segments[i];
+      } else if (pat != segments[i]) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    path_seen = true;
+    if (route.method != request.method) continue;
+    params = std::move(captured);
+    return &route;
+  }
+  return nullptr;
+}
+
+void HttpServer::note_response(int status) {
+  if (metrics_ == nullptr) return;
+  metrics_->counter("http.requests").increment();
+  metrics_->counter("http.responses." + std::to_string(status / 100) + "xx")
+      .increment();
+}
+
+void HttpServer::finish_response(const Request& request,
+                                 ResponseWriter& w) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << w.status_ << ' ' << reason_phrase(w.status_) << "\r\n";
+  bool have_type = false;
+  for (const auto& [name, value] : w.headers_) {
+    if (lower(name) == "content-type") have_type = true;
+    os << name << ": " << value << "\r\n";
+  }
+  if (!have_type && !w.body_.empty()) {
+    os << "Content-Type: text/plain; charset=utf-8\r\n";
+  }
+  os << "Content-Length: " << w.body_.size() << "\r\n\r\n";
+  std::string head = os.str();
+  w.send_all(head.data(), head.size());
+  if (request.method != "HEAD" && !w.body_.empty()) {
+    w.send_all(w.body_.data(), w.body_.size());
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("http.bytes_out").add(head.size() + w.body_.size());
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  for (int served = 0; served < options_.max_keepalive_requests; ++served) {
+    if (stopping_.load(std::memory_order_acquire)) break;
+    Request request;
+    const int rc = read_request(fd, request);
+    if (rc == -1) break;  // EOF / timeout with nothing buffered
+    ResponseWriter w(fd);
+    if (rc != 0) {
+      w.reply(rc, "text/plain; charset=utf-8",
+              std::string(reason_phrase(rc)) + "\n");
+      note_response(rc);
+      finish_response(request, w);
+      break;  // framing may be lost; close
+    }
+
+    bool path_seen = false;
+    std::map<std::string, std::string> params;
+    const Route* route = match(request, path_seen, params);
+    if (route == nullptr) {
+      const int code = path_seen ? 405 : 404;
+      w.reply(code, "text/plain; charset=utf-8",
+              std::string(reason_phrase(code)) + "\n");
+    } else {
+      request.params = std::move(params);
+      try {
+        route->handler(request, w);
+      } catch (const std::exception& e) {
+        if (!w.streaming()) {
+          ResponseWriter fresh(fd);
+          fresh.reply(500, "text/plain; charset=utf-8",
+                      std::string("internal error: ") + e.what() + "\n");
+          w = fresh;
+        }
+        NU_LOG_WARN << "http: handler for " << request.path
+                    << " threw: " << e.what();
+      }
+    }
+    note_response(w.status());
+    if (w.streaming()) break;  // Connection: close framing
+    finish_response(request, w);
+    if (w.peer_gone_) break;
+    auto conn = request.headers.find("connection");
+    if (conn != request.headers.end() && lower(conn->second) == "close") {
+      break;
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(fd);
+  if (metrics_ != nullptr) {
+    metrics_->gauge("http.active_connections")
+        .set(static_cast<double>(conns_.size()));
+  }
+}
+
+}  // namespace northup::http

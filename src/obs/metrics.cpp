@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "northup/util/assert.hpp"
 
@@ -249,48 +251,132 @@ void MetricsRegistry::write_json(const std::string& path) const {
   }
 }
 
-namespace {
-
-/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
-/// names ("svc.latency.e2e", "bytes_moved.Dram->Ssd") collapse every
-/// other byte to '_'.
-std::string prom_name(const std::string& name) {
+std::string prom_sanitize_name(const std::string& name) {
   std::string out;
-  out.reserve(name.size());
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
   for (const char c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9' && !out.empty()) || c == '_' ||
-                    c == ':';
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
     out += ok ? c : '_';
   }
   if (out.empty()) out = "_";
   return out;
 }
 
+std::string prom_escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Splits a registered name into its sanitized base and its label pairs
+/// (empty when the name carries no `{...}` block). Malformed label
+/// blocks (no '=', unterminated) degrade gracefully: the offending text
+/// is folded into the base name through prom_sanitize_name, so the
+/// exposition stays parseable no matter what was registered.
+struct PromName {
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+PromName split_prom_name(const std::string& name) {
+  PromName out;
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    out.base = prom_sanitize_name(name);
+    return out;
+  }
+  out.base = prom_sanitize_name(name.substr(0, brace));
+  const std::string block = name.substr(brace + 1,
+                                        name.size() - brace - 2);
+  std::size_t pos = 0;
+  while (pos < block.size()) {
+    std::size_t comma = block.find(',', pos);
+    if (comma == std::string::npos) comma = block.size();
+    const std::string pair = block.substr(pos, comma - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      // Malformed pair: fold it into the base name rather than emit
+      // invalid exposition syntax.
+      out.base += prom_sanitize_name("_" + pair);
+    } else {
+      out.labels.emplace_back(prom_sanitize_name(pair.substr(0, eq)),
+                              pair.substr(eq + 1));
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Renders `{k="v",...}` with escaped values; `extra` appends one more
+/// pair (the summary quantile). Empty when there are no labels at all.
+std::string label_block(const PromName& n, const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (n.labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : n.labels) {
+    if (!first) out += ',';
+    out += key + "=\"" + prom_escape_label_value(value) + "\"";
+    first = false;
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + prom_escape_label_value(extra_value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 std::string MetricsRegistry::to_prometheus() const {
-  std::ostringstream os;
+  // One TYPE line per *base* name, and every family's samples emitted
+  // as one contiguous block: labeled series of the same family (e.g.
+  // svc.tenant.e2e{tenant=a} / {tenant=b}) share one declaration even
+  // when an unrelated registered name sorts between them (`.` orders
+  // before `{`, so adjacency in the registry map is not enough).
+  std::map<std::string, std::string> families;
   for (const auto& [name, value] : counter_values()) {
-    const std::string n = prom_name(name);
-    os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+    const PromName n = split_prom_name(name);
+    std::string& body = families[n.base];
+    if (body.empty()) body = "# TYPE " + n.base + " counter\n";
+    body += n.base + label_block(n) + ' ' + std::to_string(value) + '\n';
   }
   for (const auto& [name, value] : gauge_values()) {
-    const std::string n = prom_name(name);
-    os << "# TYPE " << n << " gauge\n" << n << ' ' << fmt_double(value)
-       << '\n';
+    const PromName n = split_prom_name(name);
+    std::string& body = families[n.base];
+    if (body.empty()) body = "# TYPE " + n.base + " gauge\n";
+    body += n.base + label_block(n) + ' ' + fmt_double(value) + '\n';
   }
   for (const auto& [name, s] : histogram_values()) {
-    const std::string n = prom_name(name);
-    os << "# TYPE " << n << " summary\n";
-    os << n << "{quantile=\"0.5\"} " << fmt_double(s.p50) << '\n';
-    os << n << "{quantile=\"0.9\"} " << fmt_double(s.p90) << '\n';
-    os << n << "{quantile=\"0.95\"} " << fmt_double(s.p95) << '\n';
-    os << n << "{quantile=\"0.99\"} " << fmt_double(s.p99) << '\n';
-    os << n << "_sum " << fmt_double(s.sum) << '\n';
-    os << n << "_count " << s.count << '\n';
+    const PromName n = split_prom_name(name);
+    std::string& body = families[n.base];
+    if (body.empty()) body = "# TYPE " + n.base + " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", s.p50}, {"0.9", s.p90}, {"0.95", s.p95}, {"0.99", s.p99}};
+    for (const auto& [q, value] : quantiles) {
+      body += n.base + label_block(n, "quantile", q) + ' ' +
+              fmt_double(value) + '\n';
+    }
+    body += n.base + "_sum" + label_block(n) + ' ' + fmt_double(s.sum) + '\n';
+    body += n.base + "_count" + label_block(n) + ' ' +
+            std::to_string(s.count) + '\n';
   }
-  return os.str();
+  std::string out;
+  for (const auto& [base, body] : families) out += body;
+  return out;
 }
 
 void MetricsRegistry::write_prometheus(const std::string& path) const {

@@ -1,39 +1,38 @@
 #include "northup/obs/sampler.hpp"
 
-#include <charconv>
-#include <cmath>
 #include <sstream>
+
+#include "northup/util/json.hpp"
 
 namespace northup::obs {
 
-namespace {
-
-std::string fmt_double(double value) {
-  if (!std::isfinite(value)) return "0";
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
-  return std::string(buf, res.ptr);
+void MetricsSampler::Ring::push(const Sample& s, std::size_t cap) {
+  if (buf.size() < cap) {
+    buf.push_back(s);
+    return;
+  }
+  buf[head] = s;
+  head = (head + 1) % buf.size();
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+MetricsSampler::Series MetricsSampler::Ring::unroll() const {
+  Series out;
+  out.reserve(buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    out.push_back(buf[(head + i) % buf.size()]);
   }
   return out;
 }
 
-}  // namespace
-
 MetricsSampler::MetricsSampler(const MetricsRegistry& registry,
                                std::chrono::milliseconds interval,
-                               std::size_t max_samples)
+                               std::size_t max_samples,
+                               bool include_counters)
     : registry_(registry),
       interval_(interval.count() > 0 ? interval
                                      : std::chrono::milliseconds(1)),
       max_samples_(max_samples == 0 ? 1 : max_samples),
+      include_counters_(include_counters),
       epoch_(std::chrono::steady_clock::now()) {}
 
 MetricsSampler::~MetricsSampler() { stop(); }
@@ -54,16 +53,25 @@ void MetricsSampler::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+double MetricsSampler::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
 void MetricsSampler::sample_once() {
-  const double t = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - epoch_)
-                       .count();
   const auto gauges = registry_.gauge_values();
+  std::map<std::string, std::uint64_t> counters;
+  if (include_counters_) counters = registry_.counter_values();
   std::lock_guard<std::mutex> lock(mu_);
+  // Timestamp under the lock: pushes are serialized against a monotonic
+  // clock, so rings stay time-ordered even with concurrent samplers.
+  const double t = now_seconds();
   for (const auto& [name, value] : gauges) {
-    Series& s = series_[name];
-    s.push_back({t, value});
-    if (s.size() > max_samples_) s.erase(s.begin());
+    series_[name].push({t, value}, max_samples_);
+  }
+  for (const auto& [name, value] : counters) {
+    series_[name].push({t, static_cast<double>(value)}, max_samples_);
   }
   sweeps_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -80,19 +88,22 @@ void MetricsSampler::run() {
 
 std::map<std::string, MetricsSampler::Series> MetricsSampler::series() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return series_;
+  std::map<std::string, Series> out;
+  for (const auto& [name, ring] : series_) out[name] = ring.unroll();
+  return out;
 }
 
 std::string MetricsSampler::to_json() const {
+  namespace json = util::json;
   const auto all = series();
   std::ostringstream os;
   os << "{\n  \"interval_ms\": " << interval_.count() << ",\n  \"series\": {";
   bool first = true;
   for (const auto& [name, samples] : all) {
-    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": [";
+    os << (first ? "\n" : ",\n") << "    \"" << json::escape(name) << "\": [";
     for (std::size_t i = 0; i < samples.size(); ++i) {
-      os << (i ? ", " : "") << '[' << fmt_double(samples[i].t_seconds) << ", "
-         << fmt_double(samples[i].value) << ']';
+      os << (i ? ", " : "") << '[' << json::format_double(samples[i].t_seconds)
+         << ", " << json::format_double(samples[i].value) << ']';
     }
     os << ']';
     first = false;

@@ -48,6 +48,22 @@ const JobResult& JobHandle::result() const {
   return control_->result;
 }
 
+JobResult JobHandle::snapshot() const {
+  NU_CHECK(control_, "snapshot() on an invalid JobHandle");
+  std::lock_guard<std::mutex> lock(control_->mu);
+  return control_->result;
+}
+
+JobState JobHandle::wait_for_change(JobState last,
+                                    std::chrono::milliseconds timeout) const {
+  NU_CHECK(control_, "wait_for_change() on an invalid JobHandle");
+  std::unique_lock<std::mutex> lock(control_->mu);
+  control_->cv.wait_for(lock, timeout, [this, last] {
+    return control_->done || control_->result.state != last;
+  });
+  return control_->result.state;
+}
+
 bool JobHandle::cancel() {
   NU_CHECK(control_ && service_, "cancel() on an invalid JobHandle");
   return service_->cancel(control_);
@@ -75,6 +91,7 @@ JobService::JobService(ServiceOptions options)
   metrics.gauge("svc.queue.depth").set(0.0);
   metrics.gauge("svc.queue.high_water").set(0.0);
   metrics.gauge("svc.running").set(0.0);
+  metrics.gauge("svc.jobs.active").set(0.0);
 }
 
 JobService::~JobService() { wait_all(); }
@@ -114,6 +131,72 @@ std::size_t JobService::running_count() const {
   return running_;
 }
 
+std::size_t JobService::job_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_jobs_;
+}
+
+std::size_t JobService::active_tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_by_tenant_.size();
+}
+
+JobHandle JobService::find_job(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  return it != jobs_.end() ? JobHandle(it->second, this) : JobHandle();
+}
+
+std::vector<std::uint64_t> JobService::job_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(id);
+  return out;
+}
+
+void JobService::update_active_gauge_locked() {
+  machine_->metrics()
+      .gauge("svc.jobs.active")
+      .set(static_cast<double>(active_jobs_));
+}
+
+void JobService::register_job_locked(const std::shared_ptr<JobControl>& job) {
+  jobs_[job->id] = job;
+  bool terminal;
+  {
+    std::lock_guard<std::mutex> job_lock(job->mu);
+    terminal = job->done;
+  }
+  if (terminal) {
+    // Rejected-at-submit jobs go straight into the retention queue.
+    finished_order_.push_back(job->id);
+  } else {
+    ++active_jobs_;
+    ++active_by_tenant_[job->request.tenant];
+    update_active_gauge_locked();
+  }
+  while (finished_order_.size() > options_.max_finished_jobs) {
+    jobs_.erase(finished_order_.front());
+    finished_order_.erase(finished_order_.begin());
+  }
+}
+
+void JobService::note_terminal_locked(const std::shared_ptr<JobControl>& job) {
+  NU_CHECK(active_jobs_ > 0, "terminal publication without an active job");
+  --active_jobs_;
+  auto it = active_by_tenant_.find(job->request.tenant);
+  if (it != active_by_tenant_.end() && --it->second == 0) {
+    active_by_tenant_.erase(it);
+  }
+  update_active_gauge_locked();
+  finished_order_.push_back(job->id);
+  while (finished_order_.size() > options_.max_finished_jobs) {
+    jobs_.erase(finished_order_.front());
+    finished_order_.erase(finished_order_.begin());
+  }
+}
+
 JobHandle JobService::submit(JobRequest request) {
   return submit_impl(std::move(request), /*blocking=*/true);
 }
@@ -135,21 +218,55 @@ JobHandle JobService::reject(std::shared_ptr<JobControl> job,
     job->result.error = error;
     job->cv.notify_all();
   }
+  // Rejections stay findable by id (the HTTP plane returns the id to the
+  // client before the client can ask about it). Callers hold mu_.
+  register_job_locked(job);
   return JobHandle(std::move(job), this);
 }
 
 JobHandle JobService::submit_impl(JobRequest request, bool blocking) {
-  auto& metrics = machine_->metrics();
-  metrics.counter("svc.jobs.submitted").increment();
+  auto job = make_control(std::move(request));
+  std::unique_lock<std::mutex> lock(mu_);
+  JobHandle handle = enqueue_impl(std::move(job), blocking, lock);
+  dispatch_locked();
+  return handle;
+}
 
+std::vector<JobHandle> JobService::try_submit_batch(
+    std::vector<JobRequest> requests) {
+  // Footprint/work estimation happens before the service lock; the whole
+  // batch then enqueues under ONE lock acquisition and pays ONE dispatch
+  // scan — the admission amortization batched HTTP submissions buy.
+  std::vector<std::shared_ptr<JobControl>> controls;
+  controls.reserve(requests.size());
+  for (JobRequest& request : requests) {
+    controls.push_back(make_control(std::move(request)));
+  }
+  std::vector<JobHandle> handles;
+  handles.reserve(controls.size());
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto& job : controls) {
+    handles.push_back(enqueue_impl(std::move(job), /*blocking=*/false, lock));
+  }
+  dispatch_locked();
+  return handles;
+}
+
+std::shared_ptr<JobControl> JobService::make_control(JobRequest request) {
+  machine_->metrics().counter("svc.jobs.submitted").increment();
   auto job = std::make_shared<JobControl>();
   job->kind = kind_of(request);
   job->preferred = estimate_footprint(request);
   job->floor = min_footprint(request);
   job->work = work_estimate(request);
   job->request = std::move(request);
+  return job;
+}
 
-  std::unique_lock<std::mutex> lock(mu_);
+JobHandle JobService::enqueue_impl(std::shared_ptr<JobControl> job,
+                                   bool blocking,
+                                   std::unique_lock<std::mutex>& lock) {
+  auto& metrics = machine_->metrics();
   job->id = next_id_++;
   if (job->request.name.empty()) {
     job->request.name =
@@ -214,12 +331,12 @@ JobHandle JobService::submit_impl(JobRequest request, bool blocking) {
   job->submit_time = std::chrono::steady_clock::now();
   metrics.counter("svc.jobs.admitted").increment();
   scheduler_.enqueue(job);
+  register_job_locked(job);
   const double depth = static_cast<double>(scheduler_.depth());
   queue_high_water_ = std::max(queue_high_water_, depth);
   metrics.gauge("svc.queue.depth").set(depth);
   metrics.gauge("svc.queue.high_water").set(queue_high_water_);
 
-  dispatch_locked();
   return JobHandle(std::move(job), this);
 }
 
@@ -238,6 +355,7 @@ void JobService::finalize_unrun_locked(const std::shared_ptr<JobControl>& job,
     job->result.queue_wait_s = job->result.latency_s;
     job->cv.notify_all();
   }
+  note_terminal_locked(job);
   trace_.record_instant(job->request.tenant, job->id, job->request.name,
                         state_name(state), trace_.now());
   queue_space_cv_.notify_all();
@@ -323,6 +441,9 @@ void JobService::dispatch_locked() {
         std::lock_guard<std::mutex> job_lock(job->mu);
         job->result.state = JobState::Running;
         job->result.granted = granted;
+        // State transitions wake event-stream watchers, not just the
+        // terminal publication.
+        job->cv.notify_all();
       }
       ++running_;
       metrics.gauge("svc.running").set(static_cast<double>(running_));
@@ -365,6 +486,7 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
         job->result.queue_wait_s = job->result.latency_s;
         job->cv.notify_all();
       }
+      note_terminal_locked(job);
       trace_.record_instant(tenant, job->id, name, "expired", trace_.now());
       drain_cv_.notify_all();
       dispatch_locked();
@@ -573,6 +695,7 @@ void JobService::run_job(std::shared_ptr<JobControl> job,
       job->result.corruptions = corruptions;
       job->cv.notify_all();
     }
+    note_terminal_locked(job);
     drain_cv_.notify_all();
     dispatch_locked();  // freed capacity may admit waiting jobs
   }

@@ -1,0 +1,284 @@
+#include "northup/util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "northup/util/assert.hpp"
+
+namespace northup::util::json {
+
+namespace {
+
+const Value kNull{};
+
+class Parser {
+ public:
+  Parser(const std::string& text, const std::string& origin)
+      : text_(text), origin_(origin) {}
+
+  Value parse() {
+    Value v = value();
+    ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw util::Error("malformed JSON from " + origin_ + ": " + why +
+                      " at byte " + std::to_string(pos_));
+  }
+
+  void ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value value() {
+    ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::String;
+        v.string = string();
+        return v;
+      }
+      case 't':
+        literal("true");
+        return make_bool(true);
+      case 'f':
+        literal("false");
+        return make_bool(false);
+      case 'n':
+        literal("null");
+        return Value{};
+      default: return number();
+    }
+  }
+
+  static Value make_bool(bool b) {
+    Value v;
+    v.kind = Value::Kind::Bool;
+    v.boolean = b;
+    return v;
+  }
+
+  void literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) fail("bad literal");
+    pos_ += len;
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    Value v;
+    v.kind = Value::Kind::Number;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto res = std::from_chars(first, last, v.number);
+    if (res.ec != std::errc() || res.ptr != last) fail("bad number");
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are beyond
+          // what any caller emits; keep them as replacement-free bytes).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::Array;
+    ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::Object;
+    ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      ws();
+      std::string key = string();
+      ws();
+      expect(':');
+      v.object[std::move(key)] = value();
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  const std::string& origin_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+double Value::num(const std::string& key, double fallback) const {
+  auto it = object.find(key);
+  return kind == Kind::Object && it != object.end() &&
+                 it->second.kind == Kind::Number
+             ? it->second.number
+             : fallback;
+}
+
+std::uint64_t Value::u64(const std::string& key, std::uint64_t fallback) const {
+  const double d = num(key, -1.0);
+  if (d < 0.0) return fallback;
+  return static_cast<std::uint64_t>(d);
+}
+
+bool Value::boolean_or(const std::string& key, bool fallback) const {
+  auto it = object.find(key);
+  return kind == Kind::Object && it != object.end() &&
+                 it->second.kind == Kind::Bool
+             ? it->second.boolean
+             : fallback;
+}
+
+std::string Value::str(const std::string& key,
+                       const std::string& fallback) const {
+  auto it = object.find(key);
+  return kind == Kind::Object && it != object.end() &&
+                 it->second.kind == Kind::String
+             ? it->second.string
+             : fallback;
+}
+
+const Value& Value::at(const std::string& key) const {
+  auto it = object.find(key);
+  return kind == Kind::Object && it != object.end() ? it->second : kNull;
+}
+
+Value parse(const std::string& text, const std::string& origin) {
+  Parser parser(text, origin);
+  return parser.parse();
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace northup::util::json

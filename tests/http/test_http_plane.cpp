@@ -1,0 +1,342 @@
+// ControlPlane tests: the full HTTP observability plane mounted over a
+// real JobService — /metrics while jobs run, the job API round trip
+// (including the bit-identical-hash contract and typed cancellation
+// over SSE), batched submission, /healthz, and /timeseries.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "northup/http/control_plane.hpp"
+#include "northup/http/server.hpp"
+#include "northup/obs/sampler.hpp"
+#include "northup/svc/service.hpp"
+#include "northup/util/assert.hpp"
+#include "northup/util/json.hpp"
+#include "support/http_client.hpp"
+
+namespace nh = northup::http;
+namespace nj = northup::util::json;
+namespace nsv = northup::svc;
+using northup::testhttp::Client;
+using northup::testhttp::Response;
+
+namespace {
+
+nsv::ServiceOptions small_machine() {
+  nsv::ServiceOptions opts;
+  opts.machine_levels = 2;
+  opts.machine.root_capacity = 64ULL << 20;
+  opts.machine.staging_capacity = 8ULL << 20;
+  opts.workers = 1;  // deterministic queueing for the cancel tests
+  return opts;
+}
+
+constexpr const char* kGemm64 =
+    R"({"kind": "gemm", "name": "t", "config": {"n": 64, "verify_samples": 8}})";
+
+/// Serves one plane over one service; tears down in order.
+struct Plane {
+  explicit Plane(nsv::ServiceOptions opts = small_machine(),
+                 northup::obs::MetricsSampler* sampler = nullptr)
+      : service(std::move(opts)), plane(service, sampler) {
+    nh::ServerOptions server_options;
+    server_options.idle_timeout_ms = 1000;
+    server.emplace(server_options, &service.metrics());
+    plane.mount(*server);
+    server->start();
+  }
+
+  Response get(const std::string& target) {
+    Client client(server->port());
+    return client.request("GET", target);
+  }
+
+  nj::Value get_json(const std::string& target) {
+    const Response r = get(target);
+    EXPECT_EQ(r.status, 200) << target << ": " << r.body;
+    return nj::parse(r.body, target);
+  }
+
+  nsv::JobService service;
+  nh::ControlPlane plane;
+  std::optional<nh::HttpServer> server;
+};
+
+std::uint64_t wait_done(Plane& p, std::uint64_t id,
+                        const char* want = "done") {
+  for (int spin = 0; spin < 600; ++spin) {
+    const nj::Value doc = p.get_json("/jobs/" + std::to_string(id));
+    if (doc.str("state") == want) return id;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "job " << id << " never reached " << want;
+  return id;
+}
+
+}  // namespace
+
+TEST(ControlPlane, MetricsParseWhileJobsExecute) {
+  Plane p;
+  Client submit(p.server->port());
+  const Response posted = submit.request("POST", "/jobs", kGemm64);
+  ASSERT_EQ(posted.status, 200) << posted.body;
+  const nj::Value doc = nj::parse(posted.body, "POST /jobs");
+  const std::uint64_t id = doc.at("jobs").array.at(0).u64("id");
+  ASSERT_GT(id, 0u);
+
+  // Scrape immediately — jobs are executing right now. The text must
+  // be well-formed exposition: every line a comment or name+value.
+  const Response metrics = p.get("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.headers.at("content-type").find("text/plain"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("# TYPE svc_jobs_submitted counter"),
+            std::string::npos)
+      << metrics.body.substr(0, 500);
+  std::istringstream lines(metrics.body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << "bad line: " << line;
+  }
+
+  wait_done(p, id);
+  const nj::Value done = p.get_json("/jobs/" + std::to_string(id));
+  EXPECT_TRUE(done.at("stats").boolean_or("verified", false)) << posted.body;
+  EXPECT_EQ(done.at("stats").str("result_hash").substr(0, 2), "0x");
+}
+
+TEST(ControlPlane, HttpJobHashMatchesInProcessRun) {
+  Plane p;
+  Client submit(p.server->port());
+  const Response posted = submit.request("POST", "/jobs", kGemm64);
+  ASSERT_EQ(posted.status, 200);
+  const std::uint64_t id =
+      nj::parse(posted.body, "post").at("jobs").array.at(0).u64("id");
+  wait_done(p, id);
+  const std::string http_hash =
+      p.get_json("/jobs/" + std::to_string(id)).at("stats").str("result_hash");
+
+  // Same spec through the same parser, straight into the service.
+  nsv::JobHandle local = p.service.submit(
+      nh::ControlPlane::parse_job_request(nj::parse(kGemm64, "spec")));
+  local.wait();
+  ASSERT_EQ(local.result().state, nsv::JobState::Done);
+  char expect[32];
+  std::snprintf(expect, sizeof expect, "0x%016llx",
+                static_cast<unsigned long long>(
+                    local.result().stats.result_hash));
+  EXPECT_EQ(http_hash, expect);
+}
+
+TEST(ControlPlane, BatchSubmitAdmitsInOrderUnderOneLockPass) {
+  Plane p;
+  Client submit(p.server->port());
+  const std::string batch = std::string("{\"jobs\": [") + kGemm64 + ", " +
+                            kGemm64 + ", " + kGemm64 + "]}";
+  const Response posted = submit.request("POST", "/jobs", batch);
+  ASSERT_EQ(posted.status, 200) << posted.body;
+  const nj::Value doc = nj::parse(posted.body, "batch");
+  ASSERT_EQ(doc.at("jobs").array.size(), 3u);
+  std::uint64_t prev = 0;
+  for (const nj::Value& job : doc.at("jobs").array) {
+    const std::uint64_t id = job.u64("id");
+    EXPECT_GT(id, prev) << "batch ids must be issued in request order";
+    prev = id;
+    EXPECT_NE(job.str("state"), "");
+  }
+  for (const nj::Value& job : doc.at("jobs").array) {
+    wait_done(p, job.u64("id"));
+  }
+}
+
+TEST(ControlPlane, CancelQueuedJobYieldsTypedTerminalOverSse) {
+  Plane p;
+  // Worker count is 1: the second job stays queued behind the first.
+  Client submit(p.server->port());
+  const std::string slow =
+      R"({"kind": "gemm", "config": {"n": 256, "verify_samples": 0}})";
+  const std::string batch =
+      "{\"jobs\": [" + slow + ", " + slow + ", " + slow + "]}";
+  const Response posted = submit.request("POST", "/jobs", batch);
+  ASSERT_EQ(posted.status, 200);
+  const nj::Value doc = nj::parse(posted.body, "batch");
+  const std::uint64_t victim = doc.at("jobs").array.at(2).u64("id");
+
+  // Attach the SSE watcher, then cancel over the API.
+  Client watcher(p.server->port());
+  watcher.send_raw("GET /jobs/" + std::to_string(victim) +
+                   "/events HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string head = watcher.read_until("\r\n\r\n");
+  EXPECT_NE(head.find("text/event-stream"), std::string::npos);
+  const std::string first = watcher.read_until("\n\n");
+  EXPECT_NE(first.find("event: state"), std::string::npos) << first;
+
+  Client cancel(p.server->port());
+  const Response deleted =
+      cancel.request("DELETE", "/jobs/" + std::to_string(victim));
+  ASSERT_EQ(deleted.status, 200) << deleted.body;
+  EXPECT_TRUE(nj::parse(deleted.body, "del").boolean_or("cancelled", false));
+
+  // The stream must deliver the cancelled transition and then the
+  // typed result event before closing.
+  std::string stream;
+  for (int events = 0; events < 8; ++events) {
+    const std::string event = watcher.read_until("\n\n");
+    stream += event;
+    if (event.find("event: result") != std::string::npos) break;
+  }
+  EXPECT_NE(stream.find("\"state\": \"cancelled\""), std::string::npos)
+      << stream;
+  EXPECT_NE(stream.find("event: result"), std::string::npos) << stream;
+
+  // Poll agrees with the stream.
+  const nj::Value after = p.get_json("/jobs/" + std::to_string(victim));
+  EXPECT_EQ(after.str("state"), "cancelled");
+  const nj::Value list = p.get_json("/jobs");
+  EXPECT_GE(list.at("jobs").array.size(), 3u);
+}
+
+TEST(ControlPlane, RejectedJobIsFetchableWithTypedReason) {
+  nsv::ServiceOptions opts = small_machine();
+  opts.machine.root_capacity = 1ULL << 20;  // gemm n=512 can never fit
+  Plane p(opts);
+  Client submit(p.server->port());
+  const Response posted = submit.request(
+      "POST", "/jobs", R"({"kind": "gemm", "config": {"n": 512}})");
+  ASSERT_EQ(posted.status, 200);
+  const nj::Value job =
+      nj::parse(posted.body, "post").at("jobs").array.at(0);
+  EXPECT_EQ(job.str("state"), "rejected");
+  EXPECT_EQ(job.str("reject"), "footprint_too_large");
+  // Registered despite immediate rejection: GET by id still works.
+  const nj::Value fetched = p.get_json("/jobs/" + std::to_string(job.u64("id")));
+  EXPECT_EQ(fetched.str("reject"), "footprint_too_large");
+}
+
+TEST(ControlPlane, SubmitErrorsAreTyped400s) {
+  Plane p;
+  Client client(p.server->port());
+  Response r = client.request("POST", "/jobs", "{not json");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("malformed JSON from POST /jobs"),
+            std::string::npos)
+      << r.body;
+  r = client.request("POST", "/jobs", R"({"kind": "sort"})");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("unknown job kind"), std::string::npos);
+  r = client.request("POST", "/jobs",
+                     R"({"kind": "gemm", "weight": -1})");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("weight"), std::string::npos);
+  r = client.request("POST", "/jobs", R"({"jobs": []})");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_EQ(client.request("GET", "/jobs/oops").status, 400);
+  EXPECT_EQ(client.request("GET", "/jobs/12345").status, 404);
+}
+
+TEST(ControlPlane, HealthzReportsServiceState) {
+  Plane p;
+  const nj::Value h = p.get_json("/healthz");
+  EXPECT_EQ(h.str("status"), "ok");
+  EXPECT_EQ(h.str("brownout"), "normal");
+  EXPECT_DOUBLE_EQ(h.num("brownout_level", -1.0), 0.0);
+  EXPECT_TRUE(h.has("queue_depth"));
+  EXPECT_TRUE(h.has("jobs_active"));
+  EXPECT_TRUE(h.has("active_tenants"));
+  EXPECT_TRUE(h.at("breakers").is_object());
+}
+
+TEST(ControlPlane, TimeseriesServesSamplerRings) {
+  nsv::ServiceOptions opts = small_machine();
+  nsv::JobService service(std::move(opts));
+  northup::obs::MetricsSampler sampler(service.metrics(),
+                                       std::chrono::milliseconds(50),
+                                       /*max_samples=*/32,
+                                       /*include_counters=*/true);
+  nh::ControlPlane plane(service, &sampler);
+  nh::HttpServer server({}, &service.metrics());
+  plane.mount(server);
+  server.start();
+
+  service.submit(nh::ControlPlane::parse_job_request(
+                     nj::parse(kGemm64, "spec")))
+      .wait();
+  sampler.sample_once();
+  sampler.sample_once();
+
+  Client client(server.port());
+  const Response r = client.request("GET", "/timeseries");
+  ASSERT_EQ(r.status, 200);
+  const nj::Value doc = nj::parse(r.body, "/timeseries");
+  EXPECT_DOUBLE_EQ(doc.num("northup_serve", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(doc.num("interval_ms", 0.0), 50.0);
+  EXPECT_GE(doc.num("now_s", -1.0), 0.0);
+  const nj::Value& series = doc.at("series");
+  ASSERT_TRUE(series.is_object());
+  ASSERT_TRUE(series.has("svc.jobs.active"));
+  const nj::Value& active = series.at("svc.jobs.active");
+  ASSERT_GE(active.array.size(), 2u);
+  for (const nj::Value& sample : active.array) {
+    ASSERT_EQ(sample.array.size(), 2u);
+  }
+  // Counters ride along for the dashboard's cache-hit-rate card.
+  EXPECT_TRUE(series.has("svc.jobs.submitted"));
+}
+
+TEST(ControlPlane, DashboardAndTraceAreServed) {
+  Plane p;
+  const Response dash = p.get("/dashboard");
+  EXPECT_EQ(dash.status, 200);
+  EXPECT_NE(dash.headers.at("content-type").find("text/html"),
+            std::string::npos);
+  EXPECT_NE(dash.body.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(dash.body.find("/timeseries"), std::string::npos);
+  EXPECT_NE(dash.body.find("/trace"), std::string::npos);
+
+  Client client(p.server->port());
+  const Response root = client.request("GET", "/");
+  EXPECT_EQ(root.status, 302);
+  EXPECT_EQ(root.headers.at("location"), "/dashboard");
+
+  const Response trace = p.get("/trace");
+  EXPECT_EQ(trace.status, 200);
+  EXPECT_NE(trace.body.find("traceEvents"), std::string::npos);
+}
+
+TEST(ControlPlane, ParseJobRequestCoversAllKindsAndOverrides) {
+  const nj::Value spec = nj::parse(
+      R"({"kind": "spmv", "tenant": "acme", "priority": 2, "weight": 1.5,
+          "deadline_s": 9.5, "max_retries": 1,
+          "config": {"rows": 5000, "avg_nnz": 8, "pattern": "powerlaw",
+                     "repeats": 2},
+          "footprint": {"root_bytes": 1024, "staging_bytes": 512,
+                        "device_bytes": 256}})",
+      "spec");
+  const nsv::JobRequest r = nh::ControlPlane::parse_job_request(spec);
+  EXPECT_EQ(r.tenant, "acme");
+  EXPECT_EQ(r.priority, 2);
+  EXPECT_DOUBLE_EQ(r.weight, 1.5);
+  EXPECT_DOUBLE_EQ(r.deadline_s, 9.5);
+  EXPECT_EQ(r.max_retries, 1u);
+  EXPECT_EQ(r.footprint.root_bytes, 1024u);
+  EXPECT_EQ(r.footprint.device_bytes, 256u);
+  const auto& config = std::get<northup::algos::SpmvConfig>(r.config);
+  EXPECT_EQ(config.rows, 5000u);
+  EXPECT_EQ(config.pattern, northup::algos::SpmvConfig::Pattern::PowerLaw);
+  EXPECT_EQ(config.repeats, 2u);
+  EXPECT_TRUE(config.hash_result);  // HTTP default: hash on
+
+  EXPECT_THROW(nh::ControlPlane::parse_job_request(
+                   nj::parse(R"({"config": {}})", "x")),
+               northup::util::Error);
+  EXPECT_THROW(
+      nh::ControlPlane::parse_job_request(nj::parse(
+          R"({"kind": "spmv", "config": {"pattern": "diag"}})", "x")),
+      northup::util::Error);
+  EXPECT_THROW(nh::ControlPlane::parse_job_request(
+                   nj::parse(R"({"kind": "hotspot", "tenant": ""})", "x")),
+               northup::util::Error);
+}

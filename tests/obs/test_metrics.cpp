@@ -258,6 +258,101 @@ TEST(MetricsRegistry, PrometheusExportTypesAndSanitizesNames) {
   EXPECT_NE(text.find("svc_latency_e2e_sum 0.25"), std::string::npos);
 }
 
+TEST(PromNames, SanitizeNameContract) {
+  // The one documented mapping: bytes outside [a-zA-Z0-9_:] become '_',
+  // a leading digit gets a '_' prefix (keeping the digit), empty -> "_".
+  EXPECT_EQ(no::prom_sanitize_name("svc.latency.e2e"), "svc_latency_e2e");
+  EXPECT_EQ(no::prom_sanitize_name("bytes_moved.storage->dram"),
+            "bytes_moved_storage__dram");
+  EXPECT_EQ(no::prom_sanitize_name("edge:a::b"), "edge:a::b");  // legal as-is
+  EXPECT_EQ(no::prom_sanitize_name("9lives"), "_9lives");
+  EXPECT_EQ(no::prom_sanitize_name(""), "_");
+  EXPECT_EQ(no::prom_sanitize_name("a b\tc"), "a_b_c");
+}
+
+TEST(PromNames, EscapeLabelValueContract) {
+  // Exactly the three escapes the exposition format defines.
+  EXPECT_EQ(no::prom_escape_label_value("plain"), "plain");
+  EXPECT_EQ(no::prom_escape_label_value("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(no::prom_escape_label_value("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(no::prom_escape_label_value("new\nline"), "new\\nline");
+  EXPECT_EQ(no::prom_escape_label_value("a\\\"b\nc"), "a\\\\\\\"b\\nc");
+}
+
+TEST(MetricsRegistry, PrometheusEscapesLabelValues) {
+  no::MetricsRegistry reg;
+  reg.counter("http.requests{path=/jobs/\"x\\y\nz\"}").add(3);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(
+      text.find("http_requests{path=\"/jobs/\\\"x\\\\y\\nz\\\"\"} 3"),
+      std::string::npos)
+      << text;
+  // No raw newline may survive inside a sample line: every line must
+  // still look like `name{...} value`.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(line[0] == '#' || line.find(' ') != std::string::npos)
+        << "broken sample line: " << line;
+  }
+}
+
+TEST(MetricsRegistry, PrometheusSharesOneTypeLineAcrossLabeledSeries) {
+  no::MetricsRegistry reg;
+  reg.counter("svc.tenant.jobs{tenant=alice}").add(1);
+  reg.counter("svc.tenant.jobs{tenant=bob}").add(2);
+  // Sorts between the two labeled series ('.' < '{'), which must not
+  // split the family or duplicate its TYPE line.
+  reg.counter("svc.tenant.jobs.other").add(7);
+  const std::string text = reg.to_prometheus();
+  std::size_t type_count = 0;
+  for (std::size_t pos = text.find("# TYPE svc_tenant_jobs counter");
+       pos != std::string::npos;
+       pos = text.find("# TYPE svc_tenant_jobs counter", pos + 1)) {
+    ++type_count;
+  }
+  EXPECT_EQ(type_count, 1u) << text;
+  const std::size_t a = text.find("svc_tenant_jobs{tenant=\"alice\"} 1");
+  const std::size_t b = text.find("svc_tenant_jobs{tenant=\"bob\"} 2");
+  ASSERT_NE(a, std::string::npos) << text;
+  ASSERT_NE(b, std::string::npos) << text;
+  // Contiguous family block: nothing between the two labeled samples.
+  EXPECT_EQ(text.find('\n', a) + 1, b) << text;
+  EXPECT_NE(text.find("# TYPE svc_tenant_jobs_other counter"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistry, PrometheusSanitizesLabelKeysAndMalformedBlocks) {
+  no::MetricsRegistry reg;
+  reg.gauge("pool.depth{worker-id=3}").set(4.0);
+  // A '{'-block that doesn't end in '}' or has no '=' folds into the
+  // base name instead of emitting an unparseable half-block.
+  reg.counter("weird{notalabel}").add(1);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("pool_depth{worker_id=\"3\"} 4"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("weird_notalabel 1"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistry, PrometheusHistogramCarriesLabelsOnEverySeries) {
+  no::MetricsRegistry reg;
+  reg.histogram("svc.latency.e2e{tenant=t1}").record(0.5);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# TYPE svc_latency_e2e summary"), std::string::npos);
+  EXPECT_NE(
+      text.find("svc_latency_e2e{tenant=\"t1\",quantile=\"0.99\"} 0.5"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("svc_latency_e2e_sum{tenant=\"t1\"} 0.5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("svc_latency_e2e_count{tenant=\"t1\"} 1"),
+            std::string::npos)
+      << text;
+}
+
 TEST(MetricsRegistry, WriteJsonReportsTargetPathOnFailure) {
   no::MetricsRegistry reg;
   ni::TempDir dir("metrics-unwritable");

@@ -1,0 +1,119 @@
+// MetricsSampler tests: bounded ring retention, counter series, and the
+// concurrent sample/read contract the /timeseries endpoint leans on
+// (a server worker serializes series() while the background thread
+// samples — the TSan CI leg runs this suite to prove it race-free).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "northup/obs/metrics.hpp"
+#include "northup/obs/sampler.hpp"
+
+namespace no = northup::obs;
+
+TEST(MetricsSampler, RingRetainsNewestAndStaysBounded) {
+  no::MetricsRegistry reg;
+  no::Gauge& g = reg.gauge("g");
+  no::MetricsSampler sampler(reg, std::chrono::milliseconds(10),
+                             /*max_samples=*/4);
+  EXPECT_EQ(sampler.max_samples(), 4u);
+  EXPECT_EQ(sampler.interval(), std::chrono::milliseconds(10));
+  for (int i = 1; i <= 11; ++i) {
+    g.set(static_cast<double>(i));
+    sampler.sample_once();
+  }
+  const auto series = sampler.series();
+  ASSERT_EQ(series.count("g"), 1u);
+  const auto& s = series.at("g");
+  // Bounded at 4, oldest-first, holding exactly the newest samples —
+  // the overwrite-in-place path has wrapped nearly twice.
+  ASSERT_EQ(s.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(s[static_cast<std::size_t>(i)].value, 8.0 + i);
+  }
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s[i - 1].t_seconds, s[i].t_seconds);
+  }
+  EXPECT_GE(sampler.now_seconds(), s.back().t_seconds);
+}
+
+TEST(MetricsSampler, CountersSampledOnlyWhenEnabled) {
+  no::MetricsRegistry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(1.0);
+
+  no::MetricsSampler gauges_only(reg, std::chrono::milliseconds(10), 16);
+  gauges_only.sample_once();
+  EXPECT_EQ(gauges_only.series().count("c"), 0u);
+  EXPECT_EQ(gauges_only.series().count("g"), 1u);
+
+  no::MetricsSampler with_counters(reg, std::chrono::milliseconds(10), 16,
+                                   /*include_counters=*/true);
+  with_counters.sample_once();
+  reg.counter("c").add(2);
+  with_counters.sample_once();
+  const auto series = with_counters.series();
+  ASSERT_EQ(series.count("c"), 1u);
+  const auto& c = series.at("c");
+  // Cumulative values, not deltas: consumers diff adjacent points.
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(c[1].value, 7.0);
+}
+
+TEST(MetricsSampler, ConcurrentSampleAndReadIsRaceFree) {
+  no::MetricsRegistry reg;
+  no::Gauge& g = reg.gauge("g");
+  no::Counter& c = reg.counter("c");
+  no::MetricsSampler sampler(reg, std::chrono::milliseconds(1),
+                             /*max_samples=*/8, /*include_counters=*/true);
+  sampler.start();
+
+  std::atomic<bool> stop{false};
+  // Writers mutate the registry while readers serialize the rings —
+  // the exact interleaving of a live /timeseries scrape.
+  std::thread writer([&] {
+    for (std::uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      g.set(static_cast<double>(i));
+      c.increment();
+      std::this_thread::yield();
+    }
+  });
+  std::thread manual_sampler([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      sampler.sample_once();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto series = sampler.series();
+        for (const auto& [name, samples] : series) {
+          EXPECT_LE(samples.size(), 8u) << name;
+          for (std::size_t i = 1; i < samples.size(); ++i) {
+            EXPECT_LE(samples[i - 1].t_seconds, samples[i].t_seconds);
+          }
+        }
+        (void)sampler.to_json();
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  manual_sampler.join();
+  for (std::thread& t : readers) t.join();
+  sampler.stop();
+
+  const auto series = sampler.series();
+  ASSERT_EQ(series.count("g"), 1u);
+  ASSERT_EQ(series.count("c"), 1u);
+  EXPECT_LE(series.at("g").size(), 8u);
+  EXPECT_GE(sampler.sweeps(), 2u);
+}

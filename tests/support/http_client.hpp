@@ -1,0 +1,166 @@
+// Minimal blocking HTTP/1.1 loopback client for the http test suites.
+// Deliberately independent of northup::http so the server is tested
+// against a second implementation of the protocol, not its own code.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace northup::testhttp {
+
+struct Response {
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  std::string body;
+};
+
+/// One blocking connection to 127.0.0.1:`port`. Supports several
+/// sequential requests on the same socket (keep-alive) and raw reads
+/// for SSE streams.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("connect() failed");
+    }
+  }
+
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  /// Sends raw bytes verbatim (malformed-request tests).
+  void send_raw(const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, 0);
+      if (n <= 0) throw std::runtime_error("send() failed");
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Sends one well-formed request and reads the framed response.
+  Response request(const std::string& method, const std::string& target,
+                   const std::string& body = "",
+                   const std::string& extra_headers = "") {
+    std::string req = method + " " + target + " HTTP/1.1\r\n" +
+                      "Host: 127.0.0.1\r\n" + extra_headers;
+    if (!body.empty() || method == "POST") {
+      req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    req += "\r\n" + body;
+    send_raw(req);
+    return read_response();
+  }
+
+  /// Reads status line + headers + Content-Length-framed body. For
+  /// Connection: close responses without a length, reads to EOF.
+  Response read_response() {
+    Response resp;
+    std::string head = read_until("\r\n\r\n");
+    std::size_t line_end = head.find("\r\n");
+    const std::string status_line = head.substr(0, line_end);
+    if (status_line.size() < 12 || status_line.compare(0, 5, "HTTP/") != 0) {
+      throw std::runtime_error("bad status line: " + status_line);
+    }
+    resp.status = std::stoi(status_line.substr(9, 3));
+    std::size_t pos = line_end + 2;
+    while (pos < head.size()) {
+      const std::size_t end = head.find("\r\n", pos);
+      if (end == std::string::npos || end == pos) break;
+      const std::string line = head.substr(pos, end - pos);
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::string name = line.substr(0, colon);
+        for (char& c : name) c = static_cast<char>(::tolower(c));
+        std::size_t v = colon + 1;
+        while (v < line.size() && line[v] == ' ') ++v;
+        resp.headers[name] = line.substr(v);
+      }
+      pos = end + 2;
+    }
+    const auto it = resp.headers.find("content-length");
+    if (it != resp.headers.end()) {
+      const std::size_t want = std::stoull(it->second);
+      resp.body = std::move(buffer_);
+      buffer_.clear();
+      while (resp.body.size() < want) {
+        if (!fill()) throw std::runtime_error("short body");
+        resp.body += buffer_;
+        buffer_.clear();
+      }
+      if (resp.body.size() > want) {
+        buffer_ = resp.body.substr(want);
+        resp.body.resize(want);
+      }
+    } else {
+      // No framing: read until the server closes (SSE / close responses).
+      resp.body = std::move(buffer_);
+      buffer_.clear();
+      while (fill()) {
+        resp.body += buffer_;
+        buffer_.clear();
+      }
+    }
+    return resp;
+  }
+
+  /// Reads from the socket until `token` appears in the accumulated
+  /// stream; returns everything up to and including it, keeping the
+  /// rest buffered. Used for SSE event-by-event assertions.
+  std::string read_until(const std::string& token) {
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t found = buffer_.find(token, start);
+      if (found != std::string::npos) {
+        std::string out = buffer_.substr(0, found + token.size());
+        buffer_.erase(0, found + token.size());
+        return out;
+      }
+      start = buffer_.size() > token.size() ? buffer_.size() - token.size() : 0;
+      if (!fill()) {
+        throw std::runtime_error("EOF before \"" + token +
+                                 "\"; got: " + buffer_);
+      }
+    }
+  }
+
+  /// True when the peer has closed (next read returns EOF).
+  bool at_eof() { return !buffer_.empty() ? false : !fill(); }
+
+ private:
+  bool fill() {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace northup::testhttp

@@ -5,8 +5,11 @@
 // histograms, queue gauges, per-job Chrome trace).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <thread>
+#include <vector>
 
 #include "northup/svc/service.hpp"
 
@@ -312,4 +315,142 @@ TEST(JobService, BackoffSleepsNeverOverrunTheJobDeadline) {
   EXPECT_GE(result.chunk_retries, 1u);
   // One un-clamped 5 s backoff would already blow this bound.
   EXPECT_LT(elapsed, 2.5);
+}
+
+TEST(JobService, RegistryTracksActiveJobsAndTenants) {
+  nsv::JobService service(small_machine());
+  EXPECT_EQ(service.job_count(), 0u);
+  EXPECT_EQ(service.active_tenants(), 0u);
+  const nsv::JobFootprint blocker = block_staging(service);
+
+  nsv::JobRequest request;
+  request.config = small_gemm();
+  request.tenant = "alice";
+  nsv::JobHandle a = service.submit(request);
+  nsv::JobHandle b = service.submit(request);
+  request.tenant = "bob";
+  nsv::JobHandle c = service.submit(request);
+
+  EXPECT_EQ(service.job_count(), 3u);
+  EXPECT_EQ(service.active_tenants(), 2u);
+  // The svc.jobs.active gauge mirrors job_count incrementally.
+  EXPECT_DOUBLE_EQ(service.metrics().gauge_values().at("svc.jobs.active"),
+                   3.0);
+
+  // find_job resolves live jobs by id; job_ids lists ascending.
+  nsv::JobHandle found = service.find_job(b.id());
+  ASSERT_TRUE(found.valid());
+  EXPECT_EQ(found.id(), b.id());
+  const std::vector<std::uint64_t> ids = service.job_ids();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_FALSE(service.find_job(999).valid());
+
+  service.admission().release(blocker);
+  service.kick();
+  a.wait();
+  b.wait();
+  c.wait();
+  service.wait_all();
+  EXPECT_EQ(service.job_count(), 0u);
+  EXPECT_EQ(service.active_tenants(), 0u);
+  EXPECT_DOUBLE_EQ(service.metrics().gauge_values().at("svc.jobs.active"),
+                   0.0);
+  // Terminal jobs stay findable (retention window).
+  EXPECT_TRUE(service.find_job(a.id()).valid());
+  EXPECT_EQ(service.find_job(a.id()).state(), nsv::JobState::Done);
+}
+
+TEST(JobService, FinishedJobsEvictPastRetentionBound) {
+  auto opts = small_machine();
+  opts.max_finished_jobs = 2;
+  nsv::JobService service(opts);
+
+  nsv::JobRequest request;
+  request.config = small_gemm();
+  std::vector<nsv::JobHandle> handles;
+  for (int i = 0; i < 4; ++i) handles.push_back(service.submit(request));
+  for (auto& h : handles) h.wait();
+  service.wait_all();
+
+  // Only the newest two terminal jobs remain findable; the handles the
+  // caller already holds keep working regardless.
+  EXPECT_EQ(service.job_ids().size(), 2u);
+  EXPECT_FALSE(service.find_job(handles[0].id()).valid());
+  EXPECT_TRUE(service.find_job(handles[3].id()).valid());
+  EXPECT_EQ(handles[0].result().state, nsv::JobState::Done);
+}
+
+TEST(JobService, RejectedJobIsRegisteredAsTerminal) {
+  auto opts = small_machine();
+  opts.machine.root_capacity = 1ULL << 20;
+  nsv::JobService service(opts);
+  nsv::JobRequest request;
+  request.config = na::GemmConfig{.n = 512};
+  nsv::JobHandle handle = service.submit(request);
+  EXPECT_EQ(handle.wait().state, nsv::JobState::Rejected);
+  // Registered (fetchable by id) but never counted active.
+  EXPECT_TRUE(service.find_job(handle.id()).valid());
+  EXPECT_EQ(service.job_count(), 0u);
+  EXPECT_DOUBLE_EQ(service.metrics().gauge_values().at("svc.jobs.active"),
+                   0.0);
+}
+
+TEST(JobService, SnapshotIsSafeWhileRunningAndWaitForChangeWakes) {
+  nsv::JobService service(small_machine());
+  const nsv::JobFootprint blocker = block_staging(service);
+  nsv::JobRequest request;
+  request.config = small_gemm();
+  nsv::JobHandle handle = service.submit(request);
+
+  const nsv::JobResult queued = handle.snapshot();
+  EXPECT_EQ(queued.state, nsv::JobState::Queued);
+
+  // wait_for_change times out while nothing happens...
+  EXPECT_EQ(handle.wait_for_change(nsv::JobState::Queued,
+                                   std::chrono::milliseconds(50)),
+            nsv::JobState::Queued);
+
+  // ...and wakes promptly (well inside the timeout) once the admission
+  // blocker is released and the job starts running.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    service.admission().release(blocker);
+    service.kick();
+  });
+  const nsv::JobState next = handle.wait_for_change(
+      nsv::JobState::Queued, std::chrono::milliseconds(5000));
+  EXPECT_NE(next, nsv::JobState::Queued);
+  releaser.join();
+  handle.wait();
+  EXPECT_EQ(handle.snapshot().state, nsv::JobState::Done);
+}
+
+TEST(JobService, TrySubmitBatchAdmitsAllUnderOnePass) {
+  auto opts = small_machine();
+  opts.max_queue_depth = 4;
+  nsv::JobService service(opts);
+  const nsv::JobFootprint blocker = block_staging(service);
+
+  nsv::JobRequest request;
+  request.config = small_gemm();
+  // 6 requests into a queue of 4: the first four are admitted in
+  // order, the overflow is rejected queue-full — all in one call.
+  std::vector<nsv::JobRequest> batch(6, request);
+  std::vector<nsv::JobHandle> handles =
+      service.try_submit_batch(std::move(batch));
+  ASSERT_EQ(handles.size(), 6u);
+  for (std::size_t i = 0; i + 1 < handles.size(); ++i) {
+    EXPECT_LT(handles[i].id(), handles[i + 1].id());
+  }
+  EXPECT_EQ(service.queue_depth(), 4u);
+  EXPECT_EQ(handles[4].state(), nsv::JobState::Rejected);
+  EXPECT_EQ(handles[5].state(), nsv::JobState::Rejected);
+  EXPECT_EQ(handles[4].result().reject, nsv::RejectReason::QueueFull);
+
+  service.admission().release(blocker);
+  service.kick();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(handles[i].wait().state, nsv::JobState::Done);
+  }
 }

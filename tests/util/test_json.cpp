@@ -1,0 +1,73 @@
+// util::json — the shared JSON reader/writer behind the HTTP control
+// plane. The parser faces *client* input, so malformed-document
+// behavior (typed errors naming origin + byte offset) matters as much
+// as the happy path.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "northup/util/assert.hpp"
+#include "northup/util/json.hpp"
+
+namespace nj = northup::util::json;
+
+TEST(Json, ParsesFullGrammar) {
+  const nj::Value v = nj::parse(
+      R"({"s": "a\"b\\c\nd", "i": -42, "f": 2.5e-1, "t": true, "f2": false,
+          "n": null, "arr": [1, [2], {"k": 3}], "obj": {"nested": "x"},
+          "u": "café"})",
+      "test");
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.str("s"), "a\"b\\c\nd");
+  EXPECT_DOUBLE_EQ(v.num("i"), -42.0);
+  EXPECT_DOUBLE_EQ(v.num("f"), 0.25);
+  EXPECT_TRUE(v.boolean_or("t", false));
+  EXPECT_FALSE(v.boolean_or("f2", true));
+  EXPECT_TRUE(v.at("n").is_null());
+  ASSERT_EQ(v.at("arr").array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("arr").array[1].array.at(0).number, 2.0);
+  EXPECT_DOUBLE_EQ(v.at("arr").array[2].num("k"), 3.0);
+  EXPECT_EQ(v.at("obj").str("nested"), "x");
+  EXPECT_EQ(v.str("u"), "caf\xc3\xa9");  // \u escape -> UTF-8
+}
+
+TEST(Json, TolerantAccessorsFallBack) {
+  const nj::Value v = nj::parse(R"({"n": 7, "s": "x"})", "test");
+  EXPECT_DOUBLE_EQ(v.num("missing", 1.5), 1.5);
+  EXPECT_EQ(v.u64("n"), 7u);
+  EXPECT_EQ(v.u64("s", 9), 9u);  // wrong kind -> fallback
+  EXPECT_EQ(v.str("n", "d"), "d");
+  EXPECT_TRUE(v.at("missing").is_null());
+  EXPECT_FALSE(v.has("missing"));
+}
+
+TEST(Json, MalformedInputNamesOriginAndOffset) {
+  try {
+    nj::parse(R"({"a": )", "POST /jobs");
+    FAIL() << "expected util::Error";
+  } catch (const northup::util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("POST /jobs"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte"), std::string::npos) << what;
+  }
+  EXPECT_THROW(nj::parse("", "x"), northup::util::Error);
+  EXPECT_THROW(nj::parse("{\"a\": 1} trailing", "x"), northup::util::Error);
+  EXPECT_THROW(nj::parse("{'single': 1}", "x"), northup::util::Error);
+  EXPECT_THROW(nj::parse("[1, 2,]", "x"), northup::util::Error);
+  EXPECT_THROW(nj::parse("\"unterminated", "x"), northup::util::Error);
+  EXPECT_THROW(nj::parse("truth", "x"), northup::util::Error);
+}
+
+TEST(Json, EscapeAndFormatDouble) {
+  EXPECT_EQ(nj::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(nj::escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(nj::format_double(0.1), "0.1");  // shortest round trip
+  EXPECT_EQ(nj::format_double(3.0), "3");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(nj::format_double(inf), "0");  // documents always parse
+  // Emit -> parse -> exact same double.
+  const double third = 1.0 / 3.0;
+  const nj::Value v =
+      nj::parse("[" + nj::format_double(third) + "]", "roundtrip");
+  EXPECT_DOUBLE_EQ(v.array.at(0).number, third);
+}

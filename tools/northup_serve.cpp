@@ -1,0 +1,135 @@
+// northup-serve — the HTTP observability plane as a binary: a
+// JobService wrapped in the embedded HttpServer, with a MetricsSampler
+// feeding /timeseries and the dashboard.
+//
+// Usage:
+//   northup-serve                          serve on 127.0.0.1:<ephemeral>
+//   northup-serve --port=8080              fixed port
+//   northup-serve --bind=0.0.0.0           non-local bind (read the
+//                                          security note in docs/http.md
+//                                          first: no TLS, no auth)
+//   northup-serve --run-once=<spec.json>   no server: run one job spec
+//                                          in-process through the exact
+//                                          parse path POST /jobs uses and
+//                                          print the job JSON (the CI
+//                                          smoke leg compares its
+//                                          result_hash with the HTTP run)
+//
+// Service shape knobs: --levels=2|3, --svc-workers=N, --queue-depth=N,
+// --policy=fifo|wfq, --overload (enable the overload controller),
+// --http-workers=N, --sample-ms=N, --sample-max=N.
+//
+// The first stdout line in serve mode is
+//   northup-serve listening on http://<bind>:<port>
+// which is the contract scripts/serve_smoke.py parses the ephemeral
+// port out of.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "northup/http/control_plane.hpp"
+#include "northup/http/server.hpp"
+#include "northup/obs/sampler.hpp"
+#include "northup/svc/service.hpp"
+#include "northup/util/assert.hpp"
+#include "northup/util/flags.hpp"
+#include "northup/util/json.hpp"
+
+namespace nh = northup::http;
+namespace ns = northup::svc;
+namespace nu = northup::util;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+ns::ServiceOptions service_options(const nu::Flags& flags) {
+  ns::ServiceOptions options;
+  options.machine_levels =
+      static_cast<int>(flags.get_int("levels", options.machine_levels));
+  NU_CHECK(options.machine_levels == 2 || options.machine_levels == 3,
+           "--levels must be 2 or 3");
+  options.workers = static_cast<std::size_t>(
+      flags.get_int("svc-workers", static_cast<std::int64_t>(options.workers)));
+  options.max_queue_depth = static_cast<std::size_t>(flags.get_int(
+      "queue-depth", static_cast<std::int64_t>(options.max_queue_depth)));
+  const std::string policy = flags.get("policy", "wfq");
+  NU_CHECK(policy == "fifo" || policy == "wfq",
+           "--policy must be fifo or wfq");
+  options.policy = policy == "fifo" ? ns::SchedulingPolicy::Fifo
+                                    : ns::SchedulingPolicy::WeightedFair;
+  options.overload.enable = flags.get_bool("overload");
+  return options;
+}
+
+int run_once(ns::JobService& service, const std::string& spec_path) {
+  std::ifstream in(spec_path);
+  NU_CHECK(in.good(), "cannot open job spec " + spec_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const nu::json::Value spec = nu::json::parse(text.str(), spec_path);
+  ns::JobHandle handle =
+      service.submit(nh::ControlPlane::parse_job_request(spec));
+  handle.wait();
+  std::printf("%s\n", nh::ControlPlane::job_json(handle.id(), handle).c_str());
+  return handle.state() == ns::JobState::Done ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const nu::Flags flags(argc, argv);
+    ns::JobService service(service_options(flags));
+
+    const std::string spec = flags.get("run-once");
+    if (!spec.empty()) return run_once(service, spec);
+
+    northup::obs::MetricsSampler sampler(
+        service.metrics(),
+        std::chrono::milliseconds(flags.get_int("sample-ms", 250)),
+        static_cast<std::size_t>(flags.get_int("sample-max", 2048)),
+        /*include_counters=*/true);
+    sampler.start();
+
+    nh::ServerOptions server_options;
+    server_options.bind_address = flags.get("bind", "127.0.0.1");
+    server_options.port =
+        static_cast<std::uint16_t>(flags.get_int("port", 0));
+    server_options.workers = static_cast<std::size_t>(
+        flags.get_int("http-workers",
+                      static_cast<std::int64_t>(server_options.workers)));
+    nh::HttpServer server(server_options, &service.metrics());
+    nh::ControlPlane plane(service, &sampler);
+    plane.mount(server);
+    server.start();
+
+    std::printf("northup-serve listening on %s\n", server.url().c_str());
+    std::printf("  dashboard %s/dashboard  metrics %s/metrics\n",
+                server.url().c_str(), server.url().c_str());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    while (!g_stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+
+    std::printf("northup-serve: shutting down\n");
+    server.stop();
+    sampler.stop();
+    service.wait_all();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "northup-serve: %s\n", e.what());
+    return 1;
+  }
+}
